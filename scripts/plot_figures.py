@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Plots Figures 11 and 13 from the benches' CSV output.
+
+Usage:
+    build/bench/fig11_unclustered_model --csv > /tmp/fig11.csv
+    build/bench/fig13_clustered_model  --csv > /tmp/fig13.csv
+    python3 scripts/plot_figures.py /tmp/fig11.csv fig11.png
+    python3 scripts/plot_figures.py /tmp/fig13.csv fig13.png
+
+Each CSV contains four `# f=<n>` blocks (one per panel); the plot mirrors
+the paper's 2x2 layout with the percentage difference in C_total on the
+y-axis (clamped at +50% like the paper's graphs).
+"""
+import sys
+
+import matplotlib
+matplotlib.use("Agg")
+import matplotlib.pyplot as plt
+
+
+def read_blocks(path):
+    blocks = []
+    with open(path) as f:
+        block = None
+        for line in f:
+            line = line.strip()
+            if line.startswith("# f="):
+                block = {"f": float(line[4:]), "header": None, "rows": []}
+                blocks.append(block)
+            elif not line:
+                continue
+            elif block is not None and block["header"] is None:
+                block["header"] = line.split(",")
+            elif block is not None:
+                block["rows"].append([float(x) for x in line.split(",")])
+    return blocks
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 1
+    blocks = read_blocks(sys.argv[1])
+    fig, axes = plt.subplots(2, 2, figsize=(11, 9), sharex=True)
+    for ax, block in zip(axes.flat, blocks):
+        xs = [row[0] for row in block["rows"]]
+        for col, name in enumerate(block["header"][1:], start=1):
+            ys = [min(row[col], 50.0) for row in block["rows"]]
+            style = "-" if name.startswith("inplace") else "--"
+            ax.plot(xs, ys, style, label=name)
+        ax.axhline(0, color="black", linewidth=0.6)
+        ax.set_title(f"f = {block['f']:.0f}, |R| = {block['f'] * 10000:.0f}")
+        ax.set_xlabel("Update Probability")
+        ax.set_ylabel("% difference in C_total")
+        ax.set_ylim(-100, 50)
+        ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(sys.argv[2], dpi=130)
+    print(f"wrote {sys.argv[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

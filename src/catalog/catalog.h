@@ -1,0 +1,137 @@
+#ifndef FIELDREP_CATALOG_CATALOG_H_
+#define FIELDREP_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/link_registry.h"
+#include "catalog/path.h"
+#include "catalog/type.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace fieldrep {
+
+/// \brief Catalog record for a named top-level set
+/// (`create Emp1: {own ref EMP}`), stored as one disk file (Section 2.2).
+struct SetInfo {
+  std::string name;
+  std::string type_name;
+  FileId file_id = kInvalidFileId;
+};
+
+/// \brief Catalog record for a B+ tree index.
+///
+/// `key_expr` is either a plain attribute ("salary") or a dotted reference
+/// path ("dept.org.name"); the latter requires the path to be replicated
+/// in-place so the index can be built on the stored replica values
+/// (Section 3.3.4).
+struct IndexInfo {
+  std::string name;
+  std::string set_name;
+  std::string key_expr;
+  bool clustered = false;
+  /// For plain-attribute indexes: the attribute index; -1 for path indexes.
+  int attr_index = -1;
+  /// For path indexes: the replication path whose replica values are keyed.
+  uint16_t path_id = 0;
+  bool is_path_index = false;
+  FileId file_id = kInvalidFileId;
+};
+
+/// \brief The system catalog: types, sets, indexes, replication paths, and
+/// the link registry.
+///
+/// The catalog is pure metadata; files and indexes themselves are owned by
+/// the Database.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // --- Types ---------------------------------------------------------------
+
+  /// Registers a type, assigning its type tag.
+  Status DefineType(TypeDescriptor type);
+  Result<const TypeDescriptor*> GetType(const std::string& name) const;
+  Result<const TypeDescriptor*> GetTypeByTag(uint16_t tag) const;
+  bool HasType(const std::string& name) const {
+    return types_by_name_.count(name) != 0;
+  }
+
+  // --- Sets ----------------------------------------------------------------
+
+  /// Registers a set of `type_name` objects and allocates its file id.
+  Status CreateSet(const std::string& name, const std::string& type_name,
+                   FileId* file_id);
+  Result<const SetInfo*> GetSet(const std::string& name) const;
+  Result<const SetInfo*> GetSetForFile(FileId file_id) const;
+  std::vector<std::string> SetNames() const;
+
+  /// Allocates a file id for an auxiliary file (link set, replica set,
+  /// index, output file).
+  FileId AllocateFileId() { return next_file_id_++; }
+
+  // --- Path binding ----------------------------------------------------------
+
+  /// Binds a dotted expression ("Emp1.dept.org.name", "Emp1.dept.all",
+  /// "Emp1.salary") against types and sets. Zero-step paths are allowed
+  /// here (plain attributes); replication additionally requires >= 1 step.
+  Status BindPath(const std::string& expr, BoundPath* out) const;
+
+  // --- Replication paths -----------------------------------------------------
+
+  /// Registers a fully-populated path record, assigning `info.id`.
+  Status RegisterReplicationPath(ReplicationPathInfo info, uint16_t* id);
+  Status DropReplicationPath(uint16_t id);
+  const ReplicationPathInfo* GetPath(uint16_t id) const;
+  ReplicationPathInfo* GetMutablePath(uint16_t id);
+  const ReplicationPathInfo* FindPathBySpec(const std::string& spec) const;
+  /// Paths whose head set is `set_name`.
+  std::vector<uint16_t> PathsHeadedAt(const std::string& set_name) const;
+  std::vector<uint16_t> AllPathIds() const;
+
+  LinkRegistry& link_registry() { return link_registry_; }
+  const LinkRegistry& link_registry() const { return link_registry_; }
+
+  // --- Indexes ---------------------------------------------------------------
+
+  Status RegisterIndex(IndexInfo info);
+  Status DropIndex(const std::string& name);
+  const IndexInfo* FindIndexByName(const std::string& name) const;
+  /// The first index on `set_name` whose key expression is `key_expr`.
+  const IndexInfo* FindIndex(const std::string& set_name,
+                             const std::string& key_expr) const;
+  std::vector<const IndexInfo*> IndexesOnSet(const std::string& set_name) const;
+
+  /// Human-readable dump of the whole catalog (for examples and debugging).
+  std::string Describe() const;
+
+  /// Serialization for database checkpoints: types, sets, replication
+  /// paths, the link registry, indexes, and the id counters.
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(class ByteReader* reader);
+
+ private:
+  std::map<std::string, TypeDescriptor> types_by_name_;
+  std::map<uint16_t, std::string> types_by_tag_;
+  uint16_t next_type_tag_ = 1;
+
+  std::map<std::string, SetInfo> sets_;
+  std::map<FileId, std::string> sets_by_file_;
+  FileId next_file_id_ = 1;
+
+  std::map<uint16_t, ReplicationPathInfo> paths_;
+  uint16_t next_path_id_ = 1;
+  LinkRegistry link_registry_;
+
+  std::map<std::string, IndexInfo> indexes_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_CATALOG_CATALOG_H_

@@ -1,0 +1,185 @@
+#include "catalog/link_registry.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+
+namespace fieldrep {
+
+const char* ReplicationStrategyName(ReplicationStrategy s) {
+  switch (s) {
+    case ReplicationStrategy::kInPlace:
+      return "in-place";
+    case ReplicationStrategy::kSeparate:
+      return "separate";
+  }
+  return "?";
+}
+
+std::string ReplicationPathInfo::LinkSequenceString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < link_sequence.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StringPrintf("%u", link_sequence[i]);
+  }
+  out += ")";
+  return out;
+}
+
+Status LinkRegistry::InternLink(const std::string& key,
+                                const std::string& head_set, uint16_t level,
+                                const std::string& source_type,
+                                const std::string& target_type,
+                                const std::string& attr_name, bool collapsed,
+                                uint16_t path_id, uint8_t* link_id) {
+  // Collapsed links are private to their path (Section 4.3.3: "collapsed
+  // paths prohibit the sharing of some links"), so they get a per-path key.
+  std::string effective_key =
+      collapsed ? key + StringPrintf("~collapsed#%u", path_id) : key;
+  auto it = by_key_.find(effective_key);
+  if (it != by_key_.end()) {
+    LinkInfo& link = links_.at(it->second);
+    if (link.level != level || link.attr_name != attr_name ||
+        link.source_type != source_type || link.target_type != target_type) {
+      return Status::Internal("link key collision with mismatched shape: " +
+                              effective_key);
+    }
+    if (std::find(link.path_ids.begin(), link.path_ids.end(), path_id) ==
+        link.path_ids.end()) {
+      link.path_ids.push_back(path_id);
+    }
+    *link_id = link.id;
+    return Status::OK();
+  }
+  if (links_.size() >= 255) {
+    return Status::OutOfRange("no free link ids (255 links in use)");
+  }
+  // Find the lowest unused id; ids are 1-based (0 means "no link").
+  uint8_t id = next_id_;
+  while (links_.count(id) != 0 || id == 0) {
+    id = static_cast<uint8_t>(id + 1);
+  }
+  next_id_ = static_cast<uint8_t>(id + 1);
+  LinkInfo link;
+  link.id = id;
+  link.key = effective_key;
+  link.head_set = head_set;
+  link.level = level;
+  link.source_type = source_type;
+  link.target_type = target_type;
+  link.attr_name = attr_name;
+  link.collapsed = collapsed;
+  link.path_ids.push_back(path_id);
+  links_.emplace(id, std::move(link));
+  by_key_.emplace(effective_key, id);
+  *link_id = id;
+  return Status::OK();
+}
+
+const LinkInfo* LinkRegistry::GetLink(uint8_t id) const {
+  auto it = links_.find(id);
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+LinkInfo* LinkRegistry::GetMutableLink(uint8_t id) {
+  auto it = links_.find(id);
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+std::vector<uint8_t> LinkRegistry::ReleasePathLinks(uint16_t path_id) {
+  std::vector<uint8_t> freed;
+  for (auto it = links_.begin(); it != links_.end();) {
+    LinkInfo& link = it->second;
+    auto pos = std::find(link.path_ids.begin(), link.path_ids.end(), path_id);
+    if (pos != link.path_ids.end()) link.path_ids.erase(pos);
+    if (link.path_ids.empty()) {
+      freed.push_back(link.id);
+      by_key_.erase(link.key);
+      it = links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return freed;
+}
+
+std::vector<uint8_t> LinkRegistry::AllLinkIds() const {
+  std::vector<uint8_t> out;
+  out.reserve(links_.size());
+  for (const auto& [id, link] : links_) out.push_back(id);
+  return out;
+}
+
+void LinkRegistry::EncodeTo(std::string* out) const {
+  PutU16(out, static_cast<uint16_t>(links_.size()));
+  for (const auto& [id, link] : links_) {
+    out->push_back(static_cast<char>(link.id));
+    PutLengthPrefixed(out, link.key);
+    PutLengthPrefixed(out, link.head_set);
+    PutU16(out, link.level);
+    PutLengthPrefixed(out, link.source_type);
+    PutLengthPrefixed(out, link.target_type);
+    PutLengthPrefixed(out, link.attr_name);
+    out->push_back(static_cast<char>(link.collapsed ? 1 : 0));
+    PutU32(out, link.inline_threshold);
+    PutU16(out, link.link_set_file);
+    PutU16(out, static_cast<uint16_t>(link.path_ids.size()));
+    for (uint16_t path_id : link.path_ids) PutU16(out, path_id);
+  }
+  out->push_back(static_cast<char>(next_id_));
+}
+
+Status LinkRegistry::DecodeFrom(ByteReader* reader) {
+  links_.clear();
+  by_key_.clear();
+  uint16_t count;
+  if (!reader->GetU16(&count)) {
+    return Status::Corruption("truncated link registry");
+  }
+  for (uint16_t i = 0; i < count; ++i) {
+    LinkInfo link;
+    std::string byte;
+    uint16_t path_count;
+    if (!reader->GetRaw(1, &byte)) {
+      return Status::Corruption("truncated link record");
+    }
+    link.id = static_cast<uint8_t>(byte[0]);
+    if (!reader->GetLengthPrefixed(&link.key) ||
+        !reader->GetLengthPrefixed(&link.head_set) ||
+        !reader->GetU16(&link.level) ||
+        !reader->GetLengthPrefixed(&link.source_type) ||
+        !reader->GetLengthPrefixed(&link.target_type) ||
+        !reader->GetLengthPrefixed(&link.attr_name)) {
+      return Status::Corruption("truncated link record");
+    }
+    if (!reader->GetRaw(1, &byte)) {
+      return Status::Corruption("truncated link record");
+    }
+    link.collapsed = byte[0] != 0;
+    if (!reader->GetU32(&link.inline_threshold)) {
+      return Status::Corruption("truncated link record");
+    }
+    if (!reader->GetU16(&link.link_set_file) ||
+        !reader->GetU16(&path_count)) {
+      return Status::Corruption("truncated link record");
+    }
+    for (uint16_t j = 0; j < path_count; ++j) {
+      uint16_t path_id;
+      if (!reader->GetU16(&path_id)) {
+        return Status::Corruption("truncated link record");
+      }
+      link.path_ids.push_back(path_id);
+    }
+    by_key_[link.key] = link.id;
+    links_.emplace(link.id, std::move(link));
+  }
+  std::string byte;
+  if (!reader->GetRaw(1, &byte)) {
+    return Status::Corruption("truncated link registry");
+  }
+  next_id_ = static_cast<uint8_t>(byte[0]);
+  return Status::OK();
+}
+
+}  // namespace fieldrep

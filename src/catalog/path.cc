@@ -1,0 +1,56 @@
+#include "catalog/path.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+std::string BoundPath::ToString() const {
+  std::string out = set_name;
+  for (const PathStep& step : steps) {
+    out += "." + step.attr_name;
+  }
+  if (all) {
+    out += ".all";
+  } else if (terminal_fields.size() == 1) {
+    // The terminal attribute name is not stored; callers wanting the exact
+    // original text keep it themselves. We re-render from what we know.
+    out += StringPrintf(".<field#%d>", terminal_fields[0]);
+  }
+  return out;
+}
+
+namespace {
+bool IsIdentifier(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+}  // namespace
+
+Status ParsePathExpression(const std::string& text, std::string* set_name,
+                           std::vector<std::string>* components) {
+  std::vector<std::string> parts =
+      SplitString(std::string(TrimWhitespace(text)), '.');
+  if (parts.size() < 2) {
+    return Status::InvalidArgument("path '" + text +
+                                   "' needs at least Set.attribute");
+  }
+  for (const std::string& part : parts) {
+    if (!IsIdentifier(part)) {
+      return Status::InvalidArgument("bad path component '" + part + "' in '" +
+                                     text + "'");
+    }
+  }
+  *set_name = parts[0];
+  components->assign(parts.begin() + 1, parts.end());
+  return Status::OK();
+}
+
+}  // namespace fieldrep

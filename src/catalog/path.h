@@ -1,0 +1,47 @@
+#ifndef FIELDREP_CATALOG_PATH_H_
+#define FIELDREP_CATALOG_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fieldrep {
+
+/// \brief One hop of a reference path: the ref attribute traversed and the
+/// types on either side.
+struct PathStep {
+  std::string attr_name;    ///< e.g. "dept"
+  int attr_index = -1;      ///< index of the attribute in `source_type`
+  std::string source_type;  ///< e.g. "EMP"
+  std::string target_type;  ///< e.g. "DEPT"
+};
+
+/// \brief A reference path bound against the catalog, e.g.
+/// `Emp1.dept.org.name` = head set Emp1, steps [dept, org], terminal field
+/// `name` of type ORG.
+///
+/// Replication is associated with instance (the set), not type
+/// (Section 3.2), so a path always starts at a named set.
+struct BoundPath {
+  std::string set_name;
+  std::vector<PathStep> steps;
+  std::string terminal_type;       ///< type at the end of the last step
+  bool all = false;                ///< `.all` paths (Section 3.3.1)
+  std::vector<int> terminal_fields;  ///< replicated attribute indices
+
+  /// Number of functional joins the path represents (its "level").
+  size_t level() const { return steps.size(); }
+
+  /// Renders the canonical dotted form, e.g. "Emp1.dept.org.name".
+  std::string ToString() const;
+};
+
+/// Splits a dotted path expression "Set.a.b.c" into its set name and
+/// components. Validates lexical shape only (binding happens in Catalog).
+Status ParsePathExpression(const std::string& text, std::string* set_name,
+                           std::vector<std::string>* components);
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_CATALOG_PATH_H_

@@ -1,0 +1,119 @@
+#include "catalog/type.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+const char* FieldTypeName(FieldType type) {
+  switch (type) {
+    case FieldType::kInt32:
+      return "int";
+    case FieldType::kInt64:
+      return "int64";
+    case FieldType::kDouble:
+      return "double";
+    case FieldType::kChar:
+      return "char[]";
+    case FieldType::kString:
+      return "string";
+    case FieldType::kRef:
+      return "ref";
+  }
+  return "?";
+}
+
+uint32_t AttributeDescriptor::FixedBytes() const {
+  switch (type) {
+    case FieldType::kInt32:
+      return 4;
+    case FieldType::kInt64:
+    case FieldType::kDouble:
+    case FieldType::kRef:
+      return 8;
+    case FieldType::kChar:
+      return char_length;
+    case FieldType::kString:
+      return 4;  // length prefix
+  }
+  return 0;
+}
+
+std::string AttributeDescriptor::ToString() const {
+  if (type == FieldType::kRef) {
+    return name + ": ref " + ref_type;
+  }
+  if (type == FieldType::kChar) {
+    return StringPrintf("%s: char[%u]", name.c_str(), char_length);
+  }
+  return name + ": " + FieldTypeName(type);
+}
+
+AttributeDescriptor Int32Attr(std::string name) {
+  return {std::move(name), FieldType::kInt32, 0, ""};
+}
+AttributeDescriptor Int64Attr(std::string name) {
+  return {std::move(name), FieldType::kInt64, 0, ""};
+}
+AttributeDescriptor DoubleAttr(std::string name) {
+  return {std::move(name), FieldType::kDouble, 0, ""};
+}
+AttributeDescriptor CharAttr(std::string name, uint32_t length) {
+  return {std::move(name), FieldType::kChar, length, ""};
+}
+AttributeDescriptor StringAttr(std::string name) {
+  return {std::move(name), FieldType::kString, 0, ""};
+}
+AttributeDescriptor RefAttr(std::string name, std::string ref_type) {
+  return {std::move(name), FieldType::kRef, 0, std::move(ref_type)};
+}
+
+int TypeDescriptor::FindAttribute(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> TypeDescriptor::ScalarAttributeIndices() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].is_scalar()) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+Status TypeDescriptor::Validate() const {
+  if (name_.empty()) return Status::InvalidArgument("type has no name");
+  std::unordered_set<std::string> seen;
+  for (const AttributeDescriptor& attr : attributes_) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute of " + name_ + " has no name");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate attribute " + attr.name +
+                                     " in type " + name_);
+    }
+    if (attr.type == FieldType::kRef && attr.ref_type.empty()) {
+      return Status::InvalidArgument("ref attribute " + attr.name +
+                                     " names no target type");
+    }
+    if (attr.type == FieldType::kChar && attr.char_length == 0) {
+      return Status::InvalidArgument("char attribute " + attr.name +
+                                     " has zero length");
+    }
+  }
+  return Status::OK();
+}
+
+std::string TypeDescriptor::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attributes_.size());
+  for (const AttributeDescriptor& attr : attributes_) {
+    parts.push_back(attr.ToString());
+  }
+  return "define type " + name_ + " ( " + JoinStrings(parts, ", ") + " )";
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,96 @@
+#ifndef FIELDREP_CATALOG_TYPE_H_
+#define FIELDREP_CATALOG_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fieldrep {
+
+/// Attribute (field) types supported by the data model. This is the subset
+/// of EXTRA the paper exercises: scalar fields, fixed-length character
+/// fields, variable strings, and reference attributes implemented as OIDs.
+enum class FieldType : uint8_t {
+  kInt32 = 0,   ///< the paper's `int`
+  kInt64 = 1,
+  kDouble = 2,
+  kChar = 3,    ///< fixed-length `char[n]`, padded with NULs
+  kString = 4,  ///< variable-length string (u32 length prefix)
+  kRef = 5,     ///< reference attribute: an 8-byte OID
+};
+
+const char* FieldTypeName(FieldType type);
+
+/// \brief One attribute of a type definition.
+struct AttributeDescriptor {
+  std::string name;
+  FieldType type = FieldType::kInt32;
+  /// For kChar: the fixed byte length n of char[n].
+  uint32_t char_length = 0;
+  /// For kRef: the name of the referenced type (e.g. "DEPT").
+  std::string ref_type;
+
+  /// Serialized size in bytes; kString contributes its 4-byte length prefix
+  /// only (the payload is variable).
+  uint32_t FixedBytes() const;
+
+  bool is_ref() const { return type == FieldType::kRef; }
+  bool is_scalar() const { return type != FieldType::kRef; }
+
+  std::string ToString() const;
+};
+
+/// Convenience constructors.
+AttributeDescriptor Int32Attr(std::string name);
+AttributeDescriptor Int64Attr(std::string name);
+AttributeDescriptor DoubleAttr(std::string name);
+AttributeDescriptor CharAttr(std::string name, uint32_t length);
+AttributeDescriptor StringAttr(std::string name);
+AttributeDescriptor RefAttr(std::string name, std::string ref_type);
+
+/// \brief A type definition, e.g. the paper's
+/// `define type EMP (name: char[], age: int, salary: int, dept: ref DEPT)`.
+///
+/// Type tags (Section 2.2: "every object contains a type-tag") are assigned
+/// by the Catalog when the type is defined.
+class TypeDescriptor {
+ public:
+  TypeDescriptor() = default;
+  TypeDescriptor(std::string name, std::vector<AttributeDescriptor> attrs)
+      : name_(std::move(name)), attributes_(std::move(attrs)) {}
+
+  const std::string& name() const { return name_; }
+  uint16_t type_tag() const { return type_tag_; }
+  void set_type_tag(uint16_t tag) { type_tag_ = tag; }
+
+  const std::vector<AttributeDescriptor>& attributes() const {
+    return attributes_;
+  }
+  size_t attribute_count() const { return attributes_.size(); }
+  const AttributeDescriptor& attribute(size_t i) const {
+    return attributes_[i];
+  }
+
+  /// Index of the attribute named `name`, or -1.
+  int FindAttribute(const std::string& name) const;
+
+  /// Indices of all scalar (non-ref) attributes, the set replicated by a
+  /// `.all` path (Section 3.3.1).
+  std::vector<int> ScalarAttributeIndices() const;
+
+  /// Checks for duplicate attribute names and ill-formed attributes.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeDescriptor> attributes_;
+  uint16_t type_tag_ = 0;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_CATALOG_TYPE_H_

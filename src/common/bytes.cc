@@ -1,0 +1,87 @@
+#include "common/bytes.h"
+
+namespace fieldrep {
+
+namespace {
+template <typename T>
+void PutFixed(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+}  // namespace
+
+void PutU16(std::string* out, uint16_t v) { PutFixed(out, v); }
+void PutU32(std::string* out, uint32_t v) { PutFixed(out, v); }
+void PutU64(std::string* out, uint64_t v) { PutFixed(out, v); }
+void PutI32(std::string* out, int32_t v) { PutFixed(out, v); }
+void PutI64(std::string* out, int64_t v) { PutFixed(out, v); }
+void PutF64(std::string* out, double v) { PutFixed(out, v); }
+
+void PutLengthPrefixed(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool ByteReader::GetU16(uint16_t* v) {
+  if (remaining() < 2) return false;
+  *v = DecodeU16(data_ + pos_);
+  pos_ += 2;
+  return true;
+}
+
+bool ByteReader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  *v = DecodeU32(data_ + pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool ByteReader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  *v = DecodeU64(data_ + pos_);
+  pos_ += 8;
+  return true;
+}
+
+bool ByteReader::GetI32(int32_t* v) {
+  if (remaining() < 4) return false;
+  *v = DecodeI32(data_ + pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool ByteReader::GetI64(int64_t* v) {
+  if (remaining() < 8) return false;
+  *v = DecodeI64(data_ + pos_);
+  pos_ += 8;
+  return true;
+}
+
+bool ByteReader::GetF64(double* v) {
+  if (remaining() < 8) return false;
+  *v = DecodeF64(data_ + pos_);
+  pos_ += 8;
+  return true;
+}
+
+bool ByteReader::GetLengthPrefixed(std::string* s) {
+  uint32_t len;
+  if (!GetU32(&len)) return false;
+  return GetRaw(len, s);
+}
+
+bool ByteReader::GetRaw(size_t n, std::string* s) {
+  if (remaining() < n) return false;
+  s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::Skip(size_t n) {
+  if (remaining() < n) return false;
+  pos_ += n;
+  return true;
+}
+
+}  // namespace fieldrep

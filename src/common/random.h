@@ -1,0 +1,55 @@
+#ifndef FIELDREP_COMMON_RANDOM_H_
+#define FIELDREP_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fieldrep {
+
+/// \brief Deterministic xorshift128+ pseudo-random generator.
+///
+/// All randomized components of the library (workload generators, property
+/// tests, unclustered key shuffles) use this generator so that every run is
+/// reproducible from a seed. Not cryptographically secure.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextU64();
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  std::vector<uint32_t> Permutation(uint32_t n);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_COMMON_RANDOM_H_

@@ -1,0 +1,157 @@
+#ifndef FIELDREP_COMMON_STATUS_H_
+#define FIELDREP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fieldrep {
+
+/// \brief Error categories used throughout the library.
+///
+/// The library reports failures through Status / Result<T> return values
+/// rather than exceptions, so every fallible public entry point returns one
+/// of these codes together with a human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kCorruption,
+  kIOError,
+  kOutOfRange,
+  kNotSupported,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// \brief Returns a stable, human-readable name for a status code
+/// (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Value-type result of a fallible operation.
+///
+/// A Status is cheap to copy when OK (no allocation) and carries a message
+/// string otherwise. Typical use:
+///
+/// \code
+///   Status s = file.Read(oid, &buf);
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Analogous to absl::StatusOr / arrow::Result. Dereferencing a non-OK
+/// Result is a programming error and aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : state_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(state_);
+  }
+
+  T& value() & { return std::get<T>(state_); }
+  const T& value() const& { return std::get<T>(state_); }
+  T&& value() && { return std::get<T>(std::move(state_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out, or returns `fallback` if this holds an error.
+  T ValueOr(T fallback) && {
+    if (ok()) return std::get<T>(std::move(state_));
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace fieldrep
+
+/// Propagates a non-OK Status from the current function.
+#define FIELDREP_RETURN_IF_ERROR(expr)             \
+  do {                                             \
+    ::fieldrep::Status _frs = (expr);              \
+    if (!_frs.ok()) return _frs;                   \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating errors; on success binds
+/// the value to `lhs`.
+#define FIELDREP_ASSIGN_OR_RETURN(lhs, rexpr)      \
+  FIELDREP_ASSIGN_OR_RETURN_IMPL_(                 \
+      FIELDREP_CONCAT_(_frr, __LINE__), lhs, rexpr)
+
+#define FIELDREP_CONCAT_INNER_(a, b) a##b
+#define FIELDREP_CONCAT_(a, b) FIELDREP_CONCAT_INNER_(a, b)
+#define FIELDREP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+#endif  // FIELDREP_COMMON_STATUS_H_

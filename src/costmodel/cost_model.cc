@@ -1,0 +1,235 @@
+#include "costmodel/cost_model.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "costmodel/yao.h"
+
+namespace fieldrep {
+
+namespace {
+constexpr double kEps = 1e-9;
+double CeilSafe(double x) { return std::ceil(x - kEps); }
+}  // namespace
+
+std::string CostTerms::ToString() const {
+  return StringPrintf(
+      "CostTerms{index=%.2f read_r=%.2f read_s=%.2f read_s'=%.2f out=%.2f "
+      "upd_s=%.2f/%.2f read_l=%.2f upd_r=%.2f/%.2f upd_s'=%.2f/%.2f "
+      "total=%.2f}",
+      index, read_r, read_s, read_sprime, output, update_s_read,
+      update_s_write, read_l, update_r_read, update_r_write,
+      update_sprime_read, update_sprime_write, Total());
+}
+
+double CostModel::Term(double x) const {
+  if (x <= 0) return 0;
+  return p_.rounding == Rounding::kCeilPerTerm ? CeilSafe(x) : x;
+}
+
+bool CostModel::LinksInlined() const {
+  return p_.f <= static_cast<double>(p_.inline_link_threshold);
+}
+
+double CostModel::EffectiveR(ModelStrategy strategy) const {
+  switch (strategy) {
+    case ModelStrategy::kNoReplication:
+      return p_.r;
+    case ModelStrategy::kInPlace:
+      return p_.r +
+             (p_.inplace_head_bytes >= 0 ? p_.inplace_head_bytes : p_.k);
+    case ModelStrategy::kSeparate:
+      // Pointer to the shared replica.
+      return p_.r +
+             (p_.sep_head_bytes >= 0 ? p_.sep_head_bytes : p_.oid_size);
+  }
+  return p_.r;
+}
+
+double CostModel::EffectiveS(ModelStrategy strategy) const {
+  switch (strategy) {
+    case ModelStrategy::kNoReplication:
+      return p_.s;
+    case ModelStrategy::kInPlace:
+      // The (link-OID, link-ID) pair of Section 4.1.3 — or, when links are
+      // inlined (Section 4.3.1), the f member OIDs stored directly.
+      if (p_.inplace_terminal_bytes >= 0) {
+        return p_.s + p_.inplace_terminal_bytes;
+      }
+      return p_.s + p_.link_id_size +
+             (LinksInlined() ? p_.f * p_.oid_size : p_.oid_size);
+    case ModelStrategy::kSeparate:
+      // Replica pointer + reference count (Section 5.2).
+      if (p_.sep_terminal_bytes >= 0) return p_.s + p_.sep_terminal_bytes;
+      return p_.s + p_.oid_size + 4;
+  }
+  return p_.s;
+}
+
+double CostModel::SPrimeSize() const {
+  if (p_.sprime_bytes >= 0) return p_.sprime_bytes;
+  return p_.k + p_.type_tag_size;
+}
+
+double CostModel::LinkObjectSize() const {
+  // Figure 10: l = 1 + sizeof(type-tag) + f * sizeof(OID).
+  double fixed = p_.link_fixed_bytes >= 0
+                     ? p_.link_fixed_bytes
+                     : p_.link_id_size + p_.type_tag_size;
+  return fixed + p_.f * p_.oid_size;
+}
+
+double CostModel::ObjectsPerPage(double object_size) const {
+  return std::floor(p_.B / (p_.h + object_size));
+}
+
+double CostModel::Pr(ModelStrategy strategy) const {
+  return CeilSafe(p_.R() / ObjectsPerPage(EffectiveR(strategy)));
+}
+
+double CostModel::Ps(ModelStrategy strategy) const {
+  return CeilSafe(p_.S / ObjectsPerPage(EffectiveS(strategy)));
+}
+
+double CostModel::PsPrime() const {
+  return CeilSafe(p_.S / ObjectsPerPage(SPrimeSize()));
+}
+
+double CostModel::Pl() const {
+  return CeilSafe(p_.S / ObjectsPerPage(LinkObjectSize()));
+}
+
+double CostModel::Pt() const {
+  return CeilSafe(p_.fr * p_.R() / ObjectsPerPage(p_.t));
+}
+
+double CostModel::IndexCost(double n, double selected) const {
+  // Descend to the first leaf, then scan across leaves (Section 6.5.1).
+  double descend = CeilSafe(std::log(n) / std::log(p_.m));
+  if (descend < 1) descend = 1;
+  double leaves = CeilSafe(selected / p_.m - 1);
+  if (leaves < 0) leaves = 0;
+  return descend + leaves;
+}
+
+CostTerms CostModel::ReadTerms(ModelStrategy strategy,
+                               IndexSetting setting) const {
+  CostTerms terms;
+  const double R = p_.R();
+  const double selected = p_.fr * R;
+  terms.index = IndexCost(R, selected);
+  const double o_r = ObjectsPerPage(EffectiveR(strategy));
+  const double p_r = Pr(strategy);
+
+  if (setting == IndexSetting::kUnclustered) {
+    terms.read_r = Term(p_r * Yao(R, o_r, selected));
+  } else {
+    terms.read_r = Term(p_.fr * p_r);
+  }
+
+  switch (strategy) {
+    case ModelStrategy::kNoReplication: {
+      // Functional join with S: the page holding an S object is touched
+      // when any of the f R objects referencing objects on it is selected,
+      // so b = f * O_s (Section 6.5.1).
+      const double o_s = ObjectsPerPage(EffectiveS(strategy));
+      terms.read_s = Term(Ps(strategy) * Yao(R, p_.f * o_s, selected));
+      break;
+    }
+    case ModelStrategy::kInPlace:
+      break;  // no join at all
+    case ModelStrategy::kSeparate: {
+      const double o_sp = ObjectsPerPage(SPrimeSize());
+      terms.read_sprime = Term(PsPrime() * Yao(R, p_.f * o_sp, selected));
+      break;
+    }
+  }
+  terms.output = Pt();
+  return terms;
+}
+
+CostTerms CostModel::UpdateTerms(ModelStrategy strategy,
+                                 IndexSetting setting) const {
+  CostTerms terms;
+  const double selected = p_.fs * p_.S;
+  terms.index = IndexCost(p_.S, selected);
+
+  const double o_s = ObjectsPerPage(EffectiveS(strategy));
+  const double p_s = Ps(strategy);
+  double s_pages;
+  if (setting == IndexSetting::kUnclustered) {
+    s_pages = p_s * Yao(p_.S, o_s, selected);
+  } else {
+    s_pages = p_.fs * p_s;
+  }
+  terms.update_s_read = Term(s_pages);
+  terms.update_s_write = Term(s_pages);
+
+  switch (strategy) {
+    case ModelStrategy::kNoReplication:
+      break;
+    case ModelStrategy::kInPlace: {
+      if (!LinksInlined()) {
+        // Read the link objects of the updated S objects.
+        const double o_l = ObjectsPerPage(LinkObjectSize());
+        double l_pages;
+        if (setting == IndexSetting::kUnclustered) {
+          l_pages = Pl() * Yao(p_.S, o_l, selected);
+        } else {
+          l_pages = p_.fs * Pl();
+        }
+        terms.read_l = Term(l_pages);
+      }
+      // Propagate to the f * fs * |S| = fs * |R| referencing R objects.
+      // R is relatively unclustered with respect to S in both settings.
+      const double R = p_.R();
+      const double o_r = ObjectsPerPage(EffectiveR(strategy));
+      double r_pages = Pr(strategy) * Yao(R, o_r, p_.fs * R);
+      terms.update_r_read = Term(r_pages);
+      terms.update_r_write = Term(r_pages);
+      break;
+    }
+    case ModelStrategy::kSeparate: {
+      const double o_sp = ObjectsPerPage(SPrimeSize());
+      double sp_pages;
+      if (setting == IndexSetting::kUnclustered) {
+        sp_pages = PsPrime() * Yao(p_.S, o_sp, selected);
+      } else {
+        sp_pages = p_.fs * PsPrime();
+      }
+      terms.update_sprime_read = Term(sp_pages);
+      terms.update_sprime_write = Term(sp_pages);
+      break;
+    }
+  }
+  return terms;
+}
+
+double CostModel::ReadCost(ModelStrategy strategy,
+                           IndexSetting setting) const {
+  double total = ReadTerms(strategy, setting).Total();
+  return p_.rounding == Rounding::kNone ? total : CeilSafe(total);
+}
+
+double CostModel::UpdateCost(ModelStrategy strategy,
+                             IndexSetting setting) const {
+  double total = UpdateTerms(strategy, setting).Total();
+  return p_.rounding == Rounding::kNone ? total : CeilSafe(total);
+}
+
+double CostModel::TotalCost(ModelStrategy strategy, IndexSetting setting,
+                            double p_update) const {
+  return (1.0 - p_update) * ReadCost(strategy, setting) +
+         p_update * UpdateCost(strategy, setting);
+}
+
+double CostModel::PercentDifference(ModelStrategy strategy,
+                                    IndexSetting setting,
+                                    double p_update) const {
+  double baseline =
+      TotalCost(ModelStrategy::kNoReplication, setting, p_update);
+  double cost = TotalCost(strategy, setting, p_update);
+  return 100.0 * (cost - baseline) / baseline;
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,36 @@
+#include "costmodel/params.h"
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+const char* ModelStrategyName(ModelStrategy s) {
+  switch (s) {
+    case ModelStrategy::kNoReplication:
+      return "no replication";
+    case ModelStrategy::kInPlace:
+      return "in-place replication";
+    case ModelStrategy::kSeparate:
+      return "separate replication";
+  }
+  return "?";
+}
+
+const char* IndexSettingName(IndexSetting s) {
+  switch (s) {
+    case IndexSetting::kUnclustered:
+      return "unclustered";
+    case IndexSetting::kClustered:
+      return "clustered";
+  }
+  return "?";
+}
+
+std::string CostModelParams::ToString() const {
+  return StringPrintf(
+      "CostModelParams{B=%.0f h=%.0f m=%.0f |S|=%.0f f=%.0f fr=%.4f fs=%.4f "
+      "k=%.0f r=%.0f s=%.0f t=%.0f}",
+      B, h, m, S, f, fr, fs, k, r, s, t);
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,74 @@
+#ifndef FIELDREP_COSTMODEL_PARAMS_H_
+#define FIELDREP_COSTMODEL_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fieldrep {
+
+/// Replication strategies compared by the model (Section 6).
+enum class ModelStrategy { kNoReplication, kInPlace, kSeparate };
+
+const char* ModelStrategyName(ModelStrategy s);
+
+/// Index settings analyzed (Sections 6.4–6.8): both clause indexes
+/// unclustered, or both clustered.
+enum class IndexSetting { kUnclustered, kClustered };
+
+const char* IndexSettingName(IndexSetting s);
+
+/// How per-file cost terms are rounded (see DESIGN.md's calibration notes):
+/// kCeilPerTerm matches 21 of the paper's 24 table cells exactly.
+enum class Rounding {
+  kCeilPerTerm,  ///< each per-file read/write term rounded up to whole I/Os
+  kCeilTotal,    ///< only the final sum rounded up
+  kNone,         ///< continuous (smooth curves)
+};
+
+/// \brief The cost model parameters of Figure 10, with the paper's
+/// defaults. "Core" parameters are stored; derived quantities (object
+/// sizes per strategy, objects per page, pages per file) are computed by
+/// CostModel.
+struct CostModelParams {
+  double B = 4056;          ///< bytes per page available for user data
+  double h = 20;            ///< storage overhead per object
+  double m = 350;           ///< B+ tree fanout
+  double S = 10000;         ///< |S|
+  double f = 1;             ///< sharing level: each S object referenced by f R objects
+  double fr = 0.001;        ///< read-query selectivity on R
+  double fs = 0.001;        ///< update-query selectivity on S
+  double oid_size = 8;      ///< sizeof(OID)
+  double link_id_size = 1;  ///< sizeof(link-ID)
+  double type_tag_size = 2; ///< sizeof(type-tag)
+  double k = 20;            ///< size of the replicated field
+  double r = 100;           ///< size of R objects (before strategy adjustments)
+  double s = 200;           ///< size of S objects (before strategy adjustments)
+  double t = 100;           ///< size of output (T) objects
+
+  /// Rounding of per-file cost terms (calibrated against Figures 12/14).
+  Rounding rounding = Rounding::kCeilPerTerm;
+  /// Section 4.3.1: link objects with at most this many OIDs are inlined
+  /// into their owners, dropping the link file from in-place update costs
+  /// when f <= threshold. 0 disables.
+  uint32_t inline_link_threshold = 1;
+
+  /// Per-strategy storage overheads. Negative values (the default) select
+  /// the paper's formulas; the empirical benchmarks override them with the
+  /// engine's actual serialized sizes so model and measurement describe the
+  /// same bytes.
+  double inplace_head_bytes = -1;      ///< default: k
+  double inplace_terminal_bytes = -1;  ///< default: link-ID + (inlined ? f : 1) OIDs
+  double sep_head_bytes = -1;          ///< default: OID
+  double sep_terminal_bytes = -1;      ///< default: OID + 4 (refcount)
+  double link_fixed_bytes = -1;        ///< default: link-ID + type-tag
+  double sprime_bytes = -1;            ///< default: k + type-tag
+
+  /// |R| = f * |S|.
+  double R() const { return f * S; }
+
+  std::string ToString() const;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_COSTMODEL_PARAMS_H_

@@ -1,0 +1,125 @@
+#include "costmodel/series.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+std::vector<FigureSeries> GeneratePanel(const CostModelParams& base,
+                                        IndexSetting setting, double f,
+                                        int steps) {
+  const double read_selectivities[] = {0.001, 0.002, 0.005};
+  std::vector<FigureSeries> panel;
+  for (ModelStrategy strategy :
+       {ModelStrategy::kInPlace, ModelStrategy::kSeparate}) {
+    for (double fr : read_selectivities) {
+      CostModelParams params = base;
+      params.f = f;
+      params.fr = fr;
+      CostModel model(params);
+      FigureSeries series;
+      series.strategy = strategy;
+      series.setting = setting;
+      series.f = f;
+      series.fr = fr;
+      for (int i = 0; i <= steps; ++i) {
+        double p = static_cast<double>(i) / steps;
+        series.p_update.push_back(p);
+        series.percent_diff.push_back(
+            model.PercentDifference(strategy, setting, p));
+      }
+      panel.push_back(std::move(series));
+    }
+  }
+  return panel;
+}
+
+std::vector<SelectedCostsRow> GenerateSelectedCosts(
+    const CostModelParams& base, IndexSetting setting, double f, double fr) {
+  CostModelParams params = base;
+  params.f = f;
+  params.fr = fr;
+  CostModel model(params);
+  std::vector<SelectedCostsRow> rows;
+  for (ModelStrategy strategy :
+       {ModelStrategy::kNoReplication, ModelStrategy::kInPlace,
+        ModelStrategy::kSeparate}) {
+    SelectedCostsRow row;
+    row.strategy = strategy;
+    row.c_read = model.ReadCost(strategy, setting);
+    row.c_update = model.UpdateCost(strategy, setting);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string RenderPanel(const std::vector<FigureSeries>& panel,
+                        const std::string& title) {
+  std::string out = title + "\n";
+  if (panel.empty()) return out;
+  out += "  P_upd";
+  for (const FigureSeries& series : panel) {
+    out += StringPrintf(
+        "  %s fr=%.3f",
+        series.strategy == ModelStrategy::kInPlace ? "inplace " : "separate",
+        series.fr);
+  }
+  out += "\n";
+  size_t points = panel[0].p_update.size();
+  for (size_t i = 0; i < points; ++i) {
+    out += StringPrintf("  %5.2f", panel[0].p_update[i]);
+    for (const FigureSeries& series : panel) {
+      out += StringPrintf("  %+15.1f%%", series.percent_diff[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderPanelCsv(const std::vector<FigureSeries>& panel) {
+  std::string out = "p_update";
+  for (const FigureSeries& series : panel) {
+    out += StringPrintf(",%s_fr%.3f",
+                        series.strategy == ModelStrategy::kInPlace
+                            ? "inplace"
+                            : "separate",
+                        series.fr);
+  }
+  out += "\n";
+  if (panel.empty()) return out;
+  for (size_t i = 0; i < panel[0].p_update.size(); ++i) {
+    out += StringPrintf("%.3f", panel[0].p_update[i]);
+    for (const FigureSeries& series : panel) {
+      out += StringPrintf(",%.4f", series.percent_diff[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+double CrossoverUpdateProbability(const CostModel& model, ModelStrategy a,
+                                  ModelStrategy b, IndexSetting setting) {
+  auto diff = [&](double p) {
+    return model.TotalCost(a, setting, p) - model.TotalCost(b, setting, p);
+  };
+  double lo = 0.0, hi = 1.0;
+  double d_lo = diff(lo), d_hi = diff(hi);
+  if (d_lo == 0) return 0;
+  if (d_hi == 0) return 1;
+  if ((d_lo < 0) == (d_hi < 0)) return -1;  // no crossover
+  for (int iter = 0; iter < 60; ++iter) {
+    double mid = (lo + hi) / 2;
+    double d_mid = diff(mid);
+    if (d_mid == 0) return mid;
+    if ((d_mid < 0) == (d_lo < 0)) {
+      lo = mid;
+      d_lo = d_mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2;
+}
+
+}  // namespace fieldrep

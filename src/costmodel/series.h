@@ -1,0 +1,59 @@
+#ifndef FIELDREP_COSTMODEL_SERIES_H_
+#define FIELDREP_COSTMODEL_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "costmodel/cost_model.h"
+
+namespace fieldrep {
+
+/// \brief One plotted line of Figure 11 or 13: percentage difference in
+/// C_total versus update probability for one (strategy, f, fr).
+struct FigureSeries {
+  ModelStrategy strategy = ModelStrategy::kInPlace;
+  IndexSetting setting = IndexSetting::kUnclustered;
+  double f = 1;
+  double fr = 0.001;
+  std::vector<double> p_update;
+  std::vector<double> percent_diff;
+};
+
+/// Generates every line of one panel (fixed f) of Figure 11/13: both
+/// strategies crossed with the paper's read selectivities
+/// fr in {.001, .002, .005}, sweeping P_update over [0, 1] in `steps`
+/// increments.
+std::vector<FigureSeries> GeneratePanel(const CostModelParams& base,
+                                        IndexSetting setting, double f,
+                                        int steps = 20);
+
+/// \brief One row of Figure 12 / Figure 14: selected C_read and C_update.
+struct SelectedCostsRow {
+  ModelStrategy strategy = ModelStrategy::kNoReplication;
+  double c_read = 0;
+  double c_update = 0;
+};
+
+/// The three rows of one column-group of Figure 12/14 (fixed f, fr).
+std::vector<SelectedCostsRow> GenerateSelectedCosts(
+    const CostModelParams& base, IndexSetting setting, double f, double fr);
+
+/// Renders a panel as an aligned text table (one column per line of the
+/// figure), matching what the benches print.
+std::string RenderPanel(const std::vector<FigureSeries>& panel,
+                        const std::string& title);
+
+/// Renders a panel as CSV (columns: p_update, then one column per series,
+/// headed `strategy_fr`), for plotting the figures externally.
+std::string RenderPanelCsv(const std::vector<FigureSeries>& panel);
+
+/// The update probability at which `a` and `b` have equal C_total, found
+/// by bisection over [0, 1]; returns -1 when one strategy dominates
+/// throughout. Used to report the paper's crossover observations
+/// (in-place wins below ~0.15, separate above ~0.35).
+double CrossoverUpdateProbability(const CostModel& model, ModelStrategy a,
+                                  ModelStrategy b, IndexSetting setting);
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_COSTMODEL_SERIES_H_

@@ -1,0 +1,27 @@
+#include "costmodel/yao.h"
+
+#include <cmath>
+
+namespace fieldrep {
+
+double Yao(double a, double b, double c) {
+  if (c <= 0.0 || b <= 0.0 || a <= 0.0) return 0.0;
+  if (b >= a) return 1.0;
+  if (c > a - b) return 1.0;
+  // C(a-b, c) / C(a, c) = Gamma(a-b+1) Gamma(a-c+1) /
+  //                       (Gamma(a-b-c+1) Gamma(a+1))
+  double log_ratio = std::lgamma(a - b + 1.0) - std::lgamma(a - b - c + 1.0) -
+                     std::lgamma(a + 1.0) + std::lgamma(a - c + 1.0);
+  double prob_untouched = std::exp(log_ratio);
+  if (prob_untouched > 1.0) prob_untouched = 1.0;
+  if (prob_untouched < 0.0) prob_untouched = 0.0;
+  return 1.0 - prob_untouched;
+}
+
+double YaoApprox(double a, double b, double c) {
+  if (c <= 0.0 || b <= 0.0 || a <= 0.0) return 0.0;
+  if (b >= a) return 1.0;
+  return 1.0 - std::pow(1.0 - b / a, c);
+}
+
+}  // namespace fieldrep

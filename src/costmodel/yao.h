@@ -1,0 +1,27 @@
+#ifndef FIELDREP_COSTMODEL_YAO_H_
+#define FIELDREP_COSTMODEL_YAO_H_
+
+#include <cstdint>
+
+namespace fieldrep {
+
+/// \brief Yao's block-access function [Yao77], the workhorse of the paper's
+/// cost model (Section 6.5):
+///
+///   y(a, b, c) = 1 - C(a-b, c) / C(a, c)
+///
+/// the probability that a page holding b of a file's a objects is touched
+/// when a random subset of c objects is accessed. Computed exactly via
+/// log-gamma, which is stable for the paper's magnitudes (a up to 500 000).
+///
+/// Edge cases: c == 0 or b == 0 yields 0; c > a - b (every subset must hit
+/// the page) yields 1; b >= a yields 1 for any c > 0.
+double Yao(double a, double b, double c);
+
+/// The exponential approximation 1 - (1 - b/a)^c, exposed for tests and
+/// for documenting how close the exact form is at paper scale.
+double YaoApprox(double a, double b, double c);
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_COSTMODEL_YAO_H_

@@ -1,0 +1,368 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+
+namespace fieldrep {
+
+namespace {
+// Header page (page 0) layout: 8-byte magic, u64 blob size, u32 blob page
+// count, then that many u32 page ids.
+constexpr char kHeaderMagic[8] = {'F', 'R', 'E', 'P', '0', '0', '0', '1'};
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
+  std::unique_ptr<Database> db(new Database());
+  bool restore = false;
+  if (options.file_path.empty()) {
+    db->device_ = std::make_unique<MemoryDevice>();
+  } else {
+    auto file_device = std::make_unique<FileDevice>();
+    FIELDREP_RETURN_IF_ERROR(file_device->Open(options.file_path));
+    restore = file_device->page_count() > 0;
+    db->device_ = std::move(file_device);
+  }
+  size_t frames = options.buffer_pool_frames == 0 ? 1
+                                                  : options.buffer_pool_frames;
+  db->pool_ = std::make_unique<BufferPool>(db->device_.get(), frames);
+  db->indexes_ =
+      std::make_unique<IndexManager>(db->pool_.get(), &db->catalog_, db.get());
+  db->replication_ = std::make_unique<ReplicationManager>(
+      &db->catalog_, db.get(), db->indexes_.get());
+  db->executor_ = std::make_unique<Executor>(&db->catalog_, db.get(),
+                                             db->indexes_.get(),
+                                             db->replication_.get());
+  if (restore) {
+    FIELDREP_RETURN_IF_ERROR(db->RestoreFromDevice());
+  } else {
+    // Reserve page 0 as the checkpoint header.
+    PageGuard guard;
+    FIELDREP_RETURN_IF_ERROR(db->pool_->NewPage(&guard));
+    if (guard.page_id() != 0) {
+      return Status::Internal("header page is not page 0");
+    }
+    guard.MarkDirty();
+  }
+  return db;
+}
+
+std::string Database::EncodeState() const {
+  std::string out;
+  PutU16(&out, static_cast<uint16_t>(sets_.size()));
+  for (const auto& [name, set] : sets_) {
+    PutLengthPrefixed(&out, name);
+    PutLengthPrefixed(&out, set->file().EncodeMetadata());
+  }
+  PutU16(&out, static_cast<uint16_t>(aux_files_.size()));
+  for (const auto& [file_id, file] : aux_files_) {
+    PutU16(&out, file_id);
+    PutLengthPrefixed(&out, file->EncodeMetadata());
+  }
+  // Index trees: enumerate via the catalog.
+  std::string tree_section;
+  uint16_t tree_count = 0;
+  for (const std::string& set_name : catalog_.SetNames()) {
+    for (const IndexInfo* info : catalog_.IndexesOnSet(set_name)) {
+      auto tree = indexes_->GetIndex(info->name);
+      if (!tree.ok()) continue;
+      PutLengthPrefixed(&tree_section, info->name);
+      PutLengthPrefixed(&tree_section, tree.value()->EncodeMetadata());
+      ++tree_count;
+    }
+  }
+  PutU16(&out, tree_count);
+  out += tree_section;
+  PutU16(&out, executor_->output_file_id());
+  return out;
+}
+
+Status Database::DecodeState(ByteReader* reader) {
+  uint16_t set_count;
+  if (!reader->GetU16(&set_count)) {
+    return Status::Corruption("truncated state: sets");
+  }
+  for (uint16_t i = 0; i < set_count; ++i) {
+    std::string name, metadata;
+    if (!reader->GetLengthPrefixed(&name) ||
+        !reader->GetLengthPrefixed(&metadata)) {
+      return Status::Corruption("truncated set state");
+    }
+    FIELDREP_ASSIGN_OR_RETURN(const SetInfo* info, catalog_.GetSet(name));
+    FIELDREP_ASSIGN_OR_RETURN(const TypeDescriptor* type,
+                              catalog_.GetType(info->type_name));
+    auto set =
+        std::make_unique<ObjectSet>(pool_.get(), info->file_id, name, type);
+    FIELDREP_RETURN_IF_ERROR(set->file().DecodeMetadata(metadata));
+    sets_by_file_[info->file_id] = set.get();
+    sets_.emplace(name, std::move(set));
+  }
+  uint16_t aux_count;
+  if (!reader->GetU16(&aux_count)) {
+    return Status::Corruption("truncated state: aux files");
+  }
+  for (uint16_t i = 0; i < aux_count; ++i) {
+    uint16_t file_id;
+    std::string metadata;
+    if (!reader->GetU16(&file_id) ||
+        !reader->GetLengthPrefixed(&metadata)) {
+      return Status::Corruption("truncated aux file state");
+    }
+    auto file = std::make_unique<RecordFile>(pool_.get(), file_id);
+    FIELDREP_RETURN_IF_ERROR(file->DecodeMetadata(metadata));
+    aux_files_.emplace(file_id, std::move(file));
+  }
+  uint16_t tree_count;
+  if (!reader->GetU16(&tree_count)) {
+    return Status::Corruption("truncated state: trees");
+  }
+  for (uint16_t i = 0; i < tree_count; ++i) {
+    std::string name, metadata;
+    if (!reader->GetLengthPrefixed(&name) ||
+        !reader->GetLengthPrefixed(&metadata)) {
+      return Status::Corruption("truncated tree state");
+    }
+    FIELDREP_RETURN_IF_ERROR(indexes_->RestoreIndex(name, metadata));
+  }
+  uint16_t output_id;
+  if (!reader->GetU16(&output_id)) {
+    return Status::Corruption("truncated state: output file");
+  }
+  executor_->restore_output_file_id(output_id);
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  FIELDREP_RETURN_IF_ERROR(replication_->FlushAllPendingPropagation());
+  std::string blob;
+  catalog_.EncodeTo(&blob);
+  blob += EncodeState();
+
+  // Lay the blob across whole pages, reusing prior checkpoint pages.
+  size_t pages_needed = (blob.size() + kPageSize - 1) / kPageSize;
+  while (meta_pages_.size() < pages_needed) {
+    PageGuard guard;
+    FIELDREP_RETURN_IF_ERROR(pool_->NewPage(&guard));
+    guard.MarkDirty();
+    meta_pages_.push_back(guard.page_id());
+  }
+  for (size_t i = 0; i < pages_needed; ++i) {
+    PageGuard guard;
+    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(meta_pages_[i], &guard));
+    size_t offset = i * kPageSize;
+    size_t n = std::min<size_t>(kPageSize, blob.size() - offset);
+    std::memcpy(guard.data(), blob.data() + offset, n);
+    if (n < kPageSize) std::memset(guard.data() + n, 0, kPageSize - n);
+    guard.MarkDirty();
+  }
+  // Header page.
+  if ((meta_pages_.size() + 3) * 4 + 20 > kPageSize) {
+    return Status::OutOfRange("checkpoint blob too large for header page");
+  }
+  PageGuard header;
+  FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(0, &header));
+  std::string head;
+  head.append(kHeaderMagic, sizeof(kHeaderMagic));
+  PutU64(&head, blob.size());
+  PutU32(&head, static_cast<uint32_t>(pages_needed));
+  for (size_t i = 0; i < pages_needed; ++i) PutU32(&head, meta_pages_[i]);
+  std::memcpy(header.data(), head.data(), head.size());
+  header.MarkDirty();
+  header.Release();
+  return pool_->FlushAll();
+}
+
+std::string Database::StorageReport() {
+  std::string out = "storage report\n";
+  out += StringPrintf("  device pages: %u (%.1f KiB)\n",
+                      device_->page_count(),
+                      device_->page_count() * kPageSize / 1024.0);
+  out += StringPrintf("  buffer pool: %zu frames, %zu cached, %s\n",
+                      pool_->capacity(), pool_->pages_cached(),
+                      pool_->stats().ToString().c_str());
+  for (const auto& [name, set] : sets_) {
+    out += StringPrintf("  set %-12s file %-3u %8llu objects %6u pages\n",
+                        name.c_str(), set->file().file_id(),
+                        static_cast<unsigned long long>(
+                            set->file().record_count()),
+                        set->file().page_count());
+  }
+  for (const auto& [file_id, file] : aux_files_) {
+    // Identify the role of each auxiliary file from the catalog.
+    std::string role = "aux";
+    for (uint8_t link_id : catalog_.link_registry().AllLinkIds()) {
+      const LinkInfo* link = catalog_.link_registry().GetLink(link_id);
+      if (link != nullptr && link->link_set_file == file_id) {
+        role = "link set " + link->key;
+        break;
+      }
+    }
+    for (uint16_t path_id : catalog_.AllPathIds()) {
+      const ReplicationPathInfo* path = catalog_.GetPath(path_id);
+      if (path != nullptr && path->replica_set_file == file_id) {
+        role = "replica set (S') for " + path->spec;
+        break;
+      }
+    }
+    if (file_id == executor_->output_file_id()) role = "output file (T)";
+    out += StringPrintf("  %-16s file %-3u %8llu records %6u pages  [%s]\n",
+                        "aux", file_id,
+                        static_cast<unsigned long long>(file->record_count()),
+                        file->page_count(), role.c_str());
+  }
+  for (const std::string& set_name : catalog_.SetNames()) {
+    for (const IndexInfo* info : catalog_.IndexesOnSet(set_name)) {
+      auto tree = indexes_->GetIndex(info->name);
+      if (!tree.ok()) continue;
+      auto pages = tree.value()->PageCount();
+      out += StringPrintf(
+          "  index %-12s on %s.%s: %llu entries, %u pages\n",
+          info->name.c_str(), info->set_name.c_str(), info->key_expr.c_str(),
+          static_cast<unsigned long long>(tree.value()->size()),
+          pages.ok() ? *pages : 0);
+    }
+  }
+  return out;
+}
+
+Status Database::RestoreFromDevice() {
+  PageGuard header;
+  FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(0, &header));
+  if (std::memcmp(header.data(), kHeaderMagic, sizeof(kHeaderMagic)) != 0) {
+    return Status::Corruption(
+        "backing file has no fieldrep checkpoint header (was Checkpoint() "
+        "called before closing?)");
+  }
+  uint64_t blob_size = DecodeU64(header.data() + 8);
+  uint32_t page_count = DecodeU32(header.data() + 16);
+  meta_pages_.clear();
+  for (uint32_t i = 0; i < page_count; ++i) {
+    meta_pages_.push_back(DecodeU32(header.data() + 20 + i * 4));
+  }
+  header.Release();
+  std::string blob;
+  blob.reserve(blob_size);
+  for (uint32_t i = 0; i < page_count; ++i) {
+    PageGuard guard;
+    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(meta_pages_[i], &guard));
+    size_t n = std::min<uint64_t>(kPageSize, blob_size - blob.size());
+    blob.append(reinterpret_cast<const char*>(guard.data()), n);
+  }
+  ByteReader reader(blob);
+  FIELDREP_RETURN_IF_ERROR(catalog_.DecodeFrom(&reader));
+  return DecodeState(&reader);
+}
+
+Status Database::DefineType(TypeDescriptor type) {
+  return catalog_.DefineType(std::move(type));
+}
+
+Status Database::CreateSet(const std::string& name,
+                           const std::string& type_name) {
+  FileId file_id;
+  FIELDREP_RETURN_IF_ERROR(catalog_.CreateSet(name, type_name, &file_id));
+  FIELDREP_ASSIGN_OR_RETURN(const TypeDescriptor* type,
+                            catalog_.GetType(type_name));
+  auto set = std::make_unique<ObjectSet>(pool_.get(), file_id, name, type);
+  sets_by_file_[file_id] = set.get();
+  sets_.emplace(name, std::move(set));
+  return Status::OK();
+}
+
+Status Database::Replicate(const std::string& spec,
+                           const ReplicateOptions& options,
+                           uint16_t* path_id) {
+  uint16_t id;
+  FIELDREP_RETURN_IF_ERROR(replication_->CreatePath(spec, options, &id));
+  if (path_id != nullptr) *path_id = id;
+  return Status::OK();
+}
+
+Status Database::DropReplication(const std::string& spec) {
+  const ReplicationPathInfo* path = catalog_.FindPathBySpec(spec);
+  if (path == nullptr) {
+    return Status::NotFound("no replication path " + spec);
+  }
+  return replication_->DropPath(path->id);
+}
+
+Status Database::BuildIndex(const std::string& index_name,
+                            const std::string& set_name,
+                            const std::string& key_expr, bool clustered) {
+  return indexes_->BuildIndex(index_name, set_name, key_expr, clustered);
+}
+
+Status Database::Insert(const std::string& set_name, const Object& object,
+                        Oid* oid) {
+  return replication_->InsertObject(set_name, object, oid);
+}
+
+Status Database::Get(const std::string& set_name, const Oid& oid,
+                     Object* object) {
+  FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, GetSet(set_name));
+  return set->Read(oid, object);
+}
+
+Status Database::Update(const std::string& set_name, const Oid& oid,
+                        const std::string& attr_name, const Value& value) {
+  FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, GetSet(set_name));
+  int attr = set->type().FindAttribute(attr_name);
+  if (attr < 0) {
+    return Status::InvalidArgument("type " + set->type().name() +
+                                   " has no attribute " + attr_name);
+  }
+  return replication_->UpdateField(set_name, oid, attr, value);
+}
+
+Status Database::Delete(const std::string& set_name, const Oid& oid) {
+  return replication_->DeleteObject(set_name, oid);
+}
+
+Status Database::Retrieve(const ReadQuery& query, ReadResult* result) {
+  return executor_->ExecuteRead(query, result);
+}
+
+Status Database::Replace(const UpdateQuery& query, UpdateResult* result) {
+  return executor_->ExecuteUpdate(query, result);
+}
+
+Status Database::ColdStart() {
+  FIELDREP_RETURN_IF_ERROR(pool_->EvictAll());
+  pool_->ResetStats();
+  return Status::OK();
+}
+
+Result<ObjectSet*> Database::GetSet(const std::string& name) {
+  auto it = sets_.find(name);
+  if (it == sets_.end()) return Status::NotFound("no set named " + name);
+  return it->second.get();
+}
+
+Result<ObjectSet*> Database::GetSetByFile(FileId file_id) {
+  auto it = sets_by_file_.find(file_id);
+  if (it == sets_by_file_.end()) {
+    return Status::NotFound(StringPrintf("no set stored in file %u", file_id));
+  }
+  return it->second;
+}
+
+Result<RecordFile*> Database::GetAuxFile(FileId file_id) {
+  auto it = aux_files_.find(file_id);
+  if (it == aux_files_.end()) {
+    return Status::NotFound(
+        StringPrintf("no auxiliary file with id %u", file_id));
+  }
+  return it->second.get();
+}
+
+Result<RecordFile*> Database::CreateAuxFile(FileId* file_id) {
+  *file_id = catalog_.AllocateFileId();
+  auto file = std::make_unique<RecordFile>(pool_.get(), *file_id);
+  RecordFile* raw = file.get();
+  aux_files_.emplace(*file_id, std::move(file));
+  return raw;
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,155 @@
+#ifndef FIELDREP_DB_DATABASE_H_
+#define FIELDREP_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "index/index_manager.h"
+#include "objects/set_provider.h"
+#include "query/executor.h"
+#include "replication/replication_manager.h"
+#include "storage/buffer_pool.h"
+#include "storage/file_device.h"
+#include "storage/memory_device.h"
+
+namespace fieldrep {
+
+/// \brief The public facade of the library: one object-oriented database
+/// with field replication.
+///
+/// A Database owns the storage device, buffer pool, catalog, object sets,
+/// auxiliary files (link sets, replica sets, output files), indexes,
+/// replication machinery, and query executor, and wires them together.
+///
+/// Typical use (the paper's employee database):
+/// \code
+///   auto db = Database::Open({});
+///   db->DefineType(...ORG...); db->DefineType(...DEPT...);
+///   db->DefineType(...EMP...);
+///   db->CreateSet("Org", "ORG"); db->CreateSet("Dept", "DEPT");
+///   db->CreateSet("Emp1", "EMP");
+///   ... insert objects ...
+///   db->Replicate("Emp1.dept.name", {});
+///   ReadQuery q{.set_name = "Emp1",
+///               .projections = {"name", "salary", "dept.name"},
+///               .predicate = Predicate::Compare("salary", CompareOp::kGt,
+///                                               Value(int32_t{100000}))};
+///   ReadResult r;
+///   db->Retrieve(q, &r);   // no functional join: dept.name is replicated
+/// \endcode
+class Database : public SetProvider {
+ public:
+  struct Options {
+    /// Buffer pool capacity in 4 KiB frames.
+    size_t buffer_pool_frames = 4096;
+    /// Path of the backing file; empty selects the in-memory device.
+    std::string file_path;
+  };
+
+  /// Opens a database. Never returns null on OK status.
+  static Result<std::unique_ptr<Database>> Open(const Options& options);
+
+  ~Database() override = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- Schema ---------------------------------------------------------------
+
+  /// `define type NAME (...)`.
+  Status DefineType(TypeDescriptor type);
+  /// `create Name: {own ref TYPE}`.
+  Status CreateSet(const std::string& name, const std::string& type_name);
+  /// `replicate Spec` with strategy options; returns the path id.
+  Status Replicate(const std::string& spec, const ReplicateOptions& options,
+                   uint16_t* path_id = nullptr);
+  /// Drops a replication path by its original spec.
+  Status DropReplication(const std::string& spec);
+  /// `build btree NAME on Set.key` (plain attribute or replicated path).
+  Status BuildIndex(const std::string& index_name, const std::string& set_name,
+                    const std::string& key_expr, bool clustered = false);
+
+  // --- Data -----------------------------------------------------------------
+
+  Status Insert(const std::string& set_name, const Object& object, Oid* oid);
+  Status Get(const std::string& set_name, const Oid& oid, Object* object);
+  /// Updates one attribute by name (replication-consistent).
+  Status Update(const std::string& set_name, const Oid& oid,
+                const std::string& attr_name, const Value& value);
+  Status Delete(const std::string& set_name, const Oid& oid);
+
+  // --- Queries ----------------------------------------------------------------
+
+  Status Retrieve(const ReadQuery& query, ReadResult* result);
+  Status Replace(const UpdateQuery& query, UpdateResult* result);
+
+  // --- Measurement -------------------------------------------------------------
+
+  /// Flushes all dirty pages and empties the buffer pool, then zeroes the
+  /// I/O counters: the state the cost model assumes at the start of a
+  /// query. Benchmarks call this before each measured query.
+  Status ColdStart();
+  const IoStats& io_stats() const { return pool_->stats(); }
+
+  // --- Persistence -------------------------------------------------------------
+
+  /// Writes the catalog, file metadata, and index roots to the database
+  /// header pages and flushes everything, so that Open() on the same
+  /// backing file restores the full database (file-backed devices).
+  /// Pending deferred propagations are flushed first. There is no
+  /// write-ahead log: Checkpoint is the durability point.
+  Status Checkpoint();
+
+  /// Human-readable storage report: per-set and per-auxiliary-file record
+  /// and page counts, index sizes, device pages, and buffer-pool state —
+  /// the space-overhead picture Section 4.2 discusses.
+  std::string StorageReport();
+
+  // --- Component access --------------------------------------------------------
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  BufferPool& pool() { return *pool_; }
+  IndexManager& indexes() { return *indexes_; }
+  ReplicationManager& replication() { return *replication_; }
+  Executor& executor() { return *executor_; }
+
+  // --- SetProvider ---------------------------------------------------------------
+
+  Result<ObjectSet*> GetSet(const std::string& name) override;
+  Result<ObjectSet*> GetSetByFile(FileId file_id) override;
+  Result<RecordFile*> GetAuxFile(FileId file_id) override;
+  Result<RecordFile*> CreateAuxFile(FileId* file_id) override;
+
+ private:
+  Database() = default;
+
+  /// Serializes everything Checkpoint persists beyond the catalog: file
+  /// metadata for sets and auxiliary files, index tree roots, the output
+  /// file id.
+  std::string EncodeState() const;
+  /// Rebuilds sets, auxiliary files, and index trees from a checkpoint
+  /// blob (after the catalog itself was decoded).
+  Status DecodeState(class ByteReader* reader);
+  /// Loads the checkpoint blob from the header page chain, if any.
+  Status RestoreFromDevice();
+
+  std::unique_ptr<StorageDevice> device_;
+  std::unique_ptr<BufferPool> pool_;
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<ObjectSet>> sets_;
+  std::map<FileId, ObjectSet*> sets_by_file_;
+  std::map<FileId, std::unique_ptr<RecordFile>> aux_files_;
+  std::unique_ptr<IndexManager> indexes_;
+  std::unique_ptr<ReplicationManager> replication_;
+  std::unique_ptr<Executor> executor_;
+  /// Pages holding the most recent checkpoint blob (page 0 is the header).
+  std::vector<PageId> meta_pages_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_DB_DATABASE_H_

@@ -1,0 +1,43 @@
+#include "extra/ast.h"
+
+#include "common/strings.h"
+
+namespace fieldrep::extra {
+
+std::string Operand::ToString() const {
+  switch (kind) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kInteger:
+      return StringPrintf("%lld", static_cast<long long>(int_value));
+    case Kind::kFloat:
+      return StringPrintf("%g", float_value);
+    case Kind::kString:
+      return "\"" + text + "\"";
+    case Kind::kVariable:
+      return "$" + text;
+  }
+  return "?";
+}
+
+const char* StatementName(const Statement& statement) {
+  struct Visitor {
+    const char* operator()(const DefineTypeStmt&) { return "define type"; }
+    const char* operator()(const CreateSetStmt&) { return "create"; }
+    const char* operator()(const ReplicateStmt&) { return "replicate"; }
+    const char* operator()(const DropReplicateStmt&) {
+      return "drop replicate";
+    }
+    const char* operator()(const BuildIndexStmt&) { return "build btree"; }
+    const char* operator()(const InsertStmt&) { return "insert"; }
+    const char* operator()(const RetrieveStmt&) { return "retrieve"; }
+    const char* operator()(const ReplaceStmt&) { return "replace"; }
+    const char* operator()(const DeleteStmt&) { return "delete"; }
+    const char* operator()(const ShowCatalogStmt&) { return "show catalog"; }
+    const char* operator()(const VerifyStmt&) { return "verify"; }
+    const char* operator()(const CheckpointStmt&) { return "checkpoint"; }
+  };
+  return std::visit(Visitor{}, statement);
+}
+
+}  // namespace fieldrep::extra

@@ -1,0 +1,116 @@
+#ifndef FIELDREP_EXTRA_AST_H_
+#define FIELDREP_EXTRA_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "catalog/type.h"
+#include "query/predicate.h"
+#include "replication/replication_manager.h"
+
+namespace fieldrep::extra {
+
+/// A literal or $variable in a statement.
+struct Operand {
+  enum class Kind { kNull, kInteger, kFloat, kString, kVariable };
+  Kind kind = Kind::kNull;
+  int64_t int_value = 0;
+  double float_value = 0;
+  std::string text;  ///< string contents or variable name
+
+  std::string ToString() const;
+};
+
+/// `define type EMP ( name: char[20], salary: int, dept: ref DEPT )`
+struct DefineTypeStmt {
+  TypeDescriptor type;
+};
+
+/// `create Emp1: {own ref EMP}`
+struct CreateSetStmt {
+  std::string set_name;
+  std::string type_name;
+};
+
+/// `replicate Emp1.dept.name [using separate|inplace] [collapsed]
+///  [inline N]`
+struct ReplicateStmt {
+  std::string spec;
+  ReplicateOptions options;
+};
+
+/// `drop replicate Emp1.dept.name`
+struct DropReplicateStmt {
+  std::string spec;
+};
+
+/// `build btree name_idx on Emp1.dept.org.name [clustered]`
+struct BuildIndexStmt {
+  std::string index_name;
+  std::string set_name;
+  std::string key_expr;
+  bool clustered = false;
+};
+
+/// `insert Emp1 (name = "fred", salary = 90000, dept = $d1) [as $e1]`
+struct InsertStmt {
+  std::string set_name;
+  std::vector<std::pair<std::string, Operand>> fields;
+  std::string bind_variable;  ///< empty when no `as $x`
+};
+
+/// `where salary > 100000` / `where salary between 1 and 2`
+struct WhereClause {
+  std::string attr_name;
+  CompareOp op = CompareOp::kEq;
+  Operand operand;
+  Operand operand2;  ///< upper bound for between
+};
+
+/// `retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 100000`
+struct RetrieveStmt {
+  std::string set_name;
+  std::vector<std::string> projections;  ///< set prefix stripped
+  std::optional<WhereClause> where;
+};
+
+/// `replace Dept (budget = 5, name = "x") where name = "toys"`
+struct ReplaceStmt {
+  std::string set_name;
+  std::vector<std::pair<std::string, Operand>> assignments;
+  std::optional<WhereClause> where;
+};
+
+/// `delete from Emp1 where salary < 0`
+struct DeleteStmt {
+  std::string set_name;
+  std::optional<WhereClause> where;
+};
+
+/// `show catalog`
+struct ShowCatalogStmt {};
+
+/// `checkpoint` — persists catalog + file metadata (Database::Checkpoint).
+struct CheckpointStmt {};
+
+/// `verify Emp1.dept.name` — runs the replication consistency checker.
+struct VerifyStmt {
+  std::string spec;
+};
+
+using Statement =
+    std::variant<DefineTypeStmt, CreateSetStmt, ReplicateStmt,
+                 DropReplicateStmt, BuildIndexStmt, InsertStmt, RetrieveStmt,
+                 ReplaceStmt, DeleteStmt, ShowCatalogStmt, VerifyStmt,
+                 CheckpointStmt>;
+
+/// Statement kind name for diagnostics.
+const char* StatementName(const Statement& statement);
+
+}  // namespace fieldrep::extra
+
+#endif  // FIELDREP_EXTRA_AST_H_

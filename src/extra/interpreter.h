@@ -1,0 +1,63 @@
+#ifndef FIELDREP_EXTRA_INTERPRETER_H_
+#define FIELDREP_EXTRA_INTERPRETER_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "extra/ast.h"
+
+namespace fieldrep::extra {
+
+/// \brief Executes EXTRA-flavoured statements against a Database.
+///
+/// Object identity flows through $variables: `insert Dept (...) as $d`
+/// binds the new OID to $d, which later statements use as a reference
+/// value (`insert Emp1 (dept = $d, ...)`). Retrieve results are rendered
+/// as an aligned text table.
+class Interpreter {
+ public:
+  /// \param db target database (not owned)
+  explicit Interpreter(Database* db) : db_(db) {}
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  /// Parses and executes a script (one or more ';'-separated statements),
+  /// returning the concatenated human-readable output.
+  Result<std::string> Execute(const std::string& script);
+
+  /// Executes one parsed statement.
+  Result<std::string> ExecuteStatement(const Statement& statement);
+
+  /// Looks up a bound $variable.
+  Result<Oid> GetVariable(const std::string& name) const;
+  void BindVariable(const std::string& name, const Oid& oid) {
+    variables_[name] = oid;
+  }
+
+ private:
+  Result<Value> ResolveOperand(const Operand& operand) const;
+  Result<Predicate> ResolveWhere(const WhereClause& where) const;
+
+  Result<std::string> Run(const DefineTypeStmt& stmt);
+  Result<std::string> Run(const CreateSetStmt& stmt);
+  Result<std::string> Run(const ReplicateStmt& stmt);
+  Result<std::string> Run(const DropReplicateStmt& stmt);
+  Result<std::string> Run(const BuildIndexStmt& stmt);
+  Result<std::string> Run(const InsertStmt& stmt);
+  Result<std::string> Run(const RetrieveStmt& stmt);
+  Result<std::string> Run(const ReplaceStmt& stmt);
+  Result<std::string> Run(const DeleteStmt& stmt);
+  Result<std::string> Run(const ShowCatalogStmt& stmt);
+  Result<std::string> Run(const VerifyStmt& stmt);
+  Result<std::string> Run(const CheckpointStmt& stmt);
+
+  Database* db_;
+  std::map<std::string, Oid> variables_;
+};
+
+}  // namespace fieldrep::extra
+
+#endif  // FIELDREP_EXTRA_INTERPRETER_H_

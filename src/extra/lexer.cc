@@ -1,0 +1,140 @@
+#include "extra/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace fieldrep::extra {
+
+bool Token::IsKeyword(const char* kw) const {
+  if (kind != TokenKind::kIdentifier) return false;
+  return ToLower(text) == ToLower(kw);
+}
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+Status Tokenize(const std::string& input, std::vector<Token>* tokens) {
+  tokens->clear();
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentBody(input[i])) ++i;
+      token.kind = TokenKind::kIdentifier;
+      token.text = input.substr(start, i - start);
+      tokens->push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        // A '.' only continues the number when followed by a digit,
+        // so `1.dept` lexes as integer 1, '.', identifier.
+        if (input[i] == '.') {
+          if (i + 1 < n &&
+              std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+            is_float = true;
+          } else {
+            break;
+          }
+        }
+        ++i;
+      }
+      std::string text = input.substr(start, i - start);
+      if (is_float) {
+        token.kind = TokenKind::kFloat;
+        token.float_value = std::stod(text);
+      } else {
+        token.kind = TokenKind::kInteger;
+        token.int_value = std::stoll(text);
+      }
+      token.text = std::move(text);
+      tokens->push_back(std::move(token));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string contents;
+      while (i < n && input[i] != quote) {
+        if (input[i] == '\\' && i + 1 < n) ++i;  // simple escapes
+        contents.push_back(input[i]);
+        ++i;
+      }
+      if (i >= n) {
+        return Status::InvalidArgument(StringPrintf(
+            "unterminated string literal at offset %zu", token.offset));
+      }
+      ++i;  // closing quote
+      token.kind = TokenKind::kString;
+      token.text = std::move(contents);
+      tokens->push_back(std::move(token));
+      continue;
+    }
+    if (c == '$') {
+      size_t start = ++i;
+      while (i < n && IsIdentBody(input[i])) ++i;
+      if (i == start) {
+        return Status::InvalidArgument(
+            StringPrintf("bare '$' at offset %zu", token.offset));
+      }
+      token.kind = TokenKind::kVariable;
+      token.text = input.substr(start, i - start);
+      tokens->push_back(std::move(token));
+      continue;
+    }
+    // Two-character symbols first.
+    if (i + 1 < n) {
+      std::string two = input.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=") {
+        token.kind = TokenKind::kSymbol;
+        token.text = two;
+        tokens->push_back(std::move(token));
+        i += 2;
+        continue;
+      }
+    }
+    static const std::string kSingles = "(){}:,.;=<>[]*";
+    if (kSingles.find(c) != std::string::npos) {
+      token.kind = TokenKind::kSymbol;
+      token.text = std::string(1, c);
+      tokens->push_back(std::move(token));
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(
+        StringPrintf("unexpected character '%c' at offset %zu", c, i));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens->push_back(std::move(end));
+  return Status::OK();
+}
+
+}  // namespace fieldrep::extra

@@ -1,0 +1,42 @@
+#ifndef FIELDREP_EXTRA_LEXER_H_
+#define FIELDREP_EXTRA_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fieldrep::extra {
+
+/// Token kinds of the EXTRA-flavoured statement language.
+enum class TokenKind {
+  kIdentifier,  ///< names and keywords (keywords matched case-insensitively)
+  kInteger,
+  kFloat,
+  kString,    ///< "..." or '...'
+  kVariable,  ///< $name — an OID handle bound by `insert ... as $name`
+  kSymbol,    ///< one of ( ) { } : , . ; = < > [ ]  and two-char <= >= !=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       ///< identifier/symbol text, string contents
+  int64_t int_value = 0;  ///< for kInteger
+  double float_value = 0; ///< for kFloat
+  size_t offset = 0;      ///< byte offset in the input, for diagnostics
+
+  bool IsSymbol(const char* s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword match.
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenizes `input`. `--` starts a comment running to end of line.
+Status Tokenize(const std::string& input, std::vector<Token>* tokens);
+
+}  // namespace fieldrep::extra
+
+#endif  // FIELDREP_EXTRA_LEXER_H_

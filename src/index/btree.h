@@ -1,0 +1,100 @@
+#ifndef FIELDREP_INDEX_BTREE_H_
+#define FIELDREP_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "objects/value.h"
+#include "storage/buffer_pool.h"
+#include "storage/oid.h"
+
+namespace fieldrep {
+
+/// \brief Disk-based B+ tree mapping int64 keys to OIDs, built over the
+/// buffer pool.
+///
+/// Duplicate keys are supported by treating (key, value) as the unit of
+/// ordering; separators in internal nodes carry the full pair, so descent
+/// is exact even across duplicates. Deletion is lazy (no merging or
+/// borrowing): leaves may become underfull or empty, which range scans skip
+/// over — the classic trade-off chosen by many production engines.
+///
+/// The paper's queries reach R and S through B+ tree indexes on scalar
+/// fields (Section 6.2's last assumption); Section 3.3.4's indexes on
+/// replicated paths are BTrees keyed on replica values.
+class BTree {
+ public:
+  /// \param pool shared buffer pool (not owned)
+  explicit BTree(BufferPool* pool);
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Allocates the root leaf. Must be called once before use (or
+  /// DecodeMetadata for an existing tree).
+  Status Init();
+
+  /// Inserts an entry; AlreadyExists if the exact (key, value) is present.
+  Status Insert(int64_t key, Oid value);
+
+  /// Removes the entry (key, value); NotFound if absent.
+  Status Delete(int64_t key, Oid value);
+
+  /// Appends all values with exactly `key` to `out`.
+  Status Lookup(int64_t key, std::vector<Oid>* out) const;
+
+  /// Calls `fn(key, value)` for entries with lo <= key <= hi in ascending
+  /// (key, value) order; stops early when `fn` returns false.
+  Status ScanRange(int64_t lo, int64_t hi,
+                   const std::function<bool(int64_t, Oid)>& fn) const;
+
+  uint64_t size() const { return entry_count_; }
+  bool empty() const { return entry_count_ == 0; }
+
+  /// Levels from root to leaf (1 for a lone leaf). 0 if uninitialized.
+  Result<uint32_t> Height() const;
+
+  /// Number of pages currently reachable from the root.
+  Result<uint32_t> PageCount() const;
+
+  PageId root() const { return root_; }
+
+  std::string EncodeMetadata() const;
+  Status DecodeMetadata(const std::string& encoded);
+
+  /// Validates ordering and separator invariants over the whole tree
+  /// (test support).
+  Status CheckInvariants() const;
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    int64_t sep_key = 0;
+    uint64_t sep_val = 0;
+    PageId right = kInvalidPageId;
+  };
+
+  Status InsertRecursive(PageId node, int64_t key, uint64_t val,
+                         SplitResult* result);
+  Status FindLeaf(int64_t key, uint64_t val, PageId* leaf) const;
+  Status CheckNode(PageId node, bool is_root, int64_t lo_key, uint64_t lo_val,
+                   bool has_lo, int64_t hi_key, uint64_t hi_val, bool has_hi,
+                   uint32_t* height, uint32_t* pages) const;
+
+  BufferPool* pool_;
+  PageId root_ = kInvalidPageId;
+  uint64_t entry_count_ = 0;
+};
+
+/// Maps an attribute value to a B+ tree key. Integers map directly;
+/// doubles map through an order-preserving bit transform; strings map to
+/// their big-endian 8-byte prefix (ties compare equal, so lookups
+/// post-filter); refs use the packed OID.
+Result<int64_t> BTreeKeyForValue(const Value& value);
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_INDEX_BTREE_H_

@@ -1,0 +1,207 @@
+#include "index/index_manager.h"
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+IndexManager::IndexManager(BufferPool* pool, Catalog* catalog,
+                           SetProvider* sets)
+    : pool_(pool), catalog_(catalog), sets_(sets) {}
+
+Status IndexManager::BuildIndex(const std::string& index_name,
+                                const std::string& set_name,
+                                const std::string& key_expr, bool clustered) {
+  if (catalog_->FindIndexByName(index_name) != nullptr) {
+    return Status::AlreadyExists("index " + index_name + " already exists");
+  }
+  FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, sets_->GetSet(set_name));
+
+  IndexInfo info;
+  info.name = index_name;
+  info.set_name = set_name;
+  info.key_expr = key_expr;
+  info.clustered = clustered;
+
+  if (key_expr.find('.') == std::string::npos) {
+    int attr_index = set->type().FindAttribute(key_expr);
+    if (attr_index < 0) {
+      return Status::InvalidArgument("type " + set->type().name() +
+                                     " has no attribute " + key_expr);
+    }
+    info.attr_index = attr_index;
+  } else {
+    // Path index (Section 3.3.4): requires the path to be replicated
+    // in-place, so the keys are the replica values stored in this set.
+    const ReplicationPathInfo* path =
+        catalog_->FindPathBySpec(set_name + "." + key_expr);
+    if (path == nullptr) {
+      return Status::FailedPrecondition(
+          "an index on path " + set_name + "." + key_expr +
+          " requires `replicate " + set_name + "." + key_expr + "` first");
+    }
+    if (path->strategy != ReplicationStrategy::kInPlace) {
+      return Status::NotSupported(
+          "path indexes require in-place replication (replica values must "
+          "be stored in " + set_name + " itself)");
+    }
+    if (path->bound.terminal_fields.size() != 1) {
+      return Status::NotSupported(
+          "path indexes require a single replicated terminal field");
+    }
+    info.is_path_index = true;
+    info.path_id = path->id;
+  }
+
+  info.file_id = catalog_->AllocateFileId();
+  auto tree = std::make_unique<BTree>(pool_);
+  FIELDREP_RETURN_IF_ERROR(tree->Init());
+
+  // Bulk build.
+  Status build_status;
+  BTree* tree_ptr = tree.get();
+  const IndexInfo& info_ref = info;
+  Status scan_status = set->Scan([&](const Oid& oid, const Object& object) {
+    Result<int64_t> key = KeyFor(info_ref, object);
+    if (!key.ok()) {
+      if (key.status().IsNotFound()) return true;  // null key: skip
+      build_status = key.status();
+      return false;
+    }
+    build_status = tree_ptr->Insert(key.value(), oid);
+    return build_status.ok();
+  });
+  FIELDREP_RETURN_IF_ERROR(scan_status);
+  FIELDREP_RETURN_IF_ERROR(build_status);
+
+  FIELDREP_RETURN_IF_ERROR(catalog_->RegisterIndex(info));
+  trees_.emplace(index_name, std::move(tree));
+  return Status::OK();
+}
+
+Status IndexManager::RestoreIndex(const std::string& index_name,
+                                  const std::string& btree_metadata) {
+  if (catalog_->FindIndexByName(index_name) == nullptr) {
+    return Status::FailedPrecondition("index " + index_name +
+                                      " is not in the catalog");
+  }
+  auto tree = std::make_unique<BTree>(pool_);
+  FIELDREP_RETURN_IF_ERROR(tree->DecodeMetadata(btree_metadata));
+  trees_[index_name] = std::move(tree);
+  return Status::OK();
+}
+
+Status IndexManager::DropIndex(const std::string& index_name) {
+  FIELDREP_RETURN_IF_ERROR(catalog_->DropIndex(index_name));
+  trees_.erase(index_name);
+  return Status::OK();
+}
+
+Result<BTree*> IndexManager::GetIndex(const std::string& index_name) {
+  auto it = trees_.find(index_name);
+  if (it == trees_.end()) {
+    return Status::NotFound("no index named " + index_name);
+  }
+  return it->second.get();
+}
+
+Status IndexManager::IndexKeyForPath(const IndexInfo& info,
+                                     const Object& object,
+                                     Value* value) const {
+  const ReplicaValueSlot* slot = object.FindReplicaValues(info.path_id);
+  if (slot == nullptr || slot->values.empty()) {
+    return Status::NotFound("object has no replica values for path");
+  }
+  *value = slot->values[0];
+  return Status::OK();
+}
+
+Result<int64_t> IndexManager::KeyFor(const IndexInfo& info,
+                                     const Object& object) const {
+  Value value;
+  if (info.is_path_index) {
+    FIELDREP_RETURN_IF_ERROR(IndexKeyForPath(info, object, &value));
+  } else {
+    if (static_cast<size_t>(info.attr_index) >= object.fields().size()) {
+      return Status::InvalidArgument("attribute index out of range");
+    }
+    value = object.field(info.attr_index);
+  }
+  if (value.is_null()) {
+    return Status::NotFound("null key is not indexed");
+  }
+  return BTreeKeyForValue(value);
+}
+
+Status IndexManager::OnInsert(const std::string& set_name, const Oid& oid,
+                              const Object& object) {
+  for (const IndexInfo* info : catalog_->IndexesOnSet(set_name)) {
+    Result<int64_t> key = KeyFor(*info, object);
+    if (!key.ok()) {
+      if (key.status().IsNotFound()) continue;
+      return key.status();
+    }
+    FIELDREP_ASSIGN_OR_RETURN(BTree * tree, GetIndex(info->name));
+    FIELDREP_RETURN_IF_ERROR(tree->Insert(key.value(), oid));
+  }
+  return Status::OK();
+}
+
+Status IndexManager::OnDelete(const std::string& set_name, const Oid& oid,
+                              const Object& object) {
+  for (const IndexInfo* info : catalog_->IndexesOnSet(set_name)) {
+    Result<int64_t> key = KeyFor(*info, object);
+    if (!key.ok()) {
+      if (key.status().IsNotFound()) continue;
+      return key.status();
+    }
+    FIELDREP_ASSIGN_OR_RETURN(BTree * tree, GetIndex(info->name));
+    Status s = tree->Delete(key.value(), oid);
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  return Status::OK();
+}
+
+Status IndexManager::OnFieldUpdate(const std::string& set_name, const Oid& oid,
+                                   const Value& old_value,
+                                   const Value& new_value, int attr_index) {
+  for (const IndexInfo* info : catalog_->IndexesOnSet(set_name)) {
+    if (info->is_path_index || info->attr_index != attr_index) continue;
+    FIELDREP_ASSIGN_OR_RETURN(BTree * tree, GetIndex(info->name));
+    if (!old_value.is_null()) {
+      FIELDREP_ASSIGN_OR_RETURN(int64_t old_key, BTreeKeyForValue(old_value));
+      Status s = tree->Delete(old_key, oid);
+      if (!s.ok() && !s.IsNotFound()) return s;
+    }
+    if (!new_value.is_null()) {
+      FIELDREP_ASSIGN_OR_RETURN(int64_t new_key, BTreeKeyForValue(new_value));
+      Status s = tree->Insert(new_key, oid);
+      if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status IndexManager::OnReplicaValuesChanged(
+    const std::string& set_name, const Oid& oid, uint16_t path_id,
+    const std::vector<Value>& old_values,
+    const std::vector<Value>& new_values) {
+  for (const IndexInfo* info : catalog_->IndexesOnSet(set_name)) {
+    if (!info->is_path_index || info->path_id != path_id) continue;
+    FIELDREP_ASSIGN_OR_RETURN(BTree * tree, GetIndex(info->name));
+    if (!old_values.empty() && !old_values[0].is_null()) {
+      FIELDREP_ASSIGN_OR_RETURN(int64_t old_key,
+                                BTreeKeyForValue(old_values[0]));
+      Status s = tree->Delete(old_key, oid);
+      if (!s.ok() && !s.IsNotFound()) return s;
+    }
+    if (!new_values.empty() && !new_values[0].is_null()) {
+      FIELDREP_ASSIGN_OR_RETURN(int64_t new_key,
+                                BTreeKeyForValue(new_values[0]));
+      Status s = tree->Insert(new_key, oid);
+      if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fieldrep

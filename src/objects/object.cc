@@ -1,0 +1,282 @@
+#include "objects/object.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+
+namespace fieldrep {
+
+namespace {
+// Hidden-item kind tags in the serialized form.
+enum HiddenKind : uint8_t {
+  kHiddenLinkRef = 1,
+  kHiddenReplicaValues = 2,
+  kHiddenReplicaRef = 3,
+};
+
+// Serialized object header:
+//   u16 type_tag | u16 flags | u16 n_fields | u16 n_hidden |
+//   u32 field_bytes | u32 reserved
+constexpr uint32_t kObjectHeaderBytes = 16;
+}  // namespace
+
+const LinkRef* Object::FindLinkRef(uint8_t link_id) const {
+  for (const LinkRef& ref : link_refs_) {
+    if (ref.link_id == link_id) return &ref;
+  }
+  return nullptr;
+}
+
+LinkRef* Object::FindLinkRef(uint8_t link_id) {
+  for (LinkRef& ref : link_refs_) {
+    if (ref.link_id == link_id) return &ref;
+  }
+  return nullptr;
+}
+
+void Object::SetLinkRef(LinkRef ref) {
+  for (LinkRef& existing : link_refs_) {
+    if (existing.link_id == ref.link_id) {
+      existing = std::move(ref);
+      return;
+    }
+  }
+  link_refs_.push_back(std::move(ref));
+}
+
+bool Object::RemoveLinkRef(uint8_t link_id) {
+  auto it = std::find_if(
+      link_refs_.begin(), link_refs_.end(),
+      [link_id](const LinkRef& r) { return r.link_id == link_id; });
+  if (it == link_refs_.end()) return false;
+  link_refs_.erase(it);
+  return true;
+}
+
+const ReplicaValueSlot* Object::FindReplicaValues(uint16_t path_id) const {
+  for (const ReplicaValueSlot& slot : replica_values_) {
+    if (slot.path_id == path_id) return &slot;
+  }
+  return nullptr;
+}
+
+void Object::SetReplicaValues(uint16_t path_id, std::vector<Value> values) {
+  for (ReplicaValueSlot& slot : replica_values_) {
+    if (slot.path_id == path_id) {
+      slot.values = std::move(values);
+      return;
+    }
+  }
+  replica_values_.push_back({path_id, std::move(values)});
+}
+
+bool Object::RemoveReplicaValues(uint16_t path_id) {
+  auto it = std::find_if(
+      replica_values_.begin(), replica_values_.end(),
+      [path_id](const ReplicaValueSlot& s) { return s.path_id == path_id; });
+  if (it == replica_values_.end()) return false;
+  replica_values_.erase(it);
+  return true;
+}
+
+const ReplicaRefSlot* Object::FindReplicaRef(uint16_t path_id) const {
+  for (const ReplicaRefSlot& slot : replica_refs_) {
+    if (slot.path_id == path_id) return &slot;
+  }
+  return nullptr;
+}
+
+ReplicaRefSlot* Object::FindReplicaRef(uint16_t path_id) {
+  for (ReplicaRefSlot& slot : replica_refs_) {
+    if (slot.path_id == path_id) return &slot;
+  }
+  return nullptr;
+}
+
+void Object::SetReplicaRef(ReplicaRefSlot slot) {
+  for (ReplicaRefSlot& existing : replica_refs_) {
+    if (existing.path_id == slot.path_id) {
+      existing = std::move(slot);
+      return;
+    }
+  }
+  replica_refs_.push_back(std::move(slot));
+}
+
+bool Object::RemoveReplicaRef(uint16_t path_id) {
+  auto it = std::find_if(
+      replica_refs_.begin(), replica_refs_.end(),
+      [path_id](const ReplicaRefSlot& s) { return s.path_id == path_id; });
+  if (it == replica_refs_.end()) return false;
+  replica_refs_.erase(it);
+  return true;
+}
+
+Status Object::Serialize(const TypeDescriptor& type, std::string* out) const {
+  if (fields_.size() != type.attribute_count()) {
+    return Status::InvalidArgument(StringPrintf(
+        "object has %zu fields but type %s has %zu attributes",
+        fields_.size(), type.name().c_str(), type.attribute_count()));
+  }
+  out->clear();
+  std::string body;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    FIELDREP_RETURN_IF_ERROR(EncodeValue(type.attribute(i), fields_[i], &body));
+  }
+  uint32_t field_bytes = static_cast<uint32_t>(body.size());
+
+  uint16_t n_hidden = 0;
+  for (const LinkRef& ref : link_refs_) {
+    body.push_back(static_cast<char>(kHiddenLinkRef));
+    body.push_back(static_cast<char>(ref.link_id));
+    body.push_back(static_cast<char>(ref.inlined ? 1 : 0));
+    if (ref.inlined) {
+      PutU16(&body, static_cast<uint16_t>(ref.inline_oids.size()));
+      for (const Oid& oid : ref.inline_oids) PutU64(&body, oid.Packed());
+    } else {
+      PutU64(&body, ref.link_oid.Packed());
+    }
+    ++n_hidden;
+  }
+  for (const ReplicaValueSlot& slot : replica_values_) {
+    body.push_back(static_cast<char>(kHiddenReplicaValues));
+    PutU16(&body, slot.path_id);
+    PutU16(&body, static_cast<uint16_t>(slot.values.size()));
+    for (const Value& v : slot.values) EncodeTaggedValue(v, &body);
+    ++n_hidden;
+  }
+  for (const ReplicaRefSlot& slot : replica_refs_) {
+    body.push_back(static_cast<char>(kHiddenReplicaRef));
+    PutU16(&body, slot.path_id);
+    PutU64(&body, slot.replica_oid.Packed());
+    PutU32(&body, slot.refcount);
+    ++n_hidden;
+  }
+
+  PutU16(out, type_tag_);
+  PutU16(out, 0);  // flags
+  PutU16(out, static_cast<uint16_t>(fields_.size()));
+  PutU16(out, n_hidden);
+  PutU32(out, field_bytes);
+  PutU32(out, 0);  // reserved
+  out->append(body);
+  return Status::OK();
+}
+
+Status Object::Deserialize(const TypeDescriptor& type,
+                           const std::string& payload) {
+  ByteReader reader(payload);
+  uint16_t tag, flags, n_fields, n_hidden;
+  uint32_t field_bytes, reserved;
+  if (!reader.GetU16(&tag) || !reader.GetU16(&flags) ||
+      !reader.GetU16(&n_fields) || !reader.GetU16(&n_hidden) ||
+      !reader.GetU32(&field_bytes) || !reader.GetU32(&reserved)) {
+    return Status::Corruption("truncated object header");
+  }
+  if (tag != type.type_tag()) {
+    return Status::Corruption(StringPrintf(
+        "object tagged %u but decoded with type %s (tag %u)", tag,
+        type.name().c_str(), type.type_tag()));
+  }
+  if (n_fields != type.attribute_count()) {
+    return Status::Corruption("field count mismatch");
+  }
+  type_tag_ = tag;
+  fields_.clear();
+  fields_.reserve(n_fields);
+  for (uint16_t i = 0; i < n_fields; ++i) {
+    Value v;
+    FIELDREP_RETURN_IF_ERROR(DecodeValue(type.attribute(i), &reader, &v));
+    fields_.push_back(std::move(v));
+  }
+  link_refs_.clear();
+  replica_values_.clear();
+  replica_refs_.clear();
+  for (uint16_t i = 0; i < n_hidden; ++i) {
+    std::string kind_byte;
+    if (!reader.GetRaw(1, &kind_byte)) {
+      return Status::Corruption("truncated hidden section");
+    }
+    switch (static_cast<HiddenKind>(kind_byte[0])) {
+      case kHiddenLinkRef: {
+        std::string b;
+        if (!reader.GetRaw(2, &b)) {
+          return Status::Corruption("truncated link ref");
+        }
+        LinkRef ref;
+        ref.link_id = static_cast<uint8_t>(b[0]);
+        ref.inlined = b[1] != 0;
+        if (ref.inlined) {
+          uint16_t count;
+          if (!reader.GetU16(&count)) {
+            return Status::Corruption("truncated inline link");
+          }
+          ref.inline_oids.reserve(count);
+          for (uint16_t j = 0; j < count; ++j) {
+            uint64_t packed;
+            if (!reader.GetU64(&packed)) {
+              return Status::Corruption("truncated inline link oid");
+            }
+            ref.inline_oids.push_back(Oid::FromPacked(packed));
+          }
+        } else {
+          uint64_t packed;
+          if (!reader.GetU64(&packed)) {
+            return Status::Corruption("truncated link oid");
+          }
+          ref.link_oid = Oid::FromPacked(packed);
+        }
+        link_refs_.push_back(std::move(ref));
+        break;
+      }
+      case kHiddenReplicaValues: {
+        ReplicaValueSlot slot;
+        uint16_t count;
+        if (!reader.GetU16(&slot.path_id) || !reader.GetU16(&count)) {
+          return Status::Corruption("truncated replica values");
+        }
+        slot.values.reserve(count);
+        for (uint16_t j = 0; j < count; ++j) {
+          Value v;
+          FIELDREP_RETURN_IF_ERROR(DecodeTaggedValue(&reader, &v));
+          slot.values.push_back(std::move(v));
+        }
+        replica_values_.push_back(std::move(slot));
+        break;
+      }
+      case kHiddenReplicaRef: {
+        ReplicaRefSlot slot;
+        uint64_t packed;
+        if (!reader.GetU16(&slot.path_id) || !reader.GetU64(&packed) ||
+            !reader.GetU32(&slot.refcount)) {
+          return Status::Corruption("truncated replica ref");
+        }
+        slot.replica_oid = Oid::FromPacked(packed);
+        replica_refs_.push_back(std::move(slot));
+        break;
+      }
+      default:
+        return Status::Corruption("unknown hidden item kind");
+    }
+  }
+  return Status::OK();
+}
+
+uint32_t Object::FixedSerializedSize(const TypeDescriptor& type) {
+  uint32_t size = kObjectHeaderBytes;
+  for (const AttributeDescriptor& attr : type.attributes()) {
+    size += attr.FixedBytes();
+  }
+  return size;
+}
+
+std::string Object::ToString(const TypeDescriptor& type) const {
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < fields_.size() && i < type.attribute_count(); ++i) {
+    parts.push_back(type.attribute(i).name + "=" + fields_[i].ToString());
+  }
+  return type.name() + "{" + JoinStrings(parts, ", ") + "}";
+}
+
+}  // namespace fieldrep

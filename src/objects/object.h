@@ -1,0 +1,152 @@
+#ifndef FIELDREP_OBJECTS_OBJECT_H_
+#define FIELDREP_OBJECTS_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/type.h"
+#include "common/status.h"
+#include "objects/value.h"
+#include "storage/oid.h"
+
+namespace fieldrep {
+
+/// \brief A (link-OID, link-ID) pair stored in an object that lies on a
+/// replication path (Section 4.1.3), optionally with the link object
+/// inlined (Section 4.3.1).
+///
+/// The link ID identifies which link of which replication path(s) this
+/// object belongs to; the link OID locates the object's link object in the
+/// link set. When the link object would hold at most a few OIDs, it is
+/// eliminated and its member OIDs are stored here directly (`inlined`).
+struct LinkRef {
+  uint8_t link_id = 0;
+  Oid link_oid;               ///< invalid when inlined
+  bool inlined = false;
+  std::vector<Oid> inline_oids;  ///< members, only when inlined
+
+  friend bool operator==(const LinkRef& a, const LinkRef& b) {
+    return a.link_id == b.link_id && a.link_oid == b.link_oid &&
+           a.inlined == b.inlined && a.inline_oids == b.inline_oids;
+  }
+};
+
+/// \brief A replicated-value slot: the hidden field(s) added to objects of
+/// the head set by in-place replication (Section 4). One slot per
+/// replication path; `values` holds one entry per replicated terminal
+/// field (several for `.all` paths).
+struct ReplicaValueSlot {
+  uint16_t path_id = 0;
+  std::vector<Value> values;
+
+  friend bool operator==(const ReplicaValueSlot& a,
+                         const ReplicaValueSlot& b) {
+    return a.path_id == b.path_id && a.values == b.values;
+  }
+};
+
+/// \brief Separate-replication bookkeeping (Section 5).
+///
+/// In head-set objects: `replica_oid` locates the shared S' record holding
+/// the replicated values (refcount unused). In terminal-set objects:
+/// `replica_oid` is the canonical pointer to the S' record and `refcount`
+/// counts referencing head objects, as in the paper's description of O1
+/// ("O1 contains R1's OID, a reference count for R1, and a tag").
+struct ReplicaRefSlot {
+  uint16_t path_id = 0;
+  Oid replica_oid;
+  uint32_t refcount = 0;
+
+  friend bool operator==(const ReplicaRefSlot& a, const ReplicaRefSlot& b) {
+    return a.path_id == b.path_id && a.replica_oid == b.replica_oid &&
+           a.refcount == b.refcount;
+  }
+};
+
+/// \brief An object: a type tag, the logical attribute values of its type,
+/// and a hidden section maintained by the replication machinery.
+///
+/// The hidden section implements the paper's "structural changes ...
+/// handled through subtyping" (Section 4): replica value slots, link refs,
+/// and replica ref slots are invisible at the query-language level but are
+/// serialized with the object.
+class Object {
+ public:
+  Object() = default;
+  Object(uint16_t type_tag, std::vector<Value> fields)
+      : type_tag_(type_tag), fields_(std::move(fields)) {}
+
+  uint16_t type_tag() const { return type_tag_; }
+  void set_type_tag(uint16_t tag) { type_tag_ = tag; }
+
+  const std::vector<Value>& fields() const { return fields_; }
+  std::vector<Value>& mutable_fields() { return fields_; }
+  const Value& field(size_t i) const { return fields_[i]; }
+  void set_field(size_t i, Value v) { fields_[i] = std::move(v); }
+
+  // --- Hidden section -----------------------------------------------------
+
+  const std::vector<LinkRef>& link_refs() const { return link_refs_; }
+  const std::vector<ReplicaValueSlot>& replica_values() const {
+    return replica_values_;
+  }
+  const std::vector<ReplicaRefSlot>& replica_refs() const {
+    return replica_refs_;
+  }
+
+  /// Returns the LinkRef for `link_id`, or nullptr.
+  const LinkRef* FindLinkRef(uint8_t link_id) const;
+  LinkRef* FindLinkRef(uint8_t link_id);
+  /// Inserts or replaces the LinkRef for `ref.link_id`.
+  void SetLinkRef(LinkRef ref);
+  /// Removes the LinkRef for `link_id`; false if absent.
+  bool RemoveLinkRef(uint8_t link_id);
+
+  const ReplicaValueSlot* FindReplicaValues(uint16_t path_id) const;
+  void SetReplicaValues(uint16_t path_id, std::vector<Value> values);
+  bool RemoveReplicaValues(uint16_t path_id);
+
+  const ReplicaRefSlot* FindReplicaRef(uint16_t path_id) const;
+  ReplicaRefSlot* FindReplicaRef(uint16_t path_id);
+  void SetReplicaRef(ReplicaRefSlot slot);
+  bool RemoveReplicaRef(uint16_t path_id);
+
+  bool HasHiddenState() const {
+    return !link_refs_.empty() || !replica_values_.empty() ||
+           !replica_refs_.empty();
+  }
+
+  /// Serializes the object for storage. Fields are encoded per `type`
+  /// (fixed layout); the hidden section follows with self-describing tags.
+  /// Total overhead beyond field bytes is the 16-byte object header, which
+  /// together with the 4-byte page slot matches the paper's h = 20.
+  Status Serialize(const TypeDescriptor& type, std::string* out) const;
+
+  /// Inverse of Serialize. `type` must match the encoded type tag.
+  Status Deserialize(const TypeDescriptor& type, const std::string& payload);
+
+  /// The serialized size of an object with `type`'s fixed-width fields and
+  /// no hidden state (useful for sizing workloads against the cost model).
+  static uint32_t FixedSerializedSize(const TypeDescriptor& type);
+
+  std::string ToString(const TypeDescriptor& type) const;
+
+  friend bool operator==(const Object& a, const Object& b) {
+    return a.type_tag_ == b.type_tag_ && a.fields_ == b.fields_ &&
+           a.link_refs_ == b.link_refs_ &&
+           a.replica_values_ == b.replica_values_ &&
+           a.replica_refs_ == b.replica_refs_;
+  }
+
+ private:
+  uint16_t type_tag_ = 0;
+  std::vector<Value> fields_;
+  std::vector<LinkRef> link_refs_;
+  std::vector<ReplicaValueSlot> replica_values_;
+  std::vector<ReplicaRefSlot> replica_refs_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_OBJECTS_OBJECT_H_

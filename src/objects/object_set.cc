@@ -1,0 +1,80 @@
+#include "objects/object_set.h"
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+ObjectSet::ObjectSet(BufferPool* pool, FileId file_id, std::string name,
+                     const TypeDescriptor* type)
+    : pool_(pool), file_(pool, file_id), name_(std::move(name)), type_(type) {
+  (void)pool_;
+}
+
+Status ObjectSet::ValidateFields(const Object& object) const {
+  if (object.fields().size() != type_->attribute_count()) {
+    return Status::InvalidArgument(StringPrintf(
+        "set %s: object has %zu fields, type %s has %zu", name_.c_str(),
+        object.fields().size(), type_->name().c_str(),
+        type_->attribute_count()));
+  }
+  for (size_t i = 0; i < object.fields().size(); ++i) {
+    if (!object.field(i).MatchesType(type_->attribute(i).type)) {
+      return Status::InvalidArgument(
+          "set " + name_ + ": field " + type_->attribute(i).name +
+          " value " + object.field(i).ToString() + " does not match " +
+          type_->attribute(i).ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status ObjectSet::Insert(const Object& object, Oid* oid) {
+  FIELDREP_RETURN_IF_ERROR(ValidateFields(object));
+  Object stamped = object;
+  stamped.set_type_tag(type_->type_tag());
+  std::string payload;
+  FIELDREP_RETURN_IF_ERROR(stamped.Serialize(*type_, &payload));
+  return file_.Insert(payload, oid);
+}
+
+Status ObjectSet::Read(const Oid& oid, Object* object) const {
+  std::string payload;
+  FIELDREP_RETURN_IF_ERROR(file_.Read(oid, &payload));
+  return object->Deserialize(*type_, payload);
+}
+
+Status ObjectSet::Write(const Oid& oid, const Object& object) {
+  FIELDREP_RETURN_IF_ERROR(ValidateFields(object));
+  Object stamped = object;
+  stamped.set_type_tag(type_->type_tag());
+  std::string payload;
+  FIELDREP_RETURN_IF_ERROR(stamped.Serialize(*type_, &payload));
+  return file_.Update(oid, payload);
+}
+
+Status ObjectSet::Delete(const Oid& oid) { return file_.Delete(oid); }
+
+Status ObjectSet::Scan(
+    const std::function<bool(const Oid&, const Object&)>& fn) const {
+  Status decode_status;
+  Status s = file_.Scan([&](const Oid& oid, const std::string& payload) {
+    Object object;
+    decode_status = object.Deserialize(*type_, payload);
+    if (!decode_status.ok()) return false;
+    return fn(oid, object);
+  });
+  FIELDREP_RETURN_IF_ERROR(decode_status);
+  return s;
+}
+
+Result<Value> ObjectSet::GetField(const Object& object, int attr_index) const {
+  if (attr_index < 0 ||
+      static_cast<size_t>(attr_index) >= type_->attribute_count()) {
+    return Status::InvalidArgument(
+        StringPrintf("attribute index %d out of range for type %s",
+                     attr_index, type_->name().c_str()));
+  }
+  return object.field(attr_index).CoerceTo(type_->attribute(attr_index));
+}
+
+}  // namespace fieldrep

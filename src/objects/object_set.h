@@ -1,0 +1,73 @@
+#ifndef FIELDREP_OBJECTS_OBJECT_SET_H_
+#define FIELDREP_OBJECTS_OBJECT_SET_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/type.h"
+#include "common/status.h"
+#include "objects/object.h"
+#include "storage/record_file.h"
+
+namespace fieldrep {
+
+/// \brief A typed, named top-level set stored as one heap file
+/// (Section 2.2), e.g. `create Emp1: {own ref EMP}`.
+///
+/// ObjectSet validates logical fields against the set's type and carries
+/// the hidden section opaquely. Mutations performed directly through this
+/// class bypass replication maintenance — use Database's insert/update/
+/// delete entry points (or the ReplicationManager hooks) for sets that
+/// participate in replication paths.
+class ObjectSet {
+ public:
+  /// \param pool    shared buffer pool (not owned)
+  /// \param file_id catalog-assigned file id
+  /// \param name    set name
+  /// \param type    element type (not owned; outlives the set)
+  ObjectSet(BufferPool* pool, FileId file_id, std::string name,
+            const TypeDescriptor* type);
+
+  ObjectSet(const ObjectSet&) = delete;
+  ObjectSet& operator=(const ObjectSet&) = delete;
+
+  const std::string& name() const { return name_; }
+  const TypeDescriptor& type() const { return *type_; }
+  RecordFile& file() { return file_; }
+  const RecordFile& file() const { return file_; }
+  uint64_t size() const { return file_.record_count(); }
+
+  /// Validates and stores `object`, returning its OID. The object's type
+  /// tag is stamped from the set's type.
+  Status Insert(const Object& object, Oid* oid);
+
+  /// Loads the object at `oid`.
+  Status Read(const Oid& oid, Object* object) const;
+
+  /// Replaces the whole object at `oid` (logical fields + hidden section).
+  Status Write(const Oid& oid, const Object& object);
+
+  /// Removes the object at `oid`.
+  Status Delete(const Oid& oid);
+
+  /// Calls `fn` for every object in physical order; stops early on false.
+  Status Scan(const std::function<bool(const Oid&, const Object&)>& fn) const;
+
+  /// Materializes a Value for `object.field(attr_index)` coerced to the
+  /// attribute type (convenience for the executor).
+  Result<Value> GetField(const Object& object, int attr_index) const;
+
+ private:
+  Status ValidateFields(const Object& object) const;
+
+  BufferPool* pool_;
+  RecordFile file_;
+  std::string name_;
+  const TypeDescriptor* type_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_OBJECTS_OBJECT_SET_H_

@@ -1,0 +1,37 @@
+#ifndef FIELDREP_OBJECTS_SET_PROVIDER_H_
+#define FIELDREP_OBJECTS_SET_PROVIDER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "objects/object_set.h"
+#include "storage/record_file.h"
+
+namespace fieldrep {
+
+/// \brief Resolves names and file ids to live storage objects.
+///
+/// Implemented by Database; consumed by the index and replication managers
+/// so they can reach sets and auxiliary files (link sets, replica sets,
+/// output files) without depending on the Database type.
+class SetProvider {
+ public:
+  virtual ~SetProvider() = default;
+
+  /// The object set named `name`.
+  virtual Result<ObjectSet*> GetSet(const std::string& name) = 0;
+
+  /// The object set stored in `file_id` (reverse OID resolution).
+  virtual Result<ObjectSet*> GetSetByFile(FileId file_id) = 0;
+
+  /// An auxiliary record file previously created with CreateAuxFile.
+  virtual Result<RecordFile*> GetAuxFile(FileId file_id) = 0;
+
+  /// Allocates a new auxiliary record file (link set, replica set, output
+  /// file) and returns it; `*file_id` receives its id.
+  virtual Result<RecordFile*> CreateAuxFile(FileId* file_id) = 0;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_OBJECTS_SET_PROVIDER_H_

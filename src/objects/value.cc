@@ -1,0 +1,243 @@
+#include "objects/value.h"
+
+#include <limits>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+
+namespace fieldrep {
+
+Result<int64_t> Value::AsInteger() const {
+  if (is_int32()) return static_cast<int64_t>(as_int32());
+  if (is_int64()) return as_int64();
+  return Status::InvalidArgument("value " + ToString() + " is not an integer");
+}
+
+bool Value::MatchesType(FieldType type) const {
+  if (is_null()) return true;
+  switch (type) {
+    case FieldType::kInt32:
+    case FieldType::kInt64:
+      return is_int32() || is_int64();
+    case FieldType::kDouble:
+      return is_double() || is_int32() || is_int64();
+    case FieldType::kChar:
+    case FieldType::kString:
+      return is_string();
+    case FieldType::kRef:
+      return is_ref();
+  }
+  return false;
+}
+
+Result<Value> Value::CoerceTo(const AttributeDescriptor& attr) const {
+  if (!MatchesType(attr.type)) {
+    return Status::InvalidArgument("value " + ToString() +
+                                   " does not match attribute " +
+                                   attr.ToString());
+  }
+  if (is_null()) return Value::Null();
+  switch (attr.type) {
+    case FieldType::kInt32: {
+      int64_t v = is_int32() ? as_int32() : as_int64();
+      if (v < std::numeric_limits<int32_t>::min() ||
+          v > std::numeric_limits<int32_t>::max()) {
+        return Status::OutOfRange("integer overflow coercing to int32");
+      }
+      return Value(static_cast<int32_t>(v));
+    }
+    case FieldType::kInt64:
+      return Value(is_int32() ? static_cast<int64_t>(as_int32()) : as_int64());
+    case FieldType::kDouble: {
+      if (is_double()) return *this;
+      int64_t v = is_int32() ? as_int32() : as_int64();
+      return Value(static_cast<double>(v));
+    }
+    case FieldType::kChar: {
+      std::string s = as_string();
+      s.resize(attr.char_length, '\0');
+      return Value(std::move(s));
+    }
+    case FieldType::kString:
+      return *this;
+    case FieldType::kRef:
+      return *this;
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  if (is_int32()) return StringPrintf("%d", as_int32());
+  if (is_int64()) {
+    return StringPrintf("%lld", static_cast<long long>(as_int64()));
+  }
+  if (is_double()) return StringPrintf("%g", as_double());
+  if (is_string()) {
+    // Strip the NUL padding of char[n] fields for display.
+    const std::string& s = as_string();
+    size_t end = s.find('\0');
+    return "\"" + (end == std::string::npos ? s : s.substr(0, end)) + "\"";
+  }
+  return as_ref().ToString();
+}
+
+Status EncodeValue(const AttributeDescriptor& attr, const Value& value,
+                   std::string* out) {
+  FIELDREP_ASSIGN_OR_RETURN(Value coerced, value.CoerceTo(attr));
+  switch (attr.type) {
+    case FieldType::kInt32:
+      PutI32(out, coerced.is_null() ? 0 : coerced.as_int32());
+      return Status::OK();
+    case FieldType::kInt64:
+      PutI64(out, coerced.is_null() ? 0 : coerced.as_int64());
+      return Status::OK();
+    case FieldType::kDouble:
+      PutF64(out, coerced.is_null() ? 0.0 : coerced.as_double());
+      return Status::OK();
+    case FieldType::kChar: {
+      std::string s = coerced.is_null() ? std::string() : coerced.as_string();
+      s.resize(attr.char_length, '\0');
+      out->append(s);
+      return Status::OK();
+    }
+    case FieldType::kString:
+      PutLengthPrefixed(out,
+                        coerced.is_null() ? std::string() : coerced.as_string());
+      return Status::OK();
+    case FieldType::kRef:
+      PutU64(out, coerced.is_null() ? Oid::Invalid().Packed()
+                                    : coerced.as_ref().Packed());
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status DecodeValue(const AttributeDescriptor& attr, ByteReader* reader,
+                   Value* value) {
+  switch (attr.type) {
+    case FieldType::kInt32: {
+      int32_t v;
+      if (!reader->GetI32(&v)) return Status::Corruption("truncated int32");
+      *value = Value(v);
+      return Status::OK();
+    }
+    case FieldType::kInt64: {
+      int64_t v;
+      if (!reader->GetI64(&v)) return Status::Corruption("truncated int64");
+      *value = Value(v);
+      return Status::OK();
+    }
+    case FieldType::kDouble: {
+      double v;
+      if (!reader->GetF64(&v)) return Status::Corruption("truncated double");
+      *value = Value(v);
+      return Status::OK();
+    }
+    case FieldType::kChar: {
+      std::string s;
+      if (!reader->GetRaw(attr.char_length, &s)) {
+        return Status::Corruption("truncated char[] field");
+      }
+      *value = Value(std::move(s));
+      return Status::OK();
+    }
+    case FieldType::kString: {
+      std::string s;
+      if (!reader->GetLengthPrefixed(&s)) {
+        return Status::Corruption("truncated string field");
+      }
+      *value = Value(std::move(s));
+      return Status::OK();
+    }
+    case FieldType::kRef: {
+      uint64_t packed;
+      if (!reader->GetU64(&packed)) return Status::Corruption("truncated ref");
+      Oid oid = Oid::FromPacked(packed);
+      *value = oid.valid() ? Value(oid) : Value::Null();
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+namespace {
+enum TaggedKind : uint8_t {
+  kTagNull = 0,
+  kTagInt32 = 1,
+  kTagInt64 = 2,
+  kTagDouble = 3,
+  kTagString = 4,
+  kTagRef = 5,
+};
+}  // namespace
+
+void EncodeTaggedValue(const Value& value, std::string* out) {
+  if (value.is_null()) {
+    out->push_back(static_cast<char>(kTagNull));
+  } else if (value.is_int32()) {
+    out->push_back(static_cast<char>(kTagInt32));
+    PutI32(out, value.as_int32());
+  } else if (value.is_int64()) {
+    out->push_back(static_cast<char>(kTagInt64));
+    PutI64(out, value.as_int64());
+  } else if (value.is_double()) {
+    out->push_back(static_cast<char>(kTagDouble));
+    PutF64(out, value.as_double());
+  } else if (value.is_string()) {
+    out->push_back(static_cast<char>(kTagString));
+    PutLengthPrefixed(out, value.as_string());
+  } else {
+    out->push_back(static_cast<char>(kTagRef));
+    PutU64(out, value.as_ref().Packed());
+  }
+}
+
+Status DecodeTaggedValue(ByteReader* reader, Value* value) {
+  std::string kind_byte;
+  if (!reader->GetRaw(1, &kind_byte)) {
+    return Status::Corruption("truncated tagged value");
+  }
+  switch (static_cast<TaggedKind>(kind_byte[0])) {
+    case kTagNull:
+      *value = Value::Null();
+      return Status::OK();
+    case kTagInt32: {
+      int32_t v;
+      if (!reader->GetI32(&v)) return Status::Corruption("truncated value");
+      *value = Value(v);
+      return Status::OK();
+    }
+    case kTagInt64: {
+      int64_t v;
+      if (!reader->GetI64(&v)) return Status::Corruption("truncated value");
+      *value = Value(v);
+      return Status::OK();
+    }
+    case kTagDouble: {
+      double v;
+      if (!reader->GetF64(&v)) return Status::Corruption("truncated value");
+      *value = Value(v);
+      return Status::OK();
+    }
+    case kTagString: {
+      std::string s;
+      if (!reader->GetLengthPrefixed(&s)) {
+        return Status::Corruption("truncated value");
+      }
+      *value = Value(std::move(s));
+      return Status::OK();
+    }
+    case kTagRef: {
+      uint64_t packed;
+      if (!reader->GetU64(&packed)) {
+        return Status::Corruption("truncated value");
+      }
+      *value = Value(Oid::FromPacked(packed));
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown tagged value kind");
+}
+
+}  // namespace fieldrep

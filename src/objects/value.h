@@ -1,0 +1,82 @@
+#ifndef FIELDREP_OBJECTS_VALUE_H_
+#define FIELDREP_OBJECTS_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "catalog/type.h"
+#include "common/status.h"
+#include "storage/oid.h"
+
+namespace fieldrep {
+
+/// \brief A dynamically-typed attribute value: null, int32, int64, double,
+/// string (also used for char[n] fields), or an object reference.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int32_t v) : v_(v) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(const char* v) : v_(std::string(v)) {}
+  explicit Value(Oid v) : v_(v) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int32() const { return std::holds_alternative<int32_t>(v_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_ref() const { return std::holds_alternative<Oid>(v_); }
+
+  int32_t as_int32() const { return std::get<int32_t>(v_); }
+  int64_t as_int64() const { return std::get<int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  Oid as_ref() const { return std::get<Oid>(v_); }
+
+  /// Any integer value widened to int64 (int32 or int64); fails on other
+  /// kinds.
+  Result<int64_t> AsInteger() const;
+
+  /// True if this value's kind can be stored in an attribute of `type`
+  /// (integers widen/narrow between int32 and int64 if in range; strings
+  /// match kChar and kString; refs match kRef; null matches anything).
+  bool MatchesType(FieldType type) const;
+
+  /// Returns the value coerced to exactly `type` (e.g. truncating/padding a
+  /// kChar, widening an int32). Fails on kind mismatch or overflow.
+  Result<Value> CoerceTo(const AttributeDescriptor& attr) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+ private:
+  std::variant<std::monostate, int32_t, int64_t, double, std::string, Oid> v_;
+};
+
+/// Encodes `value` as the byte representation of attribute `attr`,
+/// appending to `out`. kChar values are padded/truncated to char_length.
+Status EncodeValue(const AttributeDescriptor& attr, const Value& value,
+                   std::string* out);
+
+/// Decodes one value of attribute `attr` from `reader`.
+class ByteReader;
+Status DecodeValue(const AttributeDescriptor& attr, ByteReader* reader,
+                   Value* value);
+
+/// Encodes a Value with a self-describing 1-byte kind tag (used in hidden
+/// replica slots, which have no backing attribute descriptor).
+void EncodeTaggedValue(const Value& value, std::string* out);
+Status DecodeTaggedValue(ByteReader* reader, Value* value);
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_OBJECTS_VALUE_H_

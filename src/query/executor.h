@@ -1,0 +1,115 @@
+#ifndef FIELDREP_QUERY_EXECUTOR_H_
+#define FIELDREP_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "index/index_manager.h"
+#include "objects/set_provider.h"
+#include "query/read_query.h"
+#include "query/update_query.h"
+#include "replication/replication_manager.h"
+
+namespace fieldrep {
+
+/// \brief Executes read and update queries.
+///
+/// Reads follow the paper's processing model (Section 6.5): descend the
+/// index on the clause attribute (or scan when none exists), fetch the
+/// selected head objects in sorted-OID order, answer path projections from
+/// replicas when possible — eliminating functional joins — and otherwise
+/// join level-by-level with per-level OID sorting, so that every page
+/// needed by the join is read exactly once through the buffer pool (the
+/// model's optimal-join assumption). Result tuples can be spooled to the
+/// output file T.
+///
+/// Updates locate target objects the same way and route every assignment
+/// through the ReplicationManager so replicated data stays consistent.
+class Executor {
+ public:
+  Executor(Catalog* catalog, SetProvider* sets, IndexManager* indexes,
+           ReplicationManager* replication);
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  Status ExecuteRead(const ReadQuery& query, ReadResult* result);
+  Status ExecuteUpdate(const UpdateQuery& query, UpdateResult* result);
+
+  /// Lazily creates the output file T; called automatically by reads with
+  /// write_output.
+  Status EnsureOutputFile();
+  /// Clears the output file (call before measuring a query's I/O so old
+  /// pages are not rewritten into the measurement).
+  Status TruncateOutput();
+  Result<RecordFile*> output_file();
+  /// Checkpoint support.
+  FileId output_file_id() const { return output_file_id_; }
+  void restore_output_file_id(FileId id) { output_file_id_ = id; }
+
+ private:
+  struct ColumnPlan {
+    enum class Kind { kAttr, kReplica, kJoin };
+    Kind kind = Kind::kAttr;
+    int attr_index = -1;                        // kAttr
+    const ReplicationPathInfo* path = nullptr;  // kReplica / replica-start join
+    int replica_pos = -1;  // index into the path's terminal values
+    int start_attr = -1;   // kJoin without replica start: head ref attribute
+    /// Attribute indices applied to successively fetched objects; all but
+    /// the last must be refs, the last produces the column value.
+    std::vector<int> hop_attrs;
+  };
+
+  /// A predicate bound together with the plan that produces the value it
+  /// tests: a plain attribute, a replica slot, or a reference-path
+  /// resolution (Section 3.3.4's clause on Emp1.dept.org.name).
+  struct BoundClause {
+    BoundPredicate predicate;
+    ColumnPlan plan;
+  };
+
+  Status PlanColumn(const ObjectSet& set, const std::string& set_name,
+                    bool use_replication, const std::string& projection,
+                    ColumnPlan* plan) const;
+
+  /// Resolves one column value for a fetched head object. Join columns are
+  /// resolved eagerly with per-object reads (used for predicate evaluation;
+  /// projections batch joins instead).
+  Result<Value> EvaluateColumn(const ColumnPlan& plan,
+                               const Object& head) const;
+
+  Status BindClause(const ObjectSet& set, const std::string& set_name,
+                    bool use_replication, const Predicate& predicate,
+                    BoundClause* clause) const;
+
+  /// Resolves candidate OIDs for the clause: index range scan when an index
+  /// exists on the clause expression, full scan otherwise. Candidates come
+  /// back sorted; `needs_recheck` says whether the predicate must be
+  /// re-evaluated against the fetched objects.
+  Status CollectTargets(ObjectSet* set,
+                        const std::optional<Predicate>& predicate,
+                        const std::string& set_name, bool use_replication,
+                        bool* used_index, bool* needs_recheck,
+                        std::optional<BoundClause>* clause,
+                        std::vector<Oid>* oids);
+
+  Status ReadObjectAt(const Oid& oid, Object* object,
+                      ObjectSet** set_out = nullptr) const;
+
+  /// Deferred-propagation hook ("updates are not propagated until
+  /// needed"): when a plan reads through a deferred in-place path, drain
+  /// that path's pending queue first.
+  Status FlushDeferredForPlan(const ColumnPlan& plan);
+
+  Catalog* catalog_;
+  SetProvider* sets_;
+  IndexManager* indexes_;
+  ReplicationManager* replication_;
+  FileId output_file_id_ = kInvalidFileId;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_QUERY_EXECUTOR_H_

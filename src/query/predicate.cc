@@ -1,0 +1,169 @@
+#include "query/predicate.h"
+
+#include <limits>
+
+#include "index/btree.h"
+
+namespace fieldrep {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kBetween:
+      return "between";
+  }
+  return "?";
+}
+
+Result<int> CompareValues(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    return Status::InvalidArgument("cannot compare null values");
+  }
+  if ((a.is_int32() || a.is_int64()) && (b.is_int32() || b.is_int64())) {
+    int64_t x = a.is_int32() ? a.as_int32() : a.as_int64();
+    int64_t y = b.is_int32() ? b.as_int32() : b.as_int64();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.is_double() || b.is_double()) {
+    if (!(a.is_double() || a.is_int32() || a.is_int64()) ||
+        !(b.is_double() || b.is_int32() || b.is_int64())) {
+      return Status::InvalidArgument("cannot compare " + a.ToString() +
+                                     " with " + b.ToString());
+    }
+    double x = a.is_double() ? a.as_double()
+                             : (a.is_int32() ? a.as_int32() : a.as_int64());
+    double y = b.is_double() ? b.as_double()
+                             : (b.is_int32() ? b.as_int32() : b.as_int64());
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.is_string() && b.is_string()) {
+    int c = a.as_string().compare(b.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a.is_ref() && b.is_ref()) {
+    uint64_t x = a.as_ref().Packed(), y = b.as_ref().Packed();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  return Status::InvalidArgument("cannot compare " + a.ToString() + " with " +
+                                 b.ToString());
+}
+
+std::string Predicate::ToString() const {
+  if (op == CompareOp::kBetween) {
+    return attr_name + " between " + operand.ToString() + " and " +
+           operand2.ToString();
+  }
+  return attr_name + " " + CompareOpName(op) + " " + operand.ToString();
+}
+
+Result<BoundPredicate> BoundPredicate::Bind(const Predicate& predicate,
+                                            const TypeDescriptor& type) {
+  int attr_index = type.FindAttribute(predicate.attr_name);
+  if (attr_index < 0) {
+    return Status::InvalidArgument("type " + type.name() +
+                                   " has no attribute " +
+                                   predicate.attr_name);
+  }
+  return BindToAttribute(predicate, type.attribute(attr_index), attr_index);
+}
+
+Result<BoundPredicate> BoundPredicate::BindToAttribute(
+    const Predicate& predicate, const AttributeDescriptor& attr,
+    int attr_index) {
+  BoundPredicate bound;
+  bound.attr_index_ = attr_index;
+  bound.field_type_ = attr.type;
+  bound.op_ = predicate.op;
+  FIELDREP_ASSIGN_OR_RETURN(bound.lo_, predicate.operand.CoerceTo(attr));
+  if (predicate.op == CompareOp::kBetween) {
+    FIELDREP_ASSIGN_OR_RETURN(bound.hi_, predicate.operand2.CoerceTo(attr));
+  }
+  return bound;
+}
+
+Result<bool> BoundPredicate::Matches(const Value& field_value) const {
+  if (field_value.is_null()) return false;
+  switch (op_) {
+    case CompareOp::kEq: {
+      FIELDREP_ASSIGN_OR_RETURN(int c, CompareValues(field_value, lo_));
+      return c == 0;
+    }
+    case CompareOp::kLt: {
+      FIELDREP_ASSIGN_OR_RETURN(int c, CompareValues(field_value, lo_));
+      return c < 0;
+    }
+    case CompareOp::kLe: {
+      FIELDREP_ASSIGN_OR_RETURN(int c, CompareValues(field_value, lo_));
+      return c <= 0;
+    }
+    case CompareOp::kGt: {
+      FIELDREP_ASSIGN_OR_RETURN(int c, CompareValues(field_value, lo_));
+      return c > 0;
+    }
+    case CompareOp::kGe: {
+      FIELDREP_ASSIGN_OR_RETURN(int c, CompareValues(field_value, lo_));
+      return c >= 0;
+    }
+    case CompareOp::kBetween: {
+      FIELDREP_ASSIGN_OR_RETURN(int c1, CompareValues(field_value, lo_));
+      if (c1 < 0) return false;
+      FIELDREP_ASSIGN_OR_RETURN(int c2, CompareValues(field_value, hi_));
+      return c2 <= 0;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status BoundPredicate::KeyRange(int64_t* lo, int64_t* hi, bool* exact) const {
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  // String keys are 8-byte prefixes: distinct strings can share a key, so
+  // hits must be re-checked. Integer and ref keys are exact.
+  bool key_is_exact = (field_type_ == FieldType::kInt32 ||
+                       field_type_ == FieldType::kInt64 ||
+                       field_type_ == FieldType::kRef);
+  FIELDREP_ASSIGN_OR_RETURN(int64_t key_lo, BTreeKeyForValue(lo_));
+  switch (op_) {
+    case CompareOp::kEq:
+      *lo = key_lo;
+      *hi = key_lo;
+      break;
+    case CompareOp::kLt:
+      *lo = kMin;
+      *hi = key_lo == kMin ? kMin : key_lo - 1;
+      // For non-exact key spaces the boundary key may hold matching values.
+      if (!key_is_exact) *hi = key_lo;
+      break;
+    case CompareOp::kLe:
+      *lo = kMin;
+      *hi = key_lo;
+      break;
+    case CompareOp::kGt:
+      *lo = key_is_exact ? (key_lo == kMax ? kMax : key_lo + 1) : key_lo;
+      *hi = kMax;
+      break;
+    case CompareOp::kGe:
+      *lo = key_lo;
+      *hi = kMax;
+      break;
+    case CompareOp::kBetween: {
+      FIELDREP_ASSIGN_OR_RETURN(int64_t key_hi, BTreeKeyForValue(hi_));
+      *lo = key_lo;
+      *hi = key_hi;
+      break;
+    }
+  }
+  *exact = key_is_exact;
+  return Status::OK();
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,85 @@
+#ifndef FIELDREP_QUERY_PREDICATE_H_
+#define FIELDREP_QUERY_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/type.h"
+#include "common/status.h"
+#include "objects/value.h"
+
+namespace fieldrep {
+
+/// Comparison operators supported in query clauses.
+enum class CompareOp { kEq, kLt, kLe, kGt, kGe, kBetween };
+
+const char* CompareOpName(CompareOp op);
+
+/// Three-way comparison of two values of compatible kinds
+/// (integers widen; strings compare lexicographically after char[] padding;
+/// refs compare by packed OID). Returns <0, 0, >0.
+Result<int> CompareValues(const Value& a, const Value& b);
+
+/// \brief A single-attribute selection clause, e.g.
+/// `where salary between 100000 and 200000` — the shape of the clauses in
+/// the cost model's read and update queries (Section 6).
+struct Predicate {
+  std::string attr_name;
+  CompareOp op = CompareOp::kEq;
+  Value operand;   ///< right-hand side (lower bound for kBetween)
+  Value operand2;  ///< inclusive upper bound for kBetween
+
+  static Predicate Between(std::string attr, Value lo, Value hi) {
+    Predicate p;
+    p.attr_name = std::move(attr);
+    p.op = CompareOp::kBetween;
+    p.operand = std::move(lo);
+    p.operand2 = std::move(hi);
+    return p;
+  }
+  static Predicate Compare(std::string attr, CompareOp op, Value v) {
+    Predicate p;
+    p.attr_name = std::move(attr);
+    p.op = op;
+    p.operand = std::move(v);
+    return p;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief A predicate bound to a concrete attribute, with operands coerced
+/// to the attribute type (so char[n] padding cannot break comparisons).
+class BoundPredicate {
+ public:
+  /// Binds `predicate` against `type` (plain attributes).
+  static Result<BoundPredicate> Bind(const Predicate& predicate,
+                                     const TypeDescriptor& type);
+
+  /// Binds against an explicit attribute descriptor — used for clauses on
+  /// reference paths, where the attribute lives in the terminal type.
+  static Result<BoundPredicate> BindToAttribute(
+      const Predicate& predicate, const AttributeDescriptor& attr,
+      int attr_index);
+
+  int attr_index() const { return attr_index_; }
+
+  /// Evaluates the predicate against an attribute value.
+  Result<bool> Matches(const Value& field_value) const;
+
+  /// Computes the inclusive B+ tree key range selected by the predicate.
+  /// `exact` is false when index hits must be re-checked against the
+  /// actual attribute value (string-prefix keys, or open-ended floats).
+  Status KeyRange(int64_t* lo, int64_t* hi, bool* exact) const;
+
+ private:
+  int attr_index_ = -1;
+  FieldType field_type_ = FieldType::kInt32;
+  CompareOp op_ = CompareOp::kEq;
+  Value lo_;
+  Value hi_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_QUERY_PREDICATE_H_

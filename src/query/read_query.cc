@@ -1,0 +1,204 @@
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+#include "query/executor.h"
+#include "replication/link_object.h"
+
+namespace fieldrep {
+
+namespace {
+/// Record tag for output-file tuples (distinct from object type tags and
+/// the RecordFile relocation stubs).
+constexpr uint16_t kOutputRecordTag = 0xFF02;
+
+std::string SerializeOutputRow(const std::vector<Value>& row, uint32_t pad) {
+  std::string out;
+  PutU16(&out, kOutputRecordTag);
+  PutU16(&out, static_cast<uint16_t>(row.size()));
+  for (const Value& v : row) EncodeTaggedValue(v, &out);
+  if (out.size() < pad) out.resize(pad, '\0');
+  return out;
+}
+
+Oid RefOrInvalid(const Value& v) {
+  return v.is_ref() ? v.as_ref() : Oid::Invalid();
+}
+}  // namespace
+
+Status Executor::ExecuteRead(const ReadQuery& query, ReadResult* result) {
+  *result = ReadResult();
+  FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, sets_->GetSet(query.set_name));
+
+  // Plan projections.
+  std::vector<ColumnPlan> plans;
+  plans.reserve(query.projections.size());
+  for (const std::string& projection : query.projections) {
+    ColumnPlan plan;
+    FIELDREP_RETURN_IF_ERROR(PlanColumn(*set, query.set_name,
+                                        query.use_replication, projection,
+                                        &plan));
+    // "Not propagated until needed": reading through a deferred path is
+    // the need.
+    FIELDREP_RETURN_IF_ERROR(FlushDeferredForPlan(plan));
+    plans.push_back(std::move(plan));
+  }
+  result->access.reserve(plans.size());
+  for (const ColumnPlan& plan : plans) {
+    switch (plan.kind) {
+      case ColumnPlan::Kind::kAttr:
+        result->access.push_back(ReadResult::Access::kAttribute);
+        break;
+      case ColumnPlan::Kind::kReplica:
+        result->access.push_back(
+            plan.path->strategy == ReplicationStrategy::kInPlace
+                ? ReadResult::Access::kReplicaInPlace
+                : ReadResult::Access::kReplicaSeparate);
+        break;
+      case ColumnPlan::Kind::kJoin:
+        result->access.push_back(ReadResult::Access::kJoin);
+        break;
+    }
+  }
+
+  // Resolve the clause to sorted head OIDs.
+  bool needs_recheck = false;
+  std::optional<BoundClause> clause;
+  std::vector<Oid> oids;
+  FIELDREP_RETURN_IF_ERROR(CollectTargets(
+      set, query.predicate, query.set_name, query.use_replication,
+      &result->used_index, &needs_recheck, &clause, &oids));
+
+  // Stage 0: fetch head objects in physical order; evaluate attribute and
+  // in-place-replica columns; queue separate-replica reads and joins.
+  struct PendingReplica {
+    size_t row;
+    Oid replica_oid;
+  };
+  struct PendingJoin {
+    size_t row;
+    Oid current;
+  };
+  std::vector<std::vector<PendingReplica>> pending_replicas(plans.size());
+  std::vector<std::vector<PendingJoin>> pending_joins(plans.size());
+
+  for (const Oid& oid : oids) {
+    Object object;
+    FIELDREP_RETURN_IF_ERROR(set->Read(oid, &object));
+    if (needs_recheck && clause.has_value()) {
+      FIELDREP_ASSIGN_OR_RETURN(Value value,
+                                EvaluateColumn(clause->plan, object));
+      FIELDREP_ASSIGN_OR_RETURN(bool match, clause->predicate.Matches(value));
+      if (!match) continue;
+    }
+    ++result->heads_scanned;
+    size_t row_index = result->rows.size();
+    std::vector<Value> row(plans.size(), Value::Null());
+    for (size_t c = 0; c < plans.size(); ++c) {
+      const ColumnPlan& plan = plans[c];
+      switch (plan.kind) {
+        case ColumnPlan::Kind::kAttr:
+          row[c] = object.field(plan.attr_index);
+          break;
+        case ColumnPlan::Kind::kReplica: {
+          if (plan.path->strategy == ReplicationStrategy::kInPlace) {
+            const ReplicaValueSlot* slot =
+                object.FindReplicaValues(plan.path->id);
+            if (slot != nullptr &&
+                plan.replica_pos < static_cast<int>(slot->values.size())) {
+              row[c] = slot->values[plan.replica_pos];
+            }
+          } else {
+            const ReplicaRefSlot* slot = object.FindReplicaRef(plan.path->id);
+            if (slot != nullptr) {
+              pending_replicas[c].push_back({row_index, slot->replica_oid});
+            }
+          }
+          break;
+        }
+        case ColumnPlan::Kind::kJoin: {
+          Oid start;
+          if (plan.path != nullptr) {
+            // Replicated prefix: the next-hop OID comes from the hidden
+            // replica slot at zero I/O cost.
+            const ReplicaValueSlot* slot =
+                object.FindReplicaValues(plan.path->id);
+            if (slot != nullptr &&
+                plan.replica_pos < static_cast<int>(slot->values.size())) {
+              start = RefOrInvalid(slot->values[plan.replica_pos]);
+            }
+          } else {
+            start = RefOrInvalid(object.field(plan.start_attr));
+          }
+          if (start.valid()) pending_joins[c].push_back({row_index, start});
+          break;
+        }
+      }
+    }
+    result->rows.push_back(std::move(row));
+  }
+
+  // Stage 1: separate-replica columns — batched, sorted by replica OID so
+  // the S' file is read in clustered order.
+  for (size_t c = 0; c < plans.size(); ++c) {
+    if (pending_replicas[c].empty()) continue;
+    const ColumnPlan& plan = plans[c];
+    std::sort(pending_replicas[c].begin(), pending_replicas[c].end(),
+              [](const PendingReplica& a, const PendingReplica& b) {
+                return a.replica_oid < b.replica_oid;
+              });
+    FIELDREP_ASSIGN_OR_RETURN(
+        RecordFile * file, sets_->GetAuxFile(plan.path->replica_set_file));
+    for (const PendingReplica& pending : pending_replicas[c]) {
+      std::string payload;
+      FIELDREP_RETURN_IF_ERROR(file->Read(pending.replica_oid, &payload));
+      ReplicaRecord record;
+      FIELDREP_RETURN_IF_ERROR(record.Deserialize(payload));
+      if (plan.replica_pos < static_cast<int>(record.values.size())) {
+        result->rows[pending.row][c] = record.values[plan.replica_pos];
+      }
+    }
+  }
+
+  // Stage 2: functional joins — level by level, each level visited in
+  // sorted OID order (the optimal-join discipline of Section 6.2).
+  for (size_t c = 0; c < plans.size(); ++c) {
+    if (pending_joins[c].empty()) continue;
+    const ColumnPlan& plan = plans[c];
+    std::vector<PendingJoin> frontier = std::move(pending_joins[c]);
+    for (size_t hop = 0; hop < plan.hop_attrs.size(); ++hop) {
+      bool last = (hop + 1 == plan.hop_attrs.size());
+      std::sort(frontier.begin(), frontier.end(),
+                [](const PendingJoin& a, const PendingJoin& b) {
+                  return a.current < b.current;
+                });
+      std::vector<PendingJoin> next;
+      for (const PendingJoin& pending : frontier) {
+        Object target;
+        FIELDREP_RETURN_IF_ERROR(ReadObjectAt(pending.current, &target));
+        const Value& v = target.field(plan.hop_attrs[hop]);
+        if (last) {
+          result->rows[pending.row][c] = v;
+        } else {
+          Oid next_oid = RefOrInvalid(v);
+          if (next_oid.valid()) next.push_back({pending.row, next_oid});
+        }
+      }
+      if (!last) frontier = std::move(next);
+    }
+  }
+
+  // Stage 3: spool result tuples to the output file T.
+  if (query.write_output) {
+    FIELDREP_ASSIGN_OR_RETURN(RecordFile * out, output_file());
+    for (const std::vector<Value>& row : result->rows) {
+      Oid ignored;
+      FIELDREP_RETURN_IF_ERROR(
+          out->Insert(SerializeOutputRow(row, query.output_pad), &ignored));
+      ++result->rows_written;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,54 @@
+#ifndef FIELDREP_QUERY_READ_QUERY_H_
+#define FIELDREP_QUERY_READ_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "objects/value.h"
+#include "query/predicate.h"
+
+namespace fieldrep {
+
+/// \brief A retrieval query in the shape of the paper's read queries
+/// (Sections 3.1 and 6):
+///
+///   retrieve (Emp1.name, Emp1.salary, Emp1.dept.name)
+///   where Emp1.salary > 100000
+///
+/// Projections are plain attributes or dotted reference paths relative to
+/// the set. Paths are answered from replicas when a replication path covers
+/// them (exactly, via a `.all` path, or via a replicated prefix ending in a
+/// ref attribute — the Section 3.3.3 collapse); otherwise the executor
+/// performs functional joins, batched level-by-level in sorted OID order so
+/// each page is read once (the cost model's optimal-join assumption).
+struct ReadQuery {
+  std::string set_name;
+  std::vector<std::string> projections;
+  std::optional<Predicate> predicate;  ///< absent = whole set
+  /// When false the planner ignores replicas and always joins (baseline /
+  /// ablation support).
+  bool use_replication = true;
+  /// Write result tuples to the output file T (counted I/O), as the cost
+  /// model's C_generate/T does.
+  bool write_output = false;
+  /// Pad each output record to this many bytes (0 = natural size); lets
+  /// benchmarks match the model's t = 100.
+  uint32_t output_pad = 0;
+};
+
+/// \brief Result rows plus execution counters.
+struct ReadResult {
+  std::vector<std::vector<Value>> rows;
+  uint64_t rows_written = 0;   ///< records appended to the output file
+  uint64_t heads_scanned = 0;  ///< head objects fetched
+  bool used_index = false;
+  /// How each projection was answered (aligned with query.projections).
+  enum class Access { kAttribute, kReplicaInPlace, kReplicaSeparate, kJoin };
+  std::vector<Access> access;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_QUERY_READ_QUERY_H_

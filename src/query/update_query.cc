@@ -1,0 +1,48 @@
+#include <algorithm>
+
+#include "common/strings.h"
+#include "query/executor.h"
+
+namespace fieldrep {
+
+Status Executor::ExecuteUpdate(const UpdateQuery& query,
+                               UpdateResult* result) {
+  *result = UpdateResult();
+  FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, sets_->GetSet(query.set_name));
+
+  // Bind assignments to attribute indices up front.
+  std::vector<std::pair<int, Value>> assignments;
+  assignments.reserve(query.assignments.size());
+  for (const auto& [attr_name, value] : query.assignments) {
+    int attr = set->type().FindAttribute(attr_name);
+    if (attr < 0) {
+      return Status::InvalidArgument("type " + set->type().name() +
+                                     " has no attribute " + attr_name);
+    }
+    assignments.emplace_back(attr, value);
+  }
+
+  bool needs_recheck = false;
+  std::optional<BoundClause> clause;
+  std::vector<Oid> oids;
+  FIELDREP_RETURN_IF_ERROR(CollectTargets(
+      set, query.predicate, query.set_name, /*use_replication=*/true,
+      &result->used_index, &needs_recheck, &clause, &oids));
+
+  for (const Oid& oid : oids) {
+    if (needs_recheck && clause.has_value()) {
+      Object object;
+      FIELDREP_RETURN_IF_ERROR(set->Read(oid, &object));
+      FIELDREP_ASSIGN_OR_RETURN(Value value,
+                                EvaluateColumn(clause->plan, object));
+      FIELDREP_ASSIGN_OR_RETURN(bool match, clause->predicate.Matches(value));
+      if (!match) continue;
+    }
+    FIELDREP_RETURN_IF_ERROR(
+        replication_->UpdateFields(query.set_name, oid, assignments));
+    ++result->objects_updated;
+  }
+  return Status::OK();
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,37 @@
+#ifndef FIELDREP_QUERY_UPDATE_QUERY_H_
+#define FIELDREP_QUERY_UPDATE_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "objects/value.h"
+#include "query/predicate.h"
+
+namespace fieldrep {
+
+/// \brief An update query in the shape of the paper's
+///
+///   replace (S.fields = newvalues, S.repfield = newvalue)
+///   where ... some clause on a scalar field S.field_s
+///
+/// Every assignment flows through the ReplicationManager, so updates to
+/// replicated terminal fields propagate (in-place: through the inverted
+/// path to each head; separate: to the shared S' record), and updates to
+/// reference attributes perform the link surgery of Sections 4.1/5.2.
+struct UpdateQuery {
+  std::string set_name;
+  std::optional<Predicate> predicate;  ///< absent = whole set
+  std::vector<std::pair<std::string, Value>> assignments;
+};
+
+struct UpdateResult {
+  uint64_t objects_updated = 0;
+  bool used_index = false;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_QUERY_UPDATE_QUERY_H_

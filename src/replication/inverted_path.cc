@@ -1,0 +1,277 @@
+#include "replication/inverted_path.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+Result<ObjectSet*> InvertedPathOps::SetForOid(const Oid& oid) const {
+  FIELDREP_ASSIGN_OR_RETURN(const SetInfo* info,
+                            catalog_->GetSetForFile(oid.file_id));
+  return sets_->GetSet(info->name);
+}
+
+Status InvertedPathOps::ReadObject(const Oid& oid, Object* object,
+                                   ObjectSet** set_out) const {
+  FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, SetForOid(oid));
+  if (set_out != nullptr) *set_out = set;
+  return set->Read(oid, object);
+}
+
+Status InvertedPathOps::WriteObject(const Oid& oid,
+                                    const Object& object) const {
+  FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, SetForOid(oid));
+  return set->Write(oid, object);
+}
+
+Result<LinkSet> InvertedPathOps::LinkSetFor(uint8_t link_id) const {
+  const LinkInfo* link = catalog_->link_registry().GetLink(link_id);
+  if (link == nullptr) {
+    return Status::NotFound(StringPrintf("no link with id %u", link_id));
+  }
+  FIELDREP_ASSIGN_OR_RETURN(RecordFile * file,
+                            sets_->GetAuxFile(link->link_set_file));
+  return LinkSet(file);
+}
+
+Status InvertedPathOps::SpillInline(const LinkInfo& link, const Oid& owner,
+                                    LinkRef* ref) {
+  LinkObjectData data(link.id, owner, /*tagged=*/link.collapsed);
+  for (const Oid& member : ref->inline_oids) {
+    data.AddMember(member);
+  }
+  FIELDREP_ASSIGN_OR_RETURN(LinkSet link_set, LinkSetFor(link.id));
+  Oid link_oid;
+  FIELDREP_RETURN_IF_ERROR(link_set.Create(data, &link_oid));
+  ref->inlined = false;
+  ref->inline_oids.clear();
+  ref->link_oid = link_oid;
+  return Status::OK();
+}
+
+Status InvertedPathOps::AddMember(uint8_t link_id, const Oid& owner,
+                                  Object* owner_obj, const Oid& member,
+                                  const Oid& tag) {
+  const LinkInfo* link = catalog_->link_registry().GetLink(link_id);
+  if (link == nullptr) {
+    return Status::NotFound(StringPrintf("no link with id %u", link_id));
+  }
+  LinkRef* ref = owner_obj->FindLinkRef(link_id);
+  if (ref == nullptr) {
+    // Owner enters the link. Small links are inlined (Section 4.3.1:
+    // "L can be eliminated, and x can be stored directly in the object(s)
+    // that reference L"); collapsed links always materialize because their
+    // entries carry tags.
+    if (!link->collapsed && link->inline_threshold >= 1) {
+      LinkRef fresh;
+      fresh.link_id = link_id;
+      fresh.inlined = true;
+      fresh.inline_oids.push_back(member);
+      owner_obj->SetLinkRef(std::move(fresh));
+    } else {
+      LinkObjectData data(link_id, owner, /*tagged=*/link->collapsed);
+      data.AddMember(member, tag);
+      FIELDREP_ASSIGN_OR_RETURN(LinkSet link_set, LinkSetFor(link_id));
+      Oid link_oid;
+      FIELDREP_RETURN_IF_ERROR(link_set.Create(data, &link_oid));
+      LinkRef fresh;
+      fresh.link_id = link_id;
+      fresh.link_oid = link_oid;
+      owner_obj->SetLinkRef(std::move(fresh));
+    }
+    return WriteObject(owner, *owner_obj);
+  }
+
+  if (ref->inlined) {
+    auto it = std::lower_bound(ref->inline_oids.begin(),
+                               ref->inline_oids.end(), member);
+    if (it != ref->inline_oids.end() && *it == member) {
+      return Status::OK();  // already present
+    }
+    ref->inline_oids.insert(it, member);
+    if (ref->inline_oids.size() > link->inline_threshold) {
+      FIELDREP_RETURN_IF_ERROR(SpillInline(*link, owner, ref));
+    }
+    return WriteObject(owner, *owner_obj);
+  }
+
+  FIELDREP_ASSIGN_OR_RETURN(LinkSet link_set, LinkSetFor(link_id));
+  LinkObjectData data;
+  FIELDREP_RETURN_IF_ERROR(link_set.Read(ref->link_oid, &data));
+  if (!data.AddMember(member, tag)) {
+    return Status::OK();  // already present; nothing to write
+  }
+  return link_set.Write(ref->link_oid, data);
+}
+
+Status InvertedPathOps::AddMembers(uint8_t link_id, const Oid& owner,
+                                   Object* owner_obj,
+                                   const std::vector<Oid>& members,
+                                   const Oid& tag) {
+  if (members.empty()) return Status::OK();
+  const LinkInfo* link = catalog_->link_registry().GetLink(link_id);
+  if (link == nullptr) {
+    return Status::NotFound(StringPrintf("no link with id %u", link_id));
+  }
+  LinkRef* ref = owner_obj->FindLinkRef(link_id);
+  if (ref == nullptr) {
+    if (!link->collapsed && members.size() <= link->inline_threshold) {
+      LinkRef fresh;
+      fresh.link_id = link_id;
+      fresh.inlined = true;
+      fresh.inline_oids = members;
+      std::sort(fresh.inline_oids.begin(), fresh.inline_oids.end());
+      owner_obj->SetLinkRef(std::move(fresh));
+      return WriteObject(owner, *owner_obj);
+    }
+    LinkObjectData data(link_id, owner, /*tagged=*/link->collapsed);
+    for (const Oid& member : members) data.AddMember(member, tag);
+    FIELDREP_ASSIGN_OR_RETURN(LinkSet link_set, LinkSetFor(link_id));
+    Oid link_oid;
+    FIELDREP_RETURN_IF_ERROR(link_set.Create(data, &link_oid));
+    LinkRef fresh;
+    fresh.link_id = link_id;
+    fresh.link_oid = link_oid;
+    owner_obj->SetLinkRef(std::move(fresh));
+    return WriteObject(owner, *owner_obj);
+  }
+  if (ref->inlined) {
+    bool changed = false;
+    for (const Oid& member : members) {
+      auto it = std::lower_bound(ref->inline_oids.begin(),
+                                 ref->inline_oids.end(), member);
+      if (it == ref->inline_oids.end() || *it != member) {
+        ref->inline_oids.insert(it, member);
+        changed = true;
+      }
+    }
+    if (!changed) return Status::OK();
+    if (ref->inline_oids.size() > link->inline_threshold) {
+      FIELDREP_RETURN_IF_ERROR(SpillInline(*link, owner, ref));
+    }
+    return WriteObject(owner, *owner_obj);
+  }
+  FIELDREP_ASSIGN_OR_RETURN(LinkSet link_set, LinkSetFor(link_id));
+  LinkObjectData data;
+  FIELDREP_RETURN_IF_ERROR(link_set.Read(ref->link_oid, &data));
+  bool changed = false;
+  for (const Oid& member : members) {
+    changed |= data.AddMember(member, tag);
+  }
+  if (!changed) return Status::OK();
+  return link_set.Write(ref->link_oid, data);
+}
+
+Status InvertedPathOps::RemoveMember(uint8_t link_id, const Oid& owner,
+                                     Object* owner_obj, const Oid& member,
+                                     bool* owner_on_path) {
+  LinkRef* ref = owner_obj->FindLinkRef(link_id);
+  if (ref == nullptr) {
+    *owner_on_path = false;
+    return Status::OK();
+  }
+  if (ref->inlined) {
+    auto it = std::lower_bound(ref->inline_oids.begin(),
+                               ref->inline_oids.end(), member);
+    if (it != ref->inline_oids.end() && *it == member) {
+      ref->inline_oids.erase(it);
+      if (ref->inline_oids.empty()) {
+        owner_obj->RemoveLinkRef(link_id);
+        *owner_on_path = false;
+      } else {
+        *owner_on_path = true;
+      }
+      return WriteObject(owner, *owner_obj);
+    }
+    *owner_on_path = true;
+    return Status::OK();
+  }
+
+  FIELDREP_ASSIGN_OR_RETURN(LinkSet link_set, LinkSetFor(link_id));
+  LinkObjectData data;
+  FIELDREP_RETURN_IF_ERROR(link_set.Read(ref->link_oid, &data));
+  if (!data.RemoveMember(member)) {
+    *owner_on_path = true;
+    return Status::OK();
+  }
+  if (data.empty()) {
+    // "If there are no longer any OIDs in the link object, it is deleted."
+    FIELDREP_RETURN_IF_ERROR(link_set.Delete(ref->link_oid));
+    owner_obj->RemoveLinkRef(link_id);
+    *owner_on_path = false;
+    return WriteObject(owner, *owner_obj);
+  }
+  *owner_on_path = true;
+  return link_set.Write(ref->link_oid, data);
+}
+
+Status InvertedPathOps::GetMembers(uint8_t link_id, const Object& owner_obj,
+                                   std::vector<Oid>* members) const {
+  members->clear();
+  const LinkRef* ref = owner_obj.FindLinkRef(link_id);
+  if (ref == nullptr) return Status::OK();
+  if (ref->inlined) {
+    *members = ref->inline_oids;
+    return Status::OK();
+  }
+  FIELDREP_ASSIGN_OR_RETURN(LinkSet link_set, LinkSetFor(link_id));
+  LinkObjectData data;
+  FIELDREP_RETURN_IF_ERROR(link_set.Read(ref->link_oid, &data));
+  *members = data.Members();
+  return Status::OK();
+}
+
+Status InvertedPathOps::GetEntries(uint8_t link_id, const Object& owner_obj,
+                                   std::vector<LinkEntry>* entries) const {
+  entries->clear();
+  const LinkRef* ref = owner_obj.FindLinkRef(link_id);
+  if (ref == nullptr) return Status::OK();
+  if (ref->inlined) {
+    for (const Oid& member : ref->inline_oids) {
+      entries->push_back(LinkEntry{member, Oid::Invalid()});
+    }
+    return Status::OK();
+  }
+  FIELDREP_ASSIGN_OR_RETURN(LinkSet link_set, LinkSetFor(link_id));
+  LinkObjectData data;
+  FIELDREP_RETURN_IF_ERROR(link_set.Read(ref->link_oid, &data));
+  *entries = data.entries();
+  return Status::OK();
+}
+
+Status InvertedPathOps::RemoveTaggedMembers(uint8_t link_id, const Oid& owner,
+                                            Object* owner_obj, const Oid& tag,
+                                            std::vector<Oid>* removed) {
+  removed->clear();
+  LinkRef* ref = owner_obj->FindLinkRef(link_id);
+  if (ref == nullptr) return Status::OK();
+  if (ref->inlined) {
+    return Status::Internal("collapsed link unexpectedly inlined");
+  }
+  FIELDREP_ASSIGN_OR_RETURN(LinkSet link_set, LinkSetFor(link_id));
+  LinkObjectData data;
+  FIELDREP_RETURN_IF_ERROR(link_set.Read(ref->link_oid, &data));
+  *removed = data.RemoveByTag(tag);
+  if (removed->empty()) return Status::OK();
+  if (data.empty()) {
+    FIELDREP_RETURN_IF_ERROR(link_set.Delete(ref->link_oid));
+    owner_obj->RemoveLinkRef(link_id);
+    return WriteObject(owner, *owner_obj);
+  }
+  return link_set.Write(ref->link_oid, data);
+}
+
+Status InvertedPathOps::MoveTaggedMembers(uint8_t link_id,
+                                          const Oid& old_owner,
+                                          Object* old_owner_obj,
+                                          const Oid& new_owner,
+                                          Object* new_owner_obj,
+                                          const Oid& tag,
+                                          std::vector<Oid>* moved) {
+  FIELDREP_RETURN_IF_ERROR(
+      RemoveTaggedMembers(link_id, old_owner, old_owner_obj, tag, moved));
+  return AddMembers(link_id, new_owner, new_owner_obj, *moved, tag);
+}
+
+}  // namespace fieldrep

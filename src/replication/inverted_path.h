@@ -1,0 +1,101 @@
+#ifndef FIELDREP_REPLICATION_INVERTED_PATH_H_
+#define FIELDREP_REPLICATION_INVERTED_PATH_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "objects/object.h"
+#include "objects/set_provider.h"
+#include "replication/link_set.h"
+
+namespace fieldrep {
+
+/// \brief Low-level operations on the links of inverted paths
+/// (Sections 4.1 and 4.3).
+///
+/// An inverted path P1.P2...Pn^-1 is broken into links; each link's inverse
+/// mapping is materialized as link objects owned by the objects at the
+/// link's target end. This class maintains single links: membership
+/// add/remove with automatic link-object creation/deletion, the small-link
+/// inlining optimization (Section 4.3.1), and tagged-entry moves for
+/// collapsed links (Section 4.3.3). Path-level orchestration (ripple across
+/// levels, head bookkeeping) lives in ReplicationManager.
+class InvertedPathOps {
+ public:
+  InvertedPathOps(Catalog* catalog, SetProvider* sets)
+      : catalog_(catalog), sets_(sets) {}
+
+  // --- Object plumbing ------------------------------------------------------
+
+  /// Resolves the set an OID belongs to.
+  Result<ObjectSet*> SetForOid(const Oid& oid) const;
+
+  /// Reads the object at `oid`; optionally returns its set.
+  Status ReadObject(const Oid& oid, Object* object,
+                    ObjectSet** set_out = nullptr) const;
+
+  /// Writes the object at `oid` back to its set.
+  Status WriteObject(const Oid& oid, const Object& object) const;
+
+  /// The link set file of `link_id`.
+  Result<LinkSet> LinkSetFor(uint8_t link_id) const;
+
+  // --- Link membership ------------------------------------------------------
+
+  /// Adds `member` to `owner`'s link object for `link_id`, creating the
+  /// link object (or inline ref) if the owner just entered the link.
+  /// No-op if the member is already present. `tag` is stored for collapsed
+  /// links. `owner_obj` is the owner's current image and is mutated and
+  /// written back when the owner's hidden state changes.
+  Status AddMember(uint8_t link_id, const Oid& owner, Object* owner_obj,
+                   const Oid& member, const Oid& tag = Oid::Invalid());
+
+  /// Batched form of AddMember: one link-object read and one write for the
+  /// whole member list (all entries share `tag`).
+  Status AddMembers(uint8_t link_id, const Oid& owner, Object* owner_obj,
+                    const std::vector<Oid>& members,
+                    const Oid& tag = Oid::Invalid());
+
+  /// Removes `member` from `owner`'s link object for `link_id`, deleting
+  /// the link object and the owner's LinkRef when it empties (the
+  /// maintenance rule of Section 4.1.1). On return `*owner_on_path` says
+  /// whether the owner still has a link object for this link — the ripple
+  /// signal of Section 4.1.2.
+  Status RemoveMember(uint8_t link_id, const Oid& owner, Object* owner_obj,
+                      const Oid& member, bool* owner_on_path);
+
+  /// Member OIDs (sorted) of `owner_obj`'s link object for `link_id`;
+  /// empty if the owner is not on the link.
+  Status GetMembers(uint8_t link_id, const Object& owner_obj,
+                    std::vector<Oid>* members) const;
+
+  /// Tagged entries of a collapsed link object (member, tag pairs).
+  Status GetEntries(uint8_t link_id, const Object& owner_obj,
+                    std::vector<LinkEntry>* entries) const;
+
+  /// Collapsed-link retargeting (Figure 6): moves every entry tagged `tag`
+  /// from `old_owner`'s link object to `new_owner`'s, returning the moved
+  /// members. Both owner images are mutated/written as needed.
+  Status MoveTaggedMembers(uint8_t link_id, const Oid& old_owner,
+                           Object* old_owner_obj, const Oid& new_owner,
+                           Object* new_owner_obj, const Oid& tag,
+                           std::vector<Oid>* moved);
+
+  /// Removes every entry tagged `tag` from `owner`'s collapsed link
+  /// object, returning the removed members.
+  Status RemoveTaggedMembers(uint8_t link_id, const Oid& owner,
+                             Object* owner_obj, const Oid& tag,
+                             std::vector<Oid>* removed);
+
+ private:
+  /// Spills an inlined LinkRef into a real link object.
+  Status SpillInline(const LinkInfo& link, const Oid& owner, LinkRef* ref);
+
+  Catalog* catalog_;
+  SetProvider* sets_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_REPLICATION_INVERTED_PATH_H_

@@ -1,0 +1,146 @@
+#include "replication/link_object.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+
+namespace fieldrep {
+
+namespace {
+bool EntryLess(const LinkEntry& a, const Oid& member) {
+  return a.member < member;
+}
+}  // namespace
+
+std::vector<Oid> LinkObjectData::Members() const {
+  std::vector<Oid> out;
+  out.reserve(entries_.size());
+  for (const LinkEntry& entry : entries_) out.push_back(entry.member);
+  return out;
+}
+
+bool LinkObjectData::AddMember(const Oid& member, const Oid& tag) {
+  auto it =
+      std::lower_bound(entries_.begin(), entries_.end(), member, EntryLess);
+  if (it != entries_.end() && it->member == member) return false;
+  entries_.insert(it, LinkEntry{member, tag});
+  return true;
+}
+
+bool LinkObjectData::RemoveMember(const Oid& member) {
+  auto it =
+      std::lower_bound(entries_.begin(), entries_.end(), member, EntryLess);
+  if (it == entries_.end() || it->member != member) return false;
+  entries_.erase(it);
+  return true;
+}
+
+bool LinkObjectData::HasMember(const Oid& member) const {
+  auto it =
+      std::lower_bound(entries_.begin(), entries_.end(), member, EntryLess);
+  return it != entries_.end() && it->member == member;
+}
+
+std::vector<Oid> LinkObjectData::RemoveByTag(const Oid& tag) {
+  std::vector<Oid> moved;
+  auto keep = entries_.begin();
+  for (const LinkEntry& entry : entries_) {
+    if (entry.tag == tag) {
+      moved.push_back(entry.member);
+    } else {
+      *keep++ = entry;
+    }
+  }
+  entries_.erase(keep, entries_.end());
+  return moved;
+}
+
+size_t LinkObjectData::SerializedSize() const {
+  return 2 + 1 + 1 + 8 + 8 + 4 + entries_.size() * (tagged_ ? 16 : 8);
+}
+
+std::string LinkObjectData::Serialize(const Oid& next) const {
+  std::string out;
+  PutU16(&out, kLinkRecordTag);
+  out.push_back(static_cast<char>(link_id_));
+  out.push_back(static_cast<char>(tagged_ ? 1 : 0));
+  PutU64(&out, owner_.Packed());
+  PutU64(&out, next.Packed());
+  PutU32(&out, static_cast<uint32_t>(entries_.size()));
+  for (const LinkEntry& entry : entries_) {
+    PutU64(&out, entry.member.Packed());
+    if (tagged_) PutU64(&out, entry.tag.Packed());
+  }
+  return out;
+}
+
+Status LinkObjectData::Deserialize(const std::string& payload) {
+  ByteReader reader(payload);
+  uint16_t tag;
+  std::string head;
+  uint64_t owner_packed, next_packed;
+  uint32_t count;
+  if (!reader.GetU16(&tag) || tag != kLinkRecordTag) {
+    return Status::Corruption("record is not a link object");
+  }
+  if (!reader.GetRaw(2, &head) || !reader.GetU64(&owner_packed) ||
+      !reader.GetU64(&next_packed) || !reader.GetU32(&count)) {
+    return Status::Corruption("truncated link object");
+  }
+  link_id_ = static_cast<uint8_t>(head[0]);
+  tagged_ = head[1] != 0;
+  owner_ = Oid::FromPacked(owner_packed);
+  next_segment_ = Oid::FromPacked(next_packed);
+  entries_.clear();
+  entries_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    LinkEntry entry;
+    uint64_t packed;
+    if (!reader.GetU64(&packed)) {
+      return Status::Corruption("truncated link entry");
+    }
+    entry.member = Oid::FromPacked(packed);
+    if (tagged_) {
+      if (!reader.GetU64(&packed)) {
+        return Status::Corruption("truncated link entry tag");
+      }
+      entry.tag = Oid::FromPacked(packed);
+    }
+    entries_.push_back(entry);
+  }
+  return Status::OK();
+}
+
+std::string ReplicaRecord::Serialize() const {
+  std::string out;
+  PutU16(&out, kReplicaRecordTag);
+  PutU16(&out, path_id);
+  PutU64(&out, owner.Packed());
+  PutU16(&out, static_cast<uint16_t>(values.size()));
+  for (const Value& v : values) EncodeTaggedValue(v, &out);
+  return out;
+}
+
+Status ReplicaRecord::Deserialize(const std::string& payload) {
+  ByteReader reader(payload);
+  uint16_t tag, count;
+  uint64_t owner_packed;
+  if (!reader.GetU16(&tag) || tag != kReplicaRecordTag) {
+    return Status::Corruption("record is not a replica record");
+  }
+  if (!reader.GetU16(&path_id) || !reader.GetU64(&owner_packed) ||
+      !reader.GetU16(&count)) {
+    return Status::Corruption("truncated replica record");
+  }
+  owner = Oid::FromPacked(owner_packed);
+  values.clear();
+  values.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    Value v;
+    FIELDREP_RETURN_IF_ERROR(DecodeTaggedValue(&reader, &v));
+    values.push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,113 @@
+#ifndef FIELDREP_REPLICATION_LINK_OBJECT_H_
+#define FIELDREP_REPLICATION_LINK_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "objects/value.h"
+#include "storage/oid.h"
+
+namespace fieldrep {
+
+/// Record tags distinguishing auxiliary record kinds. Object type tags
+/// assigned by the catalog count up from 1, so these high values are free.
+inline constexpr uint16_t kLinkRecordTag = 0xFF00;
+inline constexpr uint16_t kReplicaRecordTag = 0xFF01;
+
+/// \brief One entry of a link object: a member OID, plus — in collapsed
+/// links only (Section 4.3.3) — the tag identifying the intermediate object
+/// the member reaches this owner through.
+struct LinkEntry {
+  Oid member;
+  Oid tag;  ///< invalid unless the link is collapsed
+
+  friend bool operator==(const LinkEntry& a, const LinkEntry& b) {
+    return a.member == b.member && a.tag == b.tag;
+  }
+};
+
+/// \brief In-memory form of a link object (Section 4.1, Figure 2).
+///
+/// A link object is owned by an object O at the end of link L and holds the
+/// (sorted) OIDs of the objects one level closer to the head set that
+/// reference O. "The OIDs that appear in a link object are kept in sorted
+/// order so that ... a particular OID can be found and deleted using a
+/// binary search" and so updates propagate in clustered order.
+class LinkObjectData {
+ public:
+  LinkObjectData() = default;
+  LinkObjectData(uint8_t link_id, Oid owner, bool tagged)
+      : link_id_(link_id), owner_(owner), tagged_(tagged) {}
+
+  uint8_t link_id() const { return link_id_; }
+  Oid owner() const { return owner_; }
+  bool tagged() const { return tagged_; }
+  const std::vector<LinkEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Sorted members (without tags).
+  std::vector<Oid> Members() const;
+
+  /// Inserts (member, tag) preserving sort order; false if already present.
+  bool AddMember(const Oid& member, const Oid& tag = Oid::Invalid());
+
+  /// Removes `member` via binary search; false if absent.
+  bool RemoveMember(const Oid& member);
+
+  bool HasMember(const Oid& member) const;
+
+  /// Removes every entry tagged with `tag`, returning the removed members —
+  /// the retargeting move of Figure 6 ("the OIDs of E1, E2, and E3 will
+  /// have to be moved from O's link object to X's link object").
+  std::vector<Oid> RemoveByTag(const Oid& tag);
+
+  /// Serialized byte size (for the space accounting of Section 4.2:
+  /// l = 1 + sizeof(type-tag) + f * sizeof(OID), plus the owner backpointer
+  /// and segment-chain pointer this implementation adds).
+  size_t SerializedSize() const;
+
+  /// Serializes this data as one segment record; `next` chains additional
+  /// segments when a link object outgrows a page (LinkSet handles the
+  /// splitting — "each link object can contain a large number of OIDs, and
+  /// can be quite large as a result", Section 4.1).
+  std::string Serialize(const Oid& next = Oid::Invalid()) const;
+  Status Deserialize(const std::string& payload);
+
+  /// Chain pointer read back by Deserialize (invalid = last segment).
+  Oid next_segment() const { return next_segment_; }
+
+  /// Replaces the entry vector (segmentation support; entries must be
+  /// sorted by member).
+  void SetEntries(std::vector<LinkEntry> entries) {
+    entries_ = std::move(entries);
+  }
+
+ private:
+  uint8_t link_id_ = 0;
+  Oid owner_;
+  bool tagged_ = false;
+  Oid next_segment_;
+  std::vector<LinkEntry> entries_;  // sorted by member
+};
+
+/// \brief A replica record stored in an S' file under separate replication
+/// (Section 5, Figure 7): the replicated value(s) for one terminal object,
+/// shared by every head object that reaches that terminal.
+///
+/// Values are stored with self-describing tags (see EncodeTaggedValue); the
+/// owner backpointer names the terminal object the values mirror.
+struct ReplicaRecord {
+  uint16_t path_id = 0;
+  Oid owner;  ///< the terminal (S) object these values replicate
+  std::vector<Value> values;
+
+  std::string Serialize() const;
+  Status Deserialize(const std::string& payload);
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_REPLICATION_LINK_OBJECT_H_

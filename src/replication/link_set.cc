@@ -1,0 +1,121 @@
+#include "replication/link_set.h"
+
+#include <algorithm>
+
+#include "storage/page.h"
+
+namespace fieldrep {
+
+uint32_t LinkSet::MaxEntriesPerSegment(bool tagged) {
+  // Keep segment records comfortably within one page (the record layer
+  // needs slack for its slot and potential relocation stubs).
+  return (kUserBytesPerPage - 128) / (tagged ? 16 : 8);
+}
+
+namespace {
+/// Splits `data`'s entries into per-segment chunks of at most `max` each.
+std::vector<std::vector<LinkEntry>> Chunk(const LinkObjectData& data,
+                                          uint32_t max) {
+  std::vector<std::vector<LinkEntry>> chunks;
+  const std::vector<LinkEntry>& entries = data.entries();
+  for (size_t start = 0; start < entries.size(); start += max) {
+    size_t end = std::min(entries.size(), start + max);
+    chunks.emplace_back(entries.begin() + start, entries.begin() + end);
+  }
+  if (chunks.empty()) chunks.emplace_back();
+  return chunks;
+}
+
+LinkObjectData Segment(const LinkObjectData& proto,
+                       std::vector<LinkEntry> entries) {
+  LinkObjectData segment(proto.link_id(), proto.owner(), proto.tagged());
+  segment.SetEntries(std::move(entries));
+  return segment;
+}
+}  // namespace
+
+Status LinkSet::CreateTail(const LinkObjectData& data, size_t chunk_count,
+                           Oid* first_tail) {
+  *first_tail = Oid::Invalid();
+  if (chunk_count <= 1) return Status::OK();
+  auto chunks = Chunk(data, MaxEntriesPerSegment(data.tagged()));
+  // Create tail segments last-to-first so each can chain to its successor.
+  Oid next = Oid::Invalid();
+  for (size_t i = chunks.size(); i-- > 1;) {
+    LinkObjectData segment = Segment(data, std::move(chunks[i]));
+    Oid oid;
+    FIELDREP_RETURN_IF_ERROR(file_->Insert(segment.Serialize(next), &oid));
+    next = oid;
+  }
+  *first_tail = next;
+  return Status::OK();
+}
+
+Status LinkSet::Create(const LinkObjectData& data, Oid* oid) {
+  auto chunks = Chunk(data, MaxEntriesPerSegment(data.tagged()));
+  Oid first_tail;
+  FIELDREP_RETURN_IF_ERROR(CreateTail(data, chunks.size(), &first_tail));
+  LinkObjectData head = Segment(data, std::move(chunks[0]));
+  return file_->Insert(head.Serialize(first_tail), oid);
+}
+
+Status LinkSet::Read(const Oid& oid, LinkObjectData* data) const {
+  std::string payload;
+  FIELDREP_RETURN_IF_ERROR(file_->Read(oid, &payload));
+  FIELDREP_RETURN_IF_ERROR(data->Deserialize(payload));
+  Oid next = data->next_segment();
+  if (!next.valid()) return Status::OK();
+  std::vector<LinkEntry> entries = data->entries();
+  while (next.valid()) {
+    FIELDREP_RETURN_IF_ERROR(file_->Read(next, &payload));
+    LinkObjectData segment;
+    FIELDREP_RETURN_IF_ERROR(segment.Deserialize(payload));
+    entries.insert(entries.end(), segment.entries().begin(),
+                   segment.entries().end());
+    next = segment.next_segment();
+  }
+  data->SetEntries(std::move(entries));
+  return Status::OK();
+}
+
+Status LinkSet::CollectChain(const Oid& head, std::vector<Oid>* tail) const {
+  tail->clear();
+  std::string payload;
+  FIELDREP_RETURN_IF_ERROR(file_->Read(head, &payload));
+  LinkObjectData segment;
+  FIELDREP_RETURN_IF_ERROR(segment.Deserialize(payload));
+  Oid next = segment.next_segment();
+  while (next.valid()) {
+    tail->push_back(next);
+    FIELDREP_RETURN_IF_ERROR(file_->Read(next, &payload));
+    FIELDREP_RETURN_IF_ERROR(segment.Deserialize(payload));
+    next = segment.next_segment();
+  }
+  return Status::OK();
+}
+
+Status LinkSet::Write(const Oid& oid, const LinkObjectData& data) {
+  std::vector<Oid> old_tail;
+  FIELDREP_RETURN_IF_ERROR(CollectChain(oid, &old_tail));
+  auto chunks = Chunk(data, MaxEntriesPerSegment(data.tagged()));
+  Oid first_tail;
+  FIELDREP_RETURN_IF_ERROR(CreateTail(data, chunks.size(), &first_tail));
+  LinkObjectData head = Segment(data, std::move(chunks[0]));
+  FIELDREP_RETURN_IF_ERROR(file_->Update(oid, head.Serialize(first_tail)));
+  for (const Oid& segment : old_tail) {
+    FIELDREP_RETURN_IF_ERROR(file_->Delete(segment));
+  }
+  return Status::OK();
+}
+
+Status LinkSet::Delete(const Oid& oid) {
+  std::vector<Oid> tail;
+  FIELDREP_RETURN_IF_ERROR(CollectChain(oid, &tail));
+  FIELDREP_RETURN_IF_ERROR(file_->Delete(oid));
+  for (const Oid& segment : tail) {
+    FIELDREP_RETURN_IF_ERROR(file_->Delete(segment));
+  }
+  return Status::OK();
+}
+
+}  // namespace fieldrep

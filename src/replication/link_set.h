@@ -1,0 +1,63 @@
+#ifndef FIELDREP_REPLICATION_LINK_SET_H_
+#define FIELDREP_REPLICATION_LINK_SET_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "replication/link_object.h"
+#include "storage/record_file.h"
+
+namespace fieldrep {
+
+/// \brief Typed access to a link set: the separate file that stores the
+/// link objects of one link (Section 4.1: "the link objects are stored in
+/// a separate set so that the clustering of objects in Dept is not
+/// disrupted").
+///
+/// "Each link object can contain a large number of OIDs, and can be quite
+/// large as a result" — link objects that outgrow a page are stored as a
+/// chain of segment records; the head segment's OID is what owners hold in
+/// their (link-OID, link-ID) pairs and stays stable across rewrites.
+///
+/// Link objects are appended as their owners are first referenced, which —
+/// together with the ordered bulk build at path creation — keeps the link
+/// set "in the same physical order as the objects ... which reference
+/// them".
+class LinkSet {
+ public:
+  /// \param file underlying record file (not owned)
+  explicit LinkSet(RecordFile* file) : file_(file) {}
+
+  RecordFile* file() { return file_; }
+  const RecordFile* file() const { return file_; }
+
+  /// Persists a new link object (splitting into segments as needed) and
+  /// returns its head OID.
+  Status Create(const LinkObjectData& data, Oid* oid);
+
+  /// Reads a whole link object, reassembling its segment chain.
+  Status Read(const Oid& oid, LinkObjectData* data) const;
+
+  /// Rewrites a link object. The head OID stays valid; tail segments are
+  /// re-created as needed.
+  Status Write(const Oid& oid, const LinkObjectData& data);
+
+  /// Deletes a link object and all its segments.
+  Status Delete(const Oid& oid);
+
+  /// Entries per segment record (page capacity divided by entry size).
+  static uint32_t MaxEntriesPerSegment(bool tagged);
+
+ private:
+  Status CollectChain(const Oid& head, std::vector<Oid>* tail) const;
+  /// Creates the tail segments for entries beyond the first chunk,
+  /// returning the OID the head segment should chain to.
+  Status CreateTail(const LinkObjectData& data, size_t chunk,
+                    Oid* first_tail);
+
+  RecordFile* file_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_REPLICATION_LINK_SET_H_

@@ -1,0 +1,206 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+PageGuard::PageGuard(BufferPool* pool, size_t frame_index)
+    : pool_(pool), frame_index_(frame_index) {}
+
+PageGuard::~PageGuard() { Release(); }
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_), frame_index_(other.frame_index_) {
+  other.pool_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_index_ = other.frame_index_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+uint8_t* PageGuard::data() {
+  assert(valid());
+  return pool_->frames_[frame_index_].data.get();
+}
+
+const uint8_t* PageGuard::data() const {
+  assert(valid());
+  return pool_->frames_[frame_index_].data.get();
+}
+
+PageId PageGuard::page_id() const {
+  assert(valid());
+  return pool_->frames_[frame_index_].page_id;
+}
+
+void PageGuard::MarkDirty() {
+  assert(valid());
+  pool_->frames_[frame_index_].dirty = true;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_index_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(StorageDevice* device, size_t capacity)
+    : device_(device) {
+  assert(capacity >= 1);
+  frames_.resize(capacity);
+  for (auto& frame : frames_) {
+    frame.data = std::make_unique<uint8_t[]>(kPageSize);
+  }
+  free_frames_.reserve(capacity);
+  for (size_t i = capacity; i > 0; --i) free_frames_.push_back(i - 1);
+}
+
+BufferPool::BufferPool(std::unique_ptr<StorageDevice> device, size_t capacity)
+    : BufferPool(device.get(), capacity) {
+  owned_device_ = std::move(device);
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort writeback; errors are unreportable from a destructor.
+  FlushAll().ok();
+}
+
+Status BufferPool::FetchPage(PageId page_id, PageGuard* guard) {
+  ++stats_.fetches;
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    frame.referenced = true;
+    *guard = PageGuard(this, it->second);
+    return Status::OK();
+  }
+
+  size_t frame_index;
+  FIELDREP_RETURN_IF_ERROR(GetVictimFrame(&frame_index));
+  Frame& frame = frames_[frame_index];
+  Status s = device_->ReadPage(page_id, frame.data.get());
+  if (!s.ok()) {
+    free_frames_.push_back(frame_index);
+    return s;
+  }
+  ++stats_.disk_reads;
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.referenced = true;
+  frame.in_use = true;
+  page_table_[page_id] = frame_index;
+  *guard = PageGuard(this, frame_index);
+  return Status::OK();
+}
+
+Status BufferPool::NewPage(PageGuard* guard) {
+  PageId page_id;
+  FIELDREP_RETURN_IF_ERROR(device_->AllocatePage(&page_id));
+  size_t frame_index;
+  FIELDREP_RETURN_IF_ERROR(GetVictimFrame(&frame_index));
+  Frame& frame = frames_[frame_index];
+  std::memset(frame.data.get(), 0, kPageSize);
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  // A fresh page is dirty by definition: its contents exist only here.
+  frame.dirty = true;
+  frame.referenced = true;
+  frame.in_use = true;
+  page_table_[page_id] = frame_index;
+  *guard = PageGuard(this, frame_index);
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.in_use && frame.dirty) {
+      FIELDREP_RETURN_IF_ERROR(
+          device_->WritePage(frame.page_id, frame.data.get()));
+      ++stats_.disk_writes;
+      frame.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictAll() {
+  for (const Frame& frame : frames_) {
+    if (frame.in_use && frame.pin_count > 0) {
+      return Status::FailedPrecondition(
+          StringPrintf("page %u still pinned", frame.page_id));
+    }
+  }
+  FIELDREP_RETURN_IF_ERROR(FlushAll());
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (frame.in_use) {
+      page_table_.erase(frame.page_id);
+      frame.in_use = false;
+      frame.page_id = kInvalidPageId;
+      frame.referenced = false;
+      free_frames_.push_back(i);
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t BufferPool::total_pins() const {
+  uint64_t total = 0;
+  for (const Frame& frame : frames_) total += frame.pin_count;
+  return total;
+}
+
+Status BufferPool::GetVictimFrame(size_t* frame_index) {
+  if (!free_frames_.empty()) {
+    *frame_index = free_frames_.back();
+    free_frames_.pop_back();
+    return Status::OK();
+  }
+  // Clock sweep: a frame survives one pass if its reference bit is set.
+  // Two full passes guarantee we either find an unpinned victim or prove
+  // every frame is pinned.
+  const size_t n = frames_.size();
+  for (size_t step = 0; step < 2 * n; ++step) {
+    Frame& frame = frames_[clock_hand_];
+    size_t index = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (frame.pin_count > 0) continue;
+    if (frame.referenced) {
+      frame.referenced = false;
+      continue;
+    }
+    if (frame.dirty) {
+      FIELDREP_RETURN_IF_ERROR(
+          device_->WritePage(frame.page_id, frame.data.get()));
+      ++stats_.disk_writes;
+      frame.dirty = false;
+    }
+    page_table_.erase(frame.page_id);
+    frame.in_use = false;
+    frame.page_id = kInvalidPageId;
+    *frame_index = index;
+    return Status::OK();
+  }
+  return Status::FailedPrecondition("all buffer frames are pinned");
+}
+
+void BufferPool::Unpin(size_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  assert(frame.pin_count > 0);
+  --frame.pin_count;
+}
+
+}  // namespace fieldrep

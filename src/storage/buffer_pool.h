@@ -1,0 +1,124 @@
+#ifndef FIELDREP_STORAGE_BUFFER_POOL_H_
+#define FIELDREP_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/storage_device.h"
+
+namespace fieldrep {
+
+class BufferPool;
+
+/// \brief RAII pin on a buffered page.
+///
+/// While a PageGuard is alive the frame cannot be evicted. Call MarkDirty()
+/// after mutating data(); the pool writes dirty frames back on eviction or
+/// FlushAll(). Guards are movable but not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame_index);
+  ~PageGuard();
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+
+  bool valid() const { return pool_ != nullptr; }
+  uint8_t* data();
+  const uint8_t* data() const;
+  PageId page_id() const;
+  void MarkDirty();
+
+  /// Releases the pin early (idempotent).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_index_ = 0;
+};
+
+/// \brief Fixed-capacity page cache over a StorageDevice with clock
+/// eviction, pin counting, and I/O statistics.
+///
+/// The buffer pool is the engine's single point of I/O accounting: every
+/// structure (heap files, B+ trees, link sets, replica sets) accesses pages
+/// through it, so `stats().disk_reads/disk_writes` measure exactly the
+/// quantity the paper's cost model predicts. Benchmarks call
+/// EvictAll() + ResetStats() before each query to measure it cold.
+class BufferPool {
+ public:
+  /// \param device   backing store (not owned unless passed via TakeDevice).
+  /// \param capacity number of frames. Must be >= 1.
+  BufferPool(StorageDevice* device, size_t capacity);
+
+  /// Convenience constructor taking ownership of the device.
+  BufferPool(std::unique_ptr<StorageDevice> device, size_t capacity);
+
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `page_id`, reading it from the device on a miss.
+  Status FetchPage(PageId page_id, PageGuard* guard);
+
+  /// Allocates a fresh zeroed page on the device and pins it.
+  Status NewPage(PageGuard* guard);
+
+  /// Writes all dirty frames back to the device (without unpinning).
+  Status FlushAll();
+
+  /// Flushes and then drops every unpinned frame, so the next access to any
+  /// page performs a device read. Fails if any page is still pinned — the
+  /// benchmarks rely on a fully cold cache.
+  Status EvictAll();
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  size_t capacity() const { return frames_.size(); }
+  /// Number of frames currently holding a page.
+  size_t pages_cached() const { return page_table_.size(); }
+  /// Total pins across all frames (for leak checks in tests).
+  uint64_t total_pins() const;
+
+  StorageDevice* device() { return device_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    std::unique_ptr<uint8_t[]> data;
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    bool referenced = false;  // clock bit
+    bool in_use = false;
+  };
+
+  /// Finds a victim frame via the clock algorithm, writing it back if
+  /// dirty. Returns FailedPrecondition if every frame is pinned.
+  Status GetVictimFrame(size_t* frame_index);
+
+  void Unpin(size_t frame_index);
+
+  StorageDevice* device_;
+  std::unique_ptr<StorageDevice> owned_device_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::vector<size_t> free_frames_;
+  size_t clock_hand_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,94 @@
+#include "storage/file_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+FileDevice::~FileDevice() { Close().ok(); }
+
+Status FileDevice::Open(const std::string& path) {
+  if (is_open()) {
+    return Status::FailedPrecondition("device already open: " + path_);
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError(
+        StringPrintf("open(%s): %s", path.c_str(), std::strerror(errno)));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError(
+        StringPrintf("lseek(%s): %s", path.c_str(), std::strerror(errno)));
+  }
+  fd_ = fd;
+  path_ = path;
+  page_count_ = static_cast<uint32_t>(size / kPageSize);
+  return Status::OK();
+}
+
+Status FileDevice::Close() {
+  if (!is_open()) return Status::OK();
+  int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) {
+    return Status::IOError(
+        StringPrintf("close(%s): %s", path_.c_str(), std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status FileDevice::ReadPage(PageId page_id, void* buf) {
+  if (page_id >= page_count_) {
+    return Status::OutOfRange(
+        StringPrintf("read of unallocated page %u", page_id));
+  }
+  ssize_t n = ::pread(fd_, buf, kPageSize,
+                      static_cast<off_t>(page_id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(StringPrintf("pread page %u: %s", page_id,
+                                        n < 0 ? std::strerror(errno)
+                                              : "short read"));
+  }
+  return Status::OK();
+}
+
+Status FileDevice::WritePage(PageId page_id, const void* buf) {
+  if (page_id >= page_count_) {
+    return Status::OutOfRange(
+        StringPrintf("write of unallocated page %u", page_id));
+  }
+  ssize_t n = ::pwrite(fd_, buf, kPageSize,
+                       static_cast<off_t>(page_id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(StringPrintf("pwrite page %u: %s", page_id,
+                                        n < 0 ? std::strerror(errno)
+                                              : "short write"));
+  }
+  return Status::OK();
+}
+
+Status FileDevice::AllocatePage(PageId* page_id) {
+  if (!is_open()) return Status::FailedPrecondition("device not open");
+  char zeros[kPageSize];
+  std::memset(zeros, 0, sizeof(zeros));
+  PageId id = page_count_;
+  ssize_t n =
+      ::pwrite(fd_, zeros, kPageSize, static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(StringPrintf("extend to page %u: %s", id,
+                                        n < 0 ? std::strerror(errno)
+                                              : "short write"));
+  }
+  page_count_ = id + 1;
+  *page_id = id;
+  return Status::OK();
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,46 @@
+#ifndef FIELDREP_STORAGE_FILE_DEVICE_H_
+#define FIELDREP_STORAGE_FILE_DEVICE_H_
+
+#include <string>
+
+#include "storage/storage_device.h"
+
+namespace fieldrep {
+
+/// \brief Storage device backed by a single operating-system file.
+///
+/// Page `i` lives at byte offset `i * kPageSize`. The device performs no
+/// caching of its own — all caching (and all I/O accounting) happens in the
+/// BufferPool above it.
+class FileDevice : public StorageDevice {
+ public:
+  /// Creates a closed device; call Open() before use.
+  FileDevice() = default;
+  ~FileDevice() override;
+
+  FileDevice(const FileDevice&) = delete;
+  FileDevice& operator=(const FileDevice&) = delete;
+
+  /// Opens (creating if necessary) the backing file. If the file already
+  /// exists its page count is recovered from its size.
+  Status Open(const std::string& path);
+
+  /// Flushes and closes the backing file. Safe to call twice.
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+  Status ReadPage(PageId page_id, void* buf) override;
+  Status WritePage(PageId page_id, const void* buf) override;
+  Status AllocatePage(PageId* page_id) override;
+  uint32_t page_count() const override { return page_count_; }
+
+ private:
+  int fd_ = -1;
+  uint32_t page_count_ = 0;
+  std::string path_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_STORAGE_FILE_DEVICE_H_

@@ -1,0 +1,25 @@
+#include "storage/io_stats.h"
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+IoStats IoStats::operator-(const IoStats& rhs) const {
+  IoStats out;
+  out.fetches = fetches - rhs.fetches;
+  out.hits = hits - rhs.hits;
+  out.disk_reads = disk_reads - rhs.disk_reads;
+  out.disk_writes = disk_writes - rhs.disk_writes;
+  return out;
+}
+
+std::string IoStats::ToString() const {
+  return StringPrintf(
+      "IoStats{fetches=%llu hits=%llu reads=%llu writes=%llu}",
+      static_cast<unsigned long long>(fetches),
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(disk_reads),
+      static_cast<unsigned long long>(disk_writes));
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,32 @@
+#ifndef FIELDREP_STORAGE_IO_STATS_H_
+#define FIELDREP_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fieldrep {
+
+/// \brief Page I/O counters maintained by the buffer pool.
+///
+/// The paper's entire evaluation is in units of page I/Os, so these counters
+/// are the primary measurement surface of the engine: `disk_reads` and
+/// `disk_writes` count actual device transfers (buffer misses / dirty
+/// evictions + flushes), `fetches`/`hits` describe cache behaviour.
+struct IoStats {
+  uint64_t fetches = 0;      ///< Buffer-pool page requests.
+  uint64_t hits = 0;         ///< Requests satisfied without device I/O.
+  uint64_t disk_reads = 0;   ///< Pages read from the device.
+  uint64_t disk_writes = 0;  ///< Pages written to the device.
+
+  /// Total device transfers — the paper's cost unit.
+  uint64_t TotalIo() const { return disk_reads + disk_writes; }
+
+  void Reset() { *this = IoStats(); }
+
+  IoStats operator-(const IoStats& rhs) const;
+  std::string ToString() const;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_STORAGE_IO_STATS_H_

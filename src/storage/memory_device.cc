@@ -1,0 +1,35 @@
+#include "storage/memory_device.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+Status MemoryDevice::ReadPage(PageId page_id, void* buf) {
+  if (page_id >= pages_.size()) {
+    return Status::OutOfRange(
+        StringPrintf("read of unallocated page %u", page_id));
+  }
+  std::memcpy(buf, pages_[page_id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status MemoryDevice::WritePage(PageId page_id, const void* buf) {
+  if (page_id >= pages_.size()) {
+    return Status::OutOfRange(
+        StringPrintf("write of unallocated page %u", page_id));
+  }
+  std::memcpy(pages_[page_id].get(), buf, kPageSize);
+  return Status::OK();
+}
+
+Status MemoryDevice::AllocatePage(PageId* page_id) {
+  auto page = std::make_unique<uint8_t[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  *page_id = static_cast<PageId>(pages_.size() - 1);
+  return Status::OK();
+}
+
+}  // namespace fieldrep

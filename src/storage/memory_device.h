@@ -1,0 +1,35 @@
+#ifndef FIELDREP_STORAGE_MEMORY_DEVICE_H_
+#define FIELDREP_STORAGE_MEMORY_DEVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/storage_device.h"
+
+namespace fieldrep {
+
+/// \brief RAM-backed storage device.
+///
+/// Pages are stored in individually allocated 4 KiB blocks so that page
+/// addresses stay stable as the device grows.
+class MemoryDevice : public StorageDevice {
+ public:
+  MemoryDevice() = default;
+
+  MemoryDevice(const MemoryDevice&) = delete;
+  MemoryDevice& operator=(const MemoryDevice&) = delete;
+
+  Status ReadPage(PageId page_id, void* buf) override;
+  Status WritePage(PageId page_id, const void* buf) override;
+  Status AllocatePage(PageId* page_id) override;
+  uint32_t page_count() const override {
+    return static_cast<uint32_t>(pages_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_STORAGE_MEMORY_DEVICE_H_

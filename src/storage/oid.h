@@ -1,0 +1,73 @@
+#ifndef FIELDREP_STORAGE_OID_H_
+#define FIELDREP_STORAGE_OID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/strings.h"
+#include "storage/page.h"
+
+namespace fieldrep {
+
+/// \brief Physically-based object identifier: (file, page, slot).
+///
+/// OIDs implement reference attributes (Section 2.2 of the paper) and are
+/// 8 bytes, matching sizeof(OID) in the cost model's Figure 10. Because they
+/// are physically based, sorting OIDs yields clustered (physical) access
+/// order — the property Section 4.1 exploits by keeping the OID arrays
+/// inside link objects sorted.
+struct Oid {
+  FileId file_id = kInvalidFileId;
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  constexpr Oid() = default;
+  constexpr Oid(FileId f, PageId p, uint16_t s)
+      : file_id(f), page_id(p), slot(s) {}
+
+  /// The null reference.
+  static constexpr Oid Invalid() { return Oid(); }
+
+  bool valid() const {
+    return file_id != kInvalidFileId && page_id != kInvalidPageId;
+  }
+
+  /// Packs to a totally-ordered u64: (file, page, slot) lexicographically,
+  /// i.e. physical order within a file.
+  uint64_t Packed() const {
+    return (static_cast<uint64_t>(file_id) << 48) |
+           (static_cast<uint64_t>(page_id) << 16) |
+           static_cast<uint64_t>(slot);
+  }
+
+  static Oid FromPacked(uint64_t v) {
+    return Oid(static_cast<FileId>(v >> 48),
+               static_cast<PageId>((v >> 16) & 0xFFFFFFFFu),
+               static_cast<uint16_t>(v & 0xFFFFu));
+  }
+
+  std::string ToString() const {
+    if (!valid()) return "oid(null)";
+    return StringPrintf("oid(%u:%u:%u)", file_id, page_id, slot);
+  }
+
+  friend bool operator==(const Oid& a, const Oid& b) {
+    return a.file_id == b.file_id && a.page_id == b.page_id &&
+           a.slot == b.slot;
+  }
+  friend bool operator!=(const Oid& a, const Oid& b) { return !(a == b); }
+  friend bool operator<(const Oid& a, const Oid& b) {
+    return a.Packed() < b.Packed();
+  }
+};
+
+struct OidHash {
+  size_t operator()(const Oid& o) const {
+    return std::hash<uint64_t>()(o.Packed());
+  }
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_STORAGE_OID_H_

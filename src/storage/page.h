@@ -1,0 +1,41 @@
+#ifndef FIELDREP_STORAGE_PAGE_H_
+#define FIELDREP_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace fieldrep {
+
+/// \file
+/// Page-level constants. The sizes follow the paper's Figure 10, which took
+/// them from the EXODUS storage manager: 4 KiB pages with B = 4056 bytes
+/// available for user data and h = 20 bytes of per-object storage overhead.
+
+/// Physical page size of every storage device.
+inline constexpr uint32_t kPageSize = 4096;
+
+/// Bytes reserved at the front of each page for the page header
+/// (see SlottedPage). kPageSize - kPageHeaderBytes == 4056 == the paper's B.
+inline constexpr uint32_t kPageHeaderBytes = 40;
+
+/// The paper's B: bytes per page available for user data (slots + records).
+inline constexpr uint32_t kUserBytesPerPage = kPageSize - kPageHeaderBytes;
+
+/// The paper's h: storage overhead per object. In this engine it is the
+/// 4-byte slot-directory entry plus the 16-byte serialized object header.
+inline constexpr uint32_t kObjectOverheadBytes = 20;
+
+/// Identifies a page on a storage device. Page ids are device-global;
+/// files are linked lists of pages.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Identifies a file (an object set, link set, replica set, index, or
+/// output file) within a database.
+using FileId = uint16_t;
+
+inline constexpr FileId kInvalidFileId = 0xFFFFu;
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_STORAGE_PAGE_H_

@@ -1,0 +1,379 @@
+#include "storage/record_file.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+#include "storage/slotted_page.h"
+
+namespace fieldrep {
+
+namespace {
+// Relocation stub tags. Real payloads start with a small type tag, so these
+// values cannot collide.
+constexpr uint16_t kForwardTag = 0xFFFF;  // stub at the original slot
+constexpr uint16_t kMovedTag = 0xFFFE;    // relocated body elsewhere
+
+bool IsReservedPrefix(const std::string& payload) {
+  if (payload.size() < 2) return false;
+  uint16_t tag = DecodeU16(reinterpret_cast<const uint8_t*>(payload.data()));
+  return tag == kForwardTag || tag == kMovedTag;
+}
+
+std::string MakeForwardStub(const Oid& target) {
+  std::string out;
+  PutU16(&out, kForwardTag);
+  PutU64(&out, target.Packed());
+  return out;
+}
+
+std::string MakeMovedBody(const Oid& original, const std::string& payload) {
+  std::string out;
+  PutU16(&out, kMovedTag);
+  PutU64(&out, original.Packed());
+  out.append(payload);
+  return out;
+}
+
+// Classifies a raw cell. Returns kForwardTag/kMovedTag, or 0 for a plain
+// record.
+uint16_t CellKind(const std::string& cell) {
+  if (cell.size() < 2) return 0;
+  uint16_t tag = DecodeU16(reinterpret_cast<const uint8_t*>(cell.data()));
+  if (tag == kForwardTag || tag == kMovedTag) return tag;
+  return 0;
+}
+
+Oid StubTarget(const std::string& cell) {
+  return Oid::FromPacked(DecodeU64(
+      reinterpret_cast<const uint8_t*>(cell.data()) + 2));
+}
+}  // namespace
+
+RecordFile::RecordFile(BufferPool* pool, FileId file_id)
+    : pool_(pool), file_id_(file_id) {}
+
+Status RecordFile::CheckOid(const Oid& oid) const {
+  if (!oid.valid() || oid.file_id != file_id_) {
+    return Status::InvalidArgument(
+        StringPrintf("oid %s does not belong to file %u",
+                     oid.ToString().c_str(), file_id_));
+  }
+  return Status::OK();
+}
+
+Status RecordFile::AppendPage(PageId* page_id) {
+  PageGuard guard;
+  FIELDREP_RETURN_IF_ERROR(pool_->NewPage(&guard));
+  SlottedPage::Init(guard.data(), PageType::kHeap);
+  SlottedPage page(guard.data());
+  page.set_prev_page(last_page_);
+  guard.MarkDirty();
+  *page_id = guard.page_id();
+  if (last_page_ != kInvalidPageId) {
+    PageGuard tail;
+    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(last_page_, &tail));
+    SlottedPage(tail.data()).set_next_page(*page_id);
+    tail.MarkDirty();
+  } else {
+    first_page_ = *page_id;
+  }
+  last_page_ = *page_id;
+  ++page_count_;
+  return Status::OK();
+}
+
+void RecordFile::NoteFreeSpace(PageId page_id) {
+  for (PageId hint : free_hints_) {
+    if (hint == page_id) return;
+  }
+  if (free_hints_.size() >= 64) {
+    free_hints_.erase(free_hints_.begin());
+  }
+  free_hints_.push_back(page_id);
+}
+
+Status RecordFile::InsertCell(const std::string& payload, Oid* oid) {
+  if (payload.size() + 64 > kUserBytesPerPage) {
+    return Status::InvalidArgument(
+        StringPrintf("record of %zu bytes exceeds page capacity",
+                     payload.size()));
+  }
+  if (last_page_ == kInvalidPageId) {
+    PageId ignored;
+    FIELDREP_RETURN_IF_ERROR(AppendPage(&ignored));
+  }
+  // Candidate pages: the tail page first, then recent free-space hints.
+  std::vector<PageId> candidates = {last_page_};
+  for (auto it = free_hints_.rbegin(); it != free_hints_.rend(); ++it) {
+    if (*it != last_page_) candidates.push_back(*it);
+  }
+  for (PageId candidate : candidates) {
+    PageGuard guard;
+    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(candidate, &guard));
+    SlottedPage page(guard.data());
+    // Honour the growth reserve: leave room for every resident record
+    // (including this one) to grow by growth_reserve_ bytes.
+    bool room = true;
+    if (growth_reserve_ > 0) {
+      uint64_t needed = payload.size() + 4 +
+                        static_cast<uint64_t>(growth_reserve_) *
+                            (page.live_count() + 1);
+      room = page.FreeSpace() >= needed;
+    }
+    int slot = room ? page.Insert(payload) : -1;
+    if (slot >= 0) {
+      guard.MarkDirty();
+      *oid = Oid(file_id_, candidate, static_cast<uint16_t>(slot));
+      return Status::OK();
+    }
+    if (candidate != last_page_) {
+      // Hint is stale (page is effectively full); drop it.
+      free_hints_.erase(
+          std::remove(free_hints_.begin(), free_hints_.end(), candidate),
+          free_hints_.end());
+    }
+  }
+  PageId fresh;
+  FIELDREP_RETURN_IF_ERROR(AppendPage(&fresh));
+  PageGuard guard;
+  FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(fresh, &guard));
+  SlottedPage page(guard.data());
+  int slot = page.Insert(payload);
+  if (slot < 0) {
+    return Status::Internal("fresh page rejected record");
+  }
+  guard.MarkDirty();
+  *oid = Oid(file_id_, fresh, static_cast<uint16_t>(slot));
+  return Status::OK();
+}
+
+Status RecordFile::Insert(const std::string& payload, Oid* oid) {
+  if (IsReservedPrefix(payload)) {
+    return Status::InvalidArgument(
+        "record payload begins with a reserved stub tag");
+  }
+  FIELDREP_RETURN_IF_ERROR(InsertCell(payload, oid));
+  ++record_count_;
+  return Status::OK();
+}
+
+Status RecordFile::Read(const Oid& oid, std::string* payload) const {
+  FIELDREP_RETURN_IF_ERROR(CheckOid(oid));
+  PageGuard guard;
+  FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(oid.page_id, &guard));
+  SlottedPage page(guard.data());
+  if (!page.ReadString(oid.slot, payload)) {
+    return Status::NotFound("no record at " + oid.ToString());
+  }
+  uint16_t kind = CellKind(*payload);
+  if (kind == 0) return Status::OK();
+  if (kind == kMovedTag) {
+    // Direct read of a relocated body: strip the relocation header.
+    payload->erase(0, 10);
+    return Status::OK();
+  }
+  // Forwarding stub: follow it.
+  Oid target = StubTarget(*payload);
+  guard.Release();
+  PageGuard body_guard;
+  FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(target.page_id, &body_guard));
+  SlottedPage body_page(body_guard.data());
+  if (!body_page.ReadString(target.slot, payload) ||
+      CellKind(*payload) != kMovedTag) {
+    return Status::Corruption("dangling forwarding stub at " + oid.ToString());
+  }
+  payload->erase(0, 10);
+  return Status::OK();
+}
+
+Status RecordFile::Update(const Oid& oid, const std::string& payload) {
+  FIELDREP_RETURN_IF_ERROR(CheckOid(oid));
+  if (IsReservedPrefix(payload)) {
+    return Status::InvalidArgument(
+        "record payload begins with a reserved stub tag");
+  }
+  // Load the current cell to learn whether the record was relocated.
+  std::string cell;
+  Oid body_oid = oid;
+  bool relocated = false;
+  {
+    PageGuard guard;
+    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(oid.page_id, &guard));
+    SlottedPage page(guard.data());
+    if (!page.ReadString(oid.slot, &cell)) {
+      return Status::NotFound("no record at " + oid.ToString());
+    }
+    uint16_t kind = CellKind(cell);
+    if (kind == kForwardTag) {
+      body_oid = StubTarget(cell);
+      relocated = true;
+    } else if (kind == kMovedTag) {
+      return Status::InvalidArgument(
+          "update must address a record's logical oid, not its body");
+    } else {
+      // Common case: try the in-place update right here.
+      if (page.Update(oid.slot, payload)) {
+        guard.MarkDirty();
+        return Status::OK();
+      }
+    }
+  }
+
+  if (relocated) {
+    // Try updating the relocated body in place.
+    std::string body = MakeMovedBody(oid, payload);
+    PageGuard guard;
+    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(body_oid.page_id, &guard));
+    SlottedPage page(guard.data());
+    if (page.Update(body_oid.slot, reinterpret_cast<const uint8_t*>(
+                                       body.data()),
+                    static_cast<uint32_t>(body.size()))) {
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    // Body must move again: delete old body, insert a new one, repoint the
+    // stub (the stub rewrite is same-size, so it cannot fail for space).
+    page.Delete(body_oid.slot);
+    guard.MarkDirty();
+    guard.Release();
+    NoteFreeSpace(body_oid.page_id);
+    Oid new_body;
+    FIELDREP_RETURN_IF_ERROR(InsertCell(body, &new_body));
+    PageGuard stub_guard;
+    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(oid.page_id, &stub_guard));
+    SlottedPage stub_page(stub_guard.data());
+    if (!stub_page.Update(oid.slot, MakeForwardStub(new_body))) {
+      return Status::Internal("failed to repoint forwarding stub");
+    }
+    stub_guard.MarkDirty();
+    return Status::OK();
+  }
+
+  // The record outgrew its page: relocate the body and leave a stub.
+  Oid body;
+  FIELDREP_RETURN_IF_ERROR(InsertCell(MakeMovedBody(oid, payload), &body));
+  PageGuard guard;
+  FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(oid.page_id, &guard));
+  SlottedPage page(guard.data());
+  if (!page.Update(oid.slot, MakeForwardStub(body))) {
+    return Status::Internal(
+        "page cannot hold a 10-byte forwarding stub for " + oid.ToString());
+  }
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status RecordFile::Delete(const Oid& oid) {
+  FIELDREP_RETURN_IF_ERROR(CheckOid(oid));
+  std::string cell;
+  PageGuard guard;
+  FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(oid.page_id, &guard));
+  SlottedPage page(guard.data());
+  if (!page.ReadString(oid.slot, &cell)) {
+    return Status::NotFound("no record at " + oid.ToString());
+  }
+  uint16_t kind = CellKind(cell);
+  if (kind == kMovedTag) {
+    return Status::InvalidArgument(
+        "delete must address a record's logical oid, not its body");
+  }
+  page.Delete(oid.slot);
+  guard.MarkDirty();
+  guard.Release();
+  NoteFreeSpace(oid.page_id);
+  if (kind == kForwardTag) {
+    Oid body = StubTarget(cell);
+    PageGuard body_guard;
+    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(body.page_id, &body_guard));
+    SlottedPage body_page(body_guard.data());
+    if (!body_page.Delete(body.slot)) {
+      return Status::Corruption("dangling forwarding stub at " +
+                                oid.ToString());
+    }
+    body_guard.MarkDirty();
+    NoteFreeSpace(body.page_id);
+  }
+  --record_count_;
+  return Status::OK();
+}
+
+Status RecordFile::Scan(
+    const std::function<bool(const Oid&, const std::string&)>& fn) const {
+  PageId current = first_page_;
+  std::string payload;
+  while (current != kInvalidPageId) {
+    PageGuard guard;
+    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(current, &guard));
+    SlottedPage page(guard.data());
+    uint16_t n = page.slot_count();
+    for (uint16_t slot = 0; slot < n; ++slot) {
+      if (!page.IsLive(slot)) continue;
+      if (!page.ReadString(slot, &payload)) continue;
+      uint16_t kind = CellKind(payload);
+      if (kind == kForwardTag) continue;  // body visited where it lives
+      Oid oid(file_id_, current, slot);
+      if (kind == kMovedTag) {
+        oid = StubTarget(payload);  // logical oid embedded in the body
+        payload.erase(0, 10);
+      }
+      if (!fn(oid, payload)) return Status::OK();
+    }
+    current = page.next_page();
+  }
+  return Status::OK();
+}
+
+Status RecordFile::ListOids(std::vector<Oid>* oids) const {
+  oids->clear();
+  return Scan([oids](const Oid& oid, const std::string&) {
+    oids->push_back(oid);
+    return true;
+  });
+}
+
+Status RecordFile::Truncate() {
+  PageId current = first_page_;
+  while (current != kInvalidPageId) {
+    PageGuard guard;
+    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(current, &guard));
+    SlottedPage page(guard.data());
+    PageId next = page.next_page();
+    SlottedPage::Init(guard.data(), PageType::kFree);
+    guard.MarkDirty();
+    current = next;
+  }
+  first_page_ = kInvalidPageId;
+  last_page_ = kInvalidPageId;
+  page_count_ = 0;
+  record_count_ = 0;
+  free_hints_.clear();
+  return Status::OK();
+}
+
+std::string RecordFile::EncodeMetadata() const {
+  std::string out;
+  PutU32(&out, first_page_);
+  PutU32(&out, last_page_);
+  PutU32(&out, page_count_);
+  PutU64(&out, record_count_);
+  return out;
+}
+
+Status RecordFile::DecodeMetadata(const std::string& encoded) {
+  ByteReader reader(encoded);
+  uint32_t first, last, pages;
+  uint64_t records;
+  if (!reader.GetU32(&first) || !reader.GetU32(&last) ||
+      !reader.GetU32(&pages) || !reader.GetU64(&records)) {
+    return Status::Corruption("bad RecordFile metadata");
+  }
+  first_page_ = first;
+  last_page_ = last;
+  page_count_ = pages;
+  record_count_ = records;
+  return Status::OK();
+}
+
+}  // namespace fieldrep

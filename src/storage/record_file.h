@@ -1,0 +1,119 @@
+#ifndef FIELDREP_STORAGE_RECORD_FILE_H_
+#define FIELDREP_STORAGE_RECORD_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/oid.h"
+#include "storage/page.h"
+
+namespace fieldrep {
+
+/// \brief A heap file: a doubly linked list of slotted pages holding
+/// variable-length records addressed by physically-based OIDs.
+///
+/// Top-level sets, link sets, replica sets (S'), and query output files are
+/// all RecordFiles (Section 2.2: "top-level sets are stored as disk files").
+/// Inserts append to the tail page, so insertion order is physical order —
+/// the property the paper relies on when it stores link sets and S' "in the
+/// same physical order as the objects in S which reference them".
+///
+/// Records may grow on update (replication adds hidden fields to existing
+/// objects). When a record outgrows its page it is *relocated* and a
+/// forwarding stub is left at the original slot, so OIDs stay stable — the
+/// stability that reference attributes and link objects depend on. Reads
+/// through a forwarded OID transparently follow the stub (at the cost of
+/// one extra page access, the standard slotted-file trade-off).
+///
+/// Record payloads must not begin with the bytes FE FF or FF FF, which are
+/// reserved for relocation stubs; all object/link/replica encodings begin
+/// with a small type tag, satisfying this naturally.
+///
+/// All page access goes through the BufferPool, so every operation is
+/// visible in the pool's IoStats.
+class RecordFile {
+ public:
+  /// \param pool    shared buffer pool (not owned).
+  /// \param file_id catalog-assigned id, embedded in every OID this file
+  ///                hands out.
+  RecordFile(BufferPool* pool, FileId file_id);
+
+  RecordFile(const RecordFile&) = delete;
+  RecordFile& operator=(const RecordFile&) = delete;
+
+  FileId file_id() const { return file_id_; }
+  uint32_t page_count() const { return page_count_; }
+  uint64_t record_count() const { return record_count_; }
+  PageId first_page() const { return first_page_; }
+
+  /// Reserves this many bytes of page free space per resident record so
+  /// records can later grow in place (e.g. when replication adds hidden
+  /// fields to objects after they are first referenced). Affects future
+  /// inserts only; 0 (the default) packs pages fully.
+  void set_growth_reserve(uint32_t bytes_per_record) {
+    growth_reserve_ = bytes_per_record;
+  }
+  uint32_t growth_reserve() const { return growth_reserve_; }
+
+  /// Appends a record, returning its OID.
+  Status Insert(const std::string& payload, Oid* oid);
+
+  /// Reads the record at `oid` into `payload`, following forwarding stubs.
+  Status Read(const Oid& oid, std::string* payload) const;
+
+  /// Rewrites the record at `oid`. The OID remains valid even if the record
+  /// must physically move (a forwarding stub is left behind).
+  Status Update(const Oid& oid, const std::string& payload);
+
+  /// Deletes the record at `oid` (and its relocated body, if any).
+  Status Delete(const Oid& oid);
+
+  /// Calls `fn(oid, payload)` for every live record with its logical OID.
+  /// Records sit in physical (insertion) order except relocated ones, which
+  /// are visited where their bodies live. Iteration stops when `fn` returns
+  /// false.
+  Status Scan(
+      const std::function<bool(const Oid&, const std::string&)>& fn) const;
+
+  /// Collects all live logical OIDs in scan order.
+  Status ListOids(std::vector<Oid>* oids) const;
+
+  /// Drops every page's contents (pages remain allocated on the device;
+  /// there is no device-level free list in this engine).
+  Status Truncate();
+
+  /// Serializes file metadata (page list head/tail and counters) so a
+  /// catalog can reopen the file against the same device.
+  std::string EncodeMetadata() const;
+  Status DecodeMetadata(const std::string& encoded);
+
+ private:
+  Status AppendPage(PageId* page_id);
+  Status CheckOid(const Oid& oid) const;
+  /// Inserts a raw cell without adjusting record_count_.
+  Status InsertCell(const std::string& payload, Oid* oid);
+
+  /// Remembers the page when a delete/relocation frees space, so inserts
+  /// can refill it (bounded; oldest hints are dropped).
+  void NoteFreeSpace(PageId page_id);
+
+  BufferPool* pool_;
+  FileId file_id_;
+  PageId first_page_ = kInvalidPageId;
+  PageId last_page_ = kInvalidPageId;
+  uint32_t page_count_ = 0;
+  uint64_t record_count_ = 0;
+  uint32_t growth_reserve_ = 0;
+  /// Free-space hints: pages that recently lost a record. A lightweight
+  /// stand-in for a free-space map; inserts probe a few before extending
+  /// the file.
+  std::vector<PageId> free_hints_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_STORAGE_RECORD_FILE_H_

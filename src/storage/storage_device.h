@@ -1,0 +1,41 @@
+#ifndef FIELDREP_STORAGE_STORAGE_DEVICE_H_
+#define FIELDREP_STORAGE_STORAGE_DEVICE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace fieldrep {
+
+/// \brief Abstraction over the backing store: a flat, growable array of
+/// 4 KiB pages.
+///
+/// Two implementations are provided: MemoryDevice (the default; the paper's
+/// evaluation is analytic, so a RAM-backed "disk" with exact I/O accounting
+/// at the buffer pool reproduces its cost quantity) and FileDevice (a real
+/// file, for durability within a session and for exercising the same code
+/// path against the OS).
+///
+/// Devices are not thread-safe; the engine is single-threaded by design,
+/// like the 1989 prototype it reproduces.
+class StorageDevice {
+ public:
+  virtual ~StorageDevice() = default;
+
+  /// Reads page `page_id` into `buf` (kPageSize bytes).
+  virtual Status ReadPage(PageId page_id, void* buf) = 0;
+
+  /// Writes kPageSize bytes from `buf` to page `page_id`.
+  virtual Status WritePage(PageId page_id, const void* buf) = 0;
+
+  /// Extends the device by one zeroed page and returns its id.
+  virtual Status AllocatePage(PageId* page_id) = 0;
+
+  /// Number of pages allocated so far.
+  virtual uint32_t page_count() const = 0;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_STORAGE_STORAGE_DEVICE_H_

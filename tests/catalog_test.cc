@@ -1,0 +1,262 @@
+#include "catalog/catalog.h"
+#include "catalog/link_registry.h"
+#include "catalog/path.h"
+#include "catalog/type.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace fieldrep {
+namespace {
+
+TypeDescriptor EmpType() {
+  return TypeDescriptor("EMP", {CharAttr("name", 20), Int32Attr("age"),
+                                Int32Attr("salary"), RefAttr("dept", "DEPT")});
+}
+TypeDescriptor DeptType() {
+  return TypeDescriptor("DEPT", {CharAttr("name", 20), Int32Attr("budget"),
+                                 RefAttr("org", "ORG")});
+}
+TypeDescriptor OrgType() {
+  return TypeDescriptor("ORG", {CharAttr("name", 20), Int32Attr("budget")});
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FR_ASSERT_OK(catalog_.DefineType(OrgType()));
+    FR_ASSERT_OK(catalog_.DefineType(DeptType()));
+    FR_ASSERT_OK(catalog_.DefineType(EmpType()));
+    FileId ignored;
+    FR_ASSERT_OK(catalog_.CreateSet("Org", "ORG", &ignored));
+    FR_ASSERT_OK(catalog_.CreateSet("Dept", "DEPT", &ignored));
+    FR_ASSERT_OK(catalog_.CreateSet("Emp1", "EMP", &ignored));
+    FR_ASSERT_OK(catalog_.CreateSet("Emp2", "EMP", &ignored));
+  }
+  Catalog catalog_;
+};
+
+// --- Types -------------------------------------------------------------------
+
+TEST_F(CatalogTest, TypeTagsAreUniqueAndResolvable) {
+  auto emp = catalog_.GetType("EMP");
+  auto dept = catalog_.GetType("DEPT");
+  ASSERT_TRUE(emp.ok() && dept.ok());
+  EXPECT_NE((*emp)->type_tag(), (*dept)->type_tag());
+  auto by_tag = catalog_.GetTypeByTag((*emp)->type_tag());
+  ASSERT_TRUE(by_tag.ok());
+  EXPECT_EQ((*by_tag)->name(), "EMP");
+}
+
+TEST_F(CatalogTest, DuplicateTypeRejected) {
+  EXPECT_EQ(catalog_.DefineType(EmpType()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TypeTest, ValidateCatchesErrors) {
+  TypeDescriptor dup("T", {Int32Attr("a"), Int32Attr("a")});
+  EXPECT_FALSE(dup.Validate().ok());
+  TypeDescriptor noref("T", {{"r", FieldType::kRef, 0, ""}});
+  EXPECT_FALSE(noref.Validate().ok());
+  TypeDescriptor zerochar("T", {{"c", FieldType::kChar, 0, ""}});
+  EXPECT_FALSE(zerochar.Validate().ok());
+  TypeDescriptor ok("T", {Int32Attr("a"), CharAttr("c", 8)});
+  EXPECT_TRUE(ok.Validate().ok());
+}
+
+TEST(TypeTest, AttributeSizes) {
+  EXPECT_EQ(Int32Attr("a").FixedBytes(), 4u);
+  EXPECT_EQ(Int64Attr("a").FixedBytes(), 8u);
+  EXPECT_EQ(DoubleAttr("a").FixedBytes(), 8u);
+  EXPECT_EQ(CharAttr("a", 20).FixedBytes(), 20u);
+  EXPECT_EQ(RefAttr("a", "T").FixedBytes(), 8u);
+}
+
+TEST(TypeTest, ScalarAttributeIndices) {
+  TypeDescriptor t = DeptType();
+  EXPECT_EQ(t.ScalarAttributeIndices(), (std::vector<int>{0, 1}));
+}
+
+// --- Sets --------------------------------------------------------------------
+
+TEST_F(CatalogTest, SetLookupByNameAndFile) {
+  auto set = catalog_.GetSet("Emp1");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ((*set)->type_name, "EMP");
+  auto by_file = catalog_.GetSetForFile((*set)->file_id);
+  ASSERT_TRUE(by_file.ok());
+  EXPECT_EQ((*by_file)->name, "Emp1");
+}
+
+TEST_F(CatalogTest, SetOfUnknownTypeRejected) {
+  FileId ignored;
+  EXPECT_TRUE(catalog_.CreateSet("X", "NOPE", &ignored).IsNotFound());
+}
+
+TEST_F(CatalogTest, SetWithDanglingRefTypeRejected) {
+  FR_ASSERT_OK(catalog_.DefineType(
+      TypeDescriptor("BAD", {RefAttr("x", "MISSING")})));
+  FileId ignored;
+  EXPECT_EQ(catalog_.CreateSet("Bad", "BAD", &ignored).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// --- Path binding -------------------------------------------------------------
+
+TEST_F(CatalogTest, BindsOneLevelPath) {
+  BoundPath path;
+  FR_ASSERT_OK(catalog_.BindPath("Emp1.dept.name", &path));
+  EXPECT_EQ(path.set_name, "Emp1");
+  ASSERT_EQ(path.level(), 1u);
+  EXPECT_EQ(path.steps[0].attr_name, "dept");
+  EXPECT_EQ(path.steps[0].source_type, "EMP");
+  EXPECT_EQ(path.steps[0].target_type, "DEPT");
+  EXPECT_EQ(path.terminal_type, "DEPT");
+  EXPECT_EQ(path.terminal_fields, (std::vector<int>{0}));
+  EXPECT_FALSE(path.all);
+}
+
+TEST_F(CatalogTest, BindsTwoLevelPath) {
+  BoundPath path;
+  FR_ASSERT_OK(catalog_.BindPath("Emp1.dept.org.name", &path));
+  ASSERT_EQ(path.level(), 2u);
+  EXPECT_EQ(path.steps[1].attr_name, "org");
+  EXPECT_EQ(path.terminal_type, "ORG");
+}
+
+TEST_F(CatalogTest, BindsAllPath) {
+  BoundPath path;
+  FR_ASSERT_OK(catalog_.BindPath("Emp1.dept.all", &path));
+  EXPECT_TRUE(path.all);
+  EXPECT_EQ(path.terminal_type, "DEPT");
+  // Every attribute of DEPT, including the ref.
+  EXPECT_EQ(path.terminal_fields, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(CatalogTest, BindsRefTerminal) {
+  // Section 3.3.3: replicate Emp1.dept.org collapses the 2-level path.
+  BoundPath path;
+  FR_ASSERT_OK(catalog_.BindPath("Emp1.dept.org", &path));
+  ASSERT_EQ(path.level(), 1u);
+  EXPECT_EQ(path.terminal_type, "DEPT");
+  EXPECT_EQ(path.terminal_fields, (std::vector<int>{2}));  // the org ref
+}
+
+TEST_F(CatalogTest, BindRejectsBadPaths) {
+  BoundPath path;
+  EXPECT_FALSE(catalog_.BindPath("Nope.dept.name", &path).ok());
+  EXPECT_FALSE(catalog_.BindPath("Emp1.nope.name", &path).ok());
+  // Scalar mid-path.
+  EXPECT_FALSE(catalog_.BindPath("Emp1.salary.name", &path).ok());
+  EXPECT_FALSE(catalog_.BindPath("Emp1", &path).ok());
+  EXPECT_FALSE(catalog_.BindPath("Emp1..dept", &path).ok());
+}
+
+// --- Link registry (Section 4.1.4) ---------------------------------------------
+
+TEST(LinkRegistryTest, SharedPrefixSharesLinkIds) {
+  // The paper's example:
+  //   replicate Emp1.dept.budget    link sequence = (1)
+  //   replicate Emp1.dept.name      link sequence = (1)
+  //   replicate Emp1.dept.org.name  link sequence = (1,2)
+  //   replicate Emp2.dept.org       link sequence = (3)
+  LinkRegistry registry;
+  uint8_t id1, id2, id3, id4, id5;
+  FR_ASSERT_OK(registry.InternLink("Emp1.dept", "Emp1", 1, "EMP", "DEPT",
+                                   "dept", false, 1, &id1));
+  FR_ASSERT_OK(registry.InternLink("Emp1.dept", "Emp1", 1, "EMP", "DEPT",
+                                   "dept", false, 2, &id2));
+  EXPECT_EQ(id1, id2);  // shared first link
+  FR_ASSERT_OK(registry.InternLink("Emp1.dept", "Emp1", 1, "EMP", "DEPT",
+                                   "dept", false, 3, &id3));
+  EXPECT_EQ(id1, id3);
+  FR_ASSERT_OK(registry.InternLink("Emp1.dept.org", "Emp1", 2, "DEPT", "ORG",
+                                   "org", false, 3, &id4));
+  EXPECT_NE(id4, id1);
+  FR_ASSERT_OK(registry.InternLink("Emp2.dept", "Emp2", 1, "EMP", "DEPT",
+                                   "dept", false, 4, &id5));
+  EXPECT_NE(id5, id1);  // different head set: no sharing
+  const LinkInfo* link = registry.GetLink(id1);
+  ASSERT_NE(link, nullptr);
+  EXPECT_EQ(link->path_ids, (std::vector<uint16_t>{1, 2, 3}));
+}
+
+TEST(LinkRegistryTest, CollapsedLinksNeverShare) {
+  LinkRegistry registry;
+  uint8_t a, b;
+  FR_ASSERT_OK(registry.InternLink("Emp1.dept.org", "Emp1", 2, "EMP", "ORG",
+                                   "org", true, 1, &a));
+  FR_ASSERT_OK(registry.InternLink("Emp1.dept.org", "Emp1", 2, "EMP", "ORG",
+                                   "org", true, 2, &b));
+  EXPECT_NE(a, b);
+}
+
+TEST(LinkRegistryTest, ReleaseFreesOrphanedIdsForReuse) {
+  LinkRegistry registry;
+  uint8_t id1, id2;
+  FR_ASSERT_OK(registry.InternLink("Emp1.dept", "Emp1", 1, "EMP", "DEPT",
+                                   "dept", false, 1, &id1));
+  FR_ASSERT_OK(registry.InternLink("Emp1.dept", "Emp1", 1, "EMP", "DEPT",
+                                   "dept", false, 2, &id2));
+  std::vector<uint8_t> freed = registry.ReleasePathLinks(1);
+  EXPECT_TRUE(freed.empty());  // still shared with path 2
+  freed = registry.ReleasePathLinks(2);
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0], id1);
+  EXPECT_EQ(registry.GetLink(id1), nullptr);
+}
+
+// --- Replication path & index registration -------------------------------------
+
+TEST_F(CatalogTest, ReplicationPathRegistry) {
+  ReplicationPathInfo info;
+  info.spec = "Emp1.dept.name";
+  FR_ASSERT_OK(catalog_.BindPath(info.spec, &info.bound));
+  uint16_t id;
+  FR_ASSERT_OK(catalog_.RegisterReplicationPath(info, &id));
+  EXPECT_NE(catalog_.GetPath(id), nullptr);
+  EXPECT_NE(catalog_.FindPathBySpec("Emp1.dept.name"), nullptr);
+  EXPECT_EQ(catalog_.PathsHeadedAt("Emp1"), (std::vector<uint16_t>{id}));
+  EXPECT_TRUE(catalog_.PathsHeadedAt("Emp2").empty());
+  // Duplicate spec rejected.
+  uint16_t id2;
+  EXPECT_EQ(catalog_.RegisterReplicationPath(info, &id2).code(),
+            StatusCode::kAlreadyExists);
+  FR_ASSERT_OK(catalog_.DropReplicationPath(id));
+  EXPECT_EQ(catalog_.GetPath(id), nullptr);
+}
+
+TEST_F(CatalogTest, IndexRegistry) {
+  IndexInfo info;
+  info.name = "emp_salary";
+  info.set_name = "Emp1";
+  info.key_expr = "salary";
+  info.attr_index = 2;
+  FR_ASSERT_OK(catalog_.RegisterIndex(info));
+  EXPECT_NE(catalog_.FindIndexByName("emp_salary"), nullptr);
+  EXPECT_NE(catalog_.FindIndex("Emp1", "salary"), nullptr);
+  EXPECT_EQ(catalog_.FindIndex("Emp1", "age"), nullptr);
+  EXPECT_EQ(catalog_.IndexesOnSet("Emp1").size(), 1u);
+  FR_ASSERT_OK(catalog_.DropIndex("emp_salary"));
+  EXPECT_EQ(catalog_.FindIndexByName("emp_salary"), nullptr);
+}
+
+TEST_F(CatalogTest, DescribeMentionsEverything) {
+  std::string description = catalog_.Describe();
+  EXPECT_NE(description.find("define type EMP"), std::string::npos);
+  EXPECT_NE(description.find("create Emp1"), std::string::npos);
+}
+
+TEST(PathParseTest, ParseExpression) {
+  std::string set;
+  std::vector<std::string> components;
+  FR_ASSERT_OK(ParsePathExpression("Emp1.dept.org.name", &set, &components));
+  EXPECT_EQ(set, "Emp1");
+  EXPECT_EQ(components,
+            (std::vector<std::string>{"dept", "org", "name"}));
+  EXPECT_FALSE(ParsePathExpression("Emp1", &set, &components).ok());
+  EXPECT_FALSE(ParsePathExpression("Emp1.2bad", &set, &components).ok());
+  EXPECT_FALSE(ParsePathExpression("", &set, &components).ok());
+}
+
+}  // namespace
+}  // namespace fieldrep

@@ -1,0 +1,188 @@
+#include <map>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "gtest/gtest.h"
+
+namespace fieldrep {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kCorruption,
+        StatusCode::kIOError, StatusCode::kOutOfRange,
+        StatusCode::kNotSupported, StatusCode::kFailedPrecondition,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(std::move(r).ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MacroPropagatesError) {
+  auto inner = []() -> Result<int> {
+    return Status::NotFound("nothing here");
+  };
+  auto outer = [&]() -> Status {
+    FIELDREP_ASSIGN_OR_RETURN(int v, inner());
+    (void)v;
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  std::string buf;
+  PutU16(&buf, 0xBEEF);
+  PutU32(&buf, 0xDEADBEEFu);
+  PutU64(&buf, 0x0123456789ABCDEFull);
+  PutI32(&buf, -12345);
+  PutI64(&buf, -9876543210LL);
+  PutF64(&buf, 3.14159);
+  PutLengthPrefixed(&buf, "hello");
+
+  ByteReader reader(buf);
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  int64_t i64;
+  double f64;
+  std::string s;
+  ASSERT_TRUE(reader.GetU16(&u16));
+  ASSERT_TRUE(reader.GetU32(&u32));
+  ASSERT_TRUE(reader.GetU64(&u64));
+  ASSERT_TRUE(reader.GetI32(&i32));
+  ASSERT_TRUE(reader.GetI64(&i64));
+  ASSERT_TRUE(reader.GetF64(&f64));
+  ASSERT_TRUE(reader.GetLengthPrefixed(&s));
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i32, -12345);
+  EXPECT_EQ(i64, -9876543210LL);
+  EXPECT_DOUBLE_EQ(f64, 3.14159);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(BytesTest, ReaderRejectsTruncation) {
+  std::string buf;
+  PutU32(&buf, 7);
+  ByteReader reader(buf);
+  uint64_t u64;
+  EXPECT_FALSE(reader.GetU64(&u64));
+  std::string s;
+  ByteReader reader2(buf);  // length prefix 7 but no payload
+  EXPECT_FALSE(reader2.GetLengthPrefixed(&s));
+}
+
+TEST(BytesTest, SkipAndRaw) {
+  std::string buf = "abcdef";
+  ByteReader reader(buf);
+  ASSERT_TRUE(reader.Skip(2));
+  std::string s;
+  ASSERT_TRUE(reader.GetRaw(3, &s));
+  EXPECT_EQ(s, "cde");
+  EXPECT_FALSE(reader.Skip(2));
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  bool differed = false;
+  for (int i = 0; i < 10; ++i) differed |= (a.NextU64() != b.NextU64());
+  EXPECT_TRUE(differed);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, PermutationIsPermutation) {
+  Random rng(99);
+  std::vector<uint32_t> p = rng.Permutation(100);
+  std::set<uint32_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  std::vector<std::string> parts = SplitString("a.b..c", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(JoinStrings({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringsTest, StartsWithAndLower) {
+  EXPECT_TRUE(StartsWith("Emp1.dept", "Emp1."));
+  EXPECT_FALSE(StartsWith("Emp", "Emp1"));
+  EXPECT_EQ(ToLower("AbC"), "abc");
+}
+
+TEST(StringsTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+}
+
+}  // namespace
+}  // namespace fieldrep

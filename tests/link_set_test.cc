@@ -1,0 +1,180 @@
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "replication/link_object.h"
+#include "replication/link_set.h"
+#include "storage/memory_device.h"
+#include "test_util.h"
+
+namespace fieldrep {
+namespace {
+
+Oid MakeOid(uint32_t i) {
+  return Oid(3, i / 64, static_cast<uint16_t>(i % 64));
+}
+
+class LinkSetTest : public ::testing::Test {
+ protected:
+  LinkSetTest() : pool_(&device_, 256), file_(&pool_, 9), links_(&file_) {}
+
+  LinkObjectData MakeData(uint32_t members, bool tagged = false) {
+    LinkObjectData data(7, Oid(1, 0, 0), tagged);
+    for (uint32_t i = 0; i < members; ++i) {
+      data.AddMember(MakeOid(i), tagged ? MakeOid(1000 + i % 5)
+                                        : Oid::Invalid());
+    }
+    return data;
+  }
+
+  MemoryDevice device_;
+  BufferPool pool_;
+  RecordFile file_;
+  LinkSet links_;
+};
+
+TEST_F(LinkSetTest, SmallObjectSingleSegment) {
+  LinkObjectData data = MakeData(10);
+  Oid oid;
+  FR_ASSERT_OK(links_.Create(data, &oid));
+  EXPECT_EQ(file_.record_count(), 1u);
+  LinkObjectData read;
+  FR_ASSERT_OK(links_.Read(oid, &read));
+  EXPECT_EQ(read.Members(), data.Members());
+  EXPECT_EQ(read.link_id(), 7);
+}
+
+TEST_F(LinkSetTest, LargeObjectSpansSegments) {
+  const uint32_t n = 1200;  // > 491 per untagged segment
+  LinkObjectData data = MakeData(n);
+  Oid oid;
+  FR_ASSERT_OK(links_.Create(data, &oid));
+  EXPECT_GE(file_.record_count(), 3u);  // head + >= 2 tail segments
+  LinkObjectData read;
+  FR_ASSERT_OK(links_.Read(oid, &read));
+  ASSERT_EQ(read.size(), n);
+  EXPECT_EQ(read.Members(), data.Members());
+}
+
+TEST_F(LinkSetTest, TaggedSegmentsSmallerCapacity) {
+  EXPECT_LT(LinkSet::MaxEntriesPerSegment(true),
+            LinkSet::MaxEntriesPerSegment(false));
+  const uint32_t n = 600;  // > 245 per tagged segment
+  LinkObjectData data = MakeData(n, /*tagged=*/true);
+  Oid oid;
+  FR_ASSERT_OK(links_.Create(data, &oid));
+  LinkObjectData read;
+  FR_ASSERT_OK(links_.Read(oid, &read));
+  ASSERT_EQ(read.size(), n);
+  // Tags survive reassembly.
+  EXPECT_EQ(read.entries()[5].tag, data.entries()[5].tag);
+}
+
+TEST_F(LinkSetTest, WriteGrowsAndShrinksChain) {
+  LinkObjectData data = MakeData(10);
+  Oid oid;
+  FR_ASSERT_OK(links_.Create(data, &oid));
+  // Grow far past one segment; head OID must stay stable.
+  LinkObjectData grown = MakeData(1500);
+  FR_ASSERT_OK(links_.Write(oid, grown));
+  LinkObjectData read;
+  FR_ASSERT_OK(links_.Read(oid, &read));
+  EXPECT_EQ(read.size(), 1500u);
+  uint64_t grown_records = file_.record_count();
+  EXPECT_GE(grown_records, 4u);
+  // Shrink back to a single segment; surplus segments are reclaimed.
+  LinkObjectData shrunk = MakeData(3);
+  FR_ASSERT_OK(links_.Write(oid, shrunk));
+  FR_ASSERT_OK(links_.Read(oid, &read));
+  EXPECT_EQ(read.size(), 3u);
+  EXPECT_EQ(file_.record_count(), 1u);
+}
+
+TEST_F(LinkSetTest, DeleteReclaimsWholeChain) {
+  LinkObjectData data = MakeData(1100);
+  Oid oid;
+  FR_ASSERT_OK(links_.Create(data, &oid));
+  EXPECT_GT(file_.record_count(), 1u);
+  FR_ASSERT_OK(links_.Delete(oid));
+  EXPECT_EQ(file_.record_count(), 0u);
+}
+
+TEST_F(LinkSetTest, RandomSizesRoundTrip) {
+  Random rng(808);
+  for (int trial = 0; trial < 30; ++trial) {
+    uint32_t n = static_cast<uint32_t>(rng.Uniform(1400));
+    bool tagged = rng.Bernoulli(0.4);
+    LinkObjectData data = MakeData(n, tagged);
+    Oid oid;
+    ASSERT_TRUE(links_.Create(data, &oid).ok());
+    LinkObjectData read;
+    ASSERT_TRUE(links_.Read(oid, &read).ok());
+    ASSERT_EQ(read.entries(), data.entries()) << "n=" << n;
+    // Random rewrite.
+    uint32_t m = static_cast<uint32_t>(rng.Uniform(1400));
+    LinkObjectData next = MakeData(m, tagged);
+    ASSERT_TRUE(links_.Write(oid, next).ok());
+    ASSERT_TRUE(links_.Read(oid, &read).ok());
+    ASSERT_EQ(read.entries(), next.entries()) << "m=" << m;
+    ASSERT_TRUE(links_.Delete(oid).ok());
+    ASSERT_EQ(file_.record_count(), 0u);
+  }
+}
+
+// --- LinkObjectData unit behaviour ----------------------------------------------
+
+TEST(LinkObjectDataTest, SortedInsertAndBinarySearch) {
+  LinkObjectData data(1, Oid(1, 0, 0), false);
+  EXPECT_TRUE(data.AddMember(MakeOid(5)));
+  EXPECT_TRUE(data.AddMember(MakeOid(1)));
+  EXPECT_TRUE(data.AddMember(MakeOid(9)));
+  EXPECT_FALSE(data.AddMember(MakeOid(5)));  // duplicate
+  std::vector<Oid> members = data.Members();
+  EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+  EXPECT_TRUE(data.HasMember(MakeOid(1)));
+  EXPECT_FALSE(data.HasMember(MakeOid(2)));
+  EXPECT_TRUE(data.RemoveMember(MakeOid(5)));
+  EXPECT_FALSE(data.RemoveMember(MakeOid(5)));
+  EXPECT_EQ(data.size(), 2u);
+}
+
+TEST(LinkObjectDataTest, RemoveByTagMovesAllMatching) {
+  LinkObjectData data(1, Oid(1, 0, 0), true);
+  data.AddMember(MakeOid(1), MakeOid(100));
+  data.AddMember(MakeOid(2), MakeOid(200));
+  data.AddMember(MakeOid(3), MakeOid(100));
+  std::vector<Oid> moved = data.RemoveByTag(MakeOid(100));
+  EXPECT_EQ(moved, (std::vector<Oid>{MakeOid(1), MakeOid(3)}));
+  EXPECT_EQ(data.size(), 1u);
+  EXPECT_TRUE(data.RemoveByTag(MakeOid(999)).empty());
+}
+
+TEST(LinkObjectDataTest, SerializedSizeMatchesPaperFormulaShape) {
+  // l = fixed + f * sizeof(OID): entries cost exactly 8 (16 tagged) bytes.
+  LinkObjectData data(1, Oid(1, 0, 0), false);
+  size_t base = data.SerializedSize();
+  data.AddMember(MakeOid(1));
+  EXPECT_EQ(data.SerializedSize(), base + 8);
+  LinkObjectData tagged(1, Oid(1, 0, 0), true);
+  size_t tagged_base = tagged.SerializedSize();
+  tagged.AddMember(MakeOid(1), MakeOid(2));
+  EXPECT_EQ(tagged.SerializedSize(), tagged_base + 16);
+}
+
+TEST(ReplicaRecordTest, RoundTrip) {
+  ReplicaRecord record;
+  record.path_id = 12;
+  record.owner = Oid(4, 5, 6);
+  record.values = {Value("copy"), Value(int32_t{3}), Value::Null()};
+  std::string payload = record.Serialize();
+  ReplicaRecord decoded;
+  FR_ASSERT_OK(decoded.Deserialize(payload));
+  EXPECT_EQ(decoded.path_id, 12);
+  EXPECT_EQ(decoded.owner, record.owner);
+  EXPECT_EQ(decoded.values, record.values);
+  EXPECT_TRUE(decoded.Deserialize("junk").IsCorruption());
+}
+
+}  // namespace
+}  // namespace fieldrep

@@ -1,0 +1,309 @@
+#include "common/bytes.h"
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "objects/object.h"
+#include "objects/object_set.h"
+#include "objects/value.h"
+#include "storage/memory_device.h"
+#include "test_util.h"
+
+namespace fieldrep {
+namespace {
+
+TypeDescriptor SampleType() {
+  return TypeDescriptor("SAMPLE",
+                        {Int32Attr("i"), Int64Attr("l"), DoubleAttr("d"),
+                         CharAttr("c", 12), StringAttr("s"),
+                         RefAttr("r", "SAMPLE")});
+}
+
+// --- Value -------------------------------------------------------------------
+
+TEST(ValueTest, KindPredicates) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value(int32_t{1}).is_int32());
+  EXPECT_TRUE(Value(int64_t{1}).is_int64());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(Oid(1, 2, 3)).is_ref());
+}
+
+TEST(ValueTest, AsIntegerWidens) {
+  auto v = Value(int32_t{-7}).AsInteger();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, -7);
+  EXPECT_FALSE(Value("x").AsInteger().ok());
+}
+
+TEST(ValueTest, MatchesType) {
+  EXPECT_TRUE(Value(int32_t{5}).MatchesType(FieldType::kInt64));
+  EXPECT_TRUE(Value(int64_t{5}).MatchesType(FieldType::kInt32));
+  EXPECT_TRUE(Value(int32_t{5}).MatchesType(FieldType::kDouble));
+  EXPECT_FALSE(Value(2.5).MatchesType(FieldType::kInt32));
+  EXPECT_TRUE(Value("x").MatchesType(FieldType::kChar));
+  EXPECT_FALSE(Value("x").MatchesType(FieldType::kRef));
+  EXPECT_TRUE(Value::Null().MatchesType(FieldType::kRef));
+}
+
+TEST(ValueTest, CoerceCharPadsAndTruncates) {
+  AttributeDescriptor attr = CharAttr("c", 4);
+  auto padded = Value("ab").CoerceTo(attr);
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(padded->as_string(), std::string("ab\0\0", 4));
+  auto truncated = Value("abcdef").CoerceTo(attr);
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(truncated->as_string(), "abcd");
+}
+
+TEST(ValueTest, CoerceIntOverflowFails) {
+  AttributeDescriptor attr = Int32Attr("i");
+  EXPECT_FALSE(Value(int64_t{1} << 40).CoerceTo(attr).ok());
+  auto ok = Value(int64_t{77}).CoerceTo(attr);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->as_int32(), 77);
+}
+
+TEST(ValueTest, ToStringStripsCharPadding) {
+  EXPECT_EQ(Value(std::string("hi\0\0", 4)).ToString(), "\"hi\"");
+  EXPECT_EQ(Value::Null().ToString(), "null");
+}
+
+TEST(ValueTest, TaggedRoundTrip) {
+  std::vector<Value> values = {Value::Null(),  Value(int32_t{-9}),
+                               Value(int64_t{1} << 50), Value(1.25),
+                               Value("text"),  Value(Oid(2, 9, 1))};
+  std::string buf;
+  for (const Value& v : values) EncodeTaggedValue(v, &buf);
+  ByteReader reader(buf);
+  for (const Value& expected : values) {
+    Value v;
+    FR_ASSERT_OK(DecodeTaggedValue(&reader, &v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+// --- Object serialization -------------------------------------------------------
+
+class ObjectTest : public ::testing::Test {
+ protected:
+  ObjectTest() : type_(SampleType()) { type_.set_type_tag(9); }
+  TypeDescriptor type_;
+};
+
+TEST_F(ObjectTest, SerializeRoundTripPlain) {
+  Object object(9, {Value(int32_t{1}), Value(int64_t{2}), Value(3.5),
+                    Value("abc"), Value("variable"), Value(Oid(1, 2, 3))});
+  std::string payload;
+  FR_ASSERT_OK(object.Serialize(type_, &payload));
+  Object decoded;
+  FR_ASSERT_OK(decoded.Deserialize(type_, payload));
+  EXPECT_EQ(decoded.field(0), Value(int32_t{1}));
+  EXPECT_EQ(decoded.field(1), Value(int64_t{2}));
+  EXPECT_EQ(decoded.field(2), Value(3.5));
+  // char[12] comes back padded.
+  EXPECT_EQ(decoded.field(3).as_string().size(), 12u);
+  EXPECT_EQ(decoded.field(4), Value("variable"));
+  EXPECT_EQ(decoded.field(5), Value(Oid(1, 2, 3)));
+}
+
+TEST_F(ObjectTest, FixedSizeMatchesComputed) {
+  // Header 16 + i(4) + l(8) + d(8) + c(12) + s(4 prefix) + r(8) = 60.
+  EXPECT_EQ(Object::FixedSerializedSize(type_), 60u);
+  Object object(9, {Value(int32_t{1}), Value(int64_t{2}), Value(3.5),
+                    Value("abc"), Value(""), Value::Null()});
+  std::string payload;
+  FR_ASSERT_OK(object.Serialize(type_, &payload));
+  EXPECT_EQ(payload.size(), 60u);
+}
+
+TEST_F(ObjectTest, HiddenSectionRoundTrip) {
+  Object object(9, {Value(int32_t{1}), Value(int64_t{2}), Value(3.5),
+                    Value("abc"), Value("s"), Value::Null()});
+  LinkRef link;
+  link.link_id = 3;
+  link.link_oid = Oid(5, 6, 7);
+  object.SetLinkRef(link);
+  LinkRef inlined;
+  inlined.link_id = 4;
+  inlined.inlined = true;
+  inlined.inline_oids = {Oid(1, 1, 1), Oid(1, 1, 2)};
+  object.SetLinkRef(inlined);
+  object.SetReplicaValues(11, {Value("copy"), Value(int32_t{5})});
+  ReplicaRefSlot slot;
+  slot.path_id = 12;
+  slot.replica_oid = Oid(8, 9, 10);
+  slot.refcount = 42;
+  object.SetReplicaRef(slot);
+
+  std::string payload;
+  FR_ASSERT_OK(object.Serialize(type_, &payload));
+  Object decoded;
+  FR_ASSERT_OK(decoded.Deserialize(type_, payload));
+  // The stored char[12] field comes back padded; normalize before comparing.
+  Object expected = object;
+  auto padded = expected.field(3).CoerceTo(type_.attribute(3));
+  ASSERT_TRUE(padded.ok());
+  expected.set_field(3, *padded);
+  EXPECT_EQ(decoded, expected);
+  ASSERT_NE(decoded.FindLinkRef(3), nullptr);
+  EXPECT_EQ(decoded.FindLinkRef(3)->link_oid, Oid(5, 6, 7));
+  ASSERT_NE(decoded.FindLinkRef(4), nullptr);
+  EXPECT_TRUE(decoded.FindLinkRef(4)->inlined);
+  ASSERT_NE(decoded.FindReplicaValues(11), nullptr);
+  EXPECT_EQ(decoded.FindReplicaValues(11)->values[0], Value("copy"));
+  ASSERT_NE(decoded.FindReplicaRef(12), nullptr);
+  EXPECT_EQ(decoded.FindReplicaRef(12)->refcount, 42u);
+}
+
+TEST_F(ObjectTest, HiddenAccessorsMutate) {
+  Object object;
+  object.SetReplicaValues(1, {Value(int32_t{1})});
+  object.SetReplicaValues(1, {Value(int32_t{2})});
+  ASSERT_EQ(object.replica_values().size(), 1u);
+  EXPECT_EQ(object.FindReplicaValues(1)->values[0], Value(int32_t{2}));
+  EXPECT_TRUE(object.RemoveReplicaValues(1));
+  EXPECT_FALSE(object.RemoveReplicaValues(1));
+  EXPECT_FALSE(object.HasHiddenState());
+}
+
+TEST_F(ObjectTest, DeserializeRejectsWrongTag) {
+  Object object(9, {Value(int32_t{1}), Value(int64_t{2}), Value(3.5),
+                    Value("abc"), Value("s"), Value::Null()});
+  std::string payload;
+  FR_ASSERT_OK(object.Serialize(type_, &payload));
+  TypeDescriptor other = SampleType();
+  other.set_type_tag(10);
+  Object decoded;
+  EXPECT_TRUE(decoded.Deserialize(other, payload).IsCorruption());
+}
+
+TEST_F(ObjectTest, DeserializeRejectsTruncation) {
+  Object object(9, {Value(int32_t{1}), Value(int64_t{2}), Value(3.5),
+                    Value("abc"), Value("s"), Value::Null()});
+  std::string payload;
+  FR_ASSERT_OK(object.Serialize(type_, &payload));
+  for (size_t cut : {4u, 17u, 30u}) {
+    Object decoded;
+    EXPECT_FALSE(decoded.Deserialize(type_, payload.substr(0, cut)).ok());
+  }
+}
+
+TEST(ObjectPropertyTest, RandomRoundTrips) {
+  TypeDescriptor type = SampleType();
+  type.set_type_tag(3);
+  Random rng(404);
+  for (int i = 0; i < 300; ++i) {
+    Object object(3, {Value(static_cast<int32_t>(rng.Uniform(1000))),
+                      Value(static_cast<int64_t>(rng.NextU64() >> 1)),
+                      Value(rng.NextDouble()),
+                      Value(std::string(rng.Uniform(12), 'k')),
+                      Value(std::string(rng.Uniform(64), 'v')),
+                      rng.Bernoulli(0.5)
+                          ? Value(Oid(1, static_cast<PageId>(rng.Uniform(99)),
+                                      static_cast<uint16_t>(rng.Uniform(9))))
+                          : Value::Null()});
+    if (rng.Bernoulli(0.5)) {
+      object.SetReplicaValues(static_cast<uint16_t>(rng.Uniform(100)),
+                              {Value(static_cast<int32_t>(i))});
+    }
+    if (rng.Bernoulli(0.5)) {
+      LinkRef link;
+      link.link_id = static_cast<uint8_t>(1 + rng.Uniform(250));
+      link.inlined = rng.Bernoulli(0.5);
+      if (link.inlined) {
+        for (uint64_t j = 0; j < rng.Uniform(4); ++j) {
+          link.inline_oids.push_back(Oid(1, 1, static_cast<uint16_t>(j)));
+        }
+      } else {
+        link.link_oid = Oid(2, 3, 4);
+      }
+      object.SetLinkRef(link);
+    }
+    std::string payload;
+    ASSERT_TRUE(object.Serialize(type, &payload).ok());
+    Object decoded;
+    ASSERT_TRUE(decoded.Deserialize(type, payload).ok());
+    // char field padding is the only expected change; normalize it.
+    Object expected = object;
+    auto padded = expected.field(3).CoerceTo(type.attribute(3));
+    ASSERT_TRUE(padded.ok());
+    expected.set_field(3, *padded);
+    ASSERT_EQ(decoded, expected);
+  }
+}
+
+// --- ObjectSet ------------------------------------------------------------------
+
+class ObjectSetTest : public ::testing::Test {
+ protected:
+  ObjectSetTest()
+      : pool_(&device_, 64), type_(SampleType()) {
+    type_.set_type_tag(1);
+    set_ = std::make_unique<ObjectSet>(&pool_, 1, "Sample", &type_);
+  }
+  Object MakeObject(int32_t i) {
+    return Object(1, {Value(i), Value(int64_t{i} * 10), Value(i * 0.5),
+                      Value("c"), Value("s"), Value::Null()});
+  }
+  MemoryDevice device_;
+  BufferPool pool_;
+  TypeDescriptor type_;
+  std::unique_ptr<ObjectSet> set_;
+};
+
+TEST_F(ObjectSetTest, InsertReadWriteDelete) {
+  Oid oid;
+  FR_ASSERT_OK(set_->Insert(MakeObject(7), &oid));
+  Object object;
+  FR_ASSERT_OK(set_->Read(oid, &object));
+  EXPECT_EQ(object.field(0), Value(int32_t{7}));
+  EXPECT_EQ(object.type_tag(), 1);
+  object.set_field(0, Value(int32_t{8}));
+  FR_ASSERT_OK(set_->Write(oid, object));
+  FR_ASSERT_OK(set_->Read(oid, &object));
+  EXPECT_EQ(object.field(0), Value(int32_t{8}));
+  FR_ASSERT_OK(set_->Delete(oid));
+  EXPECT_FALSE(set_->Read(oid, &object).ok());
+}
+
+TEST_F(ObjectSetTest, RejectsWrongArity) {
+  Object bad(1, {Value(int32_t{1})});
+  Oid oid;
+  EXPECT_FALSE(set_->Insert(bad, &oid).ok());
+}
+
+TEST_F(ObjectSetTest, RejectsWrongKind) {
+  Object bad = MakeObject(1);
+  bad.set_field(0, Value("not an int"));
+  Oid oid;
+  EXPECT_FALSE(set_->Insert(bad, &oid).ok());
+}
+
+TEST_F(ObjectSetTest, ScanVisitsAll) {
+  for (int i = 0; i < 100; ++i) {
+    Oid oid;
+    FR_ASSERT_OK(set_->Insert(MakeObject(i), &oid));
+  }
+  int32_t expected = 0;
+  FR_ASSERT_OK(set_->Scan([&](const Oid&, const Object& object) {
+    EXPECT_EQ(object.field(0), Value(expected++));
+    return true;
+  }));
+  EXPECT_EQ(expected, 100);
+  EXPECT_EQ(set_->size(), 100u);
+}
+
+TEST_F(ObjectSetTest, GetFieldCoerces) {
+  Oid oid;
+  FR_ASSERT_OK(set_->Insert(MakeObject(5), &oid));
+  Object object;
+  FR_ASSERT_OK(set_->Read(oid, &object));
+  auto value = set_->GetField(object, 0);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, Value(int32_t{5}));
+  EXPECT_FALSE(set_->GetField(object, 99).ok());
+}
+
+}  // namespace
+}  // namespace fieldrep

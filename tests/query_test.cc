@@ -1,0 +1,514 @@
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace fieldrep {
+namespace {
+
+using ::fieldrep::testing::EmployeeFixture;
+using ::fieldrep::testing::OpenEmployeeDatabase;
+using ::fieldrep::testing::PopulateEmployees;
+
+std::string Padded(const std::string& s, size_t n = 20) {
+  std::string out = s;
+  out.resize(n, '\0');
+  return out;
+}
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = OpenEmployeeDatabase();
+    fixture_ = PopulateEmployees(db_.get(), 2, 4, 40);
+  }
+  std::unique_ptr<Database> db_;
+  EmployeeFixture fixture_;
+};
+
+TEST_F(QueryTest, ScanReadNoPredicate) {
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"name", "salary"};
+  ReadResult result;
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  EXPECT_EQ(result.rows.size(), 40u);
+  EXPECT_FALSE(result.used_index);
+  EXPECT_EQ(result.rows[3][0], Value(Padded("emp3")));
+  EXPECT_EQ(result.rows[3][1], Value(int32_t{3000}));
+}
+
+TEST_F(QueryTest, PredicateWithoutIndexScans) {
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"name"};
+  query.predicate =
+      Predicate::Compare("salary", CompareOp::kGt, Value(int32_t{35000}));
+  ReadResult result;
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  EXPECT_EQ(result.rows.size(), 4u);  // 36000..39000
+  EXPECT_FALSE(result.used_index);
+}
+
+TEST_F(QueryTest, PredicateWithIndexUsesIt) {
+  FR_ASSERT_OK(db_->BuildIndex("emp_salary", "Emp1", "salary"));
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"name"};
+  query.predicate = Predicate::Between("salary", Value(int32_t{10000}),
+                                       Value(int32_t{12000}));
+  ReadResult result;
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  EXPECT_TRUE(result.used_index);
+  EXPECT_EQ(result.rows.size(), 3u);  // 10000, 11000, 12000
+}
+
+TEST_F(QueryTest, AllCompareOpsAgreeWithScan) {
+  FR_ASSERT_OK(db_->BuildIndex("emp_salary", "Emp1", "salary"));
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kLt, CompareOp::kLe,
+                       CompareOp::kGt, CompareOp::kGe}) {
+    ReadQuery indexed;
+    indexed.set_name = "Emp1";
+    indexed.projections = {"salary"};
+    indexed.predicate =
+        Predicate::Compare("salary", op, Value(int32_t{20000}));
+    ReadResult via_index;
+    FR_ASSERT_OK(db_->Retrieve(indexed, &via_index));
+    EXPECT_TRUE(via_index.used_index);
+
+    // Same query against the unindexed age... use Emp2-free approach:
+    // evaluate by scanning with the same predicate on a projection-only
+    // query through a fresh query with no index: filter rows manually.
+    ReadQuery scan;
+    scan.set_name = "Emp1";
+    scan.projections = {"salary"};
+    ReadResult all;
+    FR_ASSERT_OK(db_->Retrieve(scan, &all));
+    size_t expected = 0;
+    for (const auto& row : all.rows) {
+      int32_t v = row[0].as_int32();
+      switch (op) {
+        case CompareOp::kEq: expected += (v == 20000); break;
+        case CompareOp::kLt: expected += (v < 20000); break;
+        case CompareOp::kLe: expected += (v <= 20000); break;
+        case CompareOp::kGt: expected += (v > 20000); break;
+        case CompareOp::kGe: expected += (v >= 20000); break;
+        default: break;
+      }
+    }
+    EXPECT_EQ(via_index.rows.size(), expected)
+        << "op " << CompareOpName(op);
+  }
+}
+
+TEST_F(QueryTest, StringPredicateRecheckFiltersPrefixCollisions) {
+  FR_ASSERT_OK(db_->BuildIndex("emp_name", "Emp1", "name"));
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"name"};
+  // "emp1", "emp10".."emp19" share the 8-byte prefix region; equality must
+  // return exactly one row.
+  query.predicate =
+      Predicate::Compare("name", CompareOp::kEq, Value(Padded("emp1")));
+  ReadResult result;
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0], Value(Padded("emp1")));
+}
+
+TEST_F(QueryTest, FunctionalJoinWithoutReplication) {
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"name", "dept.name", "dept.org.name"};
+  ReadResult result;
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  ASSERT_EQ(result.access.size(), 3u);
+  EXPECT_EQ(result.access[1], ReadResult::Access::kJoin);
+  EXPECT_EQ(result.access[2], ReadResult::Access::kJoin);
+  EXPECT_EQ(result.rows[5][1], Value(Padded("dept1")));
+  EXPECT_EQ(result.rows[5][2], Value(Padded("org1")));
+}
+
+TEST_F(QueryTest, InPlaceReplicaEliminatesJoin) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"name", "dept.name"};
+  ReadResult result;
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  EXPECT_EQ(result.access[1], ReadResult::Access::kReplicaInPlace);
+  EXPECT_EQ(result.rows[5][1], Value(Padded("dept1")));
+}
+
+TEST_F(QueryTest, ReplicaAndJoinAgree) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", {}));
+  ReadQuery with;
+  with.set_name = "Emp1";
+  with.projections = {"dept.org.name"};
+  ReadResult via_replica;
+  FR_ASSERT_OK(db_->Retrieve(with, &via_replica));
+  EXPECT_EQ(via_replica.access[0], ReadResult::Access::kReplicaInPlace);
+
+  ReadQuery without = with;
+  without.use_replication = false;
+  ReadResult via_join;
+  FR_ASSERT_OK(db_->Retrieve(without, &via_join));
+  EXPECT_EQ(via_join.access[0], ReadResult::Access::kJoin);
+  EXPECT_EQ(via_replica.rows, via_join.rows);
+}
+
+TEST_F(QueryTest, SeparateReplicaAnswersFromSPrime) {
+  ReplicateOptions options;
+  options.strategy = ReplicationStrategy::kSeparate;
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", options));
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"dept.name"};
+  ReadResult result;
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  EXPECT_EQ(result.access[0], ReadResult::Access::kReplicaSeparate);
+  EXPECT_EQ(result.rows[5][0], Value(Padded("dept1")));
+}
+
+TEST_F(QueryTest, AllPathCoversMemberProjections) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.all", {}));
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"dept.name", "dept.budget"};
+  ReadResult result;
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  EXPECT_EQ(result.access[0], ReadResult::Access::kReplicaInPlace);
+  EXPECT_EQ(result.access[1], ReadResult::Access::kReplicaInPlace);
+  EXPECT_EQ(result.rows[0][1], Value(int32_t{0}));
+}
+
+TEST_F(QueryTest, ReplicatedRefPrefixCollapsesJoin) {
+  // Section 3.3.3: replicate Emp1.dept.org, then dept.org.name needs one
+  // join instead of two.
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org", {}));
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"dept.org.name"};
+  ReadResult result;
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  EXPECT_EQ(result.access[0], ReadResult::Access::kJoin);
+  EXPECT_EQ(result.rows[0][0], Value(Padded("org0")));
+  // Same answer as the pure-join plan.
+  ReadQuery pure = query;
+  pure.use_replication = false;
+  ReadResult pure_result;
+  FR_ASSERT_OK(db_->Retrieve(pure, &pure_result));
+  EXPECT_EQ(result.rows, pure_result.rows);
+}
+
+TEST_F(QueryTest, NullRefsYieldNullColumns) {
+  Object emp(0, {Value("null-dept"), Value(int32_t{1}), Value(int32_t{-5}),
+                 Value::Null()});
+  Oid oid;
+  FR_ASSERT_OK(db_->Insert("Emp1", emp, &oid));
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"name", "dept.name"};
+  query.predicate =
+      Predicate::Compare("salary", CompareOp::kLt, Value(int32_t{0}));
+  ReadResult result;
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_TRUE(result.rows[0][1].is_null());
+}
+
+TEST_F(QueryTest, OutputFileReceivesRows) {
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"name", "salary"};
+  query.write_output = true;
+  query.output_pad = 100;
+  ReadResult result;
+  FR_ASSERT_OK(db_->executor().TruncateOutput());
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  EXPECT_EQ(result.rows_written, 40u);
+  auto out = db_->executor().output_file();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->record_count(), 40u);
+  // 100-byte rows + overhead: 4056/104 = 39 per page -> 2 pages.
+  EXPECT_EQ((*out)->page_count(), 2u);
+}
+
+TEST_F(QueryTest, UpdateQueryWritesAndPropagates) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  FR_ASSERT_OK(db_->BuildIndex("dept_budget", "Dept", "budget"));
+  UpdateQuery query;
+  query.set_name = "Dept";
+  query.predicate =
+      Predicate::Compare("budget", CompareOp::kEq, Value(int32_t{10}));
+  query.assignments = {{"name", Value("updated")}, {"budget",
+                                                    Value(int32_t{11})}};
+  UpdateResult result;
+  FR_ASSERT_OK(db_->Replace(query, &result));
+  EXPECT_TRUE(result.used_index);
+  EXPECT_EQ(result.objects_updated, 1u);
+  const auto* path = db_->catalog().FindPathBySpec("Emp1.dept.name");
+  FR_ASSERT_OK(db_->replication().VerifyPathConsistency(path->id));
+  ReadQuery read;
+  read.set_name = "Emp1";
+  read.projections = {"dept.name"};
+  ReadResult rows;
+  FR_ASSERT_OK(db_->Retrieve(read, &rows));
+  int updated = 0;
+  for (const auto& row : rows.rows) {
+    if (row[0] == Value(Padded("updated"))) ++updated;
+  }
+  EXPECT_EQ(updated, 10);  // employees of dept1
+}
+
+TEST_F(QueryTest, UpdateQueryIndexMaintenance) {
+  FR_ASSERT_OK(db_->BuildIndex("emp_salary", "Emp1", "salary"));
+  UpdateQuery query;
+  query.set_name = "Emp1";
+  query.predicate =
+      Predicate::Compare("salary", CompareOp::kEq, Value(int32_t{5000}));
+  query.assignments = {{"salary", Value(int32_t{123456})}};
+  UpdateResult result;
+  FR_ASSERT_OK(db_->Replace(query, &result));
+  EXPECT_EQ(result.objects_updated, 1u);
+  // The index finds it under the new key, not the old.
+  ReadQuery read;
+  read.set_name = "Emp1";
+  read.projections = {"name"};
+  read.predicate =
+      Predicate::Compare("salary", CompareOp::kEq, Value(int32_t{123456}));
+  ReadResult rows;
+  FR_ASSERT_OK(db_->Retrieve(read, &rows));
+  EXPECT_TRUE(rows.used_index);
+  ASSERT_EQ(rows.rows.size(), 1u);
+  read.predicate =
+      Predicate::Compare("salary", CompareOp::kEq, Value(int32_t{5000}));
+  FR_ASSERT_OK(db_->Retrieve(read, &rows));
+  EXPECT_TRUE(rows.rows.empty());
+}
+
+TEST_F(QueryTest, PathIndexSupportsAssociativeLookup) {
+  // Section 3.3.4: an index on Emp1.dept.org.name maps organization names
+  // directly to Emp1 objects.
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", {}));
+  FR_ASSERT_OK(db_->BuildIndex("emp_orgname", "Emp1", "dept.org.name"));
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"name", "dept.org.name"};
+  query.predicate =
+      Predicate::Compare("dept.org.name", CompareOp::kEq,
+                         Value(Padded("org1")));
+  ReadResult result;
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  EXPECT_TRUE(result.used_index);
+  EXPECT_EQ(result.rows.size(), 20u);  // half the employees
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row[1], Value(Padded("org1")));
+  }
+  // The index follows propagation: rename the org, look up the new name.
+  FR_ASSERT_OK(db_->Update("Org", fixture_.orgs[1], "name", Value("zeta")));
+  query.predicate = Predicate::Compare("dept.org.name", CompareOp::kEq,
+                                       Value(Padded("zeta")));
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  EXPECT_EQ(result.rows.size(), 20u);
+}
+
+TEST_F(QueryTest, PathIndexRequiresInPlaceReplication) {
+  EXPECT_EQ(db_->BuildIndex("bad", "Emp1", "dept.org.name").code(),
+            StatusCode::kFailedPrecondition);
+  ReplicateOptions options;
+  options.strategy = ReplicationStrategy::kSeparate;
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", options));
+  EXPECT_EQ(db_->BuildIndex("bad2", "Emp1", "dept.name").code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(QueryTest, BadProjectionsAndPredicatesRejected) {
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"nope"};
+  ReadResult result;
+  EXPECT_FALSE(db_->Retrieve(query, &result).ok());
+  query.projections = {"salary.name"};  // scalar mid-path
+  EXPECT_FALSE(db_->Retrieve(query, &result).ok());
+  query.projections = {"name"};
+  query.predicate =
+      Predicate::Compare("ghost", CompareOp::kEq, Value(int32_t{1}));
+  EXPECT_FALSE(db_->Retrieve(query, &result).ok());
+  query.set_name = "NoSuchSet";
+  EXPECT_FALSE(db_->Retrieve(query, &result).ok());
+}
+
+TEST_F(QueryTest, PathClauseWithoutIndexScans) {
+  // A clause on a reference path with no index: evaluated per object
+  // through the plan (replica when available, joins otherwise).
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"name"};
+  query.predicate = Predicate::Compare("dept.org.name", CompareOp::kEq,
+                                       Value(Padded("org0")));
+  ReadResult via_join;
+  FR_ASSERT_OK(db_->Retrieve(query, &via_join));
+  EXPECT_FALSE(via_join.used_index);
+  EXPECT_EQ(via_join.rows.size(), 20u);
+  // Same with the path replicated: answered from replicas, same rows.
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", {}));
+  ReadResult via_replica;
+  FR_ASSERT_OK(db_->Retrieve(query, &via_replica));
+  EXPECT_EQ(via_replica.rows, via_join.rows);
+}
+
+TEST_F(QueryTest, StringBetweenPredicate) {
+  FR_ASSERT_OK(db_->BuildIndex("emp_name", "Emp1", "name"));
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"name"};
+  query.predicate = Predicate::Between("name", Value(Padded("emp10")),
+                                       Value(Padded("emp19")));
+  ReadResult result;
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  EXPECT_TRUE(result.used_index);
+  EXPECT_EQ(result.rows.size(), 10u);  // emp10..emp19 lexicographically
+}
+
+TEST_F(QueryTest, OutputNaturalSizeWithoutPad) {
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"salary"};
+  query.write_output = true;  // output_pad defaults to 0 (natural size)
+  FR_ASSERT_OK(db_->executor().TruncateOutput());
+  ReadResult result;
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  auto out = db_->executor().output_file();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->record_count(), 40u);
+  EXPECT_EQ((*out)->page_count(), 1u);  // 9-byte rows all fit on one page
+}
+
+TEST_F(QueryTest, UpdateQueryOnRefAttributeRetargets) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  UpdateQuery query;
+  query.set_name = "Emp1";
+  query.predicate =
+      Predicate::Compare("salary", CompareOp::kLt, Value(int32_t{4000}));
+  query.assignments = {{"dept", Value(fixture_.depts[3])}};
+  UpdateResult result;
+  FR_ASSERT_OK(db_->Replace(query, &result));
+  EXPECT_EQ(result.objects_updated, 4u);
+  const auto* path = db_->catalog().FindPathBySpec("Emp1.dept.name");
+  FR_ASSERT_OK(db_->replication().VerifyPathConsistency(path->id));
+  ReadQuery read;
+  read.set_name = "Emp1";
+  read.projections = {"dept.name"};
+  read.predicate =
+      Predicate::Compare("salary", CompareOp::kLt, Value(int32_t{4000}));
+  ReadResult rows;
+  FR_ASSERT_OK(db_->Retrieve(read, &rows));
+  for (const auto& row : rows.rows) {
+    EXPECT_EQ(row[0], Value(Padded("dept3")));
+  }
+}
+
+TEST_F(QueryTest, UseReplicationFalseIgnoresSeparateToo) {
+  ReplicateOptions options;
+  options.strategy = ReplicationStrategy::kSeparate;
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", options));
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"dept.name"};
+  query.use_replication = false;
+  ReadResult result;
+  FR_ASSERT_OK(db_->Retrieve(query, &result));
+  EXPECT_EQ(result.access[0], ReadResult::Access::kJoin);
+  EXPECT_EQ(result.rows[0][0], Value(Padded("dept0")));
+}
+
+TEST_F(QueryTest, UpdateWithoutPredicateTouchesWholeSet) {
+  UpdateQuery query;
+  query.set_name = "Dept";
+  query.assignments = {{"budget", Value(int32_t{7})}};
+  UpdateResult result;
+  FR_ASSERT_OK(db_->Replace(query, &result));
+  EXPECT_EQ(result.objects_updated, 4u);
+  ReadQuery read;
+  read.set_name = "Dept";
+  read.projections = {"budget"};
+  ReadResult rows;
+  FR_ASSERT_OK(db_->Retrieve(read, &rows));
+  for (const auto& row : rows.rows) EXPECT_EQ(row[0], Value(int32_t{7}));
+}
+
+TEST(PredicateTest, CompareValuesMatrix) {
+  auto cmp = [](const Value& a, const Value& b) {
+    auto r = CompareValues(a, b);
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? *r : -99;
+  };
+  EXPECT_LT(cmp(Value(int32_t{1}), Value(int64_t{2})), 0);
+  EXPECT_EQ(cmp(Value(int64_t{5}), Value(int32_t{5})), 0);
+  EXPECT_GT(cmp(Value(2.5), Value(int32_t{2})), 0);
+  EXPECT_LT(cmp(Value("abc"), Value("abd")), 0);
+  EXPECT_LT(cmp(Value(Oid(1, 1, 1)), Value(Oid(1, 2, 0))), 0);
+  EXPECT_FALSE(CompareValues(Value::Null(), Value(int32_t{1})).ok());
+  EXPECT_FALSE(CompareValues(Value("x"), Value(int32_t{1})).ok());
+}
+
+TEST(PredicateTest, KeyRangeEdges) {
+  TypeDescriptor type("T", {Int32Attr("v")});
+  auto bound = BoundPredicate::Bind(
+      Predicate::Compare("v", CompareOp::kLt, Value(int32_t{0})), type);
+  ASSERT_TRUE(bound.ok());
+  int64_t lo, hi;
+  bool exact;
+  FR_ASSERT_OK(bound->KeyRange(&lo, &hi, &exact));
+  EXPECT_TRUE(exact);
+  EXPECT_EQ(hi, -1);
+  auto ge = BoundPredicate::Bind(
+      Predicate::Compare("v", CompareOp::kGe, Value(int32_t{10})), type);
+  ASSERT_TRUE(ge.ok());
+  FR_ASSERT_OK(ge->KeyRange(&lo, &hi, &exact));
+  EXPECT_EQ(lo, 10);
+  EXPECT_EQ(hi, std::numeric_limits<int64_t>::max());
+  // Matches agrees with the range semantics.
+  auto m = ge->Matches(Value(int32_t{10}));
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(*m);
+  m = ge->Matches(Value(int32_t{9}));
+  EXPECT_FALSE(*m);
+  m = ge->Matches(Value::Null());
+  EXPECT_FALSE(*m);
+}
+
+// --- I/O accounting sanity (the paper's headline effect) -------------------------
+
+TEST(QueryIoTest, InPlaceReadCostsLessThanJoin) {
+  auto db = OpenEmployeeDatabase(8192);
+  PopulateEmployees(db.get(), 4, 50, 2000);
+  FR_ASSERT_OK(db->BuildIndex("emp_salary", "Emp1", "salary"));
+  FR_ASSERT_OK(db->Replicate("Emp1.dept.name", {}));
+
+  ReadQuery query;
+  query.set_name = "Emp1";
+  query.projections = {"name", "salary", "dept.name"};
+  query.predicate = Predicate::Between("salary", Value(int32_t{0}),
+                                       Value(int32_t{100000}));
+
+  // Replica plan, cold.
+  FR_ASSERT_OK(db->ColdStart());
+  ReadResult result;
+  FR_ASSERT_OK(db->Retrieve(query, &result));
+  uint64_t replica_io = db->io_stats().disk_reads;
+
+  // Join plan, cold.
+  query.use_replication = false;
+  FR_ASSERT_OK(db->ColdStart());
+  ReadResult join_result;
+  FR_ASSERT_OK(db->Retrieve(query, &join_result));
+  uint64_t join_io = db->io_stats().disk_reads;
+
+  EXPECT_EQ(result.rows, join_result.rows);
+  EXPECT_LT(replica_io, join_io);
+}
+
+}  // namespace
+}  // namespace fieldrep

@@ -1,0 +1,261 @@
+#include "common/random.h"
+#include "common/strings.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace fieldrep {
+namespace {
+
+using ::fieldrep::testing::EmployeeFixture;
+using ::fieldrep::testing::OpenEmployeeDatabase;
+using ::fieldrep::testing::PopulateEmployees;
+using ::fieldrep::testing::TraversePath;
+
+/// Parameter for the randomized maintenance soak: a strategy/shape
+/// combination plus an RNG seed. After every burst of random mutations the
+/// full path consistency invariant must hold: every stored replica equals
+/// the forward-traversal ground truth, link membership is exact in both
+/// directions, and separate-replication refcounts equal the true number of
+/// referencing heads.
+struct SoakCase {
+  const char* name;
+  const char* spec;
+  ReplicationStrategy strategy;
+  bool collapsed;
+  uint32_t inline_threshold;
+  uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const SoakCase& c) {
+  return os << c.name;
+}
+
+class ReplicationSoakTest : public ::testing::TestWithParam<SoakCase> {};
+
+TEST_P(ReplicationSoakTest, RandomMutationsPreserveConsistency) {
+  const SoakCase& param = GetParam();
+  auto db = OpenEmployeeDatabase();
+  EmployeeFixture fixture = PopulateEmployees(db.get(), 3, 6, 30);
+
+  ReplicateOptions options;
+  options.strategy = param.strategy;
+  options.collapsed = param.collapsed;
+  options.inline_threshold = param.inline_threshold;
+  FR_ASSERT_OK(db->Replicate(param.spec, options));
+  const ReplicationPathInfo* path = db->catalog().FindPathBySpec(param.spec);
+  ASSERT_NE(path, nullptr);
+
+  Random rng(param.seed);
+  std::vector<Oid> emps = fixture.emps;
+  int emp_counter = 1000;
+
+  for (int step = 0; step < 220; ++step) {
+    int action = static_cast<int>(rng.Uniform(100));
+    if (action < 20) {
+      // Insert a head with a random (possibly null) dept.
+      Value dept = rng.Bernoulli(0.85)
+                       ? Value(fixture.depts[rng.Uniform(fixture.depts.size())])
+                       : Value::Null();
+      Object emp(0, {Value(StringPrintf("emp%d", emp_counter)),
+                     Value(int32_t{25}), Value(int32_t{emp_counter}), dept});
+      ++emp_counter;
+      Oid oid;
+      ASSERT_TRUE(db->Insert("Emp1", emp, &oid).ok());
+      emps.push_back(oid);
+    } else if (action < 35 && emps.size() > 3) {
+      // Delete a head.
+      size_t pick = rng.Uniform(emps.size());
+      ASSERT_TRUE(db->Delete("Emp1", emps[pick]).ok());
+      emps.erase(emps.begin() + pick);
+    } else if (action < 60 && !emps.empty()) {
+      // Retarget a head's dept ref (the update E.dept of Section 4.1.1).
+      size_t pick = rng.Uniform(emps.size());
+      Value dept = rng.Bernoulli(0.85)
+                       ? Value(fixture.depts[rng.Uniform(fixture.depts.size())])
+                       : Value::Null();
+      ASSERT_TRUE(db->Update("Emp1", emps[pick], "dept", dept).ok());
+    } else if (action < 75) {
+      // Update a replicated terminal scalar.
+      if (std::string(param.spec).find("org") != std::string::npos &&
+          std::string(param.spec).find("org.name") != std::string::npos) {
+        size_t pick = rng.Uniform(fixture.orgs.size());
+        Status s = db->Update("Org", fixture.orgs[pick], "name",
+                              Value(StringPrintf("org-v%d", step)));
+        ASSERT_TRUE(s.ok()) << s.ToString();
+      } else {
+        size_t pick = rng.Uniform(fixture.depts.size());
+        Status s = db->Update("Dept", fixture.depts[pick], "name",
+                              Value(StringPrintf("dept-v%d", step)));
+        ASSERT_TRUE(s.ok()) << s.ToString();
+      }
+    } else if (action < 90 &&
+               (path->bound.level() == 2 ||
+                std::string(param.spec) == "Emp1.dept.org")) {
+      // Retarget D.org: for 2-level paths this is the interior ripple of
+      // Section 4.1.2; for the ref-terminal path it is a replicated-value
+      // update whose value is an OID.
+      size_t pick = rng.Uniform(fixture.depts.size());
+      Value org = rng.Bernoulli(0.85)
+                      ? Value(fixture.orgs[rng.Uniform(fixture.orgs.size())])
+                      : Value::Null();
+      Status s = db->Update("Dept", fixture.depts[pick], "org", org);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    } else {
+      // Update an unreplicated scalar (must be a no-op for the path).
+      size_t pick = rng.Uniform(fixture.depts.size());
+      ASSERT_TRUE(db->Update("Dept", fixture.depts[pick], "budget",
+                             Value(static_cast<int32_t>(step)))
+                      .ok());
+    }
+
+    if (step % 20 == 19) {
+      Status s = db->replication().VerifyPathConsistency(path->id);
+      ASSERT_TRUE(s.ok()) << "step " << step << ": " << s.ToString();
+    }
+  }
+  FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+
+  // Final cross-check of every head against ground truth traversal.
+  std::vector<std::string> attrs;
+  {
+    std::string spec = param.spec;
+    auto parts = SplitString(spec, '.');
+    attrs.assign(parts.begin() + 1, parts.end());
+  }
+  for (const Oid& emp : emps) {
+    Object head;
+    FR_ASSERT_OK(db->Get("Emp1", emp, &head));
+    std::vector<Value> replica;
+    FR_ASSERT_OK(
+        db->replication().ReadReplicatedValues(*path, head, &replica));
+    Value expected = TraversePath(db.get(), "Emp1", emp, attrs);
+    ASSERT_EQ(replica.size(), 1u);
+    EXPECT_EQ(replica[0], expected) << emp.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ReplicationSoakTest,
+    ::testing::Values(
+        SoakCase{"InPlace1Level", "Emp1.dept.name",
+                 ReplicationStrategy::kInPlace, false, 1, 11},
+        SoakCase{"InPlace1LevelNoInline", "Emp1.dept.name",
+                 ReplicationStrategy::kInPlace, false, 0, 12},
+        SoakCase{"InPlace1LevelInline3", "Emp1.dept.name",
+                 ReplicationStrategy::kInPlace, false, 3, 13},
+        SoakCase{"InPlace2Level", "Emp1.dept.org.name",
+                 ReplicationStrategy::kInPlace, false, 1, 14},
+        SoakCase{"InPlace2LevelNoInline", "Emp1.dept.org.name",
+                 ReplicationStrategy::kInPlace, false, 0, 15},
+        SoakCase{"Collapsed2Level", "Emp1.dept.org.name",
+                 ReplicationStrategy::kInPlace, true, 1, 16},
+        SoakCase{"Separate1Level", "Emp1.dept.name",
+                 ReplicationStrategy::kSeparate, false, 1, 17},
+        SoakCase{"Separate2Level", "Emp1.dept.org.name",
+                 ReplicationStrategy::kSeparate, false, 1, 18},
+        SoakCase{"RefTerminal", "Emp1.dept.org",
+                 ReplicationStrategy::kInPlace, false, 1, 19},
+        SoakCase{"InPlace2LevelSeedB", "Emp1.dept.org.name",
+                 ReplicationStrategy::kInPlace, false, 1, 20},
+        SoakCase{"Separate2LevelSeedB", "Emp1.dept.org.name",
+                 ReplicationStrategy::kSeparate, false, 1, 21},
+        SoakCase{"Collapsed2LevelSeedB", "Emp1.dept.org.name",
+                 ReplicationStrategy::kInPlace, true, 1, 22}),
+    [](const ::testing::TestParamInfo<SoakCase>& info) {
+      return info.param.name;
+    });
+
+/// Multiple coexisting paths (shared prefixes + mixed strategies) must all
+/// stay consistent under the same mutation stream.
+TEST(ReplicationMultiPathSoakTest, AllPathsStayConsistent) {
+  auto db = OpenEmployeeDatabase();
+  EmployeeFixture fixture = PopulateEmployees(db.get(), 3, 6, 30);
+  FR_ASSERT_OK(db->Replicate("Emp1.dept.name", {}));
+  FR_ASSERT_OK(db->Replicate("Emp1.dept.budget", {}));
+  FR_ASSERT_OK(db->Replicate("Emp1.dept.org.name", {}));
+  ReplicateOptions separate;
+  separate.strategy = ReplicationStrategy::kSeparate;
+  FR_ASSERT_OK(db->Replicate("Emp1.dept.all", separate));
+
+  Random rng(2718);
+  std::vector<Oid> emps = fixture.emps;
+  for (int step = 0; step < 150; ++step) {
+    int action = static_cast<int>(rng.Uniform(100));
+    if (action < 25 && !emps.empty()) {
+      size_t pick = rng.Uniform(emps.size());
+      Value dept = rng.Bernoulli(0.9)
+                       ? Value(fixture.depts[rng.Uniform(fixture.depts.size())])
+                       : Value::Null();
+      ASSERT_TRUE(db->Update("Emp1", emps[pick], "dept", dept).ok());
+    } else if (action < 45) {
+      size_t pick = rng.Uniform(fixture.depts.size());
+      ASSERT_TRUE(db->Update("Dept", fixture.depts[pick], "name",
+                             Value(StringPrintf("d%d", step)))
+                      .ok());
+    } else if (action < 60) {
+      size_t pick = rng.Uniform(fixture.depts.size());
+      ASSERT_TRUE(db->Update("Dept", fixture.depts[pick], "budget",
+                             Value(static_cast<int32_t>(step)))
+                      .ok());
+    } else if (action < 75) {
+      size_t pick = rng.Uniform(fixture.depts.size());
+      ASSERT_TRUE(db->Update("Dept", fixture.depts[pick], "org",
+                             Value(fixture.orgs[rng.Uniform(3)]))
+                      .ok());
+    } else if (action < 85) {
+      size_t pick = rng.Uniform(fixture.orgs.size());
+      ASSERT_TRUE(db->Update("Org", fixture.orgs[pick], "name",
+                             Value(StringPrintf("o%d", step)))
+                      .ok());
+    } else if (action < 93) {
+      Object emp(0, {Value(StringPrintf("n%d", step)), Value(int32_t{20}),
+                     Value(int32_t{step}),
+                     Value(fixture.depts[rng.Uniform(fixture.depts.size())])});
+      Oid oid;
+      ASSERT_TRUE(db->Insert("Emp1", emp, &oid).ok());
+      emps.push_back(oid);
+    } else if (emps.size() > 5) {
+      size_t pick = rng.Uniform(emps.size());
+      ASSERT_TRUE(db->Delete("Emp1", emps[pick]).ok());
+      emps.erase(emps.begin() + pick);
+    }
+    if (step % 30 == 29) {
+      for (uint16_t path_id : db->catalog().AllPathIds()) {
+        Status s = db->replication().VerifyPathConsistency(path_id);
+        ASSERT_TRUE(s.ok()) << "step " << step << ": " << s.ToString();
+      }
+    }
+  }
+  for (uint16_t path_id : db->catalog().AllPathIds()) {
+    FR_ASSERT_OK(db->replication().VerifyPathConsistency(path_id));
+  }
+}
+
+/// UpdateFields batches (the update-query shape) behave like the
+/// equivalent sequence of single-field updates.
+TEST(ReplicationBatchUpdateTest, MultiFieldUpdatePropagates) {
+  auto db = OpenEmployeeDatabase();
+  EmployeeFixture fixture = PopulateEmployees(db.get(), 2, 4, 16);
+  FR_ASSERT_OK(db->Replicate("Emp1.dept.all", {}));
+  const ReplicationPathInfo* path =
+      db->catalog().FindPathBySpec("Emp1.dept.all");
+  auto dept_set = db->GetSet("Dept");
+  ASSERT_TRUE(dept_set.ok());
+  int name_attr = (*dept_set)->type().FindAttribute("name");
+  int budget_attr = (*dept_set)->type().FindAttribute("budget");
+  FR_ASSERT_OK(db->replication().UpdateFields(
+      "Dept", fixture.depts[0],
+      {{name_attr, Value("both")}, {budget_attr, Value(int32_t{1234})}}));
+  FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+  Object head;
+  FR_ASSERT_OK(db->Get("Emp1", fixture.emps[0], &head));
+  const ReplicaValueSlot* slot = head.FindReplicaValues(path->id);
+  ASSERT_NE(slot, nullptr);
+  std::string padded = "both";
+  padded.resize(20, '\0');
+  EXPECT_EQ(slot->values[0], Value(padded));
+  EXPECT_EQ(slot->values[1], Value(int32_t{1234}));
+}
+
+}  // namespace
+}  // namespace fieldrep

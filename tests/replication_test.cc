@@ -1,0 +1,688 @@
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace fieldrep {
+namespace {
+
+using ::fieldrep::testing::EmployeeFixture;
+using ::fieldrep::testing::OpenEmployeeDatabase;
+using ::fieldrep::testing::PopulateEmployees;
+using ::fieldrep::testing::TraversePath;
+
+std::string Padded(const std::string& s, size_t n = 20) {
+  std::string out = s;
+  out.resize(n, '\0');
+  return out;
+}
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = OpenEmployeeDatabase();
+    fixture_ = PopulateEmployees(db_.get(), 2, 4, 20);
+  }
+
+  Value ReplicaFor(const std::string& spec, const Oid& head) {
+    const ReplicationPathInfo* path = db_->catalog().FindPathBySpec(spec);
+    EXPECT_NE(path, nullptr);
+    Object object;
+    EXPECT_TRUE(db_->Get(path->bound.set_name, head, &object).ok());
+    std::vector<Value> values;
+    EXPECT_TRUE(
+        db_->replication().ReadReplicatedValues(*path, object, &values).ok());
+    EXPECT_FALSE(values.empty());
+    return values.empty() ? Value::Null() : values[0];
+  }
+
+  void VerifyPath(const std::string& spec) {
+    const ReplicationPathInfo* path = db_->catalog().FindPathBySpec(spec);
+    ASSERT_NE(path, nullptr);
+    FR_ASSERT_OK(db_->replication().VerifyPathConsistency(path->id));
+  }
+
+  std::unique_ptr<Database> db_;
+  EmployeeFixture fixture_;
+};
+
+// --- Path creation / bulk build ------------------------------------------------
+
+TEST_F(ReplicationTest, CreateOneLevelInPlacePath) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  VerifyPath("Emp1.dept.name");
+  for (const Oid& emp : fixture_.emps) {
+    Value expected = TraversePath(db_.get(), "Emp1", emp, {"dept", "name"});
+    EXPECT_EQ(ReplicaFor("Emp1.dept.name", emp), expected);
+  }
+}
+
+TEST_F(ReplicationTest, CreateTwoLevelInPlacePath) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", {}));
+  VerifyPath("Emp1.dept.org.name");
+  const ReplicationPathInfo* path =
+      db_->catalog().FindPathBySpec("Emp1.dept.org.name");
+  EXPECT_EQ(path->link_sequence.size(), 2u);
+  for (const Oid& emp : fixture_.emps) {
+    Value expected =
+        TraversePath(db_.get(), "Emp1", emp, {"dept", "org", "name"});
+    EXPECT_EQ(ReplicaFor("Emp1.dept.org.name", emp), expected);
+  }
+}
+
+TEST_F(ReplicationTest, CreateSeparatePath) {
+  ReplicateOptions options;
+  options.strategy = ReplicationStrategy::kSeparate;
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", options));
+  VerifyPath("Emp1.dept.name");
+  const ReplicationPathInfo* path =
+      db_->catalog().FindPathBySpec("Emp1.dept.name");
+  // 1-level separate path: no inverted path at all (Section 5.2).
+  EXPECT_TRUE(path->link_sequence.empty());
+  EXPECT_NE(path->replica_set_file, kInvalidFileId);
+  // Replica records shared: one per referenced DEPT.
+  auto file = db_->GetAuxFile(path->replica_set_file);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->record_count(), 4u);  // all four depts referenced
+}
+
+TEST_F(ReplicationTest, TwoLevelSeparateHasOneLevelInvertedPath) {
+  ReplicateOptions options;
+  options.strategy = ReplicationStrategy::kSeparate;
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", options));
+  const ReplicationPathInfo* path =
+      db_->catalog().FindPathBySpec("Emp1.dept.org.name");
+  EXPECT_EQ(path->link_sequence.size(), 1u);  // (n-1)-level inverted path
+  VerifyPath("Emp1.dept.org.name");
+}
+
+TEST_F(ReplicationTest, AllPathReplicatesEveryField) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.all", {}));
+  VerifyPath("Emp1.dept.all");
+  const ReplicationPathInfo* path =
+      db_->catalog().FindPathBySpec("Emp1.dept.all");
+  ASSERT_EQ(path->bound.terminal_fields.size(), 3u);
+  Object emp;
+  FR_ASSERT_OK(db_->Get("Emp1", fixture_.emps[0], &emp));
+  std::vector<Value> values;
+  FR_ASSERT_OK(db_->replication().ReadReplicatedValues(*path, emp, &values));
+  EXPECT_EQ(values[0], Value(Padded("dept0")));
+  EXPECT_EQ(values[1], Value(int32_t{0}));
+  EXPECT_TRUE(values[2].is_ref());  // the org ref attribute
+}
+
+TEST_F(ReplicationTest, SharedPrefixSharesLinks) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.budget", {}));
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", {}));
+  const auto* p1 = db_->catalog().FindPathBySpec("Emp1.dept.budget");
+  const auto* p2 = db_->catalog().FindPathBySpec("Emp1.dept.name");
+  const auto* p3 = db_->catalog().FindPathBySpec("Emp1.dept.org.name");
+  // The paper's link sequences: (1), (1), (1,2).
+  ASSERT_EQ(p1->link_sequence.size(), 1u);
+  EXPECT_EQ(p1->link_sequence, p2->link_sequence);
+  ASSERT_EQ(p3->link_sequence.size(), 2u);
+  EXPECT_EQ(p3->link_sequence[0], p1->link_sequence[0]);
+  // A path from another set gets a fresh link id.
+  testing::PopulateEmployees(db_.get(), 0, 0, 0);  // no-op, keep types
+  FR_ASSERT_OK(db_->Replicate("Emp2.dept.org", {}));
+  const auto* p4 = db_->catalog().FindPathBySpec("Emp2.dept.org");
+  ASSERT_EQ(p4->link_sequence.size(), 1u);
+  EXPECT_NE(p4->link_sequence[0], p1->link_sequence[0]);
+  VerifyPath("Emp1.dept.budget");
+  VerifyPath("Emp1.dept.name");
+  VerifyPath("Emp1.dept.org.name");
+}
+
+TEST_F(ReplicationTest, RefTerminalPathCollapsesLevels) {
+  // Section 3.3.3: replicate Emp1.dept.org gives 1-join access to ORG data.
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org", {}));
+  VerifyPath("Emp1.dept.org");
+  Value replica = ReplicaFor("Emp1.dept.org", fixture_.emps[0]);
+  ASSERT_TRUE(replica.is_ref());
+  EXPECT_EQ(replica.as_ref(), fixture_.orgs[0]);
+}
+
+TEST_F(ReplicationTest, RejectsInvalidOptions) {
+  ReplicateOptions collapsed_separate;
+  collapsed_separate.strategy = ReplicationStrategy::kSeparate;
+  collapsed_separate.collapsed = true;
+  EXPECT_FALSE(db_->Replicate("Emp1.dept.org.name", collapsed_separate).ok());
+  ReplicateOptions collapsed_1level;
+  collapsed_1level.collapsed = true;
+  EXPECT_FALSE(db_->Replicate("Emp1.dept.name", collapsed_1level).ok());
+  // Zero-level path.
+  EXPECT_FALSE(db_->Replicate("Emp1.salary", {}).ok());
+  // Duplicate.
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  EXPECT_FALSE(db_->Replicate("Emp1.dept.name", {}).ok());
+}
+
+// --- Update propagation (Section 4.1) -------------------------------------------
+
+TEST_F(ReplicationTest, InPlaceScalarUpdatePropagates) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  FR_ASSERT_OK(
+      db_->Update("Dept", fixture_.depts[1], "name", Value("renamed")));
+  VerifyPath("Emp1.dept.name");
+  for (size_t k = 0; k < fixture_.emps.size(); ++k) {
+    Value expected = (k % 4 == 1) ? Value(Padded("renamed"))
+                                  : Value(Padded("dept" + std::to_string(k % 4)));
+    EXPECT_EQ(ReplicaFor("Emp1.dept.name", fixture_.emps[k]), expected) << k;
+  }
+}
+
+TEST_F(ReplicationTest, UnreplicatedFieldUpdateDoesNotPropagate) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  // budget is not replicated; update must not disturb replicas.
+  FR_ASSERT_OK(
+      db_->Update("Dept", fixture_.depts[1], "budget", Value(int32_t{999})));
+  VerifyPath("Emp1.dept.name");
+}
+
+TEST_F(ReplicationTest, TwoLevelScalarUpdatePropagates) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", {}));
+  FR_ASSERT_OK(db_->Update("Org", fixture_.orgs[0], "name", Value("mega")));
+  VerifyPath("Emp1.dept.org.name");
+  Value replica = ReplicaFor("Emp1.dept.org.name", fixture_.emps[0]);
+  EXPECT_EQ(replica, Value(Padded("mega")));
+}
+
+TEST_F(ReplicationTest, SeparateScalarUpdateTouchesOnlyReplica) {
+  ReplicateOptions options;
+  options.strategy = ReplicationStrategy::kSeparate;
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", options));
+  FR_ASSERT_OK(
+      db_->Update("Dept", fixture_.depts[2], "name", Value("changed")));
+  VerifyPath("Emp1.dept.name");
+  EXPECT_EQ(ReplicaFor("Emp1.dept.name", fixture_.emps[2]),
+            Value(Padded("changed")));
+}
+
+TEST_F(ReplicationTest, InsertHeadMaintainsPath) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", {}));
+  Object emp(0, {Value("newbie"), Value(int32_t{30}), Value(int32_t{5}),
+                 Value(fixture_.depts[3])});
+  Oid oid;
+  FR_ASSERT_OK(db_->Insert("Emp1", emp, &oid));
+  VerifyPath("Emp1.dept.org.name");
+  Value expected = TraversePath(db_.get(), "Emp1", oid, {"dept", "org", "name"});
+  EXPECT_EQ(ReplicaFor("Emp1.dept.org.name", oid), expected);
+}
+
+TEST_F(ReplicationTest, InsertHeadWithNullRefGetsNullReplica) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  Object emp(0, {Value("lost"), Value(int32_t{30}), Value(int32_t{5}),
+                 Value::Null()});
+  Oid oid;
+  FR_ASSERT_OK(db_->Insert("Emp1", emp, &oid));
+  VerifyPath("Emp1.dept.name");
+  EXPECT_TRUE(ReplicaFor("Emp1.dept.name", oid).is_null());
+}
+
+TEST_F(ReplicationTest, DeleteHeadMaintainsPath) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", {}));
+  // Delete all employees of dept 2; its link objects must disappear, and
+  // consistency must hold throughout.
+  for (size_t k = 2; k < fixture_.emps.size(); k += 4) {
+    FR_ASSERT_OK(db_->Delete("Emp1", fixture_.emps[k]));
+  }
+  VerifyPath("Emp1.dept.org.name");
+  Object dept;
+  FR_ASSERT_OK(db_->Get("Dept", fixture_.depts[2], &dept));
+  EXPECT_TRUE(dept.link_refs().empty());  // left the path entirely
+}
+
+TEST_F(ReplicationTest, DeleteReferencedInteriorObjectFails) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  EXPECT_EQ(db_->Delete("Dept", fixture_.depts[0]).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ReplicationTest, HeadRefUpdateMovesMembership) {
+  // Section 4.1.1's update E.dept: delete-then-insert semantics.
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  Oid emp = fixture_.emps[0];  // dept0
+  FR_ASSERT_OK(db_->Update("Emp1", emp, "dept", Value(fixture_.depts[3])));
+  VerifyPath("Emp1.dept.name");
+  EXPECT_EQ(ReplicaFor("Emp1.dept.name", emp), Value(Padded("dept3")));
+  // And to null.
+  FR_ASSERT_OK(db_->Update("Emp1", emp, "dept", Value::Null()));
+  VerifyPath("Emp1.dept.name");
+  EXPECT_TRUE(ReplicaFor("Emp1.dept.name", emp).is_null());
+  // And back.
+  FR_ASSERT_OK(db_->Update("Emp1", emp, "dept", Value(fixture_.depts[1])));
+  VerifyPath("Emp1.dept.name");
+  EXPECT_EQ(ReplicaFor("Emp1.dept.name", emp), Value(Padded("dept1")));
+}
+
+TEST_F(ReplicationTest, InteriorRefUpdateRepropagates) {
+  // Section 4.1.2: D.org changes from O to X — X.name must replace O.name
+  // in all Emp1 objects that reference D.
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", {}));
+  FR_ASSERT_OK(
+      db_->Update("Dept", fixture_.depts[0], "org", Value(fixture_.orgs[1])));
+  VerifyPath("Emp1.dept.org.name");
+  EXPECT_EQ(ReplicaFor("Emp1.dept.org.name", fixture_.emps[0]),
+            Value(Padded("org1")));
+  // Subsequent updates to the *new* org propagate; old org updates don't
+  // reach these heads.
+  FR_ASSERT_OK(db_->Update("Org", fixture_.orgs[1], "name", Value("newname")));
+  EXPECT_EQ(ReplicaFor("Emp1.dept.org.name", fixture_.emps[0]),
+            Value(Padded("newname")));
+  VerifyPath("Emp1.dept.org.name");
+}
+
+TEST_F(ReplicationTest, SeparateRefUpdateRepointsHeads) {
+  // Figure 8's example: D2.org changes from O2 to O1 — E3 must reference
+  // R1 rather than R2.
+  ReplicateOptions options;
+  options.strategy = ReplicationStrategy::kSeparate;
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", options));
+  FR_ASSERT_OK(
+      db_->Update("Dept", fixture_.depts[1], "org", Value(fixture_.orgs[0])));
+  VerifyPath("Emp1.dept.org.name");
+  EXPECT_EQ(ReplicaFor("Emp1.dept.org.name", fixture_.emps[1]),
+            Value(Padded("org0")));
+}
+
+TEST_F(ReplicationTest, SeparateRefcountsTrackHeads) {
+  ReplicateOptions options;
+  options.strategy = ReplicationStrategy::kSeparate;
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", options));
+  const ReplicationPathInfo* path =
+      db_->catalog().FindPathBySpec("Emp1.dept.name");
+  Object dept;
+  FR_ASSERT_OK(db_->Get("Dept", fixture_.depts[0], &dept));
+  const ReplicaRefSlot* slot = dept.FindReplicaRef(path->id);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->refcount, 5u);  // 20 emps round-robin over 4 depts
+  // Retarget one employee away: refcount drops; replica record survives.
+  FR_ASSERT_OK(db_->Update("Emp1", fixture_.emps[0], "dept",
+                           Value(fixture_.depts[1])));
+  FR_ASSERT_OK(db_->Get("Dept", fixture_.depts[0], &dept));
+  EXPECT_EQ(dept.FindReplicaRef(path->id)->refcount, 4u);
+  VerifyPath("Emp1.dept.name");
+  // Move everyone off dept0: its replica record must be deleted.
+  for (size_t k = 4; k < fixture_.emps.size(); k += 4) {
+    FR_ASSERT_OK(db_->Update("Emp1", fixture_.emps[k], "dept",
+                             Value(fixture_.depts[1])));
+  }
+  FR_ASSERT_OK(db_->Get("Dept", fixture_.depts[0], &dept));
+  EXPECT_EQ(dept.FindReplicaRef(path->id), nullptr);
+  VerifyPath("Emp1.dept.name");
+}
+
+// --- Optimizations (Section 4.3) ------------------------------------------------
+
+TEST_F(ReplicationTest, SmallLinksAreInlined) {
+  // With threshold 1 and a dept referenced by a single employee, no link
+  // object is materialized (Section 4.3.1).
+  auto db = OpenEmployeeDatabase();
+  auto fixture = PopulateEmployees(db.get(), 1, 3, 3);  // 1 emp per dept
+  ReplicateOptions options;
+  options.inline_threshold = 1;
+  FR_ASSERT_OK(db->Replicate("Emp1.dept.name", options));
+  const ReplicationPathInfo* path =
+      db->catalog().FindPathBySpec("Emp1.dept.name");
+  Object dept;
+  FR_ASSERT_OK(db->Get("Dept", fixture.depts[0], &dept));
+  const LinkRef* ref = dept.FindLinkRef(path->link_sequence[0]);
+  ASSERT_NE(ref, nullptr);
+  EXPECT_TRUE(ref->inlined);
+  const LinkInfo* link =
+      db->catalog().link_registry().GetLink(path->link_sequence[0]);
+  auto link_file = db->GetAuxFile(link->link_set_file);
+  ASSERT_TRUE(link_file.ok());
+  EXPECT_EQ((*link_file)->record_count(), 0u);  // nothing materialized
+  FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+}
+
+TEST_F(ReplicationTest, InlineSpillsWhenThresholdExceeded) {
+  auto db = OpenEmployeeDatabase();
+  auto fixture = PopulateEmployees(db.get(), 1, 1, 2);  // 2 emps, 1 dept
+  ReplicateOptions options;
+  options.inline_threshold = 2;
+  FR_ASSERT_OK(db->Replicate("Emp1.dept.name", options));
+  const ReplicationPathInfo* path =
+      db->catalog().FindPathBySpec("Emp1.dept.name");
+  Object dept;
+  FR_ASSERT_OK(db->Get("Dept", fixture.depts[0], &dept));
+  EXPECT_TRUE(dept.FindLinkRef(path->link_sequence[0])->inlined);
+  // Third employee spills the inline ref into a real link object.
+  Object emp(0, {Value("e3"), Value(int32_t{33}), Value(int32_t{3}),
+                 Value(fixture.depts[0])});
+  Oid oid;
+  FR_ASSERT_OK(db->Insert("Emp1", emp, &oid));
+  FR_ASSERT_OK(db->Get("Dept", fixture.depts[0], &dept));
+  const LinkRef* ref = dept.FindLinkRef(path->link_sequence[0]);
+  ASSERT_NE(ref, nullptr);
+  EXPECT_FALSE(ref->inlined);
+  FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+  // Propagation still reaches all three.
+  FR_ASSERT_OK(db->Update("Dept", fixture.depts[0], "name", Value("x")));
+  FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+}
+
+TEST_F(ReplicationTest, CollapsedPathPropagatesDirectly) {
+  // Section 4.3.3 / Figure 6.
+  ReplicateOptions options;
+  options.collapsed = true;
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", options));
+  const ReplicationPathInfo* path =
+      db_->catalog().FindPathBySpec("Emp1.dept.org.name");
+  EXPECT_EQ(path->link_sequence.size(), 1u);  // one collapsed link
+  VerifyPath("Emp1.dept.org.name");
+  FR_ASSERT_OK(db_->Update("Org", fixture_.orgs[0], "name", Value("direct")));
+  VerifyPath("Emp1.dept.org.name");
+  EXPECT_EQ(ReplicaFor("Emp1.dept.org.name", fixture_.emps[0]),
+            Value(Padded("direct")));
+}
+
+TEST_F(ReplicationTest, CollapsedPathHandlesIntermediateRetarget) {
+  // Figure 6: D.org set to X — the tagged OIDs move to X's link object.
+  ReplicateOptions options;
+  options.collapsed = true;
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", options));
+  FR_ASSERT_OK(
+      db_->Update("Dept", fixture_.depts[0], "org", Value(fixture_.orgs[1])));
+  VerifyPath("Emp1.dept.org.name");
+  EXPECT_EQ(ReplicaFor("Emp1.dept.org.name", fixture_.emps[0]),
+            Value(Padded("org1")));
+  // Head ref updates also keep collapsed tags right.
+  FR_ASSERT_OK(db_->Update("Emp1", fixture_.emps[0], "dept",
+                           Value(fixture_.depts[1])));
+  VerifyPath("Emp1.dept.org.name");
+}
+
+// --- DropPath --------------------------------------------------------------------
+
+TEST_F(ReplicationTest, DropPathStripsHiddenState) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  FR_ASSERT_OK(db_->DropReplication("Emp1.dept.name"));
+  EXPECT_EQ(db_->catalog().FindPathBySpec("Emp1.dept.name"), nullptr);
+  Object emp, dept;
+  FR_ASSERT_OK(db_->Get("Emp1", fixture_.emps[0], &emp));
+  EXPECT_FALSE(emp.HasHiddenState());
+  FR_ASSERT_OK(db_->Get("Dept", fixture_.depts[0], &dept));
+  EXPECT_FALSE(dept.HasHiddenState());
+  // The interior object is deletable again once nothing references it
+  // through a path.
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));  // re-creatable
+  VerifyPath("Emp1.dept.name");
+}
+
+TEST_F(ReplicationTest, DropSharedPrefixKeepsSurvivor) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.budget", {}));
+  FR_ASSERT_OK(db_->DropReplication("Emp1.dept.name"));
+  VerifyPath("Emp1.dept.budget");
+  // Propagation still works for the survivor.
+  FR_ASSERT_OK(
+      db_->Update("Dept", fixture_.depts[0], "budget", Value(int32_t{777})));
+  VerifyPath("Emp1.dept.budget");
+  EXPECT_EQ(ReplicaFor("Emp1.dept.budget", fixture_.emps[0]),
+            Value(int32_t{777}));
+}
+
+TEST_F(ReplicationTest, DropSeparatePathFreesReplicas) {
+  ReplicateOptions options;
+  options.strategy = ReplicationStrategy::kSeparate;
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", options));
+  FileId replica_file =
+      db_->catalog().FindPathBySpec("Emp1.dept.name")->replica_set_file;
+  FR_ASSERT_OK(db_->DropReplication("Emp1.dept.name"));
+  auto file = db_->GetAuxFile(replica_file);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->record_count(), 0u);
+  Object dept;
+  FR_ASSERT_OK(db_->Get("Dept", fixture_.depts[0], &dept));
+  EXPECT_FALSE(dept.HasHiddenState());
+}
+
+// --- Mixed strategies (Section 5.3) -----------------------------------------------
+
+TEST_F(ReplicationTest, InPlaceAndSeparateCoexistAndShareLinks) {
+  ReplicateOptions separate;
+  separate.strategy = ReplicationStrategy::kSeparate;
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", separate));
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.budget", {}));
+  const auto* p_sep = db_->catalog().FindPathBySpec("Emp1.dept.org.name");
+  const auto* p_inp = db_->catalog().FindPathBySpec("Emp1.dept.budget");
+  // Both need link Emp1.dept; they share it (Section 5.3: "links can even
+  // be shared by the two strategies").
+  ASSERT_FALSE(p_sep->link_sequence.empty());
+  ASSERT_FALSE(p_inp->link_sequence.empty());
+  EXPECT_EQ(p_sep->link_sequence[0], p_inp->link_sequence[0]);
+  VerifyPath("Emp1.dept.org.name");
+  VerifyPath("Emp1.dept.budget");
+  // Mutations keep both consistent.
+  FR_ASSERT_OK(
+      db_->Update("Dept", fixture_.depts[0], "budget", Value(int32_t{5})));
+  FR_ASSERT_OK(db_->Update("Org", fixture_.orgs[0], "name", Value("x")));
+  FR_ASSERT_OK(db_->Update("Emp1", fixture_.emps[0], "dept",
+                           Value(fixture_.depts[2])));
+  VerifyPath("Emp1.dept.org.name");
+  VerifyPath("Emp1.dept.budget");
+}
+
+TEST_F(ReplicationTest, SeparateSelfReferencingRejected) {
+  FR_ASSERT_OK(db_->DefineType(
+      TypeDescriptor("NODE", {Int32Attr("v"), RefAttr("next", "NODE")})));
+  FR_ASSERT_OK(db_->CreateSet("Nodes", "NODE"));
+  ReplicateOptions options;
+  options.strategy = ReplicationStrategy::kSeparate;
+  EXPECT_EQ(db_->Replicate("Nodes.next.v", options).code(),
+            StatusCode::kNotSupported);
+  // In-place self-referencing works.
+  FR_ASSERT_OK(db_->Replicate("Nodes.next.v", {}));
+}
+
+TEST_F(ReplicationTest, SelfReferencingInPlaceMaintains) {
+  FR_ASSERT_OK(db_->DefineType(
+      TypeDescriptor("NODE", {Int32Attr("v"), RefAttr("next", "NODE")})));
+  FR_ASSERT_OK(db_->CreateSet("Nodes", "NODE"));
+  FR_ASSERT_OK(db_->Replicate("Nodes.next.v", {}));
+  Oid a, b;
+  FR_ASSERT_OK(db_->Insert("Nodes", Object(0, {Value(int32_t{1}),
+                                               Value::Null()}), &a));
+  FR_ASSERT_OK(db_->Insert("Nodes", Object(0, {Value(int32_t{2}),
+                                               Value(a)}), &b));
+  const auto* path = db_->catalog().FindPathBySpec("Nodes.next.v");
+  FR_ASSERT_OK(db_->replication().VerifyPathConsistency(path->id));
+  // Updating a's value propagates into b's replica; a updates itself too.
+  FR_ASSERT_OK(db_->Update("Nodes", a, "v", Value(int32_t{99})));
+  FR_ASSERT_OK(db_->replication().VerifyPathConsistency(path->id));
+  Object node_b;
+  FR_ASSERT_OK(db_->Get("Nodes", b, &node_b));
+  EXPECT_EQ(node_b.FindReplicaValues(path->id)->values[0], Value(int32_t{99}));
+}
+
+TEST_F(ReplicationTest, ClusteredLinksShareOneFileAndStayConsistent) {
+  // Section 4.3.2: both levels' link objects live in one file, grouped by
+  // terminal chain.
+  ReplicateOptions options;
+  options.cluster_links = true;
+  options.inline_threshold = 0;
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.org.name", options));
+  const ReplicationPathInfo* path =
+      db_->catalog().FindPathBySpec("Emp1.dept.org.name");
+  ASSERT_EQ(path->link_sequence.size(), 2u);
+  const LinkInfo* l1 =
+      db_->catalog().link_registry().GetLink(path->link_sequence[0]);
+  const LinkInfo* l2 =
+      db_->catalog().link_registry().GetLink(path->link_sequence[1]);
+  EXPECT_EQ(l1->link_set_file, l2->link_set_file);
+  VerifyPath("Emp1.dept.org.name");
+  // Full maintenance still works on the clustered layout.
+  FR_ASSERT_OK(db_->Update("Org", fixture_.orgs[0], "name", Value("clu")));
+  FR_ASSERT_OK(
+      db_->Update("Dept", fixture_.depts[0], "org", Value(fixture_.orgs[1])));
+  FR_ASSERT_OK(db_->Update("Emp1", fixture_.emps[0], "dept",
+                           Value(fixture_.depts[2])));
+  VerifyPath("Emp1.dept.org.name");
+}
+
+TEST_F(ReplicationTest, ClusterLinksOptionValidation) {
+  ReplicateOptions options;
+  options.cluster_links = true;
+  // 1-level path: nothing to cluster.
+  EXPECT_EQ(db_->Replicate("Emp1.dept.name", options).code(),
+            StatusCode::kNotSupported);
+  // Separate strategy unsupported.
+  options.strategy = ReplicationStrategy::kSeparate;
+  EXPECT_EQ(db_->Replicate("Emp1.dept.org.name", options).code(),
+            StatusCode::kNotSupported);
+  // Sharing a link with an existing path is the paper's clustering
+  // conflict: refused.
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  options = ReplicateOptions();
+  options.cluster_links = true;
+  EXPECT_EQ(db_->Replicate("Emp1.dept.org.name", options).code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(ReplicationTest, PageSpanningLinkObjects) {
+  // "Each link object can contain a large number of OIDs, and can be quite
+  // large as a result": 1500 members need ~3 page-sized segments.
+  auto db = OpenEmployeeDatabase(16384);
+  auto fixture = PopulateEmployees(db.get(), 1, 1, 0);
+  ReplicateOptions options;
+  options.inline_threshold = 0;
+  FR_ASSERT_OK(db->Replicate("Emp1.dept.name", options));
+  std::vector<Oid> emps;
+  for (int k = 0; k < 1500; ++k) {
+    Object emp(0, {Value("e"), Value(int32_t{20}), Value(int32_t{k}),
+                   Value(fixture.depts[0])});
+    Oid oid;
+    FR_ASSERT_OK(db->Insert("Emp1", emp, &oid));
+    emps.push_back(oid);
+  }
+  const ReplicationPathInfo* path =
+      db->catalog().FindPathBySpec("Emp1.dept.name");
+  FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+  // Propagation reaches all 1500 heads through the chained link object.
+  FR_ASSERT_OK(db->Update("Dept", fixture.depts[0], "name", Value("big")));
+  FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+  Object head;
+  FR_ASSERT_OK(db->Get("Emp1", emps[1499], &head));
+  std::string padded = "big";
+  padded.resize(20, '\0');
+  EXPECT_EQ(head.FindReplicaValues(path->id)->values[0], Value(padded));
+  // Shrink below one segment and verify again.
+  for (int k = 0; k < 1200; ++k) {
+    FR_ASSERT_OK(db->Delete("Emp1", emps[k]));
+  }
+  FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+  FR_ASSERT_OK(db->Update("Dept", fixture.depts[0], "name", Value("small")));
+  FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+}
+
+TEST_F(ReplicationTest, VariableLengthAndWideFieldReplication) {
+  // Replicas of int64 / double / variable-length string fields: growing a
+  // replicated string grows every head object (handled by in-place page
+  // growth or forwarding).
+  auto db = OpenEmployeeDatabase();
+  FR_ASSERT_OK(db->DefineType(TypeDescriptor(
+      "WIDE", {Int64Attr("big"), DoubleAttr("ratio"), StringAttr("blurb")})));
+  FR_ASSERT_OK(db->DefineType(TypeDescriptor(
+      "REF", {Int32Attr("k"), RefAttr("wide", "WIDE")})));
+  FR_ASSERT_OK(db->CreateSet("Wides", "WIDE"));
+  FR_ASSERT_OK(db->CreateSet("Refs", "REF"));
+  Oid wide;
+  FR_ASSERT_OK(db->Insert(
+      "Wides",
+      Object(0, {Value(int64_t{1} << 40), Value(0.5), Value("tiny")}),
+      &wide));
+  std::vector<Oid> refs;
+  for (int i = 0; i < 50; ++i) {
+    Oid oid;
+    FR_ASSERT_OK(
+        db->Insert("Refs", Object(0, {Value(int32_t{i}), Value(wide)}),
+                   &oid));
+    refs.push_back(oid);
+  }
+  FR_ASSERT_OK(db->Replicate("Refs.wide.all", {}));
+  const auto* path = db->catalog().FindPathBySpec("Refs.wide.all");
+  FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+  // Grow the replicated string by two orders of magnitude.
+  FR_ASSERT_OK(
+      db->Update("Wides", wide, "blurb", Value(std::string(600, 'x'))));
+  FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+  Object head;
+  FR_ASSERT_OK(db->Get("Refs", refs[49], &head));
+  const ReplicaValueSlot* slot = head.FindReplicaValues(path->id);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->values[0], Value(int64_t{1} << 40));
+  EXPECT_EQ(slot->values[1], Value(0.5));
+  EXPECT_EQ(slot->values[2], Value(std::string(600, 'x')));
+  // Shrink again.
+  FR_ASSERT_OK(db->Update("Wides", wide, "blurb", Value("s")));
+  FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+  FR_ASSERT_OK(
+      db->Update("Wides", wide, "ratio", Value(2.25)));
+  FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+}
+
+// --- Referential integrity --------------------------------------------------------
+
+TEST_F(ReplicationTest, VerifierDetectsTamperedReplica) {
+  // Writing around the ReplicationManager (straight through the ObjectSet)
+  // desynchronizes a hidden replica; the verifier must catch it.
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  const ReplicationPathInfo* path =
+      db_->catalog().FindPathBySpec("Emp1.dept.name");
+  auto set = db_->GetSet("Emp1");
+  ASSERT_TRUE(set.ok());
+  Object object;
+  FR_ASSERT_OK((*set)->Read(fixture_.emps[0], &object));
+  object.SetReplicaValues(path->id, {Value(Padded("tampered"))});
+  FR_ASSERT_OK((*set)->Write(fixture_.emps[0], object));
+  Status s = db_->replication().VerifyPathConsistency(path->id);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("replica mismatch"), std::string::npos);
+}
+
+TEST_F(ReplicationTest, VerifierDetectsBrokenLinkMembership) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  const ReplicationPathInfo* path =
+      db_->catalog().FindPathBySpec("Emp1.dept.name");
+  // Remove one head's membership from its dept's link object by hand.
+  Object dept;
+  FR_ASSERT_OK(db_->Get("Dept", fixture_.depts[0], &dept));
+  Object* dept_ptr = &dept;
+  bool on_path = true;
+  FR_ASSERT_OK(db_->replication().ops().RemoveMember(
+      path->link_sequence[0], fixture_.depts[0], dept_ptr,
+      fixture_.emps[0], &on_path));
+  Status s = db_->replication().VerifyPathConsistency(path->id);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(ReplicationTest, VerifierDetectsStaleExtraMember) {
+  FR_ASSERT_OK(db_->Replicate("Emp1.dept.name", {}));
+  const ReplicationPathInfo* path =
+      db_->catalog().FindPathBySpec("Emp1.dept.name");
+  // Inject a member that does not reference this dept.
+  Object dept;
+  FR_ASSERT_OK(db_->Get("Dept", fixture_.depts[0], &dept));
+  FR_ASSERT_OK(db_->replication().ops().AddMember(
+      path->link_sequence[0], fixture_.depts[0], &dept,
+      fixture_.emps[1]));  // emp1 references dept1, not dept0
+  Status s = db_->replication().VerifyPathConsistency(path->id);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("membership mismatch"), std::string::npos);
+}
+
+TEST_F(ReplicationTest, InsertValidatesReferences) {
+  // Wrong target type.
+  Object emp(0, {Value("bad"), Value(int32_t{1}), Value(int32_t{1}),
+                 Value(fixture_.orgs[0])});
+  Oid oid;
+  EXPECT_FALSE(db_->Insert("Emp1", emp, &oid).ok());
+  // Dangling OID.
+  Object emp2(0, {Value("bad"), Value(int32_t{1}), Value(int32_t{1}),
+                  Value(Oid(250, 9, 9))});
+  EXPECT_FALSE(db_->Insert("Emp1", emp2, &oid).ok());
+}
+
+}  // namespace
+}  // namespace fieldrep
