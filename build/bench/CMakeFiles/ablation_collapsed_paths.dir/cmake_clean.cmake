@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collapsed_paths.dir/ablation_collapsed_paths.cc.o"
+  "CMakeFiles/ablation_collapsed_paths.dir/ablation_collapsed_paths.cc.o.d"
+  "ablation_collapsed_paths"
+  "ablation_collapsed_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collapsed_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deferred.dir/ablation_deferred.cc.o"
+  "CMakeFiles/ablation_deferred.dir/ablation_deferred.cc.o.d"
+  "ablation_deferred"
+  "ablation_deferred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deferred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inline_links.dir/ablation_inline_links.cc.o"
+  "CMakeFiles/ablation_inline_links.dir/ablation_inline_links.cc.o.d"
+  "ablation_inline_links"
+  "ablation_inline_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inline_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

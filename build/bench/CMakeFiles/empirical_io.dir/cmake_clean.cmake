@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/empirical_io.dir/empirical_io.cc.o"
+  "CMakeFiles/empirical_io.dir/empirical_io.cc.o.d"
+  "empirical_io"
+  "empirical_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/empirical_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

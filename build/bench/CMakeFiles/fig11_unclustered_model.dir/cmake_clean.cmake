@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_unclustered_model.dir/fig11_unclustered_model.cc.o"
+  "CMakeFiles/fig11_unclustered_model.dir/fig11_unclustered_model.cc.o.d"
+  "fig11_unclustered_model"
+  "fig11_unclustered_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_unclustered_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

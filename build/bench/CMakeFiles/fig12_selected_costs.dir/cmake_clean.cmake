@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_selected_costs.dir/fig12_selected_costs.cc.o"
+  "CMakeFiles/fig12_selected_costs.dir/fig12_selected_costs.cc.o.d"
+  "fig12_selected_costs"
+  "fig12_selected_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_selected_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_clustered_model.dir/fig13_clustered_model.cc.o"
+  "CMakeFiles/fig13_clustered_model.dir/fig13_clustered_model.cc.o.d"
+  "fig13_clustered_model"
+  "fig13_clustered_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_clustered_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_reporting.dir/company_reporting.cpp.o"
+  "CMakeFiles/company_reporting.dir/company_reporting.cpp.o.d"
+  "company_reporting"
+  "company_reporting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_repl.dir/extra_repl.cpp.o"
+  "CMakeFiles/extra_repl.dir/extra_repl.cpp.o.d"
+  "extra_repl"
+  "extra_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_advisor.dir/replication_advisor.cpp.o"
+  "CMakeFiles/replication_advisor.dir/replication_advisor.cpp.o.d"
+  "replication_advisor"
+  "replication_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/fieldrep.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/link_registry.cc" "src/CMakeFiles/fieldrep.dir/catalog/link_registry.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/catalog/link_registry.cc.o.d"
+  "/root/repo/src/catalog/path.cc" "src/CMakeFiles/fieldrep.dir/catalog/path.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/catalog/path.cc.o.d"
+  "/root/repo/src/catalog/type.cc" "src/CMakeFiles/fieldrep.dir/catalog/type.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/catalog/type.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/fieldrep.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/fieldrep.dir/common/random.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/fieldrep.dir/common/status.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/fieldrep.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/common/strings.cc.o.d"
+  "/root/repo/src/costmodel/cost_model.cc" "src/CMakeFiles/fieldrep.dir/costmodel/cost_model.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/costmodel/cost_model.cc.o.d"
+  "/root/repo/src/costmodel/params.cc" "src/CMakeFiles/fieldrep.dir/costmodel/params.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/costmodel/params.cc.o.d"
+  "/root/repo/src/costmodel/series.cc" "src/CMakeFiles/fieldrep.dir/costmodel/series.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/costmodel/series.cc.o.d"
+  "/root/repo/src/costmodel/yao.cc" "src/CMakeFiles/fieldrep.dir/costmodel/yao.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/costmodel/yao.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/fieldrep.dir/db/database.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/db/database.cc.o.d"
+  "/root/repo/src/extra/ast.cc" "src/CMakeFiles/fieldrep.dir/extra/ast.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/extra/ast.cc.o.d"
+  "/root/repo/src/extra/interpreter.cc" "src/CMakeFiles/fieldrep.dir/extra/interpreter.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/extra/interpreter.cc.o.d"
+  "/root/repo/src/extra/lexer.cc" "src/CMakeFiles/fieldrep.dir/extra/lexer.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/extra/lexer.cc.o.d"
+  "/root/repo/src/extra/parser.cc" "src/CMakeFiles/fieldrep.dir/extra/parser.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/extra/parser.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/fieldrep.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/index/btree.cc.o.d"
+  "/root/repo/src/index/index_manager.cc" "src/CMakeFiles/fieldrep.dir/index/index_manager.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/index/index_manager.cc.o.d"
+  "/root/repo/src/objects/object.cc" "src/CMakeFiles/fieldrep.dir/objects/object.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/objects/object.cc.o.d"
+  "/root/repo/src/objects/object_set.cc" "src/CMakeFiles/fieldrep.dir/objects/object_set.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/objects/object_set.cc.o.d"
+  "/root/repo/src/objects/value.cc" "src/CMakeFiles/fieldrep.dir/objects/value.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/objects/value.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/fieldrep.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/fieldrep.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/read_query.cc" "src/CMakeFiles/fieldrep.dir/query/read_query.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/query/read_query.cc.o.d"
+  "/root/repo/src/query/update_query.cc" "src/CMakeFiles/fieldrep.dir/query/update_query.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/query/update_query.cc.o.d"
+  "/root/repo/src/replication/inverted_path.cc" "src/CMakeFiles/fieldrep.dir/replication/inverted_path.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/replication/inverted_path.cc.o.d"
+  "/root/repo/src/replication/link_object.cc" "src/CMakeFiles/fieldrep.dir/replication/link_object.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/replication/link_object.cc.o.d"
+  "/root/repo/src/replication/link_set.cc" "src/CMakeFiles/fieldrep.dir/replication/link_set.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/replication/link_set.cc.o.d"
+  "/root/repo/src/replication/propagation.cc" "src/CMakeFiles/fieldrep.dir/replication/propagation.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/replication/propagation.cc.o.d"
+  "/root/repo/src/replication/replication_manager.cc" "src/CMakeFiles/fieldrep.dir/replication/replication_manager.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/replication/replication_manager.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/fieldrep.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/file_device.cc" "src/CMakeFiles/fieldrep.dir/storage/file_device.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/storage/file_device.cc.o.d"
+  "/root/repo/src/storage/io_stats.cc" "src/CMakeFiles/fieldrep.dir/storage/io_stats.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/storage/io_stats.cc.o.d"
+  "/root/repo/src/storage/memory_device.cc" "src/CMakeFiles/fieldrep.dir/storage/memory_device.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/storage/memory_device.cc.o.d"
+  "/root/repo/src/storage/record_file.cc" "src/CMakeFiles/fieldrep.dir/storage/record_file.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/storage/record_file.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/CMakeFiles/fieldrep.dir/storage/slotted_page.cc.o" "gcc" "src/CMakeFiles/fieldrep.dir/storage/slotted_page.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/btree_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/btree_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/btree_test.cc.o.d"
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/costmodel_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/costmodel_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/costmodel_test.cc.o.d"
+  "/root/repo/tests/database_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/database_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/database_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/extra_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/extra_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/extra_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/link_set_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/link_set_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/link_set_test.cc.o.d"
+  "/root/repo/tests/object_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/object_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/object_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/replication_property_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/replication_property_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/replication_property_test.cc.o.d"
+  "/root/repo/tests/replication_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/replication_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/replication_test.cc.o.d"
+  "/root/repo/tests/scenario_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/scenario_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/scenario_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/fieldrep_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/fieldrep_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/fieldrep_tests.dir/test_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fieldrep.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
