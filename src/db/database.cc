@@ -16,18 +16,57 @@ constexpr char kHeaderMagic[8] = {'F', 'R', 'E', 'P', '0', '0', '0', '1'};
 
 Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   std::unique_ptr<Database> db(new Database());
-  bool restore = false;
-  if (options.file_path.empty()) {
-    db->device_ = std::make_unique<MemoryDevice>();
+  if (options.device != nullptr) {
+    db->device_ = options.device;
+  } else if (options.file_path.empty()) {
+    db->owned_device_ = std::make_unique<MemoryDevice>();
+    db->device_ = db->owned_device_.get();
   } else {
     auto file_device = std::make_unique<FileDevice>();
     FIELDREP_RETURN_IF_ERROR(file_device->Open(options.file_path));
-    restore = file_device->page_count() > 0;
-    db->device_ = std::move(file_device);
+    db->device_ = file_device.get();
+    db->owned_device_ = std::move(file_device);
   }
+
+  StorageDevice* wal_device = nullptr;
+  if (options.enable_wal) {
+    if (options.wal_device != nullptr) {
+      wal_device = options.wal_device;
+    } else if (!options.wal_path.empty() || !options.file_path.empty()) {
+      auto f = std::make_unique<FileDevice>();
+      FIELDREP_RETURN_IF_ERROR(f->Open(options.wal_path.empty()
+                                           ? options.file_path + ".wal"
+                                           : options.wal_path));
+      wal_device = f.get();
+      db->owned_wal_device_ = std::move(f);
+    } else {
+      db->owned_wal_device_ = std::make_unique<MemoryDevice>();
+      wal_device = db->owned_wal_device_.get();
+    }
+    // Crash recovery runs straight against the devices, before the buffer
+    // pool exists: replay the committed log tail, then start a fresh
+    // epoch above the recovered one.
+    FIELDREP_RETURN_IF_ERROR(RecoveryManager::Recover(
+        db->device_, wal_device, &db->recovery_stats_));
+  }
+  bool restore = db->device_->page_count() > 0;
+
   size_t frames = options.buffer_pool_frames == 0 ? 1
                                                   : options.buffer_pool_frames;
-  db->pool_ = std::make_unique<BufferPool>(db->device_.get(), frames);
+  db->pool_ = std::make_unique<BufferPool>(db->device_, frames);
+  if (options.enable_wal) {
+    WalManager::Options wal_options;
+    wal_options.sync_on_commit = options.wal_sync_on_commit;
+    wal_options.checkpoint_threshold_bytes =
+        options.wal_checkpoint_threshold_bytes;
+    db->wal_ = std::make_unique<WalManager>(wal_device, db->pool_.get(),
+                                            wal_options);
+    FIELDREP_RETURN_IF_ERROR(db->wal_->Initialize(db->recovery_stats_.epoch + 1));
+    db->pool_->SetObserver(db->wal_.get());
+    Database* raw = db.get();
+    db->wal_->set_precommit_hook(
+        [raw] { return raw->WriteStateToMetaPages(); });
+  }
   db->indexes_ =
       std::make_unique<IndexManager>(db->pool_.get(), &db->catalog_, db.get());
   db->replication_ = std::make_unique<ReplicationManager>(
@@ -35,6 +74,7 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   db->executor_ = std::make_unique<Executor>(&db->catalog_, db.get(),
                                              db->indexes_.get(),
                                              db->replication_.get());
+  if (db->wal_ != nullptr) db->replication_->set_wal(db->wal_.get());
   if (restore) {
     FIELDREP_RETURN_IF_ERROR(db->RestoreFromDevice());
   } else {
@@ -136,6 +176,20 @@ Status Database::DecodeState(ByteReader* reader) {
 
 Status Database::Checkpoint() {
   FIELDREP_RETURN_IF_ERROR(replication_->FlushAllPendingPropagation());
+  if (wal_ != nullptr) {
+    // The pre-commit hook writes the state blob inside this (otherwise
+    // empty) transaction, so the catalog update itself is logged; the WAL
+    // checkpoint then flushes the pool and truncates the log.
+    WalTransaction txn(wal_.get());
+    FIELDREP_RETURN_IF_ERROR(txn.begin_status());
+    FIELDREP_RETURN_IF_ERROR(txn.Commit());
+    return wal_->Checkpoint();
+  }
+  FIELDREP_RETURN_IF_ERROR(WriteStateToMetaPages());
+  return pool_->FlushAll();
+}
+
+Status Database::WriteStateToMetaPages() {
   std::string blob;
   catalog_.EncodeTo(&blob);
   blob += EncodeState();
@@ -171,7 +225,7 @@ Status Database::Checkpoint() {
   std::memcpy(header.data(), head.data(), head.size());
   header.MarkDirty();
   header.Release();
-  return pool_->FlushAll();
+  return Status::OK();
 }
 
 std::string Database::StorageReport() {
@@ -256,11 +310,16 @@ Status Database::RestoreFromDevice() {
 }
 
 Status Database::DefineType(TypeDescriptor type) {
-  return catalog_.DefineType(std::move(type));
+  WalTransaction txn(wal_.get());
+  FIELDREP_RETURN_IF_ERROR(txn.begin_status());
+  FIELDREP_RETURN_IF_ERROR(catalog_.DefineType(std::move(type)));
+  return txn.Commit();
 }
 
 Status Database::CreateSet(const std::string& name,
                            const std::string& type_name) {
+  WalTransaction txn(wal_.get());
+  FIELDREP_RETURN_IF_ERROR(txn.begin_status());
   FileId file_id;
   FIELDREP_RETURN_IF_ERROR(catalog_.CreateSet(name, type_name, &file_id));
   FIELDREP_ASSIGN_OR_RETURN(const TypeDescriptor* type,
@@ -268,7 +327,7 @@ Status Database::CreateSet(const std::string& name,
   auto set = std::make_unique<ObjectSet>(pool_.get(), file_id, name, type);
   sets_by_file_[file_id] = set.get();
   sets_.emplace(name, std::move(set));
-  return Status::OK();
+  return txn.Commit();
 }
 
 Status Database::Replicate(const std::string& spec,
@@ -291,7 +350,11 @@ Status Database::DropReplication(const std::string& spec) {
 Status Database::BuildIndex(const std::string& index_name,
                             const std::string& set_name,
                             const std::string& key_expr, bool clustered) {
-  return indexes_->BuildIndex(index_name, set_name, key_expr, clustered);
+  WalTransaction txn(wal_.get());
+  FIELDREP_RETURN_IF_ERROR(txn.begin_status());
+  FIELDREP_RETURN_IF_ERROR(
+      indexes_->BuildIndex(index_name, set_name, key_expr, clustered));
+  return txn.Commit();
 }
 
 Status Database::Insert(const std::string& set_name, const Object& object,

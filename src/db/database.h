@@ -15,6 +15,8 @@
 #include "storage/buffer_pool.h"
 #include "storage/file_device.h"
 #include "storage/memory_device.h"
+#include "wal/recovery_manager.h"
+#include "wal/wal_manager.h"
 
 namespace fieldrep {
 
@@ -48,6 +50,27 @@ class Database : public SetProvider {
     size_t buffer_pool_frames = 4096;
     /// Path of the backing file; empty selects the in-memory device.
     std::string file_path;
+    /// External database device (not owned; overrides file_path). Lets a
+    /// test keep the "disk" alive across simulated machine crashes.
+    StorageDevice* device = nullptr;
+
+    /// Enables write-ahead logging and crash recovery. On open, the
+    /// committed tail of the log is replayed onto the database device;
+    /// afterwards every mutating operation (including its full replica
+    /// propagation) commits atomically.
+    bool enable_wal = false;
+    /// Backing file of the log; empty derives `file_path + ".wal"`, or an
+    /// in-memory log for in-memory databases.
+    std::string wal_path;
+    /// External log device (not owned; overrides wal_path).
+    StorageDevice* wal_device = nullptr;
+    /// Sync the log on every commit (full durability). False trades the
+    /// durability of the most recent commits for fewer syncs (group
+    /// commit); atomicity is unaffected.
+    bool wal_sync_on_commit = true;
+    /// Auto-checkpoint once the log exceeds this size (0 = only explicit
+    /// Checkpoint() calls truncate the log).
+    uint64_t wal_checkpoint_threshold_bytes = 0;
   };
 
   /// Opens a database. Never returns null on OK status.
@@ -99,8 +122,9 @@ class Database : public SetProvider {
   /// Writes the catalog, file metadata, and index roots to the database
   /// header pages and flushes everything, so that Open() on the same
   /// backing file restores the full database (file-backed devices).
-  /// Pending deferred propagations are flushed first. There is no
-  /// write-ahead log: Checkpoint is the durability point.
+  /// Pending deferred propagations are flushed first. Without WAL this is
+  /// the only durability point; with WAL it additionally flushes the pool
+  /// and truncates the log (fuzzy checkpoint).
   Status Checkpoint();
 
   /// Human-readable storage report: per-set and per-auxiliary-file record
@@ -116,6 +140,10 @@ class Database : public SetProvider {
   IndexManager& indexes() { return *indexes_; }
   ReplicationManager& replication() { return *replication_; }
   Executor& executor() { return *executor_; }
+  /// Null when the database was opened without `enable_wal`.
+  WalManager* wal() { return wal_.get(); }
+  /// What recovery did at Open (all zeros when WAL is off).
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
 
   // --- SetProvider ---------------------------------------------------------------
 
@@ -136,8 +164,18 @@ class Database : public SetProvider {
   Status DecodeState(class ByteReader* reader);
   /// Loads the checkpoint blob from the header page chain, if any.
   Status RestoreFromDevice();
+  /// Serializes catalog + state into the meta page chain (page 0 header).
+  /// With WAL enabled this runs inside every commit (pre-commit hook), so
+  /// each committed transaction is self-describing after replay.
+  Status WriteStateToMetaPages();
 
-  std::unique_ptr<StorageDevice> device_;
+  // Declaration order doubles as destruction order (reversed): the pool
+  // must be torn down while the WAL manager it observes — and the devices
+  // both of them write to — are still alive.
+  StorageDevice* device_ = nullptr;
+  std::unique_ptr<StorageDevice> owned_device_;
+  std::unique_ptr<StorageDevice> owned_wal_device_;
+  std::unique_ptr<WalManager> wal_;
   std::unique_ptr<BufferPool> pool_;
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<ObjectSet>> sets_;
@@ -148,6 +186,7 @@ class Database : public SetProvider {
   std::unique_ptr<Executor> executor_;
   /// Pages holding the most recent checkpoint blob (page 0 is the header).
   std::vector<PageId> meta_pages_;
+  RecoveryStats recovery_stats_;
 };
 
 }  // namespace fieldrep

@@ -5,6 +5,7 @@
 #include "common/strings.h"
 #include "replication/mutation_context.h"
 #include "replication/replication_manager.h"
+#include "wal/wal_manager.h"
 
 namespace fieldrep {
 
@@ -180,6 +181,8 @@ Status ReplicationManager::PropagateTerminalValue(const std::string& set_name,
 // ---------------------------------------------------------------------------
 
 Status ReplicationManager::FlushPendingPropagation(uint16_t path_id) {
+  WalTransaction txn(wal_);
+  FIELDREP_RETURN_IF_ERROR(txn.begin_status());
   const ReplicationPathInfo* path = catalog_->GetPath(path_id);
   if (path == nullptr) {
     return Status::NotFound(StringPrintf("no replication path %u", path_id));
@@ -214,7 +217,7 @@ Status ReplicationManager::FlushPendingPropagation(uint16_t path_id) {
     FIELDREP_RETURN_IF_ERROR(UpdateHeadSlots(*path, heads, values, -1, &ctx));
     pending_.erase({path_id, packed});
   }
-  return Status::OK();
+  return txn.Commit();
 }
 
 Status ReplicationManager::FlushAllPendingPropagation() {

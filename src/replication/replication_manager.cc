@@ -7,6 +7,7 @@
 
 #include "common/strings.h"
 #include "replication/mutation_context.h"
+#include "wal/wal_manager.h"
 
 namespace fieldrep {
 
@@ -38,6 +39,8 @@ ReplicationManager::ReplicationManager(Catalog* catalog, SetProvider* sets,
 Status ReplicationManager::CreatePath(const std::string& spec,
                                       const ReplicateOptions& options,
                                       uint16_t* path_id) {
+  WalTransaction txn(wal_);
+  FIELDREP_RETURN_IF_ERROR(txn.begin_status());
   BoundPath bound;
   FIELDREP_RETURN_IF_ERROR(catalog_->BindPath(spec, &bound));
   if (bound.level() < 1) {
@@ -188,7 +191,7 @@ Status ReplicationManager::CreatePath(const std::string& spec,
   if (!heads.empty()) {
     FIELDREP_RETURN_IF_ERROR(BulkBuildPath(*path, heads));
   }
-  return Status::OK();
+  return txn.Commit();
 }
 
 Status ReplicationManager::BulkBuildPath(const ReplicationPathInfo& path,
@@ -344,6 +347,8 @@ Status ReplicationManager::BulkBuildPath(const ReplicationPathInfo& path,
 }
 
 Status ReplicationManager::DropPath(uint16_t path_id) {
+  WalTransaction txn(wal_);
+  FIELDREP_RETURN_IF_ERROR(txn.begin_status());
   const ReplicationPathInfo* found = catalog_->GetPath(path_id);
   if (found == nullptr) {
     return Status::NotFound(StringPrintf("no replication path %u", path_id));
@@ -433,7 +438,8 @@ Status ReplicationManager::DropPath(uint16_t path_id) {
                               sets_->GetAuxFile(path.replica_set_file));
     FIELDREP_RETURN_IF_ERROR(file->Truncate());
   }
-  return catalog_->DropReplicationPath(path_id);
+  FIELDREP_RETURN_IF_ERROR(catalog_->DropReplicationPath(path_id));
+  return txn.Commit();
 }
 
 // ---------------------------------------------------------------------------
@@ -680,6 +686,8 @@ Status ReplicationManager::CheckReferentialIntegrity(
 
 Status ReplicationManager::InsertObject(const std::string& set_name,
                                         const Object& object, Oid* oid) {
+  WalTransaction txn(wal_);
+  FIELDREP_RETURN_IF_ERROR(txn.begin_status());
   FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, sets_->GetSet(set_name));
   FIELDREP_RETURN_IF_ERROR(CheckReferentialIntegrity(set->type(), object));
   Object image = object;
@@ -696,11 +704,13 @@ Status ReplicationManager::InsertObject(const std::string& set_name,
   if (indexes_ != nullptr) {
     FIELDREP_RETURN_IF_ERROR(indexes_->OnInsert(set_name, *oid, image));
   }
-  return Status::OK();
+  return txn.Commit();
 }
 
 Status ReplicationManager::DeleteObject(const std::string& set_name,
                                         const Oid& oid) {
+  WalTransaction txn(wal_);
+  FIELDREP_RETURN_IF_ERROR(txn.begin_status());
   FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, sets_->GetSet(set_name));
   MutationContext ctx(&ops_);
   Object* image;
@@ -733,7 +743,8 @@ Status ReplicationManager::DeleteObject(const std::string& set_name,
   if (indexes_ != nullptr) {
     FIELDREP_RETURN_IF_ERROR(indexes_->OnDelete(set_name, oid, *image));
   }
-  return set->Delete(oid);
+  FIELDREP_RETURN_IF_ERROR(set->Delete(oid));
+  return txn.Commit();
 }
 
 Status ReplicationManager::UpdateField(const std::string& set_name,
@@ -745,6 +756,8 @@ Status ReplicationManager::UpdateField(const std::string& set_name,
 Status ReplicationManager::UpdateFields(
     const std::string& set_name, const Oid& oid,
     const std::vector<std::pair<int, Value>>& updates) {
+  WalTransaction txn(wal_);
+  FIELDREP_RETURN_IF_ERROR(txn.begin_status());
   FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, sets_->GetSet(set_name));
   MutationContext ctx(&ops_);
   Object* image;
@@ -784,7 +797,8 @@ Status ReplicationManager::UpdateFields(
     FIELDREP_RETURN_IF_ERROR(
         PropagateTerminalValue(set_name, oid, image, attr_index, &ctx));
   }
-  return ops_.WriteObject(oid, *image);
+  FIELDREP_RETURN_IF_ERROR(ops_.WriteObject(oid, *image));
+  return txn.Commit();
 }
 
 Status ReplicationManager::HandleRefUpdate(const std::string& set_name,

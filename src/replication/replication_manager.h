@@ -16,6 +16,8 @@
 
 namespace fieldrep {
 
+class WalManager;
+
 /// Options for `replicate <path>` (Sections 4, 5, 4.3).
 struct ReplicateOptions {
   ReplicationStrategy strategy = ReplicationStrategy::kInPlace;
@@ -67,6 +69,12 @@ class ReplicationManager {
 
   ReplicationManager(const ReplicationManager&) = delete;
   ReplicationManager& operator=(const ReplicationManager&) = delete;
+
+  /// Attaches a write-ahead log. Every mutating entry point then runs as
+  /// one transaction, so an entire inverted-path propagation — head slots,
+  /// link objects, replica records, indexes — commits atomically. Null
+  /// detaches (operations run unlogged, as before).
+  void set_wal(WalManager* wal) { wal_ = wal; }
 
   // --- Path lifecycle --------------------------------------------------------
 
@@ -216,6 +224,7 @@ class ReplicationManager {
   Catalog* catalog_;
   SetProvider* sets_;
   IndexManager* indexes_;
+  WalManager* wal_ = nullptr;
   InvertedPathOps ops_;
   /// Pending deferred propagations: packed (path_id << 64... ) pairs of
   /// (path id, terminal OID). Ordered so flushes visit terminals in

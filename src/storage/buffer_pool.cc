@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 
 #include "common/strings.h"
@@ -44,7 +45,11 @@ PageId PageGuard::page_id() const {
 
 void PageGuard::MarkDirty() {
   assert(valid());
-  pool_->frames_[frame_index_].dirty = true;
+  BufferPool::Frame& frame = pool_->frames_[frame_index_];
+  frame.dirty = true;
+  if (pool_->observer_ != nullptr) {
+    pool_->observer_->OnPageDirtied(frame.page_id);
+  }
 }
 
 void PageGuard::Release() {
@@ -71,8 +76,15 @@ BufferPool::BufferPool(std::unique_ptr<StorageDevice> device, size_t capacity)
 }
 
 BufferPool::~BufferPool() {
-  // Best-effort writeback; errors are unreportable from a destructor.
-  FlushAll().ok();
+  // Best-effort writeback. A destructor cannot propagate the status, but
+  // silently discarding dirty data would hide real corruption — report it.
+  Status s = FlushAll();
+  if (!s.ok()) {
+    std::fprintf(stderr,
+                 "fieldrep: BufferPool writeback failed at shutdown, dirty "
+                 "pages lost: %s\n",
+                 s.ToString().c_str());
+  }
 }
 
 Status BufferPool::FetchPage(PageId page_id, PageGuard* guard) {
@@ -83,6 +95,9 @@ Status BufferPool::FetchPage(PageId page_id, PageGuard* guard) {
     Frame& frame = frames_[it->second];
     ++frame.pin_count;
     frame.referenced = true;
+    if (observer_ != nullptr) {
+      observer_->OnPageAccess(page_id, frame.data.get());
+    }
     *guard = PageGuard(this, it->second);
     return Status::OK();
   }
@@ -98,10 +113,14 @@ Status BufferPool::FetchPage(PageId page_id, PageGuard* guard) {
   ++stats_.disk_reads;
   frame.page_id = page_id;
   frame.pin_count = 1;
+  frame.page_lsn = 0;
   frame.dirty = false;
   frame.referenced = true;
   frame.in_use = true;
   page_table_[page_id] = frame_index;
+  if (observer_ != nullptr) {
+    observer_->OnPageAccess(page_id, frame.data.get());
+  }
   *guard = PageGuard(this, frame_index);
   return Status::OK();
 }
@@ -115,22 +134,41 @@ Status BufferPool::NewPage(PageGuard* guard) {
   std::memset(frame.data.get(), 0, kPageSize);
   frame.page_id = page_id;
   frame.pin_count = 1;
+  frame.page_lsn = 0;
   // A fresh page is dirty by definition: its contents exist only here.
   frame.dirty = true;
   frame.referenced = true;
   frame.in_use = true;
   page_table_[page_id] = frame_index;
+  if (observer_ != nullptr) {
+    observer_->OnPageAccess(page_id, frame.data.get());
+    observer_->OnPageDirtied(page_id);
+  }
   *guard = PageGuard(this, frame_index);
+  return Status::OK();
+}
+
+Status BufferPool::WriteBackFrame(Frame& frame) {
+  if (observer_ != nullptr) {
+    FIELDREP_RETURN_IF_ERROR(
+        observer_->BeforePageFlush(frame.page_id, frame.page_lsn));
+  }
+  FIELDREP_RETURN_IF_ERROR(
+      device_->WritePage(frame.page_id, frame.data.get()));
+  ++stats_.disk_writes;
+  frame.dirty = false;
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
   for (Frame& frame : frames_) {
     if (frame.in_use && frame.dirty) {
-      FIELDREP_RETURN_IF_ERROR(
-          device_->WritePage(frame.page_id, frame.data.get()));
-      ++stats_.disk_writes;
-      frame.dirty = false;
+      if (observer_ != nullptr && !observer_->CanEvict(frame.page_id)) {
+        // Uncommitted transaction page: commit will release it; a crash
+        // before then must leave the device without it (atomicity).
+        continue;
+      }
+      FIELDREP_RETURN_IF_ERROR(WriteBackFrame(frame));
     }
   }
   return Status::OK();
@@ -141,6 +179,11 @@ Status BufferPool::EvictAll() {
     if (frame.in_use && frame.pin_count > 0) {
       return Status::FailedPrecondition(
           StringPrintf("page %u still pinned", frame.page_id));
+    }
+    if (frame.in_use && frame.dirty && observer_ != nullptr &&
+        !observer_->CanEvict(frame.page_id)) {
+      return Status::FailedPrecondition(StringPrintf(
+          "page %u holds uncommitted transaction writes", frame.page_id));
     }
   }
   FIELDREP_RETURN_IF_ERROR(FlushAll());
@@ -154,6 +197,32 @@ Status BufferPool::EvictAll() {
       free_frames_.push_back(i);
     }
   }
+  return Status::OK();
+}
+
+const uint8_t* BufferPool::PeekPage(PageId page_id) const {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return nullptr;
+  return frames_[it->second].data.get();
+}
+
+void BufferPool::SetPageLsn(PageId page_id, uint64_t lsn) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return;
+  frames_[it->second].page_lsn = lsn;
+}
+
+std::vector<PageId> BufferPool::DirtyPageIds() const {
+  std::vector<PageId> ids;
+  for (const Frame& frame : frames_) {
+    if (frame.in_use && frame.dirty) ids.push_back(frame.page_id);
+  }
+  return ids;
+}
+
+Status BufferPool::SyncDevice() {
+  FIELDREP_RETURN_IF_ERROR(device_->Sync());
+  ++stats_.disk_syncs;
   return Status::OK();
 }
 
@@ -178,15 +247,16 @@ Status BufferPool::GetVictimFrame(size_t* frame_index) {
     size_t index = clock_hand_;
     clock_hand_ = (clock_hand_ + 1) % n;
     if (frame.pin_count > 0) continue;
+    if (frame.dirty && observer_ != nullptr &&
+        !observer_->CanEvict(frame.page_id)) {
+      continue;  // no-steal: uncommitted pages stay resident
+    }
     if (frame.referenced) {
       frame.referenced = false;
       continue;
     }
     if (frame.dirty) {
-      FIELDREP_RETURN_IF_ERROR(
-          device_->WritePage(frame.page_id, frame.data.get()));
-      ++stats_.disk_writes;
-      frame.dirty = false;
+      FIELDREP_RETURN_IF_ERROR(WriteBackFrame(frame));
     }
     page_table_.erase(frame.page_id);
     frame.in_use = false;

@@ -15,6 +15,36 @@ namespace fieldrep {
 
 class BufferPool;
 
+/// \brief Hook interface through which a write-ahead log observes and
+/// constrains the buffer pool (see src/wal/wal_manager.h).
+///
+/// The pool calls these at well-defined points so that the WAL can
+/// capture page pre-images, track transaction write sets, veto eviction
+/// of uncommitted pages (no-steal policy), and enforce the WAL flush
+/// ordering: no dirty page reaches the device before the log records
+/// covering it are durable.
+class PageObserver {
+ public:
+  virtual ~PageObserver() = default;
+
+  /// A page's bytes became visible through the pool (fetch hit or miss,
+  /// or a freshly allocated zero page). `data` is the frame content
+  /// before the caller mutates it.
+  virtual void OnPageAccess(PageId page_id, const uint8_t* data) = 0;
+
+  /// A guard marked the page dirty.
+  virtual void OnPageDirtied(PageId page_id) = 0;
+
+  /// May this dirty page be written back and evicted? False while an
+  /// active transaction's uncommitted bytes are on it.
+  virtual bool CanEvict(PageId page_id) const = 0;
+
+  /// Called immediately before the pool writes a dirty page to the
+  /// device. `page_lsn` is the log position that must be durable first;
+  /// the observer blocks until it is (WAL rule).
+  virtual Status BeforePageFlush(PageId page_id, uint64_t page_lsn) = 0;
+};
+
 /// \brief RAII pin on a buffered page.
 ///
 /// While a PageGuard is alive the frame cannot be evicted. Call MarkDirty()
@@ -74,6 +104,8 @@ class BufferPool {
   Status NewPage(PageGuard* guard);
 
   /// Writes all dirty frames back to the device (without unpinning).
+  /// Frames the observer protects (uncommitted transaction pages) are
+  /// skipped: their fate is decided by commit or crash, not by a flush.
   Status FlushAll();
 
   /// Flushes and then drops every unpinned frame, so the next access to any
@@ -92,6 +124,25 @@ class BufferPool {
 
   StorageDevice* device() { return device_; }
 
+  /// Attaches (or detaches, with nullptr) the WAL observer. The observer
+  /// must outlive the pool or be detached before destruction.
+  void SetObserver(PageObserver* observer) { observer_ = observer; }
+
+  /// Frame bytes of `page_id` if resident, else nullptr. No pin, no
+  /// statistics — used by the WAL to diff pages at commit.
+  const uint8_t* PeekPage(PageId page_id) const;
+
+  /// Sets the recovery LSN the flush-ordering hook reports for the page
+  /// (no-op if the page is not resident).
+  void SetPageLsn(PageId page_id, uint64_t lsn);
+
+  /// Page ids of all dirty frames — the dirty-frame table a checkpoint
+  /// walks.
+  std::vector<PageId> DirtyPageIds() const;
+
+  /// Issues a device Sync (fsync), counted in stats as a disk_sync.
+  Status SyncDevice();
+
  private:
   friend class PageGuard;
 
@@ -99,10 +150,14 @@ class BufferPool {
     std::unique_ptr<uint8_t[]> data;
     PageId page_id = kInvalidPageId;
     uint32_t pin_count = 0;
+    uint64_t page_lsn = 0;  ///< Log position that must be durable first.
     bool dirty = false;
     bool referenced = false;  // clock bit
     bool in_use = false;
   };
+
+  /// Flush-ordering + writeback of one dirty frame.
+  Status WriteBackFrame(Frame& frame);
 
   /// Finds a victim frame via the clock algorithm, writing it back if
   /// dirty. Returns FailedPrecondition if every frame is pinned.
@@ -117,6 +172,7 @@ class BufferPool {
   std::vector<size_t> free_frames_;
   size_t clock_hand_ = 0;
   IoStats stats_;
+  PageObserver* observer_ = nullptr;
 };
 
 }  // namespace fieldrep

@@ -74,6 +74,15 @@ Status FileDevice::WritePage(PageId page_id, const void* buf) {
   return Status::OK();
 }
 
+Status FileDevice::Sync() {
+  if (!is_open()) return Status::FailedPrecondition("device not open");
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(StringPrintf("fdatasync(%s): %s", path_.c_str(),
+                                        std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
 Status FileDevice::AllocatePage(PageId* page_id) {
   if (!is_open()) return Status::FailedPrecondition("device not open");
   char zeros[kPageSize];

@@ -33,6 +33,8 @@ class FileDevice : public StorageDevice {
   Status ReadPage(PageId page_id, void* buf) override;
   Status WritePage(PageId page_id, const void* buf) override;
   Status AllocatePage(PageId* page_id) override;
+  /// fdatasync on the backing file.
+  Status Sync() override;
   uint32_t page_count() const override { return page_count_; }
 
  private:

@@ -10,16 +10,18 @@ IoStats IoStats::operator-(const IoStats& rhs) const {
   out.hits = hits - rhs.hits;
   out.disk_reads = disk_reads - rhs.disk_reads;
   out.disk_writes = disk_writes - rhs.disk_writes;
+  out.disk_syncs = disk_syncs - rhs.disk_syncs;
   return out;
 }
 
 std::string IoStats::ToString() const {
   return StringPrintf(
-      "IoStats{fetches=%llu hits=%llu reads=%llu writes=%llu}",
+      "IoStats{fetches=%llu hits=%llu reads=%llu writes=%llu syncs=%llu}",
       static_cast<unsigned long long>(fetches),
       static_cast<unsigned long long>(hits),
       static_cast<unsigned long long>(disk_reads),
-      static_cast<unsigned long long>(disk_writes));
+      static_cast<unsigned long long>(disk_writes),
+      static_cast<unsigned long long>(disk_syncs));
 }
 
 }  // namespace fieldrep

@@ -17,6 +17,7 @@ struct IoStats {
   uint64_t hits = 0;         ///< Requests satisfied without device I/O.
   uint64_t disk_reads = 0;   ///< Pages read from the device.
   uint64_t disk_writes = 0;  ///< Pages written to the device.
+  uint64_t disk_syncs = 0;   ///< Device Sync (fsync) calls.
 
   /// Total device transfers — the paper's cost unit.
   uint64_t TotalIo() const { return disk_reads + disk_writes; }

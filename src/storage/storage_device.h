@@ -32,6 +32,13 @@ class StorageDevice {
   /// Extends the device by one zeroed page and returns its id.
   virtual Status AllocatePage(PageId* page_id) = 0;
 
+  /// Forces previously written pages to stable storage (fsync). The
+  /// write-ahead log calls this to make log records durable before the
+  /// pages they describe; counted as `disk_syncs` in IoStats when issued
+  /// through the buffer pool. Default: no-op (a MemoryDevice is "stable"
+  /// the moment WritePage returns).
+  virtual Status Sync() { return Status::OK(); }
+
   /// Number of pages allocated so far.
   virtual uint32_t page_count() const = 0;
 };

@@ -1,0 +1,63 @@
+#include "wal/log_reader.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "wal/log_writer.h"
+
+namespace fieldrep {
+
+LogReader::LogReader(StorageDevice* device) : device_(device) {}
+
+Status LogReader::Open(bool* valid) {
+  *valid = false;
+  if (device_->page_count() == 0) return Status::OK();
+  uint8_t header[kPageSize];
+  Status s = device_->ReadPage(0, header);
+  if (!s.ok()) return Status::OK();  // unreadable header == no log
+  if (std::memcmp(header, LogWriter::kHeaderMagic,
+                  sizeof(LogWriter::kHeaderMagic)) != 0) {
+    return Status::OK();
+  }
+  if (DecodeU32(header + 16) != Crc32(header, 16)) return Status::OK();
+  epoch_ = DecodeU64(header + 8);
+  opened_ = true;
+  *valid = true;
+  return Status::OK();
+}
+
+Status LogReader::FillTo(size_t target) {
+  while (buffer_.size() < target && next_page_ < device_->page_count()) {
+    uint8_t page[kPageSize];
+    Status s = device_->ReadPage(next_page_, page);
+    if (!s.ok()) break;  // truncated device: treat as end of stream
+    buffer_.append(reinterpret_cast<const char*>(page), kPageSize);
+    ++next_page_;
+  }
+  return Status::OK();
+}
+
+Status LogReader::ReadNext(LogRecord* record, bool* end) {
+  *end = true;
+  if (!opened_) return Status::FailedPrecondition("log reader not opened");
+  FIELDREP_RETURN_IF_ERROR(FillTo(pos_ + 8));
+  if (buffer_.size() < pos_ + 8) return Status::OK();
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(buffer_.data());
+  uint32_t body_len = DecodeU32(base + pos_);
+  if (body_len == 0 || body_len > kMaxLogRecordBody) return Status::OK();
+  FIELDREP_RETURN_IF_ERROR(FillTo(pos_ + 8 + body_len));
+  if (buffer_.size() < pos_ + 8 + body_len) return Status::OK();
+  base = reinterpret_cast<const uint8_t*>(buffer_.data());
+  uint32_t crc = DecodeU32(base + pos_ + 4);
+  const uint8_t* body = base + pos_ + 8;
+  if (Crc32(body, body_len) != crc) return Status::OK();
+  LogRecord parsed;
+  if (!LogRecord::ParseBody(body, body_len, &parsed)) return Status::OK();
+  if (parsed.epoch != epoch_) return Status::OK();
+  *record = std::move(parsed);
+  pos_ += 8 + body_len;
+  *end = false;
+  return Status::OK();
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,59 @@
+#ifndef FIELDREP_WAL_LOG_READER_H_
+#define FIELDREP_WAL_LOG_READER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/storage_device.h"
+#include "wal/log_record.h"
+
+namespace fieldrep {
+
+/// \brief Sequential scanner over the record stream of a log device.
+///
+/// The reader validates the log header, then yields records of the
+/// header's epoch until the end of the valid stream. "End" is any of: a
+/// zero length field (never-written space), a CRC mismatch (torn tail
+/// write), an epoch mismatch (stale record of a previous epoch), a
+/// malformed body, or device exhaustion — all are normal terminations
+/// after a crash, not errors.
+class LogReader {
+ public:
+  /// \param device log backing store (not owned).
+  explicit LogReader(StorageDevice* device);
+
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
+
+  /// Reads the header page. `*valid` is false (with OK status) when the
+  /// device holds no usable log: empty device, bad magic, or torn header.
+  /// A torn header can only be left by a crash during Reset, which runs
+  /// only when the log content is already dead, so an invalid header
+  /// safely means "nothing to replay".
+  Status Open(bool* valid);
+
+  uint64_t epoch() const { return epoch_; }
+
+  /// Reads the next record. Sets `*end` when the valid stream is over.
+  Status ReadNext(LogRecord* record, bool* end);
+
+  /// Stream bytes consumed so far.
+  uint64_t position() const { return pos_; }
+
+ private:
+  /// Buffers stream bytes until at least `target` bytes are available or
+  /// the device is exhausted.
+  Status FillTo(size_t target);
+
+  StorageDevice* device_;
+  uint64_t epoch_ = 0;
+  bool opened_ = false;
+  std::string buffer_;  ///< Stream bytes [0, buffer_.size()).
+  size_t pos_ = 0;
+  PageId next_page_ = 1;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_WAL_LOG_READER_H_

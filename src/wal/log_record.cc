@@ -1,0 +1,101 @@
+#include "wal/log_record.h"
+
+#include <array>
+
+#include "common/bytes.h"
+
+namespace fieldrep {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+const char* LogRecordTypeName(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kBegin:
+      return "Begin";
+    case LogRecordType::kCommit:
+      return "Commit";
+    case LogRecordType::kPageWrite:
+      return "PageWrite";
+    case LogRecordType::kCheckpoint:
+      return "Checkpoint";
+  }
+  return "Unknown";
+}
+
+void LogRecord::AppendTo(std::string* out) const {
+  std::string body;
+  PutU64(&body, epoch);
+  body.push_back(static_cast<char>(type));
+  PutU64(&body, txn_id);
+  if (type == LogRecordType::kPageWrite) {
+    PutU32(&body, page_id);
+    PutU32(&body, offset);
+    PutU32(&body, static_cast<uint32_t>(bytes.size()));
+    body += bytes;
+  }
+  PutU32(out, static_cast<uint32_t>(body.size()));
+  PutU32(out, Crc32(body.data(), body.size()));
+  *out += body;
+}
+
+bool LogRecord::ParseBody(const uint8_t* body, size_t len, LogRecord* out) {
+  ByteReader reader(body, len);
+  if (!reader.GetU64(&out->epoch)) return false;
+  std::string type_byte;
+  if (!reader.GetRaw(1, &type_byte)) return false;
+  uint8_t raw_type = static_cast<uint8_t>(type_byte[0]);
+  if (raw_type < static_cast<uint8_t>(LogRecordType::kBegin) ||
+      raw_type > static_cast<uint8_t>(LogRecordType::kCheckpoint)) {
+    return false;
+  }
+  out->type = static_cast<LogRecordType>(raw_type);
+  if (!reader.GetU64(&out->txn_id)) return false;
+  out->page_id = 0;
+  out->offset = 0;
+  out->bytes.clear();
+  if (out->type == LogRecordType::kPageWrite) {
+    uint32_t length;
+    if (!reader.GetU32(&out->page_id) || !reader.GetU32(&out->offset) ||
+        !reader.GetU32(&length)) {
+      return false;
+    }
+    if (length > kPageSize || out->offset > kPageSize ||
+        out->offset + length > kPageSize) {
+      return false;
+    }
+    if (!reader.GetRaw(length, &out->bytes)) return false;
+  }
+  return reader.remaining() == 0;
+}
+
+size_t LogRecord::WireSize() const {
+  size_t body = 8 + 1 + 8;
+  if (type == LogRecordType::kPageWrite) body += 12 + bytes.size();
+  return 8 + body;  // u32 len + u32 crc + body
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,68 @@
+#ifndef FIELDREP_WAL_LOG_RECORD_H_
+#define FIELDREP_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/page.h"
+
+namespace fieldrep {
+
+/// \file
+/// Wire format of the write-ahead log (see DESIGN.md "Durability &
+/// Recovery").
+///
+/// The log is a stream of self-delimiting records packed back to back
+/// across the pages of a log device. Each record is framed as
+///
+///   u32 body_len | u32 crc | body
+///
+/// where `crc` is the CRC-32 of `body` and the body starts with
+///
+///   u64 epoch | u8 type | u64 txn_id | <type-specific payload>
+///
+/// A zero `body_len`, a CRC mismatch, or an epoch other than the log
+/// header's current epoch all mark the end of the valid log: the tail of
+/// the stream after a crash may be torn mid-record, and pages past the
+/// logical end still hold records of earlier epochs.
+
+/// CRC-32 (IEEE 802.3 polynomial) over `size` bytes.
+uint32_t Crc32(const void* data, size_t size);
+
+enum class LogRecordType : uint8_t {
+  kBegin = 1,       ///< Transaction start.
+  kCommit = 2,      ///< Transaction end; makes its page writes replayable.
+  kPageWrite = 3,   ///< Physiological redo: bytes at an offset of one page.
+  kCheckpoint = 4,  ///< All prior effects are on the device (informational).
+};
+
+const char* LogRecordTypeName(LogRecordType type);
+
+struct LogRecord {
+  LogRecordType type = LogRecordType::kBegin;
+  uint64_t epoch = 0;
+  uint64_t txn_id = 0;
+
+  // kPageWrite payload: replay writes `bytes` at `offset` of `page_id`.
+  PageId page_id = 0;
+  uint32_t offset = 0;
+  std::string bytes;
+
+  /// Appends the framed wire encoding (len, crc, body) to `out`.
+  void AppendTo(std::string* out) const;
+
+  /// Parses a record body (the bytes covered by the CRC). Returns false on
+  /// malformed input.
+  static bool ParseBody(const uint8_t* body, size_t len, LogRecord* out);
+
+  /// Framed size this record occupies in the stream.
+  size_t WireSize() const;
+};
+
+/// Records larger than this are rejected as corruption (a page delta can
+/// never legitimately exceed one page plus its header).
+inline constexpr uint32_t kMaxLogRecordBody = 2 * kPageSize;
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_WAL_LOG_RECORD_H_

@@ -1,0 +1,104 @@
+#include "wal/log_writer.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+
+namespace fieldrep {
+
+LogWriter::LogWriter(StorageDevice* device) : device_(device) {
+  std::memset(tail_page_, 0, sizeof(tail_page_));
+}
+
+Status LogWriter::EnsurePage(PageId page_id) {
+  while (device_->page_count() <= page_id) {
+    PageId allocated;
+    FIELDREP_RETURN_IF_ERROR(device_->AllocatePage(&allocated));
+  }
+  return Status::OK();
+}
+
+Status LogWriter::Reset(uint64_t epoch) {
+  FIELDREP_RETURN_IF_ERROR(EnsurePage(0));
+  uint8_t header[kPageSize];
+  std::memset(header, 0, sizeof(header));
+  std::memcpy(header, kHeaderMagic, sizeof(kHeaderMagic));
+  EncodeU64(header + 8, epoch);
+  EncodeU32(header + 16, Crc32(header, 16));
+  FIELDREP_RETURN_IF_ERROR(device_->WritePage(0, header));
+  ++page_writes_;
+  FIELDREP_RETURN_IF_ERROR(device_->Sync());
+  ++syncs_;
+  epoch_ = epoch;
+  next_lsn_ = 0;
+  flushed_lsn_ = 0;
+  durable_lsn_ = 0;
+  initialized_ = true;
+  std::memset(tail_page_, 0, sizeof(tail_page_));
+  return Status::OK();
+}
+
+Status LogWriter::WriteTailPage() {
+  PageId page_id = 1 + static_cast<PageId>(next_lsn_ / kPageSize);
+  FIELDREP_RETURN_IF_ERROR(EnsurePage(page_id));
+  FIELDREP_RETURN_IF_ERROR(device_->WritePage(page_id, tail_page_));
+  ++page_writes_;
+  return Status::OK();
+}
+
+Status LogWriter::Append(const LogRecord& record, uint64_t* end_lsn) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("log writer not initialized");
+  }
+  LogRecord stamped = record;
+  stamped.epoch = epoch_;
+  std::string wire;
+  stamped.AppendTo(&wire);
+
+  size_t pos = 0;
+  while (pos < wire.size()) {
+    size_t page_offset = next_lsn_ % kPageSize;
+    size_t room = kPageSize - page_offset;
+    size_t n = std::min(room, wire.size() - pos);
+    std::memcpy(tail_page_ + page_offset, wire.data() + pos, n);
+    pos += n;
+    if (page_offset + n == kPageSize) {
+      // Tail page filled: write it out and start a fresh one. next_lsn_
+      // still addresses this page until advanced below.
+      PageId page_id = 1 + static_cast<PageId>(next_lsn_ / kPageSize);
+      FIELDREP_RETURN_IF_ERROR(EnsurePage(page_id));
+      FIELDREP_RETURN_IF_ERROR(device_->WritePage(page_id, tail_page_));
+      ++page_writes_;
+      next_lsn_ += n;
+      flushed_lsn_ = next_lsn_;
+      std::memset(tail_page_, 0, sizeof(tail_page_));
+    } else {
+      next_lsn_ += n;
+    }
+  }
+  ++records_;
+  if (end_lsn != nullptr) *end_lsn = next_lsn_;
+  return Status::OK();
+}
+
+Status LogWriter::Flush() {
+  if (!initialized_) {
+    return Status::FailedPrecondition("log writer not initialized");
+  }
+  if (flushed_lsn_ == next_lsn_) return Status::OK();
+  FIELDREP_RETURN_IF_ERROR(WriteTailPage());
+  flushed_lsn_ = next_lsn_;
+  return Status::OK();
+}
+
+Status LogWriter::Sync() {
+  FIELDREP_RETURN_IF_ERROR(Flush());
+  if (durable_lsn_ == next_lsn_) return Status::OK();
+  FIELDREP_RETURN_IF_ERROR(device_->Sync());
+  ++syncs_;
+  durable_lsn_ = next_lsn_;
+  return Status::OK();
+}
+
+}  // namespace fieldrep

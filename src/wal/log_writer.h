@@ -1,0 +1,88 @@
+#ifndef FIELDREP_WAL_LOG_WRITER_H_
+#define FIELDREP_WAL_LOG_WRITER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/storage_device.h"
+#include "wal/log_record.h"
+
+namespace fieldrep {
+
+/// \brief Appends log records to a log device.
+///
+/// Log device layout: page 0 is the log header (magic, current epoch,
+/// CRC); pages 1..N hold the record stream of the current epoch, packed
+/// back to back. An LSN is the byte offset of a record within the stream
+/// (LSN 0 = page 1, byte 0).
+///
+/// The writer keeps the partial tail page in memory: full pages are
+/// written to the device as they fill, and Flush() rewrites the tail page
+/// so every appended byte is on the device. Sync() additionally issues a
+/// device Sync, after which `durable_lsn()` advances — records at or below
+/// it survive a crash.
+///
+/// Reset(epoch) starts a new epoch: it rewrites the header and moves the
+/// append position back to LSN 0. Stale records of earlier epochs are not
+/// erased; readers ignore them because every record carries its epoch.
+/// This is how the log is logically truncated after a checkpoint without a
+/// device-level truncate operation.
+class LogWriter {
+ public:
+  /// \param device log backing store (not owned).
+  explicit LogWriter(StorageDevice* device);
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Starts epoch `epoch` at LSN 0: writes and syncs the log header.
+  /// Callable only when every prior record is dead (fresh log, after
+  /// recovery, or after all dirty pages reached the database device).
+  Status Reset(uint64_t epoch);
+
+  /// Appends `record` (the writer stamps the current epoch into it).
+  /// On return `*end_lsn` (if non-null) is the LSN one past the record —
+  /// the LSN that must become durable for the record to survive a crash.
+  Status Append(const LogRecord& record, uint64_t* end_lsn = nullptr);
+
+  /// Writes every appended byte to the device (no sync).
+  Status Flush();
+
+  /// Flush + device Sync; advances durable_lsn() to next_lsn().
+  Status Sync();
+
+  uint64_t epoch() const { return epoch_; }
+  /// LSN of the next byte to be appended.
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// Every record ending at or below this LSN is crash-durable.
+  uint64_t durable_lsn() const { return durable_lsn_; }
+
+  uint64_t page_writes() const { return page_writes_; }
+  uint64_t syncs() const { return syncs_; }
+  uint64_t records_appended() const { return records_; }
+
+  static constexpr char kHeaderMagic[8] = {'F', 'R', 'W', 'A',
+                                           'L', '0', '0', '1'};
+
+ private:
+  /// Grows the device until `page_id` exists.
+  Status EnsurePage(PageId page_id);
+  /// Writes the in-memory tail page at its device position.
+  Status WriteTailPage();
+
+  StorageDevice* device_;
+  uint64_t epoch_ = 0;
+  uint64_t next_lsn_ = 0;
+  uint64_t flushed_lsn_ = 0;
+  uint64_t durable_lsn_ = 0;
+  bool initialized_ = false;
+  uint8_t tail_page_[kPageSize];
+
+  uint64_t page_writes_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t records_ = 0;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_WAL_LOG_WRITER_H_

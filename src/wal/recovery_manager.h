@@ -1,0 +1,46 @@
+#ifndef FIELDREP_WAL_RECOVERY_MANAGER_H_
+#define FIELDREP_WAL_RECOVERY_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/storage_device.h"
+
+namespace fieldrep {
+
+/// Outcome of a recovery pass.
+struct RecoveryStats {
+  bool log_found = false;        ///< A valid log header was present.
+  uint64_t epoch = 0;            ///< Epoch of the recovered log.
+  uint64_t records_scanned = 0;  ///< Valid records read before the tail.
+  uint64_t committed_txns = 0;   ///< Transactions replayed.
+  uint64_t skipped_txns = 0;     ///< Transactions without a commit record.
+  uint64_t pages_written = 0;    ///< Database pages rewritten by replay.
+
+  std::string ToString() const;
+};
+
+/// \brief Replays the committed tail of a write-ahead log onto the
+/// database device.
+///
+/// Runs before the buffer pool exists, directly against the devices.
+/// A single forward scan buffers each transaction's page-write records
+/// and applies them when (and only when) its commit record is reached —
+/// transactions the crash cut short are discarded wholesale, which is
+/// what makes a multi-page replica propagation atomic. The scan stops at
+/// the first torn, corrupt, or stale-epoch record; everything beyond it
+/// is by construction uncommitted.
+class RecoveryManager {
+ public:
+  /// Replays `log_device` onto `db_device` and syncs the result.
+  /// Missing or empty logs are not errors (`stats->log_found` reports
+  /// which case ran). After this returns the caller should start a fresh
+  /// log epoch above `stats->epoch`.
+  static Status Recover(StorageDevice* db_device, StorageDevice* log_device,
+                        RecoveryStats* stats);
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_WAL_RECOVERY_MANAGER_H_

@@ -1,0 +1,262 @@
+#include "wal/wal_manager.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+std::string WalStats::ToString() const {
+  return StringPrintf(
+      "WalStats{txns=%llu empty=%llu records=%llu delta_bytes=%llu "
+      "log_writes=%llu log_syncs=%llu checkpoints=%llu ckpt_pages=%llu}",
+      static_cast<unsigned long long>(transactions),
+      static_cast<unsigned long long>(empty_commits),
+      static_cast<unsigned long long>(records),
+      static_cast<unsigned long long>(delta_bytes),
+      static_cast<unsigned long long>(log_page_writes),
+      static_cast<unsigned long long>(log_syncs),
+      static_cast<unsigned long long>(checkpoints),
+      static_cast<unsigned long long>(checkpoint_pages));
+}
+
+WalManager::WalManager(StorageDevice* log_device, BufferPool* pool,
+                       const Options& options)
+    : log_device_(log_device),
+      pool_(pool),
+      writer_(log_device),
+      options_(options) {}
+
+Status WalManager::Initialize(uint64_t epoch) {
+  return writer_.Reset(epoch);
+}
+
+Status WalManager::BeginTransaction() {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "write-ahead log is in a failed state; reopen the database");
+  }
+  ++txn_depth_;
+  return Status::OK();
+}
+
+Status WalManager::CommitTransaction() {
+  if (txn_depth_ == 0) {
+    return Status::FailedPrecondition("commit without matching begin");
+  }
+  if (txn_depth_ > 1) {
+    --txn_depth_;
+    return Status::OK();
+  }
+  Status s = CommitTopLevel();
+  txn_depth_ = 0;
+  if (s.ok() && options_.checkpoint_threshold_bytes != 0 &&
+      writer_.next_lsn() > options_.checkpoint_threshold_bytes) {
+    s = Checkpoint();
+  }
+  return s;
+}
+
+Status WalManager::AbortTransaction() {
+  if (txn_depth_ == 0) {
+    return Status::FailedPrecondition("abort without matching begin");
+  }
+  --txn_depth_;
+  if (txn_depth_ == 0 && !broken_) {
+    // Redo-only log: the in-memory partial effects stay (exactly the
+    // pre-WAL failure behaviour), but none of them were logged, so a
+    // crash-and-recover still lands on the last committed state.
+    snapshots_.clear();
+    txn_dirty_.clear();
+  }
+  return Status::OK();
+}
+
+Status WalManager::CommitTopLevel() {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "write-ahead log is in a failed state; reopen the database");
+  }
+  if (precommit_hook_) {
+    Status s = precommit_hook_();
+    if (!s.ok()) return s;
+  }
+
+  // Diff every dirtied page against its pre-image. Absolute byte ranges
+  // replayed in log order are idempotent, so recovery needs no page LSNs
+  // on the device.
+  struct Delta {
+    PageId page_id;
+    uint32_t offset;
+    const uint8_t* data;
+    uint32_t length;
+  };
+  std::vector<Delta> deltas;
+  deltas.reserve(txn_dirty_.size());
+  for (PageId page_id : txn_dirty_) {
+    const uint8_t* cur = pool_->PeekPage(page_id);
+    if (cur == nullptr) {
+      // No-steal (CanEvict) keeps every transaction page resident; a miss
+      // here means the invariant broke.
+      broken_ = true;
+      return Status::Internal(
+          StringPrintf("transaction page %u left the buffer pool before "
+                       "commit",
+                       page_id));
+    }
+    auto snap_it = snapshots_.find(page_id);
+    if (snap_it == snapshots_.end()) {
+      // Page was never observed before the first write (freshly allocated
+      // inside the transaction): log the whole page.
+      deltas.push_back(Delta{page_id, 0, cur, kPageSize});
+      continue;
+    }
+    const uint8_t* old =
+        reinterpret_cast<const uint8_t*>(snap_it->second.data());
+    uint32_t first = 0;
+    while (first < kPageSize && cur[first] == old[first]) ++first;
+    if (first == kPageSize) continue;  // Dirtied but byte-identical.
+    uint32_t last = kPageSize;
+    while (last > first && cur[last - 1] == old[last - 1]) --last;
+    deltas.push_back(Delta{page_id, first, cur + first, last - first});
+  }
+
+  if (deltas.empty()) {
+    ++stats_.empty_commits;
+    snapshots_.clear();
+    txn_dirty_.clear();
+    return Status::OK();
+  }
+
+  const uint64_t txn_id = next_txn_id_++;
+  LogRecord rec;
+  rec.txn_id = txn_id;
+  rec.type = LogRecordType::kBegin;
+  Status s = writer_.Append(rec);
+  uint64_t end_lsn = 0;
+  if (s.ok()) {
+    for (const Delta& d : deltas) {
+      LogRecord w;
+      w.type = LogRecordType::kPageWrite;
+      w.txn_id = txn_id;
+      w.page_id = d.page_id;
+      w.offset = d.offset;
+      w.bytes.assign(reinterpret_cast<const char*>(d.data), d.length);
+      s = writer_.Append(w);
+      if (!s.ok()) break;
+      stats_.delta_bytes += d.length;
+    }
+  }
+  if (s.ok()) {
+    LogRecord commit;
+    commit.type = LogRecordType::kCommit;
+    commit.txn_id = txn_id;
+    s = writer_.Append(commit, &end_lsn);
+  }
+  if (s.ok()) {
+    s = options_.sync_on_commit ? writer_.Sync() : writer_.Flush();
+  }
+  if (!s.ok()) {
+    // The log device failed mid-commit. The transaction's pages must
+    // never reach the database device now (their deltas may be only
+    // partially logged), so freeze the protection set and refuse all
+    // further work.
+    broken_ = true;
+    return s;
+  }
+
+  // Stamp the commit record's end LSN onto every changed page: the flush
+  // invariant (BeforePageFlush) then guarantees no page overtakes its
+  // commit record onto the device, even in group-commit mode.
+  for (const Delta& d : deltas) pool_->SetPageLsn(d.page_id, end_lsn);
+
+  ++stats_.transactions;
+  stats_.records += 2 + deltas.size();
+  stats_.log_page_writes = writer_.page_writes();
+  stats_.log_syncs = writer_.syncs();
+  snapshots_.clear();
+  txn_dirty_.clear();
+  return Status::OK();
+}
+
+Status WalManager::Checkpoint() {
+  if (txn_depth_ > 0) {
+    return Status::FailedPrecondition("checkpoint inside a transaction");
+  }
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "write-ahead log is in a failed state; reopen the database");
+  }
+  // Make every committed record durable before its pages can be flushed
+  // (group-commit mode may still hold records in memory).
+  Status s = writer_.Sync();
+  if (!s.ok()) {
+    broken_ = true;
+    return s;
+  }
+  size_t dirty = pool_->DirtyPageIds().size();
+  FIELDREP_RETURN_IF_ERROR(pool_->FlushAll());
+  FIELDREP_RETURN_IF_ERROR(pool_->SyncDevice());
+  // Every logged effect is now on the database device: the log content is
+  // dead. Start the next epoch, which logically truncates it.
+  FIELDREP_RETURN_IF_ERROR(writer_.Reset(writer_.epoch() + 1));
+  ++stats_.checkpoints;
+  stats_.checkpoint_pages += dirty;
+  stats_.log_page_writes = writer_.page_writes();
+  stats_.log_syncs = writer_.syncs();
+  return Status::OK();
+}
+
+void WalManager::OnPageAccess(PageId page_id, const uint8_t* data) {
+  if (txn_depth_ == 0 || broken_) return;
+  if (snapshots_.count(page_id) != 0) return;
+  // Only pages the transaction later dirties need their pre-image, but
+  // we cannot know which those are yet; the map is cleared at commit so
+  // the cost is bounded by the transaction's working set.
+  snapshots_.emplace(page_id,
+                     std::string(reinterpret_cast<const char*>(data),
+                                 kPageSize));
+}
+
+void WalManager::OnPageDirtied(PageId page_id) {
+  if (txn_depth_ == 0 || broken_) return;
+  txn_dirty_.insert(page_id);
+}
+
+bool WalManager::CanEvict(PageId page_id) const {
+  // No-steal: pages carrying uncommitted (or unloggable, once broken)
+  // transaction writes must not reach the device.
+  return txn_dirty_.count(page_id) == 0;
+}
+
+Status WalManager::BeforePageFlush(PageId /*page_id*/, uint64_t page_lsn) {
+  if (page_lsn == 0 || page_lsn <= writer_.durable_lsn()) {
+    return Status::OK();
+  }
+  // Write-ahead rule: the log must be durable through this page's last
+  // commit record before the page itself may be written.
+  Status s = writer_.Sync();
+  if (!s.ok()) broken_ = true;
+  stats_.log_syncs = writer_.syncs();
+  stats_.log_page_writes = writer_.page_writes();
+  return s;
+}
+
+WalTransaction::WalTransaction(WalManager* wal) : wal_(wal) {
+  if (wal_ == nullptr) return;
+  begin_status_ = wal_->BeginTransaction();
+  active_ = begin_status_.ok();
+}
+
+WalTransaction::~WalTransaction() {
+  if (active_) wal_->AbortTransaction().ok();
+}
+
+Status WalTransaction::Commit() {
+  if (!active_) return Status::OK();
+  active_ = false;
+  return wal_->CommitTransaction();
+}
+
+}  // namespace fieldrep

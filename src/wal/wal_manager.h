@@ -1,0 +1,171 @@
+#ifndef FIELDREP_WAL_WAL_MANAGER_H_
+#define FIELDREP_WAL_WAL_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "wal/log_writer.h"
+
+namespace fieldrep {
+
+/// Counters describing write-ahead-log activity.
+struct WalStats {
+  uint64_t transactions = 0;     ///< Committed transactions.
+  uint64_t empty_commits = 0;    ///< Commits that changed no page bytes.
+  uint64_t records = 0;          ///< Log records appended.
+  uint64_t delta_bytes = 0;      ///< Payload bytes of page-write records.
+  uint64_t log_page_writes = 0;  ///< Pages written to the log device.
+  uint64_t log_syncs = 0;        ///< Sync calls on the log device.
+  uint64_t checkpoints = 0;      ///< Completed checkpoints.
+  uint64_t checkpoint_pages = 0; ///< Dirty pages flushed by checkpoints.
+
+  std::string ToString() const;
+};
+
+/// \brief The durability engine: redo-only write-ahead logging with
+/// no-steal buffering and epoch-based log truncation.
+///
+/// One logical mutation (an object update plus its entire replica
+/// propagation along the inverted path, Section 4.2 of the paper) runs
+/// inside a transaction bracket. While the transaction is open the
+/// manager, hooked into the BufferPool as its PageObserver,
+///
+///   - snapshots each page's pre-image on first access,
+///   - tracks the set of pages the mutation dirtied, and
+///   - vetoes eviction of those pages (no-steal: uncommitted bytes never
+///     reach the device).
+///
+/// At commit it writes a Begin record, one physiological redo record per
+/// changed byte range (computed by diffing each dirtied page against its
+/// snapshot), and a Commit record, then (by default) syncs the log. Only
+/// after the log is durable may the pages themselves be flushed — the
+/// flush-ordering invariant, enforced through BeforePageFlush and the
+/// per-frame page LSN. Recovery replays exactly the committed
+/// transactions, so a crash anywhere inside a propagation yields either
+/// the fully-old or fully-new replica state.
+///
+/// Checkpointing is driven by the pool's dirty-frame table: flush the
+/// dirty pages (their log records are already durable), sync the
+/// database device, then start a fresh log epoch — which logically
+/// truncates the log without a device truncate.
+class WalManager : public PageObserver {
+ public:
+  struct Options {
+    /// Sync the log on every commit. When false (group commit), records
+    /// stay buffered until a page flush forces them out; a crash may lose
+    /// recently committed transactions but never atomicity.
+    bool sync_on_commit = true;
+    /// Auto-checkpoint when the log grows past this many bytes at the end
+    /// of a commit (0 = never).
+    uint64_t checkpoint_threshold_bytes = 0;
+  };
+
+  /// \param log_device backing store of the log (not owned).
+  /// \param pool the buffer pool this manager observes (not owned).
+  WalManager(StorageDevice* log_device, BufferPool* pool,
+             const Options& options);
+
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Starts the first epoch of this process lifetime. `epoch` must exceed
+  /// every epoch already on the log device (recovery reports the old one).
+  Status Initialize(uint64_t epoch);
+
+  /// Hook run inside commit, before deltas are computed. The database
+  /// uses it to write its catalog/metadata state into the checkpoint
+  /// pages so that every commit is self-describing after replay.
+  void set_precommit_hook(std::function<Status()> hook) {
+    precommit_hook_ = std::move(hook);
+  }
+
+  // --- Transactions (flat nesting) -------------------------------------------
+
+  Status BeginTransaction();
+  /// Logs and (optionally) syncs the outermost transaction's deltas.
+  /// On a log-device failure the manager enters a broken state: the
+  /// affected pages stay pinned in memory forever and every later
+  /// transaction fails fast, so no uncommitted byte can reach the device.
+  Status CommitTransaction();
+  /// Discards the transaction bracket. Redo-only logging has no undo:
+  /// in-memory partial effects of a failed mutation remain (as before
+  /// this subsystem existed); the log simply never commits them, so a
+  /// crash still recovers to the last committed state.
+  Status AbortTransaction();
+  bool in_transaction() const { return txn_depth_ > 0; }
+
+  // --- Checkpoint ------------------------------------------------------------
+
+  /// Flushes the pool's dirty frames, syncs the database device, and
+  /// begins a fresh log epoch.
+  Status Checkpoint();
+
+  // --- Introspection ---------------------------------------------------------
+
+  const WalStats& stats() const { return stats_; }
+  uint64_t epoch() const { return writer_.epoch(); }
+  uint64_t durable_lsn() const { return writer_.durable_lsn(); }
+  uint64_t log_bytes() const { return writer_.next_lsn(); }
+  bool broken() const { return broken_; }
+
+  // --- PageObserver ----------------------------------------------------------
+
+  void OnPageAccess(PageId page_id, const uint8_t* data) override;
+  void OnPageDirtied(PageId page_id) override;
+  bool CanEvict(PageId page_id) const override;
+  Status BeforePageFlush(PageId page_id, uint64_t page_lsn) override;
+
+ private:
+  Status CommitTopLevel();
+
+  StorageDevice* log_device_;
+  BufferPool* pool_;
+  LogWriter writer_;
+  Options options_;
+  std::function<Status()> precommit_hook_;
+
+  int txn_depth_ = 0;
+  uint64_t next_txn_id_ = 1;
+  /// Pre-images of pages first accessed inside the open transaction.
+  std::unordered_map<PageId, std::string> snapshots_;
+  /// Pages dirtied inside the open transaction (ordered: deterministic
+  /// log layout). Also the no-steal protection set; on log failure it is
+  /// frozen into `broken_` state.
+  std::set<PageId> txn_dirty_;
+  bool broken_ = false;
+
+  WalStats stats_;
+};
+
+/// \brief RAII transaction bracket.
+///
+/// Begins a (possibly nested) transaction on construction; the destructor
+/// aborts unless Commit() ran. A null manager makes every operation a
+/// no-op, so call sites need not test whether WAL is enabled.
+class WalTransaction {
+ public:
+  explicit WalTransaction(WalManager* wal);
+  ~WalTransaction();
+
+  WalTransaction(const WalTransaction&) = delete;
+  WalTransaction& operator=(const WalTransaction&) = delete;
+
+  /// Status of the BeginTransaction call; check before doing work.
+  const Status& begin_status() const { return begin_status_; }
+  Status Commit();
+
+ private:
+  WalManager* wal_;
+  bool active_ = false;
+  Status begin_status_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_WAL_WAL_MANAGER_H_
