@@ -36,7 +36,9 @@ struct World {
 World Build(bool collapsed, uint32_t heads, uint32_t mids, uint32_t terms,
             bool uniform_values, bool cluster_links = false) {
   World world;
-  auto db_or = Database::Open({.buffer_pool_frames = 32768, .file_path = ""});
+  Database::Options db_options;
+  db_options.buffer_pool_frames = 32768;
+  auto db_or = Database::Open(db_options);
   if (!db_or.ok()) std::exit(1);
   world.db = std::move(db_or).value();
   Database& db = *world.db;

@@ -99,7 +99,9 @@ BENCHMARK(BM_ObjectSerialize);
 /// heads: the propagation fan-out the paper's update cost is made of.
 void BM_PropagateUpdate(benchmark::State& state) {
   const int f = static_cast<int>(state.range(0));
-  auto db_or = Database::Open({.buffer_pool_frames = 8192, .file_path = ""});
+  Database::Options db_options;
+  db_options.buffer_pool_frames = 8192;
+  auto db_or = Database::Open(db_options);
   if (!db_or.ok()) {
     state.SkipWithError("open failed");
     return;

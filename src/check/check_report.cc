@@ -1,0 +1,118 @@
+#include "check/check_report.h"
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+const char* CheckSeverityName(CheckSeverity severity) {
+  switch (severity) {
+    case CheckSeverity::kInfo:
+      return "INFO";
+    case CheckSeverity::kWarning:
+      return "WARNING";
+    case CheckSeverity::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+const char* CheckLayerName(CheckLayer layer) {
+  switch (layer) {
+    case CheckLayer::kStorage:
+      return "storage";
+    case CheckLayer::kIndex:
+      return "index";
+    case CheckLayer::kCatalog:
+      return "catalog";
+    case CheckLayer::kReplication:
+      return "replication";
+    case CheckLayer::kWal:
+      return "wal";
+  }
+  return "unknown";
+}
+
+std::string CheckFinding::ToString() const {
+  std::string out = StringPrintf("[%s] %s: ", CheckSeverityName(severity),
+                                 CheckLayerName(layer));
+  if (!context.empty()) {
+    out += context;
+    out += ": ";
+  }
+  out += message;
+  if (page_id != kInvalidPageId) {
+    out += StringPrintf(" (page %u)", page_id);
+  }
+  if (oid.valid()) {
+    out += " [";
+    out += oid.ToString();
+    out += "]";
+  }
+  return out;
+}
+
+void CheckReport::Add(CheckFinding finding) {
+  findings.push_back(std::move(finding));
+}
+
+namespace {
+CheckFinding MakeFinding(CheckSeverity severity, CheckLayer layer,
+                         std::string context, std::string message,
+                         PageId page_id, Oid oid) {
+  CheckFinding f;
+  f.severity = severity;
+  f.layer = layer;
+  f.context = std::move(context);
+  f.message = std::move(message);
+  f.page_id = page_id;
+  f.oid = oid;
+  return f;
+}
+}  // namespace
+
+void CheckReport::AddError(CheckLayer layer, std::string context,
+                           std::string message, PageId page_id, Oid oid) {
+  Add(MakeFinding(CheckSeverity::kError, layer, std::move(context),
+                  std::move(message), page_id, oid));
+}
+
+void CheckReport::AddWarning(CheckLayer layer, std::string context,
+                             std::string message, PageId page_id, Oid oid) {
+  Add(MakeFinding(CheckSeverity::kWarning, layer, std::move(context),
+                  std::move(message), page_id, oid));
+}
+
+void CheckReport::AddInfo(CheckLayer layer, std::string context,
+                          std::string message, PageId page_id, Oid oid) {
+  Add(MakeFinding(CheckSeverity::kInfo, layer, std::move(context),
+                  std::move(message), page_id, oid));
+}
+
+size_t CheckReport::error_count() const {
+  size_t n = 0;
+  for (const CheckFinding& f : findings) {
+    if (f.severity == CheckSeverity::kError) ++n;
+  }
+  return n;
+}
+
+size_t CheckReport::warning_count() const {
+  size_t n = 0;
+  for (const CheckFinding& f : findings) {
+    if (f.severity == CheckSeverity::kWarning) ++n;
+  }
+  return n;
+}
+
+std::string CheckReport::ToString() const {
+  std::string out;
+  for (const CheckFinding& f : findings) {
+    out += f.ToString();
+    out += "\n";
+  }
+  out += StringPrintf("%zu finding(s): %zu error(s), %zu warning(s)\n",
+                      findings.size(), error_count(), warning_count());
+  return out;
+}
+
+}  // namespace fieldrep

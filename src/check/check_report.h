@@ -1,0 +1,88 @@
+#ifndef FIELDREP_CHECK_CHECK_REPORT_H_
+#define FIELDREP_CHECK_CHECK_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/oid.h"
+#include "storage/page.h"
+
+namespace fieldrep {
+
+/// \file
+/// Structured findings produced by the offline integrity checker
+/// (IntegrityChecker, surfaced as Database::CheckIntegrity and the
+/// fieldrep_fsck tool). A finding pins a violated invariant to the layer
+/// it belongs to and, when known, the page or object involved, so that a
+/// corruption in (say) a link set is reported where it lives rather than
+/// as a cascade of downstream query failures.
+
+enum class CheckSeverity : uint8_t {
+  kInfo = 0,     ///< Observation, not a defect (e.g. pending propagations).
+  kWarning = 1,  ///< Degraded but recoverable (e.g. S' clustering decayed).
+  kError = 2,    ///< Structural invariant violated; data may be wrong.
+};
+
+enum class CheckLayer : uint8_t {
+  kStorage = 0,      ///< Page headers, slot directories, file linkage.
+  kIndex = 1,        ///< B+ tree ordering, fanout, leaf chains.
+  kCatalog = 2,      ///< Type/set/path definitions and object typing.
+  kReplication = 3,  ///< Forward refs vs. inverted paths vs. replicas.
+  kWal = 4,          ///< Log header, epochs, committed-tail replayability.
+};
+
+const char* CheckSeverityName(CheckSeverity severity);
+const char* CheckLayerName(CheckLayer layer);
+
+struct CheckFinding {
+  CheckSeverity severity = CheckSeverity::kError;
+  CheckLayer layer = CheckLayer::kStorage;
+  /// Page the violation was observed on, or kInvalidPageId.
+  PageId page_id = kInvalidPageId;
+  /// Object involved, or an invalid Oid.
+  Oid oid;
+  /// What was being checked, e.g. a set name or path spec.
+  std::string context;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+struct CheckReport {
+  std::vector<CheckFinding> findings;
+
+  void Add(CheckFinding finding);
+  void AddError(CheckLayer layer, std::string context, std::string message,
+                PageId page_id = kInvalidPageId, Oid oid = Oid());
+  void AddWarning(CheckLayer layer, std::string context, std::string message,
+                  PageId page_id = kInvalidPageId, Oid oid = Oid());
+  void AddInfo(CheckLayer layer, std::string context, std::string message,
+               PageId page_id = kInvalidPageId, Oid oid = Oid());
+
+  size_t error_count() const;
+  size_t warning_count() const;
+
+  /// True when no kError findings were recorded (warnings allowed).
+  bool ok() const { return error_count() == 0; }
+
+  /// Human-readable listing, one finding per line, plus a summary line.
+  std::string ToString() const;
+};
+
+/// Which layers to verify; all on by default. `max_findings` bounds the
+/// report so a badly corrupted file cannot produce an unbounded listing
+/// (checking stops early once reached).
+struct CheckOptions {
+  bool check_storage = true;
+  bool check_indexes = true;
+  bool check_catalog = true;
+  bool check_replication = true;
+  bool check_wal = true;
+  bool include_info = false;
+  size_t max_findings = 1000;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_CHECK_CHECK_REPORT_H_

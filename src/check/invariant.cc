@@ -1,0 +1,18 @@
+#include "check/invariant.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fieldrep {
+namespace check {
+
+void InvariantFailure(const char* file, int line, const char* condition,
+                      const char* message) {
+  std::fprintf(stderr, "fieldrep invariant violated at %s:%d: %s\n  (%s)\n",
+               file, line, message, condition);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check
+}  // namespace fieldrep

@@ -1,0 +1,39 @@
+#ifndef FIELDREP_CHECK_INVARIANT_H_
+#define FIELDREP_CHECK_INVARIANT_H_
+
+namespace fieldrep {
+namespace check {
+
+/// Prints a diagnostic for a violated invariant and aborts. Out of line so
+/// the macro below expands to almost nothing at call sites.
+[[noreturn]] void InvariantFailure(const char* file, int line,
+                                   const char* condition, const char* message);
+
+}  // namespace check
+}  // namespace fieldrep
+
+/// FIELDREP_INVARIANT(cond, "message") — hot-path structural invariant.
+///
+/// Unlike assert(), failures identify the invariant in engine terms (what
+/// structure was inconsistent) rather than just the expression, and the
+/// macro can be force-enabled in optimized builds with
+/// -DFIELDREP_ENABLE_INVARIANTS for soak testing. In release builds it
+/// compiles away entirely; invariants must therefore never have side
+/// effects. The offline checker (IntegrityChecker) verifies the same
+/// invariants exhaustively; these are the cheap inline subset guarding the
+/// mutation paths that could silently plant corruption.
+#if !defined(NDEBUG) || defined(FIELDREP_ENABLE_INVARIANTS)
+#define FIELDREP_INVARIANT(cond, message)                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::fieldrep::check::InvariantFailure(__FILE__, __LINE__, #cond,       \
+                                          (message));                      \
+    }                                                                      \
+  } while (false)
+#else
+#define FIELDREP_INVARIANT(cond, message) \
+  do {                                    \
+  } while (false)
+#endif
+
+#endif  // FIELDREP_CHECK_INVARIANT_H_

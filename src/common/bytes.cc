@@ -1,5 +1,7 @@
 #include "common/bytes.h"
 
+#include <array>
+
 namespace fieldrep {
 
 namespace {
@@ -9,7 +11,29 @@ void PutFixed(std::string* out, T v) {
   std::memcpy(buf, &v, sizeof(T));
   out->append(buf, sizeof(T));
 }
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) != 0 ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
 }  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 void PutU16(std::string* out, uint16_t v) { PutFixed(out, v); }
 void PutU32(std::string* out, uint32_t v) { PutFixed(out, v); }

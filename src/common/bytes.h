@@ -60,6 +60,11 @@ void PutF64(std::string* out, double v);
 /// Appends a u32 length prefix followed by the bytes of `s`.
 void PutLengthPrefixed(std::string* out, const std::string& s);
 
+/// CRC-32 (the standard reflected 0xEDB88320 polynomial) of `size` bytes.
+/// Used by the write-ahead log to frame records and by the storage layer
+/// for per-page checksums.
+uint32_t Crc32(const void* data, size_t size);
+
 /// \brief Sequential reader over an encoded byte buffer.
 ///
 /// Get* methods return false (and leave the output untouched) when the

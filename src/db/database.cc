@@ -3,15 +3,22 @@
 #include <algorithm>
 #include <cstring>
 
+#include "check/integrity_checker.h"
 #include "common/bytes.h"
 #include "common/strings.h"
+#include "storage/slotted_page.h"
 
 namespace fieldrep {
 
 namespace {
 // Header page (page 0) layout: 8-byte magic, u64 blob size, u32 blob page
 // count, then that many u32 page ids.
-constexpr char kHeaderMagic[8] = {'F', 'R', 'E', 'P', '0', '0', '0', '1'};
+// Format v2: checkpoint blob pages carry a 40-byte kMeta page header (with
+// a per-page checksum) instead of raw full-page chunks.
+constexpr char kHeaderMagic[8] = {'F', 'R', 'E', 'P', '0', '0', '0', '2'};
+
+// Blob bytes stored per meta page: everything after the page header.
+constexpr size_t kMetaChunkBytes = kPageSize - kPageHeaderBytes;
 }  // namespace
 
 Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
@@ -49,6 +56,7 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
     FIELDREP_RETURN_IF_ERROR(RecoveryManager::Recover(
         db->device_, wal_device, &db->recovery_stats_));
   }
+  db->wal_device_ = wal_device;
   bool restore = db->device_->page_count() > 0;
 
   size_t frames = options.buffer_pool_frames == 0 ? 1
@@ -194,8 +202,10 @@ Status Database::WriteStateToMetaPages() {
   catalog_.EncodeTo(&blob);
   blob += EncodeState();
 
-  // Lay the blob across whole pages, reusing prior checkpoint pages.
-  size_t pages_needed = (blob.size() + kPageSize - 1) / kPageSize;
+  // Lay the blob across kMeta pages, reusing prior checkpoint pages. Each
+  // page holds a header (type, chunk index, chunk length, checksum slot)
+  // followed by one kMetaChunkBytes chunk of the blob.
+  size_t pages_needed = (blob.size() + kMetaChunkBytes - 1) / kMetaChunkBytes;
   while (meta_pages_.size() < pages_needed) {
     PageGuard guard;
     FIELDREP_RETURN_IF_ERROR(pool_->NewPage(&guard));
@@ -205,10 +215,16 @@ Status Database::WriteStateToMetaPages() {
   for (size_t i = 0; i < pages_needed; ++i) {
     PageGuard guard;
     FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(meta_pages_[i], &guard));
-    size_t offset = i * kPageSize;
-    size_t n = std::min<size_t>(kPageSize, blob.size() - offset);
-    std::memcpy(guard.data(), blob.data() + offset, n);
-    if (n < kPageSize) std::memset(guard.data() + n, 0, kPageSize - n);
+    size_t offset = i * kMetaChunkBytes;
+    size_t n = std::min<size_t>(kMetaChunkBytes, blob.size() - offset);
+    std::memset(guard.data(), 0, kPageSize);
+    uint16_t type = static_cast<uint16_t>(PageType::kMeta);
+    std::memcpy(guard.data(), &type, sizeof(type));
+    uint32_t chunk_index = static_cast<uint32_t>(i);
+    uint32_t chunk_len = static_cast<uint32_t>(n);
+    std::memcpy(guard.data() + 4, &chunk_index, sizeof(chunk_index));
+    std::memcpy(guard.data() + 8, &chunk_len, sizeof(chunk_len));
+    std::memcpy(guard.data() + kPageHeaderBytes, blob.data() + offset, n);
     guard.MarkDirty();
   }
   // Header page.
@@ -301,12 +317,34 @@ Status Database::RestoreFromDevice() {
   for (uint32_t i = 0; i < page_count; ++i) {
     PageGuard guard;
     FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(meta_pages_[i], &guard));
-    size_t n = std::min<uint64_t>(kPageSize, blob_size - blob.size());
-    blob.append(reinterpret_cast<const char*>(guard.data()), n);
+    if (DecodeU16(guard.data()) != static_cast<uint16_t>(PageType::kMeta)) {
+      return Status::Corruption(StringPrintf(
+          "checkpoint page %u is not a meta page", meta_pages_[i]));
+    }
+    size_t n = std::min<uint64_t>(kMetaChunkBytes, blob_size - blob.size());
+    blob.append(reinterpret_cast<const char*>(guard.data()) + kPageHeaderBytes,
+                n);
   }
   ByteReader reader(blob);
   FIELDREP_RETURN_IF_ERROR(catalog_.DecodeFrom(&reader));
   return DecodeState(&reader);
+}
+
+std::vector<FileId> Database::AuxFileIds() const {
+  std::vector<FileId> ids;
+  ids.reserve(aux_files_.size());
+  for (const auto& [file_id, file] : aux_files_) ids.push_back(file_id);
+  return ids;
+}
+
+Status Database::CheckIntegrity(const CheckOptions& options,
+                                CheckReport* report) {
+  IntegrityChecker checker(this, options);
+  return checker.Run(report);
+}
+
+Status Database::CheckIntegrity(CheckReport* report) {
+  return CheckIntegrity(CheckOptions(), report);
 }
 
 Status Database::DefineType(TypeDescriptor type) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "check/check_report.h"
 #include "common/status.h"
 #include "index/index_manager.h"
 #include "objects/set_provider.h"
@@ -132,6 +133,19 @@ class Database : public SetProvider {
   /// the space-overhead picture Section 4.2 discusses.
   std::string StorageReport();
 
+  // --- Integrity ---------------------------------------------------------------
+
+  /// Verifies structural invariants bottom-up — page/slot structure and
+  /// checksums, B+ tree ordering, catalog/object typing, replication
+  /// mirrors (link objects, replica slots, S' files), WAL state — and
+  /// appends findings to `report`. Read-only: nothing is repaired and
+  /// deferred propagations are not flushed. The returned status reports
+  /// checker failures only; corruption is expressed as findings
+  /// (`report->ok()`). Used by fieldrep_fsck and by tests as a closing
+  /// assertion.
+  Status CheckIntegrity(const CheckOptions& options, CheckReport* report);
+  Status CheckIntegrity(CheckReport* report);
+
   // --- Component access --------------------------------------------------------
 
   Catalog& catalog() { return catalog_; }
@@ -142,6 +156,11 @@ class Database : public SetProvider {
   Executor& executor() { return *executor_; }
   /// Null when the database was opened without `enable_wal`.
   WalManager* wal() { return wal_.get(); }
+  /// The log's backing device; null without `enable_wal`.
+  StorageDevice* wal_device() { return wal_device_; }
+  /// File ids of all auxiliary files (link sets, replica sets, output
+  /// files) currently open, in id order.
+  std::vector<FileId> AuxFileIds() const;
   /// What recovery did at Open (all zeros when WAL is off).
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
 
@@ -173,6 +192,7 @@ class Database : public SetProvider {
   // must be torn down while the WAL manager it observes — and the devices
   // both of them write to — are still alive.
   StorageDevice* device_ = nullptr;
+  StorageDevice* wal_device_ = nullptr;
   std::unique_ptr<StorageDevice> owned_device_;
   std::unique_ptr<StorageDevice> owned_wal_device_;
   std::unique_ptr<WalManager> wal_;

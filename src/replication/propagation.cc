@@ -300,16 +300,34 @@ Status ReplicationManager::ReadReplicatedValues(
 // Verification
 // ---------------------------------------------------------------------------
 
-Status ReplicationManager::VerifyPathConsistency(uint16_t path_id) {
+Status ReplicationManager::VerifyPathToReport(uint16_t path_id,
+                                              CheckReport* report) {
   const ReplicationPathInfo* path_ptr = catalog_->GetPath(path_id);
   if (path_ptr == nullptr) {
     return Status::NotFound(StringPrintf("no replication path %u", path_id));
   }
   const ReplicationPathInfo& path = *path_ptr;
+  const std::string context = "path " + path.spec;
+
+  // Read-only mode never drains the deferred queue; queued propagations
+  // make value lag legitimate, so value comparisons are skipped (link
+  // maintenance stays eager even in deferred mode and is still checked).
+  bool values_lagging = false;
   if (path.deferred) {
-    // Deferred mode's invariant is "consistent after a flush".
-    FIELDREP_RETURN_IF_ERROR(FlushPendingPropagation(path_id));
+    for (const auto& [pending_path, terminal] : pending_) {
+      (void)terminal;
+      if (pending_path == path_id) {
+        values_lagging = true;
+        break;
+      }
+    }
+    if (values_lagging) {
+      report->AddInfo(CheckLayer::kReplication, context,
+                      "deferred propagations pending; replica values not "
+                      "compared");
+    }
   }
+
   FIELDREP_ASSIGN_OR_RETURN(ObjectSet * head_set,
                             sets_->GetSet(path.bound.set_name));
   std::vector<Oid> heads;
@@ -335,17 +353,21 @@ Status ReplicationManager::VerifyPathConsistency(uint16_t path_id) {
     }
 
     // Expected replica values by forward traversal.
-    std::vector<Value> expected;
-    FIELDREP_RETURN_IF_ERROR(ReadTerminalValues(path, chain[n], &ctx,
-                                                &expected));
     Object* head_img;
     FIELDREP_RETURN_IF_ERROR(ctx.Get(head, &head_img));
-    std::vector<Value> actual;
-    FIELDREP_RETURN_IF_ERROR(ReadReplicatedValues(path, *head_img, &actual));
-    if (actual != expected) {
-      return Status::Internal(
-          "replica mismatch at head " + head.ToString() + " on path " +
-          path.spec);
+    if (!values_lagging) {
+      std::vector<Value> expected;
+      FIELDREP_RETURN_IF_ERROR(ReadTerminalValues(path, chain[n], &ctx,
+                                                  &expected));
+      std::vector<Value> actual;
+      FIELDREP_RETURN_IF_ERROR(ReadReplicatedValues(path, *head_img,
+                                                    &actual));
+      if (actual != expected) {
+        report->AddError(CheckLayer::kReplication, context,
+                         "stale replica: stored values disagree with "
+                         "forward traversal",
+                         kInvalidPageId, head);
+      }
     }
 
     // Link membership along the chain.
@@ -361,8 +383,10 @@ Status ReplicationManager::VerifyPathConsistency(uint16_t path_id) {
           if (entry.member == head && entry.tag == chain[1]) found = true;
         }
         if (!found) {
-          return Status::Internal("collapsed link missing entry for head " +
-                                  head.ToString());
+          report->AddError(CheckLayer::kReplication, context,
+                           "collapsed link object missing this head's "
+                           "tagged entry",
+                           kInvalidPageId, head);
         }
       }
     } else {
@@ -376,10 +400,13 @@ Status ReplicationManager::VerifyPathConsistency(uint16_t path_id) {
             ops_.GetMembers(path.link_sequence[i - 1], *owner, &members));
         if (!std::binary_search(members.begin(), members.end(),
                                 chain[i - 1])) {
-          return Status::Internal(StringPrintf(
-              "link %u of %s missing member %s in owner %s",
-              path.link_sequence[i - 1], path.spec.c_str(),
-              chain[i - 1].ToString().c_str(), chain[i].ToString().c_str()));
+          report->AddError(
+              CheckLayer::kReplication, context,
+              StringPrintf("link %u missing member %s in owner %s",
+                           path.link_sequence[i - 1],
+                           chain[i - 1].ToString().c_str(),
+                           chain[i].ToString().c_str()),
+              kInvalidPageId, head);
         }
       }
     }
@@ -393,8 +420,10 @@ Status ReplicationManager::VerifyPathConsistency(uint16_t path_id) {
       const ReplicaRefSlot* term_slot = terminal->FindReplicaRef(path.id);
       if (head_slot == nullptr || term_slot == nullptr ||
           head_slot->replica_oid != term_slot->replica_oid) {
-        return Status::Internal("replica ref divergence at head " +
-                                head.ToString());
+        report->AddError(CheckLayer::kReplication, context,
+                         "head and terminal disagree on the shared S' "
+                         "record",
+                         kInvalidPageId, head);
       }
     }
   }
@@ -412,11 +441,13 @@ Status ReplicationManager::VerifyPathConsistency(uint16_t path_id) {
       std::set<uint64_t> actual_set;
       for (const Oid& member : actual) actual_set.insert(member.Packed());
       if (actual_set != members) {
-        return Status::Internal(StringPrintf(
-            "link %u membership mismatch at owner %s: stored %zu members, "
-            "expected %zu",
-            path.link_sequence[li], owner.ToString().c_str(),
-            actual_set.size(), members.size()));
+        report->AddError(
+            CheckLayer::kReplication, context,
+            StringPrintf("link %u membership mismatch: stored %zu members, "
+                         "forward chains imply %zu",
+                         path.link_sequence[li], actual_set.size(),
+                         members.size()),
+            kInvalidPageId, owner);
       }
     }
   }
@@ -428,11 +459,32 @@ Status ReplicationManager::VerifyPathConsistency(uint16_t path_id) {
       FIELDREP_RETURN_IF_ERROR(ops_.ReadObject(terminal, &terminal_obj));
       const ReplicaRefSlot* slot = terminal_obj.FindReplicaRef(path.id);
       if (slot == nullptr || slot->refcount != count) {
-        return Status::Internal(StringPrintf(
-            "refcount mismatch at terminal %s: stored %u, expected %u",
-            terminal.ToString().c_str(),
-            slot == nullptr ? 0 : slot->refcount, count));
+        report->AddError(
+            CheckLayer::kReplication, context,
+            StringPrintf("refcount mismatch: stored %u, %u heads reach the "
+                         "terminal",
+                         slot == nullptr ? 0 : slot->refcount, count),
+            kInvalidPageId, terminal);
       }
+    }
+  }
+  return Status::OK();
+}
+
+Status ReplicationManager::VerifyPathConsistency(uint16_t path_id) {
+  const ReplicationPathInfo* path = catalog_->GetPath(path_id);
+  if (path == nullptr) {
+    return Status::NotFound(StringPrintf("no replication path %u", path_id));
+  }
+  if (path->deferred) {
+    // Deferred mode's invariant is "consistent after a flush".
+    FIELDREP_RETURN_IF_ERROR(FlushPendingPropagation(path_id));
+  }
+  CheckReport report;
+  FIELDREP_RETURN_IF_ERROR(VerifyPathToReport(path_id, &report));
+  for (const CheckFinding& finding : report.findings) {
+    if (finding.severity == CheckSeverity::kError) {
+      return Status::Internal(finding.ToString());
     }
   }
   return Status::OK();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "check/check_report.h"
 #include "common/status.h"
 #include "index/index_manager.h"
 #include "objects/object.h"
@@ -162,7 +163,16 @@ class ReplicationManager {
 
   /// Recomputes every head's replicated values by forward traversal and
   /// compares with the stored replicas; verifies link-object membership
-  /// both ways. Used by tests and the consistency checker example.
+  /// both ways. Inconsistencies are appended to `report` as kReplication
+  /// findings and checking continues; the returned status is non-OK only
+  /// when the traversal itself cannot run. Read-only: deferred paths with
+  /// queued propagations skip the value comparison (the lag is
+  /// legitimate) instead of flushing. Used by IntegrityChecker.
+  Status VerifyPathToReport(uint16_t path_id, CheckReport* report);
+
+  /// First-failure wrapper over VerifyPathToReport for tests: flushes a
+  /// deferred path's queue first, then fails with Internal on the first
+  /// error finding.
   Status VerifyPathConsistency(uint16_t path_id);
 
  private:

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/strings.h"
+#include "storage/checksum.h"
 
 namespace fieldrep {
 
@@ -111,6 +112,14 @@ Status BufferPool::FetchPage(PageId page_id, PageGuard* guard) {
     return s;
   }
   ++stats_.disk_reads;
+#ifndef NDEBUG
+  // Page 0 is the magic-prefixed database header, not a headered page.
+  if (page_id != 0 && !VerifyPageChecksum(frame.data.get())) {
+    free_frames_.push_back(frame_index);
+    return Status::Corruption(
+        StringPrintf("page %u failed checksum verification", page_id));
+  }
+#endif
   frame.page_id = page_id;
   frame.pin_count = 1;
   frame.page_lsn = 0;
@@ -153,6 +162,8 @@ Status BufferPool::WriteBackFrame(Frame& frame) {
     FIELDREP_RETURN_IF_ERROR(
         observer_->BeforePageFlush(frame.page_id, frame.page_lsn));
   }
+  // Page 0 is the magic-prefixed database header, not a headered page.
+  if (frame.page_id != 0) StampPageChecksum(frame.data.get());
   FIELDREP_RETURN_IF_ERROR(
       device_->WritePage(frame.page_id, frame.data.get()));
   ++stats_.disk_writes;

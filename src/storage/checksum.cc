@@ -1,0 +1,46 @@
+#include "storage/checksum.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "storage/slotted_page.h"
+
+namespace fieldrep {
+
+namespace {
+uint32_t StoredChecksum(const uint8_t* page) {
+  return DecodeU32(page + kPageChecksumOffset);
+}
+}  // namespace
+
+bool PageIsChecksummed(const uint8_t* page) {
+  uint16_t type = DecodeU16(page);
+  return type >= static_cast<uint16_t>(PageType::kHeap) &&
+         type <= static_cast<uint16_t>(PageType::kMeta);
+}
+
+uint32_t ComputePageChecksum(const uint8_t* page) {
+  // The checksum field itself is excluded so the stored value does not
+  // feed its own computation: CRC the header bytes before the field and
+  // the rest of the page after it, then mix the two.
+  constexpr uint32_t kTailOffset = kPageChecksumOffset + 4;
+  uint32_t head_crc = Crc32(page, kPageChecksumOffset);
+  uint32_t tail_crc = Crc32(page + kTailOffset, kPageSize - kTailOffset);
+  uint32_t combined = head_crc ^ (tail_crc * 0x9E3779B9u + 0x7F4A7C15u);
+  return combined == 0 ? 1 : combined;
+}
+
+void StampPageChecksum(uint8_t* page) {
+  if (!PageIsChecksummed(page)) return;
+  uint32_t crc = ComputePageChecksum(page);
+  std::memcpy(page + kPageChecksumOffset, &crc, sizeof(crc));
+}
+
+bool VerifyPageChecksum(const uint8_t* page) {
+  if (!PageIsChecksummed(page)) return true;
+  uint32_t stored = StoredChecksum(page);
+  if (stored == 0) return true;
+  return stored == ComputePageChecksum(page);
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,39 @@
+#include "storage/corrupting_device.h"
+
+#include <cstring>
+
+#include "storage/checksum.h"
+#include "storage/page.h"
+
+namespace fieldrep {
+
+Status CorruptingDevice::CorruptByte(PageId page_id, uint32_t offset,
+                                     uint8_t mask) {
+  if (offset >= kPageSize) {
+    return Status::InvalidArgument("corruption offset past page end");
+  }
+  uint8_t buf[kPageSize];
+  FIELDREP_RETURN_IF_ERROR(inner_->ReadPage(page_id, buf));
+  buf[offset] ^= mask;
+  return inner_->WritePage(page_id, buf);
+}
+
+Status CorruptingDevice::OverwriteBytes(PageId page_id, uint32_t offset,
+                                        const void* bytes, uint32_t len) {
+  if (offset + len > kPageSize) {
+    return Status::InvalidArgument("corruption range past page end");
+  }
+  uint8_t buf[kPageSize];
+  FIELDREP_RETURN_IF_ERROR(inner_->ReadPage(page_id, buf));
+  std::memcpy(buf + offset, bytes, len);
+  return inner_->WritePage(page_id, buf);
+}
+
+Status CorruptingDevice::RestampChecksum(PageId page_id) {
+  uint8_t buf[kPageSize];
+  FIELDREP_RETURN_IF_ERROR(inner_->ReadPage(page_id, buf));
+  StampPageChecksum(buf);
+  return inner_->WritePage(page_id, buf);
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,56 @@
+#ifndef FIELDREP_STORAGE_CORRUPTING_DEVICE_H_
+#define FIELDREP_STORAGE_CORRUPTING_DEVICE_H_
+
+#include "common/status.h"
+#include "storage/storage_device.h"
+
+namespace fieldrep {
+
+/// \brief Pass-through StorageDevice wrapper with a fault-injection API
+/// (test support for the integrity checker).
+///
+/// All I/O is forwarded to the wrapped device; CorruptByte() reaches past
+/// any open database and flips bits directly in the stored page image,
+/// simulating media corruption. Callers that want the damage to *survive*
+/// debug-build read verification (so a structural check above the storage
+/// layer gets to see it) restamp the page checksum afterwards with
+/// RestampChecksum().
+class CorruptingDevice : public StorageDevice {
+ public:
+  /// \param inner wrapped device (not owned).
+  explicit CorruptingDevice(StorageDevice* inner) : inner_(inner) {}
+
+  CorruptingDevice(const CorruptingDevice&) = delete;
+  CorruptingDevice& operator=(const CorruptingDevice&) = delete;
+
+  Status ReadPage(PageId page_id, void* buf) override {
+    return inner_->ReadPage(page_id, buf);
+  }
+  Status WritePage(PageId page_id, const void* buf) override {
+    return inner_->WritePage(page_id, buf);
+  }
+  Status AllocatePage(PageId* page_id) override {
+    return inner_->AllocatePage(page_id);
+  }
+  Status Sync() override { return inner_->Sync(); }
+  uint32_t page_count() const override { return inner_->page_count(); }
+
+  /// XORs `mask` into byte `offset` of the stored image of `page_id`
+  /// (read-modify-write through the wrapped device).
+  Status CorruptByte(PageId page_id, uint32_t offset, uint8_t mask);
+
+  /// Overwrites `len` bytes at `offset` of the stored image.
+  Status OverwriteBytes(PageId page_id, uint32_t offset, const void* bytes,
+                        uint32_t len);
+
+  /// Recomputes and stores the page checksum of `page_id`, making prior
+  /// corruption self-consistent (checksum-valid but structurally wrong).
+  Status RestampChecksum(PageId page_id);
+
+ private:
+  StorageDevice* inner_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_STORAGE_CORRUPTING_DEVICE_H_

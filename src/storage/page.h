@@ -17,6 +17,13 @@ inline constexpr uint32_t kPageSize = 4096;
 /// (see SlottedPage). kPageSize - kPageHeaderBytes == 4056 == the paper's B.
 inline constexpr uint32_t kPageHeaderBytes = 40;
 
+/// Offset of the per-page CRC-32 checksum inside the page header. The field
+/// is shared by every headered page type (heap, B+ tree, meta): the 40-byte
+/// header budget reserves bytes [36, 40) for it. A stored value of zero
+/// means "not yet stamped" (pages are checksummed when written back to the
+/// device, so a freshly formatted in-memory page carries no checksum).
+inline constexpr uint32_t kPageChecksumOffset = 36;
+
 /// The paper's B: bytes per page available for user data (slots + records).
 inline constexpr uint32_t kUserBytesPerPage = kPageSize - kPageHeaderBytes;
 

@@ -49,6 +49,7 @@ class RecordFile {
   uint32_t page_count() const { return page_count_; }
   uint64_t record_count() const { return record_count_; }
   PageId first_page() const { return first_page_; }
+  PageId last_page() const { return last_page_; }
 
   /// Reserves this many bytes of page free space per resident record so
   /// records can later grow in place (e.g. when replication adds hidden

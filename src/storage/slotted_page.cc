@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "check/invariant.h"
 #include "common/bytes.h"
 
 namespace fieldrep {
@@ -132,6 +133,9 @@ int SlottedPage::Insert(const uint8_t* payload, uint32_t size) {
   if (new_slot) set_slot_count(slot_count() + 1);
   SetSlot(slot, offset, static_cast<uint16_t>(size));
   set_live_count(live_count() + 1);
+  FIELDREP_INVARIANT(
+      kPageHeaderBytes + slot_count() * kSlotBytes <= cell_start(),
+      "slot directory ran into the cell area");
   return slot;
 }
 
@@ -196,6 +200,8 @@ bool SlottedPage::Delete(uint16_t slot) {
   uint16_t n = slot_count();
   while (n > 0 && SlotOffset(n - 1) == 0) --n;
   set_slot_count(n);
+  FIELDREP_INVARIANT(live_count() <= slot_count(),
+                     "more live records than directory slots");
   return true;
 }
 
@@ -226,6 +232,9 @@ void SlottedPage::Compact() {
   }
   set_cell_start(static_cast<uint16_t>(pos));
   set_frag_bytes(0);
+  FIELDREP_INVARIANT(
+      kPageHeaderBytes + slot_count() * kSlotBytes <= cell_start(),
+      "compaction produced an overlapping layout");
 }
 
 }  // namespace fieldrep

@@ -15,6 +15,9 @@ enum class PageType : uint16_t {
   kHeap = 1,
   kBTreeLeaf = 2,
   kBTreeInternal = 3,
+  /// Database checkpoint-blob page (see Database::WriteStateToMetaPages):
+  /// a 40-byte header followed by one raw chunk of the catalog/state blob.
+  kMeta = 4,
 };
 
 /// \brief Non-owning view over one 4 KiB page laid out as a slotted page.
@@ -84,6 +87,16 @@ class SlottedPage {
   /// Rewrites the cell area to squeeze out fragmentation.
   void Compact();
 
+  // Read-only structural accessors used by the integrity checker
+  // (src/check) to validate the slot directory and free-space accounting
+  // without going through the record API.
+  uint16_t cell_start() const;
+  uint16_t frag_bytes() const;
+  /// Raw slot-directory entry; offset 0 marks a tombstoned slot. The caller
+  /// must keep `slot < slot_count()`.
+  uint16_t SlotOffset(uint16_t slot) const;
+  uint16_t SlotLength(uint16_t slot) const;
+
  private:
   // Header field offsets (see layout comment above).
   static constexpr uint32_t kTypeOffset = 0;       // u16
@@ -96,15 +109,11 @@ class SlottedPage {
 
   static constexpr uint32_t kSlotBytes = 4;  // u16 offset + u16 length
 
-  uint16_t cell_start() const;
   void set_cell_start(uint16_t v);
-  uint16_t frag_bytes() const;
   void set_frag_bytes(uint16_t v);
   void set_slot_count(uint16_t v);
   void set_live_count(uint16_t v);
 
-  uint16_t SlotOffset(uint16_t slot) const;
-  uint16_t SlotLength(uint16_t slot) const;
   void SetSlot(uint16_t slot, uint16_t offset, uint16_t length);
 
   /// First tombstoned slot index, or slot_count() if none.

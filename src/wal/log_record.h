@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/bytes.h"
 #include "storage/page.h"
 
 namespace fieldrep {
@@ -25,9 +26,6 @@ namespace fieldrep {
 /// header's current epoch all mark the end of the valid log: the tail of
 /// the stream after a crash may be torn mid-record, and pages past the
 /// logical end still hold records of earlier epochs.
-
-/// CRC-32 (IEEE 802.3 polynomial) over `size` bytes.
-uint32_t Crc32(const void* data, size_t size);
 
 enum class LogRecordType : uint8_t {
   kBegin = 1,       ///< Transaction start.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "storage/checksum.h"
 #include "storage/page.h"
 #include "wal/log_reader.h"
 #include "wal/log_record.h"
@@ -39,6 +40,10 @@ Status ApplyTransaction(StorageDevice* db, const std::vector<LogRecord>& writes,
     }
     FIELDREP_RETURN_IF_ERROR(db->ReadPage(w.page_id, buf));
     std::memcpy(buf + w.offset, w.bytes.data(), w.bytes.size());
+    // Replayed deltas never cover the header checksum field (it is stamped
+    // at flush time, after the WAL diff was taken), so restamp before the
+    // page goes back to the device or it would carry a stale checksum.
+    if (w.page_id != 0) StampPageChecksum(buf);
     FIELDREP_RETURN_IF_ERROR(db->WritePage(w.page_id, buf));
     ++*pages_written;
   }

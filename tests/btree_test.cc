@@ -280,7 +280,9 @@ TEST(BTreeKeyTest, DoubleTransformPreservesOrder) {
   for (double d : values) {
     auto key = BTreeKeyForValue(Value(d));
     ASSERT_TRUE(key.ok());
-    if (!first) EXPECT_LE(prev, *key) << d;
+    if (!first) {
+      EXPECT_LE(prev, *key) << d;
+    }
     prev = *key;
     first = false;
   }

@@ -235,7 +235,9 @@ TEST(CostModelClaimsTest, SeparateUpdateCostIndependentOfF) {
     CostModel model(params);
     double cost = model.UpdateCost(ModelStrategy::kSeparate,
                                    IndexSetting::kUnclustered);
-    if (prev >= 0) EXPECT_NEAR(cost, prev, 1);
+    if (prev >= 0) {
+      EXPECT_NEAR(cost, prev, 1);
+    }
     prev = cost;
   }
   params.f = 20;

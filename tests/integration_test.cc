@@ -9,6 +9,7 @@ namespace fieldrep {
 namespace {
 
 using ::fieldrep::testing::EmployeeFixture;
+using ::fieldrep::testing::ExpectCleanIntegrity;
 using ::fieldrep::testing::OpenEmployeeDatabase;
 using ::fieldrep::testing::PopulateEmployees;
 
@@ -65,6 +66,7 @@ TEST(IntegrationTest, MixedWorkloadStaysConsistent) {
       ASSERT_TRUE(s.ok()) << "round " << round << ": " << s.ToString();
     }
   }
+  ExpectCleanIntegrity(db.get());
 }
 
 /// The headline quantitative effect at engine level: with a workload shaped
@@ -142,6 +144,7 @@ TEST(IntegrationTest, MeasuredIoMatchesModelDirection) {
             4 + 2 * update_result.objects_updated * (kF + 3));
   const auto* path = db->catalog().FindPathBySpec("Emp1.dept.name");
   FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+  ExpectCleanIntegrity(db.get());
 }
 
 /// File-backed databases run the same workload through the same code path.
@@ -174,6 +177,7 @@ TEST(IntegrationTest, FileBackedDatabaseWorks) {
   FR_ASSERT_OK(db->Update("Dept", dept, "name", Value("games")));
   const auto* rep = db->catalog().FindPathBySpec("Emp1.dept.name");
   FR_ASSERT_OK(db->replication().VerifyPathConsistency(rep->id));
+  ExpectCleanIntegrity(db.get());
   std::remove(path.c_str());
 }
 

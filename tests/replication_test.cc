@@ -638,7 +638,7 @@ TEST_F(ReplicationTest, VerifierDetectsTamperedReplica) {
   FR_ASSERT_OK((*set)->Write(fixture_.emps[0], object));
   Status s = db_->replication().VerifyPathConsistency(path->id);
   EXPECT_FALSE(s.ok());
-  EXPECT_NE(s.message().find("replica mismatch"), std::string::npos);
+  EXPECT_NE(s.message().find("stale replica"), std::string::npos);
 }
 
 TEST_F(ReplicationTest, VerifierDetectsBrokenLinkMembership) {

@@ -12,6 +12,7 @@ namespace fieldrep {
 namespace {
 
 using ::fieldrep::testing::EmployeeFixture;
+using ::fieldrep::testing::ExpectCleanIntegrity;
 using ::fieldrep::testing::OpenEmployeeDatabase;
 using ::fieldrep::testing::PopulateEmployees;
 
@@ -143,6 +144,7 @@ TEST(TinyPoolStressTest, MixedWorkloadUnderEvictionPressure) {
   for (uint16_t path_id : db->catalog().AllPathIds()) {
     FR_ASSERT_OK(db->replication().VerifyPathConsistency(path_id));
   }
+  ExpectCleanIntegrity(db.get());
 }
 
 /// Three-level reference paths: a four-tier schema (worker -> team ->
@@ -209,6 +211,7 @@ class ThreeLevelPathTest : public ::testing::TestWithParam<
 
   void Verify() {
     FR_ASSERT_OK(db_->replication().VerifyPathConsistency(path_->id));
+    ExpectCleanIntegrity(db_.get());
   }
 
   std::unique_ptr<Database> db_;

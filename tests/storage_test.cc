@@ -157,7 +157,7 @@ TEST(FileDeviceTest, ReadPastEofFailsCleanly) {
 class SlottedPageTest : public ::testing::Test {
  protected:
   SlottedPageTest() : page_(data_) { SlottedPage::Init(data_, PageType::kHeap); }
-  uint8_t data_[kPageSize];
+  uint8_t data_[kPageSize] = {};
   SlottedPage page_;
 };
 

@@ -83,4 +83,11 @@ Value TraversePath(Database* db, const std::string& set_name, const Oid& oid,
   return Value::Null();
 }
 
+void ExpectCleanIntegrity(Database* db) {
+  CheckReport report;
+  Status s = db->CheckIntegrity(&report);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(report.error_count(), 0u) << report.ToString();
+}
+
 }  // namespace fieldrep::testing

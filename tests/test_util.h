@@ -45,6 +45,10 @@ EmployeeFixture PopulateEmployees(Database* db, int n_orgs, int n_depts,
 Value TraversePath(Database* db, const std::string& set_name, const Oid& oid,
                    const std::vector<std::string>& attrs);
 
+/// Runs the full integrity checker and EXPECTs zero error findings —
+/// closing assertion for integration/scenario tests.
+void ExpectCleanIntegrity(Database* db);
+
 }  // namespace fieldrep::testing
 
 #endif  // FIELDREP_TESTS_TEST_UTIL_H_
