@@ -1,6 +1,10 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/random.h"
 #include "common/strings.h"
@@ -16,6 +20,13 @@ constexpr uint32_t kTargetS = 200;
 constexpr uint32_t kRFiller = kTargetR - 4 - 8;
 // STYPE: field_s(4) + repfield(20) + filler
 constexpr uint32_t kSFiller = kTargetS - 4 - 20;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 Result<ModelWorkload> BuildModelWorkload(const WorkloadOptions& options) {
@@ -28,6 +39,8 @@ Result<ModelWorkload> BuildModelWorkload(const WorkloadOptions& options) {
 
   Database::Options db_options;
   db_options.buffer_pool_frames = options.pool_frames;
+  db_options.read_ahead_window = options.read_ahead_window;
+  db_options.file_path = options.file_path;
   FIELDREP_ASSIGN_OR_RETURN(workload.db, Database::Open(db_options));
   Database& db = *workload.db;
 
@@ -194,9 +207,14 @@ Result<MeasuredCosts> MeasureQueryCosts(ModelWorkload* workload, double fr,
     FIELDREP_RETURN_IF_ERROR(db.executor().TruncateOutput());
     FIELDREP_RETURN_IF_ERROR(db.ColdStart());
     ReadResult read_result;
+    uint64_t read_start = NowNs();
     FIELDREP_RETURN_IF_ERROR(db.Retrieve(read, &read_result));
     FIELDREP_RETURN_IF_ERROR(db.pool().FlushAll());
+    costs.read_ms += static_cast<double>(NowNs() - read_start) / 1e6;
     costs.read_io += static_cast<double>(db.io_stats().TotalIo());
+    costs.batched_reads += static_cast<double>(db.io_stats().batched_reads);
+    costs.coalesced_writes +=
+        static_cast<double>(db.io_stats().coalesced_writes);
 
     // --- Update query --------------------------------------------------------
     int32_t ulo =
@@ -215,17 +233,91 @@ Result<MeasuredCosts> MeasureQueryCosts(ModelWorkload* workload, double fr,
     };
     FIELDREP_RETURN_IF_ERROR(db.ColdStart());
     UpdateResult update_result;
+    uint64_t update_start = NowNs();
     FIELDREP_RETURN_IF_ERROR(db.Replace(update, &update_result));
     FIELDREP_RETURN_IF_ERROR(db.pool().FlushAll());
+    costs.update_ms += static_cast<double>(NowNs() - update_start) / 1e6;
     costs.update_io += static_cast<double>(db.io_stats().TotalIo());
+    costs.batched_reads += static_cast<double>(db.io_stats().batched_reads);
+    costs.coalesced_writes +=
+        static_cast<double>(db.io_stats().coalesced_writes);
   }
   costs.read_io /= trials;
   costs.update_io /= trials;
+  costs.read_ms /= trials;
+  costs.update_ms /= trials;
+  costs.batched_reads /= trials;
+  costs.coalesced_writes /= trials;
   return costs;
 }
 
 std::string Cell(double ours, double paper) {
   return StringPrintf("%7.1f (paper %5.0f)", ours, paper);
+}
+
+void BenchJson::Add(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+std::string BenchJson::Render() const {
+  std::string out = "{\n  \"bench\": \"" + bench_name_ + "\",\n"
+                    "  \"metrics\": {\n";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    out += StringPrintf("    \"%s\": %.6g%s\n", metrics_[i].first.c_str(),
+                        metrics_[i].second,
+                        i + 1 < metrics_.size() ? "," : "");
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+Status BenchJson::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const std::string body = Render();
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+namespace {
+/// Removes argv[i] from the vector, shrinking *argc.
+void RemoveArg(int* argc, char** argv, int i) {
+  for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+  --*argc;
+}
+}  // namespace
+
+std::string ConsumeJsonFlag(int* argc, char** argv,
+                            const std::string& bench_name) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      RemoveArg(argc, argv, i);
+      return "BENCH_" + bench_name + ".json";
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      std::string path = argv[i] + 7;
+      RemoveArg(argc, argv, i);
+      return path.empty() ? "BENCH_" + bench_name + ".json" : path;
+    }
+  }
+  return "";
+}
+
+uint32_t ConsumeWindowFlag(int* argc, char** argv, uint32_t fallback) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--window=", 9) == 0) {
+      uint32_t value = static_cast<uint32_t>(std::atoi(argv[i] + 9));
+      RemoveArg(argc, argv, i);
+      return value;
+    }
+  }
+  return fallback;
 }
 
 }  // namespace fieldrep::bench

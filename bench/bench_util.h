@@ -46,6 +46,12 @@ struct WorkloadOptions {
   uint32_t inline_threshold = 1;
   size_t pool_frames = 32768;
   uint64_t seed = 7;
+  /// Scan read-ahead window in pages (0 disables prefetching). Changes
+  /// physical I/O scheduling only; the logical counters MeasureQueryCosts
+  /// reports are identical for any window.
+  uint32_t read_ahead_window = kDefaultReadAheadWindow;
+  /// Backing file for the database; empty keeps the in-memory device.
+  std::string file_path;
 };
 
 /// Builds the workload database: populates S, populates R with either
@@ -61,8 +67,14 @@ Result<ModelWorkload> BuildModelWorkload(const WorkloadOptions& options);
 /// Every query starts from a cold buffer pool and ends with a flush, so the
 /// counted device I/O is exactly the model's quantity.
 struct MeasuredCosts {
-  double read_io = 0;
-  double update_io = 0;
+  double read_io = 0;    ///< logical pages (disk_reads + disk_writes)
+  double update_io = 0;  ///< independent of the read-ahead window
+  /// Wall-clock per query (query + flush), and the physical-scheduling
+  /// counters averaged over trials — these DO change with the window.
+  double read_ms = 0;
+  double update_ms = 0;
+  double batched_reads = 0;
+  double coalesced_writes = 0;
 };
 
 Result<MeasuredCosts> MeasureQueryCosts(ModelWorkload* workload, double fr,
@@ -76,6 +88,40 @@ CostModelParams ParamsFor(const ModelWorkload& workload, double fr,
 
 /// Renders "value (paper: x)" comparison cells.
 std::string Cell(double ours, double paper);
+
+/// \brief Accumulates flat metric key/value pairs and renders them as one
+/// JSON object, so every bench binary can emit machine-readable results
+/// next to its human-readable table (`BENCH_<name>.json`).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Records a metric; keys keep insertion order. Dots are conventional
+  /// separators ("unclustered.f5.in_place.read_io").
+  void Add(const std::string& key, double value);
+
+  /// {"bench": "<name>", "metrics": {...}} with stable key order.
+  std::string Render() const;
+
+  /// Writes Render() to `path`.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// Recognizes `--json` / `--json=PATH` anywhere in argv and removes it
+/// (so positional-argument parsing stays untouched). Returns the output
+/// path, empty when the flag is absent; bare `--json` defaults to
+/// "BENCH_<bench_name>.json".
+std::string ConsumeJsonFlag(int* argc, char** argv,
+                            const std::string& bench_name);
+
+/// Recognizes and removes `--window=N`, returning N (or `fallback` when
+/// the flag is absent).
+uint32_t ConsumeWindowFlag(int* argc, char** argv, uint32_t fallback);
 
 }  // namespace fieldrep::bench
 

@@ -22,7 +22,17 @@
 namespace fieldrep::bench {
 namespace {
 
-void RunSetting(bool clustered, uint32_t s_count, int trials) {
+/// "in-place replication" -> "in_place_replication" for JSON metric keys.
+std::string KeySafe(const char* name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == ' ' || c == '-') c = '_';
+  }
+  return out;
+}
+
+void RunSetting(bool clustered, uint32_t s_count, int trials, uint32_t window,
+                BenchJson* json) {
   const double fr = 0.005;
   const double fs = 0.005;
   std::printf("--- %s indexes, |S| = %u, fr = fs = %.3f ---\n",
@@ -44,6 +54,7 @@ void RunSetting(bool clustered, uint32_t s_count, int trials) {
       options.f = f;
       options.clustered = clustered;
       options.strategy = strategy;
+      options.read_ahead_window = window;
       auto workload = BuildModelWorkload(options);
       if (!workload.ok()) {
         std::printf("  build failed: %s\n",
@@ -72,6 +83,19 @@ void RunSetting(bool clustered, uint32_t s_count, int trials) {
                   err(measured->update_io, model_update));
       meas_read[static_cast<int>(strategy)] = measured->read_io;
       meas_update[static_cast<int>(strategy)] = measured->update_io;
+      if (json != nullptr) {
+        std::string prefix =
+            StringPrintf("%s.f%u.%s.", clustered ? "clustered" : "unclustered",
+                         f, KeySafe(ModelStrategyName(strategy)).c_str());
+        json->Add(prefix + "read_io", measured->read_io);
+        json->Add(prefix + "read_io_model", model_read);
+        json->Add(prefix + "update_io", measured->update_io);
+        json->Add(prefix + "update_io_model", model_update);
+        json->Add(prefix + "read_ms", measured->read_ms);
+        json->Add(prefix + "update_ms", measured->update_ms);
+        json->Add(prefix + "batched_reads", measured->batched_reads);
+        json->Add(prefix + "coalesced_writes", measured->coalesced_writes);
+      }
     }
   }
   // Engine-level Figure 11 shape at the largest f: percentage difference
@@ -101,24 +125,45 @@ void RunSetting(bool clustered, uint32_t s_count, int trials) {
       crossover);
 }
 
-void Run(uint32_t s_count, int trials) {
+void Run(uint32_t s_count, int trials, uint32_t window,
+         const std::string& json_path) {
   std::printf(
       "== Empirical validation: engine-measured page I/O vs the Section 6 "
       "cost model ==\n\n");
-  RunSetting(/*clustered=*/false, s_count, trials);
-  RunSetting(/*clustered=*/true, s_count, trials);
+  BenchJson json("empirical_io");
+  BenchJson* json_ptr = json_path.empty() ? nullptr : &json;
+  if (json_ptr != nullptr) {
+    json.Add("s_count", s_count);
+    json.Add("trials", trials);
+    json.Add("read_ahead_window", window);
+  }
+  RunSetting(/*clustered=*/false, s_count, trials, window, json_ptr);
+  RunSetting(/*clustered=*/true, s_count, trials, window, json_ptr);
   std::printf(
       "Expected shape (the paper's findings at engine level): in-place "
       "reads cheapest,\nno-replication reads dearest; in-place updates "
       "grow with f; separate updates flat.\n");
+  if (json_ptr != nullptr) {
+    Status s = json.WriteToFile(json_path);
+    if (!s.ok()) {
+      std::printf("failed to write %s: %s\n", json_path.c_str(),
+                  s.ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
 }
 
 }  // namespace
 }  // namespace fieldrep::bench
 
 int main(int argc, char** argv) {
+  std::string json_path =
+      fieldrep::bench::ConsumeJsonFlag(&argc, argv, "empirical_io");
+  uint32_t window = fieldrep::bench::ConsumeWindowFlag(
+      &argc, argv, fieldrep::kDefaultReadAheadWindow);
   uint32_t s_count = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 2000;
   int trials = argc > 2 ? std::atoi(argv[2]) : 3;
-  fieldrep::bench::Run(s_count, trials);
+  fieldrep::bench::Run(s_count, trials, window, json_path);
   return 0;
 }

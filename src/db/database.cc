@@ -62,6 +62,7 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   size_t frames = options.buffer_pool_frames == 0 ? 1
                                                   : options.buffer_pool_frames;
   db->pool_ = std::make_unique<BufferPool>(db->device_, frames);
+  db->pool_->set_read_ahead_window(options.read_ahead_window);
   if (options.enable_wal) {
     WalManager::Options wal_options;
     wal_options.sync_on_commit = options.wal_sync_on_commit;
@@ -83,6 +84,7 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
                                              db->indexes_.get(),
                                              db->replication_.get());
   if (db->wal_ != nullptr) db->replication_->set_wal(db->wal_.get());
+  db->replication_->set_pool(db->pool_.get());
   if (restore) {
     FIELDREP_RETURN_IF_ERROR(db->RestoreFromDevice());
   } else {

@@ -72,6 +72,12 @@ class Database : public SetProvider {
     /// Auto-checkpoint once the log exceeds this size (0 = only explicit
     /// Checkpoint() calls truncate the log).
     uint64_t wal_checkpoint_threshold_bytes = 0;
+
+    /// Scan read-ahead window in pages (0 disables prefetching entirely).
+    /// Read-ahead changes only *physical* I/O scheduling; the logical
+    /// counters (IoStats::disk_reads / disk_writes) are identical for any
+    /// window, so the paper's cost-model measurements are unaffected.
+    uint32_t read_ahead_window = kDefaultReadAheadWindow;
   };
 
   /// Opens a database. Never returns null on OK status.

@@ -318,6 +318,14 @@ Status BTree::ScanRange(int64_t lo, int64_t hi,
   if (lo > hi) return Status::OK();
   PageId leaf;
   FIELDREP_RETURN_IF_ERROR(FindLeaf(lo, 0, &leaf));
+  // Read-ahead along the leaf chain. Bulk-loaded trees allocate leaves in
+  // mostly ascending page order (rightmost splits), so once the chain
+  // advances to the physically next page we speculatively batch-read a
+  // window beyond it. Prefetched pages stay logically uncharged until
+  // fetched, so a misprediction (or an early scan stop) costs only
+  // physical I/O — never a page of the paper's cost unit.
+  const uint32_t window = pool_->read_ahead_window();
+  PageId prefetched_until = 0;  // highest page id already hinted
   while (leaf != kInvalidPageId) {
     PageGuard guard;
     FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(leaf, &guard));
@@ -329,7 +337,15 @@ Status BTree::ScanRange(int64_t lo, int64_t hi,
       if (key > hi) return Status::OK();
       if (!fn(key, Oid::FromPacked(LeafVal(p, i)))) return Status::OK();
     }
-    leaf = NextLeaf(p);
+    PageId next = NextLeaf(p);
+    if (window > 0 && next != kInvalidPageId && next == leaf + 1 &&
+        next + window > prefetched_until) {
+      std::vector<PageId> ahead(window);
+      for (uint32_t i = 0; i < window; ++i) ahead[i] = next + i;
+      FIELDREP_RETURN_IF_ERROR(pool_->Prefetch(ahead));
+      prefetched_until = next + window;
+    }
+    leaf = next;
   }
   return Status::OK();
 }

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <span>
 
 #include "common/bytes.h"
 #include "common/strings.h"
@@ -82,7 +83,20 @@ Status Executor::ExecuteRead(const ReadQuery& query, ReadResult* result) {
   std::vector<std::vector<PendingReplica>> pending_replicas(plans.size());
   std::vector<std::vector<PendingJoin>> pending_joins(plans.size());
 
-  for (const Oid& oid : oids) {
+  // Read-ahead: the stages below all visit OID batches in sorted
+  // (physical) order, so each batch is announced to the pool a window at
+  // a time. Prefetching is best-effort — a failed batch falls back to the
+  // on-demand reads, which also keep the logical I/O counters exact.
+  BufferPool* pool = set->file().pool();
+  const uint32_t window = pool->read_ahead_window();
+
+  for (size_t i = 0; i < oids.size(); ++i) {
+    if (window > 0 && i % window == 0) {
+      size_t ahead = std::min<size_t>(window, oids.size() - i);
+      (void)pool->PrefetchOidPages(
+          std::span<const Oid>(oids.data() + i, ahead));
+    }
+    const Oid& oid = oids[i];
     Object object;
     FIELDREP_RETURN_IF_ERROR(set->Read(oid, &object));
     if (needs_recheck && clause.has_value()) {
@@ -149,7 +163,17 @@ Status Executor::ExecuteRead(const ReadQuery& query, ReadResult* result) {
               });
     FIELDREP_ASSIGN_OR_RETURN(
         RecordFile * file, sets_->GetAuxFile(plan.path->replica_set_file));
-    for (const PendingReplica& pending : pending_replicas[c]) {
+    for (size_t i = 0; i < pending_replicas[c].size(); ++i) {
+      if (window > 0 && i % window == 0) {
+        std::vector<Oid> batch;
+        size_t ahead = std::min<size_t>(window, pending_replicas[c].size() - i);
+        batch.reserve(ahead);
+        for (size_t j = i; j < i + ahead; ++j) {
+          batch.push_back(pending_replicas[c][j].replica_oid);
+        }
+        (void)pool->PrefetchOidPages(batch);
+      }
+      const PendingReplica& pending = pending_replicas[c][i];
       std::string payload;
       FIELDREP_RETURN_IF_ERROR(file->Read(pending.replica_oid, &payload));
       ReplicaRecord record;
@@ -173,7 +197,17 @@ Status Executor::ExecuteRead(const ReadQuery& query, ReadResult* result) {
                   return a.current < b.current;
                 });
       std::vector<PendingJoin> next;
-      for (const PendingJoin& pending : frontier) {
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        if (window > 0 && i % window == 0) {
+          std::vector<Oid> batch;
+          size_t ahead = std::min<size_t>(window, frontier.size() - i);
+          batch.reserve(ahead);
+          for (size_t j = i; j < i + ahead; ++j) {
+            batch.push_back(frontier[j].current);
+          }
+          (void)pool->PrefetchOidPages(batch);
+        }
+        const PendingJoin& pending = frontier[i];
         Object target;
         FIELDREP_RETURN_IF_ERROR(ReadObjectAt(pending.current, &target));
         const Value& v = target.field(plan.hop_attrs[hop]);

@@ -5,6 +5,7 @@
 #include "common/strings.h"
 #include "replication/mutation_context.h"
 #include "replication/replication_manager.h"
+#include "storage/buffer_pool.h"
 #include "wal/wal_manager.h"
 
 namespace fieldrep {
@@ -38,6 +39,11 @@ Status ReplicationManager::CollectHeadsFromLevel(
   // clustered order, as the paper's sorted link objects intend.
   std::vector<Oid> frontier = {oid};
   for (uint16_t i = level; i >= 1; --i) {
+    if (pool_ != nullptr && frontier.size() > 1) {
+      // Best-effort read-ahead over the sorted frontier; a failed batch
+      // just falls back to on-demand fetches below.
+      (void)pool_->PrefetchOidPages(frontier);
+    }
     std::vector<Oid> next;
     for (const Oid& owner : frontier) {
       Object* image;
@@ -65,6 +71,11 @@ Status ReplicationManager::UpdateHeadSlots(const ReplicationPathInfo& path,
                                            const std::vector<Value>& values,
                                            int value_pos,
                                            MutationContext* ctx) {
+  if (pool_ != nullptr && heads.size() > 1) {
+    // Heads arrive sorted (clustered order), so the fan-out touches their
+    // pages as one ascending sweep — prefetch the batch up front.
+    (void)pool_->PrefetchOidPages(heads);
+  }
   for (const Oid& head : heads) {
     Object* image;
     FIELDREP_RETURN_IF_ERROR(ctx->Get(head, &image));
@@ -194,6 +205,15 @@ Status ReplicationManager::FlushPendingPropagation(uint16_t path_id) {
   for (auto it = pending_.lower_bound({path_id, 0});
        it != pending_.end() && it->first == path_id; ++it) {
     terminals.push_back(it->second);
+  }
+  if (pool_ != nullptr && terminals.size() > 1) {
+    // The queue orders terminals physically; warm their pages in one batch.
+    std::vector<Oid> terminal_oids;
+    terminal_oids.reserve(terminals.size());
+    for (uint64_t packed : terminals) {
+      terminal_oids.push_back(Oid::FromPacked(packed));
+    }
+    (void)pool_->PrefetchOidPages(terminal_oids);
   }
   for (uint64_t packed : terminals) {
     Oid terminal = Oid::FromPacked(packed);

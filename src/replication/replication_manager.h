@@ -17,6 +17,7 @@
 
 namespace fieldrep {
 
+class BufferPool;
 class WalManager;
 
 /// Options for `replicate <path>` (Sections 4, 5, 4.3).
@@ -76,6 +77,11 @@ class ReplicationManager {
   /// link objects, replica records, indexes — commits atomically. Null
   /// detaches (operations run unlogged, as before).
   void set_wal(WalManager* wal) { wal_ = wal; }
+
+  /// Attaches the buffer pool so propagation fan-out can batch-prefetch
+  /// the pages of head/frontier OID sets before reading them. Null (the
+  /// default) disables propagation read-ahead.
+  void set_pool(BufferPool* pool) { pool_ = pool; }
 
   // --- Path lifecycle --------------------------------------------------------
 
@@ -235,6 +241,7 @@ class ReplicationManager {
   SetProvider* sets_;
   IndexManager* indexes_;
   WalManager* wal_ = nullptr;
+  BufferPool* pool_ = nullptr;
   InvertedPathOps ops_;
   /// Pending deferred propagations: packed (path_id << 64... ) pairs of
   /// (path id, terminal OID). Ordered so flushes visit terminals in

@@ -1,6 +1,8 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -8,6 +10,15 @@
 #include "storage/checksum.h"
 
 namespace fieldrep {
+
+namespace {
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 PageGuard::PageGuard(BufferPool* pool, size_t frame_index)
     : pool_(pool), frame_index_(frame_index) {}
@@ -92,8 +103,16 @@ Status BufferPool::FetchPage(PageId page_id, PageGuard* guard) {
   ++stats_.fetches;
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
-    ++stats_.hits;
     Frame& frame = frames_[it->second];
+    if (frame.prefetched) {
+      // First logical access of a prefetched page: charge the read the
+      // caller would have performed without read-ahead, so the logical
+      // counters are independent of the read-ahead window.
+      frame.prefetched = false;
+      ++stats_.disk_reads;
+    } else {
+      ++stats_.hits;
+    }
     ++frame.pin_count;
     frame.referenced = true;
     if (observer_ != nullptr) {
@@ -106,26 +125,29 @@ Status BufferPool::FetchPage(PageId page_id, PageGuard* guard) {
   size_t frame_index;
   FIELDREP_RETURN_IF_ERROR(GetVictimFrame(&frame_index));
   Frame& frame = frames_[frame_index];
+  uint64_t start_ns = NowNs();
   Status s = device_->ReadPage(page_id, frame.data.get());
+  stats_.read_ns += NowNs() - start_ns;
   if (!s.ok()) {
     free_frames_.push_back(frame_index);
     return s;
   }
   ++stats_.disk_reads;
-#ifndef NDEBUG
+  stats_.bytes_read += kPageSize;
   // Page 0 is the magic-prefixed database header, not a headered page.
-  if (page_id != 0 && !VerifyPageChecksum(frame.data.get())) {
+  if (verify_checksums_ && page_id != 0 &&
+      !VerifyPageChecksum(frame.data.get())) {
     free_frames_.push_back(frame_index);
     return Status::Corruption(
         StringPrintf("page %u failed checksum verification", page_id));
   }
-#endif
   frame.page_id = page_id;
   frame.pin_count = 1;
   frame.page_lsn = 0;
   frame.dirty = false;
   frame.referenced = true;
   frame.in_use = true;
+  frame.prefetched = false;
   page_table_[page_id] = frame_index;
   if (observer_ != nullptr) {
     observer_->OnPageAccess(page_id, frame.data.get());
@@ -148,6 +170,7 @@ Status BufferPool::NewPage(PageGuard* guard) {
   frame.dirty = true;
   frame.referenced = true;
   frame.in_use = true;
+  frame.prefetched = false;
   page_table_[page_id] = frame_index;
   if (observer_ != nullptr) {
     observer_->OnPageAccess(page_id, frame.data.get());
@@ -157,6 +180,91 @@ Status BufferPool::NewPage(PageGuard* guard) {
   return Status::OK();
 }
 
+Status BufferPool::Prefetch(std::span<const PageId> page_ids) {
+  if (read_ahead_window_ == 0 || page_ids.empty()) return Status::OK();
+
+  // Distinct, in-range, non-resident ids in ascending order (the device
+  // coalesces contiguous runs, so sorted order maximises run length).
+  std::vector<PageId> misses(page_ids.begin(), page_ids.end());
+  std::sort(misses.begin(), misses.end());
+  misses.erase(std::unique(misses.begin(), misses.end()), misses.end());
+  const PageId device_pages = device_->page_count();
+  std::erase_if(misses, [&](PageId id) {
+    return id >= device_pages || page_table_.count(id) != 0;
+  });
+  if (misses.empty()) return Status::OK();
+
+  // Acquire a victim frame per miss. The temporary pin keeps a later
+  // victim sweep in this same batch from handing out the frame twice.
+  std::vector<size_t> frame_indices;
+  std::vector<uint8_t*> bufs;
+  frame_indices.reserve(misses.size());
+  bufs.reserve(misses.size());
+  auto release_frames = [&] {
+    for (size_t index : frame_indices) {
+      frames_[index].pin_count = 0;
+      free_frames_.push_back(index);
+    }
+  };
+  size_t acquired = 0;
+  for (; acquired < misses.size(); ++acquired) {
+    size_t frame_index;
+    Status s = GetVictimFrame(&frame_index);
+    if (s.IsFailedPrecondition()) break;  // all pinned: shrink the batch
+    if (!s.ok()) {
+      release_frames();
+      return s;  // dirty-victim writeback failed: real error
+    }
+    frames_[frame_index].pin_count = 1;
+    frame_indices.push_back(frame_index);
+    bufs.push_back(frames_[frame_index].data.get());
+  }
+  misses.resize(acquired);
+  if (misses.empty()) return Status::OK();
+
+  uint64_t start_ns = NowNs();
+  Status s = device_->ReadPages(misses, bufs);
+  stats_.read_ns += NowNs() - start_ns;
+  if (!s.ok()) {
+    release_frames();
+    return s;
+  }
+  stats_.batched_reads += misses.size();
+  stats_.bytes_read += misses.size() * kPageSize;
+
+  for (size_t i = 0; i < misses.size(); ++i) {
+    Frame& frame = frames_[frame_indices[i]];
+    // A page failing verification is simply not installed, so the next
+    // on-demand fetch sees exactly what it would have seen without
+    // read-ahead (and reports the corruption itself).
+    if (verify_checksums_ && misses[i] != 0 &&
+        !VerifyPageChecksum(frame.data.get())) {
+      frame.pin_count = 0;
+      free_frames_.push_back(frame_indices[i]);
+      continue;
+    }
+    frame.page_id = misses[i];
+    frame.pin_count = 0;
+    frame.page_lsn = 0;
+    frame.dirty = false;
+    frame.referenced = true;
+    frame.in_use = true;
+    frame.prefetched = true;
+    page_table_[misses[i]] = frame_indices[i];
+  }
+  return Status::OK();
+}
+
+Status BufferPool::PrefetchOidPages(std::span<const Oid> oids) {
+  if (read_ahead_window_ == 0 || oids.empty()) return Status::OK();
+  std::vector<PageId> pages;
+  pages.reserve(oids.size());
+  for (const Oid& oid : oids) {
+    if (oid.valid()) pages.push_back(oid.page_id);
+  }
+  return Prefetch(pages);
+}
+
 Status BufferPool::WriteBackFrame(Frame& frame) {
   if (observer_ != nullptr) {
     FIELDREP_RETURN_IF_ERROR(
@@ -164,25 +272,78 @@ Status BufferPool::WriteBackFrame(Frame& frame) {
   }
   // Page 0 is the magic-prefixed database header, not a headered page.
   if (frame.page_id != 0) StampPageChecksum(frame.data.get());
-  FIELDREP_RETURN_IF_ERROR(
-      device_->WritePage(frame.page_id, frame.data.get()));
+  uint64_t start_ns = NowNs();
+  Status s = device_->WritePage(frame.page_id, frame.data.get());
+  stats_.write_ns += NowNs() - start_ns;
+  FIELDREP_RETURN_IF_ERROR(s);
   ++stats_.disk_writes;
+  stats_.bytes_written += kPageSize;
   frame.dirty = false;
   return Status::OK();
 }
 
-Status BufferPool::FlushAll() {
-  for (Frame& frame : frames_) {
-    if (frame.in_use && frame.dirty) {
-      if (observer_ != nullptr && !observer_->CanEvict(frame.page_id)) {
-        // Uncommitted transaction page: commit will release it; a crash
-        // before then must leave the device without it (atomicity).
-        continue;
-      }
-      FIELDREP_RETURN_IF_ERROR(WriteBackFrame(frame));
+Status BufferPool::FlushFramesOrdered(std::vector<size_t> frame_indices) {
+  std::sort(frame_indices.begin(), frame_indices.end(),
+            [&](size_t a, size_t b) {
+              return frames_[a].page_id < frames_[b].page_id;
+            });
+  size_t i = 0;
+  while (i < frame_indices.size()) {
+    // Maximal contiguous PageId run starting at i.
+    size_t run = 1;
+    while (i + run < frame_indices.size() &&
+           frames_[frame_indices[i + run]].page_id ==
+               frames_[frame_indices[i]].page_id + run) {
+      ++run;
     }
+    std::vector<PageId> ids(run);
+    std::vector<const uint8_t*> bufs(run);
+    for (size_t j = 0; j < run; ++j) {
+      Frame& frame = frames_[frame_indices[i + j]];
+      if (observer_ != nullptr) {
+        Status s = observer_->BeforePageFlush(frame.page_id, frame.page_lsn);
+        if (!s.ok()) {
+          return Status(s.code(), StringPrintf("flushing page %u: %s",
+                                               frame.page_id,
+                                               s.message().c_str()));
+        }
+      }
+      if (frame.page_id != 0) StampPageChecksum(frame.data.get());
+      ids[j] = frame.page_id;
+      bufs[j] = frame.data.get();
+    }
+    uint64_t start_ns = NowNs();
+    Status s = device_->WritePages(ids, bufs);
+    stats_.write_ns += NowNs() - start_ns;
+    if (!s.ok()) {
+      // A prefix of the run may have reached the device; the frames stay
+      // dirty, so a later flush rewrites them — always safe.
+      return Status(s.code(),
+                    StringPrintf("flushing pages %u..%u: %s", ids.front(),
+                                 ids.back(), s.message().c_str()));
+    }
+    for (size_t j = 0; j < run; ++j) frames_[frame_indices[i + j]].dirty = false;
+    stats_.disk_writes += run;
+    stats_.bytes_written += run * kPageSize;
+    if (run > 1) stats_.coalesced_writes += run;
+    i += run;
   }
   return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::vector<size_t> dirty;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& frame = frames_[i];
+    if (!frame.in_use || !frame.dirty) continue;
+    if (observer_ != nullptr && !observer_->CanEvict(frame.page_id)) {
+      // Uncommitted transaction page: commit will release it; a crash
+      // before then must leave the device without it (atomicity).
+      continue;
+    }
+    dirty.push_back(i);
+  }
+  return FlushFramesOrdered(std::move(dirty));
 }
 
 Status BufferPool::EvictAll() {
@@ -205,6 +366,7 @@ Status BufferPool::EvictAll() {
       frame.in_use = false;
       frame.page_id = kInvalidPageId;
       frame.referenced = false;
+      frame.prefetched = false;
       free_frames_.push_back(i);
     }
   }
@@ -232,7 +394,10 @@ std::vector<PageId> BufferPool::DirtyPageIds() const {
 }
 
 Status BufferPool::SyncDevice() {
-  FIELDREP_RETURN_IF_ERROR(device_->Sync());
+  uint64_t start_ns = NowNs();
+  Status s = device_->Sync();
+  stats_.sync_ns += NowNs() - start_ns;
+  FIELDREP_RETURN_IF_ERROR(s);
   ++stats_.disk_syncs;
   return Status::OK();
 }
@@ -272,6 +437,7 @@ Status BufferPool::GetVictimFrame(size_t* frame_index) {
     page_table_.erase(frame.page_id);
     frame.in_use = false;
     frame.page_id = kInvalidPageId;
+    frame.prefetched = false;
     *frame_index = index;
     return Status::OK();
   }

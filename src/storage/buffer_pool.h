@@ -3,17 +3,23 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "storage/io_stats.h"
+#include "storage/oid.h"
 #include "storage/page.h"
 #include "storage/storage_device.h"
 
 namespace fieldrep {
 
 class BufferPool;
+
+/// Default read-ahead window (pages per prefetch batch). 0 disables
+/// read-ahead everywhere and restores strictly on-demand I/O.
+constexpr uint32_t kDefaultReadAheadWindow = 16;
 
 /// \brief Hook interface through which a write-ahead log observes and
 /// constrains the buffer pool (see src/wal/wal_manager.h).
@@ -76,13 +82,21 @@ class PageGuard {
 };
 
 /// \brief Fixed-capacity page cache over a StorageDevice with clock
-/// eviction, pin counting, and I/O statistics.
+/// eviction, pin counting, I/O statistics, batched read-ahead, and
+/// elevator (PageId-ordered, run-coalesced) write-back.
 ///
 /// The buffer pool is the engine's single point of I/O accounting: every
 /// structure (heap files, B+ trees, link sets, replica sets) accesses pages
 /// through it, so `stats().disk_reads/disk_writes` measure exactly the
 /// quantity the paper's cost model predicts. Benchmarks call
 /// EvictAll() + ResetStats() before each query to measure it cold.
+///
+/// Read-ahead accounting rule: Prefetch() performs *physical* reads
+/// (counted as `batched_reads`/`bytes_read`) and installs the pages
+/// unpinned and uncharged; the first FetchPage of a prefetched page charges
+/// one `disk_reads` (not a `hits`), and a prefetched page that is never
+/// fetched is never charged. Logical counters are therefore byte-identical
+/// with read-ahead on or off.
 class BufferPool {
  public:
   /// \param device   backing store (not owned unless passed via TakeDevice).
@@ -103,18 +117,54 @@ class BufferPool {
   /// Allocates a fresh zeroed page on the device and pins it.
   Status NewPage(PageGuard* guard);
 
-  /// Writes all dirty frames back to the device (without unpinning).
-  /// Frames the observer protects (uncommitted transaction pages) are
-  /// skipped: their fate is decided by commit or crash, not by a flush.
+  /// Batch-reads the non-resident pages of `page_ids` into victim frames
+  /// through the device's vectored read path, leaving them unpinned and
+  /// logically uncharged (see the accounting rule above). A scheduling
+  /// hint, not a correctness operation:
+  ///   - no-op when the read-ahead window is 0;
+  ///   - ids that are resident, duplicated, or unallocated are skipped;
+  ///   - victim selection honours the observer's no-steal veto and flushes
+  ///     dirty victims through the normal BeforePageFlush path;
+  ///   - if every frame is pinned the remainder of the batch is dropped;
+  ///   - with checksum verification enabled (see set_verify_checksums),
+  ///     pages failing it are not installed (the next FetchPage re-reads
+  ///     them through the on-demand path).
+  /// Device errors (e.g. a crashed fault-injection device) propagate.
+  Status Prefetch(std::span<const PageId> page_ids);
+
+  /// Prefetches the distinct pages addressed by `oids` (in sorted page
+  /// order). Convenience wrapper over Prefetch for OID-batch hot paths.
+  Status PrefetchOidPages(std::span<const Oid> oids);
+
+  /// Writes all dirty frames back to the device (without unpinning), in
+  /// ascending PageId order with contiguous runs coalesced into vectored
+  /// writes (elevator write-back). Frames the observer protects
+  /// (uncommitted transaction pages) are skipped: their fate is decided by
+  /// commit or crash, not by a flush.
   Status FlushAll();
 
   /// Flushes and then drops every unpinned frame, so the next access to any
   /// page performs a device read. Fails if any page is still pinned — the
-  /// benchmarks rely on a fully cold cache.
+  /// benchmarks rely on a fully cold cache. On flush failure the returned
+  /// Status names the page that failed.
   Status EvictAll();
 
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
+
+  /// Read-ahead window: the number of pages scan hot paths prefetch ahead
+  /// of the cursor. 0 disables read-ahead (every Prefetch call becomes a
+  /// no-op), restoring strictly on-demand I/O.
+  void set_read_ahead_window(uint32_t window) { read_ahead_window_ = window; }
+  uint32_t read_ahead_window() const { return read_ahead_window_; }
+
+  /// Checksum verification on the read paths (on-demand misses and
+  /// prefetch batches). Defaults to on in debug builds and off in release
+  /// — the policy FetchPage has always had; tests flip it on explicitly.
+  /// A failing on-demand read returns Corruption; a failing batch-read
+  /// page is silently not installed (the on-demand retry reports it).
+  void set_verify_checksums(bool verify) { verify_checksums_ = verify; }
+  bool verify_checksums() const { return verify_checksums_; }
 
   size_t capacity() const { return frames_.size(); }
   /// Number of frames currently holding a page.
@@ -154,10 +204,21 @@ class BufferPool {
     bool dirty = false;
     bool referenced = false;  // clock bit
     bool in_use = false;
+    /// Installed by Prefetch and not yet logically charged: the first
+    /// FetchPage counts it as a disk_read instead of a hit.
+    bool prefetched = false;
   };
 
   /// Flush-ordering + writeback of one dirty frame.
   Status WriteBackFrame(Frame& frame);
+
+  /// Elevator write-back of the given dirty frames: sorts by PageId,
+  /// honours BeforePageFlush per page, stamps checksums, and coalesces
+  /// contiguous runs into vectored device writes. On failure the Status
+  /// names the first page that could not be written; frames of a failed
+  /// run stay dirty (a prefix may have reached the device — rewriting
+  /// later is safe).
+  Status FlushFramesOrdered(std::vector<size_t> frame_indices);
 
   /// Finds a victim frame via the clock algorithm, writing it back if
   /// dirty. Returns FailedPrecondition if every frame is pinned.
@@ -173,6 +234,12 @@ class BufferPool {
   size_t clock_hand_ = 0;
   IoStats stats_;
   PageObserver* observer_ = nullptr;
+  uint32_t read_ahead_window_ = kDefaultReadAheadWindow;
+#ifndef NDEBUG
+  bool verify_checksums_ = true;
+#else
+  bool verify_checksums_ = false;
+#endif
 };
 
 }  // namespace fieldrep

@@ -32,6 +32,12 @@ class FileDevice : public StorageDevice {
 
   Status ReadPage(PageId page_id, void* buf) override;
   Status WritePage(PageId page_id, const void* buf) override;
+  /// Coalesces contiguous page-id runs into preadv calls.
+  Status ReadPages(std::span<const PageId> page_ids,
+                   std::span<uint8_t* const> bufs) override;
+  /// Coalesces contiguous page-id runs into pwritev calls.
+  Status WritePages(std::span<const PageId> page_ids,
+                    std::span<const uint8_t* const> bufs) override;
   Status AllocatePage(PageId* page_id) override;
   /// fdatasync on the backing file.
   Status Sync() override;

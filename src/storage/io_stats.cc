@@ -11,17 +11,33 @@ IoStats IoStats::operator-(const IoStats& rhs) const {
   out.disk_reads = disk_reads - rhs.disk_reads;
   out.disk_writes = disk_writes - rhs.disk_writes;
   out.disk_syncs = disk_syncs - rhs.disk_syncs;
+  out.batched_reads = batched_reads - rhs.batched_reads;
+  out.coalesced_writes = coalesced_writes - rhs.coalesced_writes;
+  out.bytes_read = bytes_read - rhs.bytes_read;
+  out.bytes_written = bytes_written - rhs.bytes_written;
+  out.read_ns = read_ns - rhs.read_ns;
+  out.write_ns = write_ns - rhs.write_ns;
+  out.sync_ns = sync_ns - rhs.sync_ns;
   return out;
 }
 
 std::string IoStats::ToString() const {
   return StringPrintf(
-      "IoStats{fetches=%llu hits=%llu reads=%llu writes=%llu syncs=%llu}",
+      "IoStats{fetches=%llu hits=%llu reads=%llu writes=%llu syncs=%llu "
+      "batched_reads=%llu coalesced_writes=%llu bytes_read=%llu "
+      "bytes_written=%llu read_ns=%llu write_ns=%llu sync_ns=%llu}",
       static_cast<unsigned long long>(fetches),
       static_cast<unsigned long long>(hits),
       static_cast<unsigned long long>(disk_reads),
       static_cast<unsigned long long>(disk_writes),
-      static_cast<unsigned long long>(disk_syncs));
+      static_cast<unsigned long long>(disk_syncs),
+      static_cast<unsigned long long>(batched_reads),
+      static_cast<unsigned long long>(coalesced_writes),
+      static_cast<unsigned long long>(bytes_read),
+      static_cast<unsigned long long>(bytes_written),
+      static_cast<unsigned long long>(read_ns),
+      static_cast<unsigned long long>(write_ns),
+      static_cast<unsigned long long>(sync_ns));
 }
 
 }  // namespace fieldrep

@@ -10,16 +10,35 @@ namespace fieldrep {
 ///
 /// The paper's entire evaluation is in units of page I/Os, so these counters
 /// are the primary measurement surface of the engine: `disk_reads` and
-/// `disk_writes` count actual device transfers (buffer misses / dirty
+/// `disk_writes` count *logical* device transfers (buffer misses / dirty
 /// evictions + flushes), `fetches`/`hits` describe cache behaviour.
+///
+/// Batched I/O (prefetch read-ahead, elevator write-back) is accounted so
+/// that the logical counters are unchanged by batching: a prefetched page is
+/// charged to `disk_reads` the first time a caller actually fetches it, and
+/// a prefetched page that is never fetched is never charged. The physical
+/// side of batching is visible separately through `batched_reads`,
+/// `coalesced_writes`, the byte counters, and the per-operation timers.
 struct IoStats {
   uint64_t fetches = 0;      ///< Buffer-pool page requests.
   uint64_t hits = 0;         ///< Requests satisfied without device I/O.
-  uint64_t disk_reads = 0;   ///< Pages read from the device.
-  uint64_t disk_writes = 0;  ///< Pages written to the device.
+  uint64_t disk_reads = 0;   ///< Pages read from the device (logical).
+  uint64_t disk_writes = 0;  ///< Pages written to the device (logical).
   uint64_t disk_syncs = 0;   ///< Device Sync (fsync) calls.
 
-  /// Total device transfers — the paper's cost unit.
+  // --- Physical batching counters (not part of the paper's cost unit) ---
+  uint64_t batched_reads = 0;     ///< Pages physically read via vectored
+                                  ///< prefetch batches.
+  uint64_t coalesced_writes = 0;  ///< Pages written as part of multi-page
+                                  ///< contiguous runs (elevator write-back).
+  uint64_t bytes_read = 0;        ///< Bytes physically read from the device.
+  uint64_t bytes_written = 0;     ///< Bytes physically written to the device.
+  uint64_t read_ns = 0;           ///< Wall-clock nanoseconds in device reads.
+  uint64_t write_ns = 0;          ///< Wall-clock nanoseconds in device writes.
+  uint64_t sync_ns = 0;           ///< Wall-clock nanoseconds in device syncs.
+
+  /// Total logical device transfers — the paper's cost unit. Defined purely
+  /// as disk_reads + disk_writes; unchanged by batching or read-ahead.
   uint64_t TotalIo() const { return disk_reads + disk_writes; }
 
   void Reset() { *this = IoStats(); }

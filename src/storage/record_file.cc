@@ -81,7 +81,18 @@ Status RecordFile::AppendPage(PageId* page_id) {
   }
   last_page_ = *page_id;
   ++page_count_;
+  if (chain_complete_) chain_cache_.push_back(*page_id);
   return Status::OK();
+}
+
+void RecordFile::NoteChainPage(size_t pos, PageId page_id) const {
+  if (pos < chain_cache_.size()) {
+    if (chain_cache_[pos] == page_id) return;
+    // Stale suffix (should not happen — chains only grow — but stay safe).
+    chain_cache_.resize(pos);
+    chain_complete_ = false;
+  }
+  if (pos == chain_cache_.size()) chain_cache_.push_back(page_id);
 }
 
 void RecordFile::NoteFreeSpace(PageId page_id) {
@@ -303,7 +314,19 @@ Status RecordFile::Scan(
     const std::function<bool(const Oid&, const std::string&)>& fn) const {
   PageId current = first_page_;
   std::string payload;
+  const uint32_t window = pool_->read_ahead_window();
+  size_t pos = 0;  // position of `current` in the chain
   while (current != kInvalidPageId) {
+    NoteChainPage(pos, current);
+    // Read ahead: one window of upcoming chain pages per window of
+    // progress. On the first scan after reopen the cache only reaches the
+    // cursor, so nothing is prefetched — identical to window=0 — and every
+    // later scan batches its reads.
+    if (window > 0 && pos % window == 0 && pos + 1 < chain_cache_.size()) {
+      size_t ahead = std::min<size_t>(window, chain_cache_.size() - pos - 1);
+      FIELDREP_RETURN_IF_ERROR(pool_->Prefetch(
+          std::span<const PageId>(chain_cache_.data() + pos + 1, ahead)));
+    }
     PageGuard guard;
     FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(current, &guard));
     SlottedPage page(guard.data());
@@ -321,7 +344,11 @@ Status RecordFile::Scan(
       if (!fn(oid, payload)) return Status::OK();
     }
     current = page.next_page();
+    ++pos;
   }
+  // Walked the whole chain: the cache now covers it and AppendPage may
+  // extend it incrementally.
+  chain_complete_ = true;
   return Status::OK();
 }
 
@@ -349,6 +376,8 @@ Status RecordFile::Truncate() {
   page_count_ = 0;
   record_count_ = 0;
   free_hints_.clear();
+  chain_cache_.clear();
+  chain_complete_ = true;
   return Status::OK();
 }
 
@@ -373,6 +402,9 @@ Status RecordFile::DecodeMetadata(const std::string& encoded) {
   last_page_ = last;
   page_count_ = pages;
   record_count_ = records;
+  // The chain must be rediscovered by walking it; the first Scan does so.
+  chain_cache_.clear();
+  chain_complete_ = (first_page_ == kInvalidPageId);
   return Status::OK();
 }
 

@@ -46,6 +46,7 @@ class RecordFile {
   RecordFile& operator=(const RecordFile&) = delete;
 
   FileId file_id() const { return file_id_; }
+  BufferPool* pool() const { return pool_; }
   uint32_t page_count() const { return page_count_; }
   uint64_t record_count() const { return record_count_; }
   PageId first_page() const { return first_page_; }
@@ -102,6 +103,10 @@ class RecordFile {
   /// can refill it (bounded; oldest hints are dropped).
   void NoteFreeSpace(PageId page_id);
 
+  /// Records that `page_id` is the `pos`-th page of the chain, keeping the
+  /// chain cache a valid prefix of the page list (see chain_cache_).
+  void NoteChainPage(size_t pos, PageId page_id) const;
+
   BufferPool* pool_;
   FileId file_id_;
   PageId first_page_ = kInvalidPageId;
@@ -113,6 +118,16 @@ class RecordFile {
   /// stand-in for a free-space map; inserts probe a few before extending
   /// the file.
   std::vector<PageId> free_hints_;
+
+  /// In-memory prefix of the page chain in scan order, used to issue
+  /// read-ahead windows during Scan without chasing next_page links.
+  /// Maintained by AppendPage for files built in-session and rebuilt
+  /// lazily by the first full Scan after DecodeMetadata; always a valid
+  /// prefix of the chain (pages are only appended, never reordered).
+  mutable std::vector<PageId> chain_cache_;
+  /// True when chain_cache_ covers the whole chain, so AppendPage can
+  /// extend it instead of invalidating it.
+  mutable bool chain_complete_ = true;
 };
 
 }  // namespace fieldrep

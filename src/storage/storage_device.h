@@ -2,6 +2,7 @@
 #define FIELDREP_STORAGE_STORAGE_DEVICE_H_
 
 #include <cstdint>
+#include <span>
 
 #include "common/status.h"
 #include "storage/page.h"
@@ -28,6 +29,33 @@ class StorageDevice {
 
   /// Writes kPageSize bytes from `buf` to page `page_id`.
   virtual Status WritePage(PageId page_id, const void* buf) = 0;
+
+  /// Vectored read: fills `bufs[i]` (kPageSize bytes each) with page
+  /// `page_ids[i]`. The default implementation issues one ReadPage per
+  /// page, so decorators (fault injection, corruption) keep their per-page
+  /// semantics; FileDevice overrides it to coalesce contiguous runs into
+  /// preadv. On error, the contents of `bufs` are unspecified — callers
+  /// must not install any of the pages.
+  virtual Status ReadPages(std::span<const PageId> page_ids,
+                           std::span<uint8_t* const> bufs) {
+    for (size_t i = 0; i < page_ids.size(); ++i) {
+      FIELDREP_RETURN_IF_ERROR(ReadPage(page_ids[i], bufs[i]));
+    }
+    return Status::OK();
+  }
+
+  /// Vectored write: writes `bufs[i]` to page `page_ids[i]`. The default
+  /// implementation issues one WritePage per page (preserving decorator
+  /// fault semantics — a simulated crash can land between any two pages of
+  /// a batch); FileDevice coalesces contiguous runs into pwritev. On
+  /// error, a prefix of the batch may have reached the device.
+  virtual Status WritePages(std::span<const PageId> page_ids,
+                            std::span<const uint8_t* const> bufs) {
+    for (size_t i = 0; i < page_ids.size(); ++i) {
+      FIELDREP_RETURN_IF_ERROR(WritePage(page_ids[i], bufs[i]));
+    }
+    return Status::OK();
+  }
 
   /// Extends the device by one zeroed page and returns its id.
   virtual Status AllocatePage(PageId* page_id) = 0;

@@ -1,5 +1,7 @@
+#include <cstdint>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/random.h"
@@ -115,6 +117,37 @@ TEST(BytesTest, SkipAndRaw) {
   ASSERT_TRUE(reader.GetRaw(3, &s));
   EXPECT_EQ(s, "cde");
   EXPECT_FALSE(reader.Skip(2));
+}
+
+TEST(Crc32Test, MatchesStandardCheckValue) {
+  // The CRC-32/ISO-HDLC check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, SlicedImplementationMatchesBytewiseReference) {
+  // Bit-at-a-time reference for the same polynomial; the production
+  // implementation processes 8 bytes per step and must agree at every
+  // length, including the tail lengths around the 8-byte boundary.
+  auto reference = [](const uint8_t* data, size_t size) {
+    uint32_t crc = 0xFFFFFFFFu;
+    for (size_t i = 0; i < size; ++i) {
+      crc ^= data[i];
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) != 0 ? (0xEDB88320u ^ (crc >> 1)) : (crc >> 1);
+      }
+    }
+    return crc ^ 0xFFFFFFFFu;
+  };
+  Random rng(31);
+  std::vector<uint8_t> buf(5000);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.NextU64());
+  for (size_t len : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                     size_t{15}, size_t{16}, size_t{17}, size_t{999},
+                     size_t{4096}, size_t{5000}}) {
+    EXPECT_EQ(Crc32(buf.data(), len), reference(buf.data(), len))
+        << "length " << len;
+  }
 }
 
 TEST(RandomTest, DeterministicForSeed) {

@@ -1,0 +1,76 @@
+// Asserts the PR's central invariant at full-query granularity: the
+// logical I/O counts MeasureQueryCosts reports (the paper's cost unit)
+// are byte-identical with the read-ahead window on or off. Links the
+// bench harness so the assertion covers exactly the workload the
+// empirical benchmarks measure.
+
+#include "bench_util.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace fieldrep {
+namespace {
+
+using ::fieldrep::bench::BuildModelWorkload;
+using ::fieldrep::bench::MeasureQueryCosts;
+using ::fieldrep::bench::MeasuredCosts;
+using ::fieldrep::bench::ModelWorkload;
+using ::fieldrep::bench::WorkloadOptions;
+
+MeasuredCosts MeasureWithWindow(const WorkloadOptions& base_options,
+                                uint32_t window) {
+  WorkloadOptions options = base_options;
+  options.read_ahead_window = window;
+  auto workload_or = BuildModelWorkload(options);
+  EXPECT_TRUE(workload_or.ok()) << workload_or.status().ToString();
+  if (!workload_or.ok()) return {};
+  ModelWorkload workload = std::move(workload_or).value();
+  auto costs_or = MeasureQueryCosts(&workload, /*fr=*/0.1, /*fs=*/0.05,
+                                    /*trials=*/2);
+  EXPECT_TRUE(costs_or.ok()) << costs_or.status().ToString();
+  return costs_or.ok() ? costs_or.value() : MeasuredCosts{};
+}
+
+void ExpectWindowIndependentLogicalIo(WorkloadOptions options) {
+  MeasuredCosts with = MeasureWithWindow(options, 16);
+  MeasuredCosts without = MeasureWithWindow(options, 0);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  // Identical workload build (same seed) + identical query ranges (same
+  // measurement seed) must yield the exact same logical counts: the
+  // read-ahead window changes physical scheduling only.
+  EXPECT_EQ(with.read_io, without.read_io);
+  EXPECT_EQ(with.update_io, without.update_io);
+  // And the physical counters must show the batching actually happened.
+  EXPECT_GT(with.batched_reads, 0.0);
+  EXPECT_EQ(without.batched_reads, 0.0);
+}
+
+TEST(ReadAheadEquivalenceTest, UnclusteredInPlaceLogicalIoMatches) {
+  WorkloadOptions options;
+  options.s_count = 400;
+  options.f = 2;
+  options.clustered = false;
+  options.strategy = ModelStrategy::kInPlace;
+  ExpectWindowIndependentLogicalIo(options);
+}
+
+TEST(ReadAheadEquivalenceTest, ClusteredNoReplicationLogicalIoMatches) {
+  WorkloadOptions options;
+  options.s_count = 400;
+  options.f = 1;
+  options.clustered = true;
+  options.strategy = ModelStrategy::kNoReplication;
+  ExpectWindowIndependentLogicalIo(options);
+}
+
+TEST(ReadAheadEquivalenceTest, SeparateStrategyLogicalIoMatches) {
+  WorkloadOptions options;
+  options.s_count = 400;
+  options.f = 2;
+  options.clustered = false;
+  options.strategy = ModelStrategy::kSeparate;
+  ExpectWindowIndependentLogicalIo(options);
+}
+
+}  // namespace
+}  // namespace fieldrep
