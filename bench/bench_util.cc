@@ -41,6 +41,7 @@ Result<ModelWorkload> BuildModelWorkload(const WorkloadOptions& options) {
   db_options.buffer_pool_frames = options.pool_frames;
   db_options.read_ahead_window = options.read_ahead_window;
   db_options.file_path = options.file_path;
+  db_options.worker_threads = options.worker_threads;
   FIELDREP_ASSIGN_OR_RETURN(workload.db, Database::Open(db_options));
   Database& db = *workload.db;
 
@@ -315,6 +316,17 @@ uint32_t ConsumeWindowFlag(int* argc, char** argv, uint32_t fallback) {
       uint32_t value = static_cast<uint32_t>(std::atoi(argv[i] + 9));
       RemoveArg(argc, argv, i);
       return value;
+    }
+  }
+  return fallback;
+}
+
+size_t ConsumeThreadsFlag(int* argc, char** argv, size_t fallback) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      int value = std::atoi(argv[i] + 10);
+      RemoveArg(argc, argv, i);
+      return value < 1 ? 1 : static_cast<size_t>(value);
     }
   }
   return fallback;

@@ -52,6 +52,8 @@ struct WorkloadOptions {
   uint32_t read_ahead_window = kDefaultReadAheadWindow;
   /// Backing file for the database; empty keeps the in-memory device.
   std::string file_path;
+  /// Worker threads for parallel read execution (1 = serial engine).
+  size_t worker_threads = 1;
 };
 
 /// Builds the workload database: populates S, populates R with either
@@ -122,6 +124,10 @@ std::string ConsumeJsonFlag(int* argc, char** argv,
 /// Recognizes and removes `--window=N`, returning N (or `fallback` when
 /// the flag is absent).
 uint32_t ConsumeWindowFlag(int* argc, char** argv, uint32_t fallback);
+
+/// Recognizes and removes `--threads=N`, returning N clamped to >= 1 (or
+/// `fallback` when the flag is absent).
+size_t ConsumeThreadsFlag(int* argc, char** argv, size_t fallback);
 
 }  // namespace fieldrep::bench
 

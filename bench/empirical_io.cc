@@ -32,7 +32,7 @@ std::string KeySafe(const char* name) {
 }
 
 void RunSetting(bool clustered, uint32_t s_count, int trials, uint32_t window,
-                BenchJson* json) {
+                size_t threads, BenchJson* json) {
   const double fr = 0.005;
   const double fs = 0.005;
   std::printf("--- %s indexes, |S| = %u, fr = fs = %.3f ---\n",
@@ -55,6 +55,7 @@ void RunSetting(bool clustered, uint32_t s_count, int trials, uint32_t window,
       options.clustered = clustered;
       options.strategy = strategy;
       options.read_ahead_window = window;
+      options.worker_threads = threads;
       auto workload = BuildModelWorkload(options);
       if (!workload.ok()) {
         std::printf("  build failed: %s\n",
@@ -125,7 +126,7 @@ void RunSetting(bool clustered, uint32_t s_count, int trials, uint32_t window,
       crossover);
 }
 
-void Run(uint32_t s_count, int trials, uint32_t window,
+void Run(uint32_t s_count, int trials, uint32_t window, size_t threads,
          const std::string& json_path) {
   std::printf(
       "== Empirical validation: engine-measured page I/O vs the Section 6 "
@@ -136,9 +137,10 @@ void Run(uint32_t s_count, int trials, uint32_t window,
     json.Add("s_count", s_count);
     json.Add("trials", trials);
     json.Add("read_ahead_window", window);
+    json.Add("threads", static_cast<double>(threads));
   }
-  RunSetting(/*clustered=*/false, s_count, trials, window, json_ptr);
-  RunSetting(/*clustered=*/true, s_count, trials, window, json_ptr);
+  RunSetting(/*clustered=*/false, s_count, trials, window, threads, json_ptr);
+  RunSetting(/*clustered=*/true, s_count, trials, window, threads, json_ptr);
   std::printf(
       "Expected shape (the paper's findings at engine level): in-place "
       "reads cheapest,\nno-replication reads dearest; in-place updates "
@@ -162,8 +164,9 @@ int main(int argc, char** argv) {
       fieldrep::bench::ConsumeJsonFlag(&argc, argv, "empirical_io");
   uint32_t window = fieldrep::bench::ConsumeWindowFlag(
       &argc, argv, fieldrep::kDefaultReadAheadWindow);
+  size_t threads = fieldrep::bench::ConsumeThreadsFlag(&argc, argv, 1);
   uint32_t s_count = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 2000;
   int trials = argc > 2 ? std::atoi(argv[2]) : 3;
-  fieldrep::bench::Run(s_count, trials, window, json_path);
+  fieldrep::bench::Run(s_count, trials, window, threads, json_path);
   return 0;
 }

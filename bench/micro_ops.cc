@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -224,16 +225,96 @@ void BM_PropagateUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_PropagateUpdate)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
 
+/// Warm indexed read query with replicated projections at a configurable
+/// worker count (registered from main with the --threads=N value): the
+/// whole working set is buffer-resident, so this isolates the query
+/// engine's parallel speedup from disk scheduling. See bench/concurrent_read
+/// for the full thread ladder.
+void RunParallelRead(benchmark::State& state, size_t threads) {
+  Database::Options db_options;
+  db_options.buffer_pool_frames = 8192;
+  db_options.worker_threads = threads;
+  auto db_or = Database::Open(db_options);
+  if (!db_or.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  auto db = std::move(db_or).value();
+  db->DefineType(TypeDescriptor("S", {Int32Attr("k"), CharAttr("rep", 20)}))
+      .ok();
+  db->DefineType(TypeDescriptor("R", {Int32Attr("k"), RefAttr("sref", "S")}))
+      .ok();
+  db->CreateSet("Sset", "S").ok();
+  db->CreateSet("Rset", "R").ok();
+  auto s_set = db->GetSet("Sset");
+  if (s_set.ok()) s_set.value()->file().set_growth_reserve(16);
+  auto r_set = db->GetSet("Rset");
+  if (r_set.ok()) r_set.value()->file().set_growth_reserve(30);
+  const int kSCount = 200;
+  const int kRCount = 4000;
+  std::vector<Oid> s_oids(kSCount);
+  for (int i = 0; i < kSCount; ++i) {
+    db->Insert("Sset",
+               Object(0, {Value(static_cast<int32_t>(i)),
+                          Value(StringPrintf("rep-%04d", i))}),
+               &s_oids[i])
+        .ok();
+  }
+  Random rng(11);
+  for (int i = 0; i < kRCount; ++i) {
+    Oid oid;
+    db->Insert("Rset",
+               Object(0, {Value(static_cast<int32_t>(i)),
+                          Value(s_oids[rng.Uniform(kSCount)])}),
+               &oid)
+        .ok();
+  }
+  db->Replicate("Rset.sref.rep", {}).ok();
+  db->BuildIndex("r_k", "Rset", "k").ok();
+  ReadQuery query;
+  query.set_name = "Rset";
+  query.projections = {"k", "sref.rep"};
+  query.predicate = Predicate::Between("k", Value(int32_t{0}),
+                                       Value(int32_t{kRCount - 1}));
+  ReadResult warm;
+  if (!db->Retrieve(query, &warm).ok() ||
+      warm.rows.size() != static_cast<size_t>(kRCount)) {
+    state.SkipWithError("warmup query failed");
+    return;
+  }
+  for (auto _ : state) {
+    ReadResult result;
+    Status s = db->Retrieve(query, &result);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result.rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kRCount);
+}
+
 }  // namespace
 }  // namespace fieldrep
 
 // Custom main: `--json[=path]` maps onto google-benchmark's native JSON
-// reporter (--benchmark_out/--benchmark_out_format), so every bench binary
-// in this repo shares the same flag.
+// reporter (--benchmark_out/--benchmark_out_format), and `--threads=N`
+// registers BM_ParallelRead at that worker count, so every bench binary
+// in this repo shares the same flags.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   static std::string out_arg;
   static std::string fmt_arg = "--benchmark_out_format=json";
+  size_t threads = 1;
+  for (size_t i = 1; i < args.size();) {
+    if (std::strncmp(args[i], "--threads=", 10) == 0) {
+      int value = std::atoi(args[i] + 10);
+      threads = value < 1 ? 1 : static_cast<size_t>(value);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    ++i;
+  }
   for (size_t i = 1; i < args.size(); ++i) {
     const char* arg = args[i];
     std::string path;
@@ -251,6 +332,12 @@ int main(int argc, char** argv) {
     args.push_back(fmt_arg.data());
     break;
   }
+  const std::string parallel_name =
+      fieldrep::StringPrintf("BM_ParallelRead/threads:%zu", threads);
+  benchmark::RegisterBenchmark(parallel_name.c_str(),
+                               [threads](benchmark::State& state) {
+                                 fieldrep::RunParallelRead(state, threads);
+                               });
   int new_argc = static_cast<int>(args.size());
   benchmark::Initialize(&new_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;

@@ -37,8 +37,11 @@ run() {
 }
 
 # JSON-capable benches: results land in $OUT_DIR/BENCH_<name>.json.
+# --threads records the worker count in the JSON metadata (concurrent_read
+# additionally sweeps its built-in 1/2/4/8 ladder).
 run empirical_io --json="$OUT_ABS/BENCH_empirical_io.json" 500 2
-run micro_ops --json="$OUT_ABS/BENCH_micro_ops.json"
+run micro_ops --json="$OUT_ABS/BENCH_micro_ops.json" --threads=4
+run concurrent_read --json="$OUT_ABS/BENCH_concurrent_read.json" --threads=4
 
 # Table-only benches (stdout captured).
 run fig11_unclustered_model

@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+namespace fieldrep {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    // Nothing to fan out; skip the queue entirely.
+    tasks[0]();
+    return;
+  }
+  struct BatchState {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t remaining;
+  };
+  BatchState state;
+  state.remaining = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& task : tasks) {
+      queue_.emplace_back([&state, fn = std::move(task)] {
+        fn();
+        std::lock_guard<std::mutex> done_lock(state.mu);
+        if (--state.remaining == 0) state.done_cv.notify_one();
+      });
+    }
+  }
+  // One wakeup per task the workers could take beyond the one the caller
+  // runs itself; notify_all would stampede the whole pool for small
+  // batches.
+  for (size_t i = 1; i < tasks.size() && i <= threads_.size(); ++i) {
+    work_cv_.notify_one();
+  }
+  // The caller is a full batch participant: it drains queued tasks
+  // alongside the workers instead of sleeping, so a batch of N tasks
+  // needs only N-1 free cores to run N-wide — and on a single-core
+  // machine the fan-out degrades to nearly free serial execution instead
+  // of a context-switch ping-pong. The queue is shared, so the caller may
+  // execute a concurrent batch's task; that only speeds the other batch
+  // up (its wrapper decrements its own BatchState).
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,60 @@
+#ifndef FIELDREP_COMMON_THREAD_POOL_H_
+#define FIELDREP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fieldrep {
+
+/// \brief A fixed-size pool of worker threads with a blocking batch
+/// primitive.
+///
+/// The query executor's unit of parallelism is a *stage*: it splits a
+/// sorted OID vector into page-aligned ranges, runs one task per range,
+/// and needs every range finished before the merge step. RunBatch models
+/// exactly that — submit all tasks, block until the last one completes —
+/// so the pool needs no futures, no task handles, and no shutdown
+/// coordination beyond the destructor.
+///
+/// Tasks must not call RunBatch themselves (a worker waiting on a nested
+/// batch could deadlock the pool); the executor only ever submits from
+/// the query thread. Multiple query threads may share one pool: batches
+/// interleave at task granularity.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Enqueues every task and blocks until all of them have run. The
+  /// calling thread participates: it drains queued tasks alongside the
+  /// workers before waiting, so an N-task batch reaches N-wide
+  /// parallelism with only N-1 free workers and degrades to plain serial
+  /// execution on a single core. Tasks must not throw; they report
+  /// failure through captured state (the executor gives each task a
+  /// Status slot).
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_COMMON_THREAD_POOL_H_

@@ -85,6 +85,11 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
                                              db->replication_.get());
   if (db->wal_ != nullptr) db->replication_->set_wal(db->wal_.get());
   db->replication_->set_pool(db->pool_.get());
+  db->executor_->set_write_mutex(&db->write_mu_);
+  if (options.worker_threads > 1) {
+    db->workers_ = std::make_unique<ThreadPool>(options.worker_threads);
+    db->executor_->set_worker_pool(db->workers_.get());
+  }
   if (restore) {
     FIELDREP_RETURN_IF_ERROR(db->RestoreFromDevice());
   } else {
@@ -146,6 +151,7 @@ Status Database::DecodeState(ByteReader* reader) {
     auto set =
         std::make_unique<ObjectSet>(pool_.get(), info->file_id, name, type);
     FIELDREP_RETURN_IF_ERROR(set->file().DecodeMetadata(metadata));
+    std::unique_lock<std::shared_mutex> lock(maps_mu_);
     sets_by_file_[info->file_id] = set.get();
     sets_.emplace(name, std::move(set));
   }
@@ -162,6 +168,7 @@ Status Database::DecodeState(ByteReader* reader) {
     }
     auto file = std::make_unique<RecordFile>(pool_.get(), file_id);
     FIELDREP_RETURN_IF_ERROR(file->DecodeMetadata(metadata));
+    std::unique_lock<std::shared_mutex> lock(maps_mu_);
     aux_files_.emplace(file_id, std::move(file));
   }
   uint16_t tree_count;
@@ -184,7 +191,21 @@ Status Database::DecodeState(ByteReader* reader) {
   return Status::OK();
 }
 
+Status Database::SetWorkerThreads(size_t n) {
+  std::lock_guard<std::recursive_mutex> lock(write_mu_);
+  // Detach before destroying so a pool is never visible to the executor
+  // while its threads are joining.
+  executor_->set_worker_pool(nullptr);
+  workers_.reset();
+  if (n > 1) {
+    workers_ = std::make_unique<ThreadPool>(n);
+    executor_->set_worker_pool(workers_.get());
+  }
+  return Status::OK();
+}
+
 Status Database::Checkpoint() {
+  std::lock_guard<std::recursive_mutex> lock(write_mu_);
   FIELDREP_RETURN_IF_ERROR(replication_->FlushAllPendingPropagation());
   if (wal_ != nullptr) {
     // The pre-commit hook writes the state blob inside this (otherwise
@@ -247,6 +268,7 @@ Status Database::WriteStateToMetaPages() {
 }
 
 std::string Database::StorageReport() {
+  std::shared_lock<std::shared_mutex> lock(maps_mu_);
   std::string out = "storage report\n";
   out += StringPrintf("  device pages: %u (%.1f KiB)\n",
                       device_->page_count(),
@@ -333,6 +355,7 @@ Status Database::RestoreFromDevice() {
 }
 
 std::vector<FileId> Database::AuxFileIds() const {
+  std::shared_lock<std::shared_mutex> lock(maps_mu_);
   std::vector<FileId> ids;
   ids.reserve(aux_files_.size());
   for (const auto& [file_id, file] : aux_files_) ids.push_back(file_id);
@@ -350,6 +373,7 @@ Status Database::CheckIntegrity(CheckReport* report) {
 }
 
 Status Database::DefineType(TypeDescriptor type) {
+  std::lock_guard<std::recursive_mutex> lock(write_mu_);
   WalTransaction txn(wal_.get());
   FIELDREP_RETURN_IF_ERROR(txn.begin_status());
   FIELDREP_RETURN_IF_ERROR(catalog_.DefineType(std::move(type)));
@@ -358,6 +382,7 @@ Status Database::DefineType(TypeDescriptor type) {
 
 Status Database::CreateSet(const std::string& name,
                            const std::string& type_name) {
+  std::lock_guard<std::recursive_mutex> lock(write_mu_);
   WalTransaction txn(wal_.get());
   FIELDREP_RETURN_IF_ERROR(txn.begin_status());
   FileId file_id;
@@ -365,14 +390,18 @@ Status Database::CreateSet(const std::string& name,
   FIELDREP_ASSIGN_OR_RETURN(const TypeDescriptor* type,
                             catalog_.GetType(type_name));
   auto set = std::make_unique<ObjectSet>(pool_.get(), file_id, name, type);
-  sets_by_file_[file_id] = set.get();
-  sets_.emplace(name, std::move(set));
+  {
+    std::unique_lock<std::shared_mutex> maps_lock(maps_mu_);
+    sets_by_file_[file_id] = set.get();
+    sets_.emplace(name, std::move(set));
+  }
   return txn.Commit();
 }
 
 Status Database::Replicate(const std::string& spec,
                            const ReplicateOptions& options,
                            uint16_t* path_id) {
+  std::lock_guard<std::recursive_mutex> lock(write_mu_);
   uint16_t id;
   FIELDREP_RETURN_IF_ERROR(replication_->CreatePath(spec, options, &id));
   if (path_id != nullptr) *path_id = id;
@@ -380,6 +409,7 @@ Status Database::Replicate(const std::string& spec,
 }
 
 Status Database::DropReplication(const std::string& spec) {
+  std::lock_guard<std::recursive_mutex> lock(write_mu_);
   const ReplicationPathInfo* path = catalog_.FindPathBySpec(spec);
   if (path == nullptr) {
     return Status::NotFound("no replication path " + spec);
@@ -390,6 +420,7 @@ Status Database::DropReplication(const std::string& spec) {
 Status Database::BuildIndex(const std::string& index_name,
                             const std::string& set_name,
                             const std::string& key_expr, bool clustered) {
+  std::lock_guard<std::recursive_mutex> lock(write_mu_);
   WalTransaction txn(wal_.get());
   FIELDREP_RETURN_IF_ERROR(txn.begin_status());
   FIELDREP_RETURN_IF_ERROR(
@@ -399,6 +430,7 @@ Status Database::BuildIndex(const std::string& index_name,
 
 Status Database::Insert(const std::string& set_name, const Object& object,
                         Oid* oid) {
+  std::lock_guard<std::recursive_mutex> lock(write_mu_);
   return replication_->InsertObject(set_name, object, oid);
 }
 
@@ -410,6 +442,7 @@ Status Database::Get(const std::string& set_name, const Oid& oid,
 
 Status Database::Update(const std::string& set_name, const Oid& oid,
                         const std::string& attr_name, const Value& value) {
+  std::lock_guard<std::recursive_mutex> lock(write_mu_);
   FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, GetSet(set_name));
   int attr = set->type().FindAttribute(attr_name);
   if (attr < 0) {
@@ -420,6 +453,7 @@ Status Database::Update(const std::string& set_name, const Oid& oid,
 }
 
 Status Database::Delete(const std::string& set_name, const Oid& oid) {
+  std::lock_guard<std::recursive_mutex> lock(write_mu_);
   return replication_->DeleteObject(set_name, oid);
 }
 
@@ -428,22 +462,28 @@ Status Database::Retrieve(const ReadQuery& query, ReadResult* result) {
 }
 
 Status Database::Replace(const UpdateQuery& query, UpdateResult* result) {
+  std::lock_guard<std::recursive_mutex> lock(write_mu_);
   return executor_->ExecuteUpdate(query, result);
 }
 
 Status Database::ColdStart() {
+  // Evicting every frame requires quiescence anyway (no pinned pages);
+  // the lock keeps a late writer from dirtying pages mid-eviction.
+  std::lock_guard<std::recursive_mutex> lock(write_mu_);
   FIELDREP_RETURN_IF_ERROR(pool_->EvictAll());
   pool_->ResetStats();
   return Status::OK();
 }
 
 Result<ObjectSet*> Database::GetSet(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(maps_mu_);
   auto it = sets_.find(name);
   if (it == sets_.end()) return Status::NotFound("no set named " + name);
   return it->second.get();
 }
 
 Result<ObjectSet*> Database::GetSetByFile(FileId file_id) {
+  std::shared_lock<std::shared_mutex> lock(maps_mu_);
   auto it = sets_by_file_.find(file_id);
   if (it == sets_by_file_.end()) {
     return Status::NotFound(StringPrintf("no set stored in file %u", file_id));
@@ -452,6 +492,7 @@ Result<ObjectSet*> Database::GetSetByFile(FileId file_id) {
 }
 
 Result<RecordFile*> Database::GetAuxFile(FileId file_id) {
+  std::shared_lock<std::shared_mutex> lock(maps_mu_);
   auto it = aux_files_.find(file_id);
   if (it == aux_files_.end()) {
     return Status::NotFound(
@@ -464,6 +505,7 @@ Result<RecordFile*> Database::CreateAuxFile(FileId* file_id) {
   *file_id = catalog_.AllocateFileId();
   auto file = std::make_unique<RecordFile>(pool_.get(), *file_id);
   RecordFile* raw = file.get();
+  std::unique_lock<std::shared_mutex> lock(maps_mu_);
   aux_files_.emplace(*file_id, std::move(file));
   return raw;
 }

@@ -3,12 +3,15 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "check/check_report.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "index/index_manager.h"
 #include "objects/set_provider.h"
 #include "query/executor.h"
@@ -78,6 +81,14 @@ class Database : public SetProvider {
     /// counters (IoStats::disk_reads / disk_writes) are identical for any
     /// window, so the paper's cost-model measurements are unaffected.
     uint32_t read_ahead_window = kDefaultReadAheadWindow;
+
+    /// Worker threads for parallel read-query execution (DESIGN.md §10).
+    /// 1 (the default) runs the original serial engine — no pool is
+    /// created and no query code path changes. Values > 1 attach a
+    /// fixed-size ThreadPool that ExecuteRead fans page-aligned OID
+    /// ranges out over; the logical I/O counters stay identical to the
+    /// serial plan. Mutations remain single-writer regardless.
+    size_t worker_threads = 1;
   };
 
   /// Opens a database. Never returns null on OK status.
@@ -122,7 +133,12 @@ class Database : public SetProvider {
   /// I/O counters: the state the cost model assumes at the start of a
   /// query. Benchmarks call this before each measured query.
   Status ColdStart();
-  const IoStats& io_stats() const { return pool_->stats(); }
+  IoStats io_stats() const { return pool_->stats(); }
+
+  /// Resizes the read-query worker pool (1 detaches it and restores the
+  /// serial engine). Callers must quiesce queries first; benchmarks use
+  /// this to sweep a thread ladder over one populated database.
+  Status SetWorkerThreads(size_t n);
 
   // --- Persistence -------------------------------------------------------------
 
@@ -209,7 +225,21 @@ class Database : public SetProvider {
   std::map<FileId, std::unique_ptr<RecordFile>> aux_files_;
   std::unique_ptr<IndexManager> indexes_;
   std::unique_ptr<ReplicationManager> replication_;
+  /// Declared before the executor that holds a raw pointer to it; the
+  /// executor is destroyed first, and RunBatch is blocking, so no task
+  /// can outlive a query — the join in ~ThreadPool finds an idle pool.
+  std::unique_ptr<ThreadPool> workers_;
   std::unique_ptr<Executor> executor_;
+  /// Single-writer rule (DESIGN.md §10): every mutating entry point
+  /// (schema, data, Checkpoint, ColdStart) runs under this mutex;
+  /// concurrent read queries take it only around their mutating steps
+  /// (deferred-propagation flushes, output spooling). Recursive because
+  /// the WAL pre-commit hook re-enters WriteStateToMetaPages from inside
+  /// a locked mutation.
+  std::recursive_mutex write_mu_;
+  /// Guards the set/aux-file maps: readers resolving OIDs take it
+  /// shared, CreateSet/CreateAuxFile/DecodeState take it unique.
+  mutable std::shared_mutex maps_mu_;
   /// Pages holding the most recent checkpoint blob (page 0 is the header).
   std::vector<PageId> meta_pages_;
   RecoveryStats recovery_stats_;

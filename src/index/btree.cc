@@ -268,10 +268,14 @@ Status BTree::Insert(int64_t key, Oid value) {
 }
 
 Status BTree::FindLeaf(int64_t key, uint64_t val, PageId* leaf) const {
+  // Shared latches, one node at a time: concurrent readers may descend
+  // together. Structural modification (Insert/Delete) is writer-only and
+  // must not run concurrently with reads (see DESIGN.md §10).
   PageId node = root_;
   for (;;) {
     PageGuard guard;
-    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(node, &guard));
+    FIELDREP_RETURN_IF_ERROR(
+        pool_->FetchPage(node, &guard, LatchMode::kShared));
     const uint8_t* p = guard.data();
     if (IsLeaf(p)) {
       *leaf = node;
@@ -326,18 +330,35 @@ Status BTree::ScanRange(int64_t lo, int64_t hi,
   // physical I/O — never a page of the paper's cost unit.
   const uint32_t window = pool_->read_ahead_window();
   PageId prefetched_until = 0;  // highest page id already hinted
+  std::vector<std::pair<int64_t, uint64_t>> entries;
   while (leaf != kInvalidPageId) {
-    PageGuard guard;
-    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(leaf, &guard));
-    const uint8_t* p = guard.data();
-    uint16_t n = Count(p);
-    uint32_t start = LeafLowerBound(p, lo, 0);
-    for (uint32_t i = start; i < n; ++i) {
-      int64_t key = LeafKey(p, i);
-      if (key > hi) return Status::OK();
-      if (!fn(key, Oid::FromPacked(LeafVal(p, i)))) return Status::OK();
+    // Collect the leaf's entries under a shared latch, then run the
+    // callbacks (and the prefetch, which may block on victim writeback)
+    // after releasing it: readers never block while holding a latch.
+    entries.clear();
+    bool done = false;
+    PageId next;
+    {
+      PageGuard guard;
+      FIELDREP_RETURN_IF_ERROR(
+          pool_->FetchPage(leaf, &guard, LatchMode::kShared));
+      const uint8_t* p = guard.data();
+      uint16_t n = Count(p);
+      uint32_t start = LeafLowerBound(p, lo, 0);
+      for (uint32_t i = start; i < n; ++i) {
+        int64_t key = LeafKey(p, i);
+        if (key > hi) {
+          done = true;
+          break;
+        }
+        entries.emplace_back(key, LeafVal(p, i));
+      }
+      next = NextLeaf(p);
     }
-    PageId next = NextLeaf(p);
+    for (const auto& [key, val] : entries) {
+      if (!fn(key, Oid::FromPacked(val))) return Status::OK();
+    }
+    if (done) return Status::OK();
     if (window > 0 && next != kInvalidPageId && next == leaf + 1 &&
         next + window > prefetched_until) {
       std::vector<PageId> ahead(window);
@@ -356,7 +377,8 @@ Result<uint32_t> BTree::Height() const {
   PageId node = root_;
   for (;;) {
     PageGuard guard;
-    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(node, &guard));
+    FIELDREP_RETURN_IF_ERROR(
+        pool_->FetchPage(node, &guard, LatchMode::kShared));
     const uint8_t* p = guard.data();
     if (IsLeaf(p)) return height;
     node = Child0(p);
@@ -394,8 +416,13 @@ Status BTree::CheckNode(PageId node, bool is_root, int64_t lo_key,
                         uint64_t lo_val, bool has_lo, int64_t hi_key,
                         uint64_t hi_val, bool has_hi, uint32_t* height,
                         uint32_t* pages) const {
+  // Holds the parent's guard across the child recursion (unlike the hot
+  // read paths), so this check must run quiesced — which integrity
+  // checking always does. Shared mode keeps it off the WAL's
+  // OnPageAccess path.
   PageGuard guard;
-  FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(node, &guard));
+  FIELDREP_RETURN_IF_ERROR(
+      pool_->FetchPage(node, &guard, LatchMode::kShared));
   const uint8_t* p = guard.data();
   ++*pages;
   uint16_t n = Count(p);

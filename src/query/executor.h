@@ -1,11 +1,14 @@
 #ifndef FIELDREP_QUERY_EXECUTOR_H_
 #define FIELDREP_QUERY_EXECUTOR_H_
 
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "index/index_manager.h"
 #include "objects/set_provider.h"
 #include "query/read_query.h"
@@ -27,6 +30,16 @@ namespace fieldrep {
 ///
 /// Updates locate target objects the same way and route every assignment
 /// through the ReplicationManager so replicated data stays consistent.
+///
+/// Parallel reads (DESIGN.md §10): when a worker pool with more than one
+/// thread is attached, ExecuteRead partitions each stage's sorted OID
+/// batch into page-aligned ranges and runs them concurrently. Page
+/// alignment means no page is split across workers, so with a
+/// buffer-resident pool the logical I/O counters (fetches, hits,
+/// disk_reads) are identical to the serial plan's — each page costs one
+/// disk_read plus hits regardless of which worker touches it first. With
+/// no pool (or one thread) the executor runs the original serial code
+/// path unchanged.
 class Executor {
  public:
   Executor(Catalog* catalog, SetProvider* sets, IndexManager* indexes,
@@ -37,6 +50,14 @@ class Executor {
 
   Status ExecuteRead(const ReadQuery& query, ReadResult* result);
   Status ExecuteUpdate(const UpdateQuery& query, UpdateResult* result);
+
+  /// Attaches (or detaches, with nullptr) the worker pool parallel reads
+  /// run on. Not thread-safe: call while no query is executing.
+  void set_worker_pool(ThreadPool* pool) { workers_ = pool; }
+  /// Mutex serializing mutations (owned by the Database). ExecuteRead
+  /// takes it around its mutating steps (deferred-propagation flushes,
+  /// output spooling) so read queries can run concurrently with writes.
+  void set_write_mutex(std::recursive_mutex* mu) { write_mu_ = mu; }
 
   /// Lazily creates the output file T; called automatically by reads with
   /// write_output.
@@ -103,11 +124,27 @@ class Executor {
   /// that path's pending queue first.
   Status FlushDeferredForPlan(const ColumnPlan& plan);
 
+  /// Stages 0–2 of ExecuteRead, original single-threaded implementation.
+  Status RunReadStagesSerial(ReadResult* result, ObjectSet* set,
+                             const std::vector<ColumnPlan>& plans,
+                             bool needs_recheck,
+                             const std::optional<BoundClause>& clause,
+                             const std::vector<Oid>& oids);
+
+  /// Stages 0–2 of ExecuteRead fanned out over the worker pool.
+  Status RunReadStagesParallel(ReadResult* result, ObjectSet* set,
+                               const std::vector<ColumnPlan>& plans,
+                               bool needs_recheck,
+                               const std::optional<BoundClause>& clause,
+                               const std::vector<Oid>& oids);
+
   Catalog* catalog_;
   SetProvider* sets_;
   IndexManager* indexes_;
   ReplicationManager* replication_;
   FileId output_file_id_ = kInvalidFileId;
+  ThreadPool* workers_ = nullptr;
+  std::recursive_mutex* write_mu_ = nullptr;
 };
 
 }  // namespace fieldrep

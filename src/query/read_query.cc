@@ -1,5 +1,7 @@
 #include <algorithm>
+#include <functional>
 #include <span>
+#include <utility>
 
 #include "common/bytes.h"
 #include "common/strings.h"
@@ -25,61 +27,46 @@ std::string SerializeOutputRow(const std::vector<Value>& row, uint32_t pad) {
 Oid RefOrInvalid(const Value& v) {
   return v.is_ref() ? v.as_ref() : Oid::Invalid();
 }
+
+struct PendingReplica {
+  size_t row;
+  Oid replica_oid;
+};
+struct PendingJoin {
+  size_t row;
+  Oid current;
+};
+
+/// Splits `n` sorted items into at most `parts` contiguous [begin, end)
+/// ranges without splitting a page across ranges: a range boundary is
+/// moved forward while the item before it addresses the same page. With a
+/// buffer-resident pool this makes the logical I/O counters independent
+/// of which worker processes which range — every page is fetched by
+/// exactly one range's access stream plus single-flight-deduplicated
+/// concurrent hits.
+std::vector<std::pair<size_t, size_t>> PageAlignedRanges(
+    size_t n, size_t parts, const std::function<PageId(size_t)>& page_of) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  if (n == 0 || parts == 0) return ranges;
+  const size_t target = (n + parts - 1) / parts;
+  size_t start = 0;
+  while (start < n) {
+    size_t end = std::min(start + target, n);
+    while (end < n && page_of(end) == page_of(end - 1)) ++end;
+    ranges.emplace_back(start, end);
+    start = end;
+  }
+  return ranges;
+}
 }  // namespace
 
-Status Executor::ExecuteRead(const ReadQuery& query, ReadResult* result) {
-  *result = ReadResult();
-  FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, sets_->GetSet(query.set_name));
-
-  // Plan projections.
-  std::vector<ColumnPlan> plans;
-  plans.reserve(query.projections.size());
-  for (const std::string& projection : query.projections) {
-    ColumnPlan plan;
-    FIELDREP_RETURN_IF_ERROR(PlanColumn(*set, query.set_name,
-                                        query.use_replication, projection,
-                                        &plan));
-    // "Not propagated until needed": reading through a deferred path is
-    // the need.
-    FIELDREP_RETURN_IF_ERROR(FlushDeferredForPlan(plan));
-    plans.push_back(std::move(plan));
-  }
-  result->access.reserve(plans.size());
-  for (const ColumnPlan& plan : plans) {
-    switch (plan.kind) {
-      case ColumnPlan::Kind::kAttr:
-        result->access.push_back(ReadResult::Access::kAttribute);
-        break;
-      case ColumnPlan::Kind::kReplica:
-        result->access.push_back(
-            plan.path->strategy == ReplicationStrategy::kInPlace
-                ? ReadResult::Access::kReplicaInPlace
-                : ReadResult::Access::kReplicaSeparate);
-        break;
-      case ColumnPlan::Kind::kJoin:
-        result->access.push_back(ReadResult::Access::kJoin);
-        break;
-    }
-  }
-
-  // Resolve the clause to sorted head OIDs.
-  bool needs_recheck = false;
-  std::optional<BoundClause> clause;
-  std::vector<Oid> oids;
-  FIELDREP_RETURN_IF_ERROR(CollectTargets(
-      set, query.predicate, query.set_name, query.use_replication,
-      &result->used_index, &needs_recheck, &clause, &oids));
-
+Status Executor::RunReadStagesSerial(ReadResult* result, ObjectSet* set,
+                                     const std::vector<ColumnPlan>& plans,
+                                     bool needs_recheck,
+                                     const std::optional<BoundClause>& clause,
+                                     const std::vector<Oid>& oids) {
   // Stage 0: fetch head objects in physical order; evaluate attribute and
   // in-place-replica columns; queue separate-replica reads and joins.
-  struct PendingReplica {
-    size_t row;
-    Oid replica_oid;
-  };
-  struct PendingJoin {
-    size_t row;
-    Oid current;
-  };
   std::vector<std::vector<PendingReplica>> pending_replicas(plans.size());
   std::vector<std::vector<PendingJoin>> pending_joins(plans.size());
 
@@ -221,9 +208,321 @@ Status Executor::ExecuteRead(const ReadQuery& query, ReadResult* result) {
       if (!last) frontier = std::move(next);
     }
   }
+  return Status::OK();
+}
 
-  // Stage 3: spool result tuples to the output file T.
+Status Executor::RunReadStagesParallel(
+    ReadResult* result, ObjectSet* set,
+    const std::vector<ColumnPlan>& plans, bool needs_recheck,
+    const std::optional<BoundClause>& clause, const std::vector<Oid>& oids) {
+  BufferPool* pool = set->file().pool();
+  const uint32_t window = pool->read_ahead_window();
+  const size_t nworkers = workers_->size();
+
+  // Stage 0 fan-out: page-aligned ranges of the sorted head OIDs. Each
+  // worker runs the serial stage-0 loop over its range with worker-local
+  // row/pending accumulators (row indices local to the range); the merge
+  // below concatenates them in range order, so the result rows come out
+  // in exactly the serial order.
+  std::vector<std::pair<size_t, size_t>> ranges = PageAlignedRanges(
+      oids.size(), nworkers, [&](size_t i) { return oids[i].page_id; });
+
+  struct Stage0Out {
+    std::vector<std::vector<Value>> rows;
+    uint64_t heads = 0;
+    std::vector<std::vector<PendingReplica>> pending_replicas;
+    std::vector<std::vector<PendingJoin>> pending_joins;
+    Status status;
+  };
+  std::vector<Stage0Out> outs(ranges.size());
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(ranges.size());
+    for (size_t r = 0; r < ranges.size(); ++r) {
+      outs[r].pending_replicas.resize(plans.size());
+      outs[r].pending_joins.resize(plans.size());
+      tasks.emplace_back([&, r] {
+        Stage0Out& out = outs[r];
+        const size_t begin = ranges[r].first;
+        const size_t end = ranges[r].second;
+        out.status = [&]() -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            if (window > 0 && (i - begin) % window == 0) {
+              size_t ahead = std::min<size_t>(window, end - i);
+              (void)pool->PrefetchOidPages(
+                  std::span<const Oid>(oids.data() + i, ahead));
+            }
+            const Oid& oid = oids[i];
+            Object object;
+            FIELDREP_RETURN_IF_ERROR(set->Read(oid, &object));
+            if (needs_recheck && clause.has_value()) {
+              FIELDREP_ASSIGN_OR_RETURN(Value value,
+                                        EvaluateColumn(clause->plan, object));
+              FIELDREP_ASSIGN_OR_RETURN(bool match,
+                                        clause->predicate.Matches(value));
+              if (!match) continue;
+            }
+            ++out.heads;
+            size_t row_index = out.rows.size();
+            std::vector<Value> row(plans.size(), Value::Null());
+            for (size_t c = 0; c < plans.size(); ++c) {
+              const ColumnPlan& plan = plans[c];
+              switch (plan.kind) {
+                case ColumnPlan::Kind::kAttr:
+                  row[c] = object.field(plan.attr_index);
+                  break;
+                case ColumnPlan::Kind::kReplica: {
+                  if (plan.path->strategy == ReplicationStrategy::kInPlace) {
+                    const ReplicaValueSlot* slot =
+                        object.FindReplicaValues(plan.path->id);
+                    if (slot != nullptr &&
+                        plan.replica_pos <
+                            static_cast<int>(slot->values.size())) {
+                      row[c] = slot->values[plan.replica_pos];
+                    }
+                  } else {
+                    const ReplicaRefSlot* slot =
+                        object.FindReplicaRef(plan.path->id);
+                    if (slot != nullptr) {
+                      out.pending_replicas[c].push_back(
+                          {row_index, slot->replica_oid});
+                    }
+                  }
+                  break;
+                }
+                case ColumnPlan::Kind::kJoin: {
+                  Oid start;
+                  if (plan.path != nullptr) {
+                    const ReplicaValueSlot* slot =
+                        object.FindReplicaValues(plan.path->id);
+                    if (slot != nullptr &&
+                        plan.replica_pos <
+                            static_cast<int>(slot->values.size())) {
+                      start = RefOrInvalid(slot->values[plan.replica_pos]);
+                    }
+                  } else {
+                    start = RefOrInvalid(object.field(plan.start_attr));
+                  }
+                  if (start.valid()) {
+                    out.pending_joins[c].push_back({row_index, start});
+                  }
+                  break;
+                }
+              }
+            }
+            out.rows.push_back(std::move(row));
+          }
+          return Status::OK();
+        }();
+      });
+    }
+    workers_->RunBatch(std::move(tasks));
+  }
+  for (const Stage0Out& out : outs) {
+    FIELDREP_RETURN_IF_ERROR(out.status);
+  }
+
+  // Merge in range order; local row indices shift by the range's base.
+  std::vector<std::vector<PendingReplica>> pending_replicas(plans.size());
+  std::vector<std::vector<PendingJoin>> pending_joins(plans.size());
+  for (Stage0Out& out : outs) {
+    const size_t base = result->rows.size();
+    result->heads_scanned += out.heads;
+    for (std::vector<Value>& row : out.rows) {
+      result->rows.push_back(std::move(row));
+    }
+    for (size_t c = 0; c < plans.size(); ++c) {
+      for (const PendingReplica& p : out.pending_replicas[c]) {
+        pending_replicas[c].push_back({base + p.row, p.replica_oid});
+      }
+      for (const PendingJoin& p : out.pending_joins[c]) {
+        pending_joins[c].push_back({base + p.row, p.current});
+      }
+    }
+  }
+
+  // Stage 1: separate-replica columns. Globally sorted by replica OID
+  // (the serial clustered-read order), then page-aligned ranges; each
+  // entry writes its own result cell, so workers touch disjoint memory.
+  for (size_t c = 0; c < plans.size(); ++c) {
+    if (pending_replicas[c].empty()) continue;
+    const ColumnPlan& plan = plans[c];
+    std::vector<PendingReplica>& pending = pending_replicas[c];
+    std::sort(pending.begin(), pending.end(),
+              [](const PendingReplica& a, const PendingReplica& b) {
+                return a.replica_oid < b.replica_oid;
+              });
+    FIELDREP_ASSIGN_OR_RETURN(
+        RecordFile * file, sets_->GetAuxFile(plan.path->replica_set_file));
+    std::vector<std::pair<size_t, size_t>> col_ranges =
+        PageAlignedRanges(pending.size(), nworkers, [&](size_t i) {
+          return pending[i].replica_oid.page_id;
+        });
+    std::vector<Status> statuses(col_ranges.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(col_ranges.size());
+    for (size_t r = 0; r < col_ranges.size(); ++r) {
+      tasks.emplace_back([&, r] {
+        const size_t begin = col_ranges[r].first;
+        const size_t end = col_ranges[r].second;
+        statuses[r] = [&]() -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            if (window > 0 && (i - begin) % window == 0) {
+              std::vector<Oid> batch;
+              size_t ahead = std::min<size_t>(window, end - i);
+              batch.reserve(ahead);
+              for (size_t j = i; j < i + ahead; ++j) {
+                batch.push_back(pending[j].replica_oid);
+              }
+              (void)pool->PrefetchOidPages(batch);
+            }
+            const PendingReplica& entry = pending[i];
+            std::string payload;
+            FIELDREP_RETURN_IF_ERROR(file->Read(entry.replica_oid, &payload));
+            ReplicaRecord record;
+            FIELDREP_RETURN_IF_ERROR(record.Deserialize(payload));
+            if (plan.replica_pos < static_cast<int>(record.values.size())) {
+              result->rows[entry.row][c] = record.values[plan.replica_pos];
+            }
+          }
+          return Status::OK();
+        }();
+      });
+    }
+    workers_->RunBatch(std::move(tasks));
+    for (const Status& s : statuses) {
+      FIELDREP_RETURN_IF_ERROR(s);
+    }
+  }
+
+  // Stage 2: functional joins, level by level. Each level sorts the
+  // frontier globally (the optimal-join discipline), fans out over
+  // page-aligned ranges, and concatenates the workers' next-frontier
+  // vectors in range order; the next level re-sorts, so concatenation
+  // order never affects the outcome.
+  for (size_t c = 0; c < plans.size(); ++c) {
+    if (pending_joins[c].empty()) continue;
+    const ColumnPlan& plan = plans[c];
+    std::vector<PendingJoin> frontier = std::move(pending_joins[c]);
+    for (size_t hop = 0; hop < plan.hop_attrs.size(); ++hop) {
+      bool last = (hop + 1 == plan.hop_attrs.size());
+      std::sort(frontier.begin(), frontier.end(),
+                [](const PendingJoin& a, const PendingJoin& b) {
+                  return a.current < b.current;
+                });
+      std::vector<std::pair<size_t, size_t>> hop_ranges = PageAlignedRanges(
+          frontier.size(), nworkers,
+          [&](size_t i) { return frontier[i].current.page_id; });
+      std::vector<Status> statuses(hop_ranges.size());
+      std::vector<std::vector<PendingJoin>> nexts(hop_ranges.size());
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(hop_ranges.size());
+      for (size_t r = 0; r < hop_ranges.size(); ++r) {
+        tasks.emplace_back([&, r, hop, last] {
+          const size_t begin = hop_ranges[r].first;
+          const size_t end = hop_ranges[r].second;
+          statuses[r] = [&]() -> Status {
+            for (size_t i = begin; i < end; ++i) {
+              if (window > 0 && (i - begin) % window == 0) {
+                std::vector<Oid> batch;
+                size_t ahead = std::min<size_t>(window, end - i);
+                batch.reserve(ahead);
+                for (size_t j = i; j < i + ahead; ++j) {
+                  batch.push_back(frontier[j].current);
+                }
+                (void)pool->PrefetchOidPages(batch);
+              }
+              const PendingJoin& entry = frontier[i];
+              Object target;
+              FIELDREP_RETURN_IF_ERROR(ReadObjectAt(entry.current, &target));
+              const Value& v = target.field(plan.hop_attrs[hop]);
+              if (last) {
+                result->rows[entry.row][c] = v;
+              } else {
+                Oid next_oid = RefOrInvalid(v);
+                if (next_oid.valid()) nexts[r].push_back({entry.row, next_oid});
+              }
+            }
+            return Status::OK();
+          }();
+        });
+      }
+      workers_->RunBatch(std::move(tasks));
+      for (const Status& s : statuses) {
+        FIELDREP_RETURN_IF_ERROR(s);
+      }
+      if (!last) {
+        frontier.clear();
+        for (std::vector<PendingJoin>& next : nexts) {
+          frontier.insert(frontier.end(), next.begin(), next.end());
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Executor::ExecuteRead(const ReadQuery& query, ReadResult* result) {
+  *result = ReadResult();
+  FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, sets_->GetSet(query.set_name));
+
+  // Plan projections.
+  std::vector<ColumnPlan> plans;
+  plans.reserve(query.projections.size());
+  for (const std::string& projection : query.projections) {
+    ColumnPlan plan;
+    FIELDREP_RETURN_IF_ERROR(PlanColumn(*set, query.set_name,
+                                        query.use_replication, projection,
+                                        &plan));
+    // "Not propagated until needed": reading through a deferred path is
+    // the need.
+    FIELDREP_RETURN_IF_ERROR(FlushDeferredForPlan(plan));
+    plans.push_back(std::move(plan));
+  }
+  result->access.reserve(plans.size());
+  for (const ColumnPlan& plan : plans) {
+    switch (plan.kind) {
+      case ColumnPlan::Kind::kAttr:
+        result->access.push_back(ReadResult::Access::kAttribute);
+        break;
+      case ColumnPlan::Kind::kReplica:
+        result->access.push_back(
+            plan.path->strategy == ReplicationStrategy::kInPlace
+                ? ReadResult::Access::kReplicaInPlace
+                : ReadResult::Access::kReplicaSeparate);
+        break;
+      case ColumnPlan::Kind::kJoin:
+        result->access.push_back(ReadResult::Access::kJoin);
+        break;
+    }
+  }
+
+  // Resolve the clause to sorted head OIDs.
+  bool needs_recheck = false;
+  std::optional<BoundClause> clause;
+  std::vector<Oid> oids;
+  FIELDREP_RETURN_IF_ERROR(CollectTargets(
+      set, query.predicate, query.set_name, query.use_replication,
+      &result->used_index, &needs_recheck, &clause, &oids));
+
+  // With one worker (or no pool) run the pre-parallelism serial code
+  // unchanged; the parallel path requires at least two items to split.
+  const bool parallel =
+      workers_ != nullptr && workers_->size() > 1 && oids.size() > 1;
+  if (parallel) {
+    FIELDREP_RETURN_IF_ERROR(RunReadStagesParallel(
+        result, set, plans, needs_recheck, clause, oids));
+  } else {
+    FIELDREP_RETURN_IF_ERROR(RunReadStagesSerial(
+        result, set, plans, needs_recheck, clause, oids));
+  }
+  // Stage 3: spool result tuples to the output file T. Always serial —
+  // output insertion is a mutation, so it holds the writer mutex.
   if (query.write_output) {
+    std::unique_lock<std::recursive_mutex> write_lock;
+    if (write_mu_ != nullptr) {
+      write_lock = std::unique_lock<std::recursive_mutex>(*write_mu_);
+    }
     FIELDREP_ASSIGN_OR_RETURN(RecordFile * out, output_file());
     for (const std::vector<Value>& row : result->rows) {
       Oid ignored;

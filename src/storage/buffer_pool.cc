@@ -18,66 +18,117 @@ inline uint64_t NowNs() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
 }  // namespace
 
-PageGuard::PageGuard(BufferPool* pool, size_t frame_index)
-    : pool_(pool), frame_index_(frame_index) {}
+PageGuard::PageGuard(BufferPool* pool, size_t frame_index, LatchMode mode)
+    : pool_(pool), frame_index_(frame_index), mode_(mode) {
+#ifndef NDEBUG
+  debug_state_ = DebugState::kActive;
+#endif
+}
 
-PageGuard::~PageGuard() { Release(); }
+PageGuard::~PageGuard() { ReleaseInternal(); }
 
 PageGuard::PageGuard(PageGuard&& other) noexcept
-    : pool_(other.pool_), frame_index_(other.frame_index_) {
+    : pool_(other.pool_), frame_index_(other.frame_index_), mode_(other.mode_) {
+#ifndef NDEBUG
+  debug_state_ = other.debug_state_;
+  other.debug_state_ = DebugState::kMoved;
+#endif
   other.pool_ = nullptr;
+  other.frame_index_ = 0;
+  other.mode_ = LatchMode::kExclusive;
 }
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
-    Release();
+    ReleaseInternal();
     pool_ = other.pool_;
     frame_index_ = other.frame_index_;
+    mode_ = other.mode_;
+#ifndef NDEBUG
+    debug_state_ = other.debug_state_;
+    other.debug_state_ = DebugState::kMoved;
+#endif
     other.pool_ = nullptr;
+    other.frame_index_ = 0;
+    other.mode_ = LatchMode::kExclusive;
   }
   return *this;
 }
 
 uint8_t* PageGuard::data() {
   assert(valid());
+#ifndef NDEBUG
+  assert(debug_state_ == DebugState::kActive);
+#endif
   return pool_->frames_[frame_index_].data.get();
 }
 
 const uint8_t* PageGuard::data() const {
   assert(valid());
+#ifndef NDEBUG
+  assert(debug_state_ == DebugState::kActive);
+#endif
   return pool_->frames_[frame_index_].data.get();
 }
 
 PageId PageGuard::page_id() const {
   assert(valid());
+#ifndef NDEBUG
+  assert(debug_state_ == DebugState::kActive);
+#endif
   return pool_->frames_[frame_index_].page_id;
 }
 
 void PageGuard::MarkDirty() {
   assert(valid());
+#ifndef NDEBUG
+  assert(debug_state_ == DebugState::kActive);
+#endif
+  // Readers never dirty pages: the single-writer model (and the WAL's
+  // pre-image capture, which only exclusive fetches trigger) depends on it.
+  assert(mode_ == LatchMode::kExclusive);
   BufferPool::Frame& frame = pool_->frames_[frame_index_];
-  frame.dirty = true;
+  frame.dirty.store(true, kRelaxed);
   if (pool_->observer_ != nullptr) {
     pool_->observer_->OnPageDirtied(frame.page_id);
   }
 }
 
 void PageGuard::Release() {
+#ifndef NDEBUG
+  assert(debug_state_ != DebugState::kReleased && "PageGuard double release");
+  assert(debug_state_ != DebugState::kMoved &&
+         "PageGuard released after being moved from");
+#endif
+  ReleaseInternal();
+}
+
+void PageGuard::ReleaseInternal() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_index_);
+    pool_->Unpin(frame_index_, mode_);
     pool_ = nullptr;
+    frame_index_ = 0;
   }
+#ifndef NDEBUG
+  if (debug_state_ == DebugState::kActive) {
+    debug_state_ = DebugState::kReleased;
+  }
+#endif
 }
 
 BufferPool::BufferPool(StorageDevice* device, size_t capacity)
     : device_(device) {
   assert(capacity >= 1);
-  frames_.resize(capacity);
-  for (auto& frame : frames_) {
-    frame.data = std::make_unique<uint8_t[]>(kPageSize);
+  capacity_ = capacity;
+  frames_ = std::make_unique<Frame[]>(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    frames_[i].data = std::make_unique<uint8_t[]>(kPageSize);
   }
+  shards_ = std::make_unique<Shard[]>(kShardCount);
   free_frames_.reserve(capacity);
   for (size_t i = capacity; i > 0; --i) free_frames_.push_back(i - 1);
 }
@@ -99,164 +150,282 @@ BufferPool::~BufferPool() {
   }
 }
 
-Status BufferPool::FetchPage(PageId page_id, PageGuard* guard) {
-  ++stats_.fetches;
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    Frame& frame = frames_[it->second];
-    if (frame.prefetched) {
-      // First logical access of a prefetched page: charge the read the
-      // caller would have performed without read-ahead, so the logical
-      // counters are independent of the read-ahead window.
-      frame.prefetched = false;
-      ++stats_.disk_reads;
+Status BufferPool::FetchPage(PageId page_id, PageGuard* guard,
+                             LatchMode mode) {
+  stats_.fetches.fetch_add(1, kRelaxed);
+  Shard& shard = ShardFor(page_id);
+  size_t frame_index = kFrameInFlight;
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    for (;;) {
+      auto it = shard.table.find(page_id);
+      if (it == shard.table.end()) {
+        // Miss: claim the fill so concurrent fetchers of this page wait
+        // for our device read instead of issuing their own (single-flight
+        // — also what keeps the logical counters interleaving-invariant).
+        shard.table.emplace(page_id, kFrameInFlight);
+        break;
+      }
+      if (it->second == kFrameInFlight) {
+        shard.cv.wait(lock);
+        continue;  // installed, or abandoned (then we claim the fill)
+      }
+      frame_index = it->second;
+      Frame& frame = frames_[frame_index];
+      if (frame.prefetched.load(kRelaxed)) {
+        // First logical access of a prefetched page: charge the read the
+        // caller would have performed without read-ahead, so the logical
+        // counters are independent of the read-ahead window.
+        frame.prefetched.store(false, kRelaxed);
+        stats_.disk_reads.fetch_add(1, kRelaxed);
+      } else {
+        stats_.hits.fetch_add(1, kRelaxed);
+      }
+      frame.pin_count.fetch_add(1, kRelaxed);
+      frame.referenced.store(true, kRelaxed);
+      break;
+    }
+  }
+
+  if (frame_index != kFrameInFlight) {
+    // Hit. The pin (taken under the shard lock) keeps the frame resident;
+    // the latch is acquired with no other lock held, so blocking on a
+    // writer here cannot deadlock.
+    Frame& frame = frames_[frame_index];
+    if (mode == LatchMode::kExclusive) {
+      frame.latch.lock();
+      if (observer_ != nullptr) {
+        observer_->OnPageAccess(page_id, frame.data.get());
+      }
     } else {
-      ++stats_.hits;
+      frame.latch.lock_shared();
     }
-    ++frame.pin_count;
-    frame.referenced = true;
-    if (observer_ != nullptr) {
-      observer_->OnPageAccess(page_id, frame.data.get());
-    }
-    *guard = PageGuard(this, it->second);
+    *guard = PageGuard(this, frame_index, mode);
     return Status::OK();
   }
 
-  size_t frame_index;
-  FIELDREP_RETURN_IF_ERROR(GetVictimFrame(&frame_index));
+  // Miss with the fill claimed: take a victim and read the device.
+  {
+    std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+    Status s = GetVictimFrame(&frame_index);
+    if (!s.ok()) {
+      AbandonFill(page_id, kFrameInFlight);
+      return s;
+    }
+    // Claim against concurrent sweeps before victim_mutex_ drops: the
+    // frame is off the free list and out of the table, and a nonzero pin
+    // keeps the clock hand away while we fill it.
+    frames_[frame_index].pin_count.store(1, kRelaxed);
+  }
   Frame& frame = frames_[frame_index];
   uint64_t start_ns = NowNs();
   Status s = device_->ReadPage(page_id, frame.data.get());
-  stats_.read_ns += NowNs() - start_ns;
+  stats_.read_ns.fetch_add(NowNs() - start_ns, kRelaxed);
   if (!s.ok()) {
-    free_frames_.push_back(frame_index);
+    AbandonFill(page_id, frame_index);
     return s;
   }
-  ++stats_.disk_reads;
-  stats_.bytes_read += kPageSize;
+  stats_.disk_reads.fetch_add(1, kRelaxed);
+  stats_.bytes_read.fetch_add(kPageSize, kRelaxed);
   // Page 0 is the magic-prefixed database header, not a headered page.
-  if (verify_checksums_ && page_id != 0 &&
+  if (verify_checksums_.load(kRelaxed) && page_id != 0 &&
       !VerifyPageChecksum(frame.data.get())) {
-    free_frames_.push_back(frame_index);
+    AbandonFill(page_id, frame_index);
     return Status::Corruption(
         StringPrintf("page %u failed checksum verification", page_id));
   }
   frame.page_id = page_id;
-  frame.pin_count = 1;
-  frame.page_lsn = 0;
-  frame.dirty = false;
-  frame.referenced = true;
-  frame.in_use = true;
-  frame.prefetched = false;
-  page_table_[page_id] = frame_index;
-  if (observer_ != nullptr) {
-    observer_->OnPageAccess(page_id, frame.data.get());
+  frame.page_lsn.store(0, kRelaxed);
+  frame.dirty.store(false, kRelaxed);
+  frame.referenced.store(true, kRelaxed);
+  frame.in_use.store(true, kRelaxed);
+  frame.prefetched.store(false, kRelaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.table[page_id] = frame_index;
   }
-  *guard = PageGuard(this, frame_index);
+  shard.cv.notify_all();
+  if (mode == LatchMode::kExclusive) {
+    frame.latch.lock();
+    if (observer_ != nullptr) {
+      observer_->OnPageAccess(page_id, frame.data.get());
+    }
+  } else {
+    frame.latch.lock_shared();
+  }
+  *guard = PageGuard(this, frame_index, mode);
   return Status::OK();
 }
 
 Status BufferPool::NewPage(PageGuard* guard) {
   PageId page_id;
   FIELDREP_RETURN_IF_ERROR(device_->AllocatePage(&page_id));
+  Shard& shard = ShardFor(page_id);
+  {
+    // A stale concurrent fetch of this (previously unallocated) id may
+    // have an in-flight marker up; wait it out, then claim the slot.
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.cv.wait(lock, [&] {
+      auto it = shard.table.find(page_id);
+      return it == shard.table.end() || it->second != kFrameInFlight;
+    });
+    assert(shard.table.count(page_id) == 0);
+    shard.table.emplace(page_id, kFrameInFlight);
+  }
   size_t frame_index;
-  FIELDREP_RETURN_IF_ERROR(GetVictimFrame(&frame_index));
+  {
+    std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+    Status s = GetVictimFrame(&frame_index);
+    if (!s.ok()) {
+      AbandonFill(page_id, kFrameInFlight);
+      return s;
+    }
+    frames_[frame_index].pin_count.store(1, kRelaxed);
+  }
   Frame& frame = frames_[frame_index];
   std::memset(frame.data.get(), 0, kPageSize);
   frame.page_id = page_id;
-  frame.pin_count = 1;
-  frame.page_lsn = 0;
+  frame.page_lsn.store(0, kRelaxed);
   // A fresh page is dirty by definition: its contents exist only here.
-  frame.dirty = true;
-  frame.referenced = true;
-  frame.in_use = true;
-  frame.prefetched = false;
-  page_table_[page_id] = frame_index;
+  frame.dirty.store(true, kRelaxed);
+  frame.referenced.store(true, kRelaxed);
+  frame.in_use.store(true, kRelaxed);
+  frame.prefetched.store(false, kRelaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.table[page_id] = frame_index;
+  }
+  shard.cv.notify_all();
+  frame.latch.lock();
   if (observer_ != nullptr) {
     observer_->OnPageAccess(page_id, frame.data.get());
     observer_->OnPageDirtied(page_id);
   }
-  *guard = PageGuard(this, frame_index);
+  *guard = PageGuard(this, frame_index, LatchMode::kExclusive);
   return Status::OK();
 }
 
 Status BufferPool::Prefetch(std::span<const PageId> page_ids) {
-  if (read_ahead_window_ == 0 || page_ids.empty()) return Status::OK();
-
-  // Distinct, in-range, non-resident ids in ascending order (the device
-  // coalesces contiguous runs, so sorted order maximises run length).
-  std::vector<PageId> misses(page_ids.begin(), page_ids.end());
-  std::sort(misses.begin(), misses.end());
-  misses.erase(std::unique(misses.begin(), misses.end()), misses.end());
-  const PageId device_pages = device_->page_count();
-  std::erase_if(misses, [&](PageId id) {
-    return id >= device_pages || page_table_.count(id) != 0;
-  });
-  if (misses.empty()) return Status::OK();
-
-  // Acquire a victim frame per miss. The temporary pin keeps a later
-  // victim sweep in this same batch from handing out the frame twice.
-  std::vector<size_t> frame_indices;
-  std::vector<uint8_t*> bufs;
-  frame_indices.reserve(misses.size());
-  bufs.reserve(misses.size());
-  auto release_frames = [&] {
-    for (size_t index : frame_indices) {
-      frames_[index].pin_count = 0;
-      free_frames_.push_back(index);
-    }
-  };
-  size_t acquired = 0;
-  for (; acquired < misses.size(); ++acquired) {
-    size_t frame_index;
-    Status s = GetVictimFrame(&frame_index);
-    if (s.IsFailedPrecondition()) break;  // all pinned: shrink the batch
-    if (!s.ok()) {
-      release_frames();
-      return s;  // dirty-victim writeback failed: real error
-    }
-    frames_[frame_index].pin_count = 1;
-    frame_indices.push_back(frame_index);
-    bufs.push_back(frames_[frame_index].data.get());
+  if (read_ahead_window_.load(kRelaxed) == 0 || page_ids.empty()) {
+    return Status::OK();
   }
-  misses.resize(acquired);
-  if (misses.empty()) return Status::OK();
 
+  // Distinct, in-range ids in ascending order (the device coalesces
+  // contiguous runs, so sorted order maximises run length). Residency is
+  // decided per shard at claim time below.
+  std::vector<PageId> candidates(page_ids.begin(), page_ids.end());
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  const PageId device_pages = device_->page_count();
+  std::erase_if(candidates, [&](PageId id) { return id >= device_pages; });
+  if (candidates.empty()) return Status::OK();
+
+  // Warm-path fast-out: drop ids that are already resident (or in
+  // flight) before touching the global victim mutex, so a fully-resident
+  // window costs only per-shard lookups and concurrent readers' prefetch
+  // probes never serialize on victim_mutex_. Racy by design — the claim
+  // loop below re-checks under the shard lock before claiming.
+  std::erase_if(candidates, [&](PageId id) {
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.table.count(id) != 0;
+  });
+  if (candidates.empty()) return Status::OK();
+
+  // Claim an in-flight table slot and a victim frame per non-resident id.
+  // The pin keeps a later victim sweep in this same batch (and concurrent
+  // sweeps once victim_mutex_ drops) from handing the frame out twice.
+  struct Claim {
+    PageId page_id;
+    size_t frame_index;
+  };
+  std::vector<Claim> claims;
+  claims.reserve(candidates.size());
+  Status claim_error;
+  {
+    std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+    for (PageId id : candidates) {
+      Shard& shard = ShardFor(id);
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (shard.table.count(id) != 0) continue;  // resident or in flight
+        shard.table.emplace(id, kFrameInFlight);
+      }
+      size_t frame_index;
+      Status s = GetVictimFrame(&frame_index);
+      if (!s.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(shard.mu);
+          shard.table.erase(id);
+        }
+        shard.cv.notify_all();
+        if (s.IsFailedPrecondition()) break;  // all pinned: shrink the batch
+        claim_error = s;  // dirty-victim writeback failed: real error
+        break;
+      }
+      frames_[frame_index].pin_count.store(1, kRelaxed);
+      claims.push_back(Claim{id, frame_index});
+    }
+  }
+  if (!claim_error.ok()) {
+    for (const Claim& claim : claims) {
+      AbandonFill(claim.page_id, claim.frame_index);
+    }
+    return claim_error;
+  }
+  if (claims.empty()) return Status::OK();
+
+  std::vector<PageId> ids(claims.size());
+  std::vector<uint8_t*> bufs(claims.size());
+  for (size_t i = 0; i < claims.size(); ++i) {
+    ids[i] = claims[i].page_id;
+    bufs[i] = frames_[claims[i].frame_index].data.get();
+  }
   uint64_t start_ns = NowNs();
-  Status s = device_->ReadPages(misses, bufs);
-  stats_.read_ns += NowNs() - start_ns;
+  Status s = device_->ReadPages(ids, bufs);
+  stats_.read_ns.fetch_add(NowNs() - start_ns, kRelaxed);
   if (!s.ok()) {
-    release_frames();
+    for (const Claim& claim : claims) {
+      AbandonFill(claim.page_id, claim.frame_index);
+    }
     return s;
   }
-  stats_.batched_reads += misses.size();
-  stats_.bytes_read += misses.size() * kPageSize;
+  stats_.batched_reads.fetch_add(claims.size(), kRelaxed);
+  stats_.bytes_read.fetch_add(claims.size() * kPageSize, kRelaxed);
 
-  for (size_t i = 0; i < misses.size(); ++i) {
-    Frame& frame = frames_[frame_indices[i]];
+  const bool verify = verify_checksums_.load(kRelaxed);
+  for (const Claim& claim : claims) {
+    Frame& frame = frames_[claim.frame_index];
     // A page failing verification is simply not installed, so the next
     // on-demand fetch sees exactly what it would have seen without
     // read-ahead (and reports the corruption itself).
-    if (verify_checksums_ && misses[i] != 0 &&
+    if (verify && claim.page_id != 0 &&
         !VerifyPageChecksum(frame.data.get())) {
-      frame.pin_count = 0;
-      free_frames_.push_back(frame_indices[i]);
+      AbandonFill(claim.page_id, claim.frame_index);
       continue;
     }
-    frame.page_id = misses[i];
-    frame.pin_count = 0;
-    frame.page_lsn = 0;
-    frame.dirty = false;
-    frame.referenced = true;
-    frame.in_use = true;
-    frame.prefetched = true;
-    page_table_[misses[i]] = frame_indices[i];
+    frame.page_id = claim.page_id;
+    frame.page_lsn.store(0, kRelaxed);
+    frame.dirty.store(false, kRelaxed);
+    frame.referenced.store(true, kRelaxed);
+    frame.in_use.store(true, kRelaxed);
+    frame.prefetched.store(true, kRelaxed);
+    Shard& shard = ShardFor(claim.page_id);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      frame.pin_count.store(0, kRelaxed);
+      shard.table[claim.page_id] = claim.frame_index;
+    }
+    shard.cv.notify_all();
   }
   return Status::OK();
 }
 
 Status BufferPool::PrefetchOidPages(std::span<const Oid> oids) {
-  if (read_ahead_window_ == 0 || oids.empty()) return Status::OK();
+  if (read_ahead_window_.load(kRelaxed) == 0 || oids.empty()) {
+    return Status::OK();
+  }
   std::vector<PageId> pages;
   pages.reserve(oids.size());
   for (const Oid& oid : oids) {
@@ -265,20 +434,42 @@ Status BufferPool::PrefetchOidPages(std::span<const Oid> oids) {
   return Prefetch(pages);
 }
 
+void BufferPool::AbandonFill(PageId page_id, size_t frame_index) {
+  if (frame_index != kFrameInFlight) {
+    Frame& frame = frames_[frame_index];
+    frame.in_use.store(false, kRelaxed);
+    frame.page_id = kInvalidPageId;
+    frame.prefetched.store(false, kRelaxed);
+    frame.pin_count.store(0, kRelaxed);
+    std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+    free_frames_.push_back(frame_index);
+  }
+  Shard& shard = ShardFor(page_id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.table.find(page_id);
+    if (it != shard.table.end() && it->second == kFrameInFlight) {
+      shard.table.erase(it);
+    }
+  }
+  shard.cv.notify_all();
+}
+
 Status BufferPool::WriteBackFrame(Frame& frame) {
   if (observer_ != nullptr) {
     FIELDREP_RETURN_IF_ERROR(
-        observer_->BeforePageFlush(frame.page_id, frame.page_lsn));
+        observer_->BeforePageFlush(frame.page_id,
+                                   frame.page_lsn.load(kRelaxed)));
   }
   // Page 0 is the magic-prefixed database header, not a headered page.
   if (frame.page_id != 0) StampPageChecksum(frame.data.get());
   uint64_t start_ns = NowNs();
   Status s = device_->WritePage(frame.page_id, frame.data.get());
-  stats_.write_ns += NowNs() - start_ns;
+  stats_.write_ns.fetch_add(NowNs() - start_ns, kRelaxed);
   FIELDREP_RETURN_IF_ERROR(s);
-  ++stats_.disk_writes;
-  stats_.bytes_written += kPageSize;
-  frame.dirty = false;
+  stats_.disk_writes.fetch_add(1, kRelaxed);
+  stats_.bytes_written.fetch_add(kPageSize, kRelaxed);
+  frame.dirty.store(false, kRelaxed);
   return Status::OK();
 }
 
@@ -298,23 +489,34 @@ Status BufferPool::FlushFramesOrdered(std::vector<size_t> frame_indices) {
     }
     std::vector<PageId> ids(run);
     std::vector<const uint8_t*> bufs(run);
+    // Stage each page's bytes under its exclusive latch (checksum
+    // stamping mutates them and the copy needs them stable against
+    // shared-latch readers), one frame at a time: the flusher never holds
+    // two latches, so it cannot form a cycle with a writer that latches
+    // page A while fetching page B. The copy is noise next to the write
+    // syscall it feeds.
+    std::vector<uint8_t> staged(run * kPageSize);
     for (size_t j = 0; j < run; ++j) {
       Frame& frame = frames_[frame_indices[i + j]];
       if (observer_ != nullptr) {
-        Status s = observer_->BeforePageFlush(frame.page_id, frame.page_lsn);
+        Status s = observer_->BeforePageFlush(frame.page_id,
+                                              frame.page_lsn.load(kRelaxed));
         if (!s.ok()) {
           return Status(s.code(), StringPrintf("flushing page %u: %s",
                                                frame.page_id,
                                                s.message().c_str()));
         }
       }
+      frame.latch.lock();
       if (frame.page_id != 0) StampPageChecksum(frame.data.get());
+      std::memcpy(staged.data() + j * kPageSize, frame.data.get(), kPageSize);
+      frame.latch.unlock();
       ids[j] = frame.page_id;
-      bufs[j] = frame.data.get();
+      bufs[j] = staged.data() + j * kPageSize;
     }
     uint64_t start_ns = NowNs();
     Status s = device_->WritePages(ids, bufs);
-    stats_.write_ns += NowNs() - start_ns;
+    stats_.write_ns.fetch_add(NowNs() - start_ns, kRelaxed);
     if (!s.ok()) {
       // A prefix of the run may have reached the device; the frames stay
       // dirty, so a later flush rewrites them — always safe.
@@ -322,51 +524,78 @@ Status BufferPool::FlushFramesOrdered(std::vector<size_t> frame_indices) {
                     StringPrintf("flushing pages %u..%u: %s", ids.front(),
                                  ids.back(), s.message().c_str()));
     }
-    for (size_t j = 0; j < run; ++j) frames_[frame_indices[i + j]].dirty = false;
-    stats_.disk_writes += run;
-    stats_.bytes_written += run * kPageSize;
-    if (run > 1) stats_.coalesced_writes += run;
+    for (size_t j = 0; j < run; ++j) {
+      frames_[frame_indices[i + j]].dirty.store(false, kRelaxed);
+    }
+    stats_.disk_writes.fetch_add(run, kRelaxed);
+    stats_.bytes_written.fetch_add(run * kPageSize, kRelaxed);
+    if (run > 1) stats_.coalesced_writes.fetch_add(run, kRelaxed);
     i += run;
   }
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
+  // Collect-and-pin under victim_mutex_, then flush without it: frame
+  // latches are only ever acquired after (never under) the victim lock,
+  // and the extra pin keeps each collected frame from being evicted or
+  // repurposed once the lock drops.
   std::vector<size_t> dirty;
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    const Frame& frame = frames_[i];
-    if (!frame.in_use || !frame.dirty) continue;
-    if (observer_ != nullptr && !observer_->CanEvict(frame.page_id)) {
-      // Uncommitted transaction page: commit will release it; a crash
-      // before then must leave the device without it (atomicity).
-      continue;
+  {
+    std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+    for (size_t i = 0; i < capacity_; ++i) {
+      Frame& frame = frames_[i];
+      if (!frame.in_use.load(kRelaxed) || !frame.dirty.load(kRelaxed)) {
+        continue;
+      }
+      if (observer_ != nullptr && !observer_->CanEvict(frame.page_id)) {
+        // Uncommitted transaction page: commit will release it; a crash
+        // before then must leave the device without it (atomicity).
+        continue;
+      }
+      frame.pin_count.fetch_add(1, kRelaxed);
+      dirty.push_back(i);
     }
-    dirty.push_back(i);
   }
-  return FlushFramesOrdered(std::move(dirty));
+  Status s = FlushFramesOrdered(dirty);
+  for (size_t i : dirty) frames_[i].pin_count.fetch_sub(1, kRelaxed);
+  return s;
 }
 
 Status BufferPool::EvictAll() {
-  for (const Frame& frame : frames_) {
-    if (frame.in_use && frame.pin_count > 0) {
-      return Status::FailedPrecondition(
-          StringPrintf("page %u still pinned", frame.page_id));
-    }
-    if (frame.in_use && frame.dirty && observer_ != nullptr &&
-        !observer_->CanEvict(frame.page_id)) {
-      return Status::FailedPrecondition(StringPrintf(
-          "page %u holds uncommitted transaction writes", frame.page_id));
+  {
+    std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+    for (size_t i = 0; i < capacity_; ++i) {
+      const Frame& frame = frames_[i];
+      if (frame.in_use.load(kRelaxed) && frame.pin_count.load(kRelaxed) > 0) {
+        return Status::FailedPrecondition(
+            StringPrintf("page %u still pinned", frame.page_id));
+      }
+      if (frame.in_use.load(kRelaxed) && frame.dirty.load(kRelaxed) &&
+          observer_ != nullptr && !observer_->CanEvict(frame.page_id)) {
+        return Status::FailedPrecondition(StringPrintf(
+            "page %u holds uncommitted transaction writes", frame.page_id));
+      }
     }
   }
+  // EvictAll's contract is quiescence (no concurrent pins or fetches —
+  // the precondition scan above already depends on it), so the victim
+  // lock need not be held continuously; holding it across the flush
+  // would invert the frame-latch → victim_mutex_ order.
   FIELDREP_RETURN_IF_ERROR(FlushAll());
-  for (size_t i = 0; i < frames_.size(); ++i) {
+  std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+  for (size_t i = 0; i < capacity_; ++i) {
     Frame& frame = frames_[i];
-    if (frame.in_use) {
-      page_table_.erase(frame.page_id);
-      frame.in_use = false;
+    if (frame.in_use.load(kRelaxed)) {
+      Shard& shard = ShardFor(frame.page_id);
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.table.erase(frame.page_id);
+      }
+      frame.in_use.store(false, kRelaxed);
       frame.page_id = kInvalidPageId;
-      frame.referenced = false;
-      frame.prefetched = false;
+      frame.referenced.store(false, kRelaxed);
+      frame.prefetched.store(false, kRelaxed);
       free_frames_.push_back(i);
     }
   }
@@ -374,21 +603,29 @@ Status BufferPool::EvictAll() {
 }
 
 const uint8_t* BufferPool::PeekPage(PageId page_id) const {
-  auto it = page_table_.find(page_id);
-  if (it == page_table_.end()) return nullptr;
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(page_id);
+  if (it == shard.table.end() || it->second == kFrameInFlight) return nullptr;
   return frames_[it->second].data.get();
 }
 
 void BufferPool::SetPageLsn(PageId page_id, uint64_t lsn) {
-  auto it = page_table_.find(page_id);
-  if (it == page_table_.end()) return;
-  frames_[it->second].page_lsn = lsn;
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(page_id);
+  if (it == shard.table.end() || it->second == kFrameInFlight) return;
+  frames_[it->second].page_lsn.store(lsn, kRelaxed);
 }
 
 std::vector<PageId> BufferPool::DirtyPageIds() const {
+  std::lock_guard<std::mutex> victim_lock(victim_mutex_);
   std::vector<PageId> ids;
-  for (const Frame& frame : frames_) {
-    if (frame.in_use && frame.dirty) ids.push_back(frame.page_id);
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Frame& frame = frames_[i];
+    if (frame.in_use.load(kRelaxed) && frame.dirty.load(kRelaxed)) {
+      ids.push_back(frame.page_id);
+    }
   }
   return ids;
 }
@@ -396,15 +633,28 @@ std::vector<PageId> BufferPool::DirtyPageIds() const {
 Status BufferPool::SyncDevice() {
   uint64_t start_ns = NowNs();
   Status s = device_->Sync();
-  stats_.sync_ns += NowNs() - start_ns;
+  stats_.sync_ns.fetch_add(NowNs() - start_ns, kRelaxed);
   FIELDREP_RETURN_IF_ERROR(s);
-  ++stats_.disk_syncs;
+  stats_.disk_syncs.fetch_add(1, kRelaxed);
   return Status::OK();
+}
+
+size_t BufferPool::pages_cached() const {
+  size_t cached = 0;
+  for (size_t i = 0; i < kShardCount; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    for (const auto& [page_id, frame_index] : shards_[i].table) {
+      if (frame_index != kFrameInFlight) ++cached;
+    }
+  }
+  return cached;
 }
 
 uint64_t BufferPool::total_pins() const {
   uint64_t total = 0;
-  for (const Frame& frame : frames_) total += frame.pin_count;
+  for (size_t i = 0; i < capacity_; ++i) {
+    total += frames_[i].pin_count.load(kRelaxed);
+  }
   return total;
 }
 
@@ -417,37 +667,66 @@ Status BufferPool::GetVictimFrame(size_t* frame_index) {
   // Clock sweep: a frame survives one pass if its reference bit is set.
   // Two full passes guarantee we either find an unpinned victim or prove
   // every frame is pinned.
-  const size_t n = frames_.size();
+  const size_t n = capacity_;
   for (size_t step = 0; step < 2 * n; ++step) {
     Frame& frame = frames_[clock_hand_];
     size_t index = clock_hand_;
     clock_hand_ = (clock_hand_ + 1) % n;
-    if (frame.pin_count > 0) continue;
-    if (frame.dirty && observer_ != nullptr &&
-        !observer_->CanEvict(frame.page_id)) {
+    if (!frame.in_use.load(kRelaxed)) continue;  // abandoned-fill limbo
+    if (frame.pin_count.load(kRelaxed) > 0) continue;
+    PageId victim_page = frame.page_id;  // stable: we hold victim_mutex_
+    Shard& shard = ShardFor(victim_page);
+    std::unique_lock<std::mutex> lock(shard.mu);
+    // Re-check under the shard lock: pins originate in the hit path, which
+    // runs under this lock, so pin_count == 0 here is authoritative — and
+    // implies the frame's latch is free too.
+    if (frame.pin_count.load(kRelaxed) > 0) continue;
+    if (frame.dirty.load(kRelaxed) && observer_ != nullptr &&
+        !observer_->CanEvict(victim_page)) {
       continue;  // no-steal: uncommitted pages stay resident
     }
-    if (frame.referenced) {
-      frame.referenced = false;
+    if (frame.referenced.load(kRelaxed)) {
+      frame.referenced.store(false, kRelaxed);
       continue;
     }
-    if (frame.dirty) {
-      FIELDREP_RETURN_IF_ERROR(WriteBackFrame(frame));
+    if (frame.dirty.load(kRelaxed)) {
+      // Mark the entry in-flight for the duration of the writeback: a
+      // concurrent fetcher must wait for the device write to finish, not
+      // re-read stale bytes from the device.
+      shard.table[victim_page] = kFrameInFlight;
+      lock.unlock();
+      Status s = WriteBackFrame(frame);
+      lock.lock();
+      if (!s.ok()) {
+        shard.table[victim_page] = index;  // still resident, still dirty
+        lock.unlock();
+        shard.cv.notify_all();
+        return s;
+      }
     }
-    page_table_.erase(frame.page_id);
-    frame.in_use = false;
+    shard.table.erase(victim_page);
+    lock.unlock();
+    shard.cv.notify_all();
+    frame.in_use.store(false, kRelaxed);
     frame.page_id = kInvalidPageId;
-    frame.prefetched = false;
+    frame.prefetched.store(false, kRelaxed);
+    frame.page_lsn.store(0, kRelaxed);
+    frame.referenced.store(false, kRelaxed);
     *frame_index = index;
     return Status::OK();
   }
   return Status::FailedPrecondition("all buffer frames are pinned");
 }
 
-void BufferPool::Unpin(size_t frame_index) {
+void BufferPool::Unpin(size_t frame_index, LatchMode mode) {
   Frame& frame = frames_[frame_index];
-  assert(frame.pin_count > 0);
-  --frame.pin_count;
+  if (mode == LatchMode::kExclusive) {
+    frame.latch.unlock();
+  } else {
+    frame.latch.unlock_shared();
+  }
+  assert(frame.pin_count.load(kRelaxed) > 0);
+  frame.pin_count.fetch_sub(1, kRelaxed);
 }
 
 }  // namespace fieldrep

@@ -1,8 +1,12 @@
 #ifndef FIELDREP_STORAGE_BUFFER_POOL_H_
 #define FIELDREP_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +25,13 @@ class BufferPool;
 /// read-ahead everywhere and restores strictly on-demand I/O.
 constexpr uint32_t kDefaultReadAheadWindow = 16;
 
+/// How a FetchPage caller intends to use the page. Shared fetches take the
+/// frame's reader latch and MUST NOT mutate the page (MarkDirty asserts);
+/// exclusive fetches take the writer latch. The default is kExclusive so
+/// the pre-concurrency call sites keep their semantics; read-only hot
+/// paths opt into kShared explicitly.
+enum class LatchMode { kShared, kExclusive };
+
 /// \brief Hook interface through which a write-ahead log observes and
 /// constrains the buffer pool (see src/wal/wal_manager.h).
 ///
@@ -29,12 +40,19 @@ constexpr uint32_t kDefaultReadAheadWindow = 16;
 /// of uncommitted pages (no-steal policy), and enforce the WAL flush
 /// ordering: no dirty page reaches the device before the log records
 /// covering it are durable.
+///
+/// Concurrency contract (single-writer / multi-reader engine):
+///   - OnPageAccess fires only for kExclusive fetches, i.e. only on the
+///     (single) writer thread — readers never need pre-images.
+///   - OnPageDirtied likewise fires only from the writer.
+///   - CanEvict and BeforePageFlush may be called from any thread (reader
+///     misses evict too) and must synchronize internally.
 class PageObserver {
  public:
   virtual ~PageObserver() = default;
 
-  /// A page's bytes became visible through the pool (fetch hit or miss,
-  /// or a freshly allocated zero page). `data` is the frame content
+  /// A page's bytes became visible through an exclusive fetch (hit or
+  /// miss, or a freshly allocated zero page). `data` is the frame content
   /// before the caller mutates it.
   virtual void OnPageAccess(PageId page_id, const uint8_t* data) = 0;
 
@@ -51,15 +69,18 @@ class PageObserver {
   virtual Status BeforePageFlush(PageId page_id, uint64_t page_lsn) = 0;
 };
 
-/// \brief RAII pin on a buffered page.
+/// \brief RAII pin + latch on a buffered page.
 ///
-/// While a PageGuard is alive the frame cannot be evicted. Call MarkDirty()
-/// after mutating data(); the pool writes dirty frames back on eviction or
-/// FlushAll(). Guards are movable but not copyable.
+/// While a PageGuard is alive the frame cannot be evicted and the page's
+/// latch is held in the guard's LatchMode. Call MarkDirty() after mutating
+/// data() (exclusive guards only); the pool writes dirty frames back on
+/// eviction or FlushAll(). Guards are movable but not copyable; moves
+/// leave the source guard inert (valid() == false), and debug builds
+/// assert on use-after-move, use-after-release, and double-release.
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, size_t frame_index);
+  PageGuard(BufferPool* pool, size_t frame_index, LatchMode mode);
   ~PageGuard();
 
   PageGuard(const PageGuard&) = delete;
@@ -71,14 +92,24 @@ class PageGuard {
   uint8_t* data();
   const uint8_t* data() const;
   PageId page_id() const;
+  LatchMode mode() const { return mode_; }
   void MarkDirty();
 
-  /// Releases the pin early (idempotent).
+  /// Releases the latch and pin early. Must not be called twice, nor on a
+  /// moved-from guard (debug-asserted); the destructor is always safe.
   void Release();
 
  private:
+  /// Destructor / move-assignment path: releases if held, never asserts.
+  void ReleaseInternal();
+
   BufferPool* pool_ = nullptr;
   size_t frame_index_ = 0;
+  LatchMode mode_ = LatchMode::kExclusive;
+#ifndef NDEBUG
+  enum class DebugState { kEmpty, kActive, kReleased, kMoved };
+  DebugState debug_state_ = DebugState::kEmpty;
+#endif
 };
 
 /// \brief Fixed-capacity page cache over a StorageDevice with clock
@@ -97,6 +128,19 @@ class PageGuard {
 /// one `disk_reads` (not a `hits`), and a prefetched page that is never
 /// fetched is never charged. Logical counters are therefore byte-identical
 /// with read-ahead on or off.
+///
+/// Thread safety (DESIGN.md §10): the page table is sharded (power-of-two
+/// shard count, one mutex + condvar each), every frame carries a
+/// shared_mutex latch and an atomic pin count, and the I/O counters are
+/// atomics. Page installation is single-flight: a miss publishes an
+/// in-flight marker in its shard before reading the device, so concurrent
+/// fetchers of the same page wait on the shard condvar instead of reading
+/// twice — which also keeps the logical counters (one disk_read, k hits)
+/// interleaving-invariant. Eviction and free-frame bookkeeping are
+/// serialized by a single victim mutex; an evicting thread never takes a
+/// frame latch (a pin count of zero, verified under the shard lock,
+/// implies the latch is free), so the lock order is always
+/// frame-latch -> victim -> shard and never cycles.
 class BufferPool {
  public:
   /// \param device   backing store (not owned unless passed via TakeDevice).
@@ -111,10 +155,13 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins page `page_id`, reading it from the device on a miss.
-  Status FetchPage(PageId page_id, PageGuard* guard);
+  /// Pins and latches page `page_id`, reading it from the device on a
+  /// miss. kShared fetches never fire OnPageAccess (readers need no WAL
+  /// pre-image) and must not MarkDirty.
+  Status FetchPage(PageId page_id, PageGuard* guard,
+                   LatchMode mode = LatchMode::kExclusive);
 
-  /// Allocates a fresh zeroed page on the device and pins it.
+  /// Allocates a fresh zeroed page on the device and pins it (exclusive).
   Status NewPage(PageGuard* guard);
 
   /// Batch-reads the non-resident pages of `page_ids` into victim frames
@@ -122,7 +169,8 @@ class BufferPool {
   /// logically uncharged (see the accounting rule above). A scheduling
   /// hint, not a correctness operation:
   ///   - no-op when the read-ahead window is 0;
-  ///   - ids that are resident, duplicated, or unallocated are skipped;
+  ///   - ids that are resident, in flight, duplicated, or unallocated are
+  ///     skipped;
   ///   - victim selection honours the observer's no-steal veto and flushes
   ///     dirty victims through the normal BeforePageFlush path;
   ///   - if every frame is pinned the remainder of the batch is dropped;
@@ -149,7 +197,9 @@ class BufferPool {
   /// Status names the page that failed.
   Status EvictAll();
 
-  const IoStats& stats() const { return stats_; }
+  /// Snapshot of the I/O counters. Exact when the pool is quiesced (the
+  /// only way measurements use it); monotone mid-flight.
+  IoStats stats() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
 
   /// Read-ahead window: the number of pages scan hot paths prefetch ahead
@@ -166,20 +216,24 @@ class BufferPool {
   void set_verify_checksums(bool verify) { verify_checksums_ = verify; }
   bool verify_checksums() const { return verify_checksums_; }
 
-  size_t capacity() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
   /// Number of frames currently holding a page.
-  size_t pages_cached() const { return page_table_.size(); }
-  /// Total pins across all frames (for leak checks in tests).
+  size_t pages_cached() const;
+  /// Total pins across all frames (for leak checks in tests; exact only
+  /// when quiesced).
   uint64_t total_pins() const;
 
   StorageDevice* device() { return device_; }
 
   /// Attaches (or detaches, with nullptr) the WAL observer. The observer
-  /// must outlive the pool or be detached before destruction.
+  /// must outlive the pool or be detached before destruction. Not
+  /// thread-safe: call while the pool is idle.
   void SetObserver(PageObserver* observer) { observer_ = observer; }
 
   /// Frame bytes of `page_id` if resident, else nullptr. No pin, no
-  /// statistics — used by the WAL to diff pages at commit.
+  /// statistics — used by the WAL to diff pages at commit. The returned
+  /// pointer is stable only while the page cannot be evicted (the WAL's
+  /// no-steal veto guarantees that for transaction pages).
   const uint8_t* PeekPage(PageId page_id) const;
 
   /// Sets the recovery LSN the flush-ordering hook reports for the page
@@ -198,47 +252,86 @@ class BufferPool {
 
   struct Frame {
     std::unique_ptr<uint8_t[]> data;
-    PageId page_id = kInvalidPageId;
-    uint32_t pin_count = 0;
-    uint64_t page_lsn = 0;  ///< Log position that must be durable first.
-    bool dirty = false;
-    bool referenced = false;  // clock bit
-    bool in_use = false;
+    /// Reader/writer latch. Acquired after the pin (never while holding a
+    /// shard or victim lock); pin_count > 0 keeps the Frame itself stable.
+    std::shared_mutex latch;
+    std::atomic<uint32_t> pin_count{0};
+    std::atomic<uint64_t> page_lsn{0};  ///< Durability horizon for flushes.
+    std::atomic<bool> dirty{false};
+    std::atomic<bool> referenced{false};  // clock bit
+    std::atomic<bool> in_use{false};
     /// Installed by Prefetch and not yet logically charged: the first
     /// FetchPage counts it as a disk_read instead of a hit.
-    bool prefetched = false;
+    std::atomic<bool> prefetched{false};
+    /// Written only while the frame is unreachable (under victim_mutex_
+    /// before table publication, or marked in-flight in its shard).
+    PageId page_id = kInvalidPageId;
   };
 
-  /// Flush-ordering + writeback of one dirty frame.
+  /// One page-table shard: page id -> frame index, or kFrameInFlight for
+  /// a page whose device read (miss) or writeback (dirty eviction) is in
+  /// progress. Fetchers of an in-flight page wait on `cv`.
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<PageId, size_t> table;
+  };
+
+  static constexpr size_t kShardCount = 64;  // power of two
+  static constexpr size_t kFrameInFlight = static_cast<size_t>(-1);
+
+  Shard& ShardFor(PageId page_id) const {
+    return shards_[page_id & (kShardCount - 1)];
+  }
+
+  /// Flush-ordering + writeback of one frame's bytes. The caller must
+  /// guarantee the bytes are stable (frame unreachable + unpinned, or
+  /// exclusive latch held).
   Status WriteBackFrame(Frame& frame);
 
   /// Elevator write-back of the given dirty frames: sorts by PageId,
   /// honours BeforePageFlush per page, stamps checksums, and coalesces
-  /// contiguous runs into vectored device writes. On failure the Status
+  /// contiguous runs into vectored device writes. Takes each frame's
+  /// exclusive latch around stamping + writing so concurrent readers
+  /// never observe checksum bytes mid-update. On failure the Status
   /// names the first page that could not be written; frames of a failed
   /// run stay dirty (a prefix may have reached the device — rewriting
-  /// later is safe).
+  /// later is safe). Requires victim_mutex_.
   Status FlushFramesOrdered(std::vector<size_t> frame_indices);
 
   /// Finds a victim frame via the clock algorithm, writing it back if
-  /// dirty. Returns FailedPrecondition if every frame is pinned.
+  /// dirty, and removes it from the page table. Returns FailedPrecondition
+  /// if every frame is pinned. Requires victim_mutex_; the returned frame
+  /// is unreachable but has pin_count 0 — callers that release
+  /// victim_mutex_ before installing must set pin_count first so a
+  /// concurrent sweep cannot hand the frame out again.
   Status GetVictimFrame(size_t* frame_index);
 
-  void Unpin(size_t frame_index);
+  /// Returns a claimed-but-uninstalled frame to the free list and erases
+  /// the page's in-flight marker, waking waiters to retry.
+  void AbandonFill(PageId page_id, size_t frame_index);
+
+  void Unpin(size_t frame_index, LatchMode mode);
 
   StorageDevice* device_;
   std::unique_ptr<StorageDevice> owned_device_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> page_table_;
+  std::unique_ptr<Frame[]> frames_;
+  size_t capacity_ = 0;
+  mutable std::unique_ptr<Shard[]> shards_;
+  /// Serializes victim selection, the free list, the clock hand, and the
+  /// whole-pool walks (FlushAll / EvictAll / DirtyPageIds). Lock order:
+  /// victim_mutex_ before shard mutexes; frame latches before either;
+  /// never the reverse.
+  mutable std::mutex victim_mutex_;
   std::vector<size_t> free_frames_;
   size_t clock_hand_ = 0;
-  IoStats stats_;
+  mutable AtomicIoStats stats_;
   PageObserver* observer_ = nullptr;
-  uint32_t read_ahead_window_ = kDefaultReadAheadWindow;
+  std::atomic<uint32_t> read_ahead_window_{kDefaultReadAheadWindow};
 #ifndef NDEBUG
-  bool verify_checksums_ = true;
+  std::atomic<bool> verify_checksums_{true};
 #else
-  bool verify_checksums_ = false;
+  std::atomic<bool> verify_checksums_{false};
 #endif
 };
 

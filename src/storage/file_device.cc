@@ -37,7 +37,8 @@ Status FileDevice::Open(const std::string& path) {
   }
   fd_ = fd;
   path_ = path;
-  page_count_ = static_cast<uint32_t>(size / kPageSize);
+  page_count_.store(static_cast<uint32_t>(size / kPageSize),
+                    std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -53,7 +54,7 @@ Status FileDevice::Close() {
 }
 
 Status FileDevice::ReadPage(PageId page_id, void* buf) {
-  if (page_id >= page_count_) {
+  if (page_id >= page_count()) {
     return Status::OutOfRange(
         StringPrintf("read of unallocated page %u", page_id));
   }
@@ -68,7 +69,7 @@ Status FileDevice::ReadPage(PageId page_id, void* buf) {
 }
 
 Status FileDevice::WritePage(PageId page_id, const void* buf) {
-  if (page_id >= page_count_) {
+  if (page_id >= page_count()) {
     return Status::OutOfRange(
         StringPrintf("write of unallocated page %u", page_id));
   }
@@ -97,9 +98,9 @@ Status FileDevice::ReadPages(std::span<const PageId> page_ids,
       ++i;
       continue;
     }
-    if (page_ids[i] + run > page_count_) {
+    if (page_ids[i] + run > page_count()) {
       return Status::OutOfRange(
-          StringPrintf("vectored read past page %u", page_count_));
+          StringPrintf("vectored read past page %u", page_count()));
     }
     std::vector<struct iovec> iov(run);
     for (size_t j = 0; j < run; ++j) {
@@ -147,9 +148,9 @@ Status FileDevice::WritePages(std::span<const PageId> page_ids,
       ++i;
       continue;
     }
-    if (page_ids[i] + run > page_count_) {
+    if (page_ids[i] + run > page_count()) {
       return Status::OutOfRange(
-          StringPrintf("vectored write past page %u", page_count_));
+          StringPrintf("vectored write past page %u", page_count()));
     }
     std::vector<struct iovec> iov(run);
     for (size_t j = 0; j < run; ++j) {
@@ -194,7 +195,7 @@ Status FileDevice::AllocatePage(PageId* page_id) {
   if (!is_open()) return Status::FailedPrecondition("device not open");
   char zeros[kPageSize];
   std::memset(zeros, 0, sizeof(zeros));
-  PageId id = page_count_;
+  PageId id = page_count();
   ssize_t n =
       ::pwrite(fd_, zeros, kPageSize, static_cast<off_t>(id) * kPageSize);
   if (n != static_cast<ssize_t>(kPageSize)) {
@@ -202,7 +203,7 @@ Status FileDevice::AllocatePage(PageId* page_id) {
                                         n < 0 ? std::strerror(errno)
                                               : "short write"));
   }
-  page_count_ = id + 1;
+  page_count_.store(id + 1, std::memory_order_relaxed);
   *page_id = id;
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #ifndef FIELDREP_STORAGE_FILE_DEVICE_H_
 #define FIELDREP_STORAGE_FILE_DEVICE_H_
 
+#include <atomic>
 #include <string>
 
 #include "storage/storage_device.h"
@@ -41,11 +42,15 @@ class FileDevice : public StorageDevice {
   Status AllocatePage(PageId* page_id) override;
   /// fdatasync on the backing file.
   Status Sync() override;
-  uint32_t page_count() const override { return page_count_; }
+  uint32_t page_count() const override {
+    return page_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   int fd_ = -1;
-  uint32_t page_count_ = 0;
+  /// Atomic: reader threads bounds-check against it (pread/pwrite are
+  /// themselves thread-safe) while the writer thread extends the file.
+  std::atomic<uint32_t> page_count_{0};
   std::string path_;
 };
 

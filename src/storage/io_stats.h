@@ -1,6 +1,7 @@
 #ifndef FIELDREP_STORAGE_IO_STATS_H_
 #define FIELDREP_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -45,6 +46,58 @@ struct IoStats {
 
   IoStats operator-(const IoStats& rhs) const;
   std::string ToString() const;
+};
+
+/// \brief Lock-free counterpart of IoStats, used internally by the (now
+/// concurrent) buffer pool. Counters are relaxed atomics: each increment
+/// is an independent event count, never a synchronization point, so
+/// snapshots are exact whenever the pool is quiesced (how every
+/// measurement path uses them) and merely monotone mid-flight.
+struct AtomicIoStats {
+  std::atomic<uint64_t> fetches{0};
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> disk_reads{0};
+  std::atomic<uint64_t> disk_writes{0};
+  std::atomic<uint64_t> disk_syncs{0};
+  std::atomic<uint64_t> batched_reads{0};
+  std::atomic<uint64_t> coalesced_writes{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> read_ns{0};
+  std::atomic<uint64_t> write_ns{0};
+  std::atomic<uint64_t> sync_ns{0};
+
+  IoStats Snapshot() const {
+    IoStats out;
+    out.fetches = fetches.load(std::memory_order_relaxed);
+    out.hits = hits.load(std::memory_order_relaxed);
+    out.disk_reads = disk_reads.load(std::memory_order_relaxed);
+    out.disk_writes = disk_writes.load(std::memory_order_relaxed);
+    out.disk_syncs = disk_syncs.load(std::memory_order_relaxed);
+    out.batched_reads = batched_reads.load(std::memory_order_relaxed);
+    out.coalesced_writes = coalesced_writes.load(std::memory_order_relaxed);
+    out.bytes_read = bytes_read.load(std::memory_order_relaxed);
+    out.bytes_written = bytes_written.load(std::memory_order_relaxed);
+    out.read_ns = read_ns.load(std::memory_order_relaxed);
+    out.write_ns = write_ns.load(std::memory_order_relaxed);
+    out.sync_ns = sync_ns.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  void Reset() {
+    fetches.store(0, std::memory_order_relaxed);
+    hits.store(0, std::memory_order_relaxed);
+    disk_reads.store(0, std::memory_order_relaxed);
+    disk_writes.store(0, std::memory_order_relaxed);
+    disk_syncs.store(0, std::memory_order_relaxed);
+    batched_reads.store(0, std::memory_order_relaxed);
+    coalesced_writes.store(0, std::memory_order_relaxed);
+    bytes_read.store(0, std::memory_order_relaxed);
+    bytes_written.store(0, std::memory_order_relaxed);
+    read_ns.store(0, std::memory_order_relaxed);
+    write_ns.store(0, std::memory_order_relaxed);
+    sync_ns.store(0, std::memory_order_relaxed);
+  }
 };
 
 }  // namespace fieldrep

@@ -6,27 +6,38 @@
 
 namespace fieldrep {
 
+uint8_t* MemoryDevice::PageBlock(PageId page_id) const {
+  // The lock covers only the vector access: block addresses are stable,
+  // so the copy itself runs unlocked.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id >= pages_.size()) return nullptr;
+  return pages_[page_id].get();
+}
+
 Status MemoryDevice::ReadPage(PageId page_id, void* buf) {
-  if (page_id >= pages_.size()) {
+  uint8_t* block = PageBlock(page_id);
+  if (block == nullptr) {
     return Status::OutOfRange(
         StringPrintf("read of unallocated page %u", page_id));
   }
-  std::memcpy(buf, pages_[page_id].get(), kPageSize);
+  std::memcpy(buf, block, kPageSize);
   return Status::OK();
 }
 
 Status MemoryDevice::WritePage(PageId page_id, const void* buf) {
-  if (page_id >= pages_.size()) {
+  uint8_t* block = PageBlock(page_id);
+  if (block == nullptr) {
     return Status::OutOfRange(
         StringPrintf("write of unallocated page %u", page_id));
   }
-  std::memcpy(pages_[page_id].get(), buf, kPageSize);
+  std::memcpy(block, buf, kPageSize);
   return Status::OK();
 }
 
 Status MemoryDevice::AllocatePage(PageId* page_id) {
   auto page = std::make_unique<uint8_t[]>(kPageSize);
   std::memset(page.get(), 0, kPageSize);
+  std::lock_guard<std::mutex> lock(mu_);
   pages_.push_back(std::move(page));
   *page_id = static_cast<PageId>(pages_.size() - 1);
   return Status::OK();

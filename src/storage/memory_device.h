@@ -2,6 +2,7 @@
 #define FIELDREP_STORAGE_MEMORY_DEVICE_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "storage/storage_device.h"
@@ -11,7 +12,12 @@ namespace fieldrep {
 /// \brief RAM-backed storage device.
 ///
 /// Pages are stored in individually allocated 4 KiB blocks so that page
-/// addresses stay stable as the device grows.
+/// addresses stay stable as the device grows. A mutex guards the page
+/// vector itself (it reallocates on growth); concurrent reads of distinct
+/// pages copy from the stable blocks, and the buffer pool never issues
+/// two concurrent transfers of the same page (single-flight installs,
+/// in-flight markers during writeback), so per-page serialization is the
+/// pool's job, not the device's.
 class MemoryDevice : public StorageDevice {
  public:
   MemoryDevice() = default;
@@ -23,10 +29,15 @@ class MemoryDevice : public StorageDevice {
   Status WritePage(PageId page_id, const void* buf) override;
   Status AllocatePage(PageId* page_id) override;
   uint32_t page_count() const override {
+    std::lock_guard<std::mutex> lock(mu_);
     return static_cast<uint32_t>(pages_.size());
   }
 
  private:
+  /// Returns the block for `page_id`, or nullptr if unallocated.
+  uint8_t* PageBlock(PageId page_id) const;
+
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<uint8_t[]>> pages_;
 };
 

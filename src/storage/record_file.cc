@@ -64,23 +64,25 @@ Status RecordFile::CheckOid(const Oid& oid) const {
 }
 
 Status RecordFile::AppendPage(PageId* page_id) {
+  const PageId old_tail = last_page_.load(std::memory_order_relaxed);
   PageGuard guard;
   FIELDREP_RETURN_IF_ERROR(pool_->NewPage(&guard));
   SlottedPage::Init(guard.data(), PageType::kHeap);
   SlottedPage page(guard.data());
-  page.set_prev_page(last_page_);
+  page.set_prev_page(old_tail);
   guard.MarkDirty();
   *page_id = guard.page_id();
-  if (last_page_ != kInvalidPageId) {
+  if (old_tail != kInvalidPageId) {
     PageGuard tail;
-    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(last_page_, &tail));
+    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(old_tail, &tail));
     SlottedPage(tail.data()).set_next_page(*page_id);
     tail.MarkDirty();
   } else {
-    first_page_ = *page_id;
+    first_page_.store(*page_id, std::memory_order_relaxed);
   }
-  last_page_ = *page_id;
-  ++page_count_;
+  last_page_.store(*page_id, std::memory_order_relaxed);
+  page_count_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(chain_mu_);
   if (chain_complete_) chain_cache_.push_back(*page_id);
   return Status::OK();
 }
@@ -111,14 +113,15 @@ Status RecordFile::InsertCell(const std::string& payload, Oid* oid) {
         StringPrintf("record of %zu bytes exceeds page capacity",
                      payload.size()));
   }
-  if (last_page_ == kInvalidPageId) {
+  if (last_page() == kInvalidPageId) {
     PageId ignored;
     FIELDREP_RETURN_IF_ERROR(AppendPage(&ignored));
   }
   // Candidate pages: the tail page first, then recent free-space hints.
-  std::vector<PageId> candidates = {last_page_};
+  const PageId tail = last_page();
+  std::vector<PageId> candidates = {tail};
   for (auto it = free_hints_.rbegin(); it != free_hints_.rend(); ++it) {
-    if (*it != last_page_) candidates.push_back(*it);
+    if (*it != tail) candidates.push_back(*it);
   }
   for (PageId candidate : candidates) {
     PageGuard guard;
@@ -139,7 +142,7 @@ Status RecordFile::InsertCell(const std::string& payload, Oid* oid) {
       *oid = Oid(file_id_, candidate, static_cast<uint16_t>(slot));
       return Status::OK();
     }
-    if (candidate != last_page_) {
+    if (candidate != tail) {
       // Hint is stale (page is effectively full); drop it.
       free_hints_.erase(
           std::remove(free_hints_.begin(), free_hints_.end(), candidate),
@@ -173,7 +176,8 @@ Status RecordFile::Insert(const std::string& payload, Oid* oid) {
 Status RecordFile::Read(const Oid& oid, std::string* payload) const {
   FIELDREP_RETURN_IF_ERROR(CheckOid(oid));
   PageGuard guard;
-  FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(oid.page_id, &guard));
+  FIELDREP_RETURN_IF_ERROR(
+      pool_->FetchPage(oid.page_id, &guard, LatchMode::kShared));
   SlottedPage page(guard.data());
   if (!page.ReadString(oid.slot, payload)) {
     return Status::NotFound("no record at " + oid.ToString());
@@ -185,11 +189,13 @@ Status RecordFile::Read(const Oid& oid, std::string* payload) const {
     payload->erase(0, 10);
     return Status::OK();
   }
-  // Forwarding stub: follow it.
+  // Forwarding stub: follow it (after releasing the stub page — readers
+  // never hold a latch while blocking on another).
   Oid target = StubTarget(*payload);
   guard.Release();
   PageGuard body_guard;
-  FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(target.page_id, &body_guard));
+  FIELDREP_RETURN_IF_ERROR(
+      pool_->FetchPage(target.page_id, &body_guard, LatchMode::kShared));
   SlottedPage body_page(body_guard.data());
   if (!body_page.ReadString(target.slot, payload) ||
       CellKind(*payload) != kMovedTag) {
@@ -312,42 +318,63 @@ Status RecordFile::Delete(const Oid& oid) {
 
 Status RecordFile::Scan(
     const std::function<bool(const Oid&, const std::string&)>& fn) const {
-  PageId current = first_page_;
+  PageId current = first_page();
   std::string payload;
   const uint32_t window = pool_->read_ahead_window();
   size_t pos = 0;  // position of `current` in the chain
+  std::vector<PageId> ahead_pages;
+  std::vector<std::pair<Oid, std::string>> page_records;
   while (current != kInvalidPageId) {
-    NoteChainPage(pos, current);
-    // Read ahead: one window of upcoming chain pages per window of
-    // progress. On the first scan after reopen the cache only reaches the
-    // cursor, so nothing is prefetched — identical to window=0 — and every
-    // later scan batches its reads.
-    if (window > 0 && pos % window == 0 && pos + 1 < chain_cache_.size()) {
-      size_t ahead = std::min<size_t>(window, chain_cache_.size() - pos - 1);
-      FIELDREP_RETURN_IF_ERROR(pool_->Prefetch(
-          std::span<const PageId>(chain_cache_.data() + pos + 1, ahead)));
-    }
-    PageGuard guard;
-    FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(current, &guard));
-    SlottedPage page(guard.data());
-    uint16_t n = page.slot_count();
-    for (uint16_t slot = 0; slot < n; ++slot) {
-      if (!page.IsLive(slot)) continue;
-      if (!page.ReadString(slot, &payload)) continue;
-      uint16_t kind = CellKind(payload);
-      if (kind == kForwardTag) continue;  // body visited where it lives
-      Oid oid(file_id_, current, slot);
-      if (kind == kMovedTag) {
-        oid = StubTarget(payload);  // logical oid embedded in the body
-        payload.erase(0, 10);
+    {
+      std::lock_guard<std::mutex> lock(chain_mu_);
+      NoteChainPage(pos, current);
+      // Read ahead: one window of upcoming chain pages per window of
+      // progress. On the first scan after reopen the cache only reaches
+      // the cursor, so nothing is prefetched — identical to window=0 —
+      // and every later scan batches its reads. Copy the window out so
+      // the prefetch itself runs without chain_mu_.
+      if (window > 0 && pos % window == 0 && pos + 1 < chain_cache_.size()) {
+        size_t ahead = std::min<size_t>(window, chain_cache_.size() - pos - 1);
+        ahead_pages.assign(chain_cache_.begin() + pos + 1,
+                           chain_cache_.begin() + pos + 1 + ahead);
       }
-      if (!fn(oid, payload)) return Status::OK();
     }
-    current = page.next_page();
+    if (!ahead_pages.empty()) {
+      FIELDREP_RETURN_IF_ERROR(pool_->Prefetch(ahead_pages));
+      ahead_pages.clear();
+    }
+    // Collect the page's records under the (shared) latch, then run the
+    // callbacks after releasing it: a callback may fetch other pages, and
+    // readers must never block while holding a latch.
+    page_records.clear();
+    {
+      PageGuard guard;
+      FIELDREP_RETURN_IF_ERROR(
+          pool_->FetchPage(current, &guard, LatchMode::kShared));
+      SlottedPage page(guard.data());
+      uint16_t n = page.slot_count();
+      for (uint16_t slot = 0; slot < n; ++slot) {
+        if (!page.IsLive(slot)) continue;
+        if (!page.ReadString(slot, &payload)) continue;
+        uint16_t kind = CellKind(payload);
+        if (kind == kForwardTag) continue;  // body visited where it lives
+        Oid oid(file_id_, current, slot);
+        if (kind == kMovedTag) {
+          oid = StubTarget(payload);  // logical oid embedded in the body
+          payload.erase(0, 10);
+        }
+        page_records.emplace_back(oid, payload);
+      }
+      current = page.next_page();
+    }
+    for (const auto& [oid, record] : page_records) {
+      if (!fn(oid, record)) return Status::OK();
+    }
     ++pos;
   }
   // Walked the whole chain: the cache now covers it and AppendPage may
   // extend it incrementally.
+  std::lock_guard<std::mutex> lock(chain_mu_);
   chain_complete_ = true;
   return Status::OK();
 }
@@ -361,7 +388,7 @@ Status RecordFile::ListOids(std::vector<Oid>* oids) const {
 }
 
 Status RecordFile::Truncate() {
-  PageId current = first_page_;
+  PageId current = first_page();
   while (current != kInvalidPageId) {
     PageGuard guard;
     FIELDREP_RETURN_IF_ERROR(pool_->FetchPage(current, &guard));
@@ -371,11 +398,12 @@ Status RecordFile::Truncate() {
     guard.MarkDirty();
     current = next;
   }
-  first_page_ = kInvalidPageId;
-  last_page_ = kInvalidPageId;
-  page_count_ = 0;
-  record_count_ = 0;
+  first_page_.store(kInvalidPageId, std::memory_order_relaxed);
+  last_page_.store(kInvalidPageId, std::memory_order_relaxed);
+  page_count_.store(0, std::memory_order_relaxed);
+  record_count_.store(0, std::memory_order_relaxed);
   free_hints_.clear();
+  std::lock_guard<std::mutex> lock(chain_mu_);
   chain_cache_.clear();
   chain_complete_ = true;
   return Status::OK();
@@ -383,10 +411,10 @@ Status RecordFile::Truncate() {
 
 std::string RecordFile::EncodeMetadata() const {
   std::string out;
-  PutU32(&out, first_page_);
-  PutU32(&out, last_page_);
-  PutU32(&out, page_count_);
-  PutU64(&out, record_count_);
+  PutU32(&out, first_page());
+  PutU32(&out, last_page());
+  PutU32(&out, page_count());
+  PutU64(&out, record_count());
   return out;
 }
 
@@ -398,13 +426,14 @@ Status RecordFile::DecodeMetadata(const std::string& encoded) {
       !reader.GetU32(&pages) || !reader.GetU64(&records)) {
     return Status::Corruption("bad RecordFile metadata");
   }
-  first_page_ = first;
-  last_page_ = last;
-  page_count_ = pages;
-  record_count_ = records;
+  first_page_.store(first, std::memory_order_relaxed);
+  last_page_.store(last, std::memory_order_relaxed);
+  page_count_.store(pages, std::memory_order_relaxed);
+  record_count_.store(records, std::memory_order_relaxed);
   // The chain must be rediscovered by walking it; the first Scan does so.
+  std::lock_guard<std::mutex> lock(chain_mu_);
   chain_cache_.clear();
-  chain_complete_ = (first_page_ == kInvalidPageId);
+  chain_complete_ = (first == kInvalidPageId);
   return Status::OK();
 }
 

@@ -1,8 +1,10 @@
 #ifndef FIELDREP_STORAGE_RECORD_FILE_H_
 #define FIELDREP_STORAGE_RECORD_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,13 @@ namespace fieldrep {
 ///
 /// All page access goes through the BufferPool, so every operation is
 /// visible in the pool's IoStats.
+///
+/// Concurrency: mutations (Insert/Update/Delete/Truncate) run only on the
+/// engine's single writer thread; Read/Scan/ListOids may run on any number
+/// of reader threads concurrently (they take shared page latches and never
+/// hold one while blocking). The chain cache is the only state readers
+/// write, so it has its own mutex; the chain-shape counters are relaxed
+/// atomics so cross-thread getters are race-free.
 class RecordFile {
  public:
   /// \param pool    shared buffer pool (not owned).
@@ -47,10 +56,18 @@ class RecordFile {
 
   FileId file_id() const { return file_id_; }
   BufferPool* pool() const { return pool_; }
-  uint32_t page_count() const { return page_count_; }
-  uint64_t record_count() const { return record_count_; }
-  PageId first_page() const { return first_page_; }
-  PageId last_page() const { return last_page_; }
+  uint32_t page_count() const {
+    return page_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t record_count() const {
+    return record_count_.load(std::memory_order_relaxed);
+  }
+  PageId first_page() const {
+    return first_page_.load(std::memory_order_relaxed);
+  }
+  PageId last_page() const {
+    return last_page_.load(std::memory_order_relaxed);
+  }
 
   /// Reserves this many bytes of page free space per resident record so
   /// records can later grow in place (e.g. when replication adds hidden
@@ -105,20 +122,26 @@ class RecordFile {
 
   /// Records that `page_id` is the `pos`-th page of the chain, keeping the
   /// chain cache a valid prefix of the page list (see chain_cache_).
+  /// Requires chain_mu_.
   void NoteChainPage(size_t pos, PageId page_id) const;
 
   BufferPool* pool_;
   FileId file_id_;
-  PageId first_page_ = kInvalidPageId;
-  PageId last_page_ = kInvalidPageId;
-  uint32_t page_count_ = 0;
-  uint64_t record_count_ = 0;
+  /// Chain shape. Mutated only by the writer thread; atomic so reader
+  /// threads can begin a Scan (first_page_) or call the getters mid-write.
+  std::atomic<PageId> first_page_{kInvalidPageId};
+  std::atomic<PageId> last_page_{kInvalidPageId};
+  std::atomic<uint32_t> page_count_{0};
+  std::atomic<uint64_t> record_count_{0};
   uint32_t growth_reserve_ = 0;
   /// Free-space hints: pages that recently lost a record. A lightweight
   /// stand-in for a free-space map; inserts probe a few before extending
-  /// the file.
+  /// the file. Writer-thread-only.
   std::vector<PageId> free_hints_;
 
+  /// Guards chain_cache_ and chain_complete_: concurrent Scans (reader
+  /// threads) extend the cache, AppendPage (writer) appends to it.
+  mutable std::mutex chain_mu_;
   /// In-memory prefix of the page chain in scan order, used to issue
   /// read-ahead windows during Scan without chasing next_page links.
   /// Maintained by AppendPage for files built in-session and rebuilt

@@ -33,7 +33,7 @@ Status WalManager::Initialize(uint64_t epoch) {
 }
 
 Status WalManager::BeginTransaction() {
-  if (broken_) {
+  if (broken()) {
     return Status::FailedPrecondition(
         "write-ahead log is in a failed state; reopen the database");
   }
@@ -52,7 +52,7 @@ Status WalManager::CommitTransaction() {
   Status s = CommitTopLevel();
   txn_depth_ = 0;
   if (s.ok() && options_.checkpoint_threshold_bytes != 0 &&
-      writer_.next_lsn() > options_.checkpoint_threshold_bytes) {
+      log_bytes() > options_.checkpoint_threshold_bytes) {
     s = Checkpoint();
   }
   return s;
@@ -63,24 +63,33 @@ Status WalManager::AbortTransaction() {
     return Status::FailedPrecondition("abort without matching begin");
   }
   --txn_depth_;
-  if (txn_depth_ == 0 && !broken_) {
+  if (txn_depth_ == 0 && !broken()) {
     // Redo-only log: the in-memory partial effects stay (exactly the
     // pre-WAL failure behaviour), but none of them were logged, so a
     // crash-and-recover still lands on the last committed state.
     snapshots_.clear();
+    std::lock_guard<std::mutex> lock(state_mu_);
     txn_dirty_.clear();
   }
   return Status::OK();
 }
 
 Status WalManager::CommitTopLevel() {
-  if (broken_) {
+  if (broken()) {
     return Status::FailedPrecondition(
         "write-ahead log is in a failed state; reopen the database");
   }
   if (precommit_hook_) {
     Status s = precommit_hook_();
     if (!s.ok()) return s;
+  }
+
+  // Copy the write set out under state_mu_; only this (writer) thread
+  // mutates it, so the copy stays accurate for the rest of the commit.
+  std::vector<PageId> dirty_pages;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    dirty_pages.assign(txn_dirty_.begin(), txn_dirty_.end());
   }
 
   // Diff every dirtied page against its pre-image. Absolute byte ranges
@@ -93,13 +102,13 @@ Status WalManager::CommitTopLevel() {
     uint32_t length;
   };
   std::vector<Delta> deltas;
-  deltas.reserve(txn_dirty_.size());
-  for (PageId page_id : txn_dirty_) {
+  deltas.reserve(dirty_pages.size());
+  for (PageId page_id : dirty_pages) {
     const uint8_t* cur = pool_->PeekPage(page_id);
     if (cur == nullptr) {
       // No-steal (CanEvict) keeps every transaction page resident; a miss
       // here means the invariant broke.
-      broken_ = true;
+      broken_.store(true, std::memory_order_relaxed);
       return Status::Internal(
           StringPrintf("transaction page %u left the buffer pool before "
                        "commit",
@@ -123,59 +132,75 @@ Status WalManager::CommitTopLevel() {
   }
 
   if (deltas.empty()) {
-    ++stats_.empty_commits;
+    {
+      std::lock_guard<std::mutex> lock(log_mu_);
+      ++stats_.empty_commits;
+    }
     snapshots_.clear();
+    std::lock_guard<std::mutex> lock(state_mu_);
     txn_dirty_.clear();
     return Status::OK();
   }
 
   const uint64_t txn_id = next_txn_id_++;
-  LogRecord rec;
-  rec.txn_id = txn_id;
-  rec.type = LogRecordType::kBegin;
-  Status s = writer_.Append(rec);
   uint64_t end_lsn = 0;
-  if (s.ok()) {
-    for (const Delta& d : deltas) {
-      LogRecord w;
-      w.type = LogRecordType::kPageWrite;
-      w.txn_id = txn_id;
-      w.page_id = d.page_id;
-      w.offset = d.offset;
-      w.bytes.assign(reinterpret_cast<const char*>(d.data), d.length);
-      s = writer_.Append(w);
-      if (!s.ok()) break;
-      stats_.delta_bytes += d.length;
+  Status s;
+  {
+    // Appends and the commit sync run under log_mu_ because an evicting
+    // reader may concurrently sync through BeforePageFlush. The delta
+    // byte pointers stay valid: the pages are pinned against eviction by
+    // the no-steal veto and only this thread mutates them.
+    std::lock_guard<std::mutex> lock(log_mu_);
+    LogRecord rec;
+    rec.txn_id = txn_id;
+    rec.type = LogRecordType::kBegin;
+    s = writer_.Append(rec);
+    if (s.ok()) {
+      for (const Delta& d : deltas) {
+        LogRecord w;
+        w.type = LogRecordType::kPageWrite;
+        w.txn_id = txn_id;
+        w.page_id = d.page_id;
+        w.offset = d.offset;
+        w.bytes.assign(reinterpret_cast<const char*>(d.data), d.length);
+        s = writer_.Append(w);
+        if (!s.ok()) break;
+        stats_.delta_bytes += d.length;
+      }
     }
-  }
-  if (s.ok()) {
-    LogRecord commit;
-    commit.type = LogRecordType::kCommit;
-    commit.txn_id = txn_id;
-    s = writer_.Append(commit, &end_lsn);
-  }
-  if (s.ok()) {
-    s = options_.sync_on_commit ? writer_.Sync() : writer_.Flush();
+    if (s.ok()) {
+      LogRecord commit;
+      commit.type = LogRecordType::kCommit;
+      commit.txn_id = txn_id;
+      s = writer_.Append(commit, &end_lsn);
+    }
+    if (s.ok()) {
+      s = options_.sync_on_commit ? writer_.Sync() : writer_.Flush();
+    }
+    if (s.ok()) {
+      ++stats_.transactions;
+      stats_.records += 2 + deltas.size();
+      stats_.log_page_writes = writer_.page_writes();
+      stats_.log_syncs = writer_.syncs();
+    }
   }
   if (!s.ok()) {
     // The log device failed mid-commit. The transaction's pages must
     // never reach the database device now (their deltas may be only
     // partially logged), so freeze the protection set and refuse all
     // further work.
-    broken_ = true;
+    broken_.store(true, std::memory_order_relaxed);
     return s;
   }
 
   // Stamp the commit record's end LSN onto every changed page: the flush
   // invariant (BeforePageFlush) then guarantees no page overtakes its
-  // commit record onto the device, even in group-commit mode.
+  // commit record onto the device, even in group-commit mode. Done
+  // outside log_mu_ — SetPageLsn takes a shard lock.
   for (const Delta& d : deltas) pool_->SetPageLsn(d.page_id, end_lsn);
 
-  ++stats_.transactions;
-  stats_.records += 2 + deltas.size();
-  stats_.log_page_writes = writer_.page_writes();
-  stats_.log_syncs = writer_.syncs();
   snapshots_.clear();
+  std::lock_guard<std::mutex> lock(state_mu_);
   txn_dirty_.clear();
   return Status::OK();
 }
@@ -184,22 +209,28 @@ Status WalManager::Checkpoint() {
   if (txn_depth_ > 0) {
     return Status::FailedPrecondition("checkpoint inside a transaction");
   }
-  if (broken_) {
+  if (broken()) {
     return Status::FailedPrecondition(
         "write-ahead log is in a failed state; reopen the database");
   }
   // Make every committed record durable before its pages can be flushed
   // (group-commit mode may still hold records in memory).
-  Status s = writer_.Sync();
-  if (!s.ok()) {
-    broken_ = true;
-    return s;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    Status s = writer_.Sync();
+    if (!s.ok()) {
+      broken_.store(true, std::memory_order_relaxed);
+      return s;
+    }
   }
+  // log_mu_ must be released here: FlushAll re-enters this manager
+  // through BeforePageFlush, which takes it again.
   size_t dirty = pool_->DirtyPageIds().size();
   FIELDREP_RETURN_IF_ERROR(pool_->FlushAll());
   FIELDREP_RETURN_IF_ERROR(pool_->SyncDevice());
   // Every logged effect is now on the database device: the log content is
   // dead. Start the next epoch, which logically truncates it.
+  std::lock_guard<std::mutex> lock(log_mu_);
   FIELDREP_RETURN_IF_ERROR(writer_.Reset(writer_.epoch() + 1));
   ++stats_.checkpoints;
   stats_.checkpoint_pages += dirty;
@@ -209,7 +240,8 @@ Status WalManager::Checkpoint() {
 }
 
 void WalManager::OnPageAccess(PageId page_id, const uint8_t* data) {
-  if (txn_depth_ == 0 || broken_) return;
+  // Fires only for exclusive fetches, i.e. only on the writer thread.
+  if (txn_depth_ == 0 || broken()) return;
   if (snapshots_.count(page_id) != 0) return;
   // Only pages the transaction later dirties need their pre-image, but
   // we cannot know which those are yet; the map is cleared at commit so
@@ -220,24 +252,28 @@ void WalManager::OnPageAccess(PageId page_id, const uint8_t* data) {
 }
 
 void WalManager::OnPageDirtied(PageId page_id) {
-  if (txn_depth_ == 0 || broken_) return;
+  if (txn_depth_ == 0 || broken()) return;
+  std::lock_guard<std::mutex> lock(state_mu_);
   txn_dirty_.insert(page_id);
 }
 
 bool WalManager::CanEvict(PageId page_id) const {
   // No-steal: pages carrying uncommitted (or unloggable, once broken)
-  // transaction writes must not reach the device.
+  // transaction writes must not reach the device. Called from any thread
+  // that considers evicting a dirty page.
+  std::lock_guard<std::mutex> lock(state_mu_);
   return txn_dirty_.count(page_id) == 0;
 }
 
 Status WalManager::BeforePageFlush(PageId /*page_id*/, uint64_t page_lsn) {
+  std::lock_guard<std::mutex> lock(log_mu_);
   if (page_lsn == 0 || page_lsn <= writer_.durable_lsn()) {
     return Status::OK();
   }
   // Write-ahead rule: the log must be durable through this page's last
   // commit record before the page itself may be written.
   Status s = writer_.Sync();
-  if (!s.ok()) broken_ = true;
+  if (!s.ok()) broken_.store(true, std::memory_order_relaxed);
   stats_.log_syncs = writer_.syncs();
   stats_.log_page_writes = writer_.page_writes();
   return s;

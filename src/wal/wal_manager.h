@@ -1,9 +1,11 @@
 #ifndef FIELDREP_WAL_WAL_MANAGER_H_
 #define FIELDREP_WAL_WAL_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -54,6 +56,15 @@ struct WalStats {
 /// dirty pages (their log records are already durable), sync the
 /// database device, then start a fresh log epoch — which logically
 /// truncates the log without a device truncate.
+///
+/// Concurrency (DESIGN.md §10): transactions begin, mutate, and commit
+/// only on the engine's single writer thread, so `txn_depth_`,
+/// `snapshots_`, and `next_txn_id_` need no locking (OnPageAccess fires
+/// only for exclusive fetches — the writer). What reader threads *can*
+/// reach is eviction of dirty pages: CanEvict and BeforePageFlush run on
+/// whichever thread takes a buffer miss, so the transaction write set is
+/// guarded by `state_mu_` and the log writer plus its stats by `log_mu_`.
+/// Neither mutex is ever held across a call into the buffer pool.
 class WalManager : public PageObserver {
  public:
   struct Options {
@@ -108,11 +119,23 @@ class WalManager : public PageObserver {
 
   // --- Introspection ---------------------------------------------------------
 
-  const WalStats& stats() const { return stats_; }
-  uint64_t epoch() const { return writer_.epoch(); }
-  uint64_t durable_lsn() const { return writer_.durable_lsn(); }
-  uint64_t log_bytes() const { return writer_.next_lsn(); }
-  bool broken() const { return broken_; }
+  WalStats stats() const {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    return stats_;
+  }
+  uint64_t epoch() const {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    return writer_.epoch();
+  }
+  uint64_t durable_lsn() const {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    return writer_.durable_lsn();
+  }
+  uint64_t log_bytes() const {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    return writer_.next_lsn();
+  }
+  bool broken() const { return broken_.load(std::memory_order_relaxed); }
 
   // --- PageObserver ----------------------------------------------------------
 
@@ -126,20 +149,30 @@ class WalManager : public PageObserver {
 
   StorageDevice* log_device_;
   BufferPool* pool_;
+  /// Guarded by log_mu_, together with stats_.
   LogWriter writer_;
   Options options_;
   std::function<Status()> precommit_hook_;
 
+  // Writer-thread-only state (see the class comment).
   int txn_depth_ = 0;
   uint64_t next_txn_id_ = 1;
   /// Pre-images of pages first accessed inside the open transaction.
   std::unordered_map<PageId, std::string> snapshots_;
+
+  /// Guards txn_dirty_: written by the writer thread, read by CanEvict
+  /// from any thread that evicts a dirty page.
+  mutable std::mutex state_mu_;
   /// Pages dirtied inside the open transaction (ordered: deterministic
   /// log layout). Also the no-steal protection set; on log failure it is
   /// frozen into `broken_` state.
   std::set<PageId> txn_dirty_;
-  bool broken_ = false;
+  std::atomic<bool> broken_{false};
 
+  /// Guards writer_ and stats_: commits and checkpoints append from the
+  /// writer thread while BeforePageFlush may sync from any evicting
+  /// thread.
+  mutable std::mutex log_mu_;
   WalStats stats_;
 };
 

@@ -3,6 +3,7 @@
 // bidirectional reference attributes via inverted paths.
 
 #include "common/random.h"
+#include "common/strings.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
 
@@ -67,7 +68,7 @@ TEST_F(DeferredPropagationTest, UpdateQueuesInsteadOfPropagating) {
 TEST_F(DeferredPropagationTest, RepeatedUpdatesCoalesce) {
   for (int i = 0; i < 10; ++i) {
     FR_ASSERT_OK(db_->Update("Dept", fixture_.depts[0], "name",
-                             Value("v" + std::to_string(i))));
+                             Value(StringPrintf("v%d", i))));
   }
   // Ten updates, one queue entry.
   EXPECT_EQ(db_->replication().pending_propagation_count(), 1u);
@@ -131,7 +132,7 @@ TEST_F(DeferredPropagationTest, RandomMixConvergesOnFlush) {
     if (action < 5) {
       FR_ASSERT_OK(db_->Update("Dept",
                                fixture_.depts[rng.Uniform(4)], "name",
-                               Value("s" + std::to_string(step))));
+                               Value(StringPrintf("s%d", step))));
     } else if (action < 8) {
       FR_ASSERT_OK(db_->Update("Emp1", fixture_.emps[rng.Uniform(20)],
                                "dept", Value(fixture_.depts[rng.Uniform(4)])));
