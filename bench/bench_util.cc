@@ -42,6 +42,9 @@ Result<ModelWorkload> BuildModelWorkload(const WorkloadOptions& options) {
   db_options.read_ahead_window = options.read_ahead_window;
   db_options.file_path = options.file_path;
   db_options.worker_threads = options.worker_threads;
+  db_options.enable_telemetry = options.enable_telemetry;
+  db_options.slow_query_ns = options.slow_query_ns;
+  db_options.slow_query_hook = options.slow_query_hook;
   FIELDREP_ASSIGN_OR_RETURN(workload.db, Database::Open(db_options));
   Database& db = *workload.db;
 
@@ -260,6 +263,14 @@ void BenchJson::Add(const std::string& key, double value) {
   metrics_.emplace_back(key, value);
 }
 
+void BenchJson::SetTelemetry(std::string metrics_json) {
+  while (!metrics_json.empty() &&
+         (metrics_json.back() == '\n' || metrics_json.back() == ' ')) {
+    metrics_json.pop_back();
+  }
+  telemetry_json_ = std::move(metrics_json);
+}
+
 std::string BenchJson::Render() const {
   std::string out = "{\n  \"bench\": \"" + bench_name_ + "\",\n"
                     "  \"metrics\": {\n";
@@ -268,7 +279,12 @@ std::string BenchJson::Render() const {
                         metrics_[i].second,
                         i + 1 < metrics_.size() ? "," : "");
   }
-  out += "  }\n}\n";
+  out += "  }";
+  if (!telemetry_json_.empty()) {
+    out += ",\n  \"telemetry\": ";
+    out += telemetry_json_;
+  }
+  out += "\n}\n";
   return out;
 }
 

@@ -54,6 +54,12 @@ struct WorkloadOptions {
   std::string file_path;
   /// Worker threads for parallel read execution (1 = serial engine).
   size_t worker_threads = 1;
+  /// Telemetry configuration, forwarded to Database::Options. The
+  /// equivalence suite builds identical workloads with tracing armed and
+  /// with telemetry off and asserts identical logical I/O.
+  bool enable_telemetry = true;
+  uint64_t slow_query_ns = 0;
+  std::function<void(const QueryTrace&)> slow_query_hook;
 };
 
 /// Builds the workload database: populates S, populates R with either
@@ -103,7 +109,12 @@ class BenchJson {
   /// separators ("unclustered.f5.in_place.read_io").
   void Add(const std::string& key, double value);
 
-  /// {"bench": "<name>", "metrics": {...}} with stable key order.
+  /// Embeds an engine metrics snapshot (Database::MetricsJson) in the
+  /// rendered document under a "telemetry" key; omitted when never set.
+  void SetTelemetry(std::string metrics_json);
+
+  /// {"bench": "<name>", "metrics": {...}, "telemetry": {...}} with
+  /// stable key order.
   std::string Render() const;
 
   /// Writes Render() to `path`.
@@ -112,6 +123,7 @@ class BenchJson {
  private:
   std::string bench_name_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::string telemetry_json_;
 };
 
 /// Recognizes `--json` / `--json=PATH` anywhere in argv and removes it

@@ -152,6 +152,7 @@ int Run(uint32_t s_count, int queries, size_t extra_threads, uint32_t window,
     json.Add(prefix + "fetches_per_query",
              static_cast<double>(stats.fetches / queries));
   }
+  json.SetTelemetry(db.MetricsJson());
   if (!json_path.empty()) {
     s = json.WriteToFile(json_path);
     if (!s.ok()) {

@@ -96,6 +96,9 @@ void RunSetting(bool clustered, uint32_t s_count, int trials, uint32_t window,
         json->Add(prefix + "update_ms", measured->update_ms);
         json->Add(prefix + "batched_reads", measured->batched_reads);
         json->Add(prefix + "coalesced_writes", measured->coalesced_writes);
+        // Last workload's snapshot wins: the embedded telemetry shows one
+        // representative fully-exercised engine, not a per-cell matrix.
+        json->SetTelemetry(workload->db->MetricsJson());
       }
     }
   }

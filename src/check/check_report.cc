@@ -32,6 +32,23 @@ const char* CheckLayerName(CheckLayer layer) {
   return "unknown";
 }
 
+std::string CheckStats::ToString() const {
+  std::string out;
+  auto line = [&out](const char* key, uint64_t value) {
+    out += StringPrintf("  %-24s %llu\n", key,
+                        static_cast<unsigned long long>(value));
+  };
+  line("heap pages scanned:", heap_pages_scanned);
+  line("records checked:", records_checked);
+  line("checksum pages verified:", checksum_pages_verified);
+  line("index entries checked:", index_entries_checked);
+  line("objects checked:", objects_checked);
+  line("link objects checked:", link_objects_checked);
+  line("replica records checked:", replica_records_checked);
+  line("wal records scanned:", wal_records_scanned);
+  return out;
+}
+
 std::string CheckFinding::ToString() const {
   std::string out = StringPrintf("[%s] %s: ", CheckSeverityName(severity),
                                  CheckLayerName(layer));

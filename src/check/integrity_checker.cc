@@ -112,6 +112,7 @@ void IntegrityChecker::CheckRecordFile(const RecordFile& file,
       return;
     }
     ++pages_seen;
+    ++report_->stats.heap_pages_scanned;
     SlottedPage page(guard.data());
     if (page.page_type() != PageType::kHeap) {
       report_->AddError(
@@ -169,6 +170,7 @@ void IntegrityChecker::CheckRecordFile(const RecordFile& file,
         continue;
       }
       ++live;
+      ++report_->stats.records_checked;
       live_bytes += length;
       cells.emplace_back(offset, length);
 
@@ -295,6 +297,7 @@ void IntegrityChecker::CheckDeviceChecksums() {
                         "page unreadable: " + s.ToString(), page_id);
       continue;
     }
+    ++report_->stats.checksum_pages_verified;
     if (!VerifyPageChecksum(buf)) {
       report_->AddError(CheckLayer::kStorage, "device",
                         "page checksum mismatch", page_id);
@@ -337,6 +340,7 @@ void IntegrityChecker::CheckIndexes() {
       uint64_t entries = 0;
       Status scan = tree->ScanRange(kMin, kMax, [&](int64_t key, Oid oid) {
         ++entries;
+        ++report_->stats.index_entries_checked;
         if (Full()) return false;
         Object object;
         if (oid.file_id != set->file().file_id() ||
@@ -505,6 +509,7 @@ void IntegrityChecker::CheckObjects(const std::string& set_name) {
 
   Status scan = set->Scan([&](const Oid& oid, const Object& object) {
     if (Full()) return false;
+    ++report_->stats.objects_checked;
     if (object.type_tag() != type.type_tag()) {
       report_->AddError(CheckLayer::kCatalog, context,
                         StringPrintf("object type tag %u but set type is %u",
@@ -637,6 +642,7 @@ void IntegrityChecker::CheckLinkSets() {
     Status scan = file.value()->Scan(
         [&](const Oid& oid, const std::string& payload) {
           if (Full()) return false;
+          ++report_->stats.link_objects_checked;
           LinkRecord record;
           Status parse = record.data.Deserialize(payload);
           if (!parse.ok()) {
@@ -780,6 +786,7 @@ void IntegrityChecker::CheckReplicaSets() {
     Status scan = file.value()->Scan([&](const Oid& oid,
                                          const std::string& payload) {
       if (Full()) return false;
+      ++report_->stats.replica_records_checked;
       ReplicaRecord record;
       Status parse = record.Deserialize(payload);
       if (!parse.ok()) {
@@ -915,6 +922,7 @@ void IntegrityChecker::CheckWalDevice(StorageDevice* device,
     }
     if (end) break;
     ++records;
+    ++report->stats.wal_records_scanned;
     switch (record.type) {
       case LogRecordType::kBegin:
         if (!open_txns.insert(record.txn_id).second) {

@@ -1,0 +1,413 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Number(uint64_t u) {
+  return Number(static_cast<double>(u));
+}
+
+JsonValue JsonValue::Number(int64_t i) {
+  return Number(static_cast<double>(i));
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::Append(JsonValue v) {
+  array_.push_back(std::move(v));
+  return array_.back();
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return members_.back().second;
+}
+
+void JsonEscape(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StringPrintf("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+namespace {
+
+void AppendNumber(double d, std::string* out) {
+  // Integral values (the common case: counters) print without a fraction,
+  // so a uint64 round-trips textually up to 2^53.
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 9.0e15) {
+    *out += StringPrintf("%lld", static_cast<long long>(d));
+    return;
+  }
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    *out += "null";
+    return;
+  }
+  *out += StringPrintf("%.17g", d);
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  *out += '\n';
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void JsonValue::SerializeTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      AppendNumber(number_, out);
+      return;
+    case Kind::kString:
+      *out += '"';
+      JsonEscape(string_, out);
+      *out += '"';
+      return;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) *out += ',';
+        Indent(out, indent, depth + 1);
+        array_[i].SerializeTo(out, indent, depth + 1);
+      }
+      Indent(out, indent, depth);
+      *out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += '{';
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) *out += ',';
+        Indent(out, indent, depth + 1);
+        *out += '"';
+        JsonEscape(members_[i].first, out);
+        *out += "\":";
+        if (indent > 0) *out += ' ';
+        members_[i].second.SerializeTo(out, indent, depth + 1);
+      }
+      Indent(out, indent, depth);
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Serialize(int indent) const {
+  std::string out;
+  SerializeTo(&out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a raw character range.
+class JsonParser {
+ public:
+  JsonParser(const char* p, const char* end) : p_(p), end_(end) {}
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Status::InvalidArgument("json: nesting too deep");
+    }
+    SkipWs();
+    if (p_ == end_) return Status::InvalidArgument("json: unexpected end");
+    switch (*p_) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        FIELDREP_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue::Str(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        FIELDREP_RETURN_IF_ERROR(Expect("true"));
+        *out = JsonValue::Bool(true);
+        return Status::OK();
+      case 'f':
+        FIELDREP_RETURN_IF_ERROR(Expect("false"));
+        *out = JsonValue::Bool(false);
+        return Status::OK();
+      case 'n':
+        FIELDREP_RETURN_IF_ERROR(Expect("null"));
+        *out = JsonValue::Null();
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  void SkipWs() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return p_ == end_;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Expect(const char* literal) {
+    size_t n = std::strlen(literal);
+    if (static_cast<size_t>(end_ - p_) < n ||
+        std::memcmp(p_, literal, n) != 0) {
+      return Status::InvalidArgument(std::string("json: expected ") + literal);
+    }
+    p_ += n;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++p_;  // opening quote
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) break;
+        switch (*p_) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (end_ - p_ < 5) {
+              return Status::InvalidArgument("json: truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              char c = p_[i];
+              code <<= 4;
+              if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+              else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+              else return Status::InvalidArgument("json: bad \\u escape");
+            }
+            p_ += 4;
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument("json: bad escape");
+        }
+        ++p_;
+      } else {
+        *out += *p_++;
+      }
+    }
+    if (p_ == end_) return Status::InvalidArgument("json: unterminated string");
+    ++p_;  // closing quote
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    while (p_ != end_ &&
+           ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' || *p_ == 'e' ||
+            *p_ == 'E' || *p_ == '-' || *p_ == '+')) {
+      ++p_;
+    }
+    if (p_ == start) return Status::InvalidArgument("json: bad value");
+    std::string text(start, p_);
+    char* parse_end = nullptr;
+    double d = std::strtod(text.c_str(), &parse_end);
+    if (parse_end == nullptr || *parse_end != '\0') {
+      return Status::InvalidArgument("json: bad number: " + text);
+    }
+    *out = JsonValue::Number(d);
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++p_;  // '['
+    *out = JsonValue::Array();
+    SkipWs();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return Status::OK();
+    }
+    for (;;) {
+      JsonValue element;
+      FIELDREP_RETURN_IF_ERROR(ParseValue(&element, depth + 1));
+      out->Append(std::move(element));
+      SkipWs();
+      if (p_ == end_) return Status::InvalidArgument("json: unterminated array");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return Status::OK();
+      }
+      return Status::InvalidArgument("json: expected ',' or ']'");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++p_;  // '{'
+    *out = JsonValue::Object();
+    SkipWs();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWs();
+      if (p_ == end_ || *p_ != '"') {
+        return Status::InvalidArgument("json: expected member name");
+      }
+      std::string key;
+      FIELDREP_RETURN_IF_ERROR(ParseString(&key));
+      SkipWs();
+      if (p_ == end_ || *p_ != ':') {
+        return Status::InvalidArgument("json: expected ':'");
+      }
+      ++p_;
+      JsonValue value;
+      FIELDREP_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->Set(key, std::move(value));
+      SkipWs();
+      if (p_ == end_) {
+        return Status::InvalidArgument("json: unterminated object");
+      }
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return Status::OK();
+      }
+      return Status::InvalidArgument("json: expected ',' or '}'");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+Status JsonValue::Parse(const std::string& text, JsonValue* out) {
+  JsonParser parser(text.data(), text.data() + text.size());
+  FIELDREP_RETURN_IF_ERROR(parser.ParseValue(out, 0));
+  if (!parser.AtEnd()) {
+    return Status::InvalidArgument("json: trailing characters after value");
+  }
+  return Status::OK();
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,89 @@
+#ifndef FIELDREP_COMMON_JSON_H_
+#define FIELDREP_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fieldrep {
+
+/// \brief A minimal JSON document model: build, serialize, parse.
+///
+/// The telemetry subsystem renders every metrics snapshot by building a
+/// JsonValue tree and serializing it, and the tools re-load dumped
+/// snapshots by parsing them back — so "the output round-trips through the
+/// JSON parser" holds by construction rather than by string discipline.
+/// The model is deliberately small: the seven JSON kinds, object members
+/// in insertion order (stable, diff-friendly output), numbers stored as
+/// double but printed without a fraction when integral. It is not a
+/// general-purpose library (no comments, no trailing commas, UTF-8 passed
+/// through verbatim, \uXXXX escapes decoded losslessly only for ASCII).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Number(uint64_t u);
+  static JsonValue Number(int64_t i);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  uint64_t as_u64() const { return static_cast<uint64_t>(number_); }
+  const std::string& as_string() const { return string_; }
+
+  // --- Array access ----------------------------------------------------------
+  size_t size() const { return array_.size(); }
+  const JsonValue& at(size_t i) const { return array_[i]; }
+  JsonValue& Append(JsonValue v);
+
+  // --- Object access ---------------------------------------------------------
+  /// Member lookup; null-kind static sentinel when absent.
+  const JsonValue* Find(const std::string& key) const;
+  /// Adds (or replaces) a member, keeping first-insertion order.
+  JsonValue& Set(const std::string& key, JsonValue v);
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Serializes the tree. `indent` > 0 pretty-prints with that many spaces
+  /// per level; 0 emits the compact single-line form.
+  std::string Serialize(int indent = 0) const;
+
+  /// Parses `text` into `*out`. Rejects trailing garbage.
+  static Status Parse(const std::string& text, JsonValue* out);
+
+ private:
+  void SerializeTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Escapes `s` as the body of a JSON string literal (no quotes added).
+void JsonEscape(const std::string& s, std::string* out);
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_COMMON_JSON_H_

@@ -1,6 +1,17 @@
 #include "common/thread_pool.h"
 
+#include <chrono>
+
 namespace fieldrep {
+
+namespace {
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -29,15 +40,23 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    RunTask(task);
   }
+}
+
+void ThreadPool::RunTask(std::function<void()>& task) {
+  const uint64_t start_ns = NowNs();
+  task();
+  task_ns_.Observe(NowNs() - start_ns);
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  batches_run_.fetch_add(1, std::memory_order_relaxed);
   if (tasks.size() == 1) {
     // Nothing to fan out; skip the queue entirely.
-    tasks[0]();
+    RunTask(tasks[0]);
     return;
   }
   struct BatchState {
@@ -78,10 +97,36 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    RunTask(task);
   }
   std::unique_lock<std::mutex> lock(state.mu);
   state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+}
+
+void ThreadPool::CollectMetrics(std::vector<MetricSample>* out) const {
+  auto add = [out](const char* name, const char* help, MetricKind kind,
+                   double value) {
+    MetricSample s;
+    s.name = name;
+    s.help = help;
+    s.kind = kind;
+    s.value = value;
+    out->push_back(std::move(s));
+  };
+  add("fieldrep_threadpool_tasks_total", "Tasks executed by the pool.",
+      MetricKind::kCounter, static_cast<double>(tasks_run()));
+  add("fieldrep_threadpool_batches_total", "Batches submitted via RunBatch.",
+      MetricKind::kCounter, static_cast<double>(batches_run()));
+  add("fieldrep_threadpool_threads", "Worker threads in the pool.",
+      MetricKind::kGauge, static_cast<double>(threads_.size()));
+  add("fieldrep_threadpool_queue_depth", "Tasks currently queued.",
+      MetricKind::kGauge, static_cast<double>(queue_depth()));
+  MetricSample lat;
+  lat.name = "fieldrep_threadpool_task_ns";
+  lat.help = "Per-task execution latency, nanoseconds.";
+  lat.kind = MetricKind::kHistogram;
+  lat.histogram = task_ns_.TakeSnapshot();
+  out->push_back(std::move(lat));
 }
 
 }  // namespace fieldrep

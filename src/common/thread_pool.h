@@ -1,13 +1,17 @@
 #ifndef FIELDREP_COMMON_THREAD_POOL_H_
 #define FIELDREP_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "telemetry/metrics.h"
 
 namespace fieldrep {
 
@@ -45,14 +49,40 @@ class ThreadPool {
   /// Status slot).
   void RunBatch(std::vector<std::function<void()>> tasks);
 
+  /// Tasks executed so far (workers + caller participation).
+  uint64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+  /// Batches submitted through RunBatch (including single-task ones).
+  uint64_t batches_run() const {
+    return batches_run_.load(std::memory_order_relaxed);
+  }
+  /// Tasks currently queued (sampled under the pool mutex).
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  /// Appends this pool's metric samples (task/batch counters, queue-depth
+  /// and size gauges, task-latency histogram) to `out`.
+  void CollectMetrics(std::vector<MetricSample>* out) const;
+
  private:
   void WorkerLoop();
+  /// Runs one task, timing it into task_ns_ and counting it.
+  void RunTask(std::function<void()>& task);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> threads_;
+
+  /// Always-on telemetry (relaxed atomics; tasks are page-range scans,
+  /// so two clock reads per task are noise).
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> batches_run_{0};
+  Histogram task_ns_{Histogram::LatencyBoundsNs()};
 };
 
 }  // namespace fieldrep

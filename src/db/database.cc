@@ -1,6 +1,7 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "check/integrity_checker.h"
@@ -89,6 +90,39 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   if (options.worker_threads > 1) {
     db->workers_ = std::make_unique<ThreadPool>(options.worker_threads);
     db->executor_->set_worker_pool(db->workers_.get());
+  }
+  db->slow_query_ns_ = options.slow_query_ns;
+  db->slow_query_hook_ = options.slow_query_hook;
+  if (options.enable_telemetry) {
+    db->metrics_ = std::make_unique<MetricsRegistry>();
+    db->profiler_ = std::make_unique<WorkloadProfiler>();
+    db->executor_->set_profiler(db->profiler_.get());
+    db->replication_->set_profiler(db->profiler_.get());
+    // Components keep their always-on relaxed-atomic instruments; the
+    // registry only names and renders them, so samples are computed at
+    // Collect() time and telemetry adds nothing to any hot path.
+    BufferPool* pool = db->pool_.get();
+    db->metrics_->AddCollector(
+        [pool](std::vector<MetricSample>* out) { pool->CollectMetrics(out); });
+    if (db->wal_ != nullptr) {
+      WalManager* wal = db->wal_.get();
+      db->metrics_->AddCollector(
+          [wal](std::vector<MetricSample>* out) { wal->CollectMetrics(out); });
+    }
+    ReplicationManager* repl = db->replication_.get();
+    db->metrics_->AddCollector(
+        [repl](std::vector<MetricSample>* out) { repl->CollectMetrics(out); });
+    WorkloadProfiler* prof = db->profiler_.get();
+    db->metrics_->AddCollector(
+        [prof](std::vector<MetricSample>* out) { prof->CollectMetrics(out); });
+    // The worker pool is swappable (SetWorkerThreads), so the collector
+    // reads through the database each render. SetWorkerThreads already
+    // requires quiesced queries; that covers concurrent Collect() too.
+    Database* raw = db.get();
+    db->metrics_->AddCollector([raw](std::vector<MetricSample>* out) {
+      ThreadPool* workers = raw->workers_.get();
+      if (workers != nullptr) workers->CollectMetrics(out);
+    });
   }
   if (restore) {
     FIELDREP_RETURN_IF_ERROR(db->RestoreFromDevice());
@@ -458,12 +492,76 @@ Status Database::Delete(const std::string& set_name, const Oid& oid) {
 }
 
 Status Database::Retrieve(const ReadQuery& query, ReadResult* result) {
-  return executor_->ExecuteRead(query, result);
+  if (slow_query_ns_ == 0) return executor_->ExecuteRead(query, result);
+  // Slow-query log armed: trace every query so threshold crossings have
+  // a full stage breakdown to report.
+  QueryTrace trace;
+  return Retrieve(query, result, &trace);
+}
+
+Status Database::Retrieve(const ReadQuery& query, ReadResult* result,
+                          QueryTrace* trace) {
+  Status s = executor_->ExecuteRead(query, result, trace);
+  if (s.ok() && trace != nullptr) MaybeLogSlowQuery(*trace);
+  return s;
 }
 
 Status Database::Replace(const UpdateQuery& query, UpdateResult* result) {
-  std::lock_guard<std::recursive_mutex> lock(write_mu_);
-  return executor_->ExecuteUpdate(query, result);
+  if (slow_query_ns_ == 0) {
+    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    return executor_->ExecuteUpdate(query, result);
+  }
+  QueryTrace trace;
+  return Replace(query, result, &trace);
+}
+
+Status Database::Replace(const UpdateQuery& query, UpdateResult* result,
+                         QueryTrace* trace) {
+  Status s;
+  {
+    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    s = executor_->ExecuteUpdate(query, result, trace);
+  }
+  if (s.ok() && trace != nullptr) MaybeLogSlowQuery(*trace);
+  return s;
+}
+
+void Database::MaybeLogSlowQuery(const QueryTrace& trace) const {
+  if (slow_query_ns_ == 0 || trace.wall_ns < slow_query_ns_) return;
+  if (slow_query_hook_) {
+    slow_query_hook_(trace);
+    return;
+  }
+  std::fprintf(stderr, "[fieldrep] slow query: %s\n", trace.Summary().c_str());
+}
+
+WorkloadProfile Database::Stats() const {
+  return profiler_ != nullptr ? profiler_->Snapshot() : WorkloadProfile();
+}
+
+std::string Database::MetricsPrometheus() const {
+  return metrics_ != nullptr ? metrics_->RenderPrometheus() : std::string();
+}
+
+std::string Database::MetricsJson() const {
+  return metrics_ != nullptr ? metrics_->RenderJson() : std::string();
+}
+
+Status Database::DumpMetricsJson(const std::string& path) const {
+  if (metrics_ == nullptr) {
+    return Status::FailedPrecondition("telemetry is disabled");
+  }
+  std::string json = metrics_->RenderJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
 }
 
 Status Database::ColdStart() {

@@ -1,6 +1,7 @@
 #ifndef FIELDREP_DB_DATABASE_H_
 #define FIELDREP_DB_DATABASE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -19,6 +20,8 @@
 #include "storage/buffer_pool.h"
 #include "storage/file_device.h"
 #include "storage/memory_device.h"
+#include "telemetry/metrics.h"
+#include "telemetry/workload_profiler.h"
 #include "wal/recovery_manager.h"
 #include "wal/wal_manager.h"
 
@@ -89,6 +92,21 @@ class Database : public SetProvider {
     /// ranges out over; the logical I/O counters stay identical to the
     /// serial plan. Mutations remain single-writer regardless.
     size_t worker_threads = 1;
+
+    /// Engine-wide telemetry (DESIGN.md §11). The component-level
+    /// instruments (pool shard hit/miss, WAL commit latency, replication
+    /// propagation counters, ...) are always-on relaxed atomics; this
+    /// flag only controls whether the database builds the
+    /// MetricsRegistry/WorkloadProfiler that name and expose them.
+    /// Telemetry never changes the logical I/O a query performs.
+    bool enable_telemetry = true;
+    /// Slow-query log threshold: read/update queries whose wall time
+    /// reaches this many nanoseconds are traced and reported through
+    /// `slow_query_hook` (or, with no hook, a one-line Summary() on
+    /// stderr). 0 disables the slow-query log.
+    uint64_t slow_query_ns = 0;
+    /// Receives the QueryTrace of every slow query when set.
+    std::function<void(const QueryTrace&)> slow_query_hook;
   };
 
   /// Opens a database. Never returns null on OK status.
@@ -126,6 +144,14 @@ class Database : public SetProvider {
 
   Status Retrieve(const ReadQuery& query, ReadResult* result);
   Status Replace(const UpdateQuery& query, UpdateResult* result);
+  /// Traced variants: `trace`, when non-null, receives the query's
+  /// EXPLAIN ANALYZE (per-stage wall time and IoStats deltas, strategy
+  /// choices, parallel fan-out). Traced queries also feed the slow-query
+  /// log when they cross `Options::slow_query_ns`.
+  Status Retrieve(const ReadQuery& query, ReadResult* result,
+                  QueryTrace* trace);
+  Status Replace(const UpdateQuery& query, UpdateResult* result,
+                 QueryTrace* trace);
 
   // --- Measurement -------------------------------------------------------------
 
@@ -139,6 +165,29 @@ class Database : public SetProvider {
   /// serial engine). Callers must quiesce queries first; benchmarks use
   /// this to sweep a thread ladder over one populated database.
   Status SetWorkerThreads(size_t n);
+
+  // --- Observability -----------------------------------------------------------
+
+  /// The engine's metric registry; null when opened with
+  /// `enable_telemetry = false`. All component counters (buffer pool,
+  /// WAL, replication, thread pool, workload profiler) are attached as
+  /// render-time collectors, so Collect() always reflects live state.
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  /// The workload profiler (per-path dereference counts, per-field
+  /// update/propagation rates); null when telemetry is disabled.
+  WorkloadProfiler* profiler() { return profiler_.get(); }
+
+  /// Snapshot of the workload profile — the §6 cost model's input,
+  /// expressed in catalog terms. Empty when telemetry is disabled.
+  WorkloadProfile Stats() const;
+
+  /// Full metrics snapshot in Prometheus text exposition / JSON. Empty
+  /// string when telemetry is disabled.
+  std::string MetricsPrometheus() const;
+  std::string MetricsJson() const;
+  /// Writes MetricsJson() to `path` (the dump fieldrep_stats --snapshot
+  /// re-renders offline).
+  Status DumpMetricsJson(const std::string& path) const;
 
   // --- Persistence -------------------------------------------------------------
 
@@ -210,9 +259,17 @@ class Database : public SetProvider {
   /// each committed transaction is self-describing after replay.
   Status WriteStateToMetaPages();
 
+  /// Invokes the slow-query hook (or the default stderr line) when a
+  /// traced query crossed the configured threshold.
+  void MaybeLogSlowQuery(const QueryTrace& trace) const;
+
   // Declaration order doubles as destruction order (reversed): the pool
   // must be torn down while the WAL manager it observes — and the devices
-  // both of them write to — are still alive.
+  // both of them write to — are still alive. The registry and profiler
+  // come first (destroyed last): components hold raw pointers to the
+  // profiler, and registry collectors capture component pointers.
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<WorkloadProfiler> profiler_;
   StorageDevice* device_ = nullptr;
   StorageDevice* wal_device_ = nullptr;
   std::unique_ptr<StorageDevice> owned_device_;
@@ -243,6 +300,9 @@ class Database : public SetProvider {
   /// Pages holding the most recent checkpoint blob (page 0 is the header).
   std::vector<PageId> meta_pages_;
   RecoveryStats recovery_stats_;
+  /// Slow-query log configuration (from Options).
+  uint64_t slow_query_ns_ = 0;
+  std::function<void(const QueryTrace&)> slow_query_hook_;
 };
 
 }  // namespace fieldrep

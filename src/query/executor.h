@@ -14,8 +14,11 @@
 #include "query/read_query.h"
 #include "query/update_query.h"
 #include "replication/replication_manager.h"
+#include "telemetry/query_trace.h"
 
 namespace fieldrep {
+
+class WorkloadProfiler;
 
 /// \brief Executes read and update queries.
 ///
@@ -48,8 +51,16 @@ class Executor {
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
-  Status ExecuteRead(const ReadQuery& query, ReadResult* result);
-  Status ExecuteUpdate(const UpdateQuery& query, UpdateResult* result);
+  /// `trace`, when non-null, is filled with the query's EXPLAIN ANALYZE:
+  /// per-stage wall time and pool-level IoStats deltas (telescoping, so
+  /// stage deltas sum exactly to the query total), row counts, strategy
+  /// choices, and parallel fan-out. Tracing reads the shared pool
+  /// counters only at stage boundaries — it never changes what I/O the
+  /// query performs.
+  Status ExecuteRead(const ReadQuery& query, ReadResult* result,
+                     QueryTrace* trace = nullptr);
+  Status ExecuteUpdate(const UpdateQuery& query, UpdateResult* result,
+                       QueryTrace* trace = nullptr);
 
   /// Attaches (or detaches, with nullptr) the worker pool parallel reads
   /// run on. Not thread-safe: call while no query is executing.
@@ -58,6 +69,9 @@ class Executor {
   /// takes it around its mutating steps (deferred-propagation flushes,
   /// output spooling) so read queries can run concurrently with writes.
   void set_write_mutex(std::recursive_mutex* mu) { write_mu_ = mu; }
+  /// Attaches the workload profiler; per-path read recording (once per
+  /// query and projection, with the row count) is a no-op when null.
+  void set_profiler(WorkloadProfiler* profiler) { profiler_ = profiler; }
 
   /// Lazily creates the output file T; called automatically by reads with
   /// write_output.
@@ -125,18 +139,23 @@ class Executor {
   Status FlushDeferredForPlan(const ColumnPlan& plan);
 
   /// Stages 0–2 of ExecuteRead, original single-threaded implementation.
+  /// `tracer` brackets the stages (no-op when untraced).
   Status RunReadStagesSerial(ReadResult* result, ObjectSet* set,
                              const std::vector<ColumnPlan>& plans,
                              bool needs_recheck,
                              const std::optional<BoundClause>& clause,
-                             const std::vector<Oid>& oids);
+                             const std::vector<Oid>& oids,
+                             StageTracer* tracer);
 
-  /// Stages 0–2 of ExecuteRead fanned out over the worker pool.
+  /// Stages 0–2 of ExecuteRead fanned out over the worker pool. Stage
+  /// boundaries are RunBatch barriers, so the tracer's pool snapshots are
+  /// quiesced and the per-stage deltas are exact.
   Status RunReadStagesParallel(ReadResult* result, ObjectSet* set,
                                const std::vector<ColumnPlan>& plans,
                                bool needs_recheck,
                                const std::optional<BoundClause>& clause,
-                               const std::vector<Oid>& oids);
+                               const std::vector<Oid>& oids,
+                               StageTracer* tracer);
 
   Catalog* catalog_;
   SetProvider* sets_;
@@ -145,6 +164,7 @@ class Executor {
   FileId output_file_id_ = kInvalidFileId;
   ThreadPool* workers_ = nullptr;
   std::recursive_mutex* write_mu_ = nullptr;
+  WorkloadProfiler* profiler_ = nullptr;
 };
 
 }  // namespace fieldrep

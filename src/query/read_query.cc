@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "query/executor.h"
 #include "replication/link_object.h"
+#include "telemetry/workload_profiler.h"
 
 namespace fieldrep {
 
@@ -64,7 +65,8 @@ Status Executor::RunReadStagesSerial(ReadResult* result, ObjectSet* set,
                                      const std::vector<ColumnPlan>& plans,
                                      bool needs_recheck,
                                      const std::optional<BoundClause>& clause,
-                                     const std::vector<Oid>& oids) {
+                                     const std::vector<Oid>& oids,
+                                     StageTracer* tracer) {
   // Stage 0: fetch head objects in physical order; evaluate attribute and
   // in-place-replica columns; queue separate-replica reads and joins.
   std::vector<std::vector<PendingReplica>> pending_replicas(plans.size());
@@ -138,9 +140,11 @@ Status Executor::RunReadStagesSerial(ReadResult* result, ObjectSet* set,
     }
     result->rows.push_back(std::move(row));
   }
+  tracer->EndStage("heads", oids.size());
 
   // Stage 1: separate-replica columns — batched, sorted by replica OID so
   // the S' file is read in clustered order.
+  uint64_t replica_reads = 0;
   for (size_t c = 0; c < plans.size(); ++c) {
     if (pending_replicas[c].empty()) continue;
     const ColumnPlan& plan = plans[c];
@@ -168,11 +172,14 @@ Status Executor::RunReadStagesSerial(ReadResult* result, ObjectSet* set,
       if (plan.replica_pos < static_cast<int>(record.values.size())) {
         result->rows[pending.row][c] = record.values[plan.replica_pos];
       }
+      ++replica_reads;
     }
   }
+  tracer->EndStage("replicas", replica_reads);
 
   // Stage 2: functional joins — level by level, each level visited in
   // sorted OID order (the optimal-join discipline of Section 6.2).
+  uint64_t join_reads = 0;
   for (size_t c = 0; c < plans.size(); ++c) {
     if (pending_joins[c].empty()) continue;
     const ColumnPlan& plan = plans[c];
@@ -197,6 +204,7 @@ Status Executor::RunReadStagesSerial(ReadResult* result, ObjectSet* set,
         const PendingJoin& pending = frontier[i];
         Object target;
         FIELDREP_RETURN_IF_ERROR(ReadObjectAt(pending.current, &target));
+        ++join_reads;
         const Value& v = target.field(plan.hop_attrs[hop]);
         if (last) {
           result->rows[pending.row][c] = v;
@@ -208,13 +216,15 @@ Status Executor::RunReadStagesSerial(ReadResult* result, ObjectSet* set,
       if (!last) frontier = std::move(next);
     }
   }
+  tracer->EndStage("joins", join_reads);
   return Status::OK();
 }
 
 Status Executor::RunReadStagesParallel(
     ReadResult* result, ObjectSet* set,
     const std::vector<ColumnPlan>& plans, bool needs_recheck,
-    const std::optional<BoundClause>& clause, const std::vector<Oid>& oids) {
+    const std::optional<BoundClause>& clause, const std::vector<Oid>& oids,
+    StageTracer* tracer) {
   BufferPool* pool = set->file().pool();
   const uint32_t window = pool->read_ahead_window();
   const size_t nworkers = workers_->size();
@@ -340,10 +350,12 @@ Status Executor::RunReadStagesParallel(
       }
     }
   }
+  tracer->EndStage("heads", oids.size());
 
   // Stage 1: separate-replica columns. Globally sorted by replica OID
   // (the serial clustered-read order), then page-aligned ranges; each
   // entry writes its own result cell, so workers touch disjoint memory.
+  uint64_t replica_reads = 0;
   for (size_t c = 0; c < plans.size(); ++c) {
     if (pending_replicas[c].empty()) continue;
     const ColumnPlan& plan = plans[c];
@@ -393,13 +405,16 @@ Status Executor::RunReadStagesParallel(
     for (const Status& s : statuses) {
       FIELDREP_RETURN_IF_ERROR(s);
     }
+    replica_reads += pending.size();
   }
+  tracer->EndStage("replicas", replica_reads);
 
   // Stage 2: functional joins, level by level. Each level sorts the
   // frontier globally (the optimal-join discipline), fans out over
   // page-aligned ranges, and concatenates the workers' next-frontier
   // vectors in range order; the next level re-sorts, so concatenation
   // order never affects the outcome.
+  uint64_t join_reads = 0;
   for (size_t c = 0; c < plans.size(); ++c) {
     if (pending_joins[c].empty()) continue;
     const ColumnPlan& plan = plans[c];
@@ -451,6 +466,7 @@ Status Executor::RunReadStagesParallel(
       for (const Status& s : statuses) {
         FIELDREP_RETURN_IF_ERROR(s);
       }
+      join_reads += frontier.size();
       if (!last) {
         frontier.clear();
         for (std::vector<PendingJoin>& next : nexts) {
@@ -459,12 +475,19 @@ Status Executor::RunReadStagesParallel(
       }
     }
   }
+  tracer->EndStage("joins", join_reads);
   return Status::OK();
 }
 
-Status Executor::ExecuteRead(const ReadQuery& query, ReadResult* result) {
+Status Executor::ExecuteRead(const ReadQuery& query, ReadResult* result,
+                             QueryTrace* trace) {
   *result = ReadResult();
   FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, sets_->GetSet(query.set_name));
+  StageTracer tracer(trace, set->file().pool());
+  if (trace != nullptr) {
+    trace->kind = QueryTrace::Kind::kRead;
+    trace->set_name = query.set_name;
+  }
 
   // Plan projections.
   std::vector<ColumnPlan> plans;
@@ -496,6 +519,26 @@ Status Executor::ExecuteRead(const ReadQuery& query, ReadResult* result) {
         break;
     }
   }
+  if (trace != nullptr) {
+    trace->strategies.reserve(result->access.size());
+    for (ReadResult::Access a : result->access) {
+      switch (a) {
+        case ReadResult::Access::kAttribute:
+          trace->strategies.push_back("attr");
+          break;
+        case ReadResult::Access::kReplicaInPlace:
+          trace->strategies.push_back("replica-inplace");
+          break;
+        case ReadResult::Access::kReplicaSeparate:
+          trace->strategies.push_back("replica-separate");
+          break;
+        case ReadResult::Access::kJoin:
+          trace->strategies.push_back("join");
+          break;
+      }
+    }
+  }
+  tracer.EndStage("plan", plans.size());
 
   // Resolve the clause to sorted head OIDs.
   bool needs_recheck = false;
@@ -504,17 +547,24 @@ Status Executor::ExecuteRead(const ReadQuery& query, ReadResult* result) {
   FIELDREP_RETURN_IF_ERROR(CollectTargets(
       set, query.predicate, query.set_name, query.use_replication,
       &result->used_index, &needs_recheck, &clause, &oids));
+  if (trace != nullptr) trace->used_index = result->used_index;
+  tracer.EndStage("collect", oids.size());
 
   // With one worker (or no pool) run the pre-parallelism serial code
   // unchanged; the parallel path requires at least two items to split.
   const bool parallel =
       workers_ != nullptr && workers_->size() > 1 && oids.size() > 1;
   if (parallel) {
+    if (trace != nullptr) {
+      trace->parallel_ranges = PageAlignedRanges(
+          oids.size(), workers_->size(),
+          [&](size_t i) { return oids[i].page_id; }).size();
+    }
     FIELDREP_RETURN_IF_ERROR(RunReadStagesParallel(
-        result, set, plans, needs_recheck, clause, oids));
+        result, set, plans, needs_recheck, clause, oids, &tracer));
   } else {
     FIELDREP_RETURN_IF_ERROR(RunReadStagesSerial(
-        result, set, plans, needs_recheck, clause, oids));
+        result, set, plans, needs_recheck, clause, oids, &tracer));
   }
   // Stage 3: spool result tuples to the output file T. Always serial —
   // output insertion is a mutation, so it holds the writer mutex.
@@ -529,6 +579,26 @@ Status Executor::ExecuteRead(const ReadQuery& query, ReadResult* result) {
       FIELDREP_RETURN_IF_ERROR(
           out->Insert(SerializeOutputRow(row, query.output_pad), &ignored));
       ++result->rows_written;
+    }
+    tracer.EndStage("output", result->rows_written);
+  }
+  if (trace != nullptr) {
+    trace->rows = result->rows.size();
+  }
+  tracer.Finish();
+
+  // Workload profile: one record per replicated-path or join projection,
+  // keyed by the catalog path spec when one exists (so read-side and
+  // propagation activity aggregate under the same key).
+  if (profiler_ != nullptr) {
+    for (size_t c = 0; c < plans.size(); ++c) {
+      const ColumnPlan& plan = plans[c];
+      if (plan.kind == ColumnPlan::Kind::kAttr) continue;
+      const bool from_replica = plan.kind == ColumnPlan::Kind::kReplica;
+      const std::string spec =
+          plan.path != nullptr ? plan.path->spec
+                               : query.set_name + "." + query.projections[c];
+      profiler_->RecordPathRead(spec, from_replica, result->rows.size());
     }
   }
   return Status::OK();

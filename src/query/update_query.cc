@@ -6,9 +6,14 @@
 namespace fieldrep {
 
 Status Executor::ExecuteUpdate(const UpdateQuery& query,
-                               UpdateResult* result) {
+                               UpdateResult* result, QueryTrace* trace) {
   *result = UpdateResult();
   FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, sets_->GetSet(query.set_name));
+  StageTracer tracer(trace, set->file().pool());
+  if (trace != nullptr) {
+    trace->kind = QueryTrace::Kind::kUpdate;
+    trace->set_name = query.set_name;
+  }
 
   // Bind assignments to attribute indices up front.
   std::vector<std::pair<int, Value>> assignments;
@@ -19,8 +24,10 @@ Status Executor::ExecuteUpdate(const UpdateQuery& query,
       return Status::InvalidArgument("type " + set->type().name() +
                                      " has no attribute " + attr_name);
     }
+    if (trace != nullptr) trace->strategies.push_back(attr_name);
     assignments.emplace_back(attr, value);
   }
+  tracer.EndStage("plan", assignments.size());
 
   bool needs_recheck = false;
   std::optional<BoundClause> clause;
@@ -28,6 +35,8 @@ Status Executor::ExecuteUpdate(const UpdateQuery& query,
   FIELDREP_RETURN_IF_ERROR(CollectTargets(
       set, query.predicate, query.set_name, /*use_replication=*/true,
       &result->used_index, &needs_recheck, &clause, &oids));
+  if (trace != nullptr) trace->used_index = result->used_index;
+  tracer.EndStage("collect", oids.size());
 
   for (const Oid& oid : oids) {
     if (needs_recheck && clause.has_value()) {
@@ -42,6 +51,9 @@ Status Executor::ExecuteUpdate(const UpdateQuery& query,
         replication_->UpdateFields(query.set_name, oid, assignments));
     ++result->objects_updated;
   }
+  tracer.EndStage("update", result->objects_updated);
+  if (trace != nullptr) trace->rows = result->objects_updated;
+  tracer.Finish();
   return Status::OK();
 }
 

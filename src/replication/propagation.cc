@@ -6,6 +6,8 @@
 #include "replication/mutation_context.h"
 #include "replication/replication_manager.h"
 #include "storage/buffer_pool.h"
+#include "telemetry/metrics.h"
+#include "telemetry/workload_profiler.h"
 #include "wal/wal_manager.h"
 
 namespace fieldrep {
@@ -17,7 +19,71 @@ int PositionOf(const std::vector<int>& fields, int attr_index) {
   }
   return -1;
 }
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+void ReplicationManager::PendingInsert(uint16_t path_id, uint64_t packed) {
+  if (pending_.insert({path_id, packed}).second) {
+    pending_count_.fetch_add(1, kRelaxed);
+    deferred_queued_.fetch_add(1, kRelaxed);
+  }
+}
+
+void ReplicationManager::PendingErase(uint16_t path_id, uint64_t packed) {
+  if (pending_.erase({path_id, packed}) != 0) {
+    pending_count_.fetch_sub(1, kRelaxed);
+  }
+}
+
+ReplicationManager::Telemetry ReplicationManager::telemetry() const {
+  Telemetry t;
+  t.propagations = propagations_.load(kRelaxed);
+  t.heads_updated = heads_updated_.load(kRelaxed);
+  t.link_traversals = link_traversals_.load(kRelaxed);
+  t.separate_replica_writes = separate_replica_writes_.load(kRelaxed);
+  t.deferred_queued = deferred_queued_.load(kRelaxed);
+  t.deferred_flushed = deferred_flushed_.load(kRelaxed);
+  return t;
+}
+
+void ReplicationManager::CollectMetrics(std::vector<MetricSample>* out) const {
+  auto add = [out](const char* name, const char* help, MetricKind kind,
+                   double value) {
+    MetricSample s;
+    s.name = name;
+    s.help = help;
+    s.kind = kind;
+    s.value = value;
+    out->push_back(std::move(s));
+  };
+  const Telemetry t = telemetry();
+  add("fieldrep_replication_propagations_total",
+      "Terminal-value propagations executed.", MetricKind::kCounter,
+      static_cast<double>(t.propagations));
+  add("fieldrep_replication_heads_updated_total",
+      "Head replica slots rewritten.", MetricKind::kCounter,
+      static_cast<double>(t.heads_updated));
+  add("fieldrep_replication_link_traversals_total",
+      "Link-object member expansions (link-file fetches).",
+      MetricKind::kCounter, static_cast<double>(t.link_traversals));
+  add("fieldrep_replication_separate_replica_writes_total",
+      "Shared S' replica record updates.", MetricKind::kCounter,
+      static_cast<double>(t.separate_replica_writes));
+  add("fieldrep_replication_deferred_queued_total",
+      "Propagations queued by deferred paths.", MetricKind::kCounter,
+      static_cast<double>(t.deferred_queued));
+  add("fieldrep_replication_deferred_flushed_total",
+      "Queued propagations drained by flushes.", MetricKind::kCounter,
+      static_cast<double>(t.deferred_flushed));
+  add("fieldrep_replication_pending_propagations",
+      "Deferred propagations awaiting a flush.", MetricKind::kGauge,
+      static_cast<double>(pending_count_.load(kRelaxed)));
+}
 
 // ---------------------------------------------------------------------------
 // Head collection
@@ -31,6 +97,7 @@ Status ReplicationManager::CollectHeadsFromLevel(
     // The single collapsed link maps the terminal straight to the heads.
     Object* image;
     FIELDREP_RETURN_IF_ERROR(ctx->Get(oid, &image));
+    link_traversals_.fetch_add(1, kRelaxed);
     return ops_.GetMembers(path.link_sequence[0], *image, heads);
   }
   // Walk the inverted path downward: the frontier starts at `level` and the
@@ -49,6 +116,7 @@ Status ReplicationManager::CollectHeadsFromLevel(
       Object* image;
       FIELDREP_RETURN_IF_ERROR(ctx->Get(owner, &image));
       std::vector<Oid> members;
+      link_traversals_.fetch_add(1, kRelaxed);
       FIELDREP_RETURN_IF_ERROR(
           ops_.GetMembers(path.link_sequence[i - 1], *image, &members));
       next.insert(next.end(), members.begin(), members.end());
@@ -93,6 +161,7 @@ Status ReplicationManager::UpdateHeadSlots(const ReplicationPathInfo& path,
     }
     image->SetReplicaValues(path.id, new_values);
     FIELDREP_RETURN_IF_ERROR(ops_.WriteObject(head, *image));
+    heads_updated_.fetch_add(1, kRelaxed);
     if (indexes_ != nullptr) {
       FIELDREP_RETURN_IF_ERROR(indexes_->OnReplicaValuesChanged(
           path.bound.set_name, head, path.id, old_values, new_values));
@@ -125,7 +194,9 @@ Status ReplicationManager::PropagateTerminalValue(const std::string& set_name,
                                                   const Oid& oid,
                                                   Object* object,
                                                   int attr_index,
-                                                  MutationContext* ctx) {
+                                                  MutationContext* ctx,
+                                                  bool* propagated) {
+  if (propagated != nullptr) *propagated = false;
   // In-place paths: the link IDs stored in the object say exactly which
   // paths it terminates (Section 4.1.3 — "the link ID(s) stored in O ...
   // can be used to determine which updates to O need to be propagated").
@@ -150,7 +221,8 @@ Status ReplicationManager::PropagateTerminalValue(const std::string& set_name,
       if (path->deferred) {
         // Section 8 future work: queue the (path, terminal) pair; the
         // fan-out happens at the next read through this path.
-        pending_.insert({path_id, oid.Packed()});
+        PendingInsert(path_id, oid.Packed());
+        if (propagated != nullptr) *propagated = true;
         continue;
       }
       std::vector<Oid> heads;
@@ -159,6 +231,11 @@ Status ReplicationManager::PropagateTerminalValue(const std::string& set_name,
           &heads));
       FIELDREP_RETURN_IF_ERROR(UpdateHeadSlots(
           *path, heads, {object->field(attr_index)}, pos, ctx));
+      propagations_.fetch_add(1, kRelaxed);
+      if (profiler_ != nullptr) {
+        profiler_->RecordPropagation(path->spec, heads.size());
+      }
+      if (propagated != nullptr) *propagated = true;
     }
   }
 
@@ -183,6 +260,14 @@ Status ReplicationManager::PropagateTerminalValue(const std::string& set_name,
     }
     FIELDREP_RETURN_IF_ERROR(file->Update(slot.replica_oid,
                                           record.Serialize()));
+    propagations_.fetch_add(1, kRelaxed);
+    separate_replica_writes_.fetch_add(1, kRelaxed);
+    if (profiler_ != nullptr) {
+      // A separate-strategy propagation rewrites the shared S' record;
+      // no head slots are touched.
+      profiler_->RecordPropagation(path->spec, 0);
+    }
+    if (propagated != nullptr) *propagated = true;
   }
   return Status::OK();
 }
@@ -223,7 +308,7 @@ Status ReplicationManager::FlushPendingPropagation(uint16_t path_id) {
     if (read.IsNotFound()) {
       // Terminal deleted after its update was queued; nothing references
       // it any more (deletion requires no link objects), so nothing to do.
-      pending_.erase({path_id, packed});
+      PendingErase(path_id, packed);
       continue;
     }
     FIELDREP_RETURN_IF_ERROR(read);
@@ -235,7 +320,12 @@ Status ReplicationManager::FlushPendingPropagation(uint16_t path_id) {
     FIELDREP_RETURN_IF_ERROR(
         ReadTerminalValues(*path, terminal, &ctx, &values));
     FIELDREP_RETURN_IF_ERROR(UpdateHeadSlots(*path, heads, values, -1, &ctx));
-    pending_.erase({path_id, packed});
+    PendingErase(path_id, packed);
+    propagations_.fetch_add(1, kRelaxed);
+    deferred_flushed_.fetch_add(1, kRelaxed);
+    if (profiler_ != nullptr) {
+      profiler_->RecordPropagation(path->spec, heads.size());
+    }
   }
   return txn.Commit();
 }

@@ -7,6 +7,7 @@
 
 #include "common/strings.h"
 #include "replication/mutation_context.h"
+#include "telemetry/workload_profiler.h"
 #include "wal/wal_manager.h"
 
 namespace fieldrep {
@@ -357,6 +358,7 @@ Status ReplicationManager::DropPath(uint16_t path_id) {
   for (auto it = pending_.begin(); it != pending_.end();) {
     it = (it->first == path_id) ? pending_.erase(it) : std::next(it);
   }
+  pending_count_.store(pending_.size(), std::memory_order_relaxed);
   ReplicationPathInfo path = *found;  // survives catalog removal below
   LinkRegistry& registry = catalog_->link_registry();
 
@@ -794,8 +796,13 @@ Status ReplicationManager::UpdateFields(
       FIELDREP_RETURN_IF_ERROR(indexes_->OnFieldUpdate(
           set_name, oid, old_value, value, attr_index));
     }
-    FIELDREP_RETURN_IF_ERROR(
-        PropagateTerminalValue(set_name, oid, image, attr_index, &ctx));
+    bool propagated = false;
+    FIELDREP_RETURN_IF_ERROR(PropagateTerminalValue(set_name, oid, image,
+                                                    attr_index, &ctx,
+                                                    &propagated));
+    if (profiler_ != nullptr) {
+      profiler_->RecordFieldUpdate(set_name + "." + attr.name, propagated);
+    }
   }
   FIELDREP_RETURN_IF_ERROR(ops_.WriteObject(oid, *image));
   return txn.Commit();
@@ -972,7 +979,7 @@ Status ReplicationManager::HandleRefUpdate(const std::string& set_name,
       if (path.deferred && chain[n].valid()) {
         // Queue the refresh; the eventual flush of the new terminal
         // re-derives exactly these heads through the rebuilt links.
-        pending_.insert({path.id, chain[n].Packed()});
+        PendingInsert(path.id, chain[n].Packed());
       } else if (values != old_values) {
         FIELDREP_RETURN_IF_ERROR(
             UpdateHeadSlots(path, work.heads, values, -1, ctx));
@@ -1015,7 +1022,7 @@ Status ReplicationManager::HandleRefUpdate(const std::string& set_name,
     FIELDREP_RETURN_IF_ERROR(
         ReadTerminalValues(path, new_target, ctx, &values));
     if (path.deferred && new_target.valid()) {
-      pending_.insert({path.id, new_target.Packed()});
+      PendingInsert(path.id, new_target.Packed());
     } else if (values != old_values) {
       FIELDREP_RETURN_IF_ERROR(
           UpdateHeadSlots(path, work.heads, values, -1, ctx));

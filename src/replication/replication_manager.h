@@ -1,6 +1,7 @@
 #ifndef FIELDREP_REPLICATION_REPLICATION_MANAGER_H_
 #define FIELDREP_REPLICATION_REPLICATION_MANAGER_H_
 
+#include <atomic>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -19,6 +20,8 @@ namespace fieldrep {
 
 class BufferPool;
 class WalManager;
+class WorkloadProfiler;
+struct MetricSample;
 
 /// Options for `replicate <path>` (Sections 4, 5, 4.3).
 struct ReplicateOptions {
@@ -82,6 +85,26 @@ class ReplicationManager {
   /// the pages of head/frontier OID sets before reading them. Null (the
   /// default) disables propagation read-ahead.
   void set_pool(BufferPool* pool) { pool_ = pool; }
+
+  /// Attaches the workload profiler; per-path / per-field activity
+  /// recording is a no-op when null (the default).
+  void set_profiler(WorkloadProfiler* profiler) { profiler_ = profiler; }
+
+  /// Always-on propagation activity counters (relaxed atomics, read-any-
+  /// time; exact when the single writer is quiesced).
+  struct Telemetry {
+    uint64_t propagations = 0;     ///< Terminal-value fan-outs executed.
+    uint64_t heads_updated = 0;    ///< Head replica slots rewritten.
+    uint64_t link_traversals = 0;  ///< Link-object member expansions.
+    uint64_t separate_replica_writes = 0;  ///< Shared S' record updates.
+    uint64_t deferred_queued = 0;  ///< Propagations queued by deferred paths.
+    uint64_t deferred_flushed = 0; ///< Queued propagations drained.
+  };
+  Telemetry telemetry() const;
+
+  /// Appends this manager's metric samples (the Telemetry counters plus a
+  /// pending-propagation-queue gauge) to `out`.
+  void CollectMetrics(std::vector<MetricSample>* out) const;
 
   // --- Path lifecycle --------------------------------------------------------
 
@@ -148,7 +171,8 @@ class ReplicationManager {
   /// Drains every path's queue.
   Status FlushAllPendingPropagation();
 
-  /// Queued (path, terminal) propagations awaiting a flush.
+  /// Queued (path, terminal) propagations awaiting a flush. Writer-thread
+  /// accurate; rendering threads read the atomic mirror instead.
   size_t pending_propagation_count() const { return pending_.size(); }
 
   // --- Inverse functions (Section 8 future work) --------------------------------
@@ -220,10 +244,13 @@ class ReplicationManager {
                                MutationContext* ctx, std::vector<Oid>* heads);
   /// Scalar/terminal-value propagation after `attr_index` of a terminal
   /// object changed (Section 4.1.3 decides *when* from the link IDs /
-  /// replica slots stored in the object itself).
+  /// replica slots stored in the object itself). `propagated`, when
+  /// non-null, reports whether any replica work happened (fan-out, queue,
+  /// or S' write) — the workload profiler's per-field signal.
   Status PropagateTerminalValue(const std::string& set_name, const Oid& oid,
                                 Object* object, int attr_index,
-                                MutationContext* ctx);
+                                MutationContext* ctx,
+                                bool* propagated = nullptr);
   /// Rewrites the replica slot of each head with `values` (in-place paths).
   Status UpdateHeadSlots(const ReplicationPathInfo& path,
                          const std::vector<Oid>& heads,
@@ -237,16 +264,32 @@ class ReplicationManager {
   Status CheckReferentialIntegrity(const TypeDescriptor& type,
                                    const Object& object) const;
 
+  /// Keeps pending_count_ in lockstep with pending_ (single writer
+  /// thread mutates; any thread may read the mirror).
+  void PendingInsert(uint16_t path_id, uint64_t packed);
+  void PendingErase(uint16_t path_id, uint64_t packed);
+
   Catalog* catalog_;
   SetProvider* sets_;
   IndexManager* indexes_;
   WalManager* wal_ = nullptr;
   BufferPool* pool_ = nullptr;
+  WorkloadProfiler* profiler_ = nullptr;
   InvertedPathOps ops_;
   /// Pending deferred propagations: packed (path_id << 64... ) pairs of
   /// (path id, terminal OID). Ordered so flushes visit terminals in
-  /// physical order.
+  /// physical order. Writer-thread-only; pending_count_ mirrors its size
+  /// for cross-thread gauges.
   std::set<std::pair<uint16_t, uint64_t>> pending_;
+  std::atomic<uint64_t> pending_count_{0};
+
+  /// See Telemetry.
+  std::atomic<uint64_t> propagations_{0};
+  std::atomic<uint64_t> heads_updated_{0};
+  std::atomic<uint64_t> link_traversals_{0};
+  std::atomic<uint64_t> separate_replica_writes_{0};
+  std::atomic<uint64_t> deferred_queued_{0};
+  std::atomic<uint64_t> deferred_flushed_{0};
 };
 
 }  // namespace fieldrep

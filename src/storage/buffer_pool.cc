@@ -8,6 +8,7 @@
 
 #include "common/strings.h"
 #include "storage/checksum.h"
+#include "telemetry/metrics.h"
 
 namespace fieldrep {
 
@@ -155,6 +156,7 @@ Status BufferPool::FetchPage(PageId page_id, PageGuard* guard,
   stats_.fetches.fetch_add(1, kRelaxed);
   Shard& shard = ShardFor(page_id);
   size_t frame_index = kFrameInFlight;
+  bool waited_in_flight = false;
   {
     std::unique_lock<std::mutex> lock(shard.mu);
     for (;;) {
@@ -167,6 +169,7 @@ Status BufferPool::FetchPage(PageId page_id, PageGuard* guard,
         break;
       }
       if (it->second == kFrameInFlight) {
+        waited_in_flight = true;
         shard.cv.wait(lock);
         continue;  // installed, or abandoned (then we claim the fill)
       }
@@ -178,27 +181,26 @@ Status BufferPool::FetchPage(PageId page_id, PageGuard* guard,
         // counters are independent of the read-ahead window.
         frame.prefetched.store(false, kRelaxed);
         stats_.disk_reads.fetch_add(1, kRelaxed);
+        shard.misses.fetch_add(1, kRelaxed);
       } else {
         stats_.hits.fetch_add(1, kRelaxed);
+        shard.hits.fetch_add(1, kRelaxed);
       }
       frame.pin_count.fetch_add(1, kRelaxed);
       frame.referenced.store(true, kRelaxed);
       break;
     }
   }
+  if (waited_in_flight) single_flight_waits_.fetch_add(1, kRelaxed);
 
   if (frame_index != kFrameInFlight) {
     // Hit. The pin (taken under the shard lock) keeps the frame resident;
     // the latch is acquired with no other lock held, so blocking on a
     // writer here cannot deadlock.
     Frame& frame = frames_[frame_index];
-    if (mode == LatchMode::kExclusive) {
-      frame.latch.lock();
-      if (observer_ != nullptr) {
-        observer_->OnPageAccess(page_id, frame.data.get());
-      }
-    } else {
-      frame.latch.lock_shared();
+    LatchFrame(frame, mode);
+    if (mode == LatchMode::kExclusive && observer_ != nullptr) {
+      observer_->OnPageAccess(page_id, frame.data.get());
     }
     *guard = PageGuard(this, frame_index, mode);
     return Status::OK();
@@ -227,6 +229,7 @@ Status BufferPool::FetchPage(PageId page_id, PageGuard* guard,
   }
   stats_.disk_reads.fetch_add(1, kRelaxed);
   stats_.bytes_read.fetch_add(kPageSize, kRelaxed);
+  shard.misses.fetch_add(1, kRelaxed);
   // Page 0 is the magic-prefixed database header, not a headered page.
   if (verify_checksums_.load(kRelaxed) && page_id != 0 &&
       !VerifyPageChecksum(frame.data.get())) {
@@ -245,16 +248,26 @@ Status BufferPool::FetchPage(PageId page_id, PageGuard* guard,
     shard.table[page_id] = frame_index;
   }
   shard.cv.notify_all();
-  if (mode == LatchMode::kExclusive) {
-    frame.latch.lock();
-    if (observer_ != nullptr) {
-      observer_->OnPageAccess(page_id, frame.data.get());
-    }
-  } else {
-    frame.latch.lock_shared();
+  LatchFrame(frame, mode);
+  if (mode == LatchMode::kExclusive && observer_ != nullptr) {
+    observer_->OnPageAccess(page_id, frame.data.get());
   }
   *guard = PageGuard(this, frame_index, mode);
   return Status::OK();
+}
+
+void BufferPool::LatchFrame(Frame& frame, LatchMode mode) {
+  if (mode == LatchMode::kExclusive) {
+    if (!frame.latch.try_lock()) {
+      latch_waits_.fetch_add(1, kRelaxed);
+      frame.latch.lock();
+    }
+  } else {
+    if (!frame.latch.try_lock_shared()) {
+      latch_waits_.fetch_add(1, kRelaxed);
+      frame.latch.lock_shared();
+    }
+  }
 }
 
 Status BufferPool::NewPage(PageGuard* guard) {
@@ -669,6 +682,7 @@ Status BufferPool::GetVictimFrame(size_t* frame_index) {
   // every frame is pinned.
   const size_t n = capacity_;
   for (size_t step = 0; step < 2 * n; ++step) {
+    eviction_scan_steps_.fetch_add(1, kRelaxed);
     Frame& frame = frames_[clock_hand_];
     size_t index = clock_hand_;
     clock_hand_ = (clock_hand_ + 1) % n;
@@ -712,10 +726,73 @@ Status BufferPool::GetVictimFrame(size_t* frame_index) {
     frame.prefetched.store(false, kRelaxed);
     frame.page_lsn.store(0, kRelaxed);
     frame.referenced.store(false, kRelaxed);
+    evictions_.fetch_add(1, kRelaxed);
     *frame_index = index;
     return Status::OK();
   }
   return Status::FailedPrecondition("all buffer frames are pinned");
+}
+
+BufferPool::ConcurrencyStats BufferPool::concurrency_stats() const {
+  ConcurrencyStats out;
+  out.latch_waits = latch_waits_.load(kRelaxed);
+  out.single_flight_waits = single_flight_waits_.load(kRelaxed);
+  out.eviction_scan_steps = eviction_scan_steps_.load(kRelaxed);
+  out.evictions = evictions_.load(kRelaxed);
+  return out;
+}
+
+void BufferPool::CollectMetrics(std::vector<MetricSample>* out) const {
+  auto add = [out](const char* name, const char* help, MetricKind kind,
+                   double value, std::string labels = "") {
+    MetricSample s;
+    s.name = name;
+    s.labels = std::move(labels);
+    s.help = help;
+    s.kind = kind;
+    s.value = value;
+    out->push_back(std::move(s));
+  };
+  const IoStats io = stats();
+#define FIELDREP_POOL_IO_SAMPLE(field)                                     \
+  add("fieldrep_pool_" #field "_total", "Buffer pool IoStats field.",      \
+      MetricKind::kCounter, static_cast<double>(io.field));
+  FIELDREP_IO_STATS_FIELDS(FIELDREP_POOL_IO_SAMPLE)
+#undef FIELDREP_POOL_IO_SAMPLE
+  const ConcurrencyStats cs = concurrency_stats();
+  add("fieldrep_pool_latch_waits_total",
+      "Frame latch acquisitions that had to block.", MetricKind::kCounter,
+      static_cast<double>(cs.latch_waits));
+  add("fieldrep_pool_single_flight_waits_total",
+      "Fetches that waited on another fetcher's in-flight device read.",
+      MetricKind::kCounter, static_cast<double>(cs.single_flight_waits));
+  add("fieldrep_pool_eviction_scan_steps_total",
+      "Clock-hand steps examined while hunting victims.",
+      MetricKind::kCounter, static_cast<double>(cs.eviction_scan_steps));
+  add("fieldrep_pool_evictions_total",
+      "Occupied frames reclaimed by the clock sweep.", MetricKind::kCounter,
+      static_cast<double>(cs.evictions));
+  add("fieldrep_pool_capacity_frames", "Total frames in the pool.",
+      MetricKind::kGauge, static_cast<double>(capacity_));
+  add("fieldrep_pool_pages_cached", "Resident (installed) pages.",
+      MetricKind::kGauge, static_cast<double>(pages_cached()));
+  add("fieldrep_pool_pinned_pages", "Sum of frame pin counts.",
+      MetricKind::kGauge, static_cast<double>(total_pins()));
+  add("fieldrep_pool_read_ahead_window", "Current read-ahead window.",
+      MetricKind::kGauge,
+      static_cast<double>(read_ahead_window_.load(kRelaxed)));
+  for (size_t i = 0; i < kShardCount; ++i) {
+    const uint64_t hits = shards_[i].hits.load(kRelaxed);
+    const uint64_t misses = shards_[i].misses.load(kRelaxed);
+    if (hits == 0 && misses == 0) continue;  // keep idle shards quiet
+    std::string labels = StringPrintf("shard=\"%zu\"", i);
+    add("fieldrep_pool_shard_hits_total",
+        "Fetches satisfied from the cache, by page-table shard.",
+        MetricKind::kCounter, static_cast<double>(hits), labels);
+    add("fieldrep_pool_shard_misses_total",
+        "Fetches charged a logical disk read, by page-table shard.",
+        MetricKind::kCounter, static_cast<double>(misses), labels);
+  }
 }
 
 void BufferPool::Unpin(size_t frame_index, LatchMode mode) {

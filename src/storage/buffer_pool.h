@@ -20,6 +20,7 @@
 namespace fieldrep {
 
 class BufferPool;
+struct MetricSample;
 
 /// Default read-ahead window (pages per prefetch batch). 0 disables
 /// read-ahead everywhere and restores strictly on-demand I/O.
@@ -202,6 +203,23 @@ class BufferPool {
   IoStats stats() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
 
+  /// Concurrency-behaviour counters (always on; relaxed atomics like the
+  /// I/O stats). Purely observational: none of them feed back into any
+  /// replacement or scheduling decision.
+  struct ConcurrencyStats {
+    uint64_t latch_waits = 0;         ///< Latch acquisitions that blocked.
+    uint64_t single_flight_waits = 0; ///< Fetches that waited on another
+                                      ///< fetcher's in-flight device read.
+    uint64_t eviction_scan_steps = 0; ///< Clock-hand steps examined.
+    uint64_t evictions = 0;           ///< Occupied frames reclaimed.
+  };
+  ConcurrencyStats concurrency_stats() const;
+
+  /// Appends this pool's metric samples (logical/physical I/O counters,
+  /// per-shard hit/miss, latch and eviction behaviour, cache gauges) to
+  /// `out` — the registry-collector hook Database installs.
+  void CollectMetrics(std::vector<MetricSample>* out) const;
+
   /// Read-ahead window: the number of pages scan hot paths prefetch ahead
   /// of the cursor. 0 disables read-ahead (every Prefetch call becomes a
   /// no-op), restoring strictly on-demand I/O.
@@ -275,6 +293,12 @@ class BufferPool {
     mutable std::mutex mu;
     std::condition_variable cv;
     std::unordered_map<PageId, size_t> table;
+    /// Per-shard logical cache behaviour: `hits` counts fetches satisfied
+    /// from the cache, `misses` fetches charged a logical disk_read
+    /// (on-demand miss or first touch of a prefetched page). Together they
+    /// partition stats_.fetches by page-table shard.
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
   };
 
   static constexpr size_t kShardCount = 64;  // power of two
@@ -283,6 +307,11 @@ class BufferPool {
   Shard& ShardFor(PageId page_id) const {
     return shards_[page_id & (kShardCount - 1)];
   }
+
+  /// Acquires `frame`'s latch in `mode`, counting acquisitions that had
+  /// to block in latch_waits_ (uncontended try_lock first, so the common
+  /// case costs one extra CAS at most).
+  void LatchFrame(Frame& frame, LatchMode mode);
 
   /// Flush-ordering + writeback of one frame's bytes. The caller must
   /// guarantee the bytes are stable (frame unreachable + unpinned, or
@@ -326,6 +355,11 @@ class BufferPool {
   std::vector<size_t> free_frames_;
   size_t clock_hand_ = 0;
   mutable AtomicIoStats stats_;
+  /// See ConcurrencyStats.
+  std::atomic<uint64_t> latch_waits_{0};
+  std::atomic<uint64_t> single_flight_waits_{0};
+  std::atomic<uint64_t> eviction_scan_steps_{0};
+  std::atomic<uint64_t> evictions_{0};
   PageObserver* observer_ = nullptr;
   std::atomic<uint32_t> read_ahead_window_{kDefaultReadAheadWindow};
 #ifndef NDEBUG

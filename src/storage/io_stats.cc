@@ -6,38 +6,39 @@ namespace fieldrep {
 
 IoStats IoStats::operator-(const IoStats& rhs) const {
   IoStats out;
-  out.fetches = fetches - rhs.fetches;
-  out.hits = hits - rhs.hits;
-  out.disk_reads = disk_reads - rhs.disk_reads;
-  out.disk_writes = disk_writes - rhs.disk_writes;
-  out.disk_syncs = disk_syncs - rhs.disk_syncs;
-  out.batched_reads = batched_reads - rhs.batched_reads;
-  out.coalesced_writes = coalesced_writes - rhs.coalesced_writes;
-  out.bytes_read = bytes_read - rhs.bytes_read;
-  out.bytes_written = bytes_written - rhs.bytes_written;
-  out.read_ns = read_ns - rhs.read_ns;
-  out.write_ns = write_ns - rhs.write_ns;
-  out.sync_ns = sync_ns - rhs.sync_ns;
+#define FIELDREP_IO_SUB(field) out.field = field - rhs.field;
+  FIELDREP_IO_STATS_FIELDS(FIELDREP_IO_SUB)
+#undef FIELDREP_IO_SUB
   return out;
 }
 
+IoStats& IoStats::operator+=(const IoStats& rhs) {
+#define FIELDREP_IO_ADD(field) field += rhs.field;
+  FIELDREP_IO_STATS_FIELDS(FIELDREP_IO_ADD)
+#undef FIELDREP_IO_ADD
+  return *this;
+}
+
+bool IoStats::operator==(const IoStats& rhs) const {
+#define FIELDREP_IO_EQ(field) \
+  if (field != rhs.field) return false;
+  FIELDREP_IO_STATS_FIELDS(FIELDREP_IO_EQ)
+#undef FIELDREP_IO_EQ
+  return true;
+}
+
 std::string IoStats::ToString() const {
-  return StringPrintf(
-      "IoStats{fetches=%llu hits=%llu reads=%llu writes=%llu syncs=%llu "
-      "batched_reads=%llu coalesced_writes=%llu bytes_read=%llu "
-      "bytes_written=%llu read_ns=%llu write_ns=%llu sync_ns=%llu}",
-      static_cast<unsigned long long>(fetches),
-      static_cast<unsigned long long>(hits),
-      static_cast<unsigned long long>(disk_reads),
-      static_cast<unsigned long long>(disk_writes),
-      static_cast<unsigned long long>(disk_syncs),
-      static_cast<unsigned long long>(batched_reads),
-      static_cast<unsigned long long>(coalesced_writes),
-      static_cast<unsigned long long>(bytes_read),
-      static_cast<unsigned long long>(bytes_written),
-      static_cast<unsigned long long>(read_ns),
-      static_cast<unsigned long long>(write_ns),
-      static_cast<unsigned long long>(sync_ns));
+  std::string out = "IoStats{";
+  bool first = true;
+#define FIELDREP_IO_PRINT(field)                                          \
+  if (!first) out += ' ';                                                 \
+  first = false;                                                          \
+  out += StringPrintf(#field "=%llu",                                     \
+                      static_cast<unsigned long long>(field));
+  FIELDREP_IO_STATS_FIELDS(FIELDREP_IO_PRINT)
+#undef FIELDREP_IO_PRINT
+  out += '}';
+  return out;
 }
 
 }  // namespace fieldrep

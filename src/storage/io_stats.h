@@ -7,6 +7,42 @@
 
 namespace fieldrep {
 
+/// \brief The single source of truth for the I/O counter set.
+///
+/// Every member of IoStats / AtomicIoStats and every derived operation
+/// (Snapshot, Reset, operator-, operator+=, ToString, metric exposition)
+/// is generated from this list, so adding a counter is one line here and
+/// cannot silently skip a code path. The first five counters are the
+/// *logical* set (buffer behaviour plus the paper's page-I/O cost unit);
+/// the rest describe *physical* batching and timing and are allowed to
+/// vary with scheduling (read-ahead window, elevator write-back).
+///
+///   fetches          buffer-pool page requests
+///   hits             requests satisfied without device I/O
+///   disk_reads       pages read from the device (logical)
+///   disk_writes      pages written to the device (logical)
+///   disk_syncs       device Sync (fsync) calls
+///   batched_reads    pages physically read via vectored prefetch batches
+///   coalesced_writes pages written inside multi-page contiguous runs
+///   bytes_read       bytes physically read from the device
+///   bytes_written    bytes physically written to the device
+///   read_ns          wall-clock nanoseconds in device reads
+///   write_ns         wall-clock nanoseconds in device writes
+///   sync_ns          wall-clock nanoseconds in device syncs
+#define FIELDREP_IO_STATS_FIELDS(X) \
+  X(fetches)                        \
+  X(hits)                           \
+  X(disk_reads)                     \
+  X(disk_writes)                    \
+  X(disk_syncs)                     \
+  X(batched_reads)                  \
+  X(coalesced_writes)               \
+  X(bytes_read)                     \
+  X(bytes_written)                  \
+  X(read_ns)                        \
+  X(write_ns)                       \
+  X(sync_ns)
+
 /// \brief Page I/O counters maintained by the buffer pool.
 ///
 /// The paper's entire evaluation is in units of page I/Os, so these counters
@@ -21,22 +57,9 @@ namespace fieldrep {
 /// side of batching is visible separately through `batched_reads`,
 /// `coalesced_writes`, the byte counters, and the per-operation timers.
 struct IoStats {
-  uint64_t fetches = 0;      ///< Buffer-pool page requests.
-  uint64_t hits = 0;         ///< Requests satisfied without device I/O.
-  uint64_t disk_reads = 0;   ///< Pages read from the device (logical).
-  uint64_t disk_writes = 0;  ///< Pages written to the device (logical).
-  uint64_t disk_syncs = 0;   ///< Device Sync (fsync) calls.
-
-  // --- Physical batching counters (not part of the paper's cost unit) ---
-  uint64_t batched_reads = 0;     ///< Pages physically read via vectored
-                                  ///< prefetch batches.
-  uint64_t coalesced_writes = 0;  ///< Pages written as part of multi-page
-                                  ///< contiguous runs (elevator write-back).
-  uint64_t bytes_read = 0;        ///< Bytes physically read from the device.
-  uint64_t bytes_written = 0;     ///< Bytes physically written to the device.
-  uint64_t read_ns = 0;           ///< Wall-clock nanoseconds in device reads.
-  uint64_t write_ns = 0;          ///< Wall-clock nanoseconds in device writes.
-  uint64_t sync_ns = 0;           ///< Wall-clock nanoseconds in device syncs.
+#define FIELDREP_IO_DECL(name) uint64_t name = 0;
+  FIELDREP_IO_STATS_FIELDS(FIELDREP_IO_DECL)
+#undef FIELDREP_IO_DECL
 
   /// Total logical device transfers — the paper's cost unit. Defined purely
   /// as disk_reads + disk_writes; unchanged by batching or read-ahead.
@@ -45,6 +68,8 @@ struct IoStats {
   void Reset() { *this = IoStats(); }
 
   IoStats operator-(const IoStats& rhs) const;
+  IoStats& operator+=(const IoStats& rhs);
+  bool operator==(const IoStats& rhs) const;
   std::string ToString() const;
 };
 
@@ -54,49 +79,23 @@ struct IoStats {
 /// snapshots are exact whenever the pool is quiesced (how every
 /// measurement path uses them) and merely monotone mid-flight.
 struct AtomicIoStats {
-  std::atomic<uint64_t> fetches{0};
-  std::atomic<uint64_t> hits{0};
-  std::atomic<uint64_t> disk_reads{0};
-  std::atomic<uint64_t> disk_writes{0};
-  std::atomic<uint64_t> disk_syncs{0};
-  std::atomic<uint64_t> batched_reads{0};
-  std::atomic<uint64_t> coalesced_writes{0};
-  std::atomic<uint64_t> bytes_read{0};
-  std::atomic<uint64_t> bytes_written{0};
-  std::atomic<uint64_t> read_ns{0};
-  std::atomic<uint64_t> write_ns{0};
-  std::atomic<uint64_t> sync_ns{0};
+#define FIELDREP_IO_DECL(name) std::atomic<uint64_t> name{0};
+  FIELDREP_IO_STATS_FIELDS(FIELDREP_IO_DECL)
+#undef FIELDREP_IO_DECL
 
   IoStats Snapshot() const {
     IoStats out;
-    out.fetches = fetches.load(std::memory_order_relaxed);
-    out.hits = hits.load(std::memory_order_relaxed);
-    out.disk_reads = disk_reads.load(std::memory_order_relaxed);
-    out.disk_writes = disk_writes.load(std::memory_order_relaxed);
-    out.disk_syncs = disk_syncs.load(std::memory_order_relaxed);
-    out.batched_reads = batched_reads.load(std::memory_order_relaxed);
-    out.coalesced_writes = coalesced_writes.load(std::memory_order_relaxed);
-    out.bytes_read = bytes_read.load(std::memory_order_relaxed);
-    out.bytes_written = bytes_written.load(std::memory_order_relaxed);
-    out.read_ns = read_ns.load(std::memory_order_relaxed);
-    out.write_ns = write_ns.load(std::memory_order_relaxed);
-    out.sync_ns = sync_ns.load(std::memory_order_relaxed);
+#define FIELDREP_IO_LOAD(name) \
+  out.name = name.load(std::memory_order_relaxed);
+    FIELDREP_IO_STATS_FIELDS(FIELDREP_IO_LOAD)
+#undef FIELDREP_IO_LOAD
     return out;
   }
 
   void Reset() {
-    fetches.store(0, std::memory_order_relaxed);
-    hits.store(0, std::memory_order_relaxed);
-    disk_reads.store(0, std::memory_order_relaxed);
-    disk_writes.store(0, std::memory_order_relaxed);
-    disk_syncs.store(0, std::memory_order_relaxed);
-    batched_reads.store(0, std::memory_order_relaxed);
-    coalesced_writes.store(0, std::memory_order_relaxed);
-    bytes_read.store(0, std::memory_order_relaxed);
-    bytes_written.store(0, std::memory_order_relaxed);
-    read_ns.store(0, std::memory_order_relaxed);
-    write_ns.store(0, std::memory_order_relaxed);
-    sync_ns.store(0, std::memory_order_relaxed);
+#define FIELDREP_IO_ZERO(name) name.store(0, std::memory_order_relaxed);
+    FIELDREP_IO_STATS_FIELDS(FIELDREP_IO_ZERO)
+#undef FIELDREP_IO_ZERO
   }
 };
 

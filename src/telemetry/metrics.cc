@@ -1,0 +1,350 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace fieldrep {
+
+Histogram::Histogram(std::vector<uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<uint64_t> Histogram::LatencyBoundsNs() {
+  // Powers of four from 1 µs to ~17 s: 13 buckets covering everything from
+  // a buffer hit to a pathological checkpoint, coarse enough to keep
+  // Observe at two relaxed adds.
+  std::vector<uint64_t> bounds;
+  for (uint64_t b = 1000; b < 20'000'000'000ULL; b *= 4) bounds.push_back(b);
+  return bounds;
+}
+
+void Histogram::Observe(uint64_t value) {
+  size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot out;
+  out.bounds = bounds_;
+  out.buckets.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Counter* MetricsRegistry::AddCounter(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = instruments_.emplace_back();
+  inst.name = name;
+  inst.labels = labels;
+  inst.help = help;
+  inst.kind = MetricKind::kCounter;
+  inst.counter = std::make_unique<Counter>();
+  return inst.counter.get();
+}
+
+Gauge* MetricsRegistry::AddGauge(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = instruments_.emplace_back();
+  inst.name = name;
+  inst.labels = labels;
+  inst.help = help;
+  inst.kind = MetricKind::kGauge;
+  inst.gauge = std::make_unique<Gauge>();
+  return inst.gauge.get();
+}
+
+Histogram* MetricsRegistry::AddHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<uint64_t> upper_bounds,
+                                         const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = instruments_.emplace_back();
+  inst.name = name;
+  inst.labels = labels;
+  inst.help = help;
+  inst.kind = MetricKind::kHistogram;
+  inst.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  return inst.histogram.get();
+}
+
+void MetricsRegistry::AddCallback(const std::string& name,
+                                  const std::string& help, MetricKind kind,
+                                  const std::string& labels,
+                                  std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = instruments_.emplace_back();
+  inst.name = name;
+  inst.labels = labels;
+  inst.help = help;
+  inst.kind = kind;
+  inst.callback = std::move(fn);
+}
+
+void MetricsRegistry::AddCollector(
+    std::function<void(std::vector<MetricSample>*)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+std::vector<MetricSample> MetricsRegistry::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(instruments_.size());
+  for (const Instrument& inst : instruments_) {
+    MetricSample sample;
+    sample.name = inst.name;
+    sample.labels = inst.labels;
+    sample.help = inst.help;
+    sample.kind = inst.kind;
+    if (inst.counter != nullptr) {
+      sample.value = static_cast<double>(inst.counter->value());
+    } else if (inst.gauge != nullptr) {
+      sample.value = static_cast<double>(inst.gauge->value());
+    } else if (inst.histogram != nullptr) {
+      sample.histogram = inst.histogram->TakeSnapshot();
+    } else if (inst.callback) {
+      sample.value = inst.callback();
+    }
+    out.push_back(std::move(sample));
+  }
+  for (const auto& collector : collectors_) collector(&out);
+  return out;
+}
+
+namespace {
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+std::string FormatValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    return StringPrintf("%lld", static_cast<long long>(v));
+  }
+  return StringPrintf("%g", v);
+}
+
+std::string Labeled(const std::string& name, const std::string& labels,
+                    const std::string& extra = "") {
+  std::string body = labels;
+  if (!extra.empty()) {
+    if (!body.empty()) body += ',';
+    body += extra;
+  }
+  if (body.empty()) return name;
+  return name + '{' + body + '}';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::SamplesToPrometheus(
+    const std::vector<MetricSample>& samples) {
+  std::string out;
+  std::string last_name;
+  for (const MetricSample& s : samples) {
+    if (s.name != last_name) {
+      if (!s.help.empty()) {
+        out += "# HELP " + s.name + ' ' + s.help + '\n';
+      }
+      out += "# TYPE " + s.name + ' ' + KindName(s.kind) + '\n';
+      last_name = s.name;
+    }
+    if (s.histogram.has_value()) {
+      const Histogram::Snapshot& h = *s.histogram;
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < h.bounds.size(); ++i) {
+        cumulative += h.buckets[i];
+        out += Labeled(s.name + "_bucket", s.labels,
+                       StringPrintf("le=\"%llu\"",
+                                    static_cast<unsigned long long>(
+                                        h.bounds[i]))) +
+               ' ' + FormatValue(static_cast<double>(cumulative)) + '\n';
+      }
+      out += Labeled(s.name + "_bucket", s.labels, "le=\"+Inf\"") + ' ' +
+             FormatValue(static_cast<double>(h.count)) + '\n';
+      out += Labeled(s.name + "_sum", s.labels) + ' ' +
+             FormatValue(static_cast<double>(h.sum)) + '\n';
+      out += Labeled(s.name + "_count", s.labels) + ' ' +
+             FormatValue(static_cast<double>(h.count)) + '\n';
+    } else {
+      out += Labeled(s.name, s.labels) + ' ' + FormatValue(s.value) + '\n';
+    }
+  }
+  return out;
+}
+
+JsonValue MetricsRegistry::SamplesToJsonValue(
+    const std::vector<MetricSample>& samples) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("version", JsonValue::Number(uint64_t{1}));
+  JsonValue metrics = JsonValue::Array();
+  for (const MetricSample& s : samples) {
+    JsonValue m = JsonValue::Object();
+    m.Set("name", JsonValue::Str(s.name));
+    m.Set("kind", JsonValue::Str(KindName(s.kind)));
+    if (!s.labels.empty()) m.Set("labels", JsonValue::Str(s.labels));
+    if (!s.help.empty()) m.Set("help", JsonValue::Str(s.help));
+    if (s.histogram.has_value()) {
+      const Histogram::Snapshot& h = *s.histogram;
+      m.Set("count", JsonValue::Number(h.count));
+      m.Set("sum", JsonValue::Number(h.sum));
+      JsonValue buckets = JsonValue::Array();
+      for (size_t i = 0; i < h.bounds.size(); ++i) {
+        JsonValue b = JsonValue::Object();
+        b.Set("le", JsonValue::Number(h.bounds[i]));
+        b.Set("count", JsonValue::Number(h.buckets[i]));
+        buckets.Append(std::move(b));
+      }
+      JsonValue inf = JsonValue::Object();
+      inf.Set("le", JsonValue::Str("+Inf"));
+      inf.Set("count", JsonValue::Number(h.buckets.empty()
+                                             ? uint64_t{0}
+                                             : h.buckets.back()));
+      buckets.Append(std::move(inf));
+      m.Set("buckets", std::move(buckets));
+    } else {
+      m.Set("value", JsonValue::Number(s.value));
+    }
+    metrics.Append(std::move(m));
+  }
+  doc.Set("metrics", std::move(metrics));
+  return doc;
+}
+
+std::string MetricsRegistry::SamplesToJson(
+    const std::vector<MetricSample>& samples) {
+  return SamplesToJsonValue(samples).Serialize(/*indent=*/2);
+}
+
+std::string MetricsRegistry::SamplesToText(
+    const std::vector<MetricSample>& samples) {
+  std::string out;
+  for (const MetricSample& s : samples) {
+    if (s.histogram.has_value()) {
+      const Histogram::Snapshot& h = *s.histogram;
+      double mean = h.count == 0 ? 0.0 : static_cast<double>(h.sum) /
+                                             static_cast<double>(h.count);
+      out += StringPrintf("%-52s count=%llu sum=%llu mean=%.0f\n",
+                          Labeled(s.name, s.labels).c_str(),
+                          static_cast<unsigned long long>(h.count),
+                          static_cast<unsigned long long>(h.sum), mean);
+    } else {
+      out += StringPrintf("%-52s %s\n", Labeled(s.name, s.labels).c_str(),
+                          FormatValue(s.value).c_str());
+    }
+  }
+  return out;
+}
+
+Status MetricsRegistry::ParseSamplesJson(const std::string& text,
+                                         std::vector<MetricSample>* out) {
+  JsonValue doc;
+  FIELDREP_RETURN_IF_ERROR(JsonValue::Parse(text, &doc));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("metrics snapshot: not a JSON object");
+  }
+  const JsonValue* metrics = doc.Find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    return Status::InvalidArgument("metrics snapshot: no \"metrics\" array");
+  }
+  for (size_t i = 0; i < metrics->size(); ++i) {
+    const JsonValue& m = metrics->at(i);
+    if (!m.is_object()) {
+      return Status::InvalidArgument("metrics snapshot: non-object metric");
+    }
+    MetricSample sample;
+    const JsonValue* name = m.Find("name");
+    if (name == nullptr || !name->is_string()) {
+      return Status::InvalidArgument("metrics snapshot: metric without name");
+    }
+    sample.name = name->as_string();
+    if (const JsonValue* labels = m.Find("labels");
+        labels != nullptr && labels->is_string()) {
+      sample.labels = labels->as_string();
+    }
+    if (const JsonValue* help = m.Find("help");
+        help != nullptr && help->is_string()) {
+      sample.help = help->as_string();
+    }
+    std::string kind = "counter";
+    if (const JsonValue* k = m.Find("kind");
+        k != nullptr && k->is_string()) {
+      kind = k->as_string();
+    }
+    if (kind == "gauge") {
+      sample.kind = MetricKind::kGauge;
+    } else if (kind == "histogram") {
+      sample.kind = MetricKind::kHistogram;
+    } else {
+      sample.kind = MetricKind::kCounter;
+    }
+    if (sample.kind == MetricKind::kHistogram) {
+      Histogram::Snapshot h;
+      if (const JsonValue* count = m.Find("count");
+          count != nullptr && count->is_number()) {
+        h.count = count->as_u64();
+      }
+      if (const JsonValue* sum = m.Find("sum");
+          sum != nullptr && sum->is_number()) {
+        h.sum = sum->as_u64();
+      }
+      if (const JsonValue* buckets = m.Find("buckets");
+          buckets != nullptr && buckets->is_array()) {
+        for (size_t b = 0; b < buckets->size(); ++b) {
+          const JsonValue& bucket = buckets->at(b);
+          if (!bucket.is_object()) continue;
+          const JsonValue* le = bucket.Find("le");
+          const JsonValue* count = bucket.Find("count");
+          uint64_t n = (count != nullptr && count->is_number())
+                           ? count->as_u64()
+                           : 0;
+          if (le != nullptr && le->is_number()) {
+            h.bounds.push_back(le->as_u64());
+            h.buckets.push_back(n);
+          } else {
+            h.buckets.push_back(n);  // the +Inf bucket
+          }
+        }
+      }
+      // A well-formed snapshot has bounds.size() + 1 buckets; tolerate a
+      // missing +Inf entry by padding.
+      while (h.buckets.size() < h.bounds.size() + 1) h.buckets.push_back(0);
+      sample.histogram = std::move(h);
+    } else if (const JsonValue* value = m.Find("value");
+               value != nullptr && value->is_number()) {
+      sample.value = value->as_number();
+    }
+    out->push_back(std::move(sample));
+  }
+  return Status::OK();
+}
+
+}  // namespace fieldrep

@@ -1,0 +1,171 @@
+#ifndef FIELDREP_TELEMETRY_METRICS_H_
+#define FIELDREP_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fieldrep {
+
+class JsonValue;
+
+/// \brief A monotone event counter. Relaxed atomics, the `AtomicIoStats`
+/// discipline: each increment is an independent event, never a
+/// synchronization point, so counters are exact when the engine is
+/// quiesced and monotone mid-flight — and cheap enough to stay on in
+/// release builds.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief A point-in-time signed level (queue depth, cached pages).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief A fixed-bucket histogram: cumulative-style exposition, relaxed
+/// atomic buckets. Bucket i counts observations <= bounds[i]; one extra
+/// bucket counts the +Inf overflow. Observations also accumulate into
+/// `sum`/`count`, so mean latency falls out of any snapshot.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> upper_bounds);
+
+  /// The default latency ladder: 1 µs .. ~17 s, powers of four, in ns.
+  static std::vector<uint64_t> LatencyBoundsNs();
+
+  void Observe(uint64_t value);
+
+  struct Snapshot {
+    std::vector<uint64_t> bounds;  ///< Upper bounds; buckets has one more.
+    std::vector<uint64_t> buckets; ///< Per-bucket (non-cumulative) counts.
+    uint64_t count = 0;
+    uint64_t sum = 0;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One rendered data point: everything the expositions need, detached
+/// from the live instrument that produced it.
+struct MetricSample {
+  std::string name;
+  /// Pre-rendered Prometheus label body, e.g. `shard="3"` (no braces);
+  /// empty for unlabeled metrics.
+  std::string labels;
+  std::string help;  ///< May be empty for collector-produced samples.
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;  ///< Counter / gauge value; unused for histograms.
+  std::optional<Histogram::Snapshot> histogram;
+};
+
+/// \brief The engine's metric naming and exposition surface.
+///
+/// Components either own registry-allocated instruments (AddCounter /
+/// AddGauge / AddHistogram hand out stable pointers the caller bumps on
+/// its hot path) or keep their existing relaxed-atomic counters and
+/// expose them through read-only callbacks/collectors sampled at render
+/// time. Collect() gathers every instrument into MetricSamples, and the
+/// two expositions — Prometheus text and JSON — are pure functions of
+/// that sample list, shared with `fieldrep_stats --snapshot` which
+/// re-renders parsed dumps.
+///
+/// Registration is mutex-guarded and expected at attach/setup time;
+/// instrument updates and Collect() are thread-safe against each other
+/// (relaxed reads of live counters).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Instrument allocation. The returned pointer is owned by the registry
+  /// and stable for its lifetime.
+  Counter* AddCounter(const std::string& name, const std::string& help,
+                      const std::string& labels = "");
+  Gauge* AddGauge(const std::string& name, const std::string& help,
+                  const std::string& labels = "");
+  Histogram* AddHistogram(const std::string& name, const std::string& help,
+                          std::vector<uint64_t> upper_bounds,
+                          const std::string& labels = "");
+
+  /// A counter/gauge whose value is computed at render time — the bridge
+  /// to pre-existing relaxed-atomic counters (IoStats, WalStats, pool
+  /// gauges) without double bookkeeping.
+  void AddCallback(const std::string& name, const std::string& help,
+                   MetricKind kind, const std::string& labels,
+                   std::function<double()> fn);
+
+  /// A render-time producer of arbitrarily many samples — for dynamic
+  /// label sets (per-shard, per-replication-path) whose cardinality is
+  /// not known at registration.
+  void AddCollector(std::function<void(std::vector<MetricSample>*)> fn);
+
+  /// Samples every instrument, callback, and collector.
+  std::vector<MetricSample> Collect() const;
+
+  std::string RenderPrometheus() const { return SamplesToPrometheus(Collect()); }
+  std::string RenderJson() const { return SamplesToJson(Collect()); }
+  std::string RenderText() const { return SamplesToText(Collect()); }
+
+  // --- Pure exposition functions (shared with snapshot re-rendering) ---------
+
+  static std::string SamplesToPrometheus(const std::vector<MetricSample>& s);
+  static std::string SamplesToJson(const std::vector<MetricSample>& s);
+  static std::string SamplesToText(const std::vector<MetricSample>& s);
+  /// Builds the JSON document SamplesToJson serializes.
+  static JsonValue SamplesToJsonValue(const std::vector<MetricSample>& s);
+  /// Inverse of SamplesToJson: parses a dumped snapshot back into samples.
+  static Status ParseSamplesJson(const std::string& text,
+                                 std::vector<MetricSample>* out);
+
+ private:
+  struct Instrument {
+    std::string name;
+    std::string labels;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    // Exactly one of these is set.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> callback;
+  };
+
+  mutable std::mutex mu_;
+  /// deque: instrument addresses stay stable across registrations.
+  std::deque<Instrument> instruments_;
+  std::vector<std::function<void(std::vector<MetricSample>*)>> collectors_;
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_TELEMETRY_METRICS_H_

@@ -1,0 +1,122 @@
+#include "telemetry/workload_profiler.h"
+
+#include "common/strings.h"
+
+namespace fieldrep {
+
+JsonValue WorkloadProfile::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  JsonValue path_list = JsonValue::Array();
+  for (const auto& [spec, a] : paths) {
+    JsonValue p = JsonValue::Object();
+    p.Set("path", JsonValue::Str(spec));
+    p.Set("read_queries", JsonValue::Number(a.read_queries));
+    p.Set("derefs", JsonValue::Number(a.derefs));
+    p.Set("replica_rows", JsonValue::Number(a.replica_rows));
+    p.Set("join_rows", JsonValue::Number(a.join_rows));
+    p.Set("propagations", JsonValue::Number(a.propagations));
+    p.Set("heads_touched", JsonValue::Number(a.heads_touched));
+    path_list.Append(std::move(p));
+  }
+  out.Set("paths", std::move(path_list));
+  JsonValue field_list = JsonValue::Array();
+  for (const auto& [field, a] : fields) {
+    JsonValue f = JsonValue::Object();
+    f.Set("field", JsonValue::Str(field));
+    f.Set("updates", JsonValue::Number(a.updates));
+    f.Set("propagations", JsonValue::Number(a.propagations));
+    field_list.Append(std::move(f));
+  }
+  out.Set("fields", std::move(field_list));
+  return out;
+}
+
+std::string WorkloadProfile::ToString() const {
+  std::string out = "workload profile\n";
+  for (const auto& [spec, a] : paths) {
+    out += StringPrintf(
+        "  path %-32s queries=%llu derefs=%llu replica=%llu join=%llu "
+        "props=%llu heads=%llu\n",
+        spec.c_str(), static_cast<unsigned long long>(a.read_queries),
+        static_cast<unsigned long long>(a.derefs),
+        static_cast<unsigned long long>(a.replica_rows),
+        static_cast<unsigned long long>(a.join_rows),
+        static_cast<unsigned long long>(a.propagations),
+        static_cast<unsigned long long>(a.heads_touched));
+  }
+  for (const auto& [field, a] : fields) {
+    out += StringPrintf("  field %-31s updates=%llu propagations=%llu\n",
+                        field.c_str(),
+                        static_cast<unsigned long long>(a.updates),
+                        static_cast<unsigned long long>(a.propagations));
+  }
+  return out;
+}
+
+void WorkloadProfiler::RecordPathRead(const std::string& spec,
+                                      bool from_replica, uint64_t rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PathActivity& a = profile_.paths[spec];
+  ++a.read_queries;
+  a.derefs += rows;
+  if (from_replica) {
+    a.replica_rows += rows;
+  } else {
+    a.join_rows += rows;
+  }
+}
+
+void WorkloadProfiler::RecordFieldUpdate(const std::string& field,
+                                         bool propagated) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FieldActivity& a = profile_.fields[field];
+  ++a.updates;
+  if (propagated) ++a.propagations;
+}
+
+void WorkloadProfiler::RecordPropagation(const std::string& spec,
+                                         uint64_t heads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PathActivity& a = profile_.paths[spec];
+  ++a.propagations;
+  a.heads_touched += heads;
+}
+
+WorkloadProfile WorkloadProfiler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return profile_;
+}
+
+void WorkloadProfiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  profile_ = WorkloadProfile();
+}
+
+void WorkloadProfiler::CollectMetrics(std::vector<MetricSample>* out) const {
+  WorkloadProfile profile = Snapshot();
+  auto add = [out](const char* name, const std::string& labels,
+                   uint64_t value) {
+    MetricSample s;
+    s.name = name;
+    s.labels = labels;
+    s.kind = MetricKind::kCounter;
+    s.value = static_cast<double>(value);
+    out->push_back(std::move(s));
+  };
+  for (const auto& [spec, a] : profile.paths) {
+    std::string labels = "path=\"" + spec + "\"";
+    add("fieldrep_path_read_queries_total", labels, a.read_queries);
+    add("fieldrep_path_derefs_total", labels, a.derefs);
+    add("fieldrep_path_replica_rows_total", labels, a.replica_rows);
+    add("fieldrep_path_join_rows_total", labels, a.join_rows);
+    add("fieldrep_path_propagations_total", labels, a.propagations);
+    add("fieldrep_path_heads_touched_total", labels, a.heads_touched);
+  }
+  for (const auto& [field, a] : profile.fields) {
+    std::string labels = "field=\"" + field + "\"";
+    add("fieldrep_field_updates_total", labels, a.updates);
+    add("fieldrep_field_propagations_total", labels, a.propagations);
+  }
+}
+
+}  // namespace fieldrep

@@ -1,11 +1,21 @@
 #include "wal/wal_manager.h"
 
+#include <chrono>
 #include <cstring>
 #include <vector>
 
 #include "common/strings.h"
 
 namespace fieldrep {
+
+namespace {
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 std::string WalStats::ToString() const {
   return StringPrintf(
@@ -49,7 +59,9 @@ Status WalManager::CommitTransaction() {
     --txn_depth_;
     return Status::OK();
   }
+  const uint64_t start_ns = NowNs();
   Status s = CommitTopLevel();
+  commit_latency_ns_.Observe(NowNs() - start_ns);
   txn_depth_ = 0;
   if (s.ok() && options_.checkpoint_threshold_bytes != 0 &&
       log_bytes() > options_.checkpoint_threshold_bytes) {
@@ -206,6 +218,13 @@ Status WalManager::CommitTopLevel() {
 }
 
 Status WalManager::Checkpoint() {
+  const uint64_t start_ns = NowNs();
+  Status s = CheckpointImpl();
+  if (s.ok()) checkpoint_ns_.Observe(NowNs() - start_ns);
+  return s;
+}
+
+Status WalManager::CheckpointImpl() {
   if (txn_depth_ > 0) {
     return Status::FailedPrecondition("checkpoint inside a transaction");
   }
@@ -237,6 +256,55 @@ Status WalManager::Checkpoint() {
   stats_.log_page_writes = writer_.page_writes();
   stats_.log_syncs = writer_.syncs();
   return Status::OK();
+}
+
+void WalManager::CollectMetrics(std::vector<MetricSample>* out) const {
+  auto add = [out](const char* name, const char* help, MetricKind kind,
+                   double value) {
+    MetricSample s;
+    s.name = name;
+    s.help = help;
+    s.kind = kind;
+    s.value = value;
+    out->push_back(std::move(s));
+  };
+  const WalStats ws = stats();
+  add("fieldrep_wal_transactions_total", "Committed transactions.",
+      MetricKind::kCounter, static_cast<double>(ws.transactions));
+  add("fieldrep_wal_empty_commits_total",
+      "Commits that changed no page bytes.", MetricKind::kCounter,
+      static_cast<double>(ws.empty_commits));
+  add("fieldrep_wal_records_total", "Log records appended.",
+      MetricKind::kCounter, static_cast<double>(ws.records));
+  add("fieldrep_wal_delta_bytes_total",
+      "Payload bytes of page-write records.", MetricKind::kCounter,
+      static_cast<double>(ws.delta_bytes));
+  add("fieldrep_wal_log_page_writes_total",
+      "Pages written to the log device.", MetricKind::kCounter,
+      static_cast<double>(ws.log_page_writes));
+  add("fieldrep_wal_log_syncs_total", "Sync calls on the log device.",
+      MetricKind::kCounter, static_cast<double>(ws.log_syncs));
+  add("fieldrep_wal_checkpoints_total", "Completed checkpoints.",
+      MetricKind::kCounter, static_cast<double>(ws.checkpoints));
+  add("fieldrep_wal_checkpoint_pages_total",
+      "Dirty pages flushed by checkpoints.", MetricKind::kCounter,
+      static_cast<double>(ws.checkpoint_pages));
+  add("fieldrep_wal_log_bytes", "Bytes in the current log epoch.",
+      MetricKind::kGauge, static_cast<double>(log_bytes()));
+  add("fieldrep_wal_broken", "1 when the log is in a failed state.",
+      MetricKind::kGauge, broken() ? 1.0 : 0.0);
+  MetricSample commit;
+  commit.name = "fieldrep_wal_commit_latency_ns";
+  commit.help = "Top-level commit latency (append + sync), nanoseconds.";
+  commit.kind = MetricKind::kHistogram;
+  commit.histogram = commit_latency_ns_.TakeSnapshot();
+  out->push_back(std::move(commit));
+  MetricSample ckpt;
+  ckpt.name = "fieldrep_wal_checkpoint_duration_ns";
+  ckpt.help = "Successful checkpoint duration, nanoseconds.";
+  ckpt.kind = MetricKind::kHistogram;
+  ckpt.histogram = checkpoint_ns_.TakeSnapshot();
+  out->push_back(std::move(ckpt));
 }
 
 void WalManager::OnPageAccess(PageId page_id, const uint8_t* data) {

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "storage/buffer_pool.h"
+#include "telemetry/metrics.h"
 #include "wal/log_writer.h"
 
 namespace fieldrep {
@@ -137,6 +138,17 @@ class WalManager : public PageObserver {
   }
   bool broken() const { return broken_.load(std::memory_order_relaxed); }
 
+  /// Top-level commit latency distribution (Observe'd around
+  /// CommitTopLevel, including the commit sync).
+  Histogram::Snapshot commit_latency() const {
+    return commit_latency_ns_.TakeSnapshot();
+  }
+
+  /// Appends this manager's metric samples (WalStats counters, log size
+  /// and broken gauges, commit-latency and checkpoint-duration
+  /// histograms) to `out`.
+  void CollectMetrics(std::vector<MetricSample>* out) const;
+
   // --- PageObserver ----------------------------------------------------------
 
   void OnPageAccess(PageId page_id, const uint8_t* data) override;
@@ -146,6 +158,7 @@ class WalManager : public PageObserver {
 
  private:
   Status CommitTopLevel();
+  Status CheckpointImpl();
 
   StorageDevice* log_device_;
   BufferPool* pool_;
@@ -174,6 +187,11 @@ class WalManager : public PageObserver {
   /// thread.
   mutable std::mutex log_mu_;
   WalStats stats_;
+
+  /// Always-on latency instruments: relaxed atomics, so Observe is noise
+  /// next to the log append/sync it brackets.
+  Histogram commit_latency_ns_{Histogram::LatencyBoundsNs()};
+  Histogram checkpoint_ns_{Histogram::LatencyBoundsNs()};
 };
 
 /// \brief RAII transaction bracket.

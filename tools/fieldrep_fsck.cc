@@ -8,6 +8,7 @@
 //   --include-info     report informational findings too
 //   --max-findings N   stop after N findings (default 1000)
 //   --quiet            print the summary line only
+//   --stats            print the integrity pass's own work counters
 //
 // The checker never writes to the files: both the database and the log are
 // copied page-by-page into memory and the database is opened (and, when a
@@ -71,7 +72,7 @@ Status SnapshotFile(const std::string& path,
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--wal <path>] [--no-wal] [--include-info] "
-               "[--max-findings N] [--quiet] <database-file>\n",
+               "[--max-findings N] [--quiet] [--stats] <database-file>\n",
                argv0);
 }
 
@@ -82,6 +83,7 @@ int main(int argc, char** argv) {
   std::string wal_path;
   bool no_wal = false;
   bool quiet = false;
+  bool stats = false;
   CheckOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -97,6 +99,8 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -184,6 +188,9 @@ int main(int argc, char** argv) {
                 report.error_count(), report.warning_count());
   } else {
     std::printf("%s", report.ToString().c_str());
+  }
+  if (stats) {
+    std::printf("check statistics:\n%s", report.stats.ToString().c_str());
   }
   return report.ok() ? 0 : 1;
 }
