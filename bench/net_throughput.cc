@@ -1,0 +1,227 @@
+// Measures client/server commit throughput against the group-commit
+// coordinator (DESIGN.md §12): an in-process server on a unix socket, a
+// ladder of concurrent client connections each running single-row
+// auto-committed replaces, in two durability modes —
+//
+//   sync    fdatasync inside every commit (the PR-5 behaviour)
+//   group   commits flush, then batch behind one leader fdatasync
+//           (WalManager::WaitDurable)
+//
+// Reported per rung: commits/sec, the log's sync count (the whole point:
+// group mode's syncs grow sub-linearly in commits), and the batch-size
+// statistics. File-backed so every fdatasync is real.
+//
+//   net_throughput [--max-clients N] [--commits N] [--json[=PATH]]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "client/client.h"
+#include "common/strings.h"
+#include "db/database.h"
+#include "net/server.h"
+
+namespace fieldrep::bench {
+namespace {
+
+struct Rung {
+  int clients = 0;
+  double commits_per_sec = 0;
+  uint64_t commits = 0;
+  uint64_t log_syncs = 0;
+  uint64_t group_batches = 0;
+  uint64_t group_commits = 0;
+};
+
+std::unique_ptr<Database> BuildDatabase(const std::string& path,
+                                        bool group_commit, int rows) {
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  Database::Options options;
+  options.file_path = path;
+  options.enable_wal = true;
+  options.wal_sync_on_commit = true;
+  options.wal_group_commit = group_commit;
+  auto db_or = Database::Open(options);
+  if (!db_or.ok()) {
+    std::printf("open failed: %s\n", db_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto db = std::move(db_or).value();
+  auto check = [](const Status& s) {
+    if (!s.ok()) {
+      std::printf("fixture failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  check(db->DefineType(TypeDescriptor(
+      "ROW", {Int32Attr("key"), Int32Attr("val"), CharAttr("pad", 64)})));
+  check(db->CreateSet("T", "ROW"));
+  for (int i = 0; i < rows; ++i) {
+    Oid oid;
+    check(db->Insert(
+        "T", Object(0, {Value(int32_t{i}), Value(int32_t{0}),
+                        Value(StringPrintf("row%d", i))}),
+        &oid));
+  }
+  check(db->Checkpoint());
+  return db;
+}
+
+/// One client connection: `commits` auto-committed single-row replaces,
+/// each durable before the next is sent.
+void ClientLoop(const std::string& address, int key, int commits) {
+  auto client_or = client::Client::Connect(address, "net_throughput");
+  if (!client_or.ok()) {
+    std::printf("connect failed: %s\n",
+                client_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto client = std::move(client_or).value();
+  for (int i = 0; i < commits; ++i) {
+    UpdateQuery query;
+    query.set_name = "T";
+    query.predicate = Predicate::Compare("key", CompareOp::kEq,
+                                         Value(int32_t{key}));
+    query.assignments.emplace_back("val", Value(int32_t{i}));
+    UpdateResult result;
+    Status s = client->Replace(query, &result);
+    if (!s.ok()) {
+      std::printf("replace failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+}
+
+Rung RunRung(bool group_commit, int clients, int commits_per_client,
+             int max_clients) {
+  const std::string path = StringPrintf(
+      "/tmp/fieldrep_net_throughput_%s.db", group_commit ? "group" : "sync");
+  auto db = BuildDatabase(path, group_commit, max_clients);
+
+  net::ServerOptions server_options;
+  server_options.address = path + ".sock";
+  server_options.address = "unix:" + server_options.address;
+  server_options.max_sessions = static_cast<size_t>(clients) + 4;
+  server_options.worker_threads = 8;
+  auto server_or = net::Server::Start(db.get(), server_options);
+  if (!server_or.ok()) {
+    std::printf("server start failed: %s\n",
+                server_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto server = std::move(server_or).value();
+
+  const WalStats before = db->wal()->stats();
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(ClientLoop, server->address(), c,
+                         commits_per_client);
+  }
+  for (auto& t : threads) t.join();
+  auto t1 = std::chrono::steady_clock::now();
+  const WalStats after = db->wal()->stats();
+
+  server->Stop();
+  Status s = db->Checkpoint();
+  if (!s.ok()) {
+    std::printf("checkpoint failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  db.reset();
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  Rung rung;
+  rung.clients = clients;
+  rung.commits = static_cast<uint64_t>(clients) *
+                 static_cast<uint64_t>(commits_per_client);
+  const double sec = std::chrono::duration<double>(t1 - t0).count();
+  rung.commits_per_sec = sec > 0 ? static_cast<double>(rung.commits) / sec
+                                 : 0;
+  rung.log_syncs = after.log_syncs - before.log_syncs;
+  rung.group_batches = after.group_batches - before.group_batches;
+  rung.group_commits = after.group_commits - before.group_commits;
+  return rung;
+}
+
+int Run(int argc, char** argv) {
+  std::string json_path = ConsumeJsonFlag(&argc, argv, "net_throughput");
+  int max_clients = 256;
+  int commits = 40;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--max-clients" && i + 1 < argc) {
+      max_clients = std::atoi(argv[++i]);
+    } else if (arg.rfind("--max-clients=", 0) == 0) {
+      max_clients = std::atoi(arg.c_str() + std::strlen("--max-clients="));
+    } else if (arg == "--commits" && i + 1 < argc) {
+      commits = std::atoi(argv[++i]);
+    } else if (arg.rfind("--commits=", 0) == 0) {
+      commits = std::atoi(arg.c_str() + std::strlen("--commits="));
+    } else {
+      std::printf("usage: net_throughput [--max-clients N] [--commits N] "
+                  "[--json[=PATH]]\n");
+      return 1;
+    }
+  }
+  if (max_clients < 1) max_clients = 1;
+  if (commits < 1) commits = 1;
+
+  std::printf(
+      "net_throughput: %d auto-committed replaces per client over a unix "
+      "socket, sync-per-commit vs group commit\n\n", commits);
+  std::printf("%8s  %-6s %14s %12s %14s %12s\n", "clients", "mode",
+              "commits/sec", "log syncs", "sync batches", "avg batch");
+
+  BenchJson json("net_throughput");
+  json.Add("commits_per_client", commits);
+  for (int clients = 1; clients <= max_clients; clients *= 2) {
+    for (const bool group : {false, true}) {
+      Rung r = RunRung(group, clients, commits, max_clients);
+      const double avg_batch =
+          r.group_batches > 0
+              ? static_cast<double>(r.group_commits) /
+                    static_cast<double>(r.group_batches)
+              : 1.0;
+      std::printf("%8d  %-6s %14.0f %12llu %14llu %12.2f\n", clients,
+                  group ? "group" : "sync", r.commits_per_sec,
+                  static_cast<unsigned long long>(r.log_syncs),
+                  static_cast<unsigned long long>(r.group_batches),
+                  avg_batch);
+      const std::string prefix = StringPrintf(
+          "net.%s.c%d.", group ? "group" : "sync", clients);
+      json.Add(prefix + "commits_per_sec", r.commits_per_sec);
+      json.Add(prefix + "commits", static_cast<double>(r.commits));
+      json.Add(prefix + "log_syncs", static_cast<double>(r.log_syncs));
+      json.Add(prefix + "group_batches",
+               static_cast<double>(r.group_batches));
+      json.Add(prefix + "avg_batch", avg_batch);
+    }
+  }
+
+  if (!json_path.empty()) {
+    Status s = json.WriteToFile(json_path);
+    if (!s.ok()) {
+      std::printf("json write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\njson results written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fieldrep::bench
+
+int main(int argc, char** argv) {
+  return fieldrep::bench::Run(argc, argv);
+}

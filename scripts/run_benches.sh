@@ -42,6 +42,7 @@ run() {
 run empirical_io --json="$OUT_ABS/BENCH_empirical_io.json" 500 2
 run micro_ops --json="$OUT_ABS/BENCH_micro_ops.json" --threads=4
 run concurrent_read --json="$OUT_ABS/BENCH_concurrent_read.json" --threads=4
+run net_throughput --json="$OUT_ABS/BENCH_net_throughput.json" --max-clients 64
 
 # Table-only benches (stdout captured).
 run fig11_unclustered_model

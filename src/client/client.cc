@@ -1,0 +1,312 @@
+#include "client/client.h"
+
+#include <unistd.h>
+
+#include "common/bytes.h"
+
+namespace fieldrep::client {
+
+using net::Frame;
+using net::Opcode;
+
+Result<std::unique_ptr<Client>> Client::Connect(
+    const std::string& address, const std::string& client_name) {
+  std::unique_ptr<Client> client(new Client());
+  FIELDREP_ASSIGN_OR_RETURN(client->fd_, net::ConnectTo(address));
+  std::string hello;
+  PutLengthPrefixed(&hello, client_name);
+  std::string response;
+  Status send = client->SendRequest(Opcode::kHandshake, std::move(hello));
+  // A refused session may close the socket before our Hello lands
+  // (EPIPE); its refusal frame is still readable, so a structured
+  // server error from the response wins over a transport-level one.
+  Status st = client->ReadResponse(&response);
+  if (!st.ok()) {
+    const bool transport =
+        st.IsNotFound() || st.IsIOError() || st.IsCorruption();
+    return (transport && !send.ok()) ? send : st;
+  }
+  if (!send.ok()) return send;
+  ByteReader reader(response);
+  uint16_t version = 0;
+  if (!reader.GetU64(&client->session_id_) || !reader.GetU16(&version)) {
+    return Status::Corruption("malformed handshake response");
+  }
+  if (version != net::kProtocolVersion) {
+    return Status::InvalidArgument("server protocol version mismatch");
+  }
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ < 0) return;
+  // Best-effort Goodbye; the server aborts open transactions on
+  // disconnect either way.
+  std::string response;
+  Call(Opcode::kGoodbye, "", &response);
+  ::close(fd_);
+}
+
+void Client::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::SendRequest(Opcode op, std::string payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client disconnected");
+  Frame frame;
+  frame.opcode = static_cast<uint16_t>(op);
+  frame.session_id = session_id_;
+  frame.payload = std::move(payload);
+  return net::WriteFrame(fd_, frame);
+}
+
+Status Client::ReadResponse(std::string* payload) {
+  Frame frame;
+  FIELDREP_RETURN_IF_ERROR(net::ReadFrameBlocking(fd_, &in_buf_, &frame));
+  if (frame.opcode == static_cast<uint16_t>(Opcode::kError)) {
+    ByteReader reader(frame.payload);
+    Status remote;
+    FIELDREP_RETURN_IF_ERROR(net::DecodeErrorPayload(&reader, &remote));
+    return remote;
+  }
+  if (frame.opcode != static_cast<uint16_t>(Opcode::kOk)) {
+    return Status::Corruption("unexpected response opcode");
+  }
+  *payload = std::move(frame.payload);
+  return Status::OK();
+}
+
+Status Client::Call(Opcode op, std::string payload, std::string* response) {
+  if (!outstanding_.empty()) {
+    // Drain pipelined responses first so FIFO pairing stays intact.
+    return Status::FailedPrecondition(
+        "async requests outstanding; Await them before synchronous calls");
+  }
+  FIELDREP_RETURN_IF_ERROR(SendRequest(op, std::move(payload)));
+  return ReadResponse(response);
+}
+
+Result<uint32_t> Client::PrepareRead(const net::ReadStatement& stmt) {
+  std::string payload;
+  net::EncodeReadStatement(stmt, &payload);
+  std::string response;
+  FIELDREP_RETURN_IF_ERROR(
+      Call(Opcode::kPrepareRead, std::move(payload), &response));
+  ByteReader reader(response);
+  uint32_t id = 0;
+  uint16_t params = 0;
+  if (!reader.GetU32(&id) || !reader.GetU16(&params)) {
+    return Status::Corruption("malformed prepare response");
+  }
+  statement_params_[id] = params;
+  return id;
+}
+
+Result<uint32_t> Client::PrepareUpdate(const net::UpdateStatement& stmt) {
+  std::string payload;
+  net::EncodeUpdateStatement(stmt, &payload);
+  std::string response;
+  FIELDREP_RETURN_IF_ERROR(
+      Call(Opcode::kPrepareUpdate, std::move(payload), &response));
+  ByteReader reader(response);
+  uint32_t id = 0;
+  uint16_t params = 0;
+  if (!reader.GetU32(&id) || !reader.GetU16(&params)) {
+    return Status::Corruption("malformed prepare response");
+  }
+  statement_params_[id] = params;
+  return id;
+}
+
+Status Client::CloseStatement(uint32_t stmt_id) {
+  std::string payload;
+  PutU32(&payload, stmt_id);
+  std::string response;
+  FIELDREP_RETURN_IF_ERROR(
+      Call(Opcode::kCloseStatement, std::move(payload), &response));
+  statement_params_.erase(stmt_id);
+  return Status::OK();
+}
+
+Result<uint16_t> Client::StatementParamCount(uint32_t stmt_id) const {
+  auto it = statement_params_.find(stmt_id);
+  if (it == statement_params_.end()) {
+    return Status::NotFound("no such statement");
+  }
+  return it->second;
+}
+
+std::string Client::EncodeExecutePayload(uint32_t stmt_id,
+                                         const std::vector<Value>& params) {
+  std::string payload;
+  PutU32(&payload, stmt_id);
+  PutU16(&payload, static_cast<uint16_t>(params.size()));
+  for (const Value& v : params) EncodeTaggedValue(v, &payload);
+  return payload;
+}
+
+Status Client::DecodeTaggedResult(const std::string& payload,
+                                  uint8_t expected_kind, ByteReader* reader) {
+  (void)payload;  // The reader already wraps it; kept for call-site clarity.
+  std::string kind;
+  if (!reader->GetRaw(1, &kind)) {
+    return Status::Corruption("empty result payload");
+  }
+  if (static_cast<uint8_t>(kind[0]) != expected_kind) {
+    return Status::Corruption("result kind mismatch");
+  }
+  return Status::OK();
+}
+
+Status Client::ExecuteRead(uint32_t stmt_id, const std::vector<Value>& params,
+                           ReadResult* result) {
+  std::string response;
+  FIELDREP_RETURN_IF_ERROR(Call(
+      Opcode::kExecute, EncodeExecutePayload(stmt_id, params), &response));
+  ByteReader reader(response);
+  FIELDREP_RETURN_IF_ERROR(
+      DecodeTaggedResult(response, net::kResultKindRead, &reader));
+  return net::DecodeReadResult(&reader, result);
+}
+
+Status Client::ExecuteUpdate(uint32_t stmt_id,
+                             const std::vector<Value>& params,
+                             UpdateResult* result) {
+  std::string response;
+  FIELDREP_RETURN_IF_ERROR(Call(
+      Opcode::kExecute, EncodeExecutePayload(stmt_id, params), &response));
+  ByteReader reader(response);
+  FIELDREP_RETURN_IF_ERROR(
+      DecodeTaggedResult(response, net::kResultKindUpdate, &reader));
+  return net::DecodeUpdateResult(&reader, result);
+}
+
+Status Client::Retrieve(const ReadQuery& query, ReadResult* result) {
+  std::string payload;
+  net::EncodeReadStatement(net::ReadStatement::From(query), &payload);
+  std::string response;
+  FIELDREP_RETURN_IF_ERROR(
+      Call(Opcode::kRetrieve, std::move(payload), &response));
+  ByteReader reader(response);
+  FIELDREP_RETURN_IF_ERROR(
+      DecodeTaggedResult(response, net::kResultKindRead, &reader));
+  return net::DecodeReadResult(&reader, result);
+}
+
+Status Client::Replace(const UpdateQuery& query, UpdateResult* result) {
+  std::string payload;
+  net::EncodeUpdateStatement(net::UpdateStatement::From(query), &payload);
+  std::string response;
+  FIELDREP_RETURN_IF_ERROR(
+      Call(Opcode::kReplace, std::move(payload), &response));
+  ByteReader reader(response);
+  FIELDREP_RETURN_IF_ERROR(
+      DecodeTaggedResult(response, net::kResultKindUpdate, &reader));
+  return net::DecodeUpdateResult(&reader, result);
+}
+
+Status Client::Begin() {
+  std::string response;
+  return Call(Opcode::kBegin, "", &response);
+}
+
+Status Client::Commit() {
+  std::string response;
+  return Call(Opcode::kCommit, "", &response);
+}
+
+Status Client::Abort() {
+  std::string response;
+  return Call(Opcode::kAbort, "", &response);
+}
+
+Status Client::Metrics(const std::string& format, std::string* out) {
+  std::string payload;
+  PutLengthPrefixed(&payload, format);
+  std::string response;
+  FIELDREP_RETURN_IF_ERROR(
+      Call(Opcode::kMetrics, std::move(payload), &response));
+  ByteReader reader(response);
+  if (!reader.GetLengthPrefixed(out)) {
+    return Status::Corruption("malformed metrics response");
+  }
+  return Status::OK();
+}
+
+Status Client::GetCatalog(net::CatalogInfo* info) {
+  std::string response;
+  FIELDREP_RETURN_IF_ERROR(Call(Opcode::kCatalog, "", &response));
+  ByteReader reader(response);
+  return net::DecodeCatalogInfo(&reader, info);
+}
+
+Result<uint64_t> Client::ExecuteReadAsync(uint32_t stmt_id,
+                                          const std::vector<Value>& params) {
+  FIELDREP_RETURN_IF_ERROR(
+      SendRequest(Opcode::kExecute, EncodeExecutePayload(stmt_id, params)));
+  const uint64_t token = next_token_++;
+  outstanding_.push_back(token);
+  return token;
+}
+
+Result<uint64_t> Client::ExecuteUpdateAsync(
+    uint32_t stmt_id, const std::vector<Value>& params) {
+  return ExecuteReadAsync(stmt_id, params);  // Same wire request.
+}
+
+Result<uint64_t> Client::CommitAsync() {
+  FIELDREP_RETURN_IF_ERROR(SendRequest(Opcode::kCommit, ""));
+  const uint64_t token = next_token_++;
+  outstanding_.push_back(token);
+  return token;
+}
+
+Status Client::AwaitToken(uint64_t token, std::string* payload) {
+  for (;;) {
+    auto it = buffered_.find(token);
+    if (it != buffered_.end()) {
+      Status st = it->second.status;
+      *payload = std::move(it->second.payload);
+      buffered_.erase(it);
+      return st;
+    }
+    if (outstanding_.empty()) {
+      return Status::NotFound("unknown async token");
+    }
+    // Responses arrive in request order: attribute the next response to
+    // the oldest outstanding token.
+    const uint64_t oldest = outstanding_.front();
+    outstanding_.pop_front();
+    BufferedResponse response;
+    response.status = ReadResponse(&response.payload);
+    buffered_.emplace(oldest, std::move(response));
+  }
+}
+
+Status Client::AwaitRead(uint64_t token, ReadResult* result) {
+  std::string payload;
+  FIELDREP_RETURN_IF_ERROR(AwaitToken(token, &payload));
+  ByteReader reader(payload);
+  FIELDREP_RETURN_IF_ERROR(
+      DecodeTaggedResult(payload, net::kResultKindRead, &reader));
+  return net::DecodeReadResult(&reader, result);
+}
+
+Status Client::AwaitUpdate(uint64_t token, UpdateResult* result) {
+  std::string payload;
+  FIELDREP_RETURN_IF_ERROR(AwaitToken(token, &payload));
+  ByteReader reader(payload);
+  FIELDREP_RETURN_IF_ERROR(
+      DecodeTaggedResult(payload, net::kResultKindUpdate, &reader));
+  return net::DecodeUpdateResult(&reader, result);
+}
+
+Status Client::Await(uint64_t token) {
+  std::string payload;
+  return AwaitToken(token, &payload);
+}
+
+}  // namespace fieldrep::client

@@ -1,0 +1,131 @@
+#ifndef FIELDREP_CLIENT_CLIENT_H_
+#define FIELDREP_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace fieldrep::client {
+
+/// \brief The C++ client library for a fieldrep server (DESIGN.md §12),
+/// modeled on the mysql-client shape: a per-connection session, a
+/// prepared-statement dictionary with automatic parameter binding and
+/// reuse, and asynchronous execution with blocking result retrieval.
+///
+/// Synchronous calls send one request frame and block for its response.
+/// Asynchronous calls (`*Async`) pipeline the request and return a
+/// token; `Await*` blocks until that token's response arrives (responses
+/// are FIFO on the wire — awaiting out of order buffers the earlier
+/// replies). A Client is not thread-safe: use one per thread.
+class Client {
+ public:
+  /// Connects and performs the protocol handshake. Fails with
+  /// kUnavailable when the server refuses the session (admission
+  /// control).
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& address,
+      const std::string& client_name = "fieldrep-client");
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  uint64_t session_id() const { return session_id_; }
+
+  // --- Prepared statements ----------------------------------------------------
+
+  /// Registers a statement template server-side; returns the statement
+  /// id for Execute*. Parameter placeholders (net::WireOperand::Param)
+  /// are bound per execution.
+  Result<uint32_t> PrepareRead(const net::ReadStatement& stmt);
+  Result<uint32_t> PrepareUpdate(const net::UpdateStatement& stmt);
+  Status CloseStatement(uint32_t stmt_id);
+  /// Declared parameter count of a prepared statement.
+  Result<uint16_t> StatementParamCount(uint32_t stmt_id) const;
+
+  Status ExecuteRead(uint32_t stmt_id, const std::vector<Value>& params,
+                     ReadResult* result);
+  Status ExecuteUpdate(uint32_t stmt_id, const std::vector<Value>& params,
+                       UpdateResult* result);
+
+  // --- Direct (unprepared) queries --------------------------------------------
+
+  Status Retrieve(const ReadQuery& query, ReadResult* result);
+  Status Replace(const UpdateQuery& query, UpdateResult* result);
+
+  // --- Transactions -----------------------------------------------------------
+
+  Status Begin();
+  /// Returns once the commit is durable (in group-commit mode the server
+  /// batches this session's fsync with concurrent committers).
+  Status Commit();
+  /// Closes the transaction without logging it: nothing of it survives a
+  /// restart (redo-only WAL). Like an embedded mid-operation failure,
+  /// already-applied volatile effects may remain visible to later
+  /// queries until the server restarts; see DESIGN.md §12.
+  Status Abort();
+
+  // --- Introspection ----------------------------------------------------------
+
+  /// Scrapes the server's metrics ("prometheus" or "json").
+  Status Metrics(const std::string& format, std::string* out);
+  Status GetCatalog(net::CatalogInfo* info);
+
+  // --- Asynchronous execution -------------------------------------------------
+
+  Result<uint64_t> ExecuteReadAsync(uint32_t stmt_id,
+                                    const std::vector<Value>& params);
+  Result<uint64_t> ExecuteUpdateAsync(uint32_t stmt_id,
+                                      const std::vector<Value>& params);
+  Result<uint64_t> CommitAsync();
+  Status AwaitRead(uint64_t token, ReadResult* result);
+  Status AwaitUpdate(uint64_t token, UpdateResult* result);
+  /// Awaits a token whose success carries no payload (e.g. CommitAsync).
+  Status Await(uint64_t token);
+
+  // --- Lifecycle --------------------------------------------------------------
+
+  /// Severs the connection without the Goodbye handshake — simulates a
+  /// client crash (the server must abort any open transaction).
+  void Abandon();
+
+ private:
+  Client() = default;
+
+  Status SendRequest(net::Opcode op, std::string payload);
+  /// Reads one response frame; kError decodes into the returned status.
+  Status ReadResponse(std::string* payload);
+  /// Synchronous request/response round trip.
+  Status Call(net::Opcode op, std::string payload, std::string* response);
+  /// Blocks until `token`'s response is available, buffering earlier
+  /// FIFO responses.
+  Status AwaitToken(uint64_t token, std::string* payload);
+  static std::string EncodeExecutePayload(uint32_t stmt_id,
+                                          const std::vector<Value>& params);
+  static Status DecodeTaggedResult(const std::string& payload,
+                                   uint8_t expected_kind, ByteReader* reader);
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  std::string in_buf_;
+  /// Outstanding async tokens in send (= response) order.
+  std::deque<uint64_t> outstanding_;
+  /// Responses read while awaiting a later token. Holds the payload for
+  /// OK responses; errors are stored as a (status, payload) pair.
+  struct BufferedResponse {
+    Status status;
+    std::string payload;
+  };
+  std::map<uint64_t, BufferedResponse> buffered_;
+  uint64_t next_token_ = 1;
+  std::map<uint32_t, uint16_t> statement_params_;
+};
+
+}  // namespace fieldrep::client
+
+#endif  // FIELDREP_CLIENT_CLIENT_H_

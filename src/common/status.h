@@ -23,6 +23,10 @@ enum class StatusCode {
   kNotSupported,
   kFailedPrecondition,
   kInternal,
+  /// The service cannot take the request right now (admission control,
+  /// backpressure); retrying later may succeed. Used by the network
+  /// server's busy replies.
+  kUnavailable,
 };
 
 /// \brief Returns a stable, human-readable name for a status code
@@ -74,6 +78,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -84,9 +91,11 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;

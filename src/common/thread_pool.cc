@@ -103,6 +103,14 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
   state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
 void ThreadPool::CollectMetrics(std::vector<MetricSample>* out) const {
   auto add = [out](const char* name, const char* help, MetricKind kind,
                    double value) {

@@ -49,6 +49,12 @@ class ThreadPool {
   /// Status slot).
   void RunBatch(std::vector<std::function<void()>> tasks);
 
+  /// Enqueues one fire-and-forget task. Unlike RunBatch the caller does
+  /// not wait (the network server's dispatch primitive); the destructor
+  /// still drains every queued task before joining, so a Submit issued
+  /// before shutdown always runs.
+  void Submit(std::function<void()> task);
+
   /// Tasks executed so far (workers + caller participation).
   uint64_t tasks_run() const {
     return tasks_run_.load(std::memory_order_relaxed);

@@ -67,6 +67,7 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   if (options.enable_wal) {
     WalManager::Options wal_options;
     wal_options.sync_on_commit = options.wal_sync_on_commit;
+    wal_options.group_commit = options.wal_group_commit;
     wal_options.checkpoint_threshold_bytes =
         options.wal_checkpoint_threshold_bytes;
     db->wal_ = std::make_unique<WalManager>(wal_device, db->pool_.get(),
@@ -406,66 +407,155 @@ Status Database::CheckIntegrity(CheckReport* report) {
   return CheckIntegrity(CheckOptions(), report);
 }
 
-Status Database::DefineType(TypeDescriptor type) {
+uint64_t Database::PendingDurableLsn(const Status& s) const {
+  if (!s.ok() || wal_ == nullptr) return 0;
+  if (!wal_->group_commit_enabled() || wal_->in_transaction()) return 0;
+  return wal_->last_commit_lsn();
+}
+
+Status Database::BeginSessionTransaction() {
   std::lock_guard<std::recursive_mutex> lock(write_mu_);
-  WalTransaction txn(wal_.get());
-  FIELDREP_RETURN_IF_ERROR(txn.begin_status());
-  FIELDREP_RETURN_IF_ERROR(catalog_.DefineType(std::move(type)));
-  return txn.Commit();
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "session transactions require write-ahead logging");
+  }
+  if (wal_->in_transaction()) {
+    return Status::FailedPrecondition("a session transaction is already open");
+  }
+  return wal_->BeginTransaction();
+}
+
+Status Database::CommitSessionTransaction(uint64_t* commit_lsn) {
+  std::lock_guard<std::recursive_mutex> lock(write_mu_);
+  if (commit_lsn != nullptr) *commit_lsn = 0;
+  if (wal_ == nullptr || !wal_->in_transaction()) {
+    return Status::FailedPrecondition("no open session transaction");
+  }
+  Status s = wal_->CommitTransaction();
+  if (s.ok() && commit_lsn != nullptr && wal_->group_commit_enabled()) {
+    *commit_lsn = wal_->last_commit_lsn();
+  }
+  return s;
+}
+
+Status Database::AbortSessionTransaction() {
+  std::lock_guard<std::recursive_mutex> lock(write_mu_);
+  if (wal_ == nullptr || !wal_->in_transaction()) {
+    return Status::FailedPrecondition("no open session transaction");
+  }
+  return wal_->AbortTransaction();
+}
+
+bool Database::InSessionTransaction() const {
+  return wal_ != nullptr && wal_->in_transaction();
+}
+
+Status Database::WaitWalDurable(uint64_t lsn) {
+  if (wal_ == nullptr || lsn == 0) return Status::OK();
+  return wal_->WaitDurable(lsn);
+}
+
+Status Database::DefineType(TypeDescriptor type) {
+  uint64_t durable = 0;
+  Status s;
+  {
+    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    WalTransaction txn(wal_.get());
+    FIELDREP_RETURN_IF_ERROR(txn.begin_status());
+    FIELDREP_RETURN_IF_ERROR(catalog_.DefineType(std::move(type)));
+    s = txn.Commit();
+    durable = PendingDurableLsn(s);
+  }
+  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
+  return s;
 }
 
 Status Database::CreateSet(const std::string& name,
                            const std::string& type_name) {
-  std::lock_guard<std::recursive_mutex> lock(write_mu_);
-  WalTransaction txn(wal_.get());
-  FIELDREP_RETURN_IF_ERROR(txn.begin_status());
-  FileId file_id;
-  FIELDREP_RETURN_IF_ERROR(catalog_.CreateSet(name, type_name, &file_id));
-  FIELDREP_ASSIGN_OR_RETURN(const TypeDescriptor* type,
-                            catalog_.GetType(type_name));
-  auto set = std::make_unique<ObjectSet>(pool_.get(), file_id, name, type);
+  uint64_t durable = 0;
+  Status s;
   {
-    std::unique_lock<std::shared_mutex> maps_lock(maps_mu_);
-    sets_by_file_[file_id] = set.get();
-    sets_.emplace(name, std::move(set));
+    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    WalTransaction txn(wal_.get());
+    FIELDREP_RETURN_IF_ERROR(txn.begin_status());
+    FileId file_id;
+    FIELDREP_RETURN_IF_ERROR(catalog_.CreateSet(name, type_name, &file_id));
+    FIELDREP_ASSIGN_OR_RETURN(const TypeDescriptor* type,
+                              catalog_.GetType(type_name));
+    auto set = std::make_unique<ObjectSet>(pool_.get(), file_id, name, type);
+    {
+      std::unique_lock<std::shared_mutex> maps_lock(maps_mu_);
+      sets_by_file_[file_id] = set.get();
+      sets_.emplace(name, std::move(set));
+    }
+    s = txn.Commit();
+    durable = PendingDurableLsn(s);
   }
-  return txn.Commit();
+  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
+  return s;
 }
 
 Status Database::Replicate(const std::string& spec,
                            const ReplicateOptions& options,
                            uint16_t* path_id) {
-  std::lock_guard<std::recursive_mutex> lock(write_mu_);
-  uint16_t id;
-  FIELDREP_RETURN_IF_ERROR(replication_->CreatePath(spec, options, &id));
-  if (path_id != nullptr) *path_id = id;
-  return Status::OK();
+  uint64_t durable = 0;
+  Status s;
+  {
+    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    uint16_t id;
+    s = replication_->CreatePath(spec, options, &id);
+    if (s.ok() && path_id != nullptr) *path_id = id;
+    durable = PendingDurableLsn(s);
+  }
+  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
+  return s;
 }
 
 Status Database::DropReplication(const std::string& spec) {
-  std::lock_guard<std::recursive_mutex> lock(write_mu_);
-  const ReplicationPathInfo* path = catalog_.FindPathBySpec(spec);
-  if (path == nullptr) {
-    return Status::NotFound("no replication path " + spec);
+  uint64_t durable = 0;
+  Status s;
+  {
+    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    const ReplicationPathInfo* path = catalog_.FindPathBySpec(spec);
+    if (path == nullptr) {
+      return Status::NotFound("no replication path " + spec);
+    }
+    s = replication_->DropPath(path->id);
+    durable = PendingDurableLsn(s);
   }
-  return replication_->DropPath(path->id);
+  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
+  return s;
 }
 
 Status Database::BuildIndex(const std::string& index_name,
                             const std::string& set_name,
                             const std::string& key_expr, bool clustered) {
-  std::lock_guard<std::recursive_mutex> lock(write_mu_);
-  WalTransaction txn(wal_.get());
-  FIELDREP_RETURN_IF_ERROR(txn.begin_status());
-  FIELDREP_RETURN_IF_ERROR(
-      indexes_->BuildIndex(index_name, set_name, key_expr, clustered));
-  return txn.Commit();
+  uint64_t durable = 0;
+  Status s;
+  {
+    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    WalTransaction txn(wal_.get());
+    FIELDREP_RETURN_IF_ERROR(txn.begin_status());
+    FIELDREP_RETURN_IF_ERROR(
+        indexes_->BuildIndex(index_name, set_name, key_expr, clustered));
+    s = txn.Commit();
+    durable = PendingDurableLsn(s);
+  }
+  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
+  return s;
 }
 
 Status Database::Insert(const std::string& set_name, const Object& object,
                         Oid* oid) {
-  std::lock_guard<std::recursive_mutex> lock(write_mu_);
-  return replication_->InsertObject(set_name, object, oid);
+  uint64_t durable = 0;
+  Status s;
+  {
+    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    s = replication_->InsertObject(set_name, object, oid);
+    durable = PendingDurableLsn(s);
+  }
+  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
+  return s;
 }
 
 Status Database::Get(const std::string& set_name, const Oid& oid,
@@ -476,19 +566,33 @@ Status Database::Get(const std::string& set_name, const Oid& oid,
 
 Status Database::Update(const std::string& set_name, const Oid& oid,
                         const std::string& attr_name, const Value& value) {
-  std::lock_guard<std::recursive_mutex> lock(write_mu_);
-  FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, GetSet(set_name));
-  int attr = set->type().FindAttribute(attr_name);
-  if (attr < 0) {
-    return Status::InvalidArgument("type " + set->type().name() +
-                                   " has no attribute " + attr_name);
+  uint64_t durable = 0;
+  Status s;
+  {
+    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, GetSet(set_name));
+    int attr = set->type().FindAttribute(attr_name);
+    if (attr < 0) {
+      return Status::InvalidArgument("type " + set->type().name() +
+                                     " has no attribute " + attr_name);
+    }
+    s = replication_->UpdateField(set_name, oid, attr, value);
+    durable = PendingDurableLsn(s);
   }
-  return replication_->UpdateField(set_name, oid, attr, value);
+  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
+  return s;
 }
 
 Status Database::Delete(const std::string& set_name, const Oid& oid) {
-  std::lock_guard<std::recursive_mutex> lock(write_mu_);
-  return replication_->DeleteObject(set_name, oid);
+  uint64_t durable = 0;
+  Status s;
+  {
+    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    s = replication_->DeleteObject(set_name, oid);
+    durable = PendingDurableLsn(s);
+  }
+  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
+  return s;
 }
 
 Status Database::Retrieve(const ReadQuery& query, ReadResult* result) {
@@ -508,8 +612,15 @@ Status Database::Retrieve(const ReadQuery& query, ReadResult* result,
 
 Status Database::Replace(const UpdateQuery& query, UpdateResult* result) {
   if (slow_query_ns_ == 0) {
-    std::lock_guard<std::recursive_mutex> lock(write_mu_);
-    return executor_->ExecuteUpdate(query, result);
+    uint64_t durable = 0;
+    Status s;
+    {
+      std::lock_guard<std::recursive_mutex> lock(write_mu_);
+      s = executor_->ExecuteUpdate(query, result);
+      durable = PendingDurableLsn(s);
+    }
+    FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
+    return s;
   }
   QueryTrace trace;
   return Replace(query, result, &trace);
@@ -517,11 +628,14 @@ Status Database::Replace(const UpdateQuery& query, UpdateResult* result) {
 
 Status Database::Replace(const UpdateQuery& query, UpdateResult* result,
                          QueryTrace* trace) {
+  uint64_t durable = 0;
   Status s;
   {
     std::lock_guard<std::recursive_mutex> lock(write_mu_);
     s = executor_->ExecuteUpdate(query, result, trace);
+    durable = PendingDurableLsn(s);
   }
+  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
   if (s.ok() && trace != nullptr) MaybeLogSlowQuery(*trace);
   return s;
 }

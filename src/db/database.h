@@ -72,9 +72,16 @@ class Database : public SetProvider {
     /// External log device (not owned; overrides wal_path).
     StorageDevice* wal_device = nullptr;
     /// Sync the log on every commit (full durability). False trades the
-    /// durability of the most recent commits for fewer syncs (group
-    /// commit); atomicity is unaffected.
+    /// durability of the most recent commits for fewer syncs; atomicity
+    /// is unaffected.
     bool wal_sync_on_commit = true;
+    /// True group commit (DESIGN.md §12): commits flush the log but defer
+    /// the device sync to WalManager::WaitDurable, where concurrent
+    /// committers share one leader fsync. Every mutating entry point still
+    /// returns only after its commit is durable, so single-threaded
+    /// callers keep full durability (at one sync per commit); the win
+    /// appears when many sessions commit concurrently.
+    bool wal_group_commit = false;
     /// Auto-checkpoint once the log exceeds this size (0 = only explicit
     /// Checkpoint() calls truncate the log).
     uint64_t wal_checkpoint_threshold_bytes = 0;
@@ -139,6 +146,27 @@ class Database : public SetProvider {
   Status Update(const std::string& set_name, const Oid& oid,
                 const std::string& attr_name, const Value& value);
   Status Delete(const std::string& set_name, const Oid& oid);
+
+  // --- Session transactions ---------------------------------------------------
+
+  /// Opens an explicit transaction bracket for a network session: every
+  /// mutating call until Commit/Abort joins one WAL transaction (flat
+  /// nesting folds the per-operation brackets in). Requires WAL. The
+  /// caller must serialize all mutating operations while a session
+  /// transaction is open — the network server does this with its
+  /// session-owned writer gate; operations may run on different threads
+  /// as long as they are externally ordered.
+  Status BeginSessionTransaction();
+  /// Commits the open session transaction. `commit_lsn` (optional)
+  /// receives the LSN to pass to WaitWalDurable — in group-commit mode
+  /// the commit returns before the log is synced.
+  Status CommitSessionTransaction(uint64_t* commit_lsn = nullptr);
+  Status AbortSessionTransaction();
+  bool InSessionTransaction() const;
+
+  /// Blocks until the WAL is durable through `lsn` (no-op without WAL or
+  /// for lsn 0). Concurrent callers batch behind one leader fsync.
+  Status WaitWalDurable(uint64_t lsn);
 
   // --- Queries ----------------------------------------------------------------
 
@@ -262,6 +290,12 @@ class Database : public SetProvider {
   /// Invokes the slow-query hook (or the default stderr line) when a
   /// traced query crossed the configured threshold.
   void MaybeLogSlowQuery(const QueryTrace& trace) const;
+
+  /// Called under write_mu_ right after a mutating operation: the LSN the
+  /// caller must make durable before returning (0 = nothing to wait for —
+  /// not in group-commit mode, the operation failed, or it is nested in
+  /// an open session transaction whose commit will wait instead).
+  uint64_t PendingDurableLsn(const Status& s) const;
 
   // Declaration order doubles as destruction order (reversed): the pool
   // must be torn down while the WAL manager it observes — and the devices

@@ -1,0 +1,672 @@
+#include "net/protocol.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+
+namespace fieldrep::net {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kHandshake: return "Handshake";
+    case Opcode::kPrepareRead: return "PrepareRead";
+    case Opcode::kPrepareUpdate: return "PrepareUpdate";
+    case Opcode::kExecute: return "Execute";
+    case Opcode::kCloseStatement: return "CloseStatement";
+    case Opcode::kBegin: return "Begin";
+    case Opcode::kCommit: return "Commit";
+    case Opcode::kAbort: return "Abort";
+    case Opcode::kRetrieve: return "Retrieve";
+    case Opcode::kReplace: return "Replace";
+    case Opcode::kMetrics: return "Metrics";
+    case Opcode::kCatalog: return "Catalog";
+    case Opcode::kGoodbye: return "Goodbye";
+    case Opcode::kOk: return "Ok";
+    case Opcode::kError: return "Error";
+  }
+  return "Unknown";
+}
+
+void EncodeFrame(const Frame& frame, std::string* out) {
+  PutU32(out, kFrameHeaderSize + static_cast<uint32_t>(frame.payload.size()));
+  PutU32(out, kMagic);
+  PutU16(out, kProtocolVersion);
+  PutU16(out, frame.opcode);
+  PutU64(out, frame.session_id);
+  out->append(frame.payload);
+}
+
+Status TryParseFrame(std::string* buffer, Frame* frame, bool* complete) {
+  *complete = false;
+  if (buffer->size() < 4) return Status::OK();
+  const uint32_t length =
+      DecodeU32(reinterpret_cast<const uint8_t*>(buffer->data()));
+  if (length < kFrameHeaderSize) {
+    return Status::InvalidArgument(
+        StringPrintf("frame length %u below header size", length));
+  }
+  if (length > kMaxFrameLength) {
+    return Status::InvalidArgument(
+        StringPrintf("frame length %u exceeds the %u-byte limit", length,
+                     kMaxFrameLength));
+  }
+  if (buffer->size() < 4 + static_cast<size_t>(length)) return Status::OK();
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(buffer->data()) + 4;
+  const uint32_t magic = DecodeU32(p);
+  if (magic != kMagic) {
+    return Status::InvalidArgument(
+        StringPrintf("bad frame magic 0x%08x", magic));
+  }
+  const uint16_t version = DecodeU16(p + 4);
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        StringPrintf("protocol version %u not supported (server speaks %u)",
+                     version, kProtocolVersion));
+  }
+  frame->opcode = DecodeU16(p + 6);
+  frame->session_id = DecodeU64(p + 8);
+  frame->payload.assign(*buffer, 4 + kFrameHeaderSize,
+                        length - kFrameHeaderSize);
+  buffer->erase(0, 4 + static_cast<size_t>(length));
+  *complete = true;
+  return Status::OK();
+}
+
+// --- Statement templates ------------------------------------------------------
+
+namespace {
+
+void EncodeOperand(const WireOperand& op, std::string* out) {
+  out->push_back(op.is_param ? 1 : 0);
+  if (op.is_param) {
+    PutU16(out, op.param_index);
+  } else {
+    EncodeTaggedValue(op.literal, out);
+  }
+}
+
+Status DecodeOperand(ByteReader* reader, WireOperand* op) {
+  std::string tag;
+  if (!reader->GetRaw(1, &tag)) {
+    return Status::Corruption("truncated operand");
+  }
+  if (tag[0] != 0 && tag[0] != 1) {
+    return Status::Corruption("bad operand tag");
+  }
+  op->is_param = tag[0] == 1;
+  if (op->is_param) {
+    if (!reader->GetU16(&op->param_index)) {
+      return Status::Corruption("truncated operand index");
+    }
+    return Status::OK();
+  }
+  return DecodeTaggedValue(reader, &op->literal);
+}
+
+void EncodePredicate(const std::optional<StatementPredicate>& pred,
+                     std::string* out) {
+  out->push_back(pred.has_value() ? 1 : 0);
+  if (!pred.has_value()) return;
+  PutLengthPrefixed(out, pred->attr_name);
+  out->push_back(static_cast<char>(pred->op));
+  EncodeOperand(pred->operand, out);
+  EncodeOperand(pred->operand2, out);
+}
+
+Status DecodePredicate(ByteReader* reader,
+                       std::optional<StatementPredicate>* pred) {
+  std::string flag;
+  if (!reader->GetRaw(1, &flag)) {
+    return Status::Corruption("truncated predicate flag");
+  }
+  if (flag[0] == 0) {
+    pred->reset();
+    return Status::OK();
+  }
+  StatementPredicate p;
+  std::string op_byte;
+  if (!reader->GetLengthPrefixed(&p.attr_name) ||
+      !reader->GetRaw(1, &op_byte)) {
+    return Status::Corruption("truncated predicate");
+  }
+  if (static_cast<uint8_t>(op_byte[0]) >
+      static_cast<uint8_t>(CompareOp::kBetween)) {
+    return Status::Corruption("bad compare op");
+  }
+  p.op = static_cast<CompareOp>(op_byte[0]);
+  FIELDREP_RETURN_IF_ERROR(DecodeOperand(reader, &p.operand));
+  FIELDREP_RETURN_IF_ERROR(DecodeOperand(reader, &p.operand2));
+  *pred = std::move(p);
+  return Status::OK();
+}
+
+Result<Value> BindOperand(const WireOperand& op,
+                          const std::vector<Value>& params) {
+  if (!op.is_param) return op.literal;
+  if (op.param_index >= params.size()) {
+    return Status::InvalidArgument(
+        StringPrintf("parameter ?%u not bound (%zu given)", op.param_index,
+                     params.size()));
+  }
+  return params[op.param_index];
+}
+
+uint16_t OperandParamCount(const WireOperand& op) {
+  return op.is_param ? static_cast<uint16_t>(op.param_index + 1) : 0;
+}
+
+uint16_t PredicateParamCount(const std::optional<StatementPredicate>& pred) {
+  if (!pred.has_value()) return 0;
+  return std::max(OperandParamCount(pred->operand),
+                  OperandParamCount(pred->operand2));
+}
+
+Result<std::optional<Predicate>> BindPredicate(
+    const std::optional<StatementPredicate>& pred,
+    const std::vector<Value>& params) {
+  if (!pred.has_value()) return std::optional<Predicate>();
+  Predicate p;
+  p.attr_name = pred->attr_name;
+  p.op = pred->op;
+  FIELDREP_ASSIGN_OR_RETURN(p.operand, BindOperand(pred->operand, params));
+  FIELDREP_ASSIGN_OR_RETURN(p.operand2, BindOperand(pred->operand2, params));
+  return std::optional<Predicate>(std::move(p));
+}
+
+std::optional<StatementPredicate> LiftPredicate(
+    const std::optional<Predicate>& pred) {
+  if (!pred.has_value()) return std::nullopt;
+  StatementPredicate p;
+  p.attr_name = pred->attr_name;
+  p.op = pred->op;
+  p.operand = WireOperand::Lit(pred->operand);
+  p.operand2 = WireOperand::Lit(pred->operand2);
+  return p;
+}
+
+}  // namespace
+
+ReadStatement ReadStatement::From(const ReadQuery& query) {
+  ReadStatement stmt;
+  stmt.set_name = query.set_name;
+  stmt.projections = query.projections;
+  stmt.predicate = LiftPredicate(query.predicate);
+  stmt.use_replication = query.use_replication;
+  stmt.write_output = query.write_output;
+  stmt.output_pad = query.output_pad;
+  return stmt;
+}
+
+Result<ReadQuery> ReadStatement::Bind(const std::vector<Value>& params) const {
+  ReadQuery query;
+  query.set_name = set_name;
+  query.projections = projections;
+  FIELDREP_ASSIGN_OR_RETURN(query.predicate,
+                            BindPredicate(predicate, params));
+  query.use_replication = use_replication;
+  query.write_output = write_output;
+  query.output_pad = output_pad;
+  return query;
+}
+
+uint16_t ReadStatement::ParamCount() const {
+  return PredicateParamCount(predicate);
+}
+
+UpdateStatement UpdateStatement::From(const UpdateQuery& query) {
+  UpdateStatement stmt;
+  stmt.set_name = query.set_name;
+  stmt.predicate = LiftPredicate(query.predicate);
+  stmt.assignments.reserve(query.assignments.size());
+  for (const auto& [attr, value] : query.assignments) {
+    stmt.assignments.emplace_back(attr, WireOperand::Lit(value));
+  }
+  return stmt;
+}
+
+Result<UpdateQuery> UpdateStatement::Bind(
+    const std::vector<Value>& params) const {
+  UpdateQuery query;
+  query.set_name = set_name;
+  FIELDREP_ASSIGN_OR_RETURN(query.predicate,
+                            BindPredicate(predicate, params));
+  query.assignments.reserve(assignments.size());
+  for (const auto& [attr, operand] : assignments) {
+    FIELDREP_ASSIGN_OR_RETURN(Value v, BindOperand(operand, params));
+    query.assignments.emplace_back(attr, std::move(v));
+  }
+  return query;
+}
+
+uint16_t UpdateStatement::ParamCount() const {
+  uint16_t n = PredicateParamCount(predicate);
+  for (const auto& [attr, operand] : assignments) {
+    (void)attr;
+    n = std::max(n, OperandParamCount(operand));
+  }
+  return n;
+}
+
+void EncodeReadStatement(const ReadStatement& stmt, std::string* out) {
+  PutLengthPrefixed(out, stmt.set_name);
+  PutU16(out, static_cast<uint16_t>(stmt.projections.size()));
+  for (const std::string& p : stmt.projections) PutLengthPrefixed(out, p);
+  EncodePredicate(stmt.predicate, out);
+  out->push_back(stmt.use_replication ? 1 : 0);
+  out->push_back(stmt.write_output ? 1 : 0);
+  PutU32(out, stmt.output_pad);
+}
+
+Status DecodeReadStatement(ByteReader* reader, ReadStatement* stmt) {
+  uint16_t n_proj;
+  if (!reader->GetLengthPrefixed(&stmt->set_name) ||
+      !reader->GetU16(&n_proj)) {
+    return Status::Corruption("truncated read statement");
+  }
+  stmt->projections.clear();
+  stmt->projections.reserve(n_proj);
+  for (uint16_t i = 0; i < n_proj; ++i) {
+    std::string p;
+    if (!reader->GetLengthPrefixed(&p)) {
+      return Status::Corruption("truncated projection list");
+    }
+    stmt->projections.push_back(std::move(p));
+  }
+  FIELDREP_RETURN_IF_ERROR(DecodePredicate(reader, &stmt->predicate));
+  std::string flags;
+  if (!reader->GetRaw(2, &flags) || !reader->GetU32(&stmt->output_pad)) {
+    return Status::Corruption("truncated read statement flags");
+  }
+  stmt->use_replication = flags[0] != 0;
+  stmt->write_output = flags[1] != 0;
+  return Status::OK();
+}
+
+void EncodeUpdateStatement(const UpdateStatement& stmt, std::string* out) {
+  PutLengthPrefixed(out, stmt.set_name);
+  EncodePredicate(stmt.predicate, out);
+  PutU16(out, static_cast<uint16_t>(stmt.assignments.size()));
+  for (const auto& [attr, operand] : stmt.assignments) {
+    PutLengthPrefixed(out, attr);
+    EncodeOperand(operand, out);
+  }
+}
+
+Status DecodeUpdateStatement(ByteReader* reader, UpdateStatement* stmt) {
+  if (!reader->GetLengthPrefixed(&stmt->set_name)) {
+    return Status::Corruption("truncated update statement");
+  }
+  FIELDREP_RETURN_IF_ERROR(DecodePredicate(reader, &stmt->predicate));
+  uint16_t n_assign;
+  if (!reader->GetU16(&n_assign)) {
+    return Status::Corruption("truncated assignment count");
+  }
+  stmt->assignments.clear();
+  stmt->assignments.reserve(n_assign);
+  for (uint16_t i = 0; i < n_assign; ++i) {
+    std::string attr;
+    WireOperand operand;
+    if (!reader->GetLengthPrefixed(&attr)) {
+      return Status::Corruption("truncated assignment");
+    }
+    FIELDREP_RETURN_IF_ERROR(DecodeOperand(reader, &operand));
+    stmt->assignments.emplace_back(std::move(attr), std::move(operand));
+  }
+  return Status::OK();
+}
+
+// --- Results ------------------------------------------------------------------
+
+void EncodeReadResult(const ReadResult& result, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(result.rows.size()));
+  for (const std::vector<Value>& row : result.rows) {
+    PutU16(out, static_cast<uint16_t>(row.size()));
+    for (const Value& v : row) EncodeTaggedValue(v, out);
+  }
+  PutU64(out, result.rows_written);
+  PutU64(out, result.heads_scanned);
+  out->push_back(result.used_index ? 1 : 0);
+  PutU16(out, static_cast<uint16_t>(result.access.size()));
+  for (ReadResult::Access a : result.access) {
+    out->push_back(static_cast<char>(a));
+  }
+}
+
+Status DecodeReadResult(ByteReader* reader, ReadResult* result) {
+  uint32_t n_rows;
+  if (!reader->GetU32(&n_rows)) {
+    return Status::Corruption("truncated result row count");
+  }
+  result->rows.clear();
+  for (uint32_t i = 0; i < n_rows; ++i) {
+    uint16_t n_values;
+    if (!reader->GetU16(&n_values)) {
+      return Status::Corruption("truncated result row");
+    }
+    std::vector<Value> row;
+    row.reserve(n_values);
+    for (uint16_t j = 0; j < n_values; ++j) {
+      Value v;
+      FIELDREP_RETURN_IF_ERROR(DecodeTaggedValue(reader, &v));
+      row.push_back(std::move(v));
+    }
+    result->rows.push_back(std::move(row));
+  }
+  std::string used_index;
+  uint16_t n_access;
+  if (!reader->GetU64(&result->rows_written) ||
+      !reader->GetU64(&result->heads_scanned) ||
+      !reader->GetRaw(1, &used_index) || !reader->GetU16(&n_access)) {
+    return Status::Corruption("truncated result counters");
+  }
+  result->used_index = used_index[0] != 0;
+  result->access.clear();
+  result->access.reserve(n_access);
+  for (uint16_t i = 0; i < n_access; ++i) {
+    std::string a;
+    if (!reader->GetRaw(1, &a)) {
+      return Status::Corruption("truncated access list");
+    }
+    if (static_cast<uint8_t>(a[0]) >
+        static_cast<uint8_t>(ReadResult::Access::kJoin)) {
+      return Status::Corruption("bad access kind");
+    }
+    result->access.push_back(static_cast<ReadResult::Access>(a[0]));
+  }
+  return Status::OK();
+}
+
+void EncodeUpdateResult(const UpdateResult& result, std::string* out) {
+  PutU64(out, result.objects_updated);
+  out->push_back(result.used_index ? 1 : 0);
+}
+
+Status DecodeUpdateResult(ByteReader* reader, UpdateResult* result) {
+  std::string used_index;
+  if (!reader->GetU64(&result->objects_updated) ||
+      !reader->GetRaw(1, &used_index)) {
+    return Status::Corruption("truncated update result");
+  }
+  result->used_index = used_index[0] != 0;
+  return Status::OK();
+}
+
+void EncodeErrorPayload(const Status& status, std::string* out) {
+  PutU16(out, static_cast<uint16_t>(status.code()));
+  PutLengthPrefixed(out, status.message());
+}
+
+Status DecodeErrorPayload(ByteReader* reader, Status* status) {
+  uint16_t code;
+  std::string message;
+  if (!reader->GetU16(&code) || !reader->GetLengthPrefixed(&message)) {
+    return Status::Corruption("truncated error payload");
+  }
+  if (code > static_cast<uint16_t>(StatusCode::kUnavailable)) {
+    return Status::Corruption("bad status code in error payload");
+  }
+  *status = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+// --- Catalog summary ----------------------------------------------------------
+
+void EncodeCatalogInfo(const CatalogInfo& info, std::string* out) {
+  PutU16(out, static_cast<uint16_t>(info.sets.size()));
+  for (const CatalogInfo::Set& set : info.sets) {
+    PutLengthPrefixed(out, set.name);
+    PutLengthPrefixed(out, set.type_name);
+    PutU16(out, static_cast<uint16_t>(set.attributes.size()));
+    for (const CatalogInfo::Attr& attr : set.attributes) {
+      PutLengthPrefixed(out, attr.name);
+      out->push_back(static_cast<char>(attr.type));
+      PutU32(out, attr.char_length);
+      PutLengthPrefixed(out, attr.ref_type);
+    }
+  }
+  PutU16(out, static_cast<uint16_t>(info.replicated_paths.size()));
+  for (const std::string& spec : info.replicated_paths) {
+    PutLengthPrefixed(out, spec);
+  }
+}
+
+Status DecodeCatalogInfo(ByteReader* reader, CatalogInfo* info) {
+  uint16_t n_sets;
+  if (!reader->GetU16(&n_sets)) {
+    return Status::Corruption("truncated catalog info");
+  }
+  info->sets.clear();
+  for (uint16_t i = 0; i < n_sets; ++i) {
+    CatalogInfo::Set set;
+    uint16_t n_attrs;
+    if (!reader->GetLengthPrefixed(&set.name) ||
+        !reader->GetLengthPrefixed(&set.type_name) ||
+        !reader->GetU16(&n_attrs)) {
+      return Status::Corruption("truncated catalog set");
+    }
+    for (uint16_t j = 0; j < n_attrs; ++j) {
+      CatalogInfo::Attr attr;
+      std::string type_byte;
+      if (!reader->GetLengthPrefixed(&attr.name) ||
+          !reader->GetRaw(1, &type_byte) ||
+          !reader->GetU32(&attr.char_length) ||
+          !reader->GetLengthPrefixed(&attr.ref_type)) {
+        return Status::Corruption("truncated catalog attribute");
+      }
+      if (static_cast<uint8_t>(type_byte[0]) >
+          static_cast<uint8_t>(FieldType::kRef)) {
+        return Status::Corruption("bad field type in catalog info");
+      }
+      attr.type = static_cast<FieldType>(type_byte[0]);
+      set.attributes.push_back(std::move(attr));
+    }
+    info->sets.push_back(std::move(set));
+  }
+  uint16_t n_paths;
+  if (!reader->GetU16(&n_paths)) {
+    return Status::Corruption("truncated catalog path list");
+  }
+  info->replicated_paths.clear();
+  for (uint16_t i = 0; i < n_paths; ++i) {
+    std::string spec;
+    if (!reader->GetLengthPrefixed(&spec)) {
+      return Status::Corruption("truncated catalog path");
+    }
+    info->replicated_paths.push_back(std::move(spec));
+  }
+  return Status::OK();
+}
+
+// --- Sockets ------------------------------------------------------------------
+
+namespace {
+
+/// Splits "unix:/path" / "tcp:port" / "tcp:host:port". Returns false on
+/// an unrecognized scheme.
+bool ParseAddress(const std::string& address, bool* is_unix,
+                  std::string* path_or_host, int* port) {
+  if (address.rfind("unix:", 0) == 0) {
+    *is_unix = true;
+    *path_or_host = address.substr(5);
+    return !path_or_host->empty();
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    *is_unix = false;
+    std::string rest = address.substr(4);
+    size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      *path_or_host = "127.0.0.1";
+      *port = std::atoi(rest.c_str());
+    } else {
+      *path_or_host = rest.substr(0, colon);
+      *port = std::atoi(rest.c_str() + colon + 1);
+    }
+    return *port >= 0 && *port <= 65535;
+  }
+  return false;
+}
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<int> ListenOn(const std::string& address, int backlog) {
+  bool is_unix = false;
+  std::string host;
+  int port = 0;
+  if (!ParseAddress(address, &is_unix, &host, &port)) {
+    return Status::InvalidArgument("bad listen address: " + address +
+                                   " (want unix:/path or tcp:port)");
+  }
+  if (is_unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (host.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " + host);
+    }
+    std::memcpy(addr.sun_path, host.c_str(), host.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    ::unlink(host.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(fd, backlog) < 0) {
+      Status s = Errno("bind/listen " + address);
+      ::close(fd);
+      return s;
+    }
+    return fd;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, backlog) < 0) {
+    Status s = Errno("bind/listen " + address);
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<std::string> BoundAddress(int listen_fd, const std::string& address) {
+  if (address.rfind("unix:", 0) == 0) return address;
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  return StringPrintf("tcp:%u", ntohs(addr.sin_port));
+}
+
+Result<int> ConnectTo(const std::string& address) {
+  bool is_unix = false;
+  std::string host;
+  int port = 0;
+  if (!ParseAddress(address, &is_unix, &host, &port)) {
+    return Status::InvalidArgument("bad connect address: " + address);
+  }
+  if (is_unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (host.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " + host);
+    }
+    std::memcpy(addr.sun_path, host.c_str(), host.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      Status s = Errno("connect " + address);
+      ::close(fd);
+      return s;
+    }
+    return fd;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host (want a dotted IPv4): " + host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Errno("connect " + address);
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status WriteFully(int fd, const void* data, size_t size, int timeout_ms) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    ssize_t n = ::send(fd, p, remaining, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      remaining -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int r = ::poll(&pfd, 1, timeout_ms == 0 ? -1 : timeout_ms);
+      if (r == 0) {
+        return Status::IOError("write timed out (slow or dead peer)");
+      }
+      if (r < 0 && errno != EINTR) return Errno("poll");
+      continue;
+    }
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status ReadFrameBlocking(int fd, std::string* buffer, Frame* frame) {
+  for (;;) {
+    bool complete = false;
+    FIELDREP_RETURN_IF_ERROR(TryParseFrame(buffer, frame, &complete));
+    if (complete) return Status::OK();
+    char chunk[16384];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer->append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      if (buffer->empty()) return Status::NotFound("connection closed");
+      return Status::Corruption("connection closed mid-frame");
+    }
+    return Errno("recv");
+  }
+}
+
+Status WriteFrame(int fd, const Frame& frame, int timeout_ms) {
+  std::string wire;
+  EncodeFrame(frame, &wire);
+  return WriteFully(fd, wire.data(), wire.size(), timeout_ms);
+}
+
+}  // namespace fieldrep::net

@@ -1,0 +1,230 @@
+#ifndef FIELDREP_NET_PROTOCOL_H_
+#define FIELDREP_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/type.h"
+#include "common/status.h"
+#include "query/read_query.h"
+#include "query/update_query.h"
+
+namespace fieldrep::net {
+
+/// \file
+/// The fieldrep wire protocol (DESIGN.md §12): length-prefixed binary
+/// frames carrying a fixed header (magic, version, opcode, session id)
+/// and an opcode-specific payload. The same codec serves both sides —
+/// the server (src/net/server.h) and the client library
+/// (src/client/client.h) — so a round-tripped query is bit-identical to
+/// the embedded ReadQuery/UpdateQuery it encodes.
+///
+/// Frame layout (all integers little-endian, matching common/bytes.h):
+///
+///   u32 length      bytes that follow this field (>= kFrameHeaderSize)
+///   u32 magic       kMagic ("FRPC")
+///   u16 version     kProtocolVersion
+///   u16 opcode      Opcode
+///   u64 session_id  0 until the handshake assigns one
+///   u8[] payload    length - kFrameHeaderSize bytes
+///
+/// Every request frame receives exactly one response frame (kOk or
+/// kError) on the same connection, in request order — pipelining is the
+/// client's async mode. Oversize lengths, bad magic, and version
+/// mismatches are protocol errors: the server answers with a structured
+/// kError frame when it still can and drops the session.
+
+inline constexpr uint32_t kMagic = 0x43505246;  // "FRPC"
+inline constexpr uint16_t kProtocolVersion = 1;
+/// magic + version + opcode + session id.
+inline constexpr uint32_t kFrameHeaderSize = 16;
+/// Upper bound on the length field: defends frame reassembly against
+/// garbage lengths and bounds per-session buffering.
+inline constexpr uint32_t kMaxFrameLength = 16u << 20;
+
+enum class Opcode : uint16_t {
+  // Requests.
+  kHandshake = 1,       ///< lp client-name -> u64 session id, u16 version
+  kPrepareRead = 2,     ///< ReadStatement -> u32 stmt id, u16 param count
+  kPrepareUpdate = 3,   ///< UpdateStatement -> u32 stmt id, u16 param count
+  kExecute = 4,         ///< u32 stmt id, params -> ReadResult/UpdateResult
+  kCloseStatement = 5,  ///< u32 stmt id -> empty
+  kBegin = 6,           ///< empty -> empty (acquires the writer token)
+  kCommit = 7,          ///< empty -> empty (group-commit durable)
+  kAbort = 8,           ///< empty -> empty
+  kRetrieve = 9,        ///< ReadStatement, no params -> ReadResult
+  kReplace = 10,        ///< UpdateStatement, no params -> UpdateResult
+  kMetrics = 11,        ///< lp format ("prometheus"|"json"|"text") -> lp text
+  kCatalog = 12,        ///< empty -> CatalogInfo
+  kGoodbye = 13,        ///< empty -> empty, then the server closes
+  // Responses.
+  kOk = 100,
+  kError = 101,  ///< u16 StatusCode, lp message
+};
+
+const char* OpcodeName(Opcode op);
+
+/// One decoded frame (header fields + raw payload).
+struct Frame {
+  uint16_t opcode = 0;
+  uint64_t session_id = 0;
+  std::string payload;
+};
+
+/// Appends the complete wire encoding of `frame` to `out`.
+void EncodeFrame(const Frame& frame, std::string* out);
+
+/// Incremental frame reassembly over a byte-stream buffer. Returns OK
+/// with `*complete = true` and the frame extracted (consumed from
+/// `buffer`) when a full valid frame is buffered; OK with
+/// `*complete = false` when more bytes are needed; and a non-OK status
+/// (InvalidArgument) on protocol errors — oversize/undersize length, bad
+/// magic, version mismatch — after which the connection is unusable.
+Status TryParseFrame(std::string* buffer, Frame* frame, bool* complete);
+
+// --- Statement templates ------------------------------------------------------
+
+/// A predicate/assignment operand in a prepared-statement template:
+/// either a literal Value or a `?i` parameter placeholder bound at
+/// execute time (the mysql-client statement model).
+struct WireOperand {
+  bool is_param = false;
+  uint16_t param_index = 0;
+  Value literal;
+
+  static WireOperand Lit(Value v) {
+    WireOperand o;
+    o.literal = std::move(v);
+    return o;
+  }
+  static WireOperand Param(uint16_t index) {
+    WireOperand o;
+    o.is_param = true;
+    o.param_index = index;
+    return o;
+  }
+};
+
+/// Predicate shape with operand placeholders.
+struct StatementPredicate {
+  std::string attr_name;
+  CompareOp op = CompareOp::kEq;
+  WireOperand operand;
+  WireOperand operand2;  ///< upper bound for kBetween
+};
+
+/// A parameterizable ReadQuery. `From` lifts a concrete query (all
+/// operands literal); `Bind` substitutes `params` into the placeholders
+/// and yields the executable query.
+struct ReadStatement {
+  std::string set_name;
+  std::vector<std::string> projections;
+  std::optional<StatementPredicate> predicate;
+  bool use_replication = true;
+  bool write_output = false;
+  uint32_t output_pad = 0;
+
+  static ReadStatement From(const ReadQuery& query);
+  Result<ReadQuery> Bind(const std::vector<Value>& params) const;
+  /// Placeholders the statement expects: max param index + 1.
+  uint16_t ParamCount() const;
+};
+
+/// A parameterizable UpdateQuery.
+struct UpdateStatement {
+  std::string set_name;
+  std::optional<StatementPredicate> predicate;
+  std::vector<std::pair<std::string, WireOperand>> assignments;
+
+  static UpdateStatement From(const UpdateQuery& query);
+  Result<UpdateQuery> Bind(const std::vector<Value>& params) const;
+  uint16_t ParamCount() const;
+};
+
+void EncodeReadStatement(const ReadStatement& stmt, std::string* out);
+Status DecodeReadStatement(class ::fieldrep::ByteReader* reader,
+                           ReadStatement* stmt);
+void EncodeUpdateStatement(const UpdateStatement& stmt, std::string* out);
+Status DecodeUpdateStatement(class ::fieldrep::ByteReader* reader,
+                             UpdateStatement* stmt);
+
+// --- Results ------------------------------------------------------------------
+
+/// Result payloads carry a 1-byte kind tag so kExecute replies are
+/// self-describing (the statement dictionary knows the kind too; the tag
+/// catches client/server disagreement).
+inline constexpr uint8_t kResultKindRead = 1;
+inline constexpr uint8_t kResultKindUpdate = 2;
+
+void EncodeReadResult(const ReadResult& result, std::string* out);
+Status DecodeReadResult(class ::fieldrep::ByteReader* reader,
+                        ReadResult* result);
+void EncodeUpdateResult(const UpdateResult& result, std::string* out);
+Status DecodeUpdateResult(class ::fieldrep::ByteReader* reader,
+                          UpdateResult* result);
+
+/// kError payload.
+void EncodeErrorPayload(const Status& status, std::string* out);
+Status DecodeErrorPayload(class ::fieldrep::ByteReader* reader,
+                          Status* status);
+
+// --- Catalog summary ----------------------------------------------------------
+
+/// What kCatalog reports: enough schema for a generic client (the smoke
+/// tool, fieldrep_stats --connect) to build queries against any served
+/// database.
+struct CatalogInfo {
+  struct Attr {
+    std::string name;
+    FieldType type = FieldType::kInt32;
+    uint32_t char_length = 0;
+    std::string ref_type;  ///< referenced type name for kRef attributes
+  };
+  struct Set {
+    std::string name;
+    std::string type_name;
+    std::vector<Attr> attributes;
+  };
+  std::vector<Set> sets;
+  /// Replication path specs currently defined (e.g. "Emp1.dept.name").
+  std::vector<std::string> replicated_paths;
+};
+
+void EncodeCatalogInfo(const CatalogInfo& info, std::string* out);
+Status DecodeCatalogInfo(class ::fieldrep::ByteReader* reader,
+                         CatalogInfo* info);
+
+// --- Sockets ------------------------------------------------------------------
+
+/// Address grammar shared by server and client:
+///   "unix:/path/to.sock"    AF_UNIX stream socket
+///   "tcp:PORT"              loopback TCP (server binds 127.0.0.1)
+///   "tcp:HOST:PORT"         explicit host (client side)
+/// `tcp:0` asks the kernel for a free port; BoundAddress reports it.
+
+/// Creates, binds, and listens. Unix socket paths are unlinked first.
+Result<int> ListenOn(const std::string& address, int backlog = 128);
+/// Blocking connect.
+Result<int> ConnectTo(const std::string& address);
+/// The resolved address of a listening socket ("tcp:0" -> real port).
+Result<std::string> BoundAddress(int listen_fd, const std::string& address);
+
+/// Blocking write of the whole buffer (EINTR-safe, EAGAIN via poll).
+/// `timeout_ms` bounds the total wait on writability (0 = no timeout).
+Status WriteFully(int fd, const void* data, size_t size,
+                  int timeout_ms = 0);
+/// Blocking read of one complete frame. `buffer` carries partial bytes
+/// across calls (client connections keep one). EOF before any byte of a
+/// frame yields kNotFound("connection closed"); EOF mid-frame yields
+/// Corruption.
+Status ReadFrameBlocking(int fd, std::string* buffer, Frame* frame);
+
+/// Encodes and writes one frame.
+Status WriteFrame(int fd, const Frame& frame, int timeout_ms = 0);
+
+}  // namespace fieldrep::net
+
+#endif  // FIELDREP_NET_PROTOCOL_H_

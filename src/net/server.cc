@@ -1,0 +1,723 @@
+#include "net/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+
+#include "common/bytes.h"
+
+namespace fieldrep::net {
+
+namespace {
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+void NetMetrics::Collect(std::vector<MetricSample>* out) const {
+  auto add = [out](const char* name, const char* help, MetricKind kind,
+                   double value) {
+    MetricSample s;
+    s.name = name;
+    s.help = help;
+    s.kind = kind;
+    s.value = value;
+    out->push_back(std::move(s));
+  };
+  add("fieldrep_net_sessions_total", "Client sessions accepted.",
+      MetricKind::kCounter, static_cast<double>(sessions_accepted.load()));
+  add("fieldrep_net_sessions_refused_total",
+      "Connections refused by admission control.", MetricKind::kCounter,
+      static_cast<double>(sessions_refused.load()));
+  add("fieldrep_net_sessions", "Currently connected sessions.",
+      MetricKind::kGauge, static_cast<double>(sessions_active.load()));
+  add("fieldrep_net_requests_total", "Requests executed.",
+      MetricKind::kCounter, static_cast<double>(requests.load()));
+  add("fieldrep_net_rejected_total",
+      "Requests rejected by pipeline backpressure.", MetricKind::kCounter,
+      static_cast<double>(rejected.load()));
+  add("fieldrep_net_protocol_errors_total",
+      "Malformed frames (bad magic/version/length).", MetricKind::kCounter,
+      static_cast<double>(protocol_errors.load()));
+  add("fieldrep_net_pending_requests", "Requests queued but not dispatched.",
+      MetricKind::kGauge, static_cast<double>(pending.load()));
+  MetricSample lat;
+  lat.name = "fieldrep_net_request_ns";
+  lat.help = "Per-request server-side latency, nanoseconds.";
+  lat.kind = MetricKind::kHistogram;
+  lat.histogram = request_ns.TakeSnapshot();
+  out->push_back(std::move(lat));
+}
+
+Result<std::unique_ptr<Server>> Server::Start(Database* db,
+                                              const ServerOptions& options) {
+  std::unique_ptr<Server> server(new Server());
+  server->db_ = db;
+  server->options_ = options;
+  if (server->options_.worker_threads == 0) server->options_.worker_threads = 1;
+  if (server->options_.max_pipeline == 0) server->options_.max_pipeline = 1;
+  FIELDREP_ASSIGN_OR_RETURN(server->listen_fd_, ListenOn(options.address));
+  FIELDREP_ASSIGN_OR_RETURN(
+      server->address_, BoundAddress(server->listen_fd_, options.address));
+  SetNonBlocking(server->listen_fd_);
+  if (::pipe(server->wake_fds_) != 0) {
+    ::close(server->listen_fd_);
+    server->listen_fd_ = -1;
+    return Status::IOError("pipe: " + std::string(std::strerror(errno)));
+  }
+  SetNonBlocking(server->wake_fds_[0]);
+  SetNonBlocking(server->wake_fds_[1]);
+  server->metrics_ = std::make_shared<NetMetrics>();
+  if (db->metrics() != nullptr) {
+    std::shared_ptr<NetMetrics> m = server->metrics_;
+    db->metrics()->AddCollector(
+        [m](std::vector<MetricSample>* out) { m->Collect(out); });
+  }
+  server->workers_ =
+      std::make_unique<ThreadPool>(server->options_.worker_threads);
+  server->event_thread_ = std::thread([raw = server.get()] {
+    raw->EventLoop();
+  });
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  if (stopped_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    for (auto& [id, s] : sessions_) {
+      s->closing = true;
+      // Unblocks any worker mid-write to this peer and makes further
+      // reads return EOF.
+      ::shutdown(s->fd, SHUT_RDWR);
+    }
+  }
+  Wake();
+  if (event_thread_.joinable()) event_thread_.join();
+  // Joins the workers; the pool drains its queue first, so every
+  // dispatched session finishes its cleanup.
+  workers_.reset();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  if (address_.rfind("unix:", 0) == 0) {
+    ::unlink(address_.substr(5).c_str());
+  }
+}
+
+void Server::Wake() {
+  if (wake_fds_[1] >= 0) {
+    char byte = 1;
+    ssize_t ignored = ::write(wake_fds_[1], &byte, 1);
+    (void)ignored;
+  }
+}
+
+void Server::EventLoop() {
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Session>> polled;
+  for (;;) {
+    fds.clear();
+    polled.clear();
+    bool accepting = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Tear down sessions nobody is working on, then drop the dead.
+      for (auto& [id, s] : sessions_) {
+        if (s->closing && !s->busy && !s->dead) CleanupSessionLocked(s);
+      }
+      for (auto it = sessions_.begin(); it != sessions_.end();) {
+        if (it->second->dead && !it->second->busy) {
+          ::close(it->second->fd);
+          metrics_->sessions_active.fetch_sub(1);
+          it = sessions_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (stopping_ && sessions_.empty()) return;
+      const bool flow_controlled =
+          pending_requests_ >= options_.max_pending_requests;
+      fds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+      if (!stopping_) {
+        fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+        accepting = true;
+      }
+      if (!flow_controlled) {
+        for (auto& [id, s] : sessions_) {
+          if (s->closing || s->dead) continue;
+          fds.push_back(pollfd{s->fd, POLLIN, 0});
+          polled.push_back(s);
+        }
+      }
+    }
+    // Bounded timeout: flow-control release and worker retirements can
+    // race the wake pipe, so never sleep unboundedly.
+    int r = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[0].revents != 0) {
+      char drain[256];
+      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (accepting && fds[1].revents != 0) AcceptConnections();
+    const size_t base = accepting ? 2 : 1;
+    for (size_t i = 0; i < polled.size(); ++i) {
+      if (fds[base + i].revents == 0) continue;
+      if (!ReadSession(polled[i])) {
+        std::lock_guard<std::mutex> lock(mu_);
+        polled[i]->closing = true;
+        if (!polled[i]->busy) CleanupSessionLocked(polled[i]);
+      }
+    }
+  }
+}
+
+void Server::AcceptConnections() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient error; poll again.
+    }
+    SetNonBlocking(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || sessions_.size() >= options_.max_sessions) {
+      metrics_->sessions_refused.fetch_add(1);
+      // Best-effort structured refusal so the client sees kUnavailable
+      // instead of a bare hangup.
+      Frame err = ErrorFrame(
+          0, Status::Unavailable(stopping_ ? "server shutting down"
+                                           : "server at max sessions"));
+      std::string wire;
+      EncodeFrame(err, &wire);
+      ssize_t ignored = ::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+      (void)ignored;
+      ::close(fd);
+      continue;
+    }
+    auto s = std::make_shared<Session>();
+    s->id = next_session_id_++;
+    s->fd = fd;
+    sessions_.emplace(s->id, s);
+    metrics_->sessions_accepted.fetch_add(1);
+    metrics_->sessions_active.fetch_add(1);
+  }
+}
+
+bool Server::ReadSession(const std::shared_ptr<Session>& s) {
+  char chunk[16384];
+  for (;;) {
+    ssize_t n = ::recv(s->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      s->in_buf.append(chunk, static_cast<size_t>(n));
+      for (;;) {
+        Frame frame;
+        bool complete = false;
+        Status st = TryParseFrame(&s->in_buf, &frame, &complete);
+        if (!st.ok()) {
+          // Bad magic / version / length: the stream is unrecoverable.
+          // Answer with a structured error, then drop the session.
+          metrics_->protocol_errors.fetch_add(1);
+          WriteReply(s, ErrorFrame(s->id, st));
+          return false;
+        }
+        if (!complete) break;
+        EnqueueFrame(s, std::move(frame));
+      }
+      continue;
+    }
+    if (n == 0) return false;  // EOF (possibly mid-frame); tear down.
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    return false;
+  }
+}
+
+void Server::EnqueueFrame(const std::shared_ptr<Session>& s, Frame frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (s->closing || s->dead) return;
+  QueuedRequest req;
+  req.frame = std::move(frame);
+  if (s->queue.size() >= options_.max_pipeline) {
+    // Over the per-session bound: keep the slot so the reply goes out in
+    // FIFO order, but never execute it.
+    req.rejected = true;
+    metrics_->rejected.fetch_add(1);
+  }
+  s->queue.push_back(std::move(req));
+  ++pending_requests_;
+  metrics_->pending.store(static_cast<int64_t>(pending_requests_));
+  if (!s->busy && !s->parked) {
+    s->busy = true;
+    std::shared_ptr<Session> sp = s;
+    workers_->Submit([this, sp] { ProcessSession(sp); });
+  }
+}
+
+bool Server::TryAcquireGateLocked(const std::shared_ptr<Session>& s) {
+  if (gate_owner_ == s->id) return true;
+  if (gate_owner_ != 0) return false;
+  gate_owner_ = s->id;
+  return true;
+}
+
+void Server::ReleaseGateLocked(const std::shared_ptr<Session>& s) {
+  if (gate_owner_ != s->id) return;
+  gate_owner_ = 0;
+  while (!gate_waiters_.empty()) {
+    const uint64_t next_id = gate_waiters_.front();
+    gate_waiters_.pop_front();
+    auto it = sessions_.find(next_id);
+    if (it == sessions_.end() || !it->second->parked) continue;
+    std::shared_ptr<Session> next = it->second;
+    next->parked = false;
+    next->busy = true;
+    gate_owner_ = next->id;
+    workers_->Submit([this, next] { ProcessSession(next); });
+    return;
+  }
+}
+
+void Server::ReleaseGate(const std::shared_ptr<Session>& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReleaseGateLocked(s);
+}
+
+void Server::CleanupSessionLocked(const std::shared_ptr<Session>& s) {
+  if (s->dead) return;
+  s->closing = true;
+  if (gate_owner_ == s->id) {
+    if (s->txn_open) {
+      // Abort-on-disconnect: the session died mid-transaction; roll the
+      // WAL bracket back before the writer gate moves on.
+      db_->AbortSessionTransaction();
+      s->txn_open = false;
+    }
+    ReleaseGateLocked(s);
+  }
+  if (s->parked) {
+    s->parked = false;
+    for (auto it = gate_waiters_.begin(); it != gate_waiters_.end(); ++it) {
+      if (*it == s->id) {
+        gate_waiters_.erase(it);
+        break;
+      }
+    }
+  }
+  pending_requests_ -= s->queue.size();
+  metrics_->pending.store(static_cast<int64_t>(pending_requests_));
+  s->queue.clear();
+  s->dead = true;
+  ::shutdown(s->fd, SHUT_RDWR);
+  Wake();
+}
+
+bool Server::NeedsWriterGate(const Session& s, const Frame& request) const {
+  switch (static_cast<Opcode>(request.opcode)) {
+    case Opcode::kBegin:
+    case Opcode::kReplace:
+      return true;
+    case Opcode::kExecute: {
+      if (request.payload.size() < 4) return false;
+      const uint32_t stmt_id = DecodeU32(
+          reinterpret_cast<const uint8_t*>(request.payload.data()));
+      auto it = s.statements.find(stmt_id);
+      return it != s.statements.end() && it->second.is_update;
+    }
+    default:
+      // kCommit/kAbort run on the gate the session already owns (or are
+      // errors); reads never need it.
+      return false;
+  }
+}
+
+void Server::ProcessSession(std::shared_ptr<Session> s) {
+  for (;;) {
+    QueuedRequest req;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (s->closing) {
+        s->busy = false;
+        CleanupSessionLocked(s);
+        return;
+      }
+      if (s->queue.empty()) {
+        s->busy = false;
+        return;
+      }
+      if (!s->queue.front().rejected &&
+          NeedsWriterGate(*s, s->queue.front().frame) &&
+          !TryAcquireGateLocked(s)) {
+        // Park instead of blocking: the worker goes back to the pool and
+        // the gate's release redispatches this session.
+        s->parked = true;
+        s->busy = false;
+        gate_waiters_.push_back(s->id);
+        return;
+      }
+      req = std::move(s->queue.front());
+      s->queue.pop_front();
+      --pending_requests_;
+      metrics_->pending.store(static_cast<int64_t>(pending_requests_));
+    }
+    if (req.rejected) {
+      WriteReply(s, ErrorFrame(s->id, Status::Unavailable(
+                                          "session pipeline full; retry")));
+      continue;
+    }
+    const uint64_t start_ns = NowNs();
+    const bool keep = HandleRequest(s, req.frame);
+    metrics_->request_ns.Observe(NowNs() - start_ns);
+    metrics_->requests.fetch_add(1);
+    if (!keep) {
+      std::lock_guard<std::mutex> lock(mu_);
+      s->busy = false;
+      CleanupSessionLocked(s);
+      return;
+    }
+  }
+}
+
+bool Server::HandleRequest(const std::shared_ptr<Session>& s,
+                           Frame& request) {
+  Frame reply = Dispatch(s, request);
+  const bool wrote = WriteReply(s, reply);
+  return wrote && static_cast<Opcode>(request.opcode) != Opcode::kGoodbye;
+}
+
+Frame Server::OkFrame(uint64_t session_id, std::string payload) const {
+  Frame f;
+  f.opcode = static_cast<uint16_t>(Opcode::kOk);
+  f.session_id = session_id;
+  f.payload = std::move(payload);
+  return f;
+}
+
+Frame Server::ErrorFrame(uint64_t session_id, const Status& status) const {
+  Frame f;
+  f.opcode = static_cast<uint16_t>(Opcode::kError);
+  f.session_id = session_id;
+  EncodeErrorPayload(status, &f.payload);
+  return f;
+}
+
+bool Server::WriteReply(const std::shared_ptr<Session>& s,
+                        const Frame& reply) {
+  std::lock_guard<std::mutex> lock(s->write_mu);
+  return WriteFrame(s->fd, reply, options_.write_timeout_ms).ok();
+}
+
+namespace {
+
+/// Decodes the kExecute payload: u32 stmt id, u16 count, tagged values.
+Status DecodeExecute(const std::string& payload, uint32_t* stmt_id,
+                     std::vector<Value>* params) {
+  ByteReader reader(payload);
+  uint16_t count = 0;
+  if (!reader.GetU32(stmt_id) || !reader.GetU16(&count)) {
+    return Status::Corruption("truncated execute payload");
+  }
+  params->clear();
+  params->reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    Value v;
+    FIELDREP_RETURN_IF_ERROR(DecodeTaggedValue(&reader, &v));
+    params->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Frame Server::Dispatch(const std::shared_ptr<Session>& s,
+                       const Frame& request) {
+  const Opcode op = static_cast<Opcode>(request.opcode);
+  if (request.session_id != 0 && request.session_id != s->id) {
+    return ErrorFrame(s->id,
+                      Status::InvalidArgument("frame session id mismatch"));
+  }
+  if (!s->handshaken && op != Opcode::kHandshake) {
+    return ErrorFrame(
+        s->id, Status::FailedPrecondition("handshake required first"));
+  }
+
+  // Error exits from a mutating opcode must give the gate back — but
+  // only when it was taken for this request, not when an open
+  // transaction owns it.
+  auto release_unless_txn = [this, &s] {
+    if (!s->txn_open) ReleaseGate(s);
+  };
+
+  // Runs `fn` as one atomic, durable unit: inside the session's open
+  // transaction if there is one, else wrapped in its own WAL bracket.
+  // The writer gate (held on entry) is released *before* the durability
+  // wait so concurrent commits batch behind one leader fsync.
+  auto run_mutation = [this, &s](const std::function<Status()>& fn) {
+    if (s->txn_open) return fn();  // Commit/Abort will release the gate.
+    if (db_->wal() == nullptr) {
+      Status st = fn();
+      ReleaseGate(s);
+      return st;
+    }
+    Status st = db_->BeginSessionTransaction();
+    if (!st.ok()) {
+      ReleaseGate(s);
+      return st;
+    }
+    st = fn();
+    uint64_t commit_lsn = 0;
+    if (st.ok()) {
+      st = db_->CommitSessionTransaction(&commit_lsn);
+    } else {
+      db_->AbortSessionTransaction();
+    }
+    ReleaseGate(s);
+    if (st.ok()) st = db_->WaitWalDurable(commit_lsn);
+    return st;
+  };
+
+  switch (op) {
+    case Opcode::kHandshake: {
+      s->handshaken = true;
+      std::string payload;
+      PutU64(&payload, s->id);
+      PutU16(&payload, kProtocolVersion);
+      return OkFrame(s->id, std::move(payload));
+    }
+    case Opcode::kPrepareRead: {
+      ByteReader reader(request.payload);
+      PreparedStatement stmt;
+      Status st = DecodeReadStatement(&reader, &stmt.read);
+      if (!st.ok()) return ErrorFrame(s->id, st);
+      stmt.param_count = stmt.read.ParamCount();
+      const uint32_t id = s->next_stmt_id++;
+      std::string payload;
+      PutU32(&payload, id);
+      PutU16(&payload, stmt.param_count);
+      s->statements.emplace(id, std::move(stmt));
+      return OkFrame(s->id, std::move(payload));
+    }
+    case Opcode::kPrepareUpdate: {
+      ByteReader reader(request.payload);
+      PreparedStatement stmt;
+      stmt.is_update = true;
+      Status st = DecodeUpdateStatement(&reader, &stmt.update);
+      if (!st.ok()) return ErrorFrame(s->id, st);
+      stmt.param_count = stmt.update.ParamCount();
+      const uint32_t id = s->next_stmt_id++;
+      std::string payload;
+      PutU32(&payload, id);
+      PutU16(&payload, stmt.param_count);
+      s->statements.emplace(id, std::move(stmt));
+      return OkFrame(s->id, std::move(payload));
+    }
+    case Opcode::kCloseStatement: {
+      ByteReader reader(request.payload);
+      uint32_t stmt_id = 0;
+      if (!reader.GetU32(&stmt_id)) {
+        return ErrorFrame(s->id,
+                          Status::Corruption("truncated close payload"));
+      }
+      if (s->statements.erase(stmt_id) == 0) {
+        return ErrorFrame(s->id, Status::NotFound("no such statement"));
+      }
+      return OkFrame(s->id, "");
+    }
+    case Opcode::kExecute: {
+      uint32_t stmt_id = 0;
+      std::vector<Value> params;
+      Status st = DecodeExecute(request.payload, &stmt_id, &params);
+      if (!st.ok()) {
+        release_unless_txn();  // Gate may have been taken for this frame.
+        return ErrorFrame(s->id, st);
+      }
+      auto it = s->statements.find(stmt_id);
+      if (it == s->statements.end()) {
+        return ErrorFrame(s->id, Status::NotFound("no such statement"));
+      }
+      PreparedStatement& stmt = it->second;
+      ++stmt.uses;
+      if (stmt.is_update) {
+        auto bound = stmt.update.Bind(params);
+        if (!bound.ok()) {
+          release_unless_txn();
+          return ErrorFrame(s->id, bound.status());
+        }
+        UpdateResult result;
+        st = run_mutation(
+            [this, &bound, &result] { return db_->Replace(*bound, &result); });
+        if (!st.ok()) return ErrorFrame(s->id, st);
+        std::string payload(1, static_cast<char>(kResultKindUpdate));
+        EncodeUpdateResult(result, &payload);
+        return OkFrame(s->id, std::move(payload));
+      }
+      auto bound = stmt.read.Bind(params);
+      if (!bound.ok()) return ErrorFrame(s->id, bound.status());
+      ReadResult result;
+      st = db_->Retrieve(*bound, &result);
+      if (!st.ok()) return ErrorFrame(s->id, st);
+      std::string payload(1, static_cast<char>(kResultKindRead));
+      EncodeReadResult(result, &payload);
+      return OkFrame(s->id, std::move(payload));
+    }
+    case Opcode::kRetrieve: {
+      ByteReader reader(request.payload);
+      ReadStatement stmt;
+      Status st = DecodeReadStatement(&reader, &stmt);
+      if (!st.ok()) return ErrorFrame(s->id, st);
+      auto bound = stmt.Bind({});
+      if (!bound.ok()) return ErrorFrame(s->id, bound.status());
+      ReadResult result;
+      st = db_->Retrieve(*bound, &result);
+      if (!st.ok()) return ErrorFrame(s->id, st);
+      std::string payload(1, static_cast<char>(kResultKindRead));
+      EncodeReadResult(result, &payload);
+      return OkFrame(s->id, std::move(payload));
+    }
+    case Opcode::kReplace: {
+      ByteReader reader(request.payload);
+      UpdateStatement stmt;
+      Status st = DecodeUpdateStatement(&reader, &stmt);
+      if (!st.ok()) {
+        release_unless_txn();
+        return ErrorFrame(s->id, st);
+      }
+      auto bound = stmt.Bind({});
+      if (!bound.ok()) {
+        release_unless_txn();
+        return ErrorFrame(s->id, bound.status());
+      }
+      UpdateResult result;
+      st = run_mutation(
+          [this, &bound, &result] { return db_->Replace(*bound, &result); });
+      if (!st.ok()) return ErrorFrame(s->id, st);
+      std::string payload(1, static_cast<char>(kResultKindUpdate));
+      EncodeUpdateResult(result, &payload);
+      return OkFrame(s->id, std::move(payload));
+    }
+    case Opcode::kBegin: {
+      if (s->txn_open) {
+        return ErrorFrame(
+            s->id, Status::FailedPrecondition("transaction already open"));
+      }
+      Status st = db_->BeginSessionTransaction();
+      if (!st.ok()) {
+        ReleaseGate(s);
+        return ErrorFrame(s->id, st);
+      }
+      s->txn_open = true;  // Gate stays held until Commit/Abort.
+      return OkFrame(s->id, "");
+    }
+    case Opcode::kCommit: {
+      if (!s->txn_open) {
+        return ErrorFrame(s->id,
+                          Status::FailedPrecondition("commit without begin"));
+      }
+      uint64_t commit_lsn = 0;
+      Status st = db_->CommitSessionTransaction(&commit_lsn);
+      s->txn_open = false;
+      ReleaseGate(s);
+      if (st.ok()) st = db_->WaitWalDurable(commit_lsn);
+      if (!st.ok()) return ErrorFrame(s->id, st);
+      return OkFrame(s->id, "");
+    }
+    case Opcode::kAbort: {
+      if (!s->txn_open) {
+        return ErrorFrame(s->id,
+                          Status::FailedPrecondition("abort without begin"));
+      }
+      Status st = db_->AbortSessionTransaction();
+      s->txn_open = false;
+      ReleaseGate(s);
+      if (!st.ok()) return ErrorFrame(s->id, st);
+      return OkFrame(s->id, "");
+    }
+    case Opcode::kMetrics: {
+      ByteReader reader(request.payload);
+      std::string format;
+      if (!reader.GetLengthPrefixed(&format)) format = "prometheus";
+      if (db_->metrics() == nullptr) {
+        return ErrorFrame(
+            s->id, Status::FailedPrecondition("telemetry is disabled"));
+      }
+      std::string text;
+      if (format == "json") {
+        text = db_->MetricsJson();
+      } else if (format == "prometheus" || format.empty()) {
+        text = db_->MetricsPrometheus();
+      } else {
+        return ErrorFrame(s->id, Status::InvalidArgument(
+                                     "unknown metrics format: " + format));
+      }
+      std::string payload;
+      PutLengthPrefixed(&payload, text);
+      return OkFrame(s->id, std::move(payload));
+    }
+    case Opcode::kCatalog: {
+      CatalogInfo info;
+      const Catalog& catalog = db_->catalog();
+      for (const std::string& set_name : catalog.SetNames()) {
+        auto set_info = catalog.GetSet(set_name);
+        if (!set_info.ok()) continue;
+        CatalogInfo::Set set;
+        set.name = set_name;
+        set.type_name = (*set_info)->type_name;
+        auto type = catalog.GetType(set.type_name);
+        if (type.ok()) {
+          for (const AttributeDescriptor& attr : (*type)->attributes()) {
+            CatalogInfo::Attr a;
+            a.name = attr.name;
+            a.type = attr.type;
+            a.char_length = attr.char_length;
+            a.ref_type = attr.ref_type;
+            set.attributes.push_back(std::move(a));
+          }
+        }
+        info.sets.push_back(std::move(set));
+      }
+      for (uint16_t path_id : catalog.AllPathIds()) {
+        const ReplicationPathInfo* path = catalog.GetPath(path_id);
+        if (path != nullptr) info.replicated_paths.push_back(path->spec);
+      }
+      std::string payload;
+      EncodeCatalogInfo(info, &payload);
+      return OkFrame(s->id, std::move(payload));
+    }
+    case Opcode::kGoodbye:
+      return OkFrame(s->id, "");
+    default:
+      return ErrorFrame(
+          s->id, Status::InvalidArgument("unknown opcode " +
+                                         std::to_string(request.opcode)));
+  }
+}
+
+}  // namespace fieldrep::net

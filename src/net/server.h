@@ -1,0 +1,200 @@
+#ifndef FIELDREP_NET_SERVER_H_
+#define FIELDREP_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "db/database.h"
+#include "net/protocol.h"
+#include "telemetry/metrics.h"
+
+namespace fieldrep::net {
+
+/// Always-on network counters, exposed through the database's
+/// MetricsRegistry. Held by shared_ptr: the registry has no collector
+/// removal, so the collector closure keeps the block alive even after
+/// the server stops (counters then simply freeze).
+struct NetMetrics {
+  std::atomic<uint64_t> sessions_accepted{0};
+  std::atomic<uint64_t> sessions_refused{0};
+  std::atomic<int64_t> sessions_active{0};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<int64_t> pending{0};
+  Histogram request_ns{Histogram::LatencyBoundsNs()};
+
+  void Collect(std::vector<MetricSample>* out) const;
+};
+
+struct ServerOptions {
+  /// Listen address ("unix:/path" or "tcp:PORT"; "tcp:0" picks a free
+  /// port, reported by Server::address()).
+  std::string address = "tcp:0";
+  /// Admission control: connections beyond this are refused with a
+  /// kUnavailable error frame at accept.
+  size_t max_sessions = 64;
+  /// Global bound on queued (undispatched) requests. At the bound the
+  /// event loop stops reading from session sockets, pushing backpressure
+  /// into the kernel buffers and ultimately the clients.
+  size_t max_pending_requests = 1024;
+  /// Per-session pipeline bound. Requests beyond it are answered — in
+  /// request order, preserving the async client's FIFO pairing — with a
+  /// structured kUnavailable error instead of being executed.
+  size_t max_pipeline = 128;
+  /// Worker threads executing requests. The server owns its own pool:
+  /// dispatching onto the database's query pool would nest RunBatch.
+  size_t worker_threads = 4;
+  /// Bounds response writes to slow/dead peers (0 = wait forever).
+  int write_timeout_ms = 30000;
+};
+
+/// \brief The network front-end (DESIGN.md §12): a poll-based event loop
+/// feeding a worker pool, with per-session transaction and
+/// prepared-statement state.
+///
+/// Threading model:
+///   - The event thread accepts, reads, and reassembles frames; it never
+///     executes a request.
+///   - Complete requests queue per session; at most one worker processes
+///     a session at a time (responses stay in request order), so session
+///     state (statement dictionary, transaction flag) needs no lock.
+///   - Mutating requests serialize on a session-owned *writer gate*. A
+///     session that cannot take the gate parks — its worker returns to
+///     the pool instead of blocking, and the gate's release redispatches
+///     the next parked session — so the pool can never deadlock on the
+///     single-writer engine.
+///   - A session holds the gate for the span of one auto-committed
+///     mutation or an explicit Begin..Commit/Abort bracket. Commit
+///     releases the gate *before* waiting on log durability
+///     (WalManager::WaitDurable), which is what lets concurrent commits
+///     batch behind one leader fsync.
+///
+/// Disconnect (or Stop) with an open transaction aborts it and releases
+/// the gate before the session is destroyed.
+class Server {
+ public:
+  /// Starts listening and serving. `db` must outlive the server.
+  static Result<std::unique_ptr<Server>> Start(Database* db,
+                                               const ServerOptions& options);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Stops accepting, disconnects every session (open transactions are
+  /// aborted), and joins all threads. Idempotent.
+  void Stop();
+
+  /// The resolved listen address (e.g. "tcp:40123" for "tcp:0").
+  const std::string& address() const { return address_; }
+
+  const NetMetrics& metrics() const { return *metrics_; }
+
+ private:
+  struct QueuedRequest {
+    Frame frame;
+    bool rejected = false;  ///< Pipeline overflow: answer kUnavailable.
+  };
+
+  struct PreparedStatement {
+    bool is_update = false;
+    ReadStatement read;
+    UpdateStatement update;
+    uint16_t param_count = 0;
+    uint64_t uses = 0;
+  };
+
+  struct Session {
+    uint64_t id = 0;
+    int fd = -1;
+    /// Frame reassembly buffer; event thread only.
+    std::string in_buf;
+    /// Serializes response writes (worker replies vs. the event thread's
+    /// protocol-error replies).
+    std::mutex write_mu;
+
+    // --- Coordination state, guarded by Server::mu_ -------------------
+    std::deque<QueuedRequest> queue;
+    bool busy = false;     ///< A worker owns the processing loop.
+    bool parked = false;   ///< Queued on the writer gate.
+    bool closing = false;  ///< Drop pending work, clean up, die.
+    bool dead = false;     ///< Cleaned up; event thread may erase.
+
+    // --- Worker-owned state (single processing worker at a time) ------
+    bool handshaken = false;
+    bool txn_open = false;
+    uint32_t next_stmt_id = 1;
+    std::map<uint32_t, PreparedStatement> statements;
+  };
+
+  Server() = default;
+
+  void EventLoop();
+  void AcceptConnections();
+  /// Reads, reassembles, and enqueues frames for one session. Returns
+  /// false when the session should be torn down (EOF, error, protocol
+  /// violation).
+  bool ReadSession(const std::shared_ptr<Session>& s);
+  void EnqueueFrame(const std::shared_ptr<Session>& s, Frame frame);
+
+  /// Worker entry: drains the session's request queue.
+  void ProcessSession(std::shared_ptr<Session> s);
+  /// Handles one request; writes the response. Returns false if the
+  /// session must close (Goodbye / broken pipe).
+  bool HandleRequest(const std::shared_ptr<Session>& s, Frame& request);
+  Frame Dispatch(const std::shared_ptr<Session>& s, const Frame& request);
+
+  Frame OkFrame(uint64_t session_id, std::string payload) const;
+  Frame ErrorFrame(uint64_t session_id, const Status& status) const;
+  bool WriteReply(const std::shared_ptr<Session>& s, const Frame& reply);
+
+  /// True if `s` may mutate now: takes the free gate or already owns it.
+  /// Called under mu_.
+  bool TryAcquireGateLocked(const std::shared_ptr<Session>& s);
+  /// Releases the gate if `s` owns it and redispatches the next parked
+  /// session. Called under mu_.
+  void ReleaseGateLocked(const std::shared_ptr<Session>& s);
+  void ReleaseGate(const std::shared_ptr<Session>& s);
+
+  /// Final teardown: abort any open transaction, release the gate, mark
+  /// dead, and signal the event thread. Called under mu_.
+  void CleanupSessionLocked(const std::shared_ptr<Session>& s);
+
+  bool NeedsWriterGate(const Session& s, const Frame& request) const;
+  void Wake();
+
+  Database* db_ = nullptr;
+  ServerOptions options_;
+  std::string address_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  std::shared_ptr<NetMetrics> metrics_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::thread event_thread_;
+
+  /// One lock for all cross-thread coordination: the session map, every
+  /// session's queue/flags, the writer gate, and the pending-request
+  /// count. Held only around state transitions, never across request
+  /// execution or socket writes.
+  std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+  uint64_t gate_owner_ = 0;  ///< Session id holding the writer gate.
+  std::deque<uint64_t> gate_waiters_;
+  size_t pending_requests_ = 0;
+  bool stopping_ = false;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace fieldrep::net
+
+#endif  // FIELDREP_NET_SERVER_H_

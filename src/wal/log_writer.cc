@@ -101,4 +101,10 @@ Status LogWriter::Sync() {
   return Status::OK();
 }
 
+void LogWriter::MarkDurable(uint64_t lsn) {
+  if (lsn <= durable_lsn_) return;
+  durable_lsn_ = lsn;
+  ++syncs_;
+}
+
 }  // namespace fieldrep

@@ -51,6 +51,12 @@ class LogWriter {
   /// Flush + device Sync; advances durable_lsn() to next_lsn().
   Status Sync();
 
+  /// Records that the caller synced the device itself after flushing
+  /// through `lsn` (the group-commit leader: Flush under the log lock,
+  /// device Sync outside it, then MarkDurable under the lock again).
+  /// Advances durable_lsn() monotonically and counts one sync.
+  void MarkDurable(uint64_t lsn);
+
   uint64_t epoch() const { return epoch_; }
   /// LSN of the next byte to be appended.
   uint64_t next_lsn() const { return next_lsn_; }

@@ -20,7 +20,8 @@ inline uint64_t NowNs() {
 std::string WalStats::ToString() const {
   return StringPrintf(
       "WalStats{txns=%llu empty=%llu records=%llu delta_bytes=%llu "
-      "log_writes=%llu log_syncs=%llu checkpoints=%llu ckpt_pages=%llu}",
+      "log_writes=%llu log_syncs=%llu checkpoints=%llu ckpt_pages=%llu "
+      "group_batches=%llu group_commits=%llu}",
       static_cast<unsigned long long>(transactions),
       static_cast<unsigned long long>(empty_commits),
       static_cast<unsigned long long>(records),
@@ -28,7 +29,9 @@ std::string WalStats::ToString() const {
       static_cast<unsigned long long>(log_page_writes),
       static_cast<unsigned long long>(log_syncs),
       static_cast<unsigned long long>(checkpoints),
-      static_cast<unsigned long long>(checkpoint_pages));
+      static_cast<unsigned long long>(checkpoint_pages),
+      static_cast<unsigned long long>(group_batches),
+      static_cast<unsigned long long>(group_commits));
 }
 
 WalManager::WalManager(StorageDevice* log_device, BufferPool* pool,
@@ -187,7 +190,11 @@ Status WalManager::CommitTopLevel() {
       s = writer_.Append(commit, &end_lsn);
     }
     if (s.ok()) {
-      s = options_.sync_on_commit ? writer_.Sync() : writer_.Flush();
+      // Group-commit mode never syncs inline: the committer flushes and
+      // then amortizes durability through WaitDurable with its peers.
+      const bool sync_now =
+          options_.sync_on_commit && !options_.group_commit;
+      s = sync_now ? writer_.Sync() : writer_.Flush();
     }
     if (s.ok()) {
       ++stats_.transactions;
@@ -205,6 +212,8 @@ Status WalManager::CommitTopLevel() {
     return s;
   }
 
+  last_commit_lsn_.store(end_lsn, std::memory_order_release);
+
   // Stamp the commit record's end LSN onto every changed page: the flush
   // invariant (BeforePageFlush) then guarantees no page overtakes its
   // commit record onto the device, even in group-commit mode. Done
@@ -215,6 +224,59 @@ Status WalManager::CommitTopLevel() {
   std::lock_guard<std::mutex> lock(state_mu_);
   txn_dirty_.clear();
   return Status::OK();
+}
+
+Status WalManager::WaitDurable(uint64_t lsn) {
+  if (lsn == 0) return Status::OK();
+  std::unique_lock<std::mutex> glock(group_mu_);
+  for (;;) {
+    // Lock order group_mu_ -> log_mu_ (durable_lsn() takes log_mu_);
+    // nothing takes them the other way around.
+    if (durable_lsn() >= lsn) return Status::OK();
+    if (broken()) {
+      return Status::FailedPrecondition(
+          "write-ahead log is in a failed state; reopen the database");
+    }
+    if (group_leader_active_) {
+      // Follower: the in-flight sync (or the next one) will cover us.
+      ++group_waiters_;
+      group_cv_.wait(glock);
+      --group_waiters_;
+      continue;
+    }
+    // Leader. Everyone parked right now commits with one device sync;
+    // sessions that append during the sync form the next batch.
+    group_leader_active_ = true;
+    const uint64_t batch = 1 + group_waiters_;
+    glock.unlock();
+
+    uint64_t target = 0;
+    Status s;
+    {
+      std::lock_guard<std::mutex> lock(log_mu_);
+      s = writer_.Flush();
+      target = writer_.next_lsn();
+    }
+    const uint64_t sync_start_ns = NowNs();
+    if (s.ok()) s = log_device_->Sync();
+    if (s.ok()) {
+      group_sync_ns_.Observe(NowNs() - sync_start_ns);
+      group_batch_size_.Observe(batch);
+      std::lock_guard<std::mutex> lock(log_mu_);
+      writer_.MarkDurable(target);
+      stats_.log_syncs = writer_.syncs();
+      stats_.log_page_writes = writer_.page_writes();
+      ++stats_.group_batches;
+      stats_.group_commits += batch;
+    } else {
+      broken_.store(true, std::memory_order_relaxed);
+    }
+
+    glock.lock();
+    group_leader_active_ = false;
+    group_cv_.notify_all();
+    if (!s.ok()) return s;
+  }
 }
 
 Status WalManager::Checkpoint() {
@@ -289,6 +351,12 @@ void WalManager::CollectMetrics(std::vector<MetricSample>* out) const {
   add("fieldrep_wal_checkpoint_pages_total",
       "Dirty pages flushed by checkpoints.", MetricKind::kCounter,
       static_cast<double>(ws.checkpoint_pages));
+  add("fieldrep_wal_group_batches_total",
+      "Group-commit sync batches (leader syncs).", MetricKind::kCounter,
+      static_cast<double>(ws.group_batches));
+  add("fieldrep_wal_group_batched_commits_total",
+      "Commits made durable by group-commit batches.", MetricKind::kCounter,
+      static_cast<double>(ws.group_commits));
   add("fieldrep_wal_log_bytes", "Bytes in the current log epoch.",
       MetricKind::kGauge, static_cast<double>(log_bytes()));
   add("fieldrep_wal_broken", "1 when the log is in a failed state.",
@@ -305,6 +373,18 @@ void WalManager::CollectMetrics(std::vector<MetricSample>* out) const {
   ckpt.kind = MetricKind::kHistogram;
   ckpt.histogram = checkpoint_ns_.TakeSnapshot();
   out->push_back(std::move(ckpt));
+  MetricSample batch;
+  batch.name = "fieldrep_wal_group_batch_size";
+  batch.help = "Commits released per group-commit leader sync.";
+  batch.kind = MetricKind::kHistogram;
+  batch.histogram = group_batch_size_.TakeSnapshot();
+  out->push_back(std::move(batch));
+  MetricSample gsync;
+  gsync.name = "fieldrep_wal_group_sync_ns";
+  gsync.help = "Group-commit leader sync latency, nanoseconds.";
+  gsync.kind = MetricKind::kHistogram;
+  gsync.histogram = group_sync_ns_.TakeSnapshot();
+  out->push_back(std::move(gsync));
 }
 
 void WalManager::OnPageAccess(PageId page_id, const uint8_t* data) {

@@ -2,6 +2,7 @@
 #define FIELDREP_WAL_WAL_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -27,6 +28,8 @@ struct WalStats {
   uint64_t log_syncs = 0;        ///< Sync calls on the log device.
   uint64_t checkpoints = 0;      ///< Completed checkpoints.
   uint64_t checkpoint_pages = 0; ///< Dirty pages flushed by checkpoints.
+  uint64_t group_batches = 0;    ///< Group-commit sync batches (leader syncs).
+  uint64_t group_commits = 0;    ///< Commits made durable by those batches.
 
   std::string ToString() const;
 };
@@ -69,10 +72,15 @@ struct WalStats {
 class WalManager : public PageObserver {
  public:
   struct Options {
-    /// Sync the log on every commit. When false (group commit), records
-    /// stay buffered until a page flush forces them out; a crash may lose
-    /// recently committed transactions but never atomicity.
+    /// Sync the log on every commit. When false, records stay buffered
+    /// until a page flush forces them out; a crash may lose recently
+    /// committed transactions but never atomicity.
     bool sync_on_commit = true;
+    /// True group commit: commits only flush the log; durability comes
+    /// from WaitDurable, where concurrent committers batch behind one
+    /// leader sync (K commits -> 1 fdatasync). Overrides the per-commit
+    /// sync of `sync_on_commit`.
+    bool group_commit = false;
     /// Auto-checkpoint when the log grows past this many bytes at the end
     /// of a commit (0 = never).
     uint64_t checkpoint_threshold_bytes = 0;
@@ -111,6 +119,25 @@ class WalManager : public PageObserver {
   /// crash still recovers to the last committed state.
   Status AbortTransaction();
   bool in_transaction() const { return txn_depth_ > 0; }
+
+  // --- Group commit -----------------------------------------------------------
+
+  /// Blocks until the log is durable through `lsn` (0 returns at once).
+  /// In group-commit mode this is where the fsync amortization happens:
+  /// the first arriving session becomes the batch leader, snapshots the
+  /// flushed tail, performs one device sync *outside* `log_mu_` (so
+  /// concurrent commits keep appending and join the next batch), marks
+  /// the snapshot durable, and wakes every follower whose commit LSN the
+  /// sync covered. Safe from any thread; also correct (one sync, batch of
+  /// one) when called without group_commit enabled.
+  Status WaitDurable(uint64_t lsn);
+
+  /// End LSN of the most recent top-level commit that logged any deltas
+  /// (the LSN to pass to WaitDurable for read-your-writes durability).
+  uint64_t last_commit_lsn() const {
+    return last_commit_lsn_.load(std::memory_order_acquire);
+  }
+  bool group_commit_enabled() const { return options_.group_commit; }
 
   // --- Checkpoint ------------------------------------------------------------
 
@@ -188,10 +215,23 @@ class WalManager : public PageObserver {
   mutable std::mutex log_mu_;
   WalStats stats_;
 
+  /// Group-commit coordinator state. Lock order: group_mu_ before
+  /// log_mu_ (WaitDurable holds group_mu_ only around leader election
+  /// and follower waits, never across the device sync itself).
+  std::mutex group_mu_;
+  std::condition_variable group_cv_;
+  bool group_leader_active_ = false;
+  uint64_t group_waiters_ = 0;
+  std::atomic<uint64_t> last_commit_lsn_{0};
+
   /// Always-on latency instruments: relaxed atomics, so Observe is noise
   /// next to the log append/sync it brackets.
   Histogram commit_latency_ns_{Histogram::LatencyBoundsNs()};
   Histogram checkpoint_ns_{Histogram::LatencyBoundsNs()};
+  /// Commits released per leader sync (the amortization factor).
+  Histogram group_batch_size_{
+      std::vector<uint64_t>{1, 2, 4, 8, 16, 32, 64, 128, 256}};
+  Histogram group_sync_ns_{Histogram::LatencyBoundsNs()};
 };
 
 /// \brief RAII transaction bracket.

@@ -1,0 +1,157 @@
+// fieldrep_server: the network front-end daemon (DESIGN.md §12).
+//
+//   fieldrep_server [options] <database-file>
+//
+//   --listen <addr>        listen address: "unix:/path" or "tcp:PORT"
+//                          ("tcp:0" picks a free port; default unix socket
+//                          next to the database file)
+//   --max-sessions <n>     admission-control cap on concurrent sessions
+//   --workers <n>          request worker threads
+//   --sync-per-commit      fsync the log inside every commit instead of
+//                          using group commit (the default batches
+//                          concurrent commits behind one leader fsync)
+//   --no-sync              never fsync on commit (benchmarks only: loses
+//                          the durability of the most recent commits on
+//                          a crash, never atomicity)
+//   --query-threads <n>    worker threads for parallel read execution
+//
+// The database is opened (or created) with a write-ahead log at
+// `<database-file>.wal`. The server prints "listening on <addr>" once it
+// accepts connections and runs until SIGINT/SIGTERM, then stops the
+// network front-end, checkpoints, and exits 0.
+//
+// Exit status: 0 = clean shutdown, 1 = bad usage, 2 = startup failure.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "db/database.h"
+#include "net/server.h"
+
+namespace {
+
+int g_shutdown_pipe[2] = {-1, -1};
+
+void HandleShutdownSignal(int /*signo*/) {
+  const char byte = 1;
+  // Best-effort: the pipe is only ever written here and read once.
+  ssize_t ignored = ::write(g_shutdown_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--listen unix:/path|tcp:PORT] [--max-sessions n] "
+               "[--workers n] [--query-threads n] [--sync-per-commit] "
+               "[--no-sync] <database-file>\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string db_path;
+  fieldrep::net::ServerOptions server_options;
+  server_options.address.clear();  // Derived from db_path if left empty.
+  bool sync_per_commit = false;
+  bool no_sync = false;
+  size_t query_threads = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--listen" && i + 1 < argc) {
+      server_options.address = argv[++i];
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      server_options.address = arg.substr(std::strlen("--listen="));
+    } else if (arg == "--max-sessions" && i + 1 < argc) {
+      server_options.max_sessions =
+          static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      server_options.worker_threads =
+          static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--query-threads" && i + 1 < argc) {
+      query_threads =
+          static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--sync-per-commit") {
+      sync_per_commit = true;
+    } else if (arg == "--no-sync") {
+      no_sync = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 1;
+    } else if (db_path.empty()) {
+      db_path = arg;
+    } else {
+      Usage(argv[0]);
+      return 1;
+    }
+  }
+  if (db_path.empty() || (sync_per_commit && no_sync)) {
+    Usage(argv[0]);
+    return 1;
+  }
+  if (server_options.address.empty()) {
+    server_options.address = "unix:" + db_path + ".sock";
+  }
+
+  fieldrep::Database::Options db_options;
+  db_options.file_path = db_path;
+  db_options.enable_wal = true;
+  db_options.wal_sync_on_commit = !no_sync;
+  db_options.wal_group_commit = !no_sync && !sync_per_commit;
+  db_options.worker_threads = query_threads;
+  auto db = fieldrep::Database::Open(db_options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "fieldrep_server: cannot open %s: %s\n",
+                 db_path.c_str(), db.status().ToString().c_str());
+    return 2;
+  }
+
+  // Install the shutdown pipe before the server starts accepting so an
+  // early signal cannot be lost.
+  if (::pipe(g_shutdown_pipe) != 0) {
+    std::perror("fieldrep_server: pipe");
+    return 2;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleShutdownSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  auto server = fieldrep::net::Server::Start(db.value().get(),
+                                             server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "fieldrep_server: cannot listen on %s: %s\n",
+                 server_options.address.c_str(),
+                 server.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("listening on %s\n", server.value()->address().c_str());
+  std::fflush(stdout);
+
+  char byte = 0;
+  while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::printf("shutting down\n");
+  std::fflush(stdout);
+  server.value()->Stop();
+  fieldrep::Status s = db.value()->Checkpoint();
+  if (!s.ok()) {
+    std::fprintf(stderr, "fieldrep_server: checkpoint failed: %s\n",
+                 s.ToString().c_str());
+    return 2;
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 //
 //   fieldrep_stats [options] <database-file>
 //   fieldrep_stats [options] --snapshot <metrics.json>
+//   fieldrep_stats [options] --connect <address>
 //
 //   --format <f>       output format: text (default), json, prometheus
 //   --wal <path>       log file to recover from (default: <database>.wal)
@@ -12,6 +13,8 @@
 //   --snapshot <file>  re-render a metrics JSON dump (produced by
 //                      Database::DumpMetricsJson or `--format json`)
 //                      instead of opening a database
+//   --connect <addr>   scrape a live fieldrep_server ("unix:/path" or
+//                      "tcp:host:port") instead of opening database files
 //   --profile          also print the workload profile (text format only)
 //
 // Like fieldrep_fsck, the tool never writes to the files: database and
@@ -29,6 +32,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "client/client.h"
 #include "db/database.h"
 #include "query/read_query.h"
 #include "storage/file_device.h"
@@ -118,8 +122,9 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--format text|json|prometheus] [--wal <path>] "
                "[--no-wal] [--touch] [--profile] <database-file>\n"
-               "       %s [--format ...] --snapshot <metrics.json>\n",
-               argv0, argv0);
+               "       %s [--format ...] --snapshot <metrics.json>\n"
+               "       %s [--format ...] --connect <address>\n",
+               argv0, argv0, argv0);
 }
 
 }  // namespace
@@ -128,6 +133,7 @@ int main(int argc, char** argv) {
   std::string db_path;
   std::string wal_path;
   std::string snapshot_path;
+  std::string connect_addr;
   std::string format = "text";
   bool no_wal = false;
   bool touch = false;
@@ -149,6 +155,10 @@ int main(int argc, char** argv) {
       profile = true;
     } else if (arg == "--snapshot" && i + 1 < argc) {
       snapshot_path = argv[++i];
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_addr = argv[++i];
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect_addr = arg.substr(std::strlen("--connect="));
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -167,6 +177,42 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown format: %s\n", format.c_str());
     Usage(argv[0]);
     return 2;
+  }
+
+  // Connect mode: scrape a live fieldrep_server over its wire protocol.
+  // The server renders JSON; we re-render locally so every --format works
+  // against any server version that speaks the metrics opcode.
+  if (!connect_addr.empty()) {
+    auto client = fieldrep::client::Client::Connect(connect_addr,
+                                                    "fieldrep_stats");
+    if (!client.ok()) {
+      std::fprintf(stderr, "fieldrep_stats: cannot connect to %s: %s\n",
+                   connect_addr.c_str(),
+                   client.status().ToString().c_str());
+      return 2;
+    }
+    std::string text;
+    Status s = client.value()->Metrics("json", &text);
+    if (!s.ok()) {
+      std::fprintf(stderr, "fieldrep_stats: metrics scrape failed: %s\n",
+                   s.ToString().c_str());
+      return 2;
+    }
+    std::vector<MetricSample> samples;
+    s = MetricsRegistry::ParseSamplesJson(text, &samples);
+    if (!s.ok()) {
+      std::fprintf(stderr,
+                   "fieldrep_stats: server sent an invalid metrics dump: %s\n",
+                   s.ToString().c_str());
+      return 2;
+    }
+    std::string out = format == "json"
+                          ? MetricsRegistry::SamplesToJson(samples)
+                          : format == "prometheus"
+                                ? MetricsRegistry::SamplesToPrometheus(samples)
+                                : MetricsRegistry::SamplesToText(samples);
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return 0;
   }
 
   // Snapshot mode: re-render a dumped metrics JSON, no database needed.
