@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -34,8 +34,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      UniqueMutexLock lock(mu_);
+      work_cv_.wait(lock, [this]() REQUIRES(mu_) {
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -60,18 +62,23 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
     return;
   }
   struct BatchState {
-    std::mutex mu;
-    std::condition_variable done_cv;
-    size_t remaining;
+    /// kLeaf: task wrappers take it with no other lock held, and the
+    /// caller's completion wait holds nothing else either.
+    Mutex mu{LockRank::kLeaf, "thread_pool.batch.mu"};
+    CondVar done_cv;
+    size_t remaining GUARDED_BY(mu);
   };
   BatchState state;
-  state.remaining = tasks.size();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock init_lock(state.mu);
+    state.remaining = tasks.size();
+  }
+  {
+    MutexLock lock(mu_);
     for (auto& task : tasks) {
       queue_.emplace_back([&state, fn = std::move(task)] {
         fn();
-        std::lock_guard<std::mutex> done_lock(state.mu);
+        MutexLock done_lock(state.mu);
         if (--state.remaining == 0) state.done_cv.notify_one();
       });
     }
@@ -92,20 +99,21 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
   for (;;) {
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (queue_.empty()) break;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     RunTask(task);
   }
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+  UniqueMutexLock lock(state.mu);
+  state.done_cv.wait(lock,
+                     [&state]() REQUIRES(state.mu) { return state.remaining == 0; });
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.emplace_back(std::move(task));
   }
   work_cv_.notify_one();

@@ -2,15 +2,14 @@
 #define FIELDREP_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "telemetry/metrics.h"
 
 namespace fieldrep {
@@ -65,7 +64,7 @@ class ThreadPool {
   }
   /// Tasks currently queued (sampled under the pool mutex).
   size_t queue_depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return queue_.size();
   }
 
@@ -78,10 +77,13 @@ class ThreadPool {
   /// Runs one task, timing it into task_ns_ and counting it.
   void RunTask(std::function<void()>& task);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  /// kThreadPool ranks above the engine locks: RunBatch/Submit callers
+  /// may hold the writer mutex or server lock while enqueuing, and tasks
+  /// take pool/WAL locks only after mu_ is released.
+  mutable Mutex mu_{LockRank::kThreadPool, "thread_pool.mu"};
+  CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 
   /// Always-on telemetry (relaxed atomics; tasks are page-range scans,

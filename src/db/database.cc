@@ -140,6 +140,11 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
 }
 
 std::string Database::EncodeState() const {
+  // Runs under write_mu_ (the precommit hook fires inside commit), but
+  // CreateSet/CreateAuxFile mutate the maps under maps_mu_ from any
+  // session thread, so the iteration itself still needs the shared lock.
+  // Rank order: db.write_mu (200) -> db.maps_mu (300), ascending.
+  ReaderMutexLock maps_lock(maps_mu_);
   std::string out;
   PutU16(&out, static_cast<uint16_t>(sets_.size()));
   for (const auto& [name, set] : sets_) {
@@ -186,7 +191,7 @@ Status Database::DecodeState(ByteReader* reader) {
     auto set =
         std::make_unique<ObjectSet>(pool_.get(), info->file_id, name, type);
     FIELDREP_RETURN_IF_ERROR(set->file().DecodeMetadata(metadata));
-    std::unique_lock<std::shared_mutex> lock(maps_mu_);
+    WriterMutexLock lock(maps_mu_);
     sets_by_file_[info->file_id] = set.get();
     sets_.emplace(name, std::move(set));
   }
@@ -203,7 +208,7 @@ Status Database::DecodeState(ByteReader* reader) {
     }
     auto file = std::make_unique<RecordFile>(pool_.get(), file_id);
     FIELDREP_RETURN_IF_ERROR(file->DecodeMetadata(metadata));
-    std::unique_lock<std::shared_mutex> lock(maps_mu_);
+    WriterMutexLock lock(maps_mu_);
     aux_files_.emplace(file_id, std::move(file));
   }
   uint16_t tree_count;
@@ -227,7 +232,7 @@ Status Database::DecodeState(ByteReader* reader) {
 }
 
 Status Database::SetWorkerThreads(size_t n) {
-  std::lock_guard<std::recursive_mutex> lock(write_mu_);
+  RecursiveMutexLock lock(write_mu_);
   // Detach before destroying so a pool is never visible to the executor
   // while its threads are joining.
   executor_->set_worker_pool(nullptr);
@@ -240,7 +245,7 @@ Status Database::SetWorkerThreads(size_t n) {
 }
 
 Status Database::Checkpoint() {
-  std::lock_guard<std::recursive_mutex> lock(write_mu_);
+  RecursiveMutexLock lock(write_mu_);
   FIELDREP_RETURN_IF_ERROR(replication_->FlushAllPendingPropagation());
   if (wal_ != nullptr) {
     // The pre-commit hook writes the state blob inside this (otherwise
@@ -303,7 +308,7 @@ Status Database::WriteStateToMetaPages() {
 }
 
 std::string Database::StorageReport() {
-  std::shared_lock<std::shared_mutex> lock(maps_mu_);
+  ReaderMutexLock lock(maps_mu_);
   std::string out = "storage report\n";
   out += StringPrintf("  device pages: %u (%.1f KiB)\n",
                       device_->page_count(),
@@ -390,7 +395,7 @@ Status Database::RestoreFromDevice() {
 }
 
 std::vector<FileId> Database::AuxFileIds() const {
-  std::shared_lock<std::shared_mutex> lock(maps_mu_);
+  ReaderMutexLock lock(maps_mu_);
   std::vector<FileId> ids;
   ids.reserve(aux_files_.size());
   for (const auto& [file_id, file] : aux_files_) ids.push_back(file_id);
@@ -414,7 +419,7 @@ uint64_t Database::PendingDurableLsn(const Status& s) const {
 }
 
 Status Database::BeginSessionTransaction() {
-  std::lock_guard<std::recursive_mutex> lock(write_mu_);
+  RecursiveMutexLock lock(write_mu_);
   if (wal_ == nullptr) {
     return Status::FailedPrecondition(
         "session transactions require write-ahead logging");
@@ -426,7 +431,7 @@ Status Database::BeginSessionTransaction() {
 }
 
 Status Database::CommitSessionTransaction(uint64_t* commit_lsn) {
-  std::lock_guard<std::recursive_mutex> lock(write_mu_);
+  RecursiveMutexLock lock(write_mu_);
   if (commit_lsn != nullptr) *commit_lsn = 0;
   if (wal_ == nullptr || !wal_->in_transaction()) {
     return Status::FailedPrecondition("no open session transaction");
@@ -439,7 +444,7 @@ Status Database::CommitSessionTransaction(uint64_t* commit_lsn) {
 }
 
 Status Database::AbortSessionTransaction() {
-  std::lock_guard<std::recursive_mutex> lock(write_mu_);
+  RecursiveMutexLock lock(write_mu_);
   if (wal_ == nullptr || !wal_->in_transaction()) {
     return Status::FailedPrecondition("no open session transaction");
   }
@@ -459,7 +464,7 @@ Status Database::DefineType(TypeDescriptor type) {
   uint64_t durable = 0;
   Status s;
   {
-    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    RecursiveMutexLock lock(write_mu_);
     WalTransaction txn(wal_.get());
     FIELDREP_RETURN_IF_ERROR(txn.begin_status());
     FIELDREP_RETURN_IF_ERROR(catalog_.DefineType(std::move(type)));
@@ -475,7 +480,7 @@ Status Database::CreateSet(const std::string& name,
   uint64_t durable = 0;
   Status s;
   {
-    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    RecursiveMutexLock lock(write_mu_);
     WalTransaction txn(wal_.get());
     FIELDREP_RETURN_IF_ERROR(txn.begin_status());
     FileId file_id;
@@ -484,7 +489,7 @@ Status Database::CreateSet(const std::string& name,
                               catalog_.GetType(type_name));
     auto set = std::make_unique<ObjectSet>(pool_.get(), file_id, name, type);
     {
-      std::unique_lock<std::shared_mutex> maps_lock(maps_mu_);
+      WriterMutexLock maps_lock(maps_mu_);
       sets_by_file_[file_id] = set.get();
       sets_.emplace(name, std::move(set));
     }
@@ -501,7 +506,7 @@ Status Database::Replicate(const std::string& spec,
   uint64_t durable = 0;
   Status s;
   {
-    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    RecursiveMutexLock lock(write_mu_);
     uint16_t id;
     s = replication_->CreatePath(spec, options, &id);
     if (s.ok() && path_id != nullptr) *path_id = id;
@@ -515,7 +520,7 @@ Status Database::DropReplication(const std::string& spec) {
   uint64_t durable = 0;
   Status s;
   {
-    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    RecursiveMutexLock lock(write_mu_);
     const ReplicationPathInfo* path = catalog_.FindPathBySpec(spec);
     if (path == nullptr) {
       return Status::NotFound("no replication path " + spec);
@@ -533,7 +538,7 @@ Status Database::BuildIndex(const std::string& index_name,
   uint64_t durable = 0;
   Status s;
   {
-    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    RecursiveMutexLock lock(write_mu_);
     WalTransaction txn(wal_.get());
     FIELDREP_RETURN_IF_ERROR(txn.begin_status());
     FIELDREP_RETURN_IF_ERROR(
@@ -550,7 +555,7 @@ Status Database::Insert(const std::string& set_name, const Object& object,
   uint64_t durable = 0;
   Status s;
   {
-    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    RecursiveMutexLock lock(write_mu_);
     s = replication_->InsertObject(set_name, object, oid);
     durable = PendingDurableLsn(s);
   }
@@ -569,7 +574,7 @@ Status Database::Update(const std::string& set_name, const Oid& oid,
   uint64_t durable = 0;
   Status s;
   {
-    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    RecursiveMutexLock lock(write_mu_);
     FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, GetSet(set_name));
     int attr = set->type().FindAttribute(attr_name);
     if (attr < 0) {
@@ -587,7 +592,7 @@ Status Database::Delete(const std::string& set_name, const Oid& oid) {
   uint64_t durable = 0;
   Status s;
   {
-    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    RecursiveMutexLock lock(write_mu_);
     s = replication_->DeleteObject(set_name, oid);
     durable = PendingDurableLsn(s);
   }
@@ -615,7 +620,7 @@ Status Database::Replace(const UpdateQuery& query, UpdateResult* result) {
     uint64_t durable = 0;
     Status s;
     {
-      std::lock_guard<std::recursive_mutex> lock(write_mu_);
+      RecursiveMutexLock lock(write_mu_);
       s = executor_->ExecuteUpdate(query, result);
       durable = PendingDurableLsn(s);
     }
@@ -631,7 +636,7 @@ Status Database::Replace(const UpdateQuery& query, UpdateResult* result,
   uint64_t durable = 0;
   Status s;
   {
-    std::lock_guard<std::recursive_mutex> lock(write_mu_);
+    RecursiveMutexLock lock(write_mu_);
     s = executor_->ExecuteUpdate(query, result, trace);
     durable = PendingDurableLsn(s);
   }
@@ -681,21 +686,21 @@ Status Database::DumpMetricsJson(const std::string& path) const {
 Status Database::ColdStart() {
   // Evicting every frame requires quiescence anyway (no pinned pages);
   // the lock keeps a late writer from dirtying pages mid-eviction.
-  std::lock_guard<std::recursive_mutex> lock(write_mu_);
+  RecursiveMutexLock lock(write_mu_);
   FIELDREP_RETURN_IF_ERROR(pool_->EvictAll());
   pool_->ResetStats();
   return Status::OK();
 }
 
 Result<ObjectSet*> Database::GetSet(const std::string& name) {
-  std::shared_lock<std::shared_mutex> lock(maps_mu_);
+  ReaderMutexLock lock(maps_mu_);
   auto it = sets_.find(name);
   if (it == sets_.end()) return Status::NotFound("no set named " + name);
   return it->second.get();
 }
 
 Result<ObjectSet*> Database::GetSetByFile(FileId file_id) {
-  std::shared_lock<std::shared_mutex> lock(maps_mu_);
+  ReaderMutexLock lock(maps_mu_);
   auto it = sets_by_file_.find(file_id);
   if (it == sets_by_file_.end()) {
     return Status::NotFound(StringPrintf("no set stored in file %u", file_id));
@@ -704,7 +709,7 @@ Result<ObjectSet*> Database::GetSetByFile(FileId file_id) {
 }
 
 Result<RecordFile*> Database::GetAuxFile(FileId file_id) {
-  std::shared_lock<std::shared_mutex> lock(maps_mu_);
+  ReaderMutexLock lock(maps_mu_);
   auto it = aux_files_.find(file_id);
   if (it == aux_files_.end()) {
     return Status::NotFound(
@@ -717,7 +722,7 @@ Result<RecordFile*> Database::CreateAuxFile(FileId* file_id) {
   *file_id = catalog_.AllocateFileId();
   auto file = std::make_unique<RecordFile>(pool_.get(), *file_id);
   RecordFile* raw = file.get();
-  std::unique_lock<std::shared_mutex> lock(maps_mu_);
+  WriterMutexLock lock(maps_mu_);
   aux_files_.emplace(*file_id, std::move(file));
   return raw;
 }

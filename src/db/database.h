@@ -4,12 +4,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/annotated_mutex.h"
 #include "check/check_report.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -311,9 +310,10 @@ class Database : public SetProvider {
   std::unique_ptr<WalManager> wal_;
   std::unique_ptr<BufferPool> pool_;
   Catalog catalog_;
-  std::map<std::string, std::unique_ptr<ObjectSet>> sets_;
-  std::map<FileId, ObjectSet*> sets_by_file_;
-  std::map<FileId, std::unique_ptr<RecordFile>> aux_files_;
+  std::map<std::string, std::unique_ptr<ObjectSet>> sets_ GUARDED_BY(maps_mu_);
+  std::map<FileId, ObjectSet*> sets_by_file_ GUARDED_BY(maps_mu_);
+  std::map<FileId, std::unique_ptr<RecordFile>> aux_files_
+      GUARDED_BY(maps_mu_);
   std::unique_ptr<IndexManager> indexes_;
   std::unique_ptr<ReplicationManager> replication_;
   /// Declared before the executor that holds a raw pointer to it; the
@@ -327,10 +327,10 @@ class Database : public SetProvider {
   /// (deferred-propagation flushes, output spooling). Recursive because
   /// the WAL pre-commit hook re-enters WriteStateToMetaPages from inside
   /// a locked mutation.
-  std::recursive_mutex write_mu_;
+  RecursiveMutex write_mu_{LockRank::kDatabaseWrite, "db.write_mu"};
   /// Guards the set/aux-file maps: readers resolving OIDs take it
   /// shared, CreateSet/CreateAuxFile/DecodeState take it unique.
-  mutable std::shared_mutex maps_mu_;
+  mutable SharedMutex maps_mu_{LockRank::kDatabaseMaps, "db.maps_mu"};
   /// Pages holding the most recent checkpoint blob (page 0 is the header).
   std::vector<PageId> meta_pages_;
   RecoveryStats recovery_stats_;

@@ -100,7 +100,7 @@ Server::~Server() { Stop(); }
 void Server::Stop() {
   if (stopped_.exchange(true)) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     for (auto& [id, s] : sessions_) {
       s->closing = true;
@@ -145,7 +145,7 @@ void Server::EventLoop() {
     polled.clear();
     bool accepting = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       // Tear down sessions nobody is working on, then drop the dead.
       for (auto& [id, s] : sessions_) {
         if (s->closing && !s->busy && !s->dead) CleanupSessionLocked(s);
@@ -192,7 +192,7 @@ void Server::EventLoop() {
     for (size_t i = 0; i < polled.size(); ++i) {
       if (fds[base + i].revents == 0) continue;
       if (!ReadSession(polled[i])) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         polled[i]->closing = true;
         if (!polled[i]->busy) CleanupSessionLocked(polled[i]);
       }
@@ -208,7 +208,7 @@ void Server::AcceptConnections() {
       return;  // EAGAIN or a transient error; poll again.
     }
     SetNonBlocking(fd);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_ || sessions_.size() >= options_.max_sessions) {
       metrics_->sessions_refused.fetch_add(1);
       // Best-effort structured refusal so the client sees kUnavailable
@@ -262,7 +262,7 @@ bool Server::ReadSession(const std::shared_ptr<Session>& s) {
 }
 
 void Server::EnqueueFrame(const std::shared_ptr<Session>& s, Frame frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (s->closing || s->dead) return;
   QueuedRequest req;
   req.frame = std::move(frame);
@@ -307,7 +307,7 @@ void Server::ReleaseGateLocked(const std::shared_ptr<Session>& s) {
 }
 
 void Server::ReleaseGate(const std::shared_ptr<Session>& s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ReleaseGateLocked(s);
 }
 
@@ -363,7 +363,7 @@ void Server::ProcessSession(std::shared_ptr<Session> s) {
   for (;;) {
     QueuedRequest req;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (s->closing) {
         s->busy = false;
         CleanupSessionLocked(s);
@@ -398,7 +398,7 @@ void Server::ProcessSession(std::shared_ptr<Session> s) {
     metrics_->request_ns.Observe(NowNs() - start_ns);
     metrics_->requests.fetch_add(1);
     if (!keep) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       s->busy = false;
       CleanupSessionLocked(s);
       return;
@@ -431,7 +431,7 @@ Frame Server::ErrorFrame(uint64_t session_id, const Status& status) const {
 
 bool Server::WriteReply(const std::shared_ptr<Session>& s,
                         const Frame& reply) {
-  std::lock_guard<std::mutex> lock(s->write_mu);
+  MutexLock lock(s->write_mu);
   return WriteFrame(s->fd, reply, options_.write_timeout_ms).ok();
 }
 

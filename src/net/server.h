@@ -6,11 +6,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/thread_pool.h"
 #include "db/database.h"
 #include "net/protocol.h"
@@ -119,8 +119,10 @@ class Server {
     /// Frame reassembly buffer; event thread only.
     std::string in_buf;
     /// Serializes response writes (worker replies vs. the event thread's
-    /// protocol-error replies).
-    std::mutex write_mu;
+    /// protocol-error replies). kSessionWrite ranks above every engine
+    /// lock: replies are written after request execution completes, but
+    /// WaitDurable's group-commit locks may still be held upstack.
+    Mutex write_mu{LockRank::kSessionWrite, "net.session.write_mu"};
 
     // --- Coordination state, guarded by Server::mu_ -------------------
     std::deque<QueuedRequest> queue;
@@ -158,16 +160,15 @@ class Server {
   bool WriteReply(const std::shared_ptr<Session>& s, const Frame& reply);
 
   /// True if `s` may mutate now: takes the free gate or already owns it.
-  /// Called under mu_.
-  bool TryAcquireGateLocked(const std::shared_ptr<Session>& s);
+  bool TryAcquireGateLocked(const std::shared_ptr<Session>& s) REQUIRES(mu_);
   /// Releases the gate if `s` owns it and redispatches the next parked
-  /// session. Called under mu_.
-  void ReleaseGateLocked(const std::shared_ptr<Session>& s);
-  void ReleaseGate(const std::shared_ptr<Session>& s);
+  /// session.
+  void ReleaseGateLocked(const std::shared_ptr<Session>& s) REQUIRES(mu_);
+  void ReleaseGate(const std::shared_ptr<Session>& s) EXCLUDES(mu_);
 
   /// Final teardown: abort any open transaction, release the gate, mark
-  /// dead, and signal the event thread. Called under mu_.
-  void CleanupSessionLocked(const std::shared_ptr<Session>& s);
+  /// dead, and signal the event thread.
+  void CleanupSessionLocked(const std::shared_ptr<Session>& s) REQUIRES(mu_);
 
   bool NeedsWriterGate(const Session& s, const Frame& request) const;
   void Wake();
@@ -184,14 +185,16 @@ class Server {
   /// One lock for all cross-thread coordination: the session map, every
   /// session's queue/flags, the writer gate, and the pending-request
   /// count. Held only around state transitions, never across request
-  /// execution or socket writes.
-  std::mutex mu_;
-  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
-  uint64_t next_session_id_ = 1;
-  uint64_t gate_owner_ = 0;  ///< Session id holding the writer gate.
-  std::deque<uint64_t> gate_waiters_;
-  size_t pending_requests_ = 0;
-  bool stopping_ = false;
+  /// execution or socket writes — but CleanupSessionLocked aborts open
+  /// transactions under it, so it ranks below every engine lock.
+  Mutex mu_{LockRank::kServer, "net.server.mu"};
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_ GUARDED_BY(mu_);
+  uint64_t next_session_id_ GUARDED_BY(mu_) = 1;
+  /// Session id holding the writer gate.
+  uint64_t gate_owner_ GUARDED_BY(mu_) = 0;
+  std::deque<uint64_t> gate_waiters_ GUARDED_BY(mu_);
+  size_t pending_requests_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::atomic<bool> stopped_{false};
 };
 

@@ -215,10 +215,7 @@ Status Executor::FlushDeferredForPlan(const ColumnPlan& plan) {
   if (plan.path == nullptr || !plan.path->deferred) return Status::OK();
   // Draining a deferred queue mutates pages, so it must hold the writer
   // mutex when read queries run concurrently with a writer.
-  if (write_mu_ != nullptr) {
-    std::lock_guard<std::recursive_mutex> lock(*write_mu_);
-    return replication_->FlushPendingPropagation(plan.path->id);
-  }
+  OptionalRecursiveLock lock(write_mu_);
   return replication_->FlushPendingPropagation(plan.path->id);
 }
 

@@ -1,12 +1,12 @@
 #ifndef FIELDREP_QUERY_EXECUTOR_H_
 #define FIELDREP_QUERY_EXECUTOR_H_
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "index/index_manager.h"
@@ -68,7 +68,7 @@ class Executor {
   /// Mutex serializing mutations (owned by the Database). ExecuteRead
   /// takes it around its mutating steps (deferred-propagation flushes,
   /// output spooling) so read queries can run concurrently with writes.
-  void set_write_mutex(std::recursive_mutex* mu) { write_mu_ = mu; }
+  void set_write_mutex(RecursiveMutex* mu) { write_mu_ = mu; }
   /// Attaches the workload profiler; per-path read recording (once per
   /// query and projection, with the row count) is a no-op when null.
   void set_profiler(WorkloadProfiler* profiler) { profiler_ = profiler; }
@@ -163,7 +163,7 @@ class Executor {
   ReplicationManager* replication_;
   FileId output_file_id_ = kInvalidFileId;
   ThreadPool* workers_ = nullptr;
-  std::recursive_mutex* write_mu_ = nullptr;
+  RecursiveMutex* write_mu_ = nullptr;
   WorkloadProfiler* profiler_ = nullptr;
 };
 

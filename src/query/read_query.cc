@@ -569,10 +569,7 @@ Status Executor::ExecuteRead(const ReadQuery& query, ReadResult* result,
   // Stage 3: spool result tuples to the output file T. Always serial —
   // output insertion is a mutation, so it holds the writer mutex.
   if (query.write_output) {
-    std::unique_lock<std::recursive_mutex> write_lock;
-    if (write_mu_ != nullptr) {
-      write_lock = std::unique_lock<std::recursive_mutex>(*write_mu_);
-    }
+    OptionalRecursiveLock write_lock(write_mu_);
     FIELDREP_ASSIGN_OR_RETURN(RecordFile * out, output_file());
     for (const std::vector<Value>& row : result->rows) {
       Oid ignored;

@@ -81,7 +81,7 @@ PageId PageGuard::page_id() const {
 #ifndef NDEBUG
   assert(debug_state_ == DebugState::kActive);
 #endif
-  return pool_->frames_[frame_index_].page_id;
+  return pool_->frames_[frame_index_].page_id.load(kRelaxed);
 }
 
 void PageGuard::MarkDirty() {
@@ -95,7 +95,7 @@ void PageGuard::MarkDirty() {
   BufferPool::Frame& frame = pool_->frames_[frame_index_];
   frame.dirty.store(true, kRelaxed);
   if (pool_->observer_ != nullptr) {
-    pool_->observer_->OnPageDirtied(frame.page_id);
+    pool_->observer_->OnPageDirtied(frame.page_id.load(kRelaxed));
   }
 }
 
@@ -158,7 +158,7 @@ Status BufferPool::FetchPage(PageId page_id, PageGuard* guard,
   size_t frame_index = kFrameInFlight;
   bool waited_in_flight = false;
   {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    UniqueMutexLock lock(shard.mu);
     for (;;) {
       auto it = shard.table.find(page_id);
       if (it == shard.table.end()) {
@@ -208,7 +208,7 @@ Status BufferPool::FetchPage(PageId page_id, PageGuard* guard,
 
   // Miss with the fill claimed: take a victim and read the device.
   {
-    std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+    MutexLock victim_lock(victim_mutex_);
     Status s = GetVictimFrame(&frame_index);
     if (!s.ok()) {
       AbandonFill(page_id, kFrameInFlight);
@@ -237,14 +237,17 @@ Status BufferPool::FetchPage(PageId page_id, PageGuard* guard,
     return Status::Corruption(
         StringPrintf("page %u failed checksum verification", page_id));
   }
-  frame.page_id = page_id;
+  frame.page_id.store(page_id, kRelaxed);
   frame.page_lsn.store(0, kRelaxed);
   frame.dirty.store(false, kRelaxed);
   frame.referenced.store(true, kRelaxed);
-  frame.in_use.store(true, kRelaxed);
+  // Release pairs with the acquire loads in the whole-pool walks: a walk
+  // that observes in_use == true reads this fill's page_id, not a stale
+  // one (the walk holds no shard lock, so the atomics carry the ordering).
+  frame.in_use.store(true, std::memory_order_release);
   frame.prefetched.store(false, kRelaxed);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.table[page_id] = frame_index;
   }
   shard.cv.notify_all();
@@ -277,7 +280,7 @@ Status BufferPool::NewPage(PageGuard* guard) {
   {
     // A stale concurrent fetch of this (previously unallocated) id may
     // have an in-flight marker up; wait it out, then claim the slot.
-    std::unique_lock<std::mutex> lock(shard.mu);
+    UniqueMutexLock lock(shard.mu);
     shard.cv.wait(lock, [&] {
       auto it = shard.table.find(page_id);
       return it == shard.table.end() || it->second != kFrameInFlight;
@@ -287,7 +290,7 @@ Status BufferPool::NewPage(PageGuard* guard) {
   }
   size_t frame_index;
   {
-    std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+    MutexLock victim_lock(victim_mutex_);
     Status s = GetVictimFrame(&frame_index);
     if (!s.ok()) {
       AbandonFill(page_id, kFrameInFlight);
@@ -297,19 +300,19 @@ Status BufferPool::NewPage(PageGuard* guard) {
   }
   Frame& frame = frames_[frame_index];
   std::memset(frame.data.get(), 0, kPageSize);
-  frame.page_id = page_id;
+  frame.page_id.store(page_id, kRelaxed);
   frame.page_lsn.store(0, kRelaxed);
   // A fresh page is dirty by definition: its contents exist only here.
   frame.dirty.store(true, kRelaxed);
   frame.referenced.store(true, kRelaxed);
-  frame.in_use.store(true, kRelaxed);
+  frame.in_use.store(true, std::memory_order_release);
   frame.prefetched.store(false, kRelaxed);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.table[page_id] = frame_index;
   }
   shard.cv.notify_all();
-  frame.latch.lock();
+  LatchFrame(frame, LatchMode::kExclusive);
   if (observer_ != nullptr) {
     observer_->OnPageAccess(page_id, frame.data.get());
     observer_->OnPageDirtied(page_id);
@@ -341,7 +344,7 @@ Status BufferPool::Prefetch(std::span<const PageId> page_ids) {
   // loop below re-checks under the shard lock before claiming.
   std::erase_if(candidates, [&](PageId id) {
     Shard& shard = ShardFor(id);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     return shard.table.count(id) != 0;
   });
   if (candidates.empty()) return Status::OK();
@@ -357,11 +360,11 @@ Status BufferPool::Prefetch(std::span<const PageId> page_ids) {
   claims.reserve(candidates.size());
   Status claim_error;
   {
-    std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+    MutexLock victim_lock(victim_mutex_);
     for (PageId id : candidates) {
       Shard& shard = ShardFor(id);
       {
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(shard.mu);
         if (shard.table.count(id) != 0) continue;  // resident or in flight
         shard.table.emplace(id, kFrameInFlight);
       }
@@ -369,7 +372,7 @@ Status BufferPool::Prefetch(std::span<const PageId> page_ids) {
       Status s = GetVictimFrame(&frame_index);
       if (!s.ok()) {
         {
-          std::lock_guard<std::mutex> lock(shard.mu);
+          MutexLock lock(shard.mu);
           shard.table.erase(id);
         }
         shard.cv.notify_all();
@@ -418,15 +421,15 @@ Status BufferPool::Prefetch(std::span<const PageId> page_ids) {
       AbandonFill(claim.page_id, claim.frame_index);
       continue;
     }
-    frame.page_id = claim.page_id;
+    frame.page_id.store(claim.page_id, kRelaxed);
     frame.page_lsn.store(0, kRelaxed);
     frame.dirty.store(false, kRelaxed);
     frame.referenced.store(true, kRelaxed);
-    frame.in_use.store(true, kRelaxed);
+    frame.in_use.store(true, std::memory_order_release);
     frame.prefetched.store(true, kRelaxed);
     Shard& shard = ShardFor(claim.page_id);
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       frame.pin_count.store(0, kRelaxed);
       shard.table[claim.page_id] = claim.frame_index;
     }
@@ -451,15 +454,15 @@ void BufferPool::AbandonFill(PageId page_id, size_t frame_index) {
   if (frame_index != kFrameInFlight) {
     Frame& frame = frames_[frame_index];
     frame.in_use.store(false, kRelaxed);
-    frame.page_id = kInvalidPageId;
+    frame.page_id.store(kInvalidPageId, kRelaxed);
     frame.prefetched.store(false, kRelaxed);
     frame.pin_count.store(0, kRelaxed);
-    std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+    MutexLock victim_lock(victim_mutex_);
     free_frames_.push_back(frame_index);
   }
   Shard& shard = ShardFor(page_id);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.table.find(page_id);
     if (it != shard.table.end() && it->second == kFrameInFlight) {
       shard.table.erase(it);
@@ -469,15 +472,15 @@ void BufferPool::AbandonFill(PageId page_id, size_t frame_index) {
 }
 
 Status BufferPool::WriteBackFrame(Frame& frame) {
+  const PageId page_id = frame.page_id.load(kRelaxed);
   if (observer_ != nullptr) {
     FIELDREP_RETURN_IF_ERROR(
-        observer_->BeforePageFlush(frame.page_id,
-                                   frame.page_lsn.load(kRelaxed)));
+        observer_->BeforePageFlush(page_id, frame.page_lsn.load(kRelaxed)));
   }
   // Page 0 is the magic-prefixed database header, not a headered page.
-  if (frame.page_id != 0) StampPageChecksum(frame.data.get());
+  if (page_id != 0) StampPageChecksum(frame.data.get());
   uint64_t start_ns = NowNs();
-  Status s = device_->WritePage(frame.page_id, frame.data.get());
+  Status s = device_->WritePage(page_id, frame.data.get());
   stats_.write_ns.fetch_add(NowNs() - start_ns, kRelaxed);
   FIELDREP_RETURN_IF_ERROR(s);
   stats_.disk_writes.fetch_add(1, kRelaxed);
@@ -489,15 +492,16 @@ Status BufferPool::WriteBackFrame(Frame& frame) {
 Status BufferPool::FlushFramesOrdered(std::vector<size_t> frame_indices) {
   std::sort(frame_indices.begin(), frame_indices.end(),
             [&](size_t a, size_t b) {
-              return frames_[a].page_id < frames_[b].page_id;
+              return frames_[a].page_id.load(kRelaxed) <
+                     frames_[b].page_id.load(kRelaxed);
             });
   size_t i = 0;
   while (i < frame_indices.size()) {
     // Maximal contiguous PageId run starting at i.
     size_t run = 1;
     while (i + run < frame_indices.size() &&
-           frames_[frame_indices[i + run]].page_id ==
-               frames_[frame_indices[i]].page_id + run) {
+           frames_[frame_indices[i + run]].page_id.load(kRelaxed) ==
+               frames_[frame_indices[i]].page_id.load(kRelaxed) + run) {
       ++run;
     }
     std::vector<PageId> ids(run);
@@ -511,20 +515,23 @@ Status BufferPool::FlushFramesOrdered(std::vector<size_t> frame_indices) {
     std::vector<uint8_t> staged(run * kPageSize);
     for (size_t j = 0; j < run; ++j) {
       Frame& frame = frames_[frame_indices[i + j]];
+      const PageId page_id = frame.page_id.load(kRelaxed);
       if (observer_ != nullptr) {
-        Status s = observer_->BeforePageFlush(frame.page_id,
+        Status s = observer_->BeforePageFlush(page_id,
                                               frame.page_lsn.load(kRelaxed));
         if (!s.ok()) {
-          return Status(s.code(), StringPrintf("flushing page %u: %s",
-                                               frame.page_id,
-                                               s.message().c_str()));
+          return Status(s.code(),
+                        StringPrintf("flushing page %u: %s", page_id,
+                                     s.message().c_str()));
         }
       }
-      frame.latch.lock();
-      if (frame.page_id != 0) StampPageChecksum(frame.data.get());
-      std::memcpy(staged.data() + j * kPageSize, frame.data.get(), kPageSize);
-      frame.latch.unlock();
-      ids[j] = frame.page_id;
+      {
+        WriterMutexLock latch(frame.latch);
+        if (page_id != 0) StampPageChecksum(frame.data.get());
+        std::memcpy(staged.data() + j * kPageSize, frame.data.get(),
+                    kPageSize);
+      }
+      ids[j] = page_id;
       bufs[j] = staged.data() + j * kPageSize;
     }
     uint64_t start_ns = NowNs();
@@ -555,13 +562,15 @@ Status BufferPool::FlushAll() {
   // repurposed once the lock drops.
   std::vector<size_t> dirty;
   {
-    std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+    MutexLock victim_lock(victim_mutex_);
     for (size_t i = 0; i < capacity_; ++i) {
       Frame& frame = frames_[i];
-      if (!frame.in_use.load(kRelaxed) || !frame.dirty.load(kRelaxed)) {
+      if (!frame.in_use.load(std::memory_order_acquire) ||
+          !frame.dirty.load(kRelaxed)) {
         continue;
       }
-      if (observer_ != nullptr && !observer_->CanEvict(frame.page_id)) {
+      if (observer_ != nullptr &&
+          !observer_->CanEvict(frame.page_id.load(kRelaxed))) {
         // Uncommitted transaction page: commit will release it; a crash
         // before then must leave the device without it (atomicity).
         continue;
@@ -577,17 +586,19 @@ Status BufferPool::FlushAll() {
 
 Status BufferPool::EvictAll() {
   {
-    std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+    MutexLock victim_lock(victim_mutex_);
     for (size_t i = 0; i < capacity_; ++i) {
       const Frame& frame = frames_[i];
-      if (frame.in_use.load(kRelaxed) && frame.pin_count.load(kRelaxed) > 0) {
+      if (!frame.in_use.load(std::memory_order_acquire)) continue;
+      const PageId page_id = frame.page_id.load(kRelaxed);
+      if (frame.pin_count.load(kRelaxed) > 0) {
         return Status::FailedPrecondition(
-            StringPrintf("page %u still pinned", frame.page_id));
+            StringPrintf("page %u still pinned", page_id));
       }
-      if (frame.in_use.load(kRelaxed) && frame.dirty.load(kRelaxed) &&
-          observer_ != nullptr && !observer_->CanEvict(frame.page_id)) {
+      if (frame.dirty.load(kRelaxed) && observer_ != nullptr &&
+          !observer_->CanEvict(page_id)) {
         return Status::FailedPrecondition(StringPrintf(
-            "page %u holds uncommitted transaction writes", frame.page_id));
+            "page %u holds uncommitted transaction writes", page_id));
       }
     }
   }
@@ -596,17 +607,18 @@ Status BufferPool::EvictAll() {
   // lock need not be held continuously; holding it across the flush
   // would invert the frame-latch → victim_mutex_ order.
   FIELDREP_RETURN_IF_ERROR(FlushAll());
-  std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+  MutexLock victim_lock(victim_mutex_);
   for (size_t i = 0; i < capacity_; ++i) {
     Frame& frame = frames_[i];
-    if (frame.in_use.load(kRelaxed)) {
-      Shard& shard = ShardFor(frame.page_id);
+    if (frame.in_use.load(std::memory_order_acquire)) {
+      const PageId page_id = frame.page_id.load(kRelaxed);
+      Shard& shard = ShardFor(page_id);
       {
-        std::lock_guard<std::mutex> lock(shard.mu);
-        shard.table.erase(frame.page_id);
+        MutexLock lock(shard.mu);
+        shard.table.erase(page_id);
       }
       frame.in_use.store(false, kRelaxed);
-      frame.page_id = kInvalidPageId;
+      frame.page_id.store(kInvalidPageId, kRelaxed);
       frame.referenced.store(false, kRelaxed);
       frame.prefetched.store(false, kRelaxed);
       free_frames_.push_back(i);
@@ -617,7 +629,7 @@ Status BufferPool::EvictAll() {
 
 const uint8_t* BufferPool::PeekPage(PageId page_id) const {
   Shard& shard = ShardFor(page_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.table.find(page_id);
   if (it == shard.table.end() || it->second == kFrameInFlight) return nullptr;
   return frames_[it->second].data.get();
@@ -625,19 +637,20 @@ const uint8_t* BufferPool::PeekPage(PageId page_id) const {
 
 void BufferPool::SetPageLsn(PageId page_id, uint64_t lsn) {
   Shard& shard = ShardFor(page_id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.table.find(page_id);
   if (it == shard.table.end() || it->second == kFrameInFlight) return;
   frames_[it->second].page_lsn.store(lsn, kRelaxed);
 }
 
 std::vector<PageId> BufferPool::DirtyPageIds() const {
-  std::lock_guard<std::mutex> victim_lock(victim_mutex_);
+  MutexLock victim_lock(victim_mutex_);
   std::vector<PageId> ids;
   for (size_t i = 0; i < capacity_; ++i) {
     const Frame& frame = frames_[i];
-    if (frame.in_use.load(kRelaxed) && frame.dirty.load(kRelaxed)) {
-      ids.push_back(frame.page_id);
+    if (frame.in_use.load(std::memory_order_acquire) &&
+        frame.dirty.load(kRelaxed)) {
+      ids.push_back(frame.page_id.load(kRelaxed));
     }
   }
   return ids;
@@ -655,7 +668,7 @@ Status BufferPool::SyncDevice() {
 size_t BufferPool::pages_cached() const {
   size_t cached = 0;
   for (size_t i = 0; i < kShardCount; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    MutexLock lock(shards_[i].mu);
     for (const auto& [page_id, frame_index] : shards_[i].table) {
       if (frame_index != kFrameInFlight) ++cached;
     }
@@ -686,11 +699,15 @@ Status BufferPool::GetVictimFrame(size_t* frame_index) {
     Frame& frame = frames_[clock_hand_];
     size_t index = clock_hand_;
     clock_hand_ = (clock_hand_ + 1) % n;
-    if (!frame.in_use.load(kRelaxed)) continue;  // abandoned-fill limbo
+    if (!frame.in_use.load(std::memory_order_acquire)) {
+      continue;  // abandoned-fill limbo
+    }
     if (frame.pin_count.load(kRelaxed) > 0) continue;
-    PageId victim_page = frame.page_id;  // stable: we hold victim_mutex_
+    // Stable while we hold victim_mutex_ (fills only reuse frames the
+    // sweep handed out); the acquire load above ordered it.
+    PageId victim_page = frame.page_id.load(kRelaxed);
     Shard& shard = ShardFor(victim_page);
-    std::unique_lock<std::mutex> lock(shard.mu);
+    UniqueMutexLock lock(shard.mu);
     // Re-check under the shard lock: pins originate in the hit path, which
     // runs under this lock, so pin_count == 0 here is authoritative — and
     // implies the frame's latch is free too.
@@ -722,7 +739,7 @@ Status BufferPool::GetVictimFrame(size_t* frame_index) {
     lock.unlock();
     shard.cv.notify_all();
     frame.in_use.store(false, kRelaxed);
-    frame.page_id = kInvalidPageId;
+    frame.page_id.store(kInvalidPageId, kRelaxed);
     frame.prefetched.store(false, kRelaxed);
     frame.page_lsn.store(0, kRelaxed);
     frame.referenced.store(false, kRelaxed);

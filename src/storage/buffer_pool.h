@@ -2,15 +2,13 @@
 #define FIELDREP_STORAGE_BUFFER_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "storage/io_stats.h"
 #include "storage/oid.h"
@@ -272,27 +270,33 @@ class BufferPool {
     std::unique_ptr<uint8_t[]> data;
     /// Reader/writer latch. Acquired after the pin (never while holding a
     /// shard or victim lock); pin_count > 0 keeps the Frame itself stable.
-    std::shared_mutex latch;
+    /// kFrameLatch is a same-rank-ok rank: the elevator flush and
+    /// multi-page appends legitimately hold several latches at once.
+    SharedMutex latch{LockRank::kFrameLatch, "pool.frame.latch"};
     std::atomic<uint32_t> pin_count{0};
     std::atomic<uint64_t> page_lsn{0};  ///< Durability horizon for flushes.
     std::atomic<bool> dirty{false};
     std::atomic<bool> referenced{false};  // clock bit
+    /// Fill paths store it with release order after page_id (below) so a
+    /// pool walk that loads it with acquire order reads the matching id.
     std::atomic<bool> in_use{false};
     /// Installed by Prefetch and not yet logically charged: the first
     /// FetchPage counts it as a disk_read instead of a hit.
     std::atomic<bool> prefetched{false};
-    /// Written only while the frame is unreachable (under victim_mutex_
-    /// before table publication, or marked in-flight in its shard).
-    PageId page_id = kInvalidPageId;
+    /// Written while the frame is unreachable (under victim_mutex_ before
+    /// table publication, or marked in-flight in its shard) — but read by
+    /// whole-pool walks that only observe `in_use`, so it is atomic and
+    /// publication is the release-store of `in_use` above.
+    std::atomic<PageId> page_id{kInvalidPageId};
   };
 
   /// One page-table shard: page id -> frame index, or kFrameInFlight for
   /// a page whose device read (miss) or writeback (dirty eviction) is in
   /// progress. Fetchers of an in-flight page wait on `cv`.
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::unordered_map<PageId, size_t> table;
+    mutable Mutex mu{LockRank::kPoolShard, "pool.shard.mu"};
+    CondVar cv;
+    std::unordered_map<PageId, size_t> table GUARDED_BY(mu);
     /// Per-shard logical cache behaviour: `hits` counts fetches satisfied
     /// from the cache, `misses` fetches charged a logical disk_read
     /// (on-demand miss or first touch of a prefetched page). Together they
@@ -310,8 +314,10 @@ class BufferPool {
 
   /// Acquires `frame`'s latch in `mode`, counting acquisitions that had
   /// to block in latch_waits_ (uncontended try_lock first, so the common
-  /// case costs one extra CAS at most).
-  void LatchFrame(Frame& frame, LatchMode mode);
+  /// case costs one extra CAS at most). The acquisition outlives this
+  /// function (the matching release is Unpin via ~PageGuard), which the
+  /// static analysis cannot follow.
+  void LatchFrame(Frame& frame, LatchMode mode) NO_THREAD_SAFETY_ANALYSIS;
 
   /// Flush-ordering + writeback of one frame's bytes. The caller must
   /// guarantee the bytes are stable (frame unreachable + unpinned, or
@@ -325,22 +331,28 @@ class BufferPool {
   /// never observe checksum bytes mid-update. On failure the Status
   /// names the first page that could not be written; frames of a failed
   /// run stay dirty (a prefix may have reached the device — rewriting
-  /// later is safe). Requires victim_mutex_.
-  Status FlushFramesOrdered(std::vector<size_t> frame_indices);
+  /// later is safe). Called with no pool lock held (the caller pins the
+  /// frames instead): taking a frame latch under victim_mutex_ would
+  /// invert the frame-latch → victim order.
+  Status FlushFramesOrdered(std::vector<size_t> frame_indices)
+      EXCLUDES(victim_mutex_);
 
   /// Finds a victim frame via the clock algorithm, writing it back if
   /// dirty, and removes it from the page table. Returns FailedPrecondition
-  /// if every frame is pinned. Requires victim_mutex_; the returned frame
-  /// is unreachable but has pin_count 0 — callers that release
-  /// victim_mutex_ before installing must set pin_count first so a
-  /// concurrent sweep cannot hand the frame out again.
-  Status GetVictimFrame(size_t* frame_index);
+  /// if every frame is pinned. The returned frame is unreachable but has
+  /// pin_count 0 — callers that release victim_mutex_ before installing
+  /// must set pin_count first so a concurrent sweep cannot hand the frame
+  /// out again.
+  Status GetVictimFrame(size_t* frame_index) REQUIRES(victim_mutex_);
 
   /// Returns a claimed-but-uninstalled frame to the free list and erases
   /// the page's in-flight marker, waking waiters to retry.
   void AbandonFill(PageId page_id, size_t frame_index);
 
-  void Unpin(size_t frame_index, LatchMode mode);
+  /// Releases the latch taken by LatchFrame and drops the pin (the
+  /// acquisition happened in FetchPage/NewPage, so this is the unbalanced
+  /// other half the analysis cannot follow).
+  void Unpin(size_t frame_index, LatchMode mode) NO_THREAD_SAFETY_ANALYSIS;
 
   StorageDevice* device_;
   std::unique_ptr<StorageDevice> owned_device_;
@@ -348,12 +360,12 @@ class BufferPool {
   size_t capacity_ = 0;
   mutable std::unique_ptr<Shard[]> shards_;
   /// Serializes victim selection, the free list, the clock hand, and the
-  /// whole-pool walks (FlushAll / EvictAll / DirtyPageIds). Lock order:
-  /// victim_mutex_ before shard mutexes; frame latches before either;
-  /// never the reverse.
-  mutable std::mutex victim_mutex_;
-  std::vector<size_t> free_frames_;
-  size_t clock_hand_ = 0;
+  /// whole-pool walks (FlushAll / EvictAll / DirtyPageIds). Lock order
+  /// (enforced by LockRank): victim_mutex_ before shard mutexes; frame
+  /// latches before either; never the reverse.
+  mutable Mutex victim_mutex_{LockRank::kPoolVictim, "pool.victim_mu"};
+  std::vector<size_t> free_frames_ GUARDED_BY(victim_mutex_);
+  size_t clock_hand_ GUARDED_BY(victim_mutex_) = 0;
   mutable AtomicIoStats stats_;
   /// See ConcurrencyStats.
   std::atomic<uint64_t> latch_waits_{0};

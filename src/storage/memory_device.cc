@@ -9,7 +9,7 @@ namespace fieldrep {
 uint8_t* MemoryDevice::PageBlock(PageId page_id) const {
   // The lock covers only the vector access: block addresses are stable,
   // so the copy itself runs unlocked.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (page_id >= pages_.size()) return nullptr;
   return pages_[page_id].get();
 }
@@ -37,7 +37,7 @@ Status MemoryDevice::WritePage(PageId page_id, const void* buf) {
 Status MemoryDevice::AllocatePage(PageId* page_id) {
   auto page = std::make_unique<uint8_t[]>(kPageSize);
   std::memset(page.get(), 0, kPageSize);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   pages_.push_back(std::move(page));
   *page_id = static_cast<PageId>(pages_.size() - 1);
   return Status::OK();

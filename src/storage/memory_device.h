@@ -2,9 +2,9 @@
 #define FIELDREP_STORAGE_MEMORY_DEVICE_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "storage/storage_device.h"
 
 namespace fieldrep {
@@ -29,7 +29,7 @@ class MemoryDevice : public StorageDevice {
   Status WritePage(PageId page_id, const void* buf) override;
   Status AllocatePage(PageId* page_id) override;
   uint32_t page_count() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return static_cast<uint32_t>(pages_.size());
   }
 
@@ -37,8 +37,10 @@ class MemoryDevice : public StorageDevice {
   /// Returns the block for `page_id`, or nullptr if unallocated.
   uint8_t* PageBlock(PageId page_id) const;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+  /// kDevice is a leaf rank: pool write-back and WAL log writes reach the
+  /// device with victim/log locks held, and the device calls nothing back.
+  mutable Mutex mu_{LockRank::kDevice, "memory_device.mu"};
+  std::vector<std::unique_ptr<uint8_t[]>> pages_ GUARDED_BY(mu_);
 };
 
 }  // namespace fieldrep

@@ -82,7 +82,7 @@ Status RecordFile::AppendPage(PageId* page_id) {
   }
   last_page_.store(*page_id, std::memory_order_relaxed);
   page_count_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(chain_mu_);
+  MutexLock lock(chain_mu_);
   if (chain_complete_) chain_cache_.push_back(*page_id);
   return Status::OK();
 }
@@ -326,7 +326,7 @@ Status RecordFile::Scan(
   std::vector<std::pair<Oid, std::string>> page_records;
   while (current != kInvalidPageId) {
     {
-      std::lock_guard<std::mutex> lock(chain_mu_);
+      MutexLock lock(chain_mu_);
       NoteChainPage(pos, current);
       // Read ahead: one window of upcoming chain pages per window of
       // progress. On the first scan after reopen the cache only reaches
@@ -374,7 +374,7 @@ Status RecordFile::Scan(
   }
   // Walked the whole chain: the cache now covers it and AppendPage may
   // extend it incrementally.
-  std::lock_guard<std::mutex> lock(chain_mu_);
+  MutexLock lock(chain_mu_);
   chain_complete_ = true;
   return Status::OK();
 }
@@ -403,7 +403,7 @@ Status RecordFile::Truncate() {
   page_count_.store(0, std::memory_order_relaxed);
   record_count_.store(0, std::memory_order_relaxed);
   free_hints_.clear();
-  std::lock_guard<std::mutex> lock(chain_mu_);
+  MutexLock lock(chain_mu_);
   chain_cache_.clear();
   chain_complete_ = true;
   return Status::OK();
@@ -431,7 +431,7 @@ Status RecordFile::DecodeMetadata(const std::string& encoded) {
   page_count_.store(pages, std::memory_order_relaxed);
   record_count_.store(records, std::memory_order_relaxed);
   // The chain must be rediscovered by walking it; the first Scan does so.
-  std::lock_guard<std::mutex> lock(chain_mu_);
+  MutexLock lock(chain_mu_);
   chain_cache_.clear();
   chain_complete_ = (first == kInvalidPageId);
   return Status::OK();

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "storage/buffer_pool.h"
 #include "storage/oid.h"
@@ -122,8 +122,7 @@ class RecordFile {
 
   /// Records that `page_id` is the `pos`-th page of the chain, keeping the
   /// chain cache a valid prefix of the page list (see chain_cache_).
-  /// Requires chain_mu_.
-  void NoteChainPage(size_t pos, PageId page_id) const;
+  void NoteChainPage(size_t pos, PageId page_id) const REQUIRES(chain_mu_);
 
   BufferPool* pool_;
   FileId file_id_;
@@ -141,16 +140,17 @@ class RecordFile {
 
   /// Guards chain_cache_ and chain_complete_: concurrent Scans (reader
   /// threads) extend the cache, AppendPage (writer) appends to it.
-  mutable std::mutex chain_mu_;
+  /// kRecordChain ranks after the frame latches AppendPage may hold.
+  mutable Mutex chain_mu_{LockRank::kRecordChain, "record_file.chain_mu"};
   /// In-memory prefix of the page chain in scan order, used to issue
   /// read-ahead windows during Scan without chasing next_page links.
   /// Maintained by AppendPage for files built in-session and rebuilt
   /// lazily by the first full Scan after DecodeMetadata; always a valid
   /// prefix of the chain (pages are only appended, never reordered).
-  mutable std::vector<PageId> chain_cache_;
+  mutable std::vector<PageId> chain_cache_ GUARDED_BY(chain_mu_);
   /// True when chain_cache_ covers the whole chain, so AppendPage can
   /// extend it instead of invalidating it.
-  mutable bool chain_complete_ = true;
+  mutable bool chain_complete_ GUARDED_BY(chain_mu_) = true;
 };
 
 }  // namespace fieldrep

@@ -50,7 +50,7 @@ Histogram::Snapshot Histogram::TakeSnapshot() const {
 Counter* MetricsRegistry::AddCounter(const std::string& name,
                                      const std::string& help,
                                      const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Instrument& inst = instruments_.emplace_back();
   inst.name = name;
   inst.labels = labels;
@@ -63,7 +63,7 @@ Counter* MetricsRegistry::AddCounter(const std::string& name,
 Gauge* MetricsRegistry::AddGauge(const std::string& name,
                                  const std::string& help,
                                  const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Instrument& inst = instruments_.emplace_back();
   inst.name = name;
   inst.labels = labels;
@@ -77,7 +77,7 @@ Histogram* MetricsRegistry::AddHistogram(const std::string& name,
                                          const std::string& help,
                                          std::vector<uint64_t> upper_bounds,
                                          const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Instrument& inst = instruments_.emplace_back();
   inst.name = name;
   inst.labels = labels;
@@ -91,7 +91,7 @@ void MetricsRegistry::AddCallback(const std::string& name,
                                   const std::string& help, MetricKind kind,
                                   const std::string& labels,
                                   std::function<double()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Instrument& inst = instruments_.emplace_back();
   inst.name = name;
   inst.labels = labels;
@@ -102,12 +102,12 @@ void MetricsRegistry::AddCallback(const std::string& name,
 
 void MetricsRegistry::AddCollector(
     std::function<void(std::vector<MetricSample>*)> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   collectors_.push_back(std::move(fn));
 }
 
 std::vector<MetricSample> MetricsRegistry::Collect() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(instruments_.size());
   for (const Instrument& inst : instruments_) {

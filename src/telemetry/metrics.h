@@ -6,11 +6,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 
 namespace fieldrep {
@@ -160,10 +160,14 @@ class MetricsRegistry {
     std::function<double()> callback;
   };
 
-  mutable std::mutex mu_;
+  /// kMetricsRegistry ranks just above the server lock and below every
+  /// engine lock: Collect() invokes collectors that read WAL stats and
+  /// pool counters (taking log/shard/profiler locks) while mu_ is held.
+  mutable Mutex mu_{LockRank::kMetricsRegistry, "metrics_registry.mu"};
   /// deque: instrument addresses stay stable across registrations.
-  std::deque<Instrument> instruments_;
-  std::vector<std::function<void(std::vector<MetricSample>*)>> collectors_;
+  std::deque<Instrument> instruments_ GUARDED_BY(mu_);
+  std::vector<std::function<void(std::vector<MetricSample>*)>> collectors_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace fieldrep

@@ -55,7 +55,7 @@ std::string WorkloadProfile::ToString() const {
 
 void WorkloadProfiler::RecordPathRead(const std::string& spec,
                                       bool from_replica, uint64_t rows) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PathActivity& a = profile_.paths[spec];
   ++a.read_queries;
   a.derefs += rows;
@@ -68,7 +68,7 @@ void WorkloadProfiler::RecordPathRead(const std::string& spec,
 
 void WorkloadProfiler::RecordFieldUpdate(const std::string& field,
                                          bool propagated) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   FieldActivity& a = profile_.fields[field];
   ++a.updates;
   if (propagated) ++a.propagations;
@@ -76,19 +76,19 @@ void WorkloadProfiler::RecordFieldUpdate(const std::string& field,
 
 void WorkloadProfiler::RecordPropagation(const std::string& spec,
                                          uint64_t heads) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PathActivity& a = profile_.paths[spec];
   ++a.propagations;
   a.heads_touched += heads;
 }
 
 WorkloadProfile WorkloadProfiler::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return profile_;
 }
 
 void WorkloadProfiler::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   profile_ = WorkloadProfile();
 }
 

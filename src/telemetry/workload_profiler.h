@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/json.h"
 #include "telemetry/metrics.h"
 
@@ -72,8 +72,11 @@ class WorkloadProfiler {
   void CollectMetrics(std::vector<MetricSample>* out) const;
 
  private:
-  mutable std::mutex mu_;
-  WorkloadProfile profile_;
+  /// kProfiler is near-leaf: recording call sites hold engine locks
+  /// (the writer mutex during propagation), and the profiler calls
+  /// nothing back.
+  mutable Mutex mu_{LockRank::kProfiler, "workload_profiler.mu"};
+  WorkloadProfile profile_ GUARDED_BY(mu_);
 };
 
 }  // namespace fieldrep

@@ -42,6 +42,7 @@ WalManager::WalManager(StorageDevice* log_device, BufferPool* pool,
       options_(options) {}
 
 Status WalManager::Initialize(uint64_t epoch) {
+  MutexLock lock(log_mu_);
   return writer_.Reset(epoch);
 }
 
@@ -50,22 +51,25 @@ Status WalManager::BeginTransaction() {
     return Status::FailedPrecondition(
         "write-ahead log is in a failed state; reopen the database");
   }
-  ++txn_depth_;
+  txn_depth_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status WalManager::CommitTransaction() {
-  if (txn_depth_ == 0) {
+  const int depth = txn_depth_.load(std::memory_order_relaxed);
+  if (depth == 0) {
     return Status::FailedPrecondition("commit without matching begin");
   }
-  if (txn_depth_ > 1) {
-    --txn_depth_;
+  if (depth > 1) {
+    txn_depth_.fetch_sub(1, std::memory_order_relaxed);
     return Status::OK();
   }
   const uint64_t start_ns = NowNs();
   Status s = CommitTopLevel();
   commit_latency_ns_.Observe(NowNs() - start_ns);
-  txn_depth_ = 0;
+  // Release: a thread that observes depth 0 (in_transaction) sees the
+  // commit's effects on the transaction state.
+  txn_depth_.store(0, std::memory_order_release);
   if (s.ok() && options_.checkpoint_threshold_bytes != 0 &&
       log_bytes() > options_.checkpoint_threshold_bytes) {
     s = Checkpoint();
@@ -74,16 +78,16 @@ Status WalManager::CommitTransaction() {
 }
 
 Status WalManager::AbortTransaction() {
-  if (txn_depth_ == 0) {
+  if (txn_depth_.load(std::memory_order_relaxed) == 0) {
     return Status::FailedPrecondition("abort without matching begin");
   }
-  --txn_depth_;
-  if (txn_depth_ == 0 && !broken()) {
+  const int depth = txn_depth_.fetch_sub(1, std::memory_order_release) - 1;
+  if (depth == 0 && !broken()) {
     // Redo-only log: the in-memory partial effects stay (exactly the
     // pre-WAL failure behaviour), but none of them were logged, so a
     // crash-and-recover still lands on the last committed state.
     snapshots_.clear();
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     txn_dirty_.clear();
   }
   return Status::OK();
@@ -103,7 +107,7 @@ Status WalManager::CommitTopLevel() {
   // mutates it, so the copy stays accurate for the rest of the commit.
   std::vector<PageId> dirty_pages;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     dirty_pages.assign(txn_dirty_.begin(), txn_dirty_.end());
   }
 
@@ -148,11 +152,11 @@ Status WalManager::CommitTopLevel() {
 
   if (deltas.empty()) {
     {
-      std::lock_guard<std::mutex> lock(log_mu_);
+      MutexLock lock(log_mu_);
       ++stats_.empty_commits;
     }
     snapshots_.clear();
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     txn_dirty_.clear();
     return Status::OK();
   }
@@ -165,7 +169,7 @@ Status WalManager::CommitTopLevel() {
     // reader may concurrently sync through BeforePageFlush. The delta
     // byte pointers stay valid: the pages are pinned against eviction by
     // the no-steal veto and only this thread mutates them.
-    std::lock_guard<std::mutex> lock(log_mu_);
+    MutexLock lock(log_mu_);
     LogRecord rec;
     rec.txn_id = txn_id;
     rec.type = LogRecordType::kBegin;
@@ -221,14 +225,14 @@ Status WalManager::CommitTopLevel() {
   for (const Delta& d : deltas) pool_->SetPageLsn(d.page_id, end_lsn);
 
   snapshots_.clear();
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   txn_dirty_.clear();
   return Status::OK();
 }
 
 Status WalManager::WaitDurable(uint64_t lsn) {
   if (lsn == 0) return Status::OK();
-  std::unique_lock<std::mutex> glock(group_mu_);
+  UniqueMutexLock glock(group_mu_);
   for (;;) {
     // Lock order group_mu_ -> log_mu_ (durable_lsn() takes log_mu_);
     // nothing takes them the other way around.
@@ -253,7 +257,7 @@ Status WalManager::WaitDurable(uint64_t lsn) {
     uint64_t target = 0;
     Status s;
     {
-      std::lock_guard<std::mutex> lock(log_mu_);
+      MutexLock lock(log_mu_);
       s = writer_.Flush();
       target = writer_.next_lsn();
     }
@@ -262,7 +266,7 @@ Status WalManager::WaitDurable(uint64_t lsn) {
     if (s.ok()) {
       group_sync_ns_.Observe(NowNs() - sync_start_ns);
       group_batch_size_.Observe(batch);
-      std::lock_guard<std::mutex> lock(log_mu_);
+      MutexLock lock(log_mu_);
       writer_.MarkDurable(target);
       stats_.log_syncs = writer_.syncs();
       stats_.log_page_writes = writer_.page_writes();
@@ -287,7 +291,7 @@ Status WalManager::Checkpoint() {
 }
 
 Status WalManager::CheckpointImpl() {
-  if (txn_depth_ > 0) {
+  if (txn_depth_.load(std::memory_order_relaxed) > 0) {
     return Status::FailedPrecondition("checkpoint inside a transaction");
   }
   if (broken()) {
@@ -297,7 +301,7 @@ Status WalManager::CheckpointImpl() {
   // Make every committed record durable before its pages can be flushed
   // (group-commit mode may still hold records in memory).
   {
-    std::lock_guard<std::mutex> lock(log_mu_);
+    MutexLock lock(log_mu_);
     Status s = writer_.Sync();
     if (!s.ok()) {
       broken_.store(true, std::memory_order_relaxed);
@@ -311,7 +315,7 @@ Status WalManager::CheckpointImpl() {
   FIELDREP_RETURN_IF_ERROR(pool_->SyncDevice());
   // Every logged effect is now on the database device: the log content is
   // dead. Start the next epoch, which logically truncates it.
-  std::lock_guard<std::mutex> lock(log_mu_);
+  MutexLock lock(log_mu_);
   FIELDREP_RETURN_IF_ERROR(writer_.Reset(writer_.epoch() + 1));
   ++stats_.checkpoints;
   stats_.checkpoint_pages += dirty;
@@ -389,7 +393,7 @@ void WalManager::CollectMetrics(std::vector<MetricSample>* out) const {
 
 void WalManager::OnPageAccess(PageId page_id, const uint8_t* data) {
   // Fires only for exclusive fetches, i.e. only on the writer thread.
-  if (txn_depth_ == 0 || broken()) return;
+  if (txn_depth_.load(std::memory_order_relaxed) == 0 || broken()) return;
   if (snapshots_.count(page_id) != 0) return;
   // Only pages the transaction later dirties need their pre-image, but
   // we cannot know which those are yet; the map is cleared at commit so
@@ -400,8 +404,8 @@ void WalManager::OnPageAccess(PageId page_id, const uint8_t* data) {
 }
 
 void WalManager::OnPageDirtied(PageId page_id) {
-  if (txn_depth_ == 0 || broken()) return;
-  std::lock_guard<std::mutex> lock(state_mu_);
+  if (txn_depth_.load(std::memory_order_relaxed) == 0 || broken()) return;
+  MutexLock lock(state_mu_);
   txn_dirty_.insert(page_id);
 }
 
@@ -409,12 +413,12 @@ bool WalManager::CanEvict(PageId page_id) const {
   // No-steal: pages carrying uncommitted (or unloggable, once broken)
   // transaction writes must not reach the device. Called from any thread
   // that considers evicting a dirty page.
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return txn_dirty_.count(page_id) == 0;
 }
 
 Status WalManager::BeforePageFlush(PageId /*page_id*/, uint64_t page_lsn) {
-  std::lock_guard<std::mutex> lock(log_mu_);
+  MutexLock lock(log_mu_);
   if (page_lsn == 0 || page_lsn <= writer_.durable_lsn()) {
     return Status::OK();
   }

@@ -2,15 +2,14 @@
 #define FIELDREP_WAL_WAL_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "storage/buffer_pool.h"
 #include "telemetry/metrics.h"
@@ -118,7 +117,9 @@ class WalManager : public PageObserver {
   /// this subsystem existed); the log simply never commits them, so a
   /// crash still recovers to the last committed state.
   Status AbortTransaction();
-  bool in_transaction() const { return txn_depth_ > 0; }
+  bool in_transaction() const {
+    return txn_depth_.load(std::memory_order_acquire) > 0;
+  }
 
   // --- Group commit -----------------------------------------------------------
 
@@ -148,19 +149,19 @@ class WalManager : public PageObserver {
   // --- Introspection ---------------------------------------------------------
 
   WalStats stats() const {
-    std::lock_guard<std::mutex> lock(log_mu_);
+    MutexLock lock(log_mu_);
     return stats_;
   }
   uint64_t epoch() const {
-    std::lock_guard<std::mutex> lock(log_mu_);
+    MutexLock lock(log_mu_);
     return writer_.epoch();
   }
   uint64_t durable_lsn() const {
-    std::lock_guard<std::mutex> lock(log_mu_);
+    MutexLock lock(log_mu_);
     return writer_.durable_lsn();
   }
   uint64_t log_bytes() const {
-    std::lock_guard<std::mutex> lock(log_mu_);
+    MutexLock lock(log_mu_);
     return writer_.next_lsn();
   }
   bool broken() const { return broken_.load(std::memory_order_relaxed); }
@@ -189,39 +190,42 @@ class WalManager : public PageObserver {
 
   StorageDevice* log_device_;
   BufferPool* pool_;
-  /// Guarded by log_mu_, together with stats_.
-  LogWriter writer_;
+  LogWriter writer_ GUARDED_BY(log_mu_);
   Options options_;
   std::function<Status()> precommit_hook_;
 
-  // Writer-thread-only state (see the class comment).
-  int txn_depth_ = 0;
+  // Writer-thread-only state (see the class comment) — except
+  // txn_depth_, which in_transaction() reads from any thread (the
+  // server polls it during session teardown), so it is atomic.
+  std::atomic<int> txn_depth_{0};
   uint64_t next_txn_id_ = 1;
   /// Pre-images of pages first accessed inside the open transaction.
   std::unordered_map<PageId, std::string> snapshots_;
 
   /// Guards txn_dirty_: written by the writer thread, read by CanEvict
-  /// from any thread that evicts a dirty page.
-  mutable std::mutex state_mu_;
+  /// from any thread that evicts a dirty page. kWalState is the deepest
+  /// engine rank a pool walk reaches (victim → shard → state).
+  mutable Mutex state_mu_{LockRank::kWalState, "wal.state_mu"};
   /// Pages dirtied inside the open transaction (ordered: deterministic
   /// log layout). Also the no-steal protection set; on log failure it is
   /// frozen into `broken_` state.
-  std::set<PageId> txn_dirty_;
+  std::set<PageId> txn_dirty_ GUARDED_BY(state_mu_);
   std::atomic<bool> broken_{false};
 
   /// Guards writer_ and stats_: commits and checkpoints append from the
   /// writer thread while BeforePageFlush may sync from any evicting
-  /// thread.
-  mutable std::mutex log_mu_;
-  WalStats stats_;
+  /// thread. Never held across a call into the buffer pool.
+  mutable Mutex log_mu_{LockRank::kWalLog, "wal.log_mu"};
+  WalStats stats_ GUARDED_BY(log_mu_);
 
-  /// Group-commit coordinator state. Lock order: group_mu_ before
-  /// log_mu_ (WaitDurable holds group_mu_ only around leader election
-  /// and follower waits, never across the device sync itself).
-  std::mutex group_mu_;
-  std::condition_variable group_cv_;
-  bool group_leader_active_ = false;
-  uint64_t group_waiters_ = 0;
+  /// Group-commit coordinator state. Lock order (enforced by LockRank):
+  /// group_mu_ before log_mu_ (WaitDurable holds group_mu_ only around
+  /// leader election and follower waits, never across the device sync
+  /// itself).
+  Mutex group_mu_{LockRank::kWalGroup, "wal.group_mu"};
+  CondVar group_cv_;
+  bool group_leader_active_ GUARDED_BY(group_mu_) = false;
+  uint64_t group_waiters_ GUARDED_BY(group_mu_) = 0;
   std::atomic<uint64_t> last_commit_lsn_{0};
 
   /// Always-on latency instruments: relaxed atomics, so Observe is noise
