@@ -12,14 +12,27 @@
 // engine-level restatement of the paper's cost model being preserved: the
 // parallel executor changes *when* pages are touched, never *how many*.
 //
+// --mixed=W switches to the mixed read/write workload (DESIGN.md §14):
+// two reader threads run the same indexed read query while W writer
+// threads concurrently update the replicated field on S (each update
+// propagates into the in-place replicas on R). Readers take no set locks
+// — the bench reports read throughput with and without the writers
+// running, the writers' update rate, and the lock table's conflict
+// counters. Reader row counts are still asserted (every query sees all
+// |R| rows); the logical-I/O equality check is read-only-ladder only,
+// since concurrent writers legitimately perturb page traffic.
+//
 // Usage: concurrent_read [s_count] [queries_per_step]
-//                        [--threads=N] [--window=W] [--json[=path]]
+//                        [--threads=N] [--window=W] [--mixed[=W]]
+//                        [--json[=path]]
 // --threads adds one extra ladder step (e.g. --threads=16).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -34,6 +47,152 @@ uint64_t NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Mixed read/write mode: two reader threads against `writers` concurrent
+/// updaters of S.repfield (which propagates into the in-place replicas on
+/// R, so every write transaction X-locks both sets). Readers never touch
+/// the lock table; the interesting numbers are how little read throughput
+/// drops and that all writer/writer conflicts land on the S/R locks.
+int RunMixed(uint32_t s_count, int queries, int writers, uint32_t window,
+             const std::string& json_path) {
+  std::printf(
+      "== Mixed read/write: 2 readers vs %d writer%s on the replicated "
+      "field ==\n",
+      writers, writers == 1 ? "" : "s");
+  WorkloadOptions options;
+  options.s_count = s_count;
+  options.f = 5;
+  options.strategy = ModelStrategy::kInPlace;
+  options.read_ahead_window = window;
+  auto workload = BuildModelWorkload(options);
+  if (!workload.ok()) {
+    std::printf("build failed: %s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  Database& db = *workload->db;
+  const uint32_t r_count = static_cast<uint32_t>(workload->r_oids.size());
+
+  ReadQuery query;
+  query.set_name = "R";
+  query.projections = {"field_r", "sref.repfield"};
+  query.predicate = Predicate::Between(
+      "field_r", Value(int32_t{0}), Value(static_cast<int32_t>(r_count - 1)));
+
+  // Warm pass, as in the read-only ladder.
+  ReadResult warm;
+  Status s = db.Retrieve(query, &warm);
+  if (!s.ok() || warm.rows.size() != r_count) {
+    std::printf("warmup failed: %s (%zu rows)\n", s.ToString().c_str(),
+                warm.rows.size());
+    return 1;
+  }
+
+  constexpr int kReaders = 2;
+  std::atomic<bool> read_failed{false};
+  auto read_pass = [&]() -> double {
+    const uint64_t start = NowNs();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kReaders; ++t) {
+      threads.emplace_back([&] {
+        for (int q = 0; q < queries && !read_failed.load(); ++q) {
+          ReadResult result;
+          Status rs = db.Retrieve(query, &result);
+          if (!rs.ok() || result.rows.size() != r_count) {
+            std::printf("read failed: %s (%zu rows)\n",
+                        rs.ToString().c_str(), result.rows.size());
+            read_failed.store(true);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double sec = static_cast<double>(NowNs() - start) / 1e9;
+    return sec > 0 ? static_cast<double>(kReaders * queries) / sec : 0;
+  };
+
+  const double readonly_qps = read_pass();
+  if (read_failed.load()) return 1;
+
+  const uint64_t conflicts_before = db.lock_table().conflicts();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<bool> write_failed{false};
+  std::vector<std::thread> writer_threads;
+  for (int w = 0; w < writers; ++w) {
+    writer_threads.emplace_back([&, w] {
+      int trial = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        UpdateQuery update;
+        update.set_name = "S";
+        update.predicate = Predicate::Compare(
+            "field_s", CompareOp::kEq,
+            Value(static_cast<int32_t>(
+                (static_cast<uint32_t>(w) * 7919u +
+                 static_cast<uint32_t>(trial)) %
+                s_count)));
+        update.assignments.emplace_back(
+            "repfield", Value(StringPrintf("mix-%06d", trial)));
+        UpdateResult result;
+        Status us = db.Replace(update, &result);
+        if (!us.ok()) {
+          std::printf("write failed: %s\n", us.ToString().c_str());
+          write_failed.store(true);
+          return;
+        }
+        writes.fetch_add(1, std::memory_order_relaxed);
+        ++trial;
+      }
+    });
+  }
+  const uint64_t mixed_start = NowNs();
+  const double mixed_qps = read_pass();
+  stop.store(true);
+  for (auto& t : writer_threads) t.join();
+  const double mixed_sec =
+      static_cast<double>(NowNs() - mixed_start) / 1e9;
+  if (read_failed.load() || write_failed.load()) return 1;
+  const double writes_per_sec =
+      mixed_sec > 0 ? static_cast<double>(writes.load()) / mixed_sec : 0;
+  const uint64_t lock_conflicts =
+      db.lock_table().conflicts() - conflicts_before;
+
+  std::printf("  %-28s %12.1f queries/s\n", "read-only (2 readers):",
+              readonly_qps);
+  std::printf("  %-28s %12.1f queries/s (%.0f%% of read-only)\n",
+              StringPrintf("with %d writer%s:", writers,
+                           writers == 1 ? "" : "s")
+                  .c_str(),
+              mixed_qps,
+              readonly_qps > 0 ? 100.0 * mixed_qps / readonly_qps : 0);
+  std::printf("  %-28s %12.1f updates/s (%llu total)\n", "writer throughput:",
+              writes_per_sec, static_cast<unsigned long long>(writes.load()));
+  std::printf("  %-28s %12llu\n", "lock conflicts:",
+              static_cast<unsigned long long>(lock_conflicts));
+
+  BenchJson json("concurrent_read_mixed");
+  json.Add("s_count", s_count);
+  json.Add("queries_per_reader", queries);
+  json.Add("readers", kReaders);
+  json.Add("writers", writers);
+  json.Add("mixed.readonly_qps", readonly_qps);
+  json.Add("mixed.qps", mixed_qps);
+  json.Add("mixed.read_retention",
+           readonly_qps > 0 ? mixed_qps / readonly_qps : 0);
+  json.Add("mixed.writes_per_sec", writes_per_sec);
+  json.Add("mixed.writes", static_cast<double>(writes.load()));
+  json.Add("mixed.lock_conflicts", static_cast<double>(lock_conflicts));
+  json.SetTelemetry(db.MetricsJson());
+  if (!json_path.empty()) {
+    s = json.WriteToFile(json_path);
+    if (!s.ok()) {
+      std::printf("failed to write %s: %s\n", json_path.c_str(),
+                  s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
 }
 
 int Run(uint32_t s_count, int queries, size_t extra_threads, uint32_t window,
@@ -174,8 +333,27 @@ int main(int argc, char** argv) {
   uint32_t window = fieldrep::bench::ConsumeWindowFlag(
       &argc, argv, fieldrep::kDefaultReadAheadWindow);
   size_t threads = fieldrep::bench::ConsumeThreadsFlag(&argc, argv, 1);
+  int mixed_writers = 0;  // 0 = read-only ladder (default mode)
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--mixed") {
+      mixed_writers = 2;
+    } else if (arg.rfind("--mixed=", 0) == 0) {
+      mixed_writers = std::atoi(arg.c_str() + std::strlen("--mixed="));
+      if (mixed_writers < 1) mixed_writers = 1;
+    } else {
+      continue;
+    }
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
+    --i;
+  }
   uint32_t s_count =
       argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 2000;
   int queries = argc > 2 ? std::atoi(argv[2]) : 20;
+  if (mixed_writers > 0) {
+    return fieldrep::bench::RunMixed(s_count, queries, mixed_writers, window,
+                                     json_path);
+  }
   return fieldrep::bench::Run(s_count, queries, threads, window, json_path);
 }

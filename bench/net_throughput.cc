@@ -12,6 +12,19 @@
 // statistics. File-backed so every fdatasync is real.
 //
 //   net_throughput [--max-clients N] [--commits N] [--json[=PATH]]
+//
+// --sets=N switches to the multi-writer workload (DESIGN.md §14): N
+// concurrent clients first all hammer ONE set (every statement conflicts
+// on its set lock and serializes), then each writes its OWN set — the
+// sets use distinct types, so the write-lock closures are disjoint
+// singletons and the transactions interleave freely, batching behind one
+// group-commit fsync. Reported per rung: commits/sec plus the lock
+// table's conflict/abort counters and the server's park counter. The
+// disjoint rung asserts zero lock conflicts — the machine-checkable form
+// of "writers on disjoint sets never serialize on locks", valid even on
+// one core where wall-clock speedups are noise.
+//
+//   net_throughput --sets=N [--commits N] [--json[=PATH]]
 
 #include <chrono>
 #include <cstdio>
@@ -99,6 +112,205 @@ void ClientLoop(const std::string& address, int key, int commits) {
   }
 }
 
+/// Fixture for the multi-writer rungs: `sets` object sets T0..T{sets-1},
+/// each of its own type (ROW0..), so no replication-closure or
+/// type-overlap reasoning can ever link them — the write-lock sets are
+/// disjoint by construction. Each set gets one row per client.
+std::unique_ptr<Database> BuildMultiSetDatabase(const std::string& path,
+                                                int sets, int rows_per_set) {
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  Database::Options options;
+  options.file_path = path;
+  options.enable_wal = true;
+  options.wal_sync_on_commit = true;
+  options.wal_group_commit = true;
+  auto db_or = Database::Open(options);
+  if (!db_or.ok()) {
+    std::printf("open failed: %s\n", db_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto db = std::move(db_or).value();
+  auto check = [](const Status& s) {
+    if (!s.ok()) {
+      std::printf("fixture failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  for (int t = 0; t < sets; ++t) {
+    check(db->DefineType(TypeDescriptor(
+        StringPrintf("ROW%d", t),
+        {Int32Attr("key"), Int32Attr("val"), CharAttr("pad", 64)})));
+    check(db->CreateSet(StringPrintf("T%d", t), StringPrintf("ROW%d", t)));
+    for (int i = 0; i < rows_per_set; ++i) {
+      Oid oid;
+      check(db->Insert(
+          StringPrintf("T%d", t),
+          Object(0, {Value(int32_t{i}), Value(int32_t{0}),
+                     Value(StringPrintf("row%d", i))}),
+          &oid));
+    }
+  }
+  check(db->Checkpoint());
+  return db;
+}
+
+/// One multi-writer client: auto-committed replaces of its own row in
+/// `set_name`.
+void SetClientLoop(const std::string& address, const std::string& set_name,
+                   int key, int commits) {
+  auto client_or = client::Client::Connect(address, "net_throughput");
+  if (!client_or.ok()) {
+    std::printf("connect failed: %s\n",
+                client_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto client = std::move(client_or).value();
+  for (int i = 0; i < commits; ++i) {
+    UpdateQuery query;
+    query.set_name = set_name;
+    query.predicate = Predicate::Compare("key", CompareOp::kEq,
+                                         Value(int32_t{key}));
+    query.assignments.emplace_back("val", Value(int32_t{i}));
+    UpdateResult result;
+    Status s = client->Replace(query, &result);
+    if (!s.ok()) {
+      std::printf("replace failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+}
+
+struct MultiRung {
+  int sets = 0;
+  int clients = 0;
+  uint64_t commits = 0;
+  double commits_per_sec = 0;
+  uint64_t lock_conflicts = 0;
+  uint64_t lock_aborts = 0;
+  uint64_t parks = 0;
+  uint64_t group_batches = 0;
+};
+
+/// `clients` concurrent writers spread over `sets` sets (sets == 1 is the
+/// fully contended baseline; sets == clients the fully disjoint rung).
+MultiRung RunMultiRung(int sets, int clients, int commits_per_client) {
+  const std::string path = "/tmp/fieldrep_net_multiwriter.db";
+  auto db = BuildMultiSetDatabase(path, sets, clients);
+
+  net::ServerOptions server_options;
+  server_options.address = "unix:" + path + ".sock";
+  server_options.max_sessions = static_cast<size_t>(clients) + 4;
+  server_options.worker_threads = 8;
+  auto server_or = net::Server::Start(db.get(), server_options);
+  if (!server_or.ok()) {
+    std::printf("server start failed: %s\n",
+                server_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto server = std::move(server_or).value();
+
+  const uint64_t conflicts_before = db->lock_table().conflicts();
+  const uint64_t aborts_before = db->lock_table().aborts();
+  const WalStats wal_before = db->wal()->stats();
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(SetClientLoop, server->address(),
+                         StringPrintf("T%d", c % sets), c,
+                         commits_per_client);
+  }
+  for (auto& t : threads) t.join();
+  auto t1 = std::chrono::steady_clock::now();
+
+  MultiRung rung;
+  rung.sets = sets;
+  rung.clients = clients;
+  rung.commits = static_cast<uint64_t>(clients) *
+                 static_cast<uint64_t>(commits_per_client);
+  const double sec = std::chrono::duration<double>(t1 - t0).count();
+  rung.commits_per_sec =
+      sec > 0 ? static_cast<double>(rung.commits) / sec : 0;
+  rung.lock_conflicts = db->lock_table().conflicts() - conflicts_before;
+  rung.lock_aborts = db->lock_table().aborts() - aborts_before;
+  rung.parks = server->metrics().parks.load();
+  rung.group_batches = db->wal()->stats().group_batches -
+                       wal_before.group_batches;
+
+  server->Stop();
+  Status s = db->Checkpoint();
+  if (!s.ok()) {
+    std::printf("checkpoint failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  db.reset();
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  return rung;
+}
+
+int RunMultiWriter(int sets, int commits, const std::string& json_path) {
+  std::printf(
+      "net_throughput --sets=%d: %d concurrent writers, contended (one "
+      "set) vs disjoint (one set each), %d commits per client\n\n",
+      sets, sets, commits);
+  std::printf("%8s %8s %14s %12s %12s %8s %14s\n", "sets", "clients",
+              "commits/sec", "conflicts", "aborts", "parks", "sync batches");
+
+  BenchJson json("net_throughput_multiwriter");
+  json.Add("commits_per_client", commits);
+  json.Add("clients", sets);
+  double contended_cps = 0, disjoint_cps = 0;
+  uint64_t disjoint_conflicts = 0;
+  for (const int rung_sets : {1, sets}) {
+    MultiRung r = RunMultiRung(rung_sets, sets, commits);
+    std::printf("%8d %8d %14.0f %12llu %12llu %8llu %14llu\n", r.sets,
+                r.clients, r.commits_per_sec,
+                static_cast<unsigned long long>(r.lock_conflicts),
+                static_cast<unsigned long long>(r.lock_aborts),
+                static_cast<unsigned long long>(r.parks),
+                static_cast<unsigned long long>(r.group_batches));
+    const std::string prefix = StringPrintf("multiwriter.sets%d.", r.sets);
+    json.Add(prefix + "commits_per_sec", r.commits_per_sec);
+    json.Add(prefix + "commits", static_cast<double>(r.commits));
+    json.Add(prefix + "lock_conflicts",
+             static_cast<double>(r.lock_conflicts));
+    json.Add(prefix + "lock_aborts", static_cast<double>(r.lock_aborts));
+    json.Add(prefix + "parks", static_cast<double>(r.parks));
+    json.Add(prefix + "group_batches",
+             static_cast<double>(r.group_batches));
+    if (rung_sets == 1) {
+      contended_cps = r.commits_per_sec;
+    } else {
+      disjoint_cps = r.commits_per_sec;
+      disjoint_conflicts = r.lock_conflicts;
+    }
+    if (rung_sets == sets) break;  // sets == 1: a single rung.
+  }
+  if (contended_cps > 0 && disjoint_cps > 0) {
+    std::printf("\ndisjoint/contended speedup: %.2fx\n",
+                disjoint_cps / contended_cps);
+    json.Add("multiwriter.speedup", disjoint_cps / contended_cps);
+  }
+  if (!json_path.empty()) {
+    Status s = json.WriteToFile(json_path);
+    if (!s.ok()) {
+      std::printf("json write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("json results written to %s\n", json_path.c_str());
+  }
+  // Writers on disjoint sets must never touch each other's locks; this
+  // holds on any core count, unlike wall-clock speedups.
+  if (sets > 1 && disjoint_conflicts != 0) {
+    std::printf("FAIL: %llu lock conflicts on fully disjoint sets\n",
+                static_cast<unsigned long long>(disjoint_conflicts));
+    return 1;
+  }
+  return 0;
+}
+
 Rung RunRung(bool group_commit, int clients, int commits_per_client,
              int max_clients) {
   const std::string path = StringPrintf(
@@ -157,6 +369,7 @@ int Run(int argc, char** argv) {
   std::string json_path = ConsumeJsonFlag(&argc, argv, "net_throughput");
   int max_clients = 256;
   int commits = 40;
+  int sets = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--max-clients" && i + 1 < argc) {
@@ -167,14 +380,19 @@ int Run(int argc, char** argv) {
       commits = std::atoi(argv[++i]);
     } else if (arg.rfind("--commits=", 0) == 0) {
       commits = std::atoi(arg.c_str() + std::strlen("--commits="));
+    } else if (arg == "--sets" && i + 1 < argc) {
+      sets = std::atoi(argv[++i]);
+    } else if (arg.rfind("--sets=", 0) == 0) {
+      sets = std::atoi(arg.c_str() + std::strlen("--sets="));
     } else {
       std::printf("usage: net_throughput [--max-clients N] [--commits N] "
-                  "[--json[=PATH]]\n");
+                  "[--sets N] [--json[=PATH]]\n");
       return 1;
     }
   }
   if (max_clients < 1) max_clients = 1;
   if (commits < 1) commits = 1;
+  if (sets > 0) return RunMultiWriter(sets, commits, json_path);
 
   std::printf(
       "net_throughput: %d auto-committed replaces per client over a unix "

@@ -73,6 +73,14 @@ echo "== live metrics scrape (prometheus) =="
 "$STATS" --connect "unix:$SOCKET" --format=prometheus > "$WORK_DIR/metrics.prom"
 head -n 6 "$WORK_DIR/metrics.prom"
 grep -q "^# TYPE fieldrep_net_requests_total counter" "$WORK_DIR/metrics.prom"
+# Lock-table metrics (DESIGN.md §14) must flow through every format.
+grep -q "^# TYPE fieldrep_lock_acquisitions_total counter" "$WORK_DIR/metrics.prom"
+grep -q "^# TYPE fieldrep_lock_conflicts_total counter" "$WORK_DIR/metrics.prom"
+grep -q "^fieldrep_lock_held " "$WORK_DIR/metrics.prom"
+
+echo "== live metrics scrape (text) =="
+"$STATS" --connect "unix:$SOCKET" > "$WORK_DIR/metrics.txt"
+grep -q "fieldrep_lock_wait_ns_total" "$WORK_DIR/metrics.txt"
 
 echo "== live metrics scrape (json) =="
 "$STATS" --connect "unix:$SOCKET" --format=json > "$WORK_DIR/metrics.json"
@@ -86,7 +94,15 @@ for required in (
     "fieldrep_pool_fetches_total",
     "fieldrep_net_sessions_total",
     "fieldrep_net_requests_total",
+    "fieldrep_net_parks_total",
+    "fieldrep_net_txn_aborts_total",
     "fieldrep_wal_group_batches_total",
+    "fieldrep_lock_acquisitions_total",
+    "fieldrep_lock_conflicts_total",
+    "fieldrep_lock_aborts_total",
+    "fieldrep_lock_wait_ns_total",
+    "fieldrep_lock_held",
+    "fieldrep_lock_waiters",
 ):
     assert required in names, f"missing {required}: {sorted(names)}"
 print(f"ok: {len(doc['metrics'])} metrics over the wire")

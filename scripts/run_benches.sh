@@ -36,6 +36,21 @@ run() {
   "$bin" "$@" | tee "$OUT_ABS/$name.txt"
 }
 
+# Like run, but captures stdout under a distinct label so one binary can
+# contribute several workloads without clobbering its own .txt.
+run_as() {
+  local label="$1"
+  local name="$2"
+  shift 2
+  local bin="$BUILD_DIR/bench/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "skipping $name (not built)"
+    return
+  fi
+  echo "== $label: $name $* =="
+  "$bin" "$@" | tee "$OUT_ABS/$label.txt"
+}
+
 # JSON-capable benches: results land in $OUT_DIR/BENCH_<name>.json.
 # --threads records the worker count in the JSON metadata (concurrent_read
 # additionally sweeps its built-in 1/2/4/8 ladder).
@@ -43,6 +58,15 @@ run empirical_io --json="$OUT_ABS/BENCH_empirical_io.json" 500 2
 run micro_ops --json="$OUT_ABS/BENCH_micro_ops.json" --threads=4
 run concurrent_read --json="$OUT_ABS/BENCH_concurrent_read.json" --threads=4
 run net_throughput --json="$OUT_ABS/BENCH_net_throughput.json" --max-clients 64
+
+# Multi-writer concurrency benches (DESIGN.md §14): disjoint-set writers
+# must show zero lock conflicts (net_throughput exits nonzero otherwise);
+# the mixed mode measures reader throughput alongside concurrent updates
+# of the replicated field.
+run_as net_multiwriter net_throughput \
+  --json="$OUT_ABS/BENCH_net_multiwriter.json" --sets=4
+run_as concurrent_mixed concurrent_read \
+  --json="$OUT_ABS/BENCH_concurrent_mixed.json" --mixed=2
 
 # Table-only benches (stdout captured).
 run fig11_unclustered_model

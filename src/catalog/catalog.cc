@@ -330,7 +330,7 @@ void Catalog::EncodeTo(std::string* out) const {
   }
   // Counters.
   PutU16(out, next_type_tag_);
-  PutU16(out, next_file_id_);
+  PutU16(out, next_file_id_.load(std::memory_order_relaxed));
   PutU16(out, next_path_id_);
 }
 
@@ -451,10 +451,12 @@ Status Catalog::DecodeFrom(ByteReader* reader) {
     indexes_.emplace(info.name, std::move(info));
   }
 
-  if (!reader->GetU16(&next_type_tag_) || !reader->GetU16(&next_file_id_) ||
+  uint16_t next_file_id = 0;
+  if (!reader->GetU16(&next_type_tag_) || !reader->GetU16(&next_file_id) ||
       !reader->GetU16(&next_path_id_)) {
     return Status::Corruption("truncated catalog: counters");
   }
+  next_file_id_.store(next_file_id, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef FIELDREP_CATALOG_CATALOG_H_
 #define FIELDREP_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -73,8 +74,11 @@ class Catalog {
   std::vector<std::string> SetNames() const;
 
   /// Allocates a file id for an auxiliary file (link set, replica set,
-  /// index, output file).
-  FileId AllocateFileId() { return next_file_id_++; }
+  /// index, output file). Atomic: a read query creating the output file
+  /// may race DDL running under the schema lock.
+  FileId AllocateFileId() {
+    return next_file_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // --- Path binding ----------------------------------------------------------
 
@@ -123,7 +127,7 @@ class Catalog {
 
   std::map<std::string, SetInfo> sets_;
   std::map<FileId, std::string> sets_by_file_;
-  FileId next_file_id_ = 1;
+  std::atomic<FileId> next_file_id_{1};
 
   std::map<uint16_t, ReplicationPathInfo> paths_;
   uint16_t next_path_id_ = 1;

@@ -14,14 +14,16 @@ namespace fieldrep {
 /// ordering is derived from the real nesting observed in the engine; the
 /// key chains with their evidence:
 ///
-///   server.mu -> db.write_mu           Server::CleanupSessionLocked aborts
-///                                      the session's open transaction while
-///                                      holding the session map lock.
 ///   server.mu -> threadpool.mu         EnqueueFrame submits work under mu_.
 ///   metrics.mu -> {wal.log_mu,         MetricsRegistry::Collect invokes
 ///     pool.shard.mu, profiler.mu}      collectors while holding its lock.
-///   db.write_mu -> db.maps_mu          DecodeState/CreateSet publish sets
-///                                      under the write gate.
+///   db.setlock -> db.lock_table.mu     a transaction holding set locks
+///                                      acquires further ones through the
+///                                      table's internal mutex.
+///   db.setlock -> wal.commit_mu        strict 2PL: locks are held across
+///   -> db.committed_mu -> db.maps_mu   commit, whose precommit hook
+///                                      publishes committed metadata and
+///                                      walks the set maps.
 ///   frame.latch -> record.chain_mu     RecordFile::AppendPage caches chain
 ///                                      links while page guards are live.
 ///   frame.latch -> pool.victim         documented pool order (DESIGN.md
@@ -33,10 +35,18 @@ namespace fieldrep {
 ///   pool.victim -> wal.group_mu        write-back honours BeforePageFlush
 ///                                      (flush ordering) under victim.
 ///   pool.victim -> device.mu           WriteBackFrame writes to the device.
+///   frame.latch -> repl.pending_mu     deferred propagation queues entries
+///                                      while mutation page guards are live.
 enum class LockRank : uint16_t {
-  kServer = 100,           ///< net::Server::mu_ (sessions, gate, admission)
+  kServer = 100,           ///< net::Server::mu_ (sessions, parking, admission)
   kMetricsRegistry = 150,  ///< telemetry::MetricsRegistry::mu_
-  kDatabaseWrite = 200,    ///< Database::write_mu_ (recursive writer gate)
+  kSetLock = 180,          ///< logical per-set 2PL locks (same-rank ok; the
+                           ///< LockTable's ascending-id wait policy keeps the
+                           ///< same-rank set acyclic)
+  kLockTable = 190,        ///< LockTable::mu_ (lock-table internals)
+  kWalCommit = 250,        ///< WalManager::commit_mu_ (one commit at a time)
+  kCommittedState = 270,   ///< Database::committed_mu_ (checkpoint metadata)
+  kExecutorOutput = 280,   ///< Executor::output_mu_ (output-file spooling)
   kDatabaseMaps = 300,     ///< Database::maps_mu_ (set/aux-file maps)
   kFrameLatch = 500,       ///< BufferPool per-frame latches (same-rank ok)
   kRecordChain = 550,      ///< RecordFile::chain_mu_ (page-chain cache)
@@ -49,15 +59,19 @@ enum class LockRank : uint16_t {
   kSessionWrite = 1100,    ///< net::Server per-session response write lock
   kDevice = 1200,          ///< MemoryDevice::mu_ (page vector growth)
   kProfiler = 1300,        ///< WorkloadProfiler::mu_
+  kReplicationPending = 1400,  ///< ReplicationManager::pending_mu_
   kLeaf = 1500,            ///< strictly-leaf locks (ThreadPool batch state)
 };
 
 /// True for rank classes whose members may be held together at the same
 /// rank: per-frame latches (elevator write-back and multi-page appends
 /// legitimately hold several frames at once; each frame's pin protocol
-/// makes the set acyclic).
+/// makes the set acyclic) and the logical per-set transaction locks (a
+/// write transaction holds its whole replication closure; the LockTable
+/// only ever *waits* for ids above everything held, so the same-rank set
+/// cannot close a cycle).
 constexpr bool LockRankAllowsSameRank(LockRank rank) {
-  return rank == LockRank::kFrameLatch;
+  return rank == LockRank::kFrameLatch || rank == LockRank::kSetLock;
 }
 
 /// Whether the runtime checker is compiled in. Defined by CMake for every

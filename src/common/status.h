@@ -27,6 +27,10 @@ enum class StatusCode {
   /// backpressure); retrying later may succeed. Used by the network
   /// server's busy replies.
   kUnavailable,
+  /// The transaction was killed by concurrency control (wait-or-die lock
+  /// conflict); the work itself was valid and retrying the whole
+  /// transaction should succeed.
+  kAborted,
 };
 
 /// \brief Returns a stable, human-readable name for a status code
@@ -81,6 +85,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -96,6 +103,7 @@ class Status {
     return code_ == StatusCode::kFailedPrecondition;
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
 
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;

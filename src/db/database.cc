@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <set>
 
 #include "check/integrity_checker.h"
 #include "common/bytes.h"
@@ -21,6 +22,60 @@ constexpr char kHeaderMagic[8] = {'F', 'R', 'E', 'P', '0', '0', '0', '2'};
 // Blob bytes stored per meta page: everything after the page header.
 constexpr size_t kMetaChunkBytes = kPageSize - kPageHeaderBytes;
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Session transactions (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+struct Database::SessionTxn {
+  Database* db = nullptr;
+  /// The two-phase lock set, managed by the database's LockTable.
+  LockTable::Txn locks;
+  /// Created by BeginSessionTransaction (vs. the stack bracket of a
+  /// single-statement WriteOp). Only explicit sessions are heap-owned,
+  /// counted in open_sessions_, and detachable.
+  bool explicit_session = false;
+  /// The outer WAL bracket exists. Opened lazily on the first mutating
+  /// statement, so idle Begin'd sessions never hold a live WAL
+  /// transaction (which would block checkpoints).
+  bool wal_begun = false;
+  /// Publish scope for the committed-state registry: everything (DDL,
+  /// checkpoint) or the write-locked sets.
+  bool publish_all = false;
+  std::set<std::string> publish_sets;
+  /// The WAL transaction handle while the session is detached from any
+  /// thread (between network statements).
+  WalTxn* wal_txn = nullptr;
+  SessionTxn* tls_prev = nullptr;
+};
+
+namespace {
+/// The stack of transactions attached to this thread, one node per
+/// database (tests open several databases on one thread; a server worker
+/// can hold one database's session while flushing another's).
+thread_local Database::SessionTxn* tls_db_txn_head = nullptr;
+
+void TlsPush(Database::SessionTxn* t) {
+  t->tls_prev = tls_db_txn_head;
+  tls_db_txn_head = t;
+}
+
+void TlsUnlink(Database::SessionTxn* t) {
+  Database::SessionTxn** p = &tls_db_txn_head;
+  while (*p != nullptr && *p != t) p = &(*p)->tls_prev;
+  if (*p == t) {
+    *p = t->tls_prev;
+    t->tls_prev = nullptr;
+  }
+}
+}  // namespace
+
+Database::SessionTxn* Database::CurrentTxn() const {
+  for (SessionTxn* t = tls_db_txn_head; t != nullptr; t = t->tls_prev) {
+    if (t->db == this) return t;
+  }
+  return nullptr;
+}
 
 Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
   std::unique_ptr<Database> db(new Database());
@@ -64,6 +119,7 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
                                                   : options.buffer_pool_frames;
   db->pool_ = std::make_unique<BufferPool>(db->device_, frames);
   db->pool_->set_read_ahead_window(options.read_ahead_window);
+  Database* raw = db.get();
   if (options.enable_wal) {
     WalManager::Options wal_options;
     wal_options.sync_on_commit = options.wal_sync_on_commit;
@@ -74,9 +130,22 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
                                             wal_options);
     FIELDREP_RETURN_IF_ERROR(db->wal_->Initialize(db->recovery_stats_.epoch + 1));
     db->pool_->SetObserver(db->wal_.get());
-    Database* raw = db.get();
-    db->wal_->set_precommit_hook(
-        [raw] { return raw->WriteStateToMetaPages(); });
+    // The committing transaction's metadata is published into the
+    // committed-state registry first (inside the commit, serialized by
+    // the WAL's commit mutex), so the meta-page image below describes
+    // exactly the committed transactions including this one — never a
+    // concurrent transaction's uncommitted state. Commits outside any
+    // tracked transaction (component tests driving the WAL directly)
+    // refresh the whole registry from live state.
+    db->wal_->set_precommit_hook([raw] {
+      SessionTxn* txn = raw->CurrentTxn();
+      if (txn != nullptr) {
+        raw->PublishCommittedState(txn);
+      } else {
+        raw->RefreshAllCommitted();
+      }
+      return raw->WriteStateToMetaPages();
+    });
   }
   db->indexes_ =
       std::make_unique<IndexManager>(db->pool_.get(), &db->catalog_, db.get());
@@ -87,7 +156,10 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
                                              db->replication_.get());
   if (db->wal_ != nullptr) db->replication_->set_wal(db->wal_.get());
   db->replication_->set_pool(db->pool_.get());
-  db->executor_->set_write_mutex(&db->write_mu_);
+  // Deferred-propagation flushes triggered by read queries run as locked
+  // write transactions on the path's head set.
+  db->executor_->set_flush_deferred(
+      [raw](uint16_t path_id) { return raw->FlushDeferredPath(path_id); });
   if (options.worker_threads > 1) {
     db->workers_ = std::make_unique<ThreadPool>(options.worker_threads);
     db->executor_->set_worker_pool(db->workers_.get());
@@ -113,13 +185,16 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
     ReplicationManager* repl = db->replication_.get();
     db->metrics_->AddCollector(
         [repl](std::vector<MetricSample>* out) { repl->CollectMetrics(out); });
+    LockTable* locks = &db->lock_table_;
+    db->metrics_->AddCollector([locks](std::vector<MetricSample>* out) {
+      locks->CollectMetrics(out);
+    });
     WorkloadProfiler* prof = db->profiler_.get();
     db->metrics_->AddCollector(
         [prof](std::vector<MetricSample>* out) { prof->CollectMetrics(out); });
     // The worker pool is swappable (SetWorkerThreads), so the collector
     // reads through the database each render. SetWorkerThreads already
     // requires quiesced queries; that covers concurrent Collect() too.
-    Database* raw = db.get();
     db->metrics_->AddCollector([raw](std::vector<MetricSample>* out) {
       ThreadPool* workers = raw->workers_.get();
       if (workers != nullptr) workers->CollectMetrics(out);
@@ -136,41 +211,282 @@ Result<std::unique_ptr<Database>> Database::Open(const Options& options) {
     }
     guard.MarkDirty();
   }
+  // Seed the committed-state registry with the opening state.
+  db->RefreshAllCommitted();
   return db;
 }
 
-std::string Database::EncodeState() const {
-  // Runs under write_mu_ (the precommit hook fires inside commit), but
-  // CreateSet/CreateAuxFile mutate the maps under maps_mu_ from any
-  // session thread, so the iteration itself still needs the shared lock.
-  // Rank order: db.write_mu (200) -> db.maps_mu (300), ascending.
+// ---------------------------------------------------------------------------
+// Two-phase locking
+// ---------------------------------------------------------------------------
+
+Status Database::WriteLockClosure(
+    const std::string& set_name, std::map<uint32_t, std::string>* locks) const {
+  FIELDREP_ASSIGN_OR_RETURN(const SetInfo* target, catalog_.GetSet(set_name));
+  std::set<std::string> closure_sets = {set_name};
+  std::set<std::string> closure_types = {target->type_name};
+  const std::vector<std::string> all_sets = catalog_.SetNames();
+  const std::vector<uint16_t> all_paths = catalog_.AllPathIds();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint16_t path_id : all_paths) {
+      const ReplicationPathInfo* path = catalog_.GetPath(path_id);
+      if (path == nullptr) continue;
+      // Every type a propagation along this path reads or writes.
+      std::set<std::string> chain;
+      for (const PathStep& step : path->bound.steps) {
+        chain.insert(step.source_type);
+        chain.insert(step.target_type);
+      }
+      chain.insert(path->bound.terminal_type);
+      bool relevant = closure_sets.count(path->bound.set_name) != 0;
+      for (auto it = chain.begin(); !relevant && it != chain.end(); ++it) {
+        relevant = closure_types.count(*it) != 0;
+      }
+      if (!relevant) continue;
+      if (closure_sets.insert(path->bound.set_name).second) changed = true;
+      for (const std::string& type : chain) {
+        if (closure_types.insert(type).second) changed = true;
+      }
+    }
+    for (const std::string& name : all_sets) {
+      if (closure_sets.count(name) != 0) continue;
+      auto info = catalog_.GetSet(name);
+      if (info.ok() && closure_types.count(info.value()->type_name) != 0) {
+        closure_sets.insert(name);
+        changed = true;
+      }
+    }
+  }
+  for (const std::string& name : closure_sets) {
+    auto info = catalog_.GetSet(name);
+    if (!info.ok()) continue;
+    (*locks)[LockTable::LockIdForFile(info.value()->file_id)] = name;
+  }
+  return Status::OK();
+}
+
+Status Database::AcquireWriteLocks(SessionTxn* txn,
+                                   const std::string& set_name) {
+  // Schema lock (id 0, the globally lowest) first, then the closure in
+  // ascending set-lock-id order: acquisition never reaches down the id
+  // space, so wait-or-die never kills a single-statement writer.
+  FIELDREP_RETURN_IF_ERROR(lock_table_.Acquire(
+      &txn->locks, LockTable::kSchemaLockId, LockTable::Mode::kShared));
+  std::map<uint32_t, std::string> closure;
+  FIELDREP_RETURN_IF_ERROR(WriteLockClosure(set_name, &closure));
+  for (const auto& [lock_id, name] : closure) {
+    FIELDREP_RETURN_IF_ERROR(
+        lock_table_.Acquire(&txn->locks, lock_id, LockTable::Mode::kExclusive));
+  }
+  for (const auto& [lock_id, name] : closure) txn->publish_sets.insert(name);
+  return Status::OK();
+}
+
+Status Database::AcquireSchemaExclusive(SessionTxn* txn) {
+  FIELDREP_RETURN_IF_ERROR(lock_table_.Acquire(
+      &txn->locks, LockTable::kSchemaLockId, LockTable::Mode::kExclusive));
+  txn->publish_all = true;
+  return Status::OK();
+}
+
+Status Database::TryLockSetForWrite(const std::string* set_name,
+                                    LockTable::TryOutcome* outcome) {
+  *outcome = LockTable::TryOutcome::kAcquired;
+  SessionTxn* txn = CurrentTxn();
+  if (txn == nullptr) {
+    return Status::FailedPrecondition(
+        "no transaction attached to this thread");
+  }
+  if (set_name == nullptr) {
+    *outcome = lock_table_.TryAcquire(&txn->locks, LockTable::kSchemaLockId,
+                                      LockTable::Mode::kExclusive);
+    if (*outcome == LockTable::TryOutcome::kAcquired) txn->publish_all = true;
+    return Status::OK();
+  }
+  *outcome = lock_table_.TryAcquire(&txn->locks, LockTable::kSchemaLockId,
+                                    LockTable::Mode::kShared);
+  if (*outcome != LockTable::TryOutcome::kAcquired) return Status::OK();
+  std::map<uint32_t, std::string> closure;
+  FIELDREP_RETURN_IF_ERROR(WriteLockClosure(*set_name, &closure));
+  for (const auto& [lock_id, name] : closure) {
+    *outcome = lock_table_.TryAcquire(&txn->locks, lock_id,
+                                      LockTable::Mode::kExclusive);
+    if (*outcome != LockTable::TryOutcome::kAcquired) return Status::OK();
+  }
+  for (const auto& [lock_id, name] : closure) txn->publish_sets.insert(name);
+  return Status::OK();
+}
+
+Status Database::WriteOp(const std::string* set_name,
+                         const std::function<Status()>& fn, bool wal_bracket) {
+  SessionTxn* joined = CurrentTxn();
+  if (joined != nullptr) {
+    // Statement inside an attached transaction (an explicit session, or
+    // nested in another WriteOp): its locks accumulate there — strict
+    // 2PL holds them to that transaction's commit/abort — and the WAL
+    // bracket opens lazily on this first mutation. Commit, durability,
+    // and publication happen when the owning transaction ends.
+    FIELDREP_RETURN_IF_ERROR(set_name != nullptr
+                                 ? AcquireWriteLocks(joined, *set_name)
+                                 : AcquireSchemaExclusive(joined));
+    if (wal_bracket && wal_ != nullptr && !joined->wal_begun) {
+      FIELDREP_RETURN_IF_ERROR(wal_->BeginTransaction());
+      joined->wal_begun = true;
+    }
+    return fn();
+  }
+
+  // The operation is its own transaction.
+  SessionTxn local;
+  local.db = this;
+  lock_table_.RegisterTxn(&local.locks);
+  TlsPush(&local);
+  Status s = set_name != nullptr ? AcquireWriteLocks(&local, *set_name)
+                                 : AcquireSchemaExclusive(&local);
+  uint64_t durable = 0;
+  if (s.ok()) {
+    if (wal_bracket && wal_ != nullptr) {
+      s = wal_->BeginTransaction();
+      local.wal_begun = s.ok();
+    }
+    if (s.ok()) {
+      s = fn();
+      if (local.wal_begun) {
+        if (s.ok()) {
+          uint64_t lsn = 0;
+          s = wal_->CommitTransaction(&lsn);
+          if (s.ok() && wal_->group_commit_enabled()) durable = lsn;
+        } else {
+          // Redo-only log: nothing was logged, recovery lands on the
+          // last committed state.
+          (void)wal_->AbortTransaction();
+        }
+      } else if (s.ok() && wal_bracket) {
+        // Unlogged database: no commit hook runs, publish directly.
+        PublishCommittedState(&local);
+      }
+    }
+  }
+  lock_table_.ReleaseAll(&local.locks);
+  TlsUnlink(&local);
+  if (s.ok() && durable != 0) s = WaitWalDurable(durable);
+  if (s.ok() && wal_bracket) MaybeAutoCheckpoint();
+  return s;
+}
+
+void Database::MaybeAutoCheckpoint() {
+  if (wal_ == nullptr || !wal_->needs_auto_checkpoint()) return;
+  // Best-effort: skip when explicit sessions are open (the exclusive
+  // schema lock below would stall until they commit); any failure
+  // surfaces at the next explicit Checkpoint.
+  if (InSessionTransaction()) return;
+  (void)Checkpoint();
+}
+
+// ---------------------------------------------------------------------------
+// Committed-state registry
+// ---------------------------------------------------------------------------
+
+void Database::RefreshAllCommitted() {
+  const FileId output_id =
+      executor_ != nullptr ? executor_->output_file_id() : kInvalidFileId;
+  MutexLock committed_lock(committed_mu_);
+  committed_set_meta_.clear();
+  committed_aux_meta_.clear();
+  committed_tree_meta_.clear();
   ReaderMutexLock maps_lock(maps_mu_);
-  std::string out;
-  PutU16(&out, static_cast<uint16_t>(sets_.size()));
   for (const auto& [name, set] : sets_) {
-    PutLengthPrefixed(&out, name);
-    PutLengthPrefixed(&out, set->file().EncodeMetadata());
+    committed_set_meta_[name] = set->file().EncodeMetadata();
   }
-  PutU16(&out, static_cast<uint16_t>(aux_files_.size()));
   for (const auto& [file_id, file] : aux_files_) {
-    PutU16(&out, file_id);
-    PutLengthPrefixed(&out, file->EncodeMetadata());
+    // The output file is scratch state written by concurrent readers;
+    // EncodeState reads it live under the executor's output lock.
+    if (file_id == output_id) continue;
+    committed_aux_meta_[file_id] = file->EncodeMetadata();
   }
-  // Index trees: enumerate via the catalog.
-  std::string tree_section;
-  uint16_t tree_count = 0;
   for (const std::string& set_name : catalog_.SetNames()) {
     for (const IndexInfo* info : catalog_.IndexesOnSet(set_name)) {
       auto tree = indexes_->GetIndex(info->name);
-      if (!tree.ok()) continue;
-      PutLengthPrefixed(&tree_section, info->name);
-      PutLengthPrefixed(&tree_section, tree.value()->EncodeMetadata());
-      ++tree_count;
+      if (tree.ok()) {
+        committed_tree_meta_[info->name] = tree.value()->EncodeMetadata();
+      }
     }
   }
-  PutU16(&out, tree_count);
-  out += tree_section;
-  PutU16(&out, executor_->output_file_id());
+}
+
+void Database::PublishCommittedState(SessionTxn* txn) {
+  if (txn->publish_all) {
+    RefreshAllCommitted();
+    return;
+  }
+  if (txn->publish_sets.empty()) return;
+  MutexLock committed_lock(committed_mu_);
+  ReaderMutexLock maps_lock(maps_mu_);
+  for (const std::string& set_name : txn->publish_sets) {
+    auto set_it = sets_.find(set_name);
+    if (set_it == sets_.end()) continue;
+    committed_set_meta_[set_name] = set_it->second->file().EncodeMetadata();
+    // Auxiliary files owned by this head set — the S' replica files of
+    // paths headed here and the link sets anchored here — are covered by
+    // the set's exclusive lock, so their live metadata is this
+    // transaction's too.
+    for (uint16_t path_id : catalog_.PathsHeadedAt(set_name)) {
+      const ReplicationPathInfo* path = catalog_.GetPath(path_id);
+      if (path == nullptr) continue;
+      auto aux_it = aux_files_.find(path->replica_set_file);
+      if (aux_it != aux_files_.end()) {
+        committed_aux_meta_[aux_it->first] = aux_it->second->EncodeMetadata();
+      }
+    }
+    for (uint8_t link_id : catalog_.link_registry().AllLinkIds()) {
+      const LinkInfo* link = catalog_.link_registry().GetLink(link_id);
+      if (link == nullptr || link->head_set != set_name) continue;
+      auto aux_it = aux_files_.find(link->link_set_file);
+      if (aux_it != aux_files_.end()) {
+        committed_aux_meta_[aux_it->first] = aux_it->second->EncodeMetadata();
+      }
+    }
+    for (const IndexInfo* info : catalog_.IndexesOnSet(set_name)) {
+      auto tree = indexes_->GetIndex(info->name);
+      if (tree.ok()) {
+        committed_tree_meta_[info->name] = tree.value()->EncodeMetadata();
+      }
+    }
+  }
+}
+
+std::string Database::EncodeState() const {
+  // The scratch output file is read live, but consistently: its id and
+  // metadata come as one pair from under the executor's output lock
+  // (released before committed_mu_ below — never nested).
+  FileId output_id = kInvalidFileId;
+  const std::string output_meta = executor_->EncodeOutputMetadata(&output_id);
+  const bool has_output = output_id != kInvalidFileId && !output_meta.empty();
+  MutexLock lock(committed_mu_);
+  std::string out;
+  PutU16(&out, static_cast<uint16_t>(committed_set_meta_.size()));
+  for (const auto& [name, meta] : committed_set_meta_) {
+    PutLengthPrefixed(&out, name);
+    PutLengthPrefixed(&out, meta);
+  }
+  PutU16(&out, static_cast<uint16_t>(committed_aux_meta_.size() +
+                                     (has_output ? 1 : 0)));
+  for (const auto& [file_id, meta] : committed_aux_meta_) {
+    PutU16(&out, file_id);
+    PutLengthPrefixed(&out, meta);
+  }
+  if (has_output) {
+    PutU16(&out, output_id);
+    PutLengthPrefixed(&out, output_meta);
+  }
+  PutU16(&out, static_cast<uint16_t>(committed_tree_meta_.size()));
+  for (const auto& [name, meta] : committed_tree_meta_) {
+    PutLengthPrefixed(&out, name);
+    PutLengthPrefixed(&out, meta);
+  }
+  PutU16(&out, has_output ? output_id : kInvalidFileId);
   return out;
 }
 
@@ -232,32 +548,56 @@ Status Database::DecodeState(ByteReader* reader) {
 }
 
 Status Database::SetWorkerThreads(size_t n) {
-  RecursiveMutexLock lock(write_mu_);
-  // Detach before destroying so a pool is never visible to the executor
-  // while its threads are joining.
-  executor_->set_worker_pool(nullptr);
-  workers_.reset();
-  if (n > 1) {
-    workers_ = std::make_unique<ThreadPool>(n);
-    executor_->set_worker_pool(workers_.get());
-  }
-  return Status::OK();
+  // Lock-only quiescence of writers; callers quiesce read queries.
+  return WriteOp(
+      nullptr,
+      [&] {
+        // Detach before destroying so a pool is never visible to the
+        // executor while its threads are joining.
+        executor_->set_worker_pool(nullptr);
+        workers_.reset();
+        if (n > 1) {
+          workers_ = std::make_unique<ThreadPool>(n);
+          executor_->set_worker_pool(workers_.get());
+        }
+        return Status::OK();
+      },
+      /*wal_bracket=*/false);
 }
 
 Status Database::Checkpoint() {
-  RecursiveMutexLock lock(write_mu_);
-  FIELDREP_RETURN_IF_ERROR(replication_->FlushAllPendingPropagation());
-  if (wal_ != nullptr) {
-    // The pre-commit hook writes the state blob inside this (otherwise
-    // empty) transaction, so the catalog update itself is logged; the WAL
-    // checkpoint then flushes the pool and truncates the log.
-    WalTransaction txn(wal_.get());
-    FIELDREP_RETURN_IF_ERROR(txn.begin_status());
-    FIELDREP_RETURN_IF_ERROR(txn.Commit());
-    return wal_->Checkpoint();
+  if (CurrentTxn() != nullptr) {
+    return Status::FailedPrecondition(
+        "checkpoint inside an open transaction");
   }
-  FIELDREP_RETURN_IF_ERROR(WriteStateToMetaPages());
-  return pool_->FlushAll();
+  SessionTxn local;
+  local.db = this;
+  lock_table_.RegisterTxn(&local.locks);
+  TlsPush(&local);
+  // The exclusive schema lock quiesces every writer (writers hold it
+  // shared for their whole transaction), so no WAL transaction is live
+  // anywhere — the no-steal precondition for the pool flush below.
+  Status s = AcquireSchemaExclusive(&local);
+  if (s.ok()) s = replication_->FlushAllPendingPropagation();
+  if (s.ok()) {
+    if (wal_ != nullptr) {
+      // The pre-commit hook publishes and writes the state blob inside
+      // this (otherwise empty) transaction, so the catalog update itself
+      // is logged; the WAL checkpoint then flushes the pool and
+      // truncates the log.
+      WalTransaction txn(wal_.get());
+      s = txn.begin_status();
+      if (s.ok()) s = txn.Commit();
+      if (s.ok()) s = wal_->Checkpoint();
+    } else {
+      PublishCommittedState(&local);
+      s = WriteStateToMetaPages();
+      if (s.ok()) s = pool_->FlushAll();
+    }
+  }
+  lock_table_.ReleaseAll(&local.locks);
+  TlsUnlink(&local);
+  return s;
 }
 
 Status Database::WriteStateToMetaPages() {
@@ -412,47 +752,87 @@ Status Database::CheckIntegrity(CheckReport* report) {
   return CheckIntegrity(CheckOptions(), report);
 }
 
-uint64_t Database::PendingDurableLsn(const Status& s) const {
-  if (!s.ok() || wal_ == nullptr) return 0;
-  if (!wal_->group_commit_enabled() || wal_->in_transaction()) return 0;
-  return wal_->last_commit_lsn();
-}
+// ---------------------------------------------------------------------------
+// Session transaction API
+// ---------------------------------------------------------------------------
 
 Status Database::BeginSessionTransaction() {
-  RecursiveMutexLock lock(write_mu_);
   if (wal_ == nullptr) {
     return Status::FailedPrecondition(
         "session transactions require write-ahead logging");
   }
-  if (wal_->in_transaction()) {
+  if (CurrentTxn() != nullptr) {
     return Status::FailedPrecondition("a session transaction is already open");
   }
-  return wal_->BeginTransaction();
+  auto* txn = new SessionTxn;
+  txn->db = this;
+  txn->explicit_session = true;
+  lock_table_.RegisterTxn(&txn->locks);
+  TlsPush(txn);
+  open_sessions_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+void Database::FinishSessionTxn(SessionTxn* txn) {
+  lock_table_.ReleaseAll(&txn->locks);
+  TlsUnlink(txn);
+  if (txn->explicit_session) {
+    open_sessions_.fetch_sub(1, std::memory_order_acq_rel);
+    delete txn;
+  }
 }
 
 Status Database::CommitSessionTransaction(uint64_t* commit_lsn) {
-  RecursiveMutexLock lock(write_mu_);
   if (commit_lsn != nullptr) *commit_lsn = 0;
-  if (wal_ == nullptr || !wal_->in_transaction()) {
+  SessionTxn* txn = CurrentTxn();
+  if (txn == nullptr || !txn->explicit_session) {
     return Status::FailedPrecondition("no open session transaction");
   }
-  Status s = wal_->CommitTransaction();
-  if (s.ok() && commit_lsn != nullptr && wal_->group_commit_enabled()) {
-    *commit_lsn = wal_->last_commit_lsn();
+  Status s;
+  if (txn->wal_begun) {
+    uint64_t lsn = 0;
+    s = wal_->CommitTransaction(&lsn);
+    if (s.ok() && commit_lsn != nullptr && wal_->group_commit_enabled()) {
+      *commit_lsn = lsn;
+    }
   }
+  FinishSessionTxn(txn);
+  if (s.ok()) MaybeAutoCheckpoint();
   return s;
 }
 
 Status Database::AbortSessionTransaction() {
-  RecursiveMutexLock lock(write_mu_);
-  if (wal_ == nullptr || !wal_->in_transaction()) {
+  SessionTxn* txn = CurrentTxn();
+  if (txn == nullptr || !txn->explicit_session) {
     return Status::FailedPrecondition("no open session transaction");
   }
-  return wal_->AbortTransaction();
+  Status s;
+  if (txn->wal_begun) s = wal_->AbortTransaction();
+  FinishSessionTxn(txn);
+  return s;
 }
 
 bool Database::InSessionTransaction() const {
-  return wal_ != nullptr && wal_->in_transaction();
+  return open_sessions_.load(std::memory_order_acquire) > 0;
+}
+
+Database::SessionTxn* Database::DetachSessionTransaction() {
+  SessionTxn* txn = CurrentTxn();
+  if (txn == nullptr || !txn->explicit_session) return nullptr;
+  if (txn->wal_begun) txn->wal_txn = wal_->DetachTransaction();
+  lock_table_.UnregisterHeldFromThread(txn->locks);
+  TlsUnlink(txn);
+  return txn;
+}
+
+void Database::AttachSessionTransaction(SessionTxn* txn) {
+  if (txn == nullptr) return;
+  TlsPush(txn);
+  lock_table_.RegisterHeldOnThread(txn->locks);
+  if (txn->wal_txn != nullptr) {
+    wal_->AttachTransaction(txn->wal_txn);
+    txn->wal_txn = nullptr;
+  }
 }
 
 Status Database::WaitWalDurable(uint64_t lsn) {
@@ -460,107 +840,75 @@ Status Database::WaitWalDurable(uint64_t lsn) {
   return wal_->WaitDurable(lsn);
 }
 
-Status Database::DefineType(TypeDescriptor type) {
-  uint64_t durable = 0;
-  Status s;
-  {
-    RecursiveMutexLock lock(write_mu_);
-    WalTransaction txn(wal_.get());
-    FIELDREP_RETURN_IF_ERROR(txn.begin_status());
-    FIELDREP_RETURN_IF_ERROR(catalog_.DefineType(std::move(type)));
-    s = txn.Commit();
-    durable = PendingDurableLsn(s);
+Status Database::FlushDeferredPath(uint16_t path_id) {
+  const ReplicationPathInfo* path = catalog_.GetPath(path_id);
+  if (path == nullptr) {
+    return Status::NotFound(StringPrintf("no replication path %u", path_id));
   }
-  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
-  return s;
+  const std::string head_set = path->bound.set_name;
+  return WriteOp(&head_set, [&] {
+    return replication_->FlushPendingPropagation(path_id);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Schema and data operations
+// ---------------------------------------------------------------------------
+
+Status Database::DefineType(TypeDescriptor type) {
+  return WriteOp(nullptr,
+                 [&] { return catalog_.DefineType(std::move(type)); });
 }
 
 Status Database::CreateSet(const std::string& name,
                            const std::string& type_name) {
-  uint64_t durable = 0;
-  Status s;
-  {
-    RecursiveMutexLock lock(write_mu_);
-    WalTransaction txn(wal_.get());
-    FIELDREP_RETURN_IF_ERROR(txn.begin_status());
+  return WriteOp(nullptr, [&] {
     FileId file_id;
     FIELDREP_RETURN_IF_ERROR(catalog_.CreateSet(name, type_name, &file_id));
     FIELDREP_ASSIGN_OR_RETURN(const TypeDescriptor* type,
                               catalog_.GetType(type_name));
     auto set = std::make_unique<ObjectSet>(pool_.get(), file_id, name, type);
-    {
-      WriterMutexLock maps_lock(maps_mu_);
-      sets_by_file_[file_id] = set.get();
-      sets_.emplace(name, std::move(set));
-    }
-    s = txn.Commit();
-    durable = PendingDurableLsn(s);
-  }
-  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
-  return s;
+    WriterMutexLock maps_lock(maps_mu_);
+    sets_by_file_[file_id] = set.get();
+    sets_.emplace(name, std::move(set));
+    return Status::OK();
+  });
 }
 
 Status Database::Replicate(const std::string& spec,
                            const ReplicateOptions& options,
                            uint16_t* path_id) {
-  uint64_t durable = 0;
-  Status s;
-  {
-    RecursiveMutexLock lock(write_mu_);
+  return WriteOp(nullptr, [&] {
     uint16_t id;
-    s = replication_->CreatePath(spec, options, &id);
-    if (s.ok() && path_id != nullptr) *path_id = id;
-    durable = PendingDurableLsn(s);
-  }
-  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
-  return s;
+    FIELDREP_RETURN_IF_ERROR(replication_->CreatePath(spec, options, &id));
+    if (path_id != nullptr) *path_id = id;
+    return Status::OK();
+  });
 }
 
 Status Database::DropReplication(const std::string& spec) {
-  uint64_t durable = 0;
-  Status s;
-  {
-    RecursiveMutexLock lock(write_mu_);
+  return WriteOp(nullptr, [&] {
     const ReplicationPathInfo* path = catalog_.FindPathBySpec(spec);
     if (path == nullptr) {
       return Status::NotFound("no replication path " + spec);
     }
-    s = replication_->DropPath(path->id);
-    durable = PendingDurableLsn(s);
-  }
-  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
-  return s;
+    return replication_->DropPath(path->id);
+  });
 }
 
 Status Database::BuildIndex(const std::string& index_name,
                             const std::string& set_name,
                             const std::string& key_expr, bool clustered) {
-  uint64_t durable = 0;
-  Status s;
-  {
-    RecursiveMutexLock lock(write_mu_);
-    WalTransaction txn(wal_.get());
-    FIELDREP_RETURN_IF_ERROR(txn.begin_status());
-    FIELDREP_RETURN_IF_ERROR(
-        indexes_->BuildIndex(index_name, set_name, key_expr, clustered));
-    s = txn.Commit();
-    durable = PendingDurableLsn(s);
-  }
-  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
-  return s;
+  return WriteOp(nullptr, [&] {
+    return indexes_->BuildIndex(index_name, set_name, key_expr, clustered);
+  });
 }
 
 Status Database::Insert(const std::string& set_name, const Object& object,
                         Oid* oid) {
-  uint64_t durable = 0;
-  Status s;
-  {
-    RecursiveMutexLock lock(write_mu_);
-    s = replication_->InsertObject(set_name, object, oid);
-    durable = PendingDurableLsn(s);
-  }
-  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
-  return s;
+  return WriteOp(&set_name, [&] {
+    return replication_->InsertObject(set_name, object, oid);
+  });
 }
 
 Status Database::Get(const std::string& set_name, const Oid& oid,
@@ -571,33 +919,20 @@ Status Database::Get(const std::string& set_name, const Oid& oid,
 
 Status Database::Update(const std::string& set_name, const Oid& oid,
                         const std::string& attr_name, const Value& value) {
-  uint64_t durable = 0;
-  Status s;
-  {
-    RecursiveMutexLock lock(write_mu_);
+  return WriteOp(&set_name, [&] {
     FIELDREP_ASSIGN_OR_RETURN(ObjectSet * set, GetSet(set_name));
     int attr = set->type().FindAttribute(attr_name);
     if (attr < 0) {
       return Status::InvalidArgument("type " + set->type().name() +
                                      " has no attribute " + attr_name);
     }
-    s = replication_->UpdateField(set_name, oid, attr, value);
-    durable = PendingDurableLsn(s);
-  }
-  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
-  return s;
+    return replication_->UpdateField(set_name, oid, attr, value);
+  });
 }
 
 Status Database::Delete(const std::string& set_name, const Oid& oid) {
-  uint64_t durable = 0;
-  Status s;
-  {
-    RecursiveMutexLock lock(write_mu_);
-    s = replication_->DeleteObject(set_name, oid);
-    durable = PendingDurableLsn(s);
-  }
-  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
-  return s;
+  return WriteOp(&set_name,
+                 [&] { return replication_->DeleteObject(set_name, oid); });
 }
 
 Status Database::Retrieve(const ReadQuery& query, ReadResult* result) {
@@ -617,15 +952,8 @@ Status Database::Retrieve(const ReadQuery& query, ReadResult* result,
 
 Status Database::Replace(const UpdateQuery& query, UpdateResult* result) {
   if (slow_query_ns_ == 0) {
-    uint64_t durable = 0;
-    Status s;
-    {
-      RecursiveMutexLock lock(write_mu_);
-      s = executor_->ExecuteUpdate(query, result);
-      durable = PendingDurableLsn(s);
-    }
-    FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
-    return s;
+    return WriteOp(&query.set_name,
+                   [&] { return executor_->ExecuteUpdate(query, result); });
   }
   QueryTrace trace;
   return Replace(query, result, &trace);
@@ -633,14 +961,9 @@ Status Database::Replace(const UpdateQuery& query, UpdateResult* result) {
 
 Status Database::Replace(const UpdateQuery& query, UpdateResult* result,
                          QueryTrace* trace) {
-  uint64_t durable = 0;
-  Status s;
-  {
-    RecursiveMutexLock lock(write_mu_);
-    s = executor_->ExecuteUpdate(query, result, trace);
-    durable = PendingDurableLsn(s);
-  }
-  FIELDREP_RETURN_IF_ERROR(WaitWalDurable(durable));
+  Status s = WriteOp(&query.set_name, [&] {
+    return executor_->ExecuteUpdate(query, result, trace);
+  });
   if (s.ok() && trace != nullptr) MaybeLogSlowQuery(*trace);
   return s;
 }
@@ -684,12 +1007,18 @@ Status Database::DumpMetricsJson(const std::string& path) const {
 }
 
 Status Database::ColdStart() {
-  // Evicting every frame requires quiescence anyway (no pinned pages);
-  // the lock keeps a late writer from dirtying pages mid-eviction.
-  RecursiveMutexLock lock(write_mu_);
-  FIELDREP_RETURN_IF_ERROR(pool_->EvictAll());
-  pool_->ResetStats();
-  return Status::OK();
+  // Lock-only quiescence (no WAL bracket: the sweep must not snapshot
+  // pages, and ResetStats must be the last cost-model event). Evicting
+  // every frame requires no pinned pages anyway; the exclusive schema
+  // lock keeps a late writer from dirtying pages mid-eviction.
+  return WriteOp(
+      nullptr,
+      [&] {
+        FIELDREP_RETURN_IF_ERROR(pool_->EvictAll());
+        pool_->ResetStats();
+        return Status::OK();
+      },
+      /*wal_bracket=*/false);
 }
 
 Result<ObjectSet*> Database::GetSet(const std::string& name) {

@@ -1,6 +1,7 @@
 #ifndef FIELDREP_DB_DATABASE_H_
 #define FIELDREP_DB_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -12,6 +13,7 @@
 #include "check/check_report.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "db/lock_table.h"
 #include "index/index_manager.h"
 #include "objects/set_provider.h"
 #include "query/executor.h"
@@ -148,20 +150,56 @@ class Database : public SetProvider {
 
   // --- Session transactions ---------------------------------------------------
 
-  /// Opens an explicit transaction bracket for a network session: every
-  /// mutating call until Commit/Abort joins one WAL transaction (flat
-  /// nesting folds the per-operation brackets in). Requires WAL. The
-  /// caller must serialize all mutating operations while a session
-  /// transaction is open — the network server does this with its
-  /// session-owned writer gate; operations may run on different threads
-  /// as long as they are externally ordered.
+  /// One explicit multi-statement transaction: its two-phase lock set,
+  /// publish scope, and (once the first mutation runs) its WAL bracket.
+  /// Created by BeginSessionTransaction on the calling thread; network
+  /// sessions carry it across worker threads with
+  /// Detach/AttachSessionTransaction. Opaque outside the Database.
+  struct SessionTxn;
+
+  /// Opens an explicit transaction bracket on the calling thread: every
+  /// mutating call on this thread (or on whatever thread the transaction
+  /// is attached to) until Commit/Abort joins one WAL transaction and
+  /// accumulates per-set 2PL locks, which are held to commit/abort
+  /// (strict two-phase locking, DESIGN.md §14). Requires WAL. Any number
+  /// of session transactions may be open concurrently — disjoint lock
+  /// sets proceed in parallel; conflicts block (ascending requests) or
+  /// abort with a retryable Status::Aborted (descending, wait-or-die).
   Status BeginSessionTransaction();
-  /// Commits the open session transaction. `commit_lsn` (optional)
-  /// receives the LSN to pass to WaitWalDurable — in group-commit mode
-  /// the commit returns before the log is synced.
+  /// Commits the transaction attached to this thread and releases its
+  /// locks. `commit_lsn` (optional) receives the LSN to pass to
+  /// WaitWalDurable — in group-commit mode the commit returns before the
+  /// log is synced.
   Status CommitSessionTransaction(uint64_t* commit_lsn = nullptr);
+  /// Aborts the transaction attached to this thread and releases its
+  /// locks. Redo-only logging keeps the partial in-memory effects (they
+  /// are never logged, so crash recovery discards them).
   Status AbortSessionTransaction();
+  /// Whether any explicit session transaction is open, on any thread.
   bool InSessionTransaction() const;
+
+  /// Unbinds the calling thread's session transaction so another thread
+  /// can continue it (the network server migrates sessions across its
+  /// worker pool between statements). Null when none is attached. The
+  /// locks stay held by the transaction while detached.
+  SessionTxn* DetachSessionTransaction();
+  /// Rebinds a detached session transaction to the calling thread.
+  void AttachSessionTransaction(SessionTxn* txn);
+
+  /// Non-blocking acquisition of the write-lock set for `set_name` (or,
+  /// when null, the exclusive schema lock for DDL) on the calling
+  /// thread's attached session transaction — the server's parking loop:
+  /// kAcquired means the statement may run (every lock is now held and
+  /// the statement's own blocking acquisition is a no-op); kWouldBlock
+  /// means the caller should park the statement and retry after some
+  /// transaction releases; kMustAbort means wait-or-die killed the
+  /// transaction — abort it and have the client retry. Locks granted by
+  /// earlier calls stay held in the WouldBlock case.
+  Status TryLockSetForWrite(const std::string* set_name,
+                            LockTable::TryOutcome* outcome);
+
+  /// The per-set two-phase lock table (telemetry: conflict/wait counters).
+  LockTable& lock_table() { return lock_table_; }
 
   /// Blocks until the WAL is durable through `lsn` (no-op without WAL or
   /// for lsn 0). Concurrent callers batch behind one leader fsync.
@@ -272,9 +310,12 @@ class Database : public SetProvider {
  private:
   Database() = default;
 
-  /// Serializes everything Checkpoint persists beyond the catalog: file
+  /// Serializes everything Checkpoint persists beyond the catalog — file
   /// metadata for sets and auxiliary files, index tree roots, the output
-  /// file id.
+  /// file id — from the *committed-state registry*, so the image never
+  /// contains another live transaction's uncommitted metadata. The
+  /// scratch output file is the one live read (under the executor's
+  /// output lock).
   std::string EncodeState() const;
   /// Rebuilds sets, auxiliary files, and index trees from a checkpoint
   /// blob (after the catalog itself was decoded).
@@ -282,19 +323,80 @@ class Database : public SetProvider {
   /// Loads the checkpoint blob from the header page chain, if any.
   Status RestoreFromDevice();
   /// Serializes catalog + state into the meta page chain (page 0 header).
-  /// With WAL enabled this runs inside every commit (pre-commit hook), so
-  /// each committed transaction is self-describing after replay.
+  /// With WAL enabled this runs inside every commit (pre-commit hook,
+  /// under the WAL's commit mutex), so each committed transaction is
+  /// self-describing after replay.
   Status WriteStateToMetaPages();
 
   /// Invokes the slow-query hook (or the default stderr line) when a
   /// traced query crossed the configured threshold.
   void MaybeLogSlowQuery(const QueryTrace& trace) const;
 
-  /// Called under write_mu_ right after a mutating operation: the LSN the
-  /// caller must make durable before returning (0 = nothing to wait for —
-  /// not in group-commit mode, the operation failed, or it is nested in
-  /// an open session transaction whose commit will wait instead).
-  uint64_t PendingDurableLsn(const Status& s) const;
+  // --- Write concurrency (DESIGN.md §14) -------------------------------------
+
+  /// The session transaction attached to the calling thread (null when
+  /// none; a thread holds at most one per database).
+  SessionTxn* CurrentTxn() const;
+
+  /// Runs one mutating operation under two-phase locking. When a session
+  /// transaction is attached to this thread, the operation joins it: the
+  /// lock set grows (held to the session's commit/abort), the session's
+  /// WAL bracket opens lazily on this first mutation, and `fn` runs with
+  /// commit and durability deferred. Otherwise the operation is its own
+  /// transaction: acquire locks (schema shared + the replication
+  /// closure's set locks in ascending id order — deadlock-free, never
+  /// killed by wait-or-die), run `fn` inside a WAL bracket, commit,
+  /// release, wait for group-commit durability, and opportunistically
+  /// auto-checkpoint. `set_name == nullptr` is a DDL/maintenance
+  /// operation and takes the schema lock exclusively, quiescing every
+  /// writer. `wal_bracket = false` skips transaction bracketing and
+  /// publication entirely (lock-only quiescence for ColdStart /
+  /// SetWorkerThreads, whose bodies must not dirty pages).
+  Status WriteOp(const std::string* set_name,
+                 const std::function<Status()>& fn, bool wal_bracket = true);
+
+  /// Schema lock shared, then the closure's set locks in ascending order.
+  Status AcquireWriteLocks(SessionTxn* txn, const std::string& set_name);
+  /// Schema lock exclusive (DDL, checkpoint, maintenance); marks the
+  /// transaction's publish scope as everything.
+  Status AcquireSchemaExclusive(SessionTxn* txn);
+
+  /// The set of sets a write to `set_name` may touch, as lock id ->
+  /// set name: the target set plus the *type-overlap closure* over
+  /// replication paths — a path is relevant when its head set is already
+  /// in the closure or any of its chain/terminal types overlaps the
+  /// closure's types; a relevant path contributes its head set and every
+  /// set whose element type appears in its chain, iterated to fixpoint.
+  /// Conservative (type-level, not instance-level) but sound: any
+  /// propagation triggered by the write stays inside the closure, and
+  /// auxiliary files (link sets, S', indexes) are covered by their head
+  /// set's exclusive lock. Caller holds the schema lock (shared or
+  /// exclusive), so the catalog is stable.
+  Status WriteLockClosure(const std::string& set_name,
+                          std::map<uint32_t, std::string>* locks) const;
+
+  /// Releases the transaction's locks, unlinks it from this thread, and
+  /// frees it (explicit sessions only).
+  void FinishSessionTxn(SessionTxn* txn);
+
+  /// Copies the live metadata of the transaction's publish scope into the
+  /// committed-state registry. Runs inside the WAL commit (precommit
+  /// hook) for logged operations — serialized by the commit mutex, before
+  /// the metadata image is encoded — and directly after `fn` for unlogged
+  /// databases.
+  void PublishCommittedState(SessionTxn* txn);
+  /// Rebuilds the whole committed-state registry from live state (DDL
+  /// publish-all, Open, and commits outside any tracked transaction).
+  void RefreshAllCommitted();
+
+  /// Runs a deferred-propagation flush as a locked write transaction on
+  /// the path's head set (the executor's flush_deferred callback).
+  Status FlushDeferredPath(uint16_t path_id);
+
+  /// Best-effort checkpoint once the log crosses the configured
+  /// threshold. Called after a committed operation released its locks;
+  /// skipped (silently) while other transactions are live.
+  void MaybeAutoCheckpoint();
 
   // Declaration order doubles as destruction order (reversed): the pool
   // must be torn down while the WAL manager it observes — and the devices
@@ -321,13 +423,24 @@ class Database : public SetProvider {
   /// can outlive a query — the join in ~ThreadPool finds an idle pool.
   std::unique_ptr<ThreadPool> workers_;
   std::unique_ptr<Executor> executor_;
-  /// Single-writer rule (DESIGN.md §10): every mutating entry point
-  /// (schema, data, Checkpoint, ColdStart) runs under this mutex;
-  /// concurrent read queries take it only around their mutating steps
-  /// (deferred-propagation flushes, output spooling). Recursive because
-  /// the WAL pre-commit hook re-enters WriteStateToMetaPages from inside
-  /// a locked mutation.
-  RecursiveMutex write_mu_{LockRank::kDatabaseWrite, "db.write_mu"};
+  /// Per-set two-phase locks (DESIGN.md §14): writers hold the schema
+  /// lock shared plus their closure's set locks exclusive; DDL,
+  /// Checkpoint, and maintenance hold the schema lock exclusive. Readers
+  /// take no set locks at all — snapshot reads stay non-blocking.
+  LockTable lock_table_;
+  /// Explicit session transactions currently open (any thread).
+  std::atomic<int> open_sessions_{0};
+  /// Guards the committed-state registry: the per-file metadata images of
+  /// the most recent *committed* transaction touching each file. The
+  /// WAL precommit hook encodes checkpoint blobs from these (not from
+  /// live metadata), so one transaction's commit never embeds another
+  /// live transaction's uncommitted record counts or page lists.
+  mutable Mutex committed_mu_{LockRank::kCommittedState, "db.committed_mu"};
+  std::map<std::string, std::string> committed_set_meta_
+      GUARDED_BY(committed_mu_);
+  std::map<FileId, std::string> committed_aux_meta_ GUARDED_BY(committed_mu_);
+  std::map<std::string, std::string> committed_tree_meta_
+      GUARDED_BY(committed_mu_);
   /// Guards the set/aux-file maps: readers resolving OIDs take it
   /// shared, CreateSet/CreateAuxFile/DecodeState take it unique.
   mutable SharedMutex maps_mu_{LockRank::kDatabaseMaps, "db.maps_mu"};

@@ -1,0 +1,146 @@
+#ifndef FIELDREP_DB_LOCK_TABLE_H_
+#define FIELDREP_DB_LOCK_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/annotated_mutex.h"
+#include "common/status.h"
+#include "telemetry/metrics.h"
+
+namespace fieldrep {
+
+/// \brief Per-set two-phase locks for concurrent write transactions
+/// (DESIGN.md §14).
+///
+/// Lock ids are logical: id 0 is the schema/catalog lock (every write
+/// transaction holds it shared, DDL and maintenance hold it exclusive);
+/// id `1 + file_id` is the lock of the object set stored in that file.
+/// Auxiliary files (replica sets S', link sets, indexes) need no ids of
+/// their own: every transaction that writes one holds the owning head
+/// set exclusively, because the replication closure (shared link ⇒
+/// shared step types ⇒ merged closure) always covers it.
+///
+/// Deadlock policy — *ascending wait-or-die*: a transaction may block
+/// only when the requested id is greater than every id it already holds
+/// (or it holds nothing). A blocked chain therefore implies a strictly
+/// ascending id sequence, so no wait cycle can close. A conflicting
+/// request at or below a held id aborts immediately with a retryable
+/// Status::Aborted — the caller releases everything and retries. The
+/// Database acquires each transaction's lock set in ascending order
+/// ({0 shared} first, then the replication closure's set ids), so
+/// single-statement writers never die; only explicit multi-statement
+/// session transactions whose later statements reach *down* the id
+/// space can.
+///
+/// Every granted lock is also registered with the LockRank runtime
+/// checker (rank kSetLock, a same-rank-ok class) on the holding thread,
+/// so cross-subsystem inversions — e.g. taking a set lock while holding
+/// a WAL or pool lock — abort with both names. Because network sessions
+/// migrate between worker threads, registrations follow the transaction
+/// through RegisterHeldOnThread/UnregisterHeldFromThread at
+/// attach/detach time.
+class LockTable {
+ public:
+  enum class Mode : uint8_t { kShared, kExclusive };
+
+  /// The outcome of a non-blocking acquisition attempt.
+  enum class TryOutcome {
+    kAcquired,    ///< granted (or already held)
+    kWouldBlock,  ///< conflict, but waiting would be safe: caller may park
+    kMustAbort,   ///< conflict below a held id: caller must abort + retry
+  };
+
+  /// One transaction's lock set. Owned by the caller (the Database's
+  /// session state); all members are managed by the LockTable.
+  struct Txn {
+    uint64_t id = 0;  ///< assigned by RegisterTxn
+    /// Held lock ids -> mode. Mutated only by the table, on the thread
+    /// the transaction is attached to.
+    std::map<uint32_t, Mode> held;
+  };
+
+  static constexpr uint32_t kSchemaLockId = 0;
+  static constexpr uint32_t LockIdForFile(uint32_t file_id) {
+    return 1 + file_id;
+  }
+
+  LockTable() = default;
+  LockTable(const LockTable&) = delete;
+  LockTable& operator=(const LockTable&) = delete;
+
+  /// Assigns the transaction its id. Call once before the first acquire.
+  void RegisterTxn(Txn* txn);
+
+  /// Blocking acquire. Waits only when `lock_id` exceeds every held id;
+  /// otherwise a conflict returns a retryable Status::Aborted (the
+  /// caller still holds its locks and must ReleaseAll). Re-acquiring a
+  /// held lock is a no-op; a shared holder requesting exclusive is
+  /// upgraded in place when it is the sole sharer and dies otherwise.
+  Status Acquire(Txn* txn, uint32_t lock_id, Mode mode);
+
+  /// Non-blocking acquire for the server's parking loop. On
+  /// kWouldBlock/kMustAbort nothing new is granted, but locks granted by
+  /// earlier calls stay held (the parked session resumes where it
+  /// stopped; the aborting session releases everything).
+  TryOutcome TryAcquire(Txn* txn, uint32_t lock_id, Mode mode);
+
+  /// Releases every lock the transaction holds and wakes all waiters.
+  /// Must run on the thread the transaction is attached to (rank
+  /// registrations are per-thread).
+  void ReleaseAll(Txn* txn);
+
+  /// Re-registers (un-registers) the transaction's held locks with the
+  /// lock-rank checker on the current thread. Called when a detached
+  /// session transaction attaches to (detaches from) a worker thread.
+  void RegisterHeldOnThread(const Txn& txn);
+  void UnregisterHeldFromThread(const Txn& txn);
+
+  // --- Telemetry -----------------------------------------------------------
+
+  uint64_t acquisitions() const { return acquisitions_.load(); }
+  uint64_t conflicts() const { return conflicts_.load(); }
+  uint64_t aborts() const { return aborts_.load(); }
+  uint64_t wait_ns() const { return wait_ns_.load(); }
+  uint64_t held() const { return held_.load(); }
+  uint64_t waiters() const { return waiters_.load(); }
+
+  /// Appends fieldrep_lock_* samples (counters, gauges, wait histogram).
+  void CollectMetrics(std::vector<MetricSample>* out) const;
+
+ private:
+  struct Entry {
+    uint32_t sharers = 0;          ///< count of shared holders
+    uint64_t sole_sharer = 0;      ///< txn id when sharers == 1
+    uint64_t exclusive_owner = 0;  ///< txn id, 0 = none
+    std::string name;              ///< "db.setlock.<id>" for the checker
+  };
+
+  /// The entry for `lock_id`, created on first use. Entries are never
+  /// erased, so their addresses are stable registration keys.
+  Entry* GetEntryLocked(uint32_t lock_id) REQUIRES(mu_);
+
+  /// Whether `txn` could be granted `mode` right now.
+  static bool CompatibleLocked(const Entry& e, uint64_t txn_id, Mode mode);
+
+  mutable Mutex mu_{LockRank::kLockTable, "db.lock_table.mu"};
+  CondVar cv_;
+  std::map<uint32_t, std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
+  std::atomic<uint64_t> next_txn_id_{1};
+
+  std::atomic<uint64_t> acquisitions_{0};
+  std::atomic<uint64_t> conflicts_{0};
+  std::atomic<uint64_t> aborts_{0};
+  std::atomic<uint64_t> wait_ns_{0};
+  std::atomic<uint64_t> held_{0};
+  std::atomic<uint64_t> waiters_{0};
+  Histogram wait_hist_ns_{Histogram::LatencyBoundsNs()};
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_DB_LOCK_TABLE_H_

@@ -412,7 +412,7 @@ Status DecodeErrorPayload(ByteReader* reader, Status* status) {
   if (!reader->GetU16(&code) || !reader->GetLengthPrefixed(&message)) {
     return Status::Corruption("truncated error payload");
   }
-  if (code > static_cast<uint16_t>(StatusCode::kUnavailable)) {
+  if (code > static_cast<uint16_t>(StatusCode::kAborted)) {
     return Status::Corruption("bad status code in error payload");
   }
   *status = Status(static_cast<StatusCode>(code), std::move(message));

@@ -55,6 +55,12 @@ void NetMetrics::Collect(std::vector<MetricSample>* out) const {
       static_cast<double>(protocol_errors.load()));
   add("fieldrep_net_pending_requests", "Requests queued but not dispatched.",
       MetricKind::kGauge, static_cast<double>(pending.load()));
+  add("fieldrep_net_parks_total",
+      "Statements parked on a write-lock conflict.", MetricKind::kCounter,
+      static_cast<double>(parks.load()));
+  add("fieldrep_net_txn_aborts_total",
+      "Transactions aborted by wait-or-die deadlock avoidance.",
+      MetricKind::kCounter, static_cast<double>(txn_aborts.load()));
   MetricSample lat;
   lat.name = "fieldrep_net_request_ns";
   lat.help = "Per-request server-side latency, nanoseconds.";
@@ -160,6 +166,11 @@ void Server::EventLoop() {
         }
       }
       if (stopping_ && sessions_.empty()) return;
+      // Liveness backstop for parked sessions: lock releases by paths
+      // the server cannot observe (embedded writers sharing the
+      // database) would otherwise never redispatch them. A spurious
+      // retry just parks again.
+      WakeParkedLocked();
       const bool flow_controlled =
           pending_requests_ >= options_.max_pending_requests;
       fds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
@@ -275,6 +286,8 @@ void Server::EnqueueFrame(const std::shared_ptr<Session>& s, Frame frame) {
   s->queue.push_back(std::move(req));
   ++pending_requests_;
   metrics_->pending.store(static_cast<int64_t>(pending_requests_));
+  // Parked sessions resume through WakeParked, with their parked
+  // statement still at the queue front.
   if (!s->busy && !s->parked) {
     s->busy = true;
     std::shared_ptr<Session> sp = s;
@@ -282,81 +295,58 @@ void Server::EnqueueFrame(const std::shared_ptr<Session>& s, Frame frame) {
   }
 }
 
-bool Server::TryAcquireGateLocked(const std::shared_ptr<Session>& s) {
-  if (gate_owner_ == s->id) return true;
-  if (gate_owner_ != 0) return false;
-  gate_owner_ = s->id;
-  return true;
+void Server::ParkSession(const std::shared_ptr<Session>& s, Frame&& request) {
+  metrics_->parks.fetch_add(1);
+  MutexLock lock(mu_);
+  QueuedRequest req;
+  req.frame = std::move(request);
+  s->queue.push_front(std::move(req));
+  ++pending_requests_;
+  metrics_->pending.store(static_cast<int64_t>(pending_requests_));
+  // parked+!busy atomically: a concurrent WakeParkedLocked may redispatch
+  // this session immediately; the old worker is unwinding and touches
+  // nothing afterwards.
+  s->parked = true;
+  s->busy = false;
 }
 
-void Server::ReleaseGateLocked(const std::shared_ptr<Session>& s) {
-  if (gate_owner_ != s->id) return;
-  gate_owner_ = 0;
-  while (!gate_waiters_.empty()) {
-    const uint64_t next_id = gate_waiters_.front();
-    gate_waiters_.pop_front();
-    auto it = sessions_.find(next_id);
-    if (it == sessions_.end() || !it->second->parked) continue;
-    std::shared_ptr<Session> next = it->second;
-    next->parked = false;
-    next->busy = true;
-    gate_owner_ = next->id;
-    workers_->Submit([this, next] { ProcessSession(next); });
-    return;
+void Server::WakeParkedLocked() {
+  for (auto& [id, s] : sessions_) {
+    if (!s->parked || s->busy || s->dead || s->closing) continue;
+    s->parked = false;
+    s->busy = true;
+    std::shared_ptr<Session> sp = s;
+    workers_->Submit([this, sp] { ProcessSession(sp); });
   }
 }
 
-void Server::ReleaseGate(const std::shared_ptr<Session>& s) {
+void Server::WakeParked() {
   MutexLock lock(mu_);
-  ReleaseGateLocked(s);
+  WakeParkedLocked();
 }
 
 void Server::CleanupSessionLocked(const std::shared_ptr<Session>& s) {
   if (s->dead) return;
   s->closing = true;
-  if (gate_owner_ == s->id) {
-    if (s->txn_open) {
-      // Abort-on-disconnect: the session died mid-transaction; roll the
-      // WAL bracket back before the writer gate moves on.
-      db_->AbortSessionTransaction();
-      s->txn_open = false;
-    }
-    ReleaseGateLocked(s);
+  if (s->txn != nullptr) {
+    // Abort-on-disconnect: the session died with a transaction open — an
+    // explicit bracket, or an implicit statement parked on a conflict.
+    // Attach it here and abort, releasing exactly this session's locks
+    // (other sessions' transactions are untouched), then give parked
+    // writers a chance at the freed locks.
+    db_->AttachSessionTransaction(s->txn);
+    s->txn = nullptr;
+    db_->AbortSessionTransaction();
+    s->txn_open = false;
+    WakeParkedLocked();
   }
-  if (s->parked) {
-    s->parked = false;
-    for (auto it = gate_waiters_.begin(); it != gate_waiters_.end(); ++it) {
-      if (*it == s->id) {
-        gate_waiters_.erase(it);
-        break;
-      }
-    }
-  }
+  if (s->parked) s->parked = false;
   pending_requests_ -= s->queue.size();
   metrics_->pending.store(static_cast<int64_t>(pending_requests_));
   s->queue.clear();
   s->dead = true;
   ::shutdown(s->fd, SHUT_RDWR);
   Wake();
-}
-
-bool Server::NeedsWriterGate(const Session& s, const Frame& request) const {
-  switch (static_cast<Opcode>(request.opcode)) {
-    case Opcode::kBegin:
-    case Opcode::kReplace:
-      return true;
-    case Opcode::kExecute: {
-      if (request.payload.size() < 4) return false;
-      const uint32_t stmt_id = DecodeU32(
-          reinterpret_cast<const uint8_t*>(request.payload.data()));
-      auto it = s.statements.find(stmt_id);
-      return it != s.statements.end() && it->second.is_update;
-    }
-    default:
-      // kCommit/kAbort run on the gate the session already owns (or are
-      // errors); reads never need it.
-      return false;
-  }
 }
 
 void Server::ProcessSession(std::shared_ptr<Session> s) {
@@ -373,16 +363,6 @@ void Server::ProcessSession(std::shared_ptr<Session> s) {
         s->busy = false;
         return;
       }
-      if (!s->queue.front().rejected &&
-          NeedsWriterGate(*s, s->queue.front().frame) &&
-          !TryAcquireGateLocked(s)) {
-        // Park instead of blocking: the worker goes back to the pool and
-        // the gate's release redispatches this session.
-        s->parked = true;
-        s->busy = false;
-        gate_waiters_.push_back(s->id);
-        return;
-      }
       req = std::move(s->queue.front());
       s->queue.pop_front();
       --pending_requests_;
@@ -394,10 +374,11 @@ void Server::ProcessSession(std::shared_ptr<Session> s) {
       continue;
     }
     const uint64_t start_ns = NowNs();
-    const bool keep = HandleRequest(s, req.frame);
+    const HandleOutcome outcome = HandleRequest(s, req.frame);
+    if (outcome == HandleOutcome::kParked) return;  // ParkSession unset busy.
     metrics_->request_ns.Observe(NowNs() - start_ns);
     metrics_->requests.fetch_add(1);
-    if (!keep) {
+    if (outcome == HandleOutcome::kClose) {
       MutexLock lock(mu_);
       s->busy = false;
       CleanupSessionLocked(s);
@@ -406,11 +387,15 @@ void Server::ProcessSession(std::shared_ptr<Session> s) {
   }
 }
 
-bool Server::HandleRequest(const std::shared_ptr<Session>& s,
-                           Frame& request) {
-  Frame reply = Dispatch(s, request);
+Server::HandleOutcome Server::HandleRequest(const std::shared_ptr<Session>& s,
+                                            Frame& request) {
+  const Opcode op = static_cast<Opcode>(request.opcode);
+  bool parked = false;
+  Frame reply = Dispatch(s, request, &parked);
+  if (parked) return HandleOutcome::kParked;
   const bool wrote = WriteReply(s, reply);
-  return wrote && static_cast<Opcode>(request.opcode) != Opcode::kGoodbye;
+  return (wrote && op != Opcode::kGoodbye) ? HandleOutcome::kContinue
+                                           : HandleOutcome::kClose;
 }
 
 Frame Server::OkFrame(uint64_t session_id, std::string payload) const {
@@ -457,8 +442,92 @@ Status DecodeExecute(const std::string& payload, uint32_t* stmt_id,
 
 }  // namespace
 
-Frame Server::Dispatch(const std::shared_ptr<Session>& s,
-                       const Frame& request) {
+Frame Server::RunMutation(const std::shared_ptr<Session>& s, Frame& request,
+                          const UpdateQuery& bound, bool* parked) {
+  *parked = false;
+  if (db_->wal() == nullptr && !s->txn_open) {
+    // Unlogged database: explicit transactions are impossible (Begin
+    // requires WAL), so every lock holder is a live worker and the
+    // blocking acquisition inside Replace cannot starve the pool.
+    UpdateResult result;
+    Status st = db_->Replace(bound, &result);
+    if (!st.ok()) return ErrorFrame(s->id, st);
+    std::string payload(1, static_cast<char>(kResultKindUpdate));
+    EncodeUpdateResult(result, &payload);
+    return OkFrame(s->id, std::move(payload));
+  }
+
+  const bool implicit = !s->txn_open;
+  if (s->txn != nullptr) {
+    // Resume: the explicit bracket, or an implicit transaction parked
+    // earlier (it kept the locks it already won).
+    db_->AttachSessionTransaction(s->txn);
+    s->txn = nullptr;
+  } else {
+    Status st = db_->BeginSessionTransaction();
+    if (!st.ok()) return ErrorFrame(s->id, st);
+  }
+
+  LockTable::TryOutcome outcome = LockTable::TryOutcome::kAcquired;
+  Status st = db_->TryLockSetForWrite(&bound.set_name, &outcome);
+  if (st.ok() && outcome == LockTable::TryOutcome::kWouldBlock) {
+    // Park: keep the transaction (and any locks it holds — requests are
+    // made in ascending lock-id order, so the parked waits-for graph is
+    // acyclic) and retry when a writer finishes.
+    s->txn = db_->DetachSessionTransaction();
+    ParkSession(s, std::move(request));
+    *parked = true;
+    return Frame{};
+  }
+  if (st.ok() && outcome == LockTable::TryOutcome::kMustAbort) {
+    // Wait-or-die: waiting here could close a deadlock cycle, so the
+    // transaction dies. Strict 2PL cannot release one statement's locks,
+    // so even an explicit bracket aborts whole; the client retries.
+    metrics_->txn_aborts.fetch_add(1);
+    st = Status::Aborted(
+        "write-lock conflict aborted the transaction; retry it");
+    (void)db_->AbortSessionTransaction();
+    s->txn_open = false;
+    WakeParked();
+    return ErrorFrame(s->id, st);
+  }
+  if (!st.ok()) {
+    // Lock-closure failure (e.g. no such set): the statement fails but
+    // the transaction survives, as for any failed statement below.
+    if (implicit) {
+      (void)db_->AbortSessionTransaction();
+      WakeParked();
+    } else {
+      s->txn = db_->DetachSessionTransaction();
+    }
+    return ErrorFrame(s->id, st);
+  }
+
+  UpdateResult result;
+  st = db_->Replace(bound, &result);
+  if (implicit) {
+    uint64_t commit_lsn = 0;
+    if (st.ok()) {
+      st = db_->CommitSessionTransaction(&commit_lsn);
+    } else {
+      (void)db_->AbortSessionTransaction();
+    }
+    // Locks are released; let parked writers at them before waiting on
+    // durability, so concurrent commits batch behind one leader fsync.
+    WakeParked();
+    if (st.ok()) st = db_->WaitWalDurable(commit_lsn);
+  } else {
+    s->txn = db_->DetachSessionTransaction();
+  }
+  if (!st.ok()) return ErrorFrame(s->id, st);
+  std::string payload(1, static_cast<char>(kResultKindUpdate));
+  EncodeUpdateResult(result, &payload);
+  return OkFrame(s->id, std::move(payload));
+}
+
+Frame Server::Dispatch(const std::shared_ptr<Session>& s, Frame& request,
+                       bool* parked) {
+  *parked = false;
   const Opcode op = static_cast<Opcode>(request.opcode);
   if (request.session_id != 0 && request.session_id != s->id) {
     return ErrorFrame(s->id,
@@ -468,41 +537,6 @@ Frame Server::Dispatch(const std::shared_ptr<Session>& s,
     return ErrorFrame(
         s->id, Status::FailedPrecondition("handshake required first"));
   }
-
-  // Error exits from a mutating opcode must give the gate back — but
-  // only when it was taken for this request, not when an open
-  // transaction owns it.
-  auto release_unless_txn = [this, &s] {
-    if (!s->txn_open) ReleaseGate(s);
-  };
-
-  // Runs `fn` as one atomic, durable unit: inside the session's open
-  // transaction if there is one, else wrapped in its own WAL bracket.
-  // The writer gate (held on entry) is released *before* the durability
-  // wait so concurrent commits batch behind one leader fsync.
-  auto run_mutation = [this, &s](const std::function<Status()>& fn) {
-    if (s->txn_open) return fn();  // Commit/Abort will release the gate.
-    if (db_->wal() == nullptr) {
-      Status st = fn();
-      ReleaseGate(s);
-      return st;
-    }
-    Status st = db_->BeginSessionTransaction();
-    if (!st.ok()) {
-      ReleaseGate(s);
-      return st;
-    }
-    st = fn();
-    uint64_t commit_lsn = 0;
-    if (st.ok()) {
-      st = db_->CommitSessionTransaction(&commit_lsn);
-    } else {
-      db_->AbortSessionTransaction();
-    }
-    ReleaseGate(s);
-    if (st.ok()) st = db_->WaitWalDurable(commit_lsn);
-    return st;
-  };
 
   switch (op) {
     case Opcode::kHandshake: {
@@ -555,10 +589,7 @@ Frame Server::Dispatch(const std::shared_ptr<Session>& s,
       uint32_t stmt_id = 0;
       std::vector<Value> params;
       Status st = DecodeExecute(request.payload, &stmt_id, &params);
-      if (!st.ok()) {
-        release_unless_txn();  // Gate may have been taken for this frame.
-        return ErrorFrame(s->id, st);
-      }
+      if (!st.ok()) return ErrorFrame(s->id, st);
       auto it = s->statements.find(stmt_id);
       if (it == s->statements.end()) {
         return ErrorFrame(s->id, Status::NotFound("no such statement"));
@@ -567,17 +598,8 @@ Frame Server::Dispatch(const std::shared_ptr<Session>& s,
       ++stmt.uses;
       if (stmt.is_update) {
         auto bound = stmt.update.Bind(params);
-        if (!bound.ok()) {
-          release_unless_txn();
-          return ErrorFrame(s->id, bound.status());
-        }
-        UpdateResult result;
-        st = run_mutation(
-            [this, &bound, &result] { return db_->Replace(*bound, &result); });
-        if (!st.ok()) return ErrorFrame(s->id, st);
-        std::string payload(1, static_cast<char>(kResultKindUpdate));
-        EncodeUpdateResult(result, &payload);
-        return OkFrame(s->id, std::move(payload));
+        if (!bound.ok()) return ErrorFrame(s->id, bound.status());
+        return RunMutation(s, request, *bound, parked);
       }
       auto bound = stmt.read.Bind(params);
       if (!bound.ok()) return ErrorFrame(s->id, bound.status());
@@ -606,22 +628,10 @@ Frame Server::Dispatch(const std::shared_ptr<Session>& s,
       ByteReader reader(request.payload);
       UpdateStatement stmt;
       Status st = DecodeUpdateStatement(&reader, &stmt);
-      if (!st.ok()) {
-        release_unless_txn();
-        return ErrorFrame(s->id, st);
-      }
-      auto bound = stmt.Bind({});
-      if (!bound.ok()) {
-        release_unless_txn();
-        return ErrorFrame(s->id, bound.status());
-      }
-      UpdateResult result;
-      st = run_mutation(
-          [this, &bound, &result] { return db_->Replace(*bound, &result); });
       if (!st.ok()) return ErrorFrame(s->id, st);
-      std::string payload(1, static_cast<char>(kResultKindUpdate));
-      EncodeUpdateResult(result, &payload);
-      return OkFrame(s->id, std::move(payload));
+      auto bound = stmt.Bind({});
+      if (!bound.ok()) return ErrorFrame(s->id, bound.status());
+      return RunMutation(s, request, *bound, parked);
     }
     case Opcode::kBegin: {
       if (s->txn_open) {
@@ -629,11 +639,12 @@ Frame Server::Dispatch(const std::shared_ptr<Session>& s,
             s->id, Status::FailedPrecondition("transaction already open"));
       }
       Status st = db_->BeginSessionTransaction();
-      if (!st.ok()) {
-        ReleaseGate(s);
-        return ErrorFrame(s->id, st);
-      }
-      s->txn_open = true;  // Gate stays held until Commit/Abort.
+      if (!st.ok()) return ErrorFrame(s->id, st);
+      // The bracket starts with no locks; statements take theirs as they
+      // arrive. Detach so other workers (and disconnect cleanup) can
+      // pick the session up.
+      s->txn = db_->DetachSessionTransaction();
+      s->txn_open = true;
       return OkFrame(s->id, "");
     }
     case Opcode::kCommit: {
@@ -641,10 +652,14 @@ Frame Server::Dispatch(const std::shared_ptr<Session>& s,
         return ErrorFrame(s->id,
                           Status::FailedPrecondition("commit without begin"));
       }
+      db_->AttachSessionTransaction(s->txn);
+      s->txn = nullptr;
       uint64_t commit_lsn = 0;
       Status st = db_->CommitSessionTransaction(&commit_lsn);
       s->txn_open = false;
-      ReleaseGate(s);
+      // Locks released — wake parked writers before the durability wait
+      // so their commits can join this group-commit batch.
+      WakeParked();
       if (st.ok()) st = db_->WaitWalDurable(commit_lsn);
       if (!st.ok()) return ErrorFrame(s->id, st);
       return OkFrame(s->id, "");
@@ -654,9 +669,11 @@ Frame Server::Dispatch(const std::shared_ptr<Session>& s,
         return ErrorFrame(s->id,
                           Status::FailedPrecondition("abort without begin"));
       }
+      db_->AttachSessionTransaction(s->txn);
+      s->txn = nullptr;
       Status st = db_->AbortSessionTransaction();
       s->txn_open = false;
-      ReleaseGate(s);
+      WakeParked();
       if (!st.ok()) return ErrorFrame(s->id, st);
       return OkFrame(s->id, "");
     }

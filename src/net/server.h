@@ -30,6 +30,11 @@ struct NetMetrics {
   std::atomic<uint64_t> rejected{0};
   std::atomic<uint64_t> protocol_errors{0};
   std::atomic<int64_t> pending{0};
+  /// Statements parked on a lock conflict (each successful retry parked
+  /// at least once).
+  std::atomic<uint64_t> parks{0};
+  /// Transactions killed by wait-or-die (client told to retry).
+  std::atomic<uint64_t> txn_aborts{0};
   Histogram request_ns{Histogram::LatencyBoundsNs()};
 
   void Collect(std::vector<MetricSample>* out) const;
@@ -67,19 +72,27 @@ struct ServerOptions {
 ///   - Complete requests queue per session; at most one worker processes
 ///     a session at a time (responses stay in request order), so session
 ///     state (statement dictionary, transaction flag) needs no lock.
-///   - Mutating requests serialize on a session-owned *writer gate*. A
-///     session that cannot take the gate parks — its worker returns to
-///     the pool instead of blocking, and the gate's release redispatches
-///     the next parked session — so the pool can never deadlock on the
-///     single-writer engine.
-///   - A session holds the gate for the span of one auto-committed
-///     mutation or an explicit Begin..Commit/Abort bracket. Commit
-///     releases the gate *before* waiting on log durability
-///     (WalManager::WaitDurable), which is what lets concurrent commits
-///     batch behind one leader fsync.
+///   - Mutations run under the engine's per-set two-phase locks
+///     (DESIGN.md §14). Each mutating statement runs inside a session
+///     transaction — the client's explicit Begin..Commit bracket, or an
+///     implicit single-statement one — whose write-lock set is taken
+///     *non-blockingly* (Database::TryLockSetForWrite). On a conflict
+///     the session parks: the statement goes back to the queue front and
+///     the worker returns to the pool, so a full worker pool can never
+///     deadlock on held locks. Every lock release (commit, abort,
+///     disconnect) and each event-loop tick redispatches parked
+///     sessions. Wait-or-die conflicts abort the transaction with a
+///     retryable error instead of parking. Sessions writing disjoint
+///     sets proceed fully in parallel and their commits batch behind one
+///     group-commit fsync.
+///   - Reads take no locks and never park.
+///   - A session's transaction is detached from any thread between
+///     statements (Database::DetachSessionTransaction) and reattached by
+///     whichever worker picks the session up next.
 ///
-/// Disconnect (or Stop) with an open transaction aborts it and releases
-/// the gate before the session is destroyed.
+/// Disconnect (or Stop) with an open transaction — explicit, or an
+/// implicit one parked on a conflict — aborts it, releasing exactly that
+/// session's locks.
 class Server {
  public:
   /// Starts listening and serving. `db` must outlive the server.
@@ -127,16 +140,25 @@ class Server {
     // --- Coordination state, guarded by Server::mu_ -------------------
     std::deque<QueuedRequest> queue;
     bool busy = false;     ///< A worker owns the processing loop.
-    bool parked = false;   ///< Queued on the writer gate.
+    bool parked = false;   ///< Front request waits on a lock conflict.
     bool closing = false;  ///< Drop pending work, clean up, die.
     bool dead = false;     ///< Cleaned up; event thread may erase.
 
     // --- Worker-owned state (single processing worker at a time) ------
     bool handshaken = false;
+    /// The client holds an explicit Begin..Commit/Abort bracket.
     bool txn_open = false;
+    /// The session's transaction while detached from any thread: the
+    /// explicit bracket between statements, or an implicit
+    /// single-statement transaction parked on a lock conflict (it keeps
+    /// the locks it already won — ascending ids keep the parked
+    /// waits-for graph acyclic). Aborted at disconnect.
+    Database::SessionTxn* txn = nullptr;
     uint32_t next_stmt_id = 1;
     std::map<uint32_t, PreparedStatement> statements;
   };
+
+  enum class HandleOutcome { kContinue, kClose, kParked };
 
   Server() = default;
 
@@ -150,27 +172,40 @@ class Server {
 
   /// Worker entry: drains the session's request queue.
   void ProcessSession(std::shared_ptr<Session> s);
-  /// Handles one request; writes the response. Returns false if the
-  /// session must close (Goodbye / broken pipe).
-  bool HandleRequest(const std::shared_ptr<Session>& s, Frame& request);
-  Frame Dispatch(const std::shared_ptr<Session>& s, const Frame& request);
+  /// Handles one request; writes the response (unless the request
+  /// parked). kClose means the session must close (Goodbye / broken
+  /// pipe).
+  HandleOutcome HandleRequest(const std::shared_ptr<Session>& s,
+                              Frame& request);
+  Frame Dispatch(const std::shared_ptr<Session>& s, Frame& request,
+                 bool* parked);
+
+  /// Runs one bound update statement as an atomic unit: attaches (or
+  /// implicitly begins) the session's transaction, takes the write-lock
+  /// set non-blockingly, executes, and commits/aborts implicit brackets.
+  /// Sets *parked (and re-queues the request) on a lock conflict.
+  Frame RunMutation(const std::shared_ptr<Session>& s, Frame& request,
+                    const UpdateQuery& bound, bool* parked);
 
   Frame OkFrame(uint64_t session_id, std::string payload) const;
   Frame ErrorFrame(uint64_t session_id, const Status& status) const;
   bool WriteReply(const std::shared_ptr<Session>& s, const Frame& reply);
 
-  /// True if `s` may mutate now: takes the free gate or already owns it.
-  bool TryAcquireGateLocked(const std::shared_ptr<Session>& s) REQUIRES(mu_);
-  /// Releases the gate if `s` owns it and redispatches the next parked
-  /// session.
-  void ReleaseGateLocked(const std::shared_ptr<Session>& s) REQUIRES(mu_);
-  void ReleaseGate(const std::shared_ptr<Session>& s) EXCLUDES(mu_);
+  /// Re-queues `request` at the queue front and marks the session
+  /// parked (the worker then returns to the pool).
+  void ParkSession(const std::shared_ptr<Session>& s, Frame&& request);
+  /// Redispatches every parked session (called after any lock release:
+  /// commit, abort, implicit-statement completion, disconnect cleanup —
+  /// and each event-loop tick as a liveness backstop). A redispatched
+  /// session retries its try-lock and simply parks again if still
+  /// blocked.
+  void WakeParkedLocked() REQUIRES(mu_);
+  void WakeParked() EXCLUDES(mu_);
 
-  /// Final teardown: abort any open transaction, release the gate, mark
-  /// dead, and signal the event thread.
+  /// Final teardown: abort the session's transaction (releasing exactly
+  /// its locks), mark dead, and signal the event thread.
   void CleanupSessionLocked(const std::shared_ptr<Session>& s) REQUIRES(mu_);
 
-  bool NeedsWriterGate(const Session& s, const Frame& request) const;
   void Wake();
 
   Database* db_ = nullptr;
@@ -183,16 +218,13 @@ class Server {
   std::thread event_thread_;
 
   /// One lock for all cross-thread coordination: the session map, every
-  /// session's queue/flags, the writer gate, and the pending-request
-  /// count. Held only around state transitions, never across request
-  /// execution or socket writes — but CleanupSessionLocked aborts open
-  /// transactions under it, so it ranks below every engine lock.
+  /// session's queue/flags, and the pending-request count. Held only
+  /// around state transitions, never across request execution or socket
+  /// writes — but CleanupSessionLocked aborts open transactions under
+  /// it, so it ranks below every engine lock.
   Mutex mu_{LockRank::kServer, "net.server.mu"};
   std::map<uint64_t, std::shared_ptr<Session>> sessions_ GUARDED_BY(mu_);
   uint64_t next_session_id_ GUARDED_BY(mu_) = 1;
-  /// Session id holding the writer gate.
-  uint64_t gate_owner_ GUARDED_BY(mu_) = 0;
-  std::deque<uint64_t> gate_waiters_ GUARDED_BY(mu_);
   size_t pending_requests_ GUARDED_BY(mu_) = 0;
   bool stopping_ GUARDED_BY(mu_) = false;
   std::atomic<bool> stopped_{false};

@@ -13,24 +13,47 @@ Executor::Executor(Catalog* catalog, SetProvider* sets, IndexManager* indexes,
       indexes_(indexes),
       replication_(replication) {}
 
-Status Executor::EnsureOutputFile() {
-  if (output_file_id_ != kInvalidFileId) return Status::OK();
+Status Executor::EnsureOutputFileLocked() {
+  if (output_file_id() != kInvalidFileId) return Status::OK();
   FileId file_id;
   FIELDREP_RETURN_IF_ERROR(sets_->CreateAuxFile(&file_id).status());
-  output_file_id_ = file_id;
+  restore_output_file_id(file_id);
   return Status::OK();
 }
 
+Result<RecordFile*> Executor::OutputFileLocked() {
+  FIELDREP_RETURN_IF_ERROR(EnsureOutputFileLocked());
+  return sets_->GetAuxFile(output_file_id());
+}
+
+Status Executor::EnsureOutputFile() {
+  MutexLock lock(output_mu_);
+  return EnsureOutputFileLocked();
+}
+
 Status Executor::TruncateOutput() {
-  if (output_file_id_ == kInvalidFileId) return Status::OK();
+  MutexLock lock(output_mu_);
+  if (output_file_id() == kInvalidFileId) return Status::OK();
   FIELDREP_ASSIGN_OR_RETURN(RecordFile * file,
-                            sets_->GetAuxFile(output_file_id_));
+                            sets_->GetAuxFile(output_file_id()));
   return file->Truncate();
 }
 
 Result<RecordFile*> Executor::output_file() {
-  FIELDREP_RETURN_IF_ERROR(EnsureOutputFile());
-  return sets_->GetAuxFile(output_file_id_);
+  MutexLock lock(output_mu_);
+  return OutputFileLocked();
+}
+
+std::string Executor::EncodeOutputMetadata(FileId* file_id) {
+  MutexLock lock(output_mu_);
+  *file_id = output_file_id();
+  if (*file_id == kInvalidFileId) return std::string();
+  auto file = sets_->GetAuxFile(*file_id);
+  if (!file.ok()) {
+    *file_id = kInvalidFileId;
+    return std::string();
+  }
+  return file.value()->EncodeMetadata();
 }
 
 Status Executor::ReadObjectAt(const Oid& oid, Object* object,
@@ -213,9 +236,10 @@ Result<Value> Executor::EvaluateColumn(const ColumnPlan& plan,
 
 Status Executor::FlushDeferredForPlan(const ColumnPlan& plan) {
   if (plan.path == nullptr || !plan.path->deferred) return Status::OK();
-  // Draining a deferred queue mutates pages, so it must hold the writer
-  // mutex when read queries run concurrently with a writer.
-  OptionalRecursiveLock lock(write_mu_);
+  // Draining a deferred queue mutates pages: route it through the
+  // Database, which runs the flush as a locked write transaction on the
+  // path's closure (DESIGN.md §14).
+  if (flush_deferred_) return flush_deferred_(plan.path->id);
   return replication_->FlushPendingPropagation(plan.path->id);
 }
 

@@ -1,6 +1,8 @@
 #ifndef FIELDREP_QUERY_EXECUTOR_H_
 #define FIELDREP_QUERY_EXECUTOR_H_
 
+#include <atomic>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,10 +67,13 @@ class Executor {
   /// Attaches (or detaches, with nullptr) the worker pool parallel reads
   /// run on. Not thread-safe: call while no query is executing.
   void set_worker_pool(ThreadPool* pool) { workers_ = pool; }
-  /// Mutex serializing mutations (owned by the Database). ExecuteRead
-  /// takes it around its mutating steps (deferred-propagation flushes,
-  /// output spooling) so read queries can run concurrently with writes.
-  void set_write_mutex(RecursiveMutex* mu) { write_mu_ = mu; }
+  /// Routes deferred-propagation flushes through the Database, which
+  /// runs them as locked write transactions (DESIGN.md §14). Without a
+  /// callback the flush calls the replication manager directly
+  /// (standalone executor tests).
+  void set_flush_deferred(std::function<Status(uint16_t)> fn) {
+    flush_deferred_ = std::move(fn);
+  }
   /// Attaches the workload profiler; per-path read recording (once per
   /// query and projection, with the row count) is a no-op when null.
   void set_profiler(WorkloadProfiler* profiler) { profiler_ = profiler; }
@@ -81,8 +86,19 @@ class Executor {
   Status TruncateOutput();
   Result<RecordFile*> output_file();
   /// Checkpoint support.
-  FileId output_file_id() const { return output_file_id_; }
-  void restore_output_file_id(FileId id) { output_file_id_ = id; }
+  FileId output_file_id() const {
+    return output_file_id_.load(std::memory_order_acquire);
+  }
+  void restore_output_file_id(FileId id) {
+    output_file_id_.store(id, std::memory_order_release);
+  }
+  /// Serialized metadata of the output file, with its id stored into
+  /// `file_id` (kInvalidFileId, with an empty string, when no output file
+  /// exists yet). Both are read under the output lock so a concurrent
+  /// spooling reader cannot tear the pair. Checkpoint support (the output
+  /// file is scratch state, excluded from the committed-metadata
+  /// registry).
+  std::string EncodeOutputMetadata(FileId* file_id);
 
  private:
   struct ColumnPlan {
@@ -157,13 +173,22 @@ class Executor {
                                const std::vector<Oid>& oids,
                                StageTracer* tracer);
 
+  Status EnsureOutputFileLocked() REQUIRES(output_mu_);
+  Result<RecordFile*> OutputFileLocked() REQUIRES(output_mu_);
+
   Catalog* catalog_;
   SetProvider* sets_;
   IndexManager* indexes_;
   ReplicationManager* replication_;
-  FileId output_file_id_ = kInvalidFileId;
+  /// The output file id is written under output_mu_ but read by
+  /// unsynchronized checkpoint paths, so it is atomic on top.
+  std::atomic<FileId> output_file_id_{kInvalidFileId};
   ThreadPool* workers_ = nullptr;
-  RecursiveMutex* write_mu_ = nullptr;
+  /// Serializes output-file creation, truncation, and stage-3 spooling —
+  /// the only mutating steps of a read query. Readers of other files
+  /// never take it; writers never touch the output file.
+  mutable Mutex output_mu_{LockRank::kExecutorOutput, "executor.output_mu"};
+  std::function<Status(uint16_t)> flush_deferred_;
   WorkloadProfiler* profiler_ = nullptr;
 };
 

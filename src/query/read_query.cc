@@ -567,10 +567,11 @@ Status Executor::ExecuteRead(const ReadQuery& query, ReadResult* result,
         result, set, plans, needs_recheck, clause, oids, &tracer));
   }
   // Stage 3: spool result tuples to the output file T. Always serial —
-  // output insertion is a mutation, so it holds the writer mutex.
+  // output insertion is a mutation, so it holds the output lock (the
+  // only lock a read query ever takes; set locks stay reader-free).
   if (query.write_output) {
-    OptionalRecursiveLock write_lock(write_mu_);
-    FIELDREP_ASSIGN_OR_RETURN(RecordFile * out, output_file());
+    MutexLock write_lock(output_mu_);
+    FIELDREP_ASSIGN_OR_RETURN(RecordFile * out, OutputFileLocked());
     for (const std::vector<Value>& row : result->rows) {
       Oid ignored;
       FIELDREP_RETURN_IF_ERROR(

@@ -28,6 +28,7 @@ constexpr auto kRelaxed = std::memory_order_relaxed;
 // ---------------------------------------------------------------------------
 
 void ReplicationManager::PendingInsert(uint16_t path_id, uint64_t packed) {
+  MutexLock lock(pending_mu_);
   if (pending_.insert({path_id, packed}).second) {
     pending_count_.fetch_add(1, kRelaxed);
     deferred_queued_.fetch_add(1, kRelaxed);
@@ -35,6 +36,7 @@ void ReplicationManager::PendingInsert(uint16_t path_id, uint64_t packed) {
 }
 
 void ReplicationManager::PendingErase(uint16_t path_id, uint64_t packed) {
+  MutexLock lock(pending_mu_);
   if (pending_.erase({path_id, packed}) != 0) {
     pending_count_.fetch_sub(1, kRelaxed);
   }
@@ -283,13 +285,16 @@ Status ReplicationManager::FlushPendingPropagation(uint16_t path_id) {
   if (path == nullptr) {
     return Status::NotFound(StringPrintf("no replication path %u", path_id));
   }
-  // Collect this path's queue up front (propagation never enqueues for an
-  // eager flush, but keep the iteration robust anyway). The set ordering
-  // visits terminals in physical order.
+  // Snapshot this path's queue up front, never holding pending_mu_
+  // across the propagation work below. The set ordering visits terminals
+  // in physical order.
   std::vector<uint64_t> terminals;
-  for (auto it = pending_.lower_bound({path_id, 0});
-       it != pending_.end() && it->first == path_id; ++it) {
-    terminals.push_back(it->second);
+  {
+    MutexLock lock(pending_mu_);
+    for (auto it = pending_.lower_bound({path_id, 0});
+         it != pending_.end() && it->first == path_id; ++it) {
+      terminals.push_back(it->second);
+    }
   }
   if (pool_ != nullptr && terminals.size() > 1) {
     // The queue orders terminals physically; warm their pages in one batch.
@@ -332,7 +337,10 @@ Status ReplicationManager::FlushPendingPropagation(uint16_t path_id) {
 
 Status ReplicationManager::FlushAllPendingPropagation() {
   std::set<uint16_t> paths;
-  for (const auto& [path_id, packed] : pending_) paths.insert(path_id);
+  {
+    MutexLock lock(pending_mu_);
+    for (const auto& [path_id, packed] : pending_) paths.insert(path_id);
+  }
   for (uint16_t path_id : paths) {
     FIELDREP_RETURN_IF_ERROR(FlushPendingPropagation(path_id));
   }
@@ -424,12 +432,10 @@ Status ReplicationManager::VerifyPathToReport(uint16_t path_id,
   // maintenance stays eager even in deferred mode and is still checked).
   bool values_lagging = false;
   if (path.deferred) {
-    for (const auto& [pending_path, terminal] : pending_) {
-      (void)terminal;
-      if (pending_path == path_id) {
-        values_lagging = true;
-        break;
-      }
+    {
+      MutexLock lock(pending_mu_);
+      auto it = pending_.lower_bound({path_id, 0});
+      values_lagging = it != pending_.end() && it->first == path_id;
     }
     if (values_lagging) {
       report->AddInfo(CheckLayer::kReplication, context,

@@ -355,10 +355,13 @@ Status ReplicationManager::DropPath(uint16_t path_id) {
     return Status::NotFound(StringPrintf("no replication path %u", path_id));
   }
   // Abandon any queued deferred propagations for this path.
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    it = (it->first == path_id) ? pending_.erase(it) : std::next(it);
+  {
+    MutexLock pending_lock(pending_mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      it = (it->first == path_id) ? pending_.erase(it) : std::next(it);
+    }
+    pending_count_.store(pending_.size(), std::memory_order_relaxed);
   }
-  pending_count_.store(pending_.size(), std::memory_order_relaxed);
   ReplicationPathInfo path = *found;  // survives catalog removal below
   LinkRegistry& registry = catalog_->link_registry();
 

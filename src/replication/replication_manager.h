@@ -10,6 +10,7 @@
 
 #include "catalog/catalog.h"
 #include "check/check_report.h"
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "index/index_manager.h"
 #include "objects/object.h"
@@ -171,9 +172,11 @@ class ReplicationManager {
   /// Drains every path's queue.
   Status FlushAllPendingPropagation();
 
-  /// Queued (path, terminal) propagations awaiting a flush. Writer-thread
-  /// accurate; rendering threads read the atomic mirror instead.
-  size_t pending_propagation_count() const { return pending_.size(); }
+  /// Queued (path, terminal) propagations awaiting a flush (atomic mirror
+  /// of the queue size; exact whenever no flush is mid-drain).
+  size_t pending_propagation_count() const {
+    return pending_count_.load(std::memory_order_relaxed);
+  }
 
   // --- Inverse functions (Section 8 future work) --------------------------------
 
@@ -264,8 +267,9 @@ class ReplicationManager {
   Status CheckReferentialIntegrity(const TypeDescriptor& type,
                                    const Object& object) const;
 
-  /// Keeps pending_count_ in lockstep with pending_ (single writer
-  /// thread mutates; any thread may read the mirror).
+  /// Keeps pending_count_ in lockstep with pending_. Both take
+  /// pending_mu_ internally; concurrent writers of disjoint deferred
+  /// paths may queue at once.
   void PendingInsert(uint16_t path_id, uint64_t packed);
   void PendingErase(uint16_t path_id, uint64_t packed);
 
@@ -276,11 +280,14 @@ class ReplicationManager {
   BufferPool* pool_ = nullptr;
   WorkloadProfiler* profiler_ = nullptr;
   InvertedPathOps ops_;
-  /// Pending deferred propagations: packed (path_id << 64... ) pairs of
-  /// (path id, terminal OID). Ordered so flushes visit terminals in
-  /// physical order. Writer-thread-only; pending_count_ mirrors its size
-  /// for cross-thread gauges.
-  std::set<std::pair<uint16_t, uint64_t>> pending_;
+  /// Guards the deferred-propagation queue. Near-leaf rank: held only
+  /// for queue snapshots and insert/erase, never across propagation or
+  /// pool calls.
+  mutable Mutex pending_mu_{LockRank::kReplicationPending, "repl.pending_mu"};
+  /// Pending deferred propagations: (path id, packed terminal OID)
+  /// pairs. Ordered so flushes visit terminals in physical order.
+  /// pending_count_ mirrors its size for lock-free gauges.
+  std::set<std::pair<uint16_t, uint64_t>> pending_ GUARDED_BY(pending_mu_);
   std::atomic<uint64_t> pending_count_{0};
 
   /// See Telemetry.

@@ -17,6 +17,38 @@ inline uint64_t NowNs() {
 }
 }  // namespace
 
+/// Thread-bound transaction state. `tls_prev` threads the (tiny) stack
+/// of managers the current thread holds transactions on — tests open
+/// several databases on one thread, and a server worker may run a
+/// statement for one database while another's transaction is attached.
+struct WalTxn {
+  WalManager* mgr = nullptr;
+  int depth = 0;
+  /// Pre-images of pages first accessed inside the transaction.
+  std::unordered_map<PageId, std::string> snapshots;
+  /// Pages this transaction dirtied (ordered: deterministic log layout).
+  std::set<PageId> dirty;
+  WalTxn* tls_prev = nullptr;
+};
+
+namespace {
+thread_local WalTxn* tls_txn_head = nullptr;
+
+void TlsPush(WalTxn* t) {
+  t->tls_prev = tls_txn_head;
+  tls_txn_head = t;
+}
+
+void TlsUnlink(WalTxn* t) {
+  WalTxn** p = &tls_txn_head;
+  while (*p != nullptr && *p != t) p = &(*p)->tls_prev;
+  if (*p == t) {
+    *p = t->tls_prev;
+    t->tls_prev = nullptr;
+  }
+}
+}  // namespace
+
 std::string WalStats::ToString() const {
   return StringPrintf(
       "WalStats{txns=%llu empty=%llu records=%llu delta_bytes=%llu "
@@ -46,54 +78,97 @@ Status WalManager::Initialize(uint64_t epoch) {
   return writer_.Reset(epoch);
 }
 
+WalTxn* WalManager::CurrentTxn() const {
+  for (WalTxn* t = tls_txn_head; t != nullptr; t = t->tls_prev) {
+    if (t->mgr == this) return t;
+  }
+  return nullptr;
+}
+
+bool WalManager::in_transaction() const { return CurrentTxn() != nullptr; }
+
 Status WalManager::BeginTransaction() {
   if (broken()) {
     return Status::FailedPrecondition(
         "write-ahead log is in a failed state; reopen the database");
   }
-  txn_depth_.fetch_add(1, std::memory_order_relaxed);
+  WalTxn* t = CurrentTxn();
+  if (t != nullptr) {
+    ++t->depth;
+    return Status::OK();
+  }
+  t = new WalTxn;
+  t->mgr = this;
+  t->depth = 1;
+  TlsPush(t);
+  active_txns_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
-Status WalManager::CommitTransaction() {
-  const int depth = txn_depth_.load(std::memory_order_relaxed);
-  if (depth == 0) {
+WalTxn* WalManager::DetachTransaction() {
+  WalTxn* t = CurrentTxn();
+  if (t == nullptr) return nullptr;
+  TlsUnlink(t);
+  return t;
+}
+
+void WalManager::AttachTransaction(WalTxn* txn) {
+  if (txn == nullptr) return;
+  TlsPush(txn);
+}
+
+void WalManager::FinishTxn(WalTxn* txn, bool keep_protected) {
+  if (!keep_protected) {
+    MutexLock lock(state_mu_);
+    for (PageId page_id : txn->dirty) {
+      auto it = protected_.find(page_id);
+      if (it != protected_.end() && --it->second == 0) protected_.erase(it);
+    }
+  }
+  TlsUnlink(txn);
+  delete txn;
+  active_txns_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+Status WalManager::CommitTransaction(uint64_t* commit_lsn) {
+  if (commit_lsn != nullptr) *commit_lsn = 0;
+  WalTxn* t = CurrentTxn();
+  if (t == nullptr) {
     return Status::FailedPrecondition("commit without matching begin");
   }
-  if (depth > 1) {
-    txn_depth_.fetch_sub(1, std::memory_order_relaxed);
+  if (t->depth > 1) {
+    --t->depth;
     return Status::OK();
   }
   const uint64_t start_ns = NowNs();
-  Status s = CommitTopLevel();
+  Status s = CommitTopLevel(t, commit_lsn);
   commit_latency_ns_.Observe(NowNs() - start_ns);
-  // Release: a thread that observes depth 0 (in_transaction) sees the
-  // commit's effects on the transaction state.
-  txn_depth_.store(0, std::memory_order_release);
-  if (s.ok() && options_.checkpoint_threshold_bytes != 0 &&
-      log_bytes() > options_.checkpoint_threshold_bytes) {
-    s = Checkpoint();
-  }
+  // On failure the log is broken: the transaction's pages stay in the
+  // frozen protection set forever so no partially-logged byte can reach
+  // the device.
+  FinishTxn(t, /*keep_protected=*/!s.ok());
   return s;
 }
 
 Status WalManager::AbortTransaction() {
-  if (txn_depth_.load(std::memory_order_relaxed) == 0) {
+  WalTxn* t = CurrentTxn();
+  if (t == nullptr) {
     return Status::FailedPrecondition("abort without matching begin");
   }
-  const int depth = txn_depth_.fetch_sub(1, std::memory_order_release) - 1;
-  if (depth == 0 && !broken()) {
-    // Redo-only log: the in-memory partial effects stay (exactly the
-    // pre-WAL failure behaviour), but none of them were logged, so a
-    // crash-and-recover still lands on the last committed state.
-    snapshots_.clear();
-    MutexLock lock(state_mu_);
-    txn_dirty_.clear();
-  }
+  if (--t->depth > 0) return Status::OK();
+  // Redo-only log: the in-memory partial effects stay (exactly the
+  // pre-WAL failure behaviour), but none of them were logged, so a
+  // crash-and-recover still lands on the last committed state. Once
+  // broken, the protection set stays frozen.
+  FinishTxn(t, /*keep_protected=*/broken());
   return Status::OK();
 }
 
-Status WalManager::CommitTopLevel() {
+Status WalManager::CommitTopLevel(WalTxn* txn, uint64_t* commit_lsn) {
+  // One commit at a time, end to end: the precommit hook's metadata
+  // image, the page diffs, and the page-LSN stamps must not interleave
+  // with another commit touching the same meta pages.
+  MutexLock commit_lock(commit_mu_);
   if (broken()) {
     return Status::FailedPrecondition(
         "write-ahead log is in a failed state; reopen the database");
@@ -103,13 +178,9 @@ Status WalManager::CommitTopLevel() {
     if (!s.ok()) return s;
   }
 
-  // Copy the write set out under state_mu_; only this (writer) thread
-  // mutates it, so the copy stays accurate for the rest of the commit.
-  std::vector<PageId> dirty_pages;
-  {
-    MutexLock lock(state_mu_);
-    dirty_pages.assign(txn_dirty_.begin(), txn_dirty_.end());
-  }
+  // The hook may have dirtied meta pages into this transaction; collect
+  // the write set only now. The set is thread-owned — no lock needed.
+  std::vector<PageId> dirty_pages(txn->dirty.begin(), txn->dirty.end());
 
   // Diff every dirtied page against its pre-image. Absolute byte ranges
   // replayed in log order are idempotent, so recovery needs no page LSNs
@@ -133,8 +204,8 @@ Status WalManager::CommitTopLevel() {
                        "commit",
                        page_id));
     }
-    auto snap_it = snapshots_.find(page_id);
-    if (snap_it == snapshots_.end()) {
+    auto snap_it = txn->snapshots.find(page_id);
+    if (snap_it == txn->snapshots.end()) {
       // Page was never observed before the first write (freshly allocated
       // inside the transaction): log the whole page.
       deltas.push_back(Delta{page_id, 0, cur, kPageSize});
@@ -151,13 +222,8 @@ Status WalManager::CommitTopLevel() {
   }
 
   if (deltas.empty()) {
-    {
-      MutexLock lock(log_mu_);
-      ++stats_.empty_commits;
-    }
-    snapshots_.clear();
-    MutexLock lock(state_mu_);
-    txn_dirty_.clear();
+    MutexLock lock(log_mu_);
+    ++stats_.empty_commits;
     return Status::OK();
   }
 
@@ -168,7 +234,7 @@ Status WalManager::CommitTopLevel() {
     // Appends and the commit sync run under log_mu_ because an evicting
     // reader may concurrently sync through BeforePageFlush. The delta
     // byte pointers stay valid: the pages are pinned against eviction by
-    // the no-steal veto and only this thread mutates them.
+    // the no-steal veto, and the 2PL layer keeps other writers off them.
     MutexLock lock(log_mu_);
     LogRecord rec;
     rec.txn_id = txn_id;
@@ -217,16 +283,13 @@ Status WalManager::CommitTopLevel() {
   }
 
   last_commit_lsn_.store(end_lsn, std::memory_order_release);
+  if (commit_lsn != nullptr) *commit_lsn = end_lsn;
 
   // Stamp the commit record's end LSN onto every changed page: the flush
   // invariant (BeforePageFlush) then guarantees no page overtakes its
   // commit record onto the device, even in group-commit mode. Done
   // outside log_mu_ — SetPageLsn takes a shard lock.
   for (const Delta& d : deltas) pool_->SetPageLsn(d.page_id, end_lsn);
-
-  snapshots_.clear();
-  MutexLock lock(state_mu_);
-  txn_dirty_.clear();
   return Status::OK();
 }
 
@@ -291,8 +354,12 @@ Status WalManager::Checkpoint() {
 }
 
 Status WalManager::CheckpointImpl() {
-  if (txn_depth_.load(std::memory_order_relaxed) > 0) {
-    return Status::FailedPrecondition("checkpoint inside a transaction");
+  if (active_transactions() > 0) {
+    // No-steal makes this a hard requirement, not a courtesy: FlushAll
+    // below would write every dirty page, including pages carrying some
+    // live transaction's uncommitted bytes. The database guarantees
+    // quiescence by holding the schema lock exclusively.
+    return Status::FailedPrecondition("checkpoint with live transactions");
   }
   if (broken()) {
     return Status::FailedPrecondition(
@@ -363,6 +430,9 @@ void WalManager::CollectMetrics(std::vector<MetricSample>* out) const {
       static_cast<double>(ws.group_commits));
   add("fieldrep_wal_log_bytes", "Bytes in the current log epoch.",
       MetricKind::kGauge, static_cast<double>(log_bytes()));
+  add("fieldrep_wal_active_transactions",
+      "Write transactions currently open (including detached sessions).",
+      MetricKind::kGauge, static_cast<double>(active_transactions()));
   add("fieldrep_wal_broken", "1 when the log is in a failed state.",
       MetricKind::kGauge, broken() ? 1.0 : 0.0);
   MetricSample commit;
@@ -392,21 +462,27 @@ void WalManager::CollectMetrics(std::vector<MetricSample>* out) const {
 }
 
 void WalManager::OnPageAccess(PageId page_id, const uint8_t* data) {
-  // Fires only for exclusive fetches, i.e. only on the writer thread.
-  if (txn_depth_.load(std::memory_order_relaxed) == 0 || broken()) return;
-  if (snapshots_.count(page_id) != 0) return;
+  // Fires only for exclusive fetches, i.e. on a thread that is writing —
+  // which, under 2PL, is a thread with an open transaction (or none, for
+  // maintenance paths that bypass transactions entirely).
+  WalTxn* t = CurrentTxn();
+  if (t == nullptr || broken()) return;
+  if (t->snapshots.count(page_id) != 0) return;
   // Only pages the transaction later dirties need their pre-image, but
-  // we cannot know which those are yet; the map is cleared at commit so
-  // the cost is bounded by the transaction's working set.
-  snapshots_.emplace(page_id,
-                     std::string(reinterpret_cast<const char*>(data),
-                                 kPageSize));
+  // we cannot know which those are yet; the map dies with the
+  // transaction so the cost is bounded by its working set.
+  t->snapshots.emplace(page_id,
+                       std::string(reinterpret_cast<const char*>(data),
+                                   kPageSize));
 }
 
 void WalManager::OnPageDirtied(PageId page_id) {
-  if (txn_depth_.load(std::memory_order_relaxed) == 0 || broken()) return;
-  MutexLock lock(state_mu_);
-  txn_dirty_.insert(page_id);
+  WalTxn* t = CurrentTxn();
+  if (t == nullptr || broken()) return;
+  if (t->dirty.insert(page_id).second) {
+    MutexLock lock(state_mu_);
+    ++protected_[page_id];
+  }
 }
 
 bool WalManager::CanEvict(PageId page_id) const {
@@ -414,7 +490,7 @@ bool WalManager::CanEvict(PageId page_id) const {
   // transaction writes must not reach the device. Called from any thread
   // that considers evicting a dirty page.
   MutexLock lock(state_mu_);
-  return txn_dirty_.count(page_id) == 0;
+  return protected_.count(page_id) == 0;
 }
 
 Status WalManager::BeforePageFlush(PageId /*page_id*/, uint64_t page_lsn) {
@@ -441,10 +517,10 @@ WalTransaction::~WalTransaction() {
   if (active_) wal_->AbortTransaction().ok();
 }
 
-Status WalTransaction::Commit() {
+Status WalTransaction::Commit(uint64_t* commit_lsn) {
   if (!active_) return Status::OK();
   active_ = false;
-  return wal_->CommitTransaction();
+  return wal_->CommitTransaction(commit_lsn);
 }
 
 }  // namespace fieldrep

@@ -33,6 +33,12 @@ struct WalStats {
   std::string ToString() const;
 };
 
+/// One in-flight transaction's private WAL state. Lives on the thread
+/// running the transaction (a linked stack threaded through `tls_prev`,
+/// one node per manager), or detached between a network session's
+/// statements. Opaque outside the manager.
+struct WalTxn;
+
 /// \brief The durability engine: redo-only write-ahead logging with
 /// no-steal buffering and epoch-based log truncation.
 ///
@@ -60,14 +66,19 @@ struct WalStats {
 /// database device, then start a fresh log epoch — which logically
 /// truncates the log without a device truncate.
 ///
-/// Concurrency (DESIGN.md §10): transactions begin, mutate, and commit
-/// only on the engine's single writer thread, so `txn_depth_`,
-/// `snapshots_`, and `next_txn_id_` need no locking (OnPageAccess fires
-/// only for exclusive fetches — the writer). What reader threads *can*
-/// reach is eviction of dirty pages: CanEvict and BeforePageFlush run on
-/// whichever thread takes a buffer miss, so the transaction write set is
-/// guarded by `state_mu_` and the log writer plus its stats by `log_mu_`.
-/// Neither mutex is ever held across a call into the buffer pool.
+/// Concurrency (DESIGN.md §14): any number of write transactions may be
+/// open at once, one per thread (network sessions carry theirs across
+/// worker threads via Detach/AttachTransaction). A transaction's
+/// snapshots and dirty set live in its thread-bound WalTxn, untouched by
+/// other threads; the per-set 2PL layer above guarantees two live
+/// transactions never write the same data page. Shared state is small
+/// and explicitly locked: the no-steal protection set (`protected_`,
+/// refcounts under `state_mu_` — reachable from any evicting thread),
+/// the log writer and stats under `log_mu_`, and `commit_mu_`, which
+/// serializes top-level commits end to end so each commit's metadata
+/// snapshot (precommit hook), page diffs, and page-LSN stamps are
+/// mutually consistent. Neither state_mu_ nor log_mu_ is ever held
+/// across a call into the buffer pool.
 class WalManager : public PageObserver {
  public:
   struct Options {
@@ -80,8 +91,12 @@ class WalManager : public PageObserver {
     /// leader sync (K commits -> 1 fdatasync). Overrides the per-commit
     /// sync of `sync_on_commit`.
     bool group_commit = false;
-    /// Auto-checkpoint when the log grows past this many bytes at the end
-    /// of a commit (0 = never).
+    /// Log size past which the database should checkpoint (0 = never).
+    /// The manager only reports the condition (needs_auto_checkpoint);
+    /// the database acts on it once the transaction's locks are
+    /// released, because a checkpoint must not run while any other
+    /// transaction is live (no-steal: FlushAll would write their
+    /// uncommitted pages).
     uint64_t checkpoint_threshold_bytes = 0;
   };
 
@@ -97,29 +112,48 @@ class WalManager : public PageObserver {
   /// every epoch already on the log device (recovery reports the old one).
   Status Initialize(uint64_t epoch);
 
-  /// Hook run inside commit, before deltas are computed. The database
-  /// uses it to write its catalog/metadata state into the checkpoint
-  /// pages so that every commit is self-describing after replay.
+  /// Hook run inside commit (under commit_mu_), before deltas are
+  /// computed. The database uses it to write its catalog/metadata state
+  /// into the checkpoint pages so that every commit is self-describing
+  /// after replay.
   void set_precommit_hook(std::function<Status()> hook) {
     precommit_hook_ = std::move(hook);
   }
 
-  // --- Transactions (flat nesting) -------------------------------------------
+  // --- Transactions (flat nesting, one per thread) ---------------------------
 
+  /// Opens a transaction on this thread (or deepens the one already
+  /// open). Fails fast once the log is broken.
   Status BeginTransaction();
   /// Logs and (optionally) syncs the outermost transaction's deltas.
+  /// `commit_lsn`, when non-null, receives the commit record's end LSN
+  /// (0 for nested or empty commits) — the value to pass to WaitDurable.
   /// On a log-device failure the manager enters a broken state: the
   /// affected pages stay pinned in memory forever and every later
   /// transaction fails fast, so no uncommitted byte can reach the device.
-  Status CommitTransaction();
+  Status CommitTransaction(uint64_t* commit_lsn = nullptr);
   /// Discards the transaction bracket. Redo-only logging has no undo:
   /// in-memory partial effects of a failed mutation remain (as before
   /// this subsystem existed); the log simply never commits them, so a
   /// crash still recovers to the last committed state.
   Status AbortTransaction();
-  bool in_transaction() const {
-    return txn_depth_.load(std::memory_order_acquire) > 0;
+  /// Whether the *current thread* has an open transaction on this
+  /// manager.
+  bool in_transaction() const;
+  /// Number of live transactions across all threads (including detached
+  /// session transactions).
+  int active_transactions() const {
+    return active_txns_.load(std::memory_order_acquire);
   }
+
+  /// Unbinds the current thread's open transaction so another thread can
+  /// continue it (network sessions migrate across workers between
+  /// statements). Returns null when no transaction is open. The handle
+  /// stays owned by the manager; hand it back via AttachTransaction or
+  /// the transaction leaks its no-steal protections.
+  WalTxn* DetachTransaction();
+  /// Rebinds a detached transaction to the current thread.
+  void AttachTransaction(WalTxn* txn);
 
   // --- Group commit -----------------------------------------------------------
 
@@ -133,8 +167,9 @@ class WalManager : public PageObserver {
   /// one) when called without group_commit enabled.
   Status WaitDurable(uint64_t lsn);
 
-  /// End LSN of the most recent top-level commit that logged any deltas
-  /// (the LSN to pass to WaitDurable for read-your-writes durability).
+  /// End LSN of the most recent top-level commit (by any thread) that
+  /// logged deltas. Under concurrency prefer the `commit_lsn` out-param
+  /// of the commit that actually did the work.
   uint64_t last_commit_lsn() const {
     return last_commit_lsn_.load(std::memory_order_acquire);
   }
@@ -143,8 +178,18 @@ class WalManager : public PageObserver {
   // --- Checkpoint ------------------------------------------------------------
 
   /// Flushes the pool's dirty frames, syncs the database device, and
-  /// begins a fresh log epoch.
+  /// begins a fresh log epoch. Refused while any transaction is live
+  /// anywhere (no-steal); the database quiesces writers first by taking
+  /// the schema lock exclusively.
   Status Checkpoint();
+
+  /// True when the log has outgrown Options::checkpoint_threshold_bytes.
+  /// The database polls this after releasing a committed transaction's
+  /// locks and checkpoints from a quiesced context.
+  bool needs_auto_checkpoint() const {
+    return options_.checkpoint_threshold_bytes != 0 &&
+           log_bytes() > options_.checkpoint_threshold_bytes;
+  }
 
   // --- Introspection ---------------------------------------------------------
 
@@ -185,7 +230,15 @@ class WalManager : public PageObserver {
   Status BeforePageFlush(PageId page_id, uint64_t page_lsn) override;
 
  private:
-  Status CommitTopLevel();
+  /// The current thread's open transaction on *this* manager (threads
+  /// may hold transactions on several managers at once — tests open
+  /// multiple databases).
+  WalTxn* CurrentTxn() const;
+  Status CommitTopLevel(WalTxn* txn, uint64_t* commit_lsn);
+  /// Drops `txn`'s no-steal protections (skipped once broken: the
+  /// protection set is frozen so unloggable bytes stay off the device)
+  /// and frees it.
+  void FinishTxn(WalTxn* txn, bool keep_protected);
   Status CheckpointImpl();
 
   StorageDevice* log_device_;
@@ -194,27 +247,29 @@ class WalManager : public PageObserver {
   Options options_;
   std::function<Status()> precommit_hook_;
 
-  // Writer-thread-only state (see the class comment) — except
-  // txn_depth_, which in_transaction() reads from any thread (the
-  // server polls it during session teardown), so it is atomic.
-  std::atomic<int> txn_depth_{0};
-  uint64_t next_txn_id_ = 1;
-  /// Pre-images of pages first accessed inside the open transaction.
-  std::unordered_map<PageId, std::string> snapshots_;
-
-  /// Guards txn_dirty_: written by the writer thread, read by CanEvict
-  /// from any thread that evicts a dirty page. kWalState is the deepest
-  /// engine rank a pool walk reaches (victim → shard → state).
-  mutable Mutex state_mu_{LockRank::kWalState, "wal.state_mu"};
-  /// Pages dirtied inside the open transaction (ordered: deterministic
-  /// log layout). Also the no-steal protection set; on log failure it is
-  /// frozen into `broken_` state.
-  std::set<PageId> txn_dirty_ GUARDED_BY(state_mu_);
+  std::atomic<int> active_txns_{0};
   std::atomic<bool> broken_{false};
 
-  /// Guards writer_ and stats_: commits and checkpoints append from the
-  /// writer thread while BeforePageFlush may sync from any evicting
-  /// thread. Never held across a call into the buffer pool.
+  /// Serializes top-level commits end to end: precommit hook, page
+  /// diffing, log append, and page-LSN stamping happen atomically with
+  /// respect to other commits, so the metadata image each commit embeds
+  /// reflects exactly the commits before it. Rank sits below every
+  /// storage/log lock the commit path acquires.
+  Mutex commit_mu_{LockRank::kWalCommit, "wal.commit_mu"};
+  /// Commit ids in log order; assigned under commit_mu_.
+  uint64_t next_txn_id_ GUARDED_BY(commit_mu_) = 1;
+
+  /// Guards the no-steal protection set: pages dirtied by any live
+  /// transaction, refcounted because meta pages recur across
+  /// transactions. Read by CanEvict from any thread that evicts a dirty
+  /// page. kWalState is the deepest engine rank a pool walk reaches
+  /// (victim → shard → state).
+  mutable Mutex state_mu_{LockRank::kWalState, "wal.state_mu"};
+  std::map<PageId, int> protected_ GUARDED_BY(state_mu_);
+
+  /// Guards writer_ and stats_: commits and checkpoints append while
+  /// BeforePageFlush may sync from any evicting thread. Never held
+  /// across a call into the buffer pool.
   mutable Mutex log_mu_{LockRank::kWalLog, "wal.log_mu"};
   WalStats stats_ GUARDED_BY(log_mu_);
 
@@ -253,7 +308,7 @@ class WalTransaction {
 
   /// Status of the BeginTransaction call; check before doing work.
   const Status& begin_status() const { return begin_status_; }
-  Status Commit();
+  Status Commit(uint64_t* commit_lsn = nullptr);
 
  private:
   WalManager* wal_;

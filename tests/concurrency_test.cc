@@ -268,5 +268,133 @@ TEST(ConcurrencyTest, ParallelReadersLeaveNoPins) {
   EXPECT_EQ(db->pool().total_pins(), 0u);
 }
 
+// --- Concurrent embedded writers (per-set 2PL, DESIGN.md §14) -----------------
+
+UpdateQuery WriteVal(const char* set_name, int32_t key, int32_t val) {
+  UpdateQuery query;
+  query.set_name = set_name;
+  query.predicate = Predicate::Compare("key", CompareOp::kEq, Value(key));
+  query.assignments.emplace_back("val", Value(val));
+  return query;
+}
+
+/// Two embedded writer threads on sets of distinct types, fsck'd after
+/// every round: the write-lock closures are disjoint singletons, so the
+/// blocking acquire path must never record a conflict or a wait-or-die
+/// abort, and no update may be lost across the interleavings.
+TEST(ConcurrencyTest, WritersOnDisjointSetsRunConflictFree) {
+  auto db_or = Database::Open({});
+  FR_ASSERT_OK(db_or.status());
+  auto db = std::move(db_or).value();
+  constexpr int kRowsPerSet = 6;
+  for (const char* set_name : {"A", "B"}) {
+    const std::string type_name = std::string("ROW") + set_name;
+    FR_ASSERT_OK(db->DefineType(
+        TypeDescriptor(type_name, {Int32Attr("key"), Int32Attr("val")})));
+    FR_ASSERT_OK(db->CreateSet(set_name, type_name));
+    for (int i = 0; i < kRowsPerSet; ++i) {
+      Oid oid;
+      FR_ASSERT_OK(db->Insert(
+          set_name, Object(0, {Value(int32_t{i}), Value(int32_t{0})}),
+          &oid));
+    }
+  }
+
+  constexpr int kRounds = 4;
+  constexpr int kWritesPerRound = 20;
+  std::atomic<int> errors{0};
+  for (int round = 1; round <= kRounds; ++round) {
+    auto writer = [&, round](const char* set_name) {
+      for (int i = 0; i < kWritesPerRound; ++i) {
+        UpdateResult ur;
+        Status s = db->Replace(
+            WriteVal(set_name, i % kRowsPerSet, round * 1000 + i), &ur);
+        if (!s.ok() || ur.objects_updated != 1) ++errors;
+      }
+    };
+    std::thread ta(writer, "A");
+    std::thread tb(writer, "B");
+    ta.join();
+    tb.join();
+    ExpectCleanIntegrity(db.get());
+  }
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(db->lock_table().conflicts(), 0u);
+  EXPECT_EQ(db->lock_table().aborts(), 0u);
+  EXPECT_EQ(db->lock_table().held(), 0u);
+
+  // Last writer round fully applied on both sets: no lost updates.
+  for (const char* set_name : {"A", "B"}) {
+    ReadQuery query;
+    query.set_name = set_name;
+    query.projections = {"key", "val"};
+    ReadResult result;
+    FR_ASSERT_OK(db->Retrieve(query, &result));
+    ASSERT_EQ(result.rows.size(), static_cast<size_t>(kRowsPerSet));
+    for (const auto& row : result.rows) {
+      const int32_t key = row[0].as_int32();
+      const int expected =
+          kRounds * 1000 +
+          (key < kWritesPerRound % kRowsPerSet
+               ? (kWritesPerRound / kRowsPerSet) * kRowsPerSet + key
+               : (kWritesPerRound / kRowsPerSet - 1) * kRowsPerSet + key);
+      EXPECT_EQ(row[1].as_int32(), expected) << set_name << " key " << key;
+    }
+  }
+}
+
+/// Four embedded writers hammering one set: every transaction conflicts
+/// on the set's X lock and the blocking acquire path serializes them.
+/// Each thread owns one key, so after the dust settles each key holds its
+/// writer's final value — a lost update would leave an earlier one.
+TEST(ConcurrencyTest, WritersOnOneSetSerializeWithoutLostUpdates) {
+  auto db_or = Database::Open({});
+  FR_ASSERT_OK(db_or.status());
+  auto db = std::move(db_or).value();
+  FR_ASSERT_OK(db->DefineType(
+      TypeDescriptor("ROW", {Int32Attr("key"), Int32Attr("val")})));
+  FR_ASSERT_OK(db->CreateSet("T", "ROW"));
+  constexpr int kThreads = 4;
+  for (int i = 0; i < kThreads; ++i) {
+    Oid oid;
+    FR_ASSERT_OK(db->Insert(
+        "T", Object(0, {Value(int32_t{i}), Value(int32_t{0})}), &oid));
+  }
+
+  constexpr int kRounds = 3;
+  constexpr int kWritesPerRound = 15;
+  std::atomic<int> errors{0};
+  for (int round = 1; round <= kRounds; ++round) {
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, round, t] {
+        for (int i = 1; i <= kWritesPerRound; ++i) {
+          UpdateResult ur;
+          Status s =
+              db->Replace(WriteVal("T", t, round * 100 + i), &ur);
+          if (!s.ok() || ur.objects_updated != 1) ++errors;
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+    ExpectCleanIntegrity(db.get());
+  }
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(db->lock_table().held(), 0u);
+  EXPECT_EQ(db->lock_table().waiters(), 0u);
+
+  ReadQuery query;
+  query.set_name = "T";
+  query.projections = {"key", "val"};
+  ReadResult result;
+  FR_ASSERT_OK(db->Retrieve(query, &result));
+  ASSERT_EQ(result.rows.size(), static_cast<size_t>(kThreads));
+  for (const auto& row : result.rows) {
+    EXPECT_EQ(row[1].as_int32(), kRounds * 100 + kWritesPerRound)
+        << "lost update on key " << row[0].as_int32();
+  }
+}
+
 }  // namespace
 }  // namespace fieldrep

@@ -96,7 +96,7 @@ TEST(LockRankTest, SameRankClassPermitsMultipleFrameLatches) {
 }
 
 TEST(LockRankTest, RecursiveMutexReentersSameInstance) {
-  RecursiveMutex mu(LockRank::kDatabaseWrite, "test.recursive");
+  RecursiveMutex mu(LockRank::kLockTable, "test.recursive");
   RecursiveMutexLock l1(mu);
   {
     RecursiveMutexLock l2(mu);  // the WAL precommit-hook pattern
@@ -109,7 +109,7 @@ TEST(LockRankDeathTest, RecursiveMutexStillChecksRankAgainstOthers) {
   SKIP_IF_CHECKS_DISABLED();
   // Reentrancy only excuses the same instance, not the rank order.
   Mutex high(LockRank::kWalLog, "test.rec_high");
-  RecursiveMutex low(LockRank::kDatabaseWrite, "test.rec_low");
+  RecursiveMutex low(LockRank::kLockTable, "test.rec_low");
   EXPECT_DEATH(
       {
         MutexLock l1(high);

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -1124,6 +1125,201 @@ TEST(NetConcurrencyTest, WritersOnDisjointSetsThroughGate) {
   }
   server->Stop();
   ExpectCleanIntegrity(db.get());
+}
+
+/// Serves two sets of *distinct* types, so their write-lock closures are
+/// disjoint singletons (DESIGN.md §14) — writer transactions on them
+/// must interleave without ever touching each other's locks.
+struct ServedTwoSetDb {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<net::Server> server;
+
+  static ServedTwoSetDb Start(const char* tag, int rows_per_set) {
+    ServedTwoSetDb s;
+    Database::Options db_options;
+    db_options.enable_wal = true;
+    db_options.wal_group_commit = true;
+    auto db_or = Database::Open(db_options);
+    EXPECT_TRUE(db_or.ok()) << db_or.status().ToString();
+    if (!db_or.ok()) return s;
+    s.db = std::move(db_or).value();
+    for (const char* set_name : {"A", "B"}) {
+      const std::string type_name = std::string("ROW") + set_name;
+      EXPECT_TRUE(s.db->DefineType(TypeDescriptor(
+                                       type_name, {Int32Attr("key"),
+                                                   Int32Attr("val")}))
+                      .ok());
+      EXPECT_TRUE(s.db->CreateSet(set_name, type_name).ok());
+      for (int i = 0; i < rows_per_set; ++i) {
+        Oid oid;
+        EXPECT_TRUE(s.db->Insert(set_name,
+                                 Object(0, {Value(int32_t{i}),
+                                            Value(int32_t{0})}),
+                                 &oid)
+                        .ok());
+      }
+    }
+    net::ServerOptions options;
+    options.address = "unix:" + TestSocketPath(tag);
+    auto server_or = net::Server::Start(s.db.get(), options);
+    EXPECT_TRUE(server_or.ok()) << server_or.status().ToString();
+    if (server_or.ok()) s.server = std::move(server_or).value();
+    return s;
+  }
+};
+
+UpdateQuery SetValIn(const char* set_name, int32_t key, int32_t val) {
+  UpdateQuery query;
+  query.set_name = set_name;
+  query.predicate = Predicate::Compare("key", CompareOp::kEq, Value(key));
+  query.assignments.emplace_back("val", Value(val));
+  return query;
+}
+
+/// Two sessions writing sets of distinct types, alternating auto-commit
+/// and explicit brackets: with per-set locks the transactions must never
+/// conflict — the lock table's conflict and abort counters stay at zero,
+/// and every update lands (no lost updates across the interleaving).
+TEST(NetConcurrencyTest, DisjointTypedWritersNeverConflict) {
+  ServedTwoSetDb served = ServedTwoSetDb::Start("disjoint_typed", 8);
+  ASSERT_NE(served.server, nullptr);
+  constexpr int kRowsPerSet = 8;
+  constexpr int kRounds = 25;
+  std::atomic<int> failures{0};
+  auto writer = [&](const char* set_name) {
+    auto client_or = Client::Connect(served.server->address());
+    ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+    auto& client = *client_or.value();
+    for (int round = 1; round <= kRounds; ++round) {
+      const bool bracketed = (round % 2) == 0;
+      if (bracketed && !client.Begin().ok()) ++failures;
+      for (int key = 0; key < kRowsPerSet; ++key) {
+        UpdateResult ur;
+        if (!client.Replace(SetValIn(set_name, key, round), &ur).ok() ||
+            ur.objects_updated != 1) {
+          ++failures;
+        }
+      }
+      if (bracketed && !client.Commit().ok()) ++failures;
+    }
+  };
+  std::thread ta(writer, "A");
+  std::thread tb(writer, "B");
+  ta.join();
+  tb.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The whole point of the striped locks: disjoint closures, zero
+  // conflicts, zero wait-or-die aborts, nothing parked.
+  EXPECT_EQ(served.db->lock_table().conflicts(), 0u);
+  EXPECT_EQ(served.db->lock_table().aborts(), 0u);
+  EXPECT_EQ(served.server->metrics().parks.load(), 0u);
+
+  auto reader_or = Client::Connect(served.server->address());
+  FR_ASSERT_OK(reader_or.status());
+  for (const char* set_name : {"A", "B"}) {
+    ReadQuery query;
+    query.set_name = set_name;
+    query.projections = {"val"};
+    ReadResult result;
+    FR_ASSERT_OK(reader_or.value()->Retrieve(query, &result));
+    ASSERT_EQ(result.rows.size(), static_cast<size_t>(kRowsPerSet));
+    for (const auto& row : result.rows) {
+      EXPECT_EQ(row[0].as_int32(), kRounds) << "set " << set_name;
+    }
+  }
+  served.server->Stop();
+  ExpectCleanIntegrity(served.db.get());
+}
+
+/// A conflicting single-statement write against a set X-locked by an open
+/// explicit transaction parks (is not refused, not aborted, not executed)
+/// until the holder commits — then runs, so the parked write is the one
+/// that survives.
+TEST(NetConcurrencyTest, ConflictingWriterParksUntilCommit) {
+  ServedWalDb served = ServedWalDb::Start("park", 2);
+  ASSERT_NE(served.server, nullptr);
+
+  auto a_or = Client::Connect(served.server->address());
+  FR_ASSERT_OK(a_or.status());
+  auto& a = *a_or.value();
+  UpdateResult ur;
+  FR_ASSERT_OK(a.Begin());
+  FR_ASSERT_OK(a.Replace(SetVal(0, 111), &ur));  // A now holds X on "T"
+
+  std::atomic<bool> b_done{false};
+  std::thread tb([&] {
+    auto b_or = Client::Connect(served.server->address());
+    ASSERT_TRUE(b_or.ok()) << b_or.status().ToString();
+    UpdateResult b_ur;
+    Status s = b_or.value()->Replace(SetVal(0, 222), &b_ur);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(b_ur.objects_updated, 1u);
+    b_done.store(true);
+  });
+
+  // B must reach the parked state, not complete and not get an error.
+  ASSERT_TRUE(WaitFor(
+      [&] { return served.server->metrics().parks.load() >= 1; }));
+  EXPECT_FALSE(b_done.load());
+
+  FR_ASSERT_OK(a.Commit());
+  tb.join();
+  EXPECT_TRUE(b_done.load());
+
+  // B ran strictly after A's commit: its value is the final one.
+  EXPECT_EQ(ReadVal(&a, 0), 222);
+  served.server->Stop();
+  ExpectCleanIntegrity(served.db.get());
+}
+
+/// Disconnect cleanup releases exactly the dead session's locks: an
+/// unrelated transaction on another set races the cleanup, keeps its own
+/// locks, and commits its update intact; the abandoned set is writable
+/// again immediately afterwards.
+TEST(NetSessionLifecycleTest, DisconnectReleasesOnlyOwnLocks) {
+  ServedTwoSetDb served = ServedTwoSetDb::Start("own_locks", 2);
+  ASSERT_NE(served.server, nullptr);
+
+  auto a_or = Client::Connect(served.server->address());
+  auto b_or = Client::Connect(served.server->address());
+  FR_ASSERT_OK(a_or.status());
+  FR_ASSERT_OK(b_or.status());
+  auto& b = *b_or.value();
+
+  UpdateResult ur;
+  FR_ASSERT_OK(a_or.value()->Begin());
+  FR_ASSERT_OK(a_or.value()->Replace(SetValIn("A", 0, 111), &ur));
+  FR_ASSERT_OK(b.Begin());
+  FR_ASSERT_OK(b.Replace(SetValIn("B", 0, 222), &ur));
+
+  // A's connection dies while B's transaction is mid-flight; B's commit
+  // races the cleanup.
+  a_or.value()->Abandon();
+  FR_ASSERT_OK(b.Commit());
+
+  ASSERT_TRUE(WaitFor([&] {
+    return served.server->metrics().sessions_active.load() == 1;
+  }));
+
+  // B's update survived A's abort (the cleanup did not release or roll
+  // back B's locks), and A's set is immediately writable by a newcomer.
+  ReadQuery query;
+  query.set_name = "B";
+  query.projections = {"val"};
+  ReadResult result;
+  FR_ASSERT_OK(b.Retrieve(query, &result));
+  ASSERT_EQ(result.rows.size(), 2u);
+  int32_t max_val = 0;
+  for (const auto& row : result.rows) {
+    max_val = std::max(max_val, row[0].as_int32());
+  }
+  EXPECT_EQ(max_val, 222);
+
+  FR_ASSERT_OK(b.Replace(SetValIn("A", 0, 333), &ur));
+  EXPECT_EQ(ur.objects_updated, 1u);
+  served.server->Stop();
+  ExpectCleanIntegrity(served.db.get());
 }
 
 }  // namespace

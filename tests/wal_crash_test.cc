@@ -329,5 +329,111 @@ TEST(WalCrashTest, CrashDuringCheckpointKeepsCommittedUpdate) {
   }
 }
 
+// --- Interleaved transactions (per-set 2PL, DESIGN.md §14) --------------------
+
+/// Crash with two write transactions interleaved in the log: txn1
+/// (replicated update, committed and synced) and txn2 (unrelated set,
+/// mid-commit when the machine dies). Recovery must replay txn1 in full —
+/// base value AND every in-place replica, prefix-consistent — while txn2
+/// lands atomically (fully-old or fully-new, new only if its commit
+/// synced before the crash). The two transactions use sets of distinct
+/// types, so the striped locks let them interleave on one thread via
+/// Detach/AttachSessionTransaction exactly as two server sessions would.
+TEST(WalCrashTest, InterleavedTransactionsRecoverCommittedPrefix) {
+  for (uint64_t k = 1; k <= 8; ++k) {
+    for (bool torn : {false, true}) {
+      SCOPED_TRACE(StringPrintf("interleaved crash after %d ops%s",
+                                static_cast<int>(k), torn ? " (torn)" : ""));
+      CrashRig rig;
+      std::vector<Oid> heads(4);
+      Oid tgt_oid, b_oid;
+      bool txn2_reported_ok = false;
+      {
+        auto db = rig.Open();
+        ASSERT_NE(db, nullptr);
+        FR_ASSERT_OK(db->DefineType(
+            TypeDescriptor("TGT", {CharAttr("name", 20)})));
+        FR_ASSERT_OK(db->DefineType(TypeDescriptor(
+            "HEAD", {CharAttr("name", 20), RefAttr("ref", "TGT")})));
+        FR_ASSERT_OK(db->DefineType(
+            TypeDescriptor("BROW", {Int32Attr("key"), Int32Attr("val")})));
+        FR_ASSERT_OK(db->CreateSet("Tgts", "TGT"));
+        FR_ASSERT_OK(db->CreateSet("Heads", "HEAD"));
+        FR_ASSERT_OK(db->CreateSet("B", "BROW"));
+        FR_ASSERT_OK(db->Insert("Tgts", Object(0, {Value("oldname")}),
+                                &tgt_oid));
+        for (size_t i = 0; i < heads.size(); ++i) {
+          FR_ASSERT_OK(db->Insert(
+              "Heads",
+              Object(0, {Value(StringPrintf("head%d", static_cast<int>(i))),
+                         Value(tgt_oid)}),
+              &heads[i]));
+        }
+        FR_ASSERT_OK(db->Insert(
+            "B", Object(0, {Value(int32_t{0}), Value(int32_t{100})}),
+            &b_oid));
+        FR_ASSERT_OK(db->Replicate("Heads.ref.name", {}));
+        FR_ASSERT_OK(db->Checkpoint());
+
+        // txn1 starts and writes (replicated propagation into Heads)...
+        FR_ASSERT_OK(db->BeginSessionTransaction());
+        FR_ASSERT_OK(
+            db->Update("Tgts", tgt_oid, "name", Value("newname")));
+        Database::SessionTxn* txn1 = db->DetachSessionTransaction();
+        ASSERT_NE(txn1, nullptr);
+
+        // ...txn2 starts and writes the unrelated set, interleaving its
+        // log records with txn1's...
+        FR_ASSERT_OK(db->BeginSessionTransaction());
+        FR_ASSERT_OK(db->Update("B", b_oid, "val", Value(int32_t{200})));
+        Database::SessionTxn* txn2 = db->DetachSessionTransaction();
+        ASSERT_NE(txn2, nullptr);
+
+        // ...txn1 commits durably; the machine dies k ops into txn2's
+        // commit (or the shutdown writeback after it).
+        db->AttachSessionTransaction(txn1);
+        FR_ASSERT_OK(db->CommitSessionTransaction());
+        rig.plan.Arm(k, torn);
+        db->AttachSessionTransaction(txn2);
+        txn2_reported_ok = db->CommitSessionTransaction().ok();
+      }
+      rig.plan.Reset();  // reboot
+
+      auto db = rig.Open();
+      ASSERT_NE(db, nullptr);
+
+      // txn1, committed before the crash, must be replayed in full.
+      Object tgt;
+      FR_ASSERT_OK(db->Get("Tgts", tgt_oid, &tgt));
+      EXPECT_EQ(Unpad(tgt.field(0).as_string()), "newname");
+      const ReplicationPathInfo* path =
+          db->replication().FindPath("Heads.ref.name");
+      ASSERT_NE(path, nullptr);
+      FR_ASSERT_OK(db->replication().VerifyPathConsistency(path->id));
+      ReadQuery query;
+      query.set_name = "Heads";
+      query.projections = {"ref.name"};
+      ReadResult result;
+      FR_ASSERT_OK(db->Retrieve(query, &result));
+      ASSERT_EQ(result.rows.size(), heads.size());
+      for (const auto& row : result.rows) {
+        EXPECT_EQ(Unpad(row[0].as_string()), "newname")
+            << "replica not prefix-consistent with committed txn1";
+      }
+
+      // txn2 is atomic: fully-old or fully-new, new if its commit synced.
+      Object b_row;
+      FR_ASSERT_OK(db->Get("B", b_oid, &b_row));
+      const int32_t b_val = b_row.field(1).as_int32();
+      EXPECT_TRUE(b_val == 100 || b_val == 200) << b_val;
+      if (txn2_reported_ok) {
+        EXPECT_EQ(b_val, 200);
+      }
+
+      ::fieldrep::testing::ExpectCleanIntegrity(db.get());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fieldrep
