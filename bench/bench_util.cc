@@ -41,6 +41,8 @@ Result<ModelWorkload> BuildModelWorkload(const WorkloadOptions& options) {
   db_options.buffer_pool_frames = options.pool_frames;
   db_options.read_ahead_window = options.read_ahead_window;
   db_options.file_path = options.file_path;
+  db_options.storage_backend = options.storage_backend;
+  db_options.o_direct = options.o_direct;
   db_options.worker_threads = options.worker_threads;
   db_options.enable_telemetry = options.enable_telemetry;
   db_options.slow_query_ns = options.slow_query_ns;
@@ -346,6 +348,29 @@ size_t ConsumeThreadsFlag(int* argc, char** argv, size_t fallback) {
     }
   }
   return fallback;
+}
+
+DeviceChoice ConsumeDeviceFlag(int* argc, char** argv) {
+  DeviceChoice choice;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--device=", 9) != 0) continue;
+    const char* value = argv[i] + 9;
+    if (std::strcmp(value, "file") == 0) {
+      choice = {Database::StorageBackend::kFile, false, "file"};
+    } else if (std::strcmp(value, "uring") == 0) {
+      choice = {Database::StorageBackend::kUring, false, "uring"};
+    } else if (std::strcmp(value, "uring-direct") == 0) {
+      choice = {Database::StorageBackend::kUring, true, "uring-direct"};
+    } else {
+      std::fprintf(stderr,
+                   "warning: unknown --device=%s (want file|uring|"
+                   "uring-direct), keeping default\n",
+                   value);
+    }
+    RemoveArg(argc, argv, i);
+    return choice;
+  }
+  return choice;
 }
 
 }  // namespace fieldrep::bench

@@ -2,6 +2,9 @@
 #define FIELDREP_STORAGE_PAGE_H_
 
 #include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
 
 namespace fieldrep {
 
@@ -42,6 +45,33 @@ inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
 using FileId = uint16_t;
 
 inline constexpr FileId kInvalidFileId = 0xFFFFu;
+
+/// Deleter matching AllocatePageBuffer's aligned operator new[].
+struct PageBufferDeleter {
+  void operator()(uint8_t* p) const {
+    ::operator delete[](p, std::align_val_t{kPageSize});
+  }
+};
+
+/// A page-sized, page-aligned I/O buffer. Every buffer that a storage
+/// device may transfer directly (buffer-pool frames, elevator staging
+/// areas, device bounce buffers) uses this allocation so the O_DIRECT
+/// backend's alignment requirement (buffer, offset, and length all
+/// block-aligned; kPageSize alignment satisfies any block size) holds
+/// engine-wide without per-call-site checks.
+using PageBuffer = std::unique_ptr<uint8_t[], PageBufferDeleter>;
+
+/// Allocates `pages` pages of kPageSize-aligned, zero-initialized memory.
+/// Zeroing matches the value-initialization the pool's frames had before
+/// they were aligned: a logically-empty page region must read as zeros
+/// (slot directories treat 0 as "no entry"), and frames are recycled into
+/// that role without an intervening device read.
+inline PageBuffer AllocatePageBuffer(size_t pages = 1) {
+  auto* p = static_cast<uint8_t*>(
+      ::operator new[](pages * kPageSize, std::align_val_t{kPageSize}));
+  std::memset(p, 0, pages * kPageSize);
+  return PageBuffer(p);
+}
 
 }  // namespace fieldrep
 

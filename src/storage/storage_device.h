@@ -2,7 +2,9 @@
 #define FIELDREP_STORAGE_STORAGE_DEVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/page.h"
@@ -55,6 +57,47 @@ class StorageDevice {
       FIELDREP_RETURN_IF_ERROR(WritePage(page_ids[i], bufs[i]));
     }
     return Status::OK();
+  }
+
+  /// Completion callback of the asynchronous batch operations: one Status
+  /// per page of the batch, in batch order. Invoked exactly once, possibly
+  /// on an internal device thread (never with device-internal locks held,
+  /// so the callback may call back into the engine).
+  using AsyncDone = std::function<void(std::span<const Status>)>;
+
+  /// True when this device completes the *Async operations after the
+  /// submitting call returns (a real asynchronous backend). The default
+  /// implementations below complete inline, so callers that need to know
+  /// whether a completion can be concurrent key off this.
+  virtual bool async_io() const { return false; }
+
+  /// Asynchronous vectored read: fills `bufs[i]` with page `page_ids[i]`
+  /// and invokes `done` once with per-page statuses when every page of
+  /// the batch has completed. The vectors are owned by the call (they
+  /// must stay valid until completion; passing by value makes that the
+  /// device's problem, not the caller's) — but the *buffers* they point
+  /// at are the caller's, and must outlive the completion.
+  ///
+  /// The default implementation completes synchronously through
+  /// ReadPages, so decorators (fault injection, corruption) keep their
+  /// per-page semantics on the async path too, and devices without a
+  /// native async engine are trivially correct. A batch-level error is
+  /// reported against every page (contents unspecified — install none).
+  virtual void ReadPagesAsync(std::vector<PageId> page_ids,
+                              std::vector<uint8_t*> bufs, AsyncDone done) {
+    Status s = ReadPages(page_ids, bufs);
+    std::vector<Status> statuses(page_ids.size(), s);
+    done(statuses);
+  }
+
+  /// Asynchronous vectored write; the mirror of ReadPagesAsync. Buffers
+  /// must stay valid and unmodified until `done` runs.
+  virtual void WritePagesAsync(std::vector<PageId> page_ids,
+                               std::vector<const uint8_t*> bufs,
+                               AsyncDone done) {
+    Status s = WritePages(page_ids, bufs);
+    std::vector<Status> statuses(page_ids.size(), s);
+    done(statuses);
   }
 
   /// Extends the device by one zeroed page and returns its id.

@@ -1,0 +1,733 @@
+#include "storage/uring_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+#include "telemetry/metrics.h"
+
+// The raw-syscall backend: the container bakes in <linux/io_uring.h> but not
+// liburing, so the ring is driven through io_uring_setup/io_uring_enter and
+// mmap directly. FIELDREP_HAVE_IO_URING comes from CMake (option
+// FIELDREP_WITH_URING + header check); the __NR guards cover exotic libcs
+// whose <sys/syscall.h> predates io_uring.
+#if defined(__linux__) && defined(FIELDREP_HAVE_IO_URING)
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#if defined(__NR_io_uring_setup) && defined(__NR_io_uring_enter)
+#define FIELDREP_URING_RING 1
+#endif
+#endif
+
+#ifndef FIELDREP_URING_RING
+#define FIELDREP_URING_RING 0
+#endif
+
+namespace fieldrep {
+
+namespace {
+
+[[maybe_unused]] uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// CQE latency buckets share the telemetry Histogram's latency ladder so the
+// exposition is comparable with every other latency metric in the engine.
+const std::vector<uint64_t>& CqeLatencyBounds() {
+  static const std::vector<uint64_t> bounds = Histogram::LatencyBoundsNs();
+  return bounds;
+}
+
+#if FIELDREP_URING_RING
+
+// user_data of wake-up NOPs (reaper shutdown); never a pending-table slot.
+constexpr uint64_t kNopUserData = ~0ull;
+
+int IoUringSetup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int IoUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                 unsigned flags) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                  min_complete, flags, nullptr, 0));
+}
+
+#endif  // FIELDREP_URING_RING
+
+}  // namespace
+
+/// One async batch: per-page statuses filled in as CQEs arrive; the last
+/// completion (remaining -> 0) hands the batch to the done callback. The
+/// page-id/buffer vectors live here so they outlive the submitting call.
+struct UringDevice::BatchState {
+  std::vector<PageId> page_ids;
+  std::vector<uint8_t*> rbufs;
+  std::vector<const uint8_t*> wbufs;
+  std::vector<Status> statuses;
+  size_t remaining = 0;
+  AsyncDone done;
+};
+
+/// Per-inflight-page state, indexed by SQE user_data. Slots are stable in
+/// memory (the table never resizes), so `iov` can be pointed at by the SQE.
+struct UringDevice::Pending {
+  std::shared_ptr<BatchState> batch;
+  uint32_t index = 0;  ///< Position in the batch.
+  PageId page_id = kInvalidPageId;
+  bool is_read = false;
+  uint8_t* dest = nullptr;  ///< Caller's read buffer (copy-out when bounced).
+  PageBuffer bounce;        ///< Aligned staging for unaligned caller buffers.
+#if FIELDREP_URING_RING
+  struct iovec iov {};
+#endif
+  uint64_t submit_ns = 0;
+};
+
+struct UringDevice::Ring {
+#if FIELDREP_URING_RING
+  int ring_fd = -1;
+
+  // mmap regions (cq_map is null under IORING_FEAT_SINGLE_MMAP).
+  uint8_t* sq_map = nullptr;
+  size_t sq_map_sz = 0;
+  uint8_t* cq_map = nullptr;
+  size_t cq_map_sz = 0;
+  struct io_uring_sqe* sqes = nullptr;
+  size_t sqes_map_sz = 0;
+
+  // Kernel-shared ring pointers (offsets resolved at setup).
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned sq_mask = 0;
+  unsigned sq_entries = 0;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  struct io_uring_cqe* cqes = nullptr;
+  unsigned cq_mask = 0;
+
+  std::vector<Pending> pending;       // sized sq_entries; bounds inflight
+  std::vector<uint32_t> free_slots;
+
+  ~Ring() {
+    if (sqes != nullptr) ::munmap(sqes, sqes_map_sz);
+    if (cq_map != nullptr) ::munmap(cq_map, cq_map_sz);
+    if (sq_map != nullptr) ::munmap(sq_map, sq_map_sz);
+    if (ring_fd >= 0) ::close(ring_fd);
+  }
+#endif  // FIELDREP_URING_RING
+};
+
+UringDevice::UringDevice() = default;
+
+UringDevice::~UringDevice() { Close().ok(); }
+
+bool UringDevice::KernelSupportsIoUring() {
+#if FIELDREP_URING_RING
+  struct io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  int fd = IoUringSetup(1, &params);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+#else
+  return false;
+#endif
+}
+
+Status UringDevice::Open(const std::string& path, const Options& options) {
+  if (is_open()) {
+    return Status::FailedPrecondition("device already open: " + path_);
+  }
+  int fd = -1;
+  o_direct_ = false;
+#ifdef O_DIRECT
+  if (options.use_o_direct) {
+    fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_DIRECT, 0644);
+    if (fd >= 0) o_direct_ = true;
+    // On failure (filesystem refuses the flag) fall through to buffered.
+  }
+#endif
+  if (fd < 0) {
+    fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  }
+  if (fd < 0) {
+    return Status::IOError(
+        StringPrintf("open(%s): %s", path.c_str(), std::strerror(errno)));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError(
+        StringPrintf("lseek(%s): %s", path.c_str(), std::strerror(errno)));
+  }
+  fd_ = fd;
+  path_ = path;
+  page_count_.store(static_cast<uint32_t>(size / kPageSize),
+                    std::memory_order_relaxed);
+  if (!options.force_fallback) {
+    SetupRing(std::max(1u, options.ring_depth));
+  }
+  return Status::OK();
+}
+
+void UringDevice::SetupRing(unsigned ring_depth) {
+#if FIELDREP_URING_RING
+  struct io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  int rfd = IoUringSetup(ring_depth, &params);
+  if (rfd < 0) return;  // old kernel / seccomp: stay in fallback mode
+
+  auto ring = std::make_unique<Ring>();
+  ring->ring_fd = rfd;
+  size_t sq_sz = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  size_t cq_sz =
+      params.cq_off.cqes + params.cq_entries * sizeof(struct io_uring_cqe);
+  const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap) sq_sz = cq_sz = std::max(sq_sz, cq_sz);
+
+  void* sq = ::mmap(nullptr, sq_sz, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, rfd, IORING_OFF_SQ_RING);
+  if (sq == MAP_FAILED) return;  // ~Ring closes rfd
+  ring->sq_map = static_cast<uint8_t*>(sq);
+  ring->sq_map_sz = sq_sz;
+
+  uint8_t* cq = ring->sq_map;
+  if (!single_mmap) {
+    void* m = ::mmap(nullptr, cq_sz, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, rfd, IORING_OFF_CQ_RING);
+    if (m == MAP_FAILED) return;
+    ring->cq_map = static_cast<uint8_t*>(m);
+    ring->cq_map_sz = cq_sz;
+    cq = ring->cq_map;
+  }
+
+  size_t sqes_sz = params.sq_entries * sizeof(struct io_uring_sqe);
+  void* sqes = ::mmap(nullptr, sqes_sz, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, rfd, IORING_OFF_SQES);
+  if (sqes == MAP_FAILED) return;
+  ring->sqes = static_cast<struct io_uring_sqe*>(sqes);
+  ring->sqes_map_sz = sqes_sz;
+
+  uint8_t* sqp = ring->sq_map;
+  ring->sq_head = reinterpret_cast<unsigned*>(sqp + params.sq_off.head);
+  ring->sq_tail = reinterpret_cast<unsigned*>(sqp + params.sq_off.tail);
+  ring->sq_mask =
+      *reinterpret_cast<unsigned*>(sqp + params.sq_off.ring_mask);
+  ring->sq_array = reinterpret_cast<unsigned*>(sqp + params.sq_off.array);
+  ring->sq_entries = params.sq_entries;
+  ring->cq_head = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+  ring->cq_tail = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+  ring->cq_mask = *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+  ring->cqes =
+      reinterpret_cast<struct io_uring_cqe*>(cq + params.cq_off.cqes);
+
+  ring->pending.resize(params.sq_entries);
+  ring->free_slots.reserve(params.sq_entries);
+  for (uint32_t slot = params.sq_entries; slot-- > 0;) {
+    ring->free_slots.push_back(slot);
+  }
+
+  stop_ = false;
+  ring_ = std::move(ring);
+  reaper_ = std::thread(&UringDevice::ReaperLoop, this);
+#else
+  (void)ring_depth;
+#endif
+}
+
+void UringDevice::TeardownRing() {
+  if (ring_ == nullptr) return;
+#if FIELDREP_URING_RING
+  {
+    UniqueMutexLock l(mu_);
+    // Drain: every slot free means every CQE has been harvested, so no
+    // completion callback can fire after this function returns.
+    cv_.wait(l, [&] {
+      return ring_->free_slots.size() == ring_->pending.size();
+    });
+    stop_ = true;
+    // Wake the reaper out of its GETEVENTS wait with a NOP completion.
+    unsigned tail = *ring_->sq_tail;
+    unsigned idx = tail & ring_->sq_mask;
+    struct io_uring_sqe* sqe = &ring_->sqes[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_NOP;
+    sqe->user_data = kNopUserData;
+    ring_->sq_array[idx] = idx;
+    __atomic_store_n(ring_->sq_tail, tail + 1, __ATOMIC_RELEASE);
+    int rc;
+    do {
+      rc = IoUringEnter(ring_->ring_fd, 1, 0, 0);
+    } while (rc < 0 && errno == EINTR);
+  }
+  reaper_.join();
+  ring_.reset();  // ~Ring munmaps and closes the ring fd
+#endif
+}
+
+Status UringDevice::Close() {
+  if (!is_open()) return Status::OK();
+  TeardownRing();
+  int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) {
+    return Status::IOError(
+        StringPrintf("close(%s): %s", path_.c_str(), std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous single-page path (plain pread/pwrite; O_DIRECT bounce).
+// ---------------------------------------------------------------------------
+
+Status UringDevice::SyncReadPage(PageId page_id, void* buf) {
+  if (page_id >= page_count()) {
+    return Status::OutOfRange(
+        StringPrintf("read of unallocated page %u", page_id));
+  }
+  void* io_buf = buf;
+  PageBuffer bounce;
+  if (o_direct_ && reinterpret_cast<uintptr_t>(buf) % kPageSize != 0) {
+    bounce = AllocatePageBuffer();
+    io_buf = bounce.get();
+    bounce_copies_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ssize_t n = ::pread(fd_, io_buf, kPageSize,
+                      static_cast<off_t>(page_id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(StringPrintf("pread page %u: %s", page_id,
+                                        n < 0 ? std::strerror(errno)
+                                              : "short read"));
+  }
+  if (bounce != nullptr) std::memcpy(buf, bounce.get(), kPageSize);
+  return Status::OK();
+}
+
+Status UringDevice::SyncWritePage(PageId page_id, const void* buf) {
+  if (page_id >= page_count()) {
+    return Status::OutOfRange(
+        StringPrintf("write of unallocated page %u", page_id));
+  }
+  const void* io_buf = buf;
+  PageBuffer bounce;
+  if (o_direct_ && reinterpret_cast<uintptr_t>(buf) % kPageSize != 0) {
+    bounce = AllocatePageBuffer();
+    std::memcpy(bounce.get(), buf, kPageSize);
+    io_buf = bounce.get();
+    bounce_copies_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ssize_t n = ::pwrite(fd_, io_buf, kPageSize,
+                       static_cast<off_t>(page_id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(StringPrintf("pwrite page %u: %s", page_id,
+                                        n < 0 ? std::strerror(errno)
+                                              : "short write"));
+  }
+  return Status::OK();
+}
+
+Status UringDevice::ReadPage(PageId page_id, void* buf) {
+  return SyncReadPage(page_id, buf);
+}
+
+Status UringDevice::WritePage(PageId page_id, const void* buf) {
+  return SyncWritePage(page_id, buf);
+}
+
+// ---------------------------------------------------------------------------
+// Ring submission
+// ---------------------------------------------------------------------------
+
+void UringDevice::SubmitBatch(std::vector<PageId> page_ids,
+                              std::vector<uint8_t*> rbufs,
+                              std::vector<const uint8_t*> wbufs, bool is_read,
+                              AsyncDone done) {
+#if FIELDREP_URING_RING
+  auto batch = std::make_shared<BatchState>();
+  batch->page_ids = std::move(page_ids);
+  batch->rbufs = std::move(rbufs);
+  batch->wbufs = std::move(wbufs);
+  const size_t n = batch->page_ids.size();
+  batch->statuses.assign(n, Status::OK());
+  batch->remaining = n;
+  batch->done = std::move(done);
+  if (n == 0) {
+    batch->done(batch->statuses);
+    return;
+  }
+
+  bool dispatch_now = false;
+  {
+    UniqueMutexLock l(mu_);
+    unsigned queued = 0;
+    std::vector<uint32_t> queued_slots;
+
+    // Pushes the queued SQEs into the kernel. On a hard submission error
+    // the un-consumed tail is rolled back and those pages complete with
+    // IOError (the kernel consumes nothing on a failed enter, so rolling
+    // the tail back by the un-submitted count is exact).
+    auto flush = [&]() {
+      if (queued == 0) return;
+      sqe_batches_.fetch_add(1, std::memory_order_relaxed);
+      unsigned submitted = 0;
+      Status enter_error;
+      while (submitted < queued) {
+        int rc = IoUringEnter(ring_->ring_fd, queued - submitted, 0, 0);
+        if (rc < 0) {
+          if (errno == EINTR || errno == EAGAIN) continue;
+          enter_error = Status::IOError(StringPrintf(
+              "io_uring_enter: %s", std::strerror(errno)));
+          break;
+        }
+        submitted += static_cast<unsigned>(rc);
+      }
+      sqes_submitted_.fetch_add(submitted, std::memory_order_relaxed);
+      if (!enter_error.ok()) {
+        unsigned rollback = queued - submitted;
+        __atomic_store_n(ring_->sq_tail, *ring_->sq_tail - rollback,
+                         __ATOMIC_RELEASE);
+        for (unsigned k = 0; k < rollback; ++k) {
+          uint32_t slot = queued_slots[queued_slots.size() - 1 - k];
+          Pending& p = ring_->pending[slot];
+          auto owner = std::move(p.batch);
+          owner->statuses[p.index] = enter_error;
+          p.bounce.reset();
+          ring_->free_slots.push_back(slot);
+          inflight_.fetch_sub(1, std::memory_order_relaxed);
+          if (--owner->remaining == 0 && owner == batch) dispatch_now = true;
+        }
+      }
+      queued = 0;
+      queued_slots.clear();
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+      PageId pid = batch->page_ids[i];
+      if (pid >= page_count()) {
+        batch->statuses[i] = Status::OutOfRange(
+            StringPrintf("async %s of unallocated page %u",
+                         is_read ? "read" : "write", pid));
+        if (--batch->remaining == 0) dispatch_now = true;
+        continue;
+      }
+      if (ring_->free_slots.empty()) {
+        flush();  // before blocking: the awaited completions need these SQEs
+        cv_.wait(l, [&] { return !ring_->free_slots.empty(); });
+      }
+      uint32_t slot = ring_->free_slots.back();
+      ring_->free_slots.pop_back();
+      Pending& p = ring_->pending[slot];
+      p.batch = batch;
+      p.index = static_cast<uint32_t>(i);
+      p.page_id = pid;
+      p.is_read = is_read;
+      uint8_t* buf = is_read ? batch->rbufs[i]
+                             : const_cast<uint8_t*>(batch->wbufs[i]);
+      const bool need_bounce =
+          o_direct_ && reinterpret_cast<uintptr_t>(buf) % kPageSize != 0;
+      p.dest = is_read ? buf : nullptr;
+      if (need_bounce) {
+        p.bounce = AllocatePageBuffer();
+        if (!is_read) std::memcpy(p.bounce.get(), buf, kPageSize);
+        bounce_copies_.fetch_add(1, std::memory_order_relaxed);
+      }
+      p.iov.iov_base = need_bounce ? p.bounce.get() : buf;
+      p.iov.iov_len = kPageSize;
+      p.submit_ns = NowNs();
+
+      unsigned tail = *ring_->sq_tail;
+      unsigned idx = tail & ring_->sq_mask;
+      struct io_uring_sqe* sqe = &ring_->sqes[idx];
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = is_read ? IORING_OP_READV : IORING_OP_WRITEV;
+      sqe->fd = fd_;
+      sqe->off = static_cast<uint64_t>(pid) * kPageSize;
+      sqe->addr = reinterpret_cast<uintptr_t>(&p.iov);
+      sqe->len = 1;
+      sqe->user_data = slot;
+      ring_->sq_array[idx] = idx;
+      __atomic_store_n(ring_->sq_tail, tail + 1, __ATOMIC_RELEASE);
+      ++queued;
+      queued_slots.push_back(slot);
+
+      uint64_t inflight =
+          inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+      uint64_t peak = inflight_peak_.load(std::memory_order_relaxed);
+      while (inflight > peak &&
+             !inflight_peak_.compare_exchange_weak(
+                 peak, inflight, std::memory_order_relaxed)) {
+      }
+    }
+    flush();
+  }
+  // Only reachable when no page made it into the ring (every page failed
+  // validation or submission): no CQE will ever finish this batch.
+  if (dispatch_now) batch->done(batch->statuses);
+#else
+  // Unreachable: callers check ring_active() first. Complete the batch
+  // with an error rather than dropping the callback.
+  std::vector<Status> statuses(
+      page_ids.size(), Status::Internal("io_uring backend not compiled in"));
+  (void)rbufs;
+  (void)wbufs;
+  (void)is_read;
+  done(statuses);
+#endif
+}
+
+Status UringDevice::SubmitBatchAndWait(std::span<const PageId> page_ids,
+                                       std::span<uint8_t* const> rbufs,
+                                       std::span<const uint8_t* const> wbufs,
+                                       bool is_read) {
+  struct WaitState {
+    bool finished = false;
+    Status first_error;
+  };
+  auto ws = std::make_shared<WaitState>();
+  SubmitBatch(
+      std::vector<PageId>(page_ids.begin(), page_ids.end()),
+      std::vector<uint8_t*>(rbufs.begin(), rbufs.end()),
+      std::vector<const uint8_t*>(wbufs.begin(), wbufs.end()), is_read,
+      [this, ws](std::span<const Status> statuses) {
+        Status err;
+        for (const Status& s : statuses) {
+          if (!s.ok()) {
+            err = s;
+            break;
+          }
+        }
+        UniqueMutexLock l(mu_);
+        ws->first_error = std::move(err);
+        ws->finished = true;
+        cv_.notify_all();
+      });
+  UniqueMutexLock l(mu_);
+  cv_.wait(l, [&] { return ws->finished; });
+  return ws->first_error;
+}
+
+Status UringDevice::ReadPages(std::span<const PageId> page_ids,
+                              std::span<uint8_t* const> bufs) {
+  if (!ring_active() || page_ids.size() < 2) {
+    for (size_t i = 0; i < page_ids.size(); ++i) {
+      FIELDREP_RETURN_IF_ERROR(SyncReadPage(page_ids[i], bufs[i]));
+    }
+    return Status::OK();
+  }
+  return SubmitBatchAndWait(page_ids, bufs, {}, /*is_read=*/true);
+}
+
+Status UringDevice::WritePages(std::span<const PageId> page_ids,
+                               std::span<const uint8_t* const> bufs) {
+  if (!ring_active() || page_ids.size() < 2) {
+    for (size_t i = 0; i < page_ids.size(); ++i) {
+      FIELDREP_RETURN_IF_ERROR(SyncWritePage(page_ids[i], bufs[i]));
+    }
+    return Status::OK();
+  }
+  return SubmitBatchAndWait(page_ids, {}, bufs, /*is_read=*/false);
+}
+
+void UringDevice::ReadPagesAsync(std::vector<PageId> page_ids,
+                                 std::vector<uint8_t*> bufs, AsyncDone done) {
+  if (!ring_active()) {
+    StorageDevice::ReadPagesAsync(std::move(page_ids), std::move(bufs),
+                                  std::move(done));
+    return;
+  }
+  SubmitBatch(std::move(page_ids), std::move(bufs), {}, /*is_read=*/true,
+              std::move(done));
+}
+
+void UringDevice::WritePagesAsync(std::vector<PageId> page_ids,
+                                  std::vector<const uint8_t*> bufs,
+                                  AsyncDone done) {
+  if (!ring_active()) {
+    StorageDevice::WritePagesAsync(std::move(page_ids), std::move(bufs),
+                                   std::move(done));
+    return;
+  }
+  SubmitBatch(std::move(page_ids), {}, std::move(bufs), /*is_read=*/false,
+              std::move(done));
+}
+
+Status UringDevice::AllocatePage(PageId* page_id) {
+  if (!is_open()) return Status::FailedPrecondition("device not open");
+  PageBuffer zeros = AllocatePageBuffer();
+  std::memset(zeros.get(), 0, kPageSize);
+  PageId id = page_count();
+  ssize_t n = ::pwrite(fd_, zeros.get(), kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(StringPrintf("extend to page %u: %s", id,
+                                        n < 0 ? std::strerror(errno)
+                                              : "short write"));
+  }
+  page_count_.store(id + 1, std::memory_order_relaxed);
+  *page_id = id;
+  return Status::OK();
+}
+
+Status UringDevice::Sync() {
+  if (!is_open()) return Status::FailedPrecondition("device not open");
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(StringPrintf("fdatasync(%s): %s", path_.c_str(),
+                                        std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Completion harvesting
+// ---------------------------------------------------------------------------
+
+void UringDevice::ReaperLoop() {
+#if FIELDREP_URING_RING
+  for (;;) {
+    int rc = IoUringEnter(ring_->ring_fd, 0, 1, IORING_ENTER_GETEVENTS);
+    if (rc < 0 && errno != EINTR && errno != EAGAIN && errno != EBUSY &&
+        errno != ETIME) {
+      // The wait itself failed (ring torn down under us would be a bug;
+      // transient errors retried above). Avoid a hot spin.
+      std::this_thread::yield();
+    }
+    std::vector<std::shared_ptr<BatchState>> ready;
+    bool stop;
+    {
+      UniqueMutexLock l(mu_);
+      unsigned head = *ring_->cq_head;
+      unsigned tail = __atomic_load_n(ring_->cq_tail, __ATOMIC_ACQUIRE);
+      bool freed = false;
+      while (head != tail) {
+        struct io_uring_cqe* cqe = &ring_->cqes[head & ring_->cq_mask];
+        uint64_t user_data = cqe->user_data;
+        int res = cqe->res;
+        ++head;
+        cqes_harvested_.fetch_add(1, std::memory_order_relaxed);
+        if (user_data == kNopUserData) continue;
+        Pending& p = ring_->pending[user_data];
+        Status st;
+        if (res != static_cast<int>(kPageSize)) {
+          cqe_errors_.fetch_add(1, std::memory_order_relaxed);
+          st = Status::IOError(StringPrintf(
+              "async %s page %u: %s", p.is_read ? "read" : "write",
+              p.page_id,
+              res < 0 ? std::strerror(-res) : "short transfer"));
+        } else if (p.is_read && p.bounce != nullptr) {
+          std::memcpy(p.dest, p.bounce.get(), kPageSize);
+        }
+        ObserveCqeLatency(NowNs() - p.submit_ns);
+        std::shared_ptr<BatchState> batch = std::move(p.batch);
+        batch->statuses[p.index] = std::move(st);
+        p.bounce.reset();
+        ring_->free_slots.push_back(static_cast<uint32_t>(user_data));
+        freed = true;
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+        if (--batch->remaining == 0) ready.push_back(std::move(batch));
+      }
+      __atomic_store_n(ring_->cq_head, head, __ATOMIC_RELEASE);
+      if (freed) cv_.notify_all();
+      stop = stop_ &&
+             ring_->free_slots.size() == ring_->pending.size();
+    }
+    // Dispatch outside mu_: callbacks re-enter the engine (buffer-pool
+    // shard and victim locks rank below kDevice).
+    for (auto& batch : ready) batch->done(batch->statuses);
+    if (stop) return;
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Stats / telemetry
+// ---------------------------------------------------------------------------
+
+void UringDevice::ObserveCqeLatency(uint64_t ns) {
+  const std::vector<uint64_t>& bounds = CqeLatencyBounds();
+  size_t i = 0;
+  while (i < bounds.size() && ns > bounds[i]) ++i;
+  if (i > kLatencyBuckets) i = kLatencyBuckets;
+  latency_buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  latency_sum_.fetch_add(ns, std::memory_order_relaxed);
+  latency_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+UringDevice::Stats UringDevice::stats() const {
+  Stats s;
+  s.sqe_batches = sqe_batches_.load(std::memory_order_relaxed);
+  s.sqes_submitted = sqes_submitted_.load(std::memory_order_relaxed);
+  s.cqes_harvested = cqes_harvested_.load(std::memory_order_relaxed);
+  s.cqe_errors = cqe_errors_.load(std::memory_order_relaxed);
+  s.bounce_copies = bounce_copies_.load(std::memory_order_relaxed);
+  s.inflight = inflight_.load(std::memory_order_relaxed);
+  s.inflight_peak = inflight_peak_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void UringDevice::CollectMetrics(std::vector<MetricSample>* out) const {
+  Stats st = stats();
+  auto add = [out](const char* name, const char* help, MetricKind kind,
+                   double value) {
+    MetricSample s;
+    s.name = name;
+    s.help = help;
+    s.kind = kind;
+    s.value = value;
+    out->push_back(std::move(s));
+  };
+  add("fieldrep_uring_ring_active",
+      "1 when batches flow through an io_uring ring, 0 in fallback mode",
+      MetricKind::kGauge, ring_active() ? 1 : 0);
+  add("fieldrep_uring_o_direct",
+      "1 when the backing file is open with O_DIRECT", MetricKind::kGauge,
+      o_direct_ ? 1 : 0);
+  add("fieldrep_uring_sqe_batches_total", "io_uring submission syscalls",
+      MetricKind::kCounter, static_cast<double>(st.sqe_batches));
+  add("fieldrep_uring_sqes_submitted_total",
+      "SQEs pushed through the ring", MetricKind::kCounter,
+      static_cast<double>(st.sqes_submitted));
+  add("fieldrep_uring_cqes_total", "completions harvested",
+      MetricKind::kCounter, static_cast<double>(st.cqes_harvested));
+  add("fieldrep_uring_cqe_errors_total",
+      "completions carrying an error result", MetricKind::kCounter,
+      static_cast<double>(st.cqe_errors));
+  add("fieldrep_uring_bounce_copies_total",
+      "unaligned transfers bounced through an aligned buffer",
+      MetricKind::kCounter, static_cast<double>(st.bounce_copies));
+  add("fieldrep_uring_inflight", "pages currently in flight",
+      MetricKind::kGauge, static_cast<double>(st.inflight));
+  add("fieldrep_uring_inflight_peak", "high-water mark of inflight pages",
+      MetricKind::kGauge, static_cast<double>(st.inflight_peak));
+
+  const std::vector<uint64_t>& bounds = CqeLatencyBounds();
+  Histogram::Snapshot snap;
+  snap.bounds = bounds;
+  snap.buckets.resize(bounds.size() + 1);
+  for (size_t i = 0; i < snap.buckets.size() && i <= kLatencyBuckets; ++i) {
+    snap.buckets[i] = latency_buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.sum = latency_sum_.load(std::memory_order_relaxed);
+  snap.count = latency_count_.load(std::memory_order_relaxed);
+  MetricSample h;
+  h.name = "fieldrep_uring_cqe_latency_ns";
+  h.help = "CQE latency (submit to harvest)";
+  h.kind = MetricKind::kHistogram;
+  h.histogram = std::move(snap);
+  out->push_back(std::move(h));
+}
+
+}  // namespace fieldrep

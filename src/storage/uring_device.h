@@ -1,0 +1,203 @@
+#ifndef FIELDREP_STORAGE_URING_DEVICE_H_
+#define FIELDREP_STORAGE_URING_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/annotated_mutex.h"
+#include "storage/storage_device.h"
+
+namespace fieldrep {
+
+struct MetricSample;
+
+/// \brief Asynchronous file-backed storage device on io_uring.
+///
+/// Batch operations (ReadPages/WritePages and the *Async entry points)
+/// are submitted as SQE batches to an io_uring ring — one submission
+/// syscall moves up to ring_depth pages — and completions are harvested
+/// by a reaper thread that invokes the per-batch callback. Single-page
+/// operations stay on plain pread/pwrite (a 4 KiB cache read costs less
+/// than a ring round trip). With `use_o_direct` the backing file bypasses
+/// the OS page cache; transfers whose buffers are not page-aligned are
+/// bounced through an internal aligned buffer (the buffer pool's frames
+/// are always aligned, so the hot paths never bounce).
+///
+/// Fallback matrix (DESIGN.md §15) — the device always *works*:
+///   - compile time: built without FIELDREP_HAVE_IO_URING (CMake option
+///     FIELDREP_WITH_URING=OFF or no <linux/io_uring.h>), every operation
+///     runs on the synchronous pread/pwrite path;
+///   - runtime: io_uring_setup fails (old kernel, seccomp), same
+///     synchronous path, reported by ring_active() == false;
+///   - O_DIRECT: the filesystem refuses the flag, the file is reopened
+///     buffered and o_direct() reports false.
+/// In fallback mode async_io() is false, so the default synchronous
+/// *Async implementations run and the buffer pool's accounting and error
+/// propagation are exactly FileDevice's.
+class UringDevice : public StorageDevice {
+ public:
+  struct Options {
+    /// Open the backing file with O_DIRECT (aligned transfers bypass the
+    /// OS page cache). Falls back to buffered I/O if the filesystem
+    /// refuses the flag.
+    bool use_o_direct = false;
+    /// Submission queue depth (pages in flight); the kernel rounds up to
+    /// a power of two. Also bounds the completion backlog — the pending
+    /// table is sized to it, so the CQ ring can never overflow.
+    unsigned ring_depth = 256;
+    /// Skip the ring even when the kernel supports it (tests exercise
+    /// the fallback path deterministically with this).
+    bool force_fallback = false;
+  };
+
+  /// Always-on relaxed-atomic submission statistics.
+  struct Stats {
+    uint64_t sqe_batches = 0;     ///< Submission syscalls issued.
+    uint64_t sqes_submitted = 0;  ///< SQEs pushed through the ring.
+    uint64_t cqes_harvested = 0;  ///< Completions reaped.
+    uint64_t cqe_errors = 0;      ///< Completions carrying an error.
+    uint64_t bounce_copies = 0;   ///< Unaligned transfers bounced.
+    uint64_t inflight = 0;        ///< Pages currently in flight.
+    uint64_t inflight_peak = 0;   ///< High-water mark of inflight.
+  };
+
+  UringDevice();  // defined out of line: members need the complete Ring type
+  ~UringDevice() override;
+
+  UringDevice(const UringDevice&) = delete;
+  UringDevice& operator=(const UringDevice&) = delete;
+
+  /// True when this kernel accepts io_uring_setup (and the backend was
+  /// compiled in). Cheap probe; the result cannot change while running.
+  static bool KernelSupportsIoUring();
+
+  /// Opens (creating if necessary) the backing file and, if supported,
+  /// the ring. A failed ring setup is not an error — the device opens in
+  /// fallback mode (see the class comment).
+  Status Open(const std::string& path, const Options& options);
+  Status Open(const std::string& path) { return Open(path, Options()); }
+
+  /// Waits for in-flight completions, tears the ring down, and closes
+  /// the backing file. Safe to call twice.
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  /// True when batches actually flow through an io_uring ring.
+  bool ring_active() const { return ring_ != nullptr; }
+  /// True when the backing file is open with O_DIRECT.
+  bool o_direct() const { return o_direct_; }
+
+  bool async_io() const override { return ring_active(); }
+
+  Status ReadPage(PageId page_id, void* buf) override;
+  Status WritePage(PageId page_id, const void* buf) override;
+  /// SQE batch + blocking harvest when the ring is active; per-page
+  /// fallback otherwise.
+  Status ReadPages(std::span<const PageId> page_ids,
+                   std::span<uint8_t* const> bufs) override;
+  Status WritePages(std::span<const PageId> page_ids,
+                    std::span<const uint8_t* const> bufs) override;
+  /// True asynchronous submission when the ring is active: returns after
+  /// the SQEs are in the ring, and `done` runs on the reaper thread.
+  void ReadPagesAsync(std::vector<PageId> page_ids,
+                      std::vector<uint8_t*> bufs, AsyncDone done) override;
+  void WritePagesAsync(std::vector<PageId> page_ids,
+                       std::vector<const uint8_t*> bufs,
+                       AsyncDone done) override;
+  Status AllocatePage(PageId* page_id) override;
+  /// fdatasync on the backing file. FlushFramesOrdered harvests every
+  /// write completion before the checkpoint issues this, so the sync
+  /// covers all previously completed batches.
+  Status Sync() override;
+  uint32_t page_count() const override {
+    return page_count_.load(std::memory_order_relaxed);
+  }
+
+  Stats stats() const;
+
+  /// Appends this device's metric samples (submission counters, inflight
+  /// gauges, CQE latency histogram, mode gauges) to `out` — registered
+  /// as a MetricsRegistry collector by Database when it owns the device.
+  void CollectMetrics(std::vector<MetricSample>* out) const;
+
+ private:
+  struct Ring;        // io_uring state; absent in fallback mode
+  struct BatchState;  // one async batch's completion bookkeeping
+
+  /// Per-page completion bookkeeping, keyed by SQE user_data.
+  struct Pending;
+
+  /// Synchronous single-page transfer with O_DIRECT bounce handling.
+  Status SyncReadPage(PageId page_id, void* buf);
+  Status SyncWritePage(PageId page_id, const void* buf);
+
+  /// Submits one async batch into the ring (blocking while the pending
+  /// table is full) and returns immediately; completion bookkeeping runs
+  /// on the reaper thread. Pages failing the bounds check complete
+  /// immediately with OutOfRange.
+  void SubmitBatch(std::vector<PageId> page_ids, std::vector<uint8_t*> rbufs,
+                   std::vector<const uint8_t*> wbufs, bool is_read,
+                   AsyncDone done);
+
+  /// SubmitBatch + wait for the batch's completion; returns the first
+  /// per-page error (ReadPages/WritePages over the ring).
+  Status SubmitBatchAndWait(std::span<const PageId> page_ids,
+                            std::span<uint8_t* const> rbufs,
+                            std::span<const uint8_t* const> wbufs,
+                            bool is_read);
+
+  /// Best-effort ring construction: mmaps the SQ/CQ rings and starts the
+  /// reaper. Leaves ring_ null (fallback mode) on any failure.
+  void SetupRing(unsigned ring_depth);
+
+  /// Reaper thread: harvests CQEs, finishes batches, dispatches `done`
+  /// callbacks (with no device lock held).
+  void ReaperLoop();
+
+  /// Tears down the ring (joins the reaper); fd stays open.
+  void TeardownRing();
+
+  void ObserveCqeLatency(uint64_t ns);
+
+  int fd_ = -1;
+  std::string path_;
+  bool o_direct_ = false;
+  /// Atomic for the same reason as FileDevice: readers bounds-check
+  /// concurrently with the (single) allocating writer.
+  std::atomic<uint32_t> page_count_{0};
+
+  std::unique_ptr<Ring> ring_;
+  std::thread reaper_;
+
+  /// Guards the submission queue tail, the pending/free-slot tables, and
+  /// the stop flag. The reaper harvests under it but always releases it
+  /// before invoking completion callbacks (which re-enter the buffer
+  /// pool at lower lock ranks).
+  mutable Mutex mu_{LockRank::kDevice, "uring.mu"};
+  CondVar cv_;  ///< Free pending slots / sync-batch completion.
+  bool stop_ = false;
+
+  // Stats (relaxed atomics, the IoStats discipline).
+  std::atomic<uint64_t> sqe_batches_{0};
+  std::atomic<uint64_t> sqes_submitted_{0};
+  std::atomic<uint64_t> cqes_harvested_{0};
+  std::atomic<uint64_t> cqe_errors_{0};
+  std::atomic<uint64_t> bounce_copies_{0};
+  std::atomic<uint64_t> inflight_{0};
+  std::atomic<uint64_t> inflight_peak_{0};
+
+  /// CQE latency histogram (submit -> harvest, ns). Fixed bucket ladder
+  /// shared with the telemetry Histogram exposition.
+  static constexpr size_t kLatencyBuckets = 16;
+  std::atomic<uint64_t> latency_buckets_[kLatencyBuckets + 1] = {};
+  std::atomic<uint64_t> latency_sum_{0};
+  std::atomic<uint64_t> latency_count_{0};
+};
+
+}  // namespace fieldrep
+
+#endif  // FIELDREP_STORAGE_URING_DEVICE_H_

@@ -1,0 +1,509 @@
+// UringDevice suite: round trips over the ring and the synchronous
+// fallback, O_DIRECT (with bounce-buffer handling for unaligned callers),
+// the asynchronous batch API and its per-page error reporting, decorator
+// transparency (fault injection / corruption over the async device), and
+// the buffer pool's async write-back/prefetch contract under injected
+// completion errors: failed frames stay dirty and the error names them.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "storage/corrupting_device.h"
+#include "storage/fault_injecting_device.h"
+#include "storage/memory_device.h"
+#include "storage/uring_device.h"
+#include "telemetry/metrics.h"
+#include "test_util.h"
+
+namespace fieldrep {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return StringPrintf("/tmp/fieldrep_uring_test_%s_%d.db", tag,
+                      static_cast<int>(::getpid()));
+}
+
+/// Opens a device on a fresh backing file, failing the test on error.
+void OpenFresh(UringDevice* device, const std::string& path,
+               const UringDevice::Options& options = {}) {
+  std::remove(path.c_str());
+  Status s = device->Open(path, options);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+}
+
+/// Allocates `n` pages and fills page i with byte i via the batch API.
+std::vector<PageId> FillPages(UringDevice* device, int n) {
+  std::vector<PageId> ids;
+  std::vector<PageBuffer> storage;
+  std::vector<const uint8_t*> bufs;
+  for (int i = 0; i < n; ++i) {
+    PageId id;
+    EXPECT_TRUE(device->AllocatePage(&id).ok());
+    ids.push_back(id);
+    storage.push_back(AllocatePageBuffer());
+    std::memset(storage.back().get(), i, kPageSize);
+    bufs.push_back(storage.back().get());
+  }
+  EXPECT_TRUE(device->WritePages(ids, bufs).ok());
+  return ids;
+}
+
+void ExpectRoundTrip(UringDevice* device, const std::vector<PageId>& ids) {
+  std::vector<PageBuffer> storage;
+  std::vector<uint8_t*> bufs;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    storage.push_back(AllocatePageBuffer());
+    bufs.push_back(storage.back().get());
+  }
+  Status s = device->ReadPages(ids, bufs);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(bufs[i][0], static_cast<uint8_t>(i)) << "page " << ids[i];
+    EXPECT_EQ(bufs[i][kPageSize - 1], static_cast<uint8_t>(i));
+  }
+}
+
+TEST(UringDeviceTest, BatchedWriteReadRoundTrip) {
+  UringDevice device;
+  const std::string path = TempPath("roundtrip");
+  OpenFresh(&device, path);
+  std::vector<PageId> ids = FillPages(&device, 64);
+  EXPECT_EQ(device.page_count(), 64u);
+  ExpectRoundTrip(&device, ids);
+  // The ring actually carried the batches when it is active.
+  if (device.ring_active()) {
+    EXPECT_GT(device.stats().sqes_submitted, 0u);
+    EXPECT_EQ(device.stats().cqes_harvested, device.stats().sqes_submitted);
+    EXPECT_EQ(device.stats().cqe_errors, 0u);
+    EXPECT_EQ(device.stats().inflight, 0u);
+  }
+  FR_ASSERT_OK(device.Sync());
+  FR_ASSERT_OK(device.Close());
+  std::remove(path.c_str());
+}
+
+TEST(UringDeviceTest, SinglePageOpsAndReopenPersistence) {
+  const std::string path = TempPath("single");
+  PageId id;
+  {
+    UringDevice device;
+    OpenFresh(&device, path);
+    FR_ASSERT_OK(device.AllocatePage(&id));
+    PageBuffer buf = AllocatePageBuffer();
+    std::memset(buf.get(), 0x5A, kPageSize);
+    FR_ASSERT_OK(device.WritePage(id, buf.get()));
+    FR_ASSERT_OK(device.Close());
+  }
+  {
+    UringDevice device;
+    FR_ASSERT_OK(device.Open(path));
+    EXPECT_EQ(device.page_count(), 1u);
+    PageBuffer buf = AllocatePageBuffer();
+    FR_ASSERT_OK(device.ReadPage(id, buf.get()));
+    EXPECT_EQ(buf.get()[100], 0x5A);
+    FR_ASSERT_OK(device.Close());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(UringDeviceTest, OutOfRangeReadReportsThePage) {
+  UringDevice device;
+  const std::string path = TempPath("oob");
+  OpenFresh(&device, path);
+  FillPages(&device, 2);
+  PageBuffer buf = AllocatePageBuffer();
+  Status s = device.ReadPage(static_cast<PageId>(99), buf.get());
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("99"), std::string::npos) << s.ToString();
+  // Batch with one bad page: the batch fails and names it.
+  std::vector<PageId> ids = {0, 99};
+  PageBuffer b2 = AllocatePageBuffer();
+  std::vector<uint8_t*> bufs = {buf.get(), b2.get()};
+  s = device.ReadPages(ids, bufs);
+  EXPECT_FALSE(s.ok());
+  FR_ASSERT_OK(device.Close());
+  std::remove(path.c_str());
+}
+
+TEST(UringDeviceTest, ODirectRoundTripWithUnalignedBounce) {
+  UringDevice device;
+  UringDevice::Options options;
+  options.use_o_direct = true;
+  const std::string path = TempPath("odirect");
+  std::remove(path.c_str());
+  FR_ASSERT_OK(device.Open(path, options));
+  // The filesystem may refuse O_DIRECT (tmpfs does); either way the
+  // device must work. Log which mode actually ran.
+  std::printf("o_direct=%d ring_active=%d\n", device.o_direct(),
+              device.ring_active());
+  std::vector<PageId> ids = FillPages(&device, 8);
+  ExpectRoundTrip(&device, ids);
+
+  // Unaligned caller buffer: must bounce, not fail.
+  std::vector<uint8_t> raw(kPageSize + 1);
+  uint8_t* unaligned = raw.data() + 1;
+  FR_ASSERT_OK(device.ReadPage(ids[3], unaligned));
+  EXPECT_EQ(unaligned[0], 3);
+  std::memset(unaligned, 0xEE, kPageSize);
+  FR_ASSERT_OK(device.WritePage(ids[3], unaligned));
+  PageBuffer aligned = AllocatePageBuffer();
+  FR_ASSERT_OK(device.ReadPage(ids[3], aligned.get()));
+  EXPECT_EQ(aligned.get()[0], 0xEE);
+  if (device.o_direct()) {
+    EXPECT_GT(device.stats().bounce_copies, 0u);
+  }
+  FR_ASSERT_OK(device.Close());
+  std::remove(path.c_str());
+}
+
+TEST(UringDeviceTest, ForceFallbackRunsEverythingSynchronously) {
+  UringDevice device;
+  UringDevice::Options options;
+  options.force_fallback = true;
+  const std::string path = TempPath("fallback");
+  std::remove(path.c_str());
+  FR_ASSERT_OK(device.Open(path, options));
+  EXPECT_FALSE(device.ring_active());
+  EXPECT_FALSE(device.async_io());
+  std::vector<PageId> ids = FillPages(&device, 16);
+  ExpectRoundTrip(&device, ids);
+  EXPECT_EQ(device.stats().sqes_submitted, 0u);
+
+  // The default *Async implementations complete inline with OK statuses.
+  std::vector<PageBuffer> storage;
+  std::vector<uint8_t*> bufs;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    storage.push_back(AllocatePageBuffer());
+    bufs.push_back(storage.back().get());
+  }
+  bool completed = false;
+  device.ReadPagesAsync(ids, bufs, [&](std::span<const Status> statuses) {
+    completed = true;
+    for (const Status& s : statuses) EXPECT_TRUE(s.ok()) << s.ToString();
+  });
+  EXPECT_TRUE(completed);  // synchronous fallback completes before return
+  EXPECT_EQ(bufs[7][0], 7);
+  FR_ASSERT_OK(device.Close());
+  std::remove(path.c_str());
+}
+
+TEST(UringDeviceTest, AsyncBatchCompletesOnReaperThread) {
+  UringDevice device;
+  const std::string path = TempPath("async");
+  OpenFresh(&device, path);
+  if (!device.ring_active()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  std::vector<PageId> ids = FillPages(&device, 32);
+
+  std::vector<PageBuffer> storage;
+  std::vector<uint8_t*> bufs;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    storage.push_back(AllocatePageBuffer());
+    bufs.push_back(storage.back().get());
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done_flag = false;
+  std::vector<Status> got;
+  device.ReadPagesAsync(ids, bufs, [&](std::span<const Status> statuses) {
+    std::lock_guard<std::mutex> lock(mu);
+    got.assign(statuses.begin(), statuses.end());
+    done_flag = true;
+    cv.notify_all();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return done_flag; }));
+  }
+  ASSERT_EQ(got.size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_TRUE(got[i].ok()) << got[i].ToString();
+    EXPECT_EQ(bufs[i][0], static_cast<uint8_t>(i));
+  }
+  FR_ASSERT_OK(device.Close());
+  std::remove(path.c_str());
+}
+
+TEST(UringDeviceTest, AsyncOutOfRangePageFailsOnlyThatPage) {
+  UringDevice device;
+  const std::string path = TempPath("asyncerr");
+  OpenFresh(&device, path);
+  if (!device.ring_active()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  FillPages(&device, 4);
+
+  std::vector<PageId> ids = {0, 1, 777, 3};
+  std::vector<PageBuffer> storage;
+  std::vector<uint8_t*> bufs;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    storage.push_back(AllocatePageBuffer());
+    bufs.push_back(storage.back().get());
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done_flag = false;
+  std::vector<Status> got;
+  device.ReadPagesAsync(ids, bufs, [&](std::span<const Status> statuses) {
+    std::lock_guard<std::mutex> lock(mu);
+    got.assign(statuses.begin(), statuses.end());
+    done_flag = true;
+    cv.notify_all();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return done_flag; }));
+  }
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_TRUE(got[0].ok());
+  EXPECT_TRUE(got[1].ok());
+  EXPECT_FALSE(got[2].ok());
+  EXPECT_NE(got[2].ToString().find("777"), std::string::npos)
+      << got[2].ToString();
+  EXPECT_TRUE(got[3].ok());
+  FR_ASSERT_OK(device.Close());
+  std::remove(path.c_str());
+}
+
+TEST(UringDeviceTest, MetricsExposeRingState) {
+  UringDevice device;
+  const std::string path = TempPath("metrics");
+  OpenFresh(&device, path);
+  FillPages(&device, 8);
+  std::vector<MetricSample> samples;
+  device.CollectMetrics(&samples);
+  bool saw_active = false, saw_latency = false;
+  for (const MetricSample& s : samples) {
+    if (s.name == "fieldrep_uring_ring_active") {
+      saw_active = true;
+      EXPECT_EQ(s.value, device.ring_active() ? 1.0 : 0.0);
+    }
+    if (s.name == "fieldrep_uring_cqe_latency_ns") saw_latency = true;
+  }
+  EXPECT_TRUE(saw_active);
+  EXPECT_TRUE(saw_latency);
+  FR_ASSERT_OK(device.Close());
+  std::remove(path.c_str());
+}
+
+// --- Decorator transparency ---------------------------------------------------
+
+TEST(UringDeviceTest, FaultInjectionDecoratesTheAsyncDevice) {
+  UringDevice inner;
+  const std::string path = TempPath("fault");
+  OpenFresh(&inner, path);
+  std::vector<PageId> ids = FillPages(&inner, 6);
+
+  FaultPlan plan;
+  FaultInjectingDevice device(&inner, &plan);
+  // The decorator inherits the synchronous default batch paths, so its
+  // per-page crash semantics survive unchanged over the async device.
+  EXPECT_FALSE(device.async_io());
+
+  plan.Arm(3);  // power fails after 3 durable writes
+  std::vector<PageBuffer> storage;
+  std::vector<const uint8_t*> bufs;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    storage.push_back(AllocatePageBuffer());
+    std::memset(storage.back().get(), 0xC0 + static_cast<int>(i), kPageSize);
+    bufs.push_back(storage.back().get());
+  }
+  Status s = device.WritePages(ids, bufs);
+  EXPECT_FALSE(s.ok());
+
+  plan.Reset();  // reboot: the first 3 pages landed, the rest did not
+  PageBuffer buf = AllocatePageBuffer();
+  FR_ASSERT_OK(device.ReadPage(ids[0], buf.get()));
+  EXPECT_EQ(buf.get()[0], 0xC0);
+  FR_ASSERT_OK(device.ReadPage(ids[5], buf.get()));
+  EXPECT_EQ(buf.get()[0], 5);  // original fill, crash blocked the rewrite
+  FR_ASSERT_OK(inner.Close());
+  std::remove(path.c_str());
+}
+
+TEST(UringDeviceTest, CorruptionDecoratesTheAsyncDevice) {
+  UringDevice inner;
+  const std::string path = TempPath("corrupt");
+  OpenFresh(&inner, path);
+  std::vector<PageId> ids = FillPages(&inner, 3);
+
+  CorruptingDevice device(&inner);
+  FR_ASSERT_OK(device.CorruptByte(ids[1], 10, 0xFF));
+  PageBuffer buf = AllocatePageBuffer();
+  FR_ASSERT_OK(device.ReadPage(ids[1], buf.get()));
+  EXPECT_EQ(buf.get()[10], static_cast<uint8_t>(1 ^ 0xFF));
+  EXPECT_EQ(buf.get()[11], 1);  // neighbours untouched
+  FR_ASSERT_OK(inner.Close());
+  std::remove(path.c_str());
+}
+
+// --- Buffer-pool async contract under injected completion errors --------------
+
+/// Asynchronous test double: a MemoryDevice whose batch operations
+/// complete on a background thread, with injectable per-page completion
+/// errors — the deterministic stand-in for an io_uring CQE error.
+class AsyncFailingDevice : public MemoryDevice {
+ public:
+  ~AsyncFailingDevice() override {
+    for (std::thread& t : threads_) t.join();
+  }
+
+  bool async_io() const override { return true; }
+
+  void FailPage(PageId page_id) { fail_pages_.insert(page_id); }
+  void ClearFailures() { fail_pages_.clear(); }
+
+  void ReadPagesAsync(std::vector<PageId> page_ids,
+                      std::vector<uint8_t*> bufs, AsyncDone done) override {
+    threads_.emplace_back([this, ids = std::move(page_ids),
+                           bufs = std::move(bufs), done = std::move(done)] {
+      std::vector<Status> statuses(ids.size());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        statuses[i] = fail_pages_.count(ids[i]) != 0
+                          ? Status::IOError(StringPrintf(
+                                "injected CQE error on page %u", ids[i]))
+                          : ReadPage(ids[i], bufs[i]);
+      }
+      done(statuses);
+    });
+  }
+
+  void WritePagesAsync(std::vector<PageId> page_ids,
+                       std::vector<const uint8_t*> bufs,
+                       AsyncDone done) override {
+    threads_.emplace_back([this, ids = std::move(page_ids),
+                           bufs = std::move(bufs), done = std::move(done)] {
+      std::vector<Status> statuses(ids.size());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        statuses[i] = fail_pages_.count(ids[i]) != 0
+                          ? Status::IOError(StringPrintf(
+                                "injected CQE error on page %u", ids[i]))
+                          : WritePage(ids[i], bufs[i]);
+      }
+      done(statuses);
+    });
+  }
+
+ private:
+  /// Written only while no batch is in flight (test-sequenced).
+  std::set<PageId> fail_pages_;
+  std::vector<std::thread> threads_;
+};
+
+std::vector<PageId> SeedPoolPages(BufferPool* pool, int n) {
+  std::vector<PageId> pages;
+  for (int i = 0; i < n; ++i) {
+    PageGuard guard;
+    EXPECT_TRUE(pool->NewPage(&guard).ok());
+    guard.data()[0] = static_cast<uint8_t>(i);
+    guard.MarkDirty();
+    pages.push_back(guard.page_id());
+  }
+  EXPECT_TRUE(pool->EvictAll().ok());
+  pool->ResetStats();
+  return pages;
+}
+
+TEST(AsyncWriteBackTest, FailedCompletionKeepsFramesDirtyAndNamesPages) {
+  AsyncFailingDevice device;
+  BufferPool pool(&device, 16);
+  std::vector<PageId> pages = SeedPoolPages(&pool, 6);
+
+  for (int i = 0; i < 6; ++i) {
+    PageGuard guard;
+    FR_ASSERT_OK(pool.FetchPage(pages[i], &guard));
+    guard.data()[4] = static_cast<uint8_t>(0xB0 + i);
+    guard.MarkDirty();
+  }
+  pool.ResetStats();
+  device.FailPage(pages[2]);
+
+  Status s = pool.FlushAll();
+  ASSERT_FALSE(s.ok());
+  // The error names the failed page; frames of failed completions stay
+  // dirty, successfully written ones are clean.
+  EXPECT_NE(s.ToString().find(StringPrintf("%u", pages[2])),
+            std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.ToString().find("stay dirty"), std::string::npos)
+      << s.ToString();
+  std::vector<PageId> dirty = pool.DirtyPageIds();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], pages[2]);
+  // Accounting: only completed pages were charged, all submissions were
+  // async.
+  EXPECT_EQ(pool.stats().disk_writes, 5u);
+  EXPECT_EQ(pool.stats().async_writes, 6u);
+
+  // "Repair the device" and retry: the still-dirty frame completes the
+  // flush and the media holds the new bytes.
+  device.ClearFailures();
+  FR_ASSERT_OK(pool.FlushAll());
+  EXPECT_TRUE(pool.DirtyPageIds().empty());
+  EXPECT_EQ(pool.stats().disk_writes, 6u);
+  FR_ASSERT_OK(pool.EvictAll());
+  for (int i = 0; i < 6; ++i) {
+    PageGuard guard;
+    FR_ASSERT_OK(pool.FetchPage(pages[i], &guard));
+    EXPECT_EQ(guard.data()[4], static_cast<uint8_t>(0xB0 + i));
+  }
+}
+
+TEST(AsyncPrefetchTest, CompletionInstallsPagesWithLogicalChargeDeferred) {
+  AsyncFailingDevice device;
+  BufferPool pool(&device, 16);
+  std::vector<PageId> pages = SeedPoolPages(&pool, 5);
+
+  FR_ASSERT_OK(pool.Prefetch(pages));
+  pool.DrainAsyncIo();  // wait for the completion to install the frames
+  EXPECT_EQ(pool.pages_cached(), 5u);
+  EXPECT_EQ(pool.stats().async_reads, 5u);
+  EXPECT_EQ(pool.stats().batched_reads, 5u);
+  EXPECT_EQ(pool.stats().disk_reads, 0u);  // charge deferred to first fetch
+
+  PageGuard guard;
+  FR_ASSERT_OK(pool.FetchPage(pages[1], &guard));
+  EXPECT_EQ(guard.data()[0], 1);
+  EXPECT_EQ(pool.stats().disk_reads, 1u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+TEST(AsyncPrefetchTest, FailedCompletionInstallsNothingForThatPage) {
+  AsyncFailingDevice device;
+  BufferPool pool(&device, 16);
+  std::vector<PageId> pages = SeedPoolPages(&pool, 4);
+
+  device.FailPage(pages[1]);
+  FR_ASSERT_OK(pool.Prefetch(pages));  // fire-and-forget: no error surface
+  pool.DrainAsyncIo();
+  EXPECT_EQ(pool.PeekPage(pages[1]), nullptr);
+  EXPECT_NE(pool.PeekPage(pages[0]), nullptr);
+  EXPECT_NE(pool.PeekPage(pages[2]), nullptr);
+  EXPECT_EQ(pool.stats().batched_reads, 3u);  // only installed pages count
+
+  // On-demand fetch of the failed page behaves as if never prefetched.
+  device.ClearFailures();
+  PageGuard guard;
+  FR_ASSERT_OK(pool.FetchPage(pages[1], &guard));
+  EXPECT_EQ(guard.data()[0], 1);
+  EXPECT_EQ(pool.stats().disk_reads, 1u);
+}
+
+}  // namespace
+}  // namespace fieldrep
